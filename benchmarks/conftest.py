@@ -1,0 +1,50 @@
+"""Shared helpers for the pytest-benchmark targets.
+
+Each benchmark module regenerates one table or figure of the paper via the
+functions in :mod:`repro.bench.experiments`.  The experiments are themselves
+multi-second sweeps, so every target runs exactly once per session
+(``benchmark.pedantic(..., rounds=1, iterations=1)``) and prints its result
+table so the numbers can be copied into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Any, Callable
+
+import pytest
+
+
+def run_once(benchmark, fn: Callable[[], Any]) -> Any:
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def jsonable(value: Any) -> Any:
+    """Convert experiment outputs (dataclasses, dicts) to JSON-compatible data."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return jsonable(asdict(value))
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, float) and value in (float("inf"), float("-inf")):
+        return str(value)
+    return value
+
+
+def emit(title: str, payload: Any) -> None:
+    """Print a result block (captured by pytest -s, or shown on failure)."""
+    print(f"\n===== {title} =====")
+    print(json.dumps(jsonable(payload), indent=2, default=str))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(fn: Callable[[], Any]) -> Any:
+        return run_once(benchmark, fn)
+
+    return runner

@@ -1,0 +1,23 @@
+"""Figure 11 — memory impact of the adaptive group representation (BS vs GA)."""
+
+from benchmarks.conftest import emit, run_once
+from repro.bench.experiments import fig11_memory
+
+
+def test_fig11_adaptive_group_memory(benchmark):
+    report = run_once(benchmark, lambda: fig11_memory(datasets=("AM", "GO", "CT", "LJ", "TW")))
+    emit("Figure 11: BS vs GA modelled memory", report)
+
+    for dataset, entry in report.items():
+        # (a) overall: GA reduces memory on every dataset.
+        assert entry["overall_saving_factor"] > 1.0, dataset
+        # (b)-(d): each simplified representation saves versus regular storage.
+        for kind in ("dense", "one-element", "sparse"):
+            per_kind = entry["per_kind"][kind]
+            if per_kind["ga_bytes"] > 0:
+                assert per_kind["saving_factor"] >= 1.0, (dataset, kind)
+        # (e) the group-kind ratios form a distribution.
+        ratios = entry["group_kind_ratios"]
+        assert abs(sum(ratios.values()) - 1.0) < 1e-9
+        # Dense + one-element groups dominate skewed degree-derived biases.
+        assert ratios.get("dense", 0.0) + ratios.get("one-element", 0.0) > 0.3, dataset

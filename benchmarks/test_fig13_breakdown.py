@@ -1,0 +1,27 @@
+"""Figure 13 — time breakdown of the baseline (BS) vs group-adaption (GA) designs."""
+
+from benchmarks.conftest import emit, run_once
+from repro.bench.experiments import fig13_breakdown
+
+
+def test_fig13_bs_vs_ga_breakdown(benchmark):
+    report = run_once(
+        benchmark,
+        lambda: fig13_breakdown(
+            datasets=("AM", "GO", "LJ"), batch_size=200, num_batches=2, num_samples=3000
+        ),
+    )
+    emit("Figure 13: BS vs GA time breakdown", report)
+
+    for dataset, entry in report.items():
+        bs, ga = entry["BS"], entry["GA"]
+        for phases in (bs, ga):
+            assert phases["insert_delete"] > 0, dataset
+            assert phases["rebuild"] > 0, dataset
+            assert phases["sampling"] > 0, dataset
+        # The paper finds GA roughly on par with BS (slightly faster on
+        # average); the shape we require is simply "no blow-up".
+        assert ga["sampling"] < 3.0 * bs["sampling"], dataset
+        total_bs = sum(bs.values())
+        total_ga = sum(ga.values())
+        assert total_ga < 2.0 * total_bs, dataset

@@ -1,0 +1,24 @@
+"""Figure 14 — integer vs floating-point bias cost (time and memory)."""
+
+from benchmarks.conftest import emit, run_once
+from repro.bench.experiments import fig14_float_bias
+
+
+def test_fig14_integer_vs_float_bias(benchmark):
+    report = run_once(
+        benchmark,
+        lambda: fig14_float_bias(
+            datasets=("AM", "GO", "LJ"), batch_size=200, num_batches=2, num_samples=2000
+        ),
+    )
+    emit("Figure 14: integer vs floating-point bias", report)
+
+    for dataset, entry in report.items():
+        integer, floating = entry["integer"], entry["floating-point"]
+        # Floating-point handling uses a larger amortization factor and the
+        # extra decimal group, so memory grows modestly (paper: ~1.08x).
+        assert floating["memory_bytes"] >= integer["memory_bytes"], dataset
+        assert floating["memory_bytes"] < 4.0 * integer["memory_bytes"], dataset
+        # Runtime overhead stays modest (paper: ~1.02x); we allow wide slack
+        # for interpreter noise but require "no blow-up".
+        assert floating["time_seconds"] < 4.0 * integer["time_seconds"], dataset

@@ -1,0 +1,55 @@
+"""Figure 15 — varying evaluation configurations (batch size, walk length, bias distribution)."""
+
+from benchmarks.conftest import emit, run_once
+from repro.bench.experiments import (
+    fig15_batch_size_sweep,
+    fig15_bias_distribution,
+    fig15_walk_length_sweep,
+)
+
+
+def test_fig15a_batch_size_sweep(benchmark):
+    report = run_once(
+        benchmark,
+        lambda: fig15_batch_size_sweep(
+            dataset="LJ", batch_sizes=(50, 125, 250, 500), total_updates=1500
+        ),
+    )
+    emit("Figure 15a: batch size sweep (1.5K updates, LJ stand-in)", report)
+
+    # Bingo's update path beats gSampler's rebuild at every batch size.
+    for batch_size, row in report.items():
+        assert row["bingo"] < row["gsampler"], batch_size
+    # Larger batches reduce gSampler's total time (fewer full rebuilds).
+    sizes = sorted(report)
+    assert report[sizes[-1]]["gsampler"] < report[sizes[0]]["gsampler"]
+
+
+def test_fig15b_walk_length_sweep(benchmark):
+    report = run_once(
+        benchmark,
+        lambda: fig15_walk_length_sweep(dataset="LJ", walk_lengths=(5, 10, 20, 40)),
+    )
+    emit("Figure 15b: walk length sweep (LJ stand-in)", report)
+
+    lengths = sorted(report)
+    # Longer walks mean more work for both systems...
+    assert report[lengths[-1]]["bingo"] > report[lengths[0]]["bingo"] * 0.8
+    # ...and Bingo stays ahead of gSampler across the sweep.
+    wins = sum(1 for length in lengths if report[length]["bingo"] < report[length]["gsampler"])
+    assert wins >= len(lengths) - 1
+
+
+def test_fig15c_bias_distribution(benchmark):
+    report = run_once(
+        benchmark,
+        lambda: fig15_bias_distribution(
+            dataset="LJ", batch_size=200, num_batches=2, num_samples=2000
+        ),
+    )
+    emit("Figure 15c: bias distribution sweep (LJ stand-in)", report)
+
+    # Uniform biases give the cheapest memory (more dense groups, paper 15c).
+    assert report["uniform"]["memory_bytes"] <= report["power-law"]["memory_bytes"]
+    for entry in report.values():
+        assert entry["time_seconds"] > 0

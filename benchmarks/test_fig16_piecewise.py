@@ -1,0 +1,30 @@
+"""Figure 16 — piecewise breakdown: Bingo insert/delete/sampling vs FlowWalker."""
+
+from benchmarks.conftest import emit, run_once
+from repro.bench.experiments import fig16_piecewise
+
+
+def test_fig16_piecewise_breakdown(benchmark):
+    report = run_once(
+        benchmark,
+        lambda: fig16_piecewise(
+            datasets=("AM", "GO", "CT", "LJ", "TW"), num_updates=600, num_samples=600
+        ),
+    )
+    emit("Figure 16: piecewise breakdown (updates vs sampling)", report)
+
+    for dataset, entry in report.items():
+        # (a) Updating: FlowWalker's structure-free reload is cheaper than
+        # maintaining Bingo's sampling structures (paper: ~2.35x faster).
+        assert entry["flowwalker_reload_seconds"] < (
+            entry["bingo_insert_seconds"] + entry["bingo_delete_seconds"]
+        ), dataset
+        # Bingo's sampling is far cheaper than its own updates (paper: ~2
+        # orders of magnitude for 1M ops; per-op it must at least win).
+        per_sample = entry["bingo_sampling_seconds"]
+        per_update = entry["bingo_insert_seconds"] + entry["bingo_delete_seconds"]
+        assert per_sample < per_update, dataset
+
+    # (b) Sampling: FlowWalker degrades as degree grows; on the largest,
+    # most skewed stand-in (TW) Bingo must sample faster than FlowWalker.
+    assert report["TW"]["bingo_sampling_seconds"] < report["TW"]["flowwalker_sampling_seconds"]

@@ -1,0 +1,17 @@
+"""Figure 9 — group element ratio per radix group for three bias distributions."""
+
+from benchmarks.conftest import emit, run_once
+from repro.bench.experiments import fig9_group_ratio
+
+
+def test_fig9_group_element_ratio(benchmark):
+    ratios = run_once(benchmark, lambda: fig9_group_ratio(num_groups=10, num_edges=50_000))
+    emit("Figure 9: group element ratio per distribution", ratios)
+
+    uniform, gauss, power = ratios["uniform"], ratios["gauss"], ratios["power-law"]
+    # Uniform biases populate every bit position at ~50%.
+    assert all(0.4 < value < 0.6 for value in uniform[:9])
+    # Power-law biases concentrate in low groups: the ratio decays with k.
+    assert power[0] > power[5] > power[9]
+    # Gaussian biases centred mid-range keep the top groups sparse.
+    assert gauss[9] < 0.5

@@ -1,0 +1,44 @@
+"""Table 1 — complexity comparison: Bingo vs Alias / ITS / Rejection.
+
+Regenerates the per-operation cost table as *measured elementary operations*
+per insert / delete / sample at increasing vertex degree, verifying the
+published asymptotics: Bingo O(K) updates and O(1) sampling, alias O(d)
+updates, ITS O(log d) sampling, rejection O(1) updates.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.bench.experiments import table1_complexity
+
+
+def test_table1_complexity(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: table1_complexity(degrees=(16, 64, 256, 1024), samples_per_degree=150),
+    )
+    table = [
+        {
+            "sampler": row.sampler,
+            "degree": row.degree,
+            "insert_ops": round(row.insert_ops, 1),
+            "delete_ops": round(row.delete_ops, 1),
+            "sample_ops": round(row.sample_ops, 1),
+            "memory_bytes": row.memory_bytes,
+        }
+        for row in rows
+    ]
+    emit("Table 1: measured per-operation cost vs degree", table)
+
+    by_key = {(r.sampler, r.degree): r for r in rows}
+    # Alias updates grow ~linearly with degree; Bingo stays near-flat.  Compare
+    # the growth factors over a 64x degree range rather than absolute slopes.
+    alias_growth = by_key[("alias", 1024)].insert_ops / by_key[("alias", 16)].insert_ops
+    bingo_growth = by_key[("bingo", 1024)].insert_ops / by_key[("bingo", 16)].insert_ops
+    assert alias_growth > 8.0
+    assert bingo_growth < 4.0
+    assert alias_growth > 3.0 * bingo_growth
+    # Bingo sampling stays O(1) across a 64x degree range.
+    assert by_key[("bingo", 1024)].sample_ops < 3 * by_key[("bingo", 16)].sample_ops
+    # Memory grows with degree for every structure; Bingo's footprint scales
+    # at least linearly (the O(d*K) of Table 1, tamed by group adaption).
+    assert by_key[("bingo", 1024)].memory_bytes > 20 * by_key[("bingo", 16)].memory_bytes
+    assert by_key[("alias", 1024)].memory_bytes > 20 * by_key[("alias", 16)].memory_bytes

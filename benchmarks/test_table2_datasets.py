@@ -1,0 +1,17 @@
+"""Table 2 — dataset statistics: paper originals vs synthetic stand-ins."""
+
+from benchmarks.conftest import emit, run_once
+from repro.bench.experiments import table2_datasets
+
+
+def test_table2_datasets(benchmark):
+    rows = run_once(benchmark, lambda: table2_datasets(seed=7))
+    emit("Table 2: paper datasets vs synthetic stand-ins", rows)
+
+    assert [row["abbr"] for row in rows] == ["AM", "GO", "CT", "LJ", "TW"]
+    by_abbr = {row["abbr"]: row for row in rows}
+    # The stand-ins preserve the relative size ordering of the originals.
+    assert by_abbr["TW"]["standin_edges"] > by_abbr["LJ"]["standin_edges"]
+    assert by_abbr["LJ"]["standin_edges"] > by_abbr["GO"]["standin_edges"]
+    # And the degree skew ordering: Twitter has the largest max degree.
+    assert by_abbr["TW"]["standin_max_degree"] >= by_abbr["AM"]["standin_max_degree"]

@@ -1,0 +1,54 @@
+"""Table 3 — Bingo vs the state of the art (KnightKing, gSampler, FlowWalker).
+
+Runs the update-then-walk workflow for every engine across applications,
+update workloads and dataset stand-ins, then reports runtime, modelled memory
+and the average speedup of Bingo over each baseline.  The scaled settings
+keep the pure-Python sweep tractable; the qualitative outcome to compare with
+the paper is the ordering (Bingo fastest, rebuild-from-scratch baselines
+slower, FlowWalker hurt most on high-degree graphs) rather than the absolute
+seconds.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.bench.experiments import table3_sota, table3_speedups
+from repro.bench.harness import EvaluationSettings
+
+SETTINGS = EvaluationSettings(batch_size=150, num_batches=2, walk_length=8, num_walkers=24)
+DATASETS = ("AM", "GO", "LJ")
+WORKLOADS = ("insertion", "deletion", "mixed")
+
+
+@pytest.mark.parametrize("application", ["deepwalk", "node2vec", "ppr"])
+def test_table3_application_sweep(benchmark, application):
+    results = run_once(
+        benchmark,
+        lambda: table3_sota(
+            datasets=DATASETS,
+            applications=(application,),
+            workloads=WORKLOADS,
+            settings=SETTINGS,
+        ),
+    )
+    rows = [
+        {
+            "engine": r.engine,
+            "dataset": r.dataset,
+            "workload": r.workload,
+            "runtime_s": round(r.runtime_seconds, 4),
+            "update_s": round(r.update_seconds, 4),
+            "walk_s": round(r.walk_seconds, 4),
+            "memory_MB": round(r.memory_bytes / 2**20, 3),
+        }
+        for r in results
+    ]
+    speedups = table3_speedups(results)
+    emit(f"Table 3 ({application}): per-cell results", rows)
+    emit(f"Table 3 ({application}): average speedup of Bingo", speedups)
+
+    # Every engine ran every cell.
+    assert len(results) == 4 * len(DATASETS) * len(WORKLOADS)
+    # Bingo must beat the rebuild-from-scratch baselines on average.
+    assert speedups["knightking"] > 1.0
+    assert speedups["gsampler"] > 1.0

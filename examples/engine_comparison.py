@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Reproduce one cell of Table 3: Bingo vs the baselines on a dynamic workload.
+
+This example runs the paper's evaluation workflow (Section 6.1) — rounds of
+batched updates interleaved with biased DeepWalk — on the LiveJournal
+stand-in for all four engines, then prints a Table 3-style summary plus the
+speedup of Bingo over each baseline.  It is the scripted form of::
+
+    bingo-repro compare --dataset LJ --application deepwalk --workload mixed
+
+Run it with::
+
+    python examples/engine_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import EvaluationSettings, compare_engines
+from repro.bench.reporting import format_speedup_table, summarize_results
+
+
+def main() -> None:
+    settings = EvaluationSettings(
+        batch_size=250,     # paper: 100,000
+        num_batches=3,      # paper: 10
+        walk_length=10,     # paper: 80
+        num_walkers=48,     # paper: one walker per vertex
+    )
+    results = compare_engines(
+        ("bingo", "knightking", "gsampler", "flowwalker"),
+        dataset="LJ",
+        application="deepwalk",
+        workload="mixed",
+        settings=settings,
+        seed=2025,
+    )
+
+    print(summarize_results(results))
+    print()
+    print(format_speedup_table(results, reference_engine="bingo"))
+    print()
+
+    bingo = next(r for r in results if r.engine == "bingo")
+    print(
+        f"bingo ingestion rate: {bingo.updates_per_second():,.0f} updates/s "
+        f"(host wall clock, {bingo.total_updates} updates)"
+    )
+    for result in results:
+        phases = {k: round(v, 4) for k, v in result.phase_breakdown.items()}
+        print(f"{result.engine:>11}: phase breakdown (s) {phases}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setuptools shim.
+
+The execution environment ships an older setuptools without the ``wheel``
+package, so PEP 517 editable installs fail with ``invalid command
+'bdist_wheel'``.  This shim lets ``pip install -e . --no-use-pep517`` (and
+plain ``pip install -e .`` on older pips) fall back to the classic
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Benchmark harness: datasets, workloads, experiment runners and reporting.
+
+Every table and figure of the paper's evaluation has a corresponding function
+in :mod:`repro.bench.experiments`; the pytest-benchmark targets under
+``benchmarks/`` and the CLI both call into those functions, so results are
+reproducible from either entry point.
+"""
+
+from repro.bench.datasets import DATASETS, DatasetSpec, build_dataset, dataset_names
+from repro.bench.workloads import (
+    ApplicationSpec,
+    APPLICATIONS,
+    build_update_stream,
+    run_application,
+)
+from repro.bench.harness import (
+    EvaluationResult,
+    EvaluationSettings,
+    run_evaluation,
+    run_update_only,
+)
+from repro.bench.reporting import format_table, format_speedup_table, summarize_results
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "build_dataset",
+    "dataset_names",
+    "ApplicationSpec",
+    "APPLICATIONS",
+    "build_update_stream",
+    "run_application",
+    "EvaluationResult",
+    "EvaluationSettings",
+    "run_evaluation",
+    "run_update_only",
+    "format_table",
+    "format_speedup_table",
+    "summarize_results",
+]

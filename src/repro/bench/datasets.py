@@ -1,0 +1,145 @@
+"""Dataset stand-ins for the paper's five evaluation graphs (Table 2).
+
+The real graphs (Amazon, Google, Citation, LiveJournal, Twitter; up to 1.47 B
+edges) cannot be shipped or processed at full scale in pure Python, so each
+dataset is represented by a synthetic graph whose *shape* matches the
+original: relative size ordering, average degree, and degree skew (the factor
+that drives Bingo's advantage).  The specs also carry the paper's original
+statistics so Table 2 can print both side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import BenchmarkError
+from repro.graph.bias import BiasDistribution
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import power_law_graph, rmat_graph
+from repro.utils.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One evaluation graph: the paper's statistics plus the stand-in recipe."""
+
+    name: str
+    abbreviation: str
+    #: statistics of the original dataset as reported in Table 2
+    paper_vertices: int
+    paper_edges: int
+    paper_avg_degree: float
+    paper_max_degree: int
+    #: stand-in recipe
+    generator: str  # "rmat" | "power-law"
+    scale: int  # log2 vertices for rmat; vertex count for power-law
+    edge_factor: int
+    bias_distribution: BiasDistribution = BiasDistribution.DEGREE
+
+    def describe(self) -> str:
+        """One-line description used by reports."""
+        return (
+            f"{self.name} ({self.abbreviation}): paper {self.paper_vertices:,} vertices / "
+            f"{self.paper_edges:,} edges; stand-in {self.generator} "
+            f"scale={self.scale} edge_factor={self.edge_factor}"
+        )
+
+
+#: The five evaluation datasets, ordered as in Table 2.
+DATASETS: Dict[str, DatasetSpec] = {
+    "AM": DatasetSpec(
+        name="Amazon",
+        abbreviation="AM",
+        paper_vertices=403_400,
+        paper_edges=3_400_000,
+        paper_avg_degree=8.4,
+        paper_max_degree=10,
+        generator="power-law",
+        scale=900,
+        edge_factor=4,
+    ),
+    "GO": DatasetSpec(
+        name="Google",
+        abbreviation="GO",
+        paper_vertices=875_700,
+        paper_edges=5_100_000,
+        paper_avg_degree=5.8,
+        paper_max_degree=456,
+        generator="power-law",
+        scale=1_200,
+        edge_factor=3,
+    ),
+    "CT": DatasetSpec(
+        name="Citation",
+        abbreviation="CT",
+        paper_vertices=3_800_000,
+        paper_edges=16_500_000,
+        paper_avg_degree=4.4,
+        paper_max_degree=770,
+        generator="rmat",
+        scale=11,
+        edge_factor=3,
+    ),
+    "LJ": DatasetSpec(
+        name="LiveJournal",
+        abbreviation="LJ",
+        paper_vertices=4_800_000,
+        paper_edges=68_500_000,
+        paper_avg_degree=14.3,
+        paper_max_degree=20_300,
+        generator="rmat",
+        scale=11,
+        edge_factor=7,
+    ),
+    "TW": DatasetSpec(
+        name="Twitter",
+        abbreviation="TW",
+        paper_vertices=41_700_000,
+        paper_edges=1_468_400_000,
+        paper_avg_degree=35.2,
+        paper_max_degree=770_200,
+        generator="rmat",
+        scale=12,
+        edge_factor=10,
+    ),
+}
+
+
+def dataset_names() -> List[str]:
+    """Dataset abbreviations in Table 2 order."""
+    return list(DATASETS)
+
+
+def build_dataset(abbreviation: str, *, rng: RandomSource = None) -> DynamicGraph:
+    """Materialise the stand-in graph for one dataset abbreviation."""
+    spec = DATASETS.get(abbreviation)
+    if spec is None:
+        raise BenchmarkError(
+            f"unknown dataset {abbreviation!r}; available: {', '.join(DATASETS)}"
+        )
+    if spec.generator == "rmat":
+        return rmat_graph(
+            spec.scale,
+            spec.edge_factor,
+            bias_distribution=spec.bias_distribution,
+            rng=rng,
+        )
+    if spec.generator == "power-law":
+        return power_law_graph(
+            spec.scale,
+            spec.edge_factor,
+            bias_distribution=spec.bias_distribution,
+            rng=rng,
+        )
+    raise BenchmarkError(f"unknown generator {spec.generator!r} for dataset {abbreviation}")
+
+
+def dataset_statistics(graph: DynamicGraph) -> Dict[str, float]:
+    """Vertex/edge counts and degree statistics for a materialised stand-in."""
+    return {
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "avg_degree": round(graph.average_degree(), 2),
+        "max_degree": graph.max_degree(),
+    }

@@ -1,0 +1,231 @@
+"""The evaluation harness: runs the paper's update-then-walk workflow.
+
+:func:`run_evaluation` reproduces the Section 6.1 loop for one
+(engine, dataset, application, workload) cell of Table 3 and returns wall
+clock time, modelled memory and the per-phase breakdown.  The scaled defaults
+keep a full Table 3 sweep tractable in pure Python; the knobs are exposed so
+users with more patience (or the real datasets) can scale back up.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.datasets import build_dataset
+from repro.bench.workloads import run_application, sample_start_vertices
+from repro.engines.registry import create_engine
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.update_stream import UpdateStream, UpdateWorkload, generate_update_stream
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+@dataclass(frozen=True)
+class EvaluationSettings:
+    """Scaling knobs for one evaluation run (paper defaults in comments)."""
+
+    batch_size: int = 200          # paper: 100_000
+    num_batches: int = 4           # paper: 10
+    walk_length: int = 10          # paper: 80
+    num_walkers: int = 64          # paper: one per vertex
+    streaming: bool = False        # paper evaluates both streaming and batched
+    engine_kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of one (engine, dataset, application, workload) evaluation."""
+
+    engine: str
+    dataset: str
+    application: str
+    workload: str
+    runtime_seconds: float
+    update_seconds: float
+    walk_seconds: float
+    memory_gigabytes: float
+    memory_bytes: int
+    phase_breakdown: Dict[str, float]
+    total_updates: int
+    total_walk_steps: int
+
+    def updates_per_second(self) -> float:
+        """Ingestion rate over the update portion of the run."""
+        if self.update_seconds <= 0:
+            return float("inf") if self.total_updates else 0.0
+        return self.total_updates / self.update_seconds
+
+
+def run_evaluation(
+    engine_name: str,
+    dataset: str | DynamicGraph,
+    application: str,
+    *,
+    workload: UpdateWorkload | str = UpdateWorkload.MIXED,
+    settings: EvaluationSettings = EvaluationSettings(),
+    update_stream: Optional[UpdateStream] = None,
+    rng: RandomSource = None,
+) -> EvaluationResult:
+    """Run the paper's update-then-walk loop for one configuration.
+
+    Parameters
+    ----------
+    engine_name:
+        One of ``bingo``, ``knightking``, ``gsampler``, ``flowwalker``.
+    dataset:
+        Dataset abbreviation (see :mod:`repro.bench.datasets`) or a prebuilt
+        graph (useful when several engines must see the identical workload).
+    application:
+        ``deepwalk``, ``node2vec`` or ``ppr``.
+    update_stream:
+        A pre-generated stream; when omitted one is generated from the
+        dataset with the settings' batch size and count.
+    """
+    generator = ensure_rng(rng)
+    workload = UpdateWorkload(workload)
+
+    if update_stream is None:
+        if isinstance(dataset, DynamicGraph):
+            base_graph = dataset
+            dataset_label = "custom"
+        else:
+            base_graph = build_dataset(dataset, rng=generator)
+            dataset_label = dataset
+        update_stream = generate_update_stream(
+            base_graph,
+            batch_size=settings.batch_size,
+            num_batches=settings.num_batches,
+            workload=workload,
+            rng=generator,
+        )
+    else:
+        dataset_label = dataset if isinstance(dataset, str) else "custom"
+
+    engine = create_engine(engine_name, rng=generator, **settings.engine_kwargs)
+    engine.build(update_stream.initial_graph.copy())
+
+    starts = sample_start_vertices(
+        update_stream.initial_graph, settings.num_walkers, rng=generator
+    )
+
+    total_walk_steps = 0
+    update_seconds = 0.0
+    walk_seconds = 0.0
+    run_start = time.perf_counter()
+    for batch in update_stream.batches:
+        update_start = time.perf_counter()
+        if settings.streaming:
+            engine.apply_streaming(batch)
+        else:
+            engine.apply_batch(batch)
+        update_seconds += time.perf_counter() - update_start
+
+        walk_start = time.perf_counter()
+        result = run_application(
+            application,
+            engine,
+            walk_length=settings.walk_length,
+            starts=starts,
+            rng=generator,
+        )
+        walk_seconds += time.perf_counter() - walk_start
+        total_walk_steps += result.total_steps
+    runtime = time.perf_counter() - run_start
+
+    memory = engine.memory_report()
+    return EvaluationResult(
+        engine=engine_name,
+        dataset=dataset_label,
+        application=application,
+        workload=str(workload),
+        runtime_seconds=runtime,
+        update_seconds=update_seconds,
+        walk_seconds=walk_seconds,
+        memory_gigabytes=memory.total_gigabytes(),
+        memory_bytes=memory.total_bytes(),
+        phase_breakdown=engine.breakdown.as_dict(),
+        total_updates=update_stream.num_updates,
+        total_walk_steps=total_walk_steps,
+    )
+
+
+def run_update_only(
+    engine_name: str,
+    update_stream: UpdateStream,
+    *,
+    streaming: bool,
+    engine_kwargs: Optional[Dict[str, object]] = None,
+    rng: RandomSource = None,
+) -> EvaluationResult:
+    """Ingest an update stream without running any application.
+
+    Used by the Figure 12 (streaming vs batched throughput) and Figure 16
+    (piecewise update/sampling breakdown) experiments.
+    """
+    generator = ensure_rng(rng)
+    engine = create_engine(engine_name, rng=generator, **(engine_kwargs or {}))
+    engine.build(update_stream.initial_graph.copy())
+
+    start = time.perf_counter()
+    for batch in update_stream.batches:
+        if streaming:
+            engine.apply_streaming(batch)
+        else:
+            engine.apply_batch(batch)
+    elapsed = time.perf_counter() - start
+
+    memory = engine.memory_report()
+    return EvaluationResult(
+        engine=engine_name,
+        dataset="custom",
+        application="updates-only",
+        workload=str(update_stream.workload),
+        runtime_seconds=elapsed,
+        update_seconds=elapsed,
+        walk_seconds=0.0,
+        memory_gigabytes=memory.total_gigabytes(),
+        memory_bytes=memory.total_bytes(),
+        phase_breakdown=engine.breakdown.as_dict(),
+        total_updates=update_stream.num_updates,
+        total_walk_steps=0,
+    )
+
+
+def compare_engines(
+    engine_names: Sequence[str],
+    dataset: str,
+    application: str,
+    *,
+    workload: UpdateWorkload | str = UpdateWorkload.MIXED,
+    settings: EvaluationSettings = EvaluationSettings(),
+    seed: int = 2025,
+) -> List[EvaluationResult]:
+    """Run several engines on the identical dataset + update stream.
+
+    The dataset and stream are generated once with a fixed seed so every
+    engine ingests the same edits and walks from the same start vertices.
+    """
+    stream_rng = ensure_rng(seed)
+    base_graph = build_dataset(dataset, rng=stream_rng)
+    stream = generate_update_stream(
+        base_graph,
+        batch_size=settings.batch_size,
+        num_batches=settings.num_batches,
+        workload=UpdateWorkload(workload),
+        rng=stream_rng,
+    )
+    results = []
+    for engine_name in engine_names:
+        results.append(
+            run_evaluation(
+                engine_name,
+                dataset,
+                application,
+                workload=workload,
+                settings=settings,
+                update_stream=stream,
+                rng=seed + 1,
+            )
+        )
+    return results

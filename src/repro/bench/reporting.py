@@ -1,0 +1,119 @@
+"""Plain-text table formatting for experiment results.
+
+The paper reports results as tables (runtime, memory) and figures (ratios,
+breakdowns).  The reproduction prints aligned text tables so the same rows
+and series can be eyeballed against the paper; EXPERIMENTS.md records the
+comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.bench.harness import EvaluationResult
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    columns = len(headers)
+    normalized_rows = []
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} does not match header width {columns}")
+        normalized_rows.append([_format_cell(cell) for cell in row])
+    widths = [len(str(header)) for header in headers]
+    for row in normalized_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in normalized_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def summarize_results(results: Iterable[EvaluationResult]) -> str:
+    """A Table 3-style summary: runtime and memory per engine."""
+    headers = [
+        "engine",
+        "dataset",
+        "application",
+        "workload",
+        "runtime (s)",
+        "update (s)",
+        "walk (s)",
+        "memory (MB)",
+    ]
+    rows = []
+    for result in results:
+        rows.append(
+            [
+                result.engine,
+                result.dataset,
+                result.application,
+                result.workload,
+                result.runtime_seconds,
+                result.update_seconds,
+                result.walk_seconds,
+                result.memory_bytes / (1024.0 ** 2),
+            ]
+        )
+    return format_table(headers, rows, title="Engine comparison")
+
+
+def format_speedup_table(
+    results: Sequence[EvaluationResult],
+    *,
+    reference_engine: str = "bingo",
+) -> str:
+    """Speedups of the reference engine over every other engine."""
+    reference = [r for r in results if r.engine == reference_engine]
+    if not reference:
+        raise ValueError(f"no results for reference engine {reference_engine!r}")
+    reference_time = reference[0].runtime_seconds
+    headers = ["engine", "runtime (s)", f"speedup of {reference_engine}"]
+    rows = []
+    for result in results:
+        if result.runtime_seconds > 0 and reference_time > 0:
+            speedup = result.runtime_seconds / reference_time
+        else:
+            speedup = float("nan")
+        rows.append([result.engine, result.runtime_seconds, speedup])
+    return format_table(headers, rows, title="Speedup summary")
+
+
+def format_ratio_series(
+    label: str,
+    series: Mapping[object, float],
+) -> str:
+    """Render a one-dimensional series (e.g. a figure's line) as a table."""
+    headers = [label, "value"]
+    rows = [[key, value] for key, value in series.items()]
+    return format_table(headers, rows)
+
+
+def speedup(baseline_seconds: float, target_seconds: float) -> float:
+    """``baseline / target``; inf when the target took no measurable time."""
+    if target_seconds <= 0:
+        return float("inf") if baseline_seconds > 0 else 1.0
+    return baseline_seconds / target_seconds

@@ -1,0 +1,158 @@
+"""Command-line interface for the Bingo reproduction.
+
+Examples
+--------
+List the available experiments::
+
+    bingo-repro list
+
+Run one experiment and print its table::
+
+    bingo-repro run table3 --datasets AM GO --applications deepwalk
+
+Run a quick engine comparison on one dataset::
+
+    bingo-repro compare --dataset LJ --application deepwalk --workload mixed
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict, is_dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.bench import experiments
+from repro.bench.harness import EvaluationSettings, compare_engines
+from repro.bench.reporting import format_table, summarize_results
+
+#: Experiment name -> callable returning a JSON-serialisable structure.
+EXPERIMENT_RUNNERS: Dict[str, Callable[..., Any]] = {
+    "table1": experiments.table1_complexity,
+    "table2": experiments.table2_datasets,
+    "table3": experiments.table3_sota,
+    "table4": experiments.table4_conversion,
+    "fig9": experiments.fig9_group_ratio,
+    "fig11": experiments.fig11_memory,
+    "fig12": experiments.fig12_batched_updates,
+    "fig13": experiments.fig13_breakdown,
+    "fig14": experiments.fig14_float_bias,
+    "fig15a": experiments.fig15_batch_size_sweep,
+    "fig15b": experiments.fig15_walk_length_sweep,
+    "fig15c": experiments.fig15_bias_distribution,
+    "fig16": experiments.fig16_piecewise,
+}
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Recursively convert experiment outputs to JSON-compatible structures."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return _to_jsonable(asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    if isinstance(value, float) and value in (float("inf"), float("-inf")):
+        return str(value)
+    return value
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bingo-repro",
+        description="Reproduce the Bingo (EuroSys'25) evaluation on synthetic stand-ins.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENT_RUNNERS))
+    run_parser.add_argument("--json", action="store_true", help="print raw JSON")
+    run_parser.add_argument(
+        "--datasets", nargs="+", default=None, help="dataset abbreviations (where applicable)"
+    )
+    run_parser.add_argument(
+        "--applications", nargs="+", default=None, help="applications (table3 only)"
+    )
+    run_parser.add_argument(
+        "--workloads", nargs="+", default=None, help="update workloads (table3/fig12)"
+    )
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare every engine on one dataset + application"
+    )
+    compare_parser.add_argument("--dataset", default="AM")
+    compare_parser.add_argument("--application", default="deepwalk")
+    compare_parser.add_argument("--workload", default="mixed")
+    compare_parser.add_argument("--batch-size", type=int, default=150)
+    compare_parser.add_argument("--num-batches", type=int, default=2)
+    compare_parser.add_argument("--walk-length", type=int, default=10)
+    compare_parser.add_argument("--num-walkers", type=int, default=32)
+    compare_parser.add_argument("--seed", type=int, default=2025)
+
+    return parser
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    runner = EXPERIMENT_RUNNERS[args.experiment]
+    kwargs: Dict[str, Any] = {}
+    if args.datasets is not None and args.experiment in {
+        "table3", "fig11", "fig12", "fig13", "fig14", "fig16",
+    }:
+        kwargs["datasets"] = args.datasets
+    if args.applications is not None and args.experiment == "table3":
+        kwargs["applications"] = args.applications
+    if args.workloads is not None and args.experiment in {"table3", "fig12"}:
+        kwargs["workloads"] = args.workloads
+    result = runner(**kwargs)
+    payload = _to_jsonable(result)
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        sys.stdout.write(json.dumps(payload, indent=2, default=str))
+        sys.stdout.write("\n")
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    settings = EvaluationSettings(
+        batch_size=args.batch_size,
+        num_batches=args.num_batches,
+        walk_length=args.walk_length,
+        num_walkers=args.num_walkers,
+    )
+    results = compare_engines(
+        ("bingo", "knightking", "gsampler", "flowwalker"),
+        args.dataset,
+        args.application,
+        workload=args.workload,
+        settings=settings,
+        seed=args.seed,
+    )
+    sys.stdout.write(summarize_results(results))
+    sys.stdout.write("\n")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (also exposed as the ``bingo-repro`` console script)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        rows = [[name] for name in sorted(EXPERIMENT_RUNNERS)]
+        sys.stdout.write(format_table(["experiment"], rows))
+        sys.stdout.write("\n")
+        return 0
+    if args.command == "run":
+        return _run_experiment(args)
+    if args.command == "compare":
+        return _run_compare(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

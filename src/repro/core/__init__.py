@@ -1,0 +1,54 @@
+"""Bingo core: radix-based bias factorization (the paper's primary contribution).
+
+Public surface:
+
+* :func:`~repro.core.radix.decompose_bias` /
+  :func:`~repro.core.radix.group_weights` — Equations (3) and (4).
+* :class:`~repro.core.vertex_sampler.BingoVertexSampler` — the per-vertex
+  hierarchical sampler (inter-group alias table + intra-group uniform
+  sampling) with O(1) sampling and O(K) insertion/deletion, including the
+  floating-point bias path (Section 4.3) and the adaptive group
+  representation (Section 5.1).
+* :class:`~repro.core.adaptive.GroupClassifier` — Equation (9) and the
+  group-type conversion statistics of Table 4.
+* :class:`~repro.core.arbitrary_radix.ArbitraryRadixSampler` — radix bases
+  larger than 2 with inter-subgroup alias tables (Section 9.2).
+* :mod:`~repro.core.memory_model` — the byte-level accounting behind the
+  Figure 11 memory comparison (baseline vs. group adaption).
+"""
+
+from repro.core.radix import (
+    decompose_bias,
+    group_weights,
+    num_groups_for_bias,
+    popcount,
+    choose_amortization_factor,
+    split_scaled_bias,
+)
+from repro.core.adaptive import GroupKind, GroupClassifier, ConversionTracker
+from repro.core.groups import RadixGroup
+from repro.core.vertex_sampler import BingoVertexSampler
+from repro.core.arbitrary_radix import ArbitraryRadixSampler
+from repro.core.memory_model import (
+    MemoryReport,
+    group_memory_bytes,
+    vertex_memory_bytes,
+)
+
+__all__ = [
+    "decompose_bias",
+    "group_weights",
+    "num_groups_for_bias",
+    "popcount",
+    "choose_amortization_factor",
+    "split_scaled_bias",
+    "GroupKind",
+    "GroupClassifier",
+    "ConversionTracker",
+    "RadixGroup",
+    "BingoVertexSampler",
+    "ArbitraryRadixSampler",
+    "MemoryReport",
+    "group_memory_bytes",
+    "vertex_memory_bytes",
+]

@@ -1,0 +1,139 @@
+"""Adaptive group representation: classification and conversion tracking (Section 5.1).
+
+Equation (9) assigns every radix group one of four representations based on
+its cardinality relative to the vertex degree:
+
+* **dense** — |G| / d > α% (default α = 40): keep only a member *count*; no
+  intra-group neighbour list, no inverted index.  Intra-group sampling falls
+  back to rejection over the original neighbour list with the group radix as
+  the acceptance mask (rejection rate below 1 − α%).
+* **one-element** — |G| = 1: store the single member inline.
+* **sparse** — |G| / d < β% (default β = 10) and |G| ≠ 1: compact member list
+  plus a small inverted map (instead of a full d-sized inverted index).
+* **regular** — everything else: full member list and a d-sized inverted
+  index, as in the baseline design.
+
+The classifier is pure; the group structures in :mod:`repro.core.groups`
+carry their current :class:`GroupKind` and the vertex sampler asks the
+classifier when (re)building.  :class:`ConversionTracker` records group-type
+transitions for the Table 4 experiment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Paper defaults ("Based on our heuristic study, we set α = 40 and β = 10").
+DEFAULT_ALPHA_PERCENT = 40.0
+DEFAULT_BETA_PERCENT = 10.0
+
+
+class GroupKind(str, enum.Enum):
+    """The four group representations of Equation (9)."""
+
+    DENSE = "dense"
+    ONE_ELEMENT = "one-element"
+    SPARSE = "sparse"
+    REGULAR = "regular"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class GroupClassifier:
+    """Pure classifier implementing Equation (9).
+
+    Parameters
+    ----------
+    alpha_percent:
+        Density threshold α (percent of the vertex degree above which a group
+        is *dense*).
+    beta_percent:
+        Sparsity threshold β (percent of the vertex degree below which a
+        group is *sparse*).
+    adaptive:
+        When ``False`` every non-empty group is classified as *regular* — the
+        "BS" (baseline) configuration of Figures 11 and 13.
+    """
+
+    alpha_percent: float = DEFAULT_ALPHA_PERCENT
+    beta_percent: float = DEFAULT_BETA_PERCENT
+    adaptive: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 < self.beta_percent <= self.alpha_percent <= 100:
+            raise ValueError(
+                "thresholds must satisfy 0 < beta <= alpha <= 100, got "
+                f"alpha={self.alpha_percent}, beta={self.beta_percent}"
+            )
+
+    def classify(self, group_size: int, degree: int) -> GroupKind:
+        """Classify a group of ``group_size`` members at a vertex of ``degree``."""
+        if group_size < 0:
+            raise ValueError("group_size must be non-negative")
+        if degree <= 0 or group_size == 0:
+            # An empty group has no representation cost; call it regular so
+            # callers do not need a fifth category.
+            return GroupKind.REGULAR
+        if not self.adaptive:
+            return GroupKind.REGULAR
+        ratio = 100.0 * group_size / degree
+        if group_size == 1:
+            return GroupKind.ONE_ELEMENT
+        if ratio > self.alpha_percent:
+            return GroupKind.DENSE
+        if ratio < self.beta_percent:
+            return GroupKind.SPARSE
+        return GroupKind.REGULAR
+
+
+@dataclass
+class ConversionTracker:
+    """Counts group-type transitions (Table 4: "Group conversion ratio").
+
+    ``transitions[(old, new)]`` counts the number of times a group changed
+    representation from ``old`` to ``new`` during update processing;
+    ``observations`` counts every classification check, so ratios can be
+    reported the way the paper does (e.g. "the highest conversion rate is
+    less than 0.47%").
+    """
+
+    transitions: Dict[Tuple[GroupKind, GroupKind], int] = field(default_factory=dict)
+    observations: int = 0
+
+    def observe(self, old: GroupKind, new: GroupKind) -> None:
+        """Record one reclassification of a group (old may equal new)."""
+        self.observations += 1
+        if old is not new:
+            key = (old, new)
+            self.transitions[key] = self.transitions.get(key, 0) + 1
+
+    def conversion_count(self) -> int:
+        """Total number of actual representation changes."""
+        return sum(self.transitions.values())
+
+    def conversion_ratio(self, old: GroupKind, new: GroupKind) -> float:
+        """Fraction of observations that converted ``old`` -> ``new``."""
+        if self.observations == 0:
+            return 0.0
+        return self.transitions.get((old, new), 0) / self.observations
+
+    def ratio_matrix(self) -> Dict[GroupKind, Dict[GroupKind, float]]:
+        """Full old -> new conversion-ratio matrix (Table 4 layout)."""
+        matrix: Dict[GroupKind, Dict[GroupKind, float]] = {}
+        for old in GroupKind:
+            matrix[old] = {}
+            for new in GroupKind:
+                if old is new:
+                    continue
+                matrix[old][new] = self.conversion_ratio(old, new)
+        return matrix
+
+    def merge(self, other: "ConversionTracker") -> None:
+        """Fold another tracker's counts into this one."""
+        self.observations += other.observations
+        for key, count in other.transitions.items():
+            self.transitions[key] = self.transitions.get(key, 0) + count

@@ -1,0 +1,260 @@
+"""Bingo with arbitrary radix bases (supplement Section 9.2).
+
+With a radix base ``B = 2^r`` larger than 2, a bias decomposes into base-B
+digits; digit position ``i`` forms group ``B^i`` but — unlike the binary case
+— members of one group can carry *different* digit values (1 .. B-1), so the
+group is no longer uniform.  The supplement's fix is one extra hierarchy
+level: inside each group, members are bucketed into *subgroups* by digit
+value, an inter-subgroup alias table picks the subgroup, and the final pick
+inside a subgroup is uniform.
+
+Sampling therefore costs three O(1) stages; updates touch at most
+``ceil(log_B(max_bias))`` groups, which shrinks K at the price of the nested
+structure (the reason the paper leaves it to CPU implementations).  This
+module provides that design as a stand-alone sampler so the ablation
+benchmark can compare K and update cost across bases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import EmptySamplerError, SamplerStateError
+from repro.sampling.alias import AliasTable
+from repro.sampling.base import DynamicSampler, SamplerKind
+from repro.sampling.cost_model import OperationCounter
+from repro.utils.rng import RandomSource
+from repro.utils.validation import check_bias
+
+
+def digits_in_base(value: int, base: int) -> List[Tuple[int, int]]:
+    """Non-zero base-``base`` digits of ``value`` as ``(position, digit)`` pairs."""
+    if value <= 0:
+        raise ValueError("value must be positive")
+    if base < 2:
+        raise ValueError("base must be at least 2")
+    digits = []
+    position = 0
+    while value:
+        digit = value % base
+        if digit:
+            digits.append((position, digit))
+        value //= base
+        position += 1
+    return digits
+
+
+class _Subgroup:
+    """Members of one (group position, digit value) bucket."""
+
+    __slots__ = ("digit", "members", "slots")
+
+    def __init__(self, digit: int) -> None:
+        self.digit = digit
+        self.members: List[int] = []
+        self.slots: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def add(self, neighbor_index: int) -> None:
+        if neighbor_index in self.slots:
+            raise SamplerStateError(f"index {neighbor_index} already in subgroup {self.digit}")
+        self.slots[neighbor_index] = len(self.members)
+        self.members.append(neighbor_index)
+
+    def remove(self, neighbor_index: int) -> None:
+        slot = self.slots.pop(neighbor_index, None)
+        if slot is None:
+            raise SamplerStateError(f"index {neighbor_index} not in subgroup {self.digit}")
+        last = len(self.members) - 1
+        if slot != last:
+            moved = self.members[last]
+            self.members[slot] = moved
+            self.slots[moved] = slot
+        self.members.pop()
+
+    def rename(self, old_index: int, new_index: int) -> None:
+        if old_index == new_index:
+            return
+        slot = self.slots.pop(old_index, None)
+        if slot is None:
+            raise SamplerStateError(f"index {old_index} not in subgroup {self.digit}")
+        self.members[slot] = new_index
+        self.slots[new_index] = slot
+
+
+class _DigitGroup:
+    """All members whose bias has a non-zero digit at one base-B position."""
+
+    __slots__ = ("position", "base", "subgroups")
+
+    def __init__(self, position: int, base: int) -> None:
+        self.position = position
+        self.base = base
+        self.subgroups: Dict[int, _Subgroup] = {}
+
+    def __len__(self) -> int:
+        return sum(len(sub) for sub in self.subgroups.values())
+
+    def weight(self) -> int:
+        """Σ digit * B^position over members."""
+        unit = self.base ** self.position
+        return sum(sub.digit * len(sub) * unit for sub in self.subgroups.values())
+
+    def add(self, neighbor_index: int, digit: int) -> None:
+        subgroup = self.subgroups.get(digit)
+        if subgroup is None:
+            subgroup = _Subgroup(digit)
+            self.subgroups[digit] = subgroup
+        subgroup.add(neighbor_index)
+
+    def remove(self, neighbor_index: int, digit: int) -> None:
+        subgroup = self.subgroups.get(digit)
+        if subgroup is None:
+            raise SamplerStateError(f"no subgroup for digit {digit}")
+        subgroup.remove(neighbor_index)
+        if not len(subgroup):
+            del self.subgroups[digit]
+
+    def rename(self, old_index: int, new_index: int, digit: int) -> None:
+        subgroup = self.subgroups.get(digit)
+        if subgroup is None:
+            raise SamplerStateError(f"no subgroup for digit {digit}")
+        subgroup.rename(old_index, new_index)
+
+
+class ArbitraryRadixSampler(DynamicSampler):
+    """Three-level hierarchical sampler with radix base ``2^radix_bits``.
+
+    ``radix_bits = 1`` reduces to the binary Bingo scheme (every subgroup has
+    digit 1); larger bases reduce the number of digit groups K at the cost of
+    nested alias tables.
+    """
+
+    kind = SamplerKind.BINGO
+
+    def __init__(
+        self,
+        *,
+        radix_bits: int = 2,
+        rng: RandomSource = None,
+        counter: Optional[OperationCounter] = None,
+    ) -> None:
+        super().__init__(rng=rng, counter=counter)
+        if radix_bits < 1:
+            raise ValueError("radix_bits must be at least 1")
+        self.radix_bits = int(radix_bits)
+        self.base = 1 << self.radix_bits
+        self._ids: List[int] = []
+        self._biases: List[int] = []
+        self._index_of: Dict[int, int] = {}
+        self._groups: Dict[int, _DigitGroup] = {}
+        self._dirty = True
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, candidate: int, bias: float) -> None:
+        check_bias(bias)
+        bias_int = int(bias)
+        if bias_int != bias:
+            raise SamplerStateError(
+                "ArbitraryRadixSampler accepts integer biases only; scale floats "
+                "with an amortization factor first"
+            )
+        if candidate in self._index_of:
+            raise SamplerStateError(f"candidate {candidate} already present")
+        index = len(self._ids)
+        self._index_of[candidate] = index
+        self._ids.append(candidate)
+        self._biases.append(bias_int)
+        for position, digit in digits_in_base(bias_int, self.base):
+            group = self._groups.get(position)
+            if group is None:
+                group = _DigitGroup(position, self.base)
+                self._groups[position] = group
+            group.add(index, digit)
+        self.counter.touch(2 + len(digits_in_base(bias_int, self.base)))
+        self._dirty = True
+
+    def delete(self, candidate: int) -> None:
+        if candidate not in self._index_of:
+            raise SamplerStateError(f"candidate {candidate} not present")
+        index = self._index_of.pop(candidate)
+        bias_int = self._biases[index]
+        for position, digit in digits_in_base(bias_int, self.base):
+            self._groups[position].remove(index, digit)
+        last = len(self._ids) - 1
+        if index != last:
+            moved_id = self._ids[last]
+            moved_bias = self._biases[last]
+            self._ids[index] = moved_id
+            self._biases[index] = moved_bias
+            self._index_of[moved_id] = index
+            for position, digit in digits_in_base(moved_bias, self.base):
+                self._groups[position].rename(last, index, digit)
+        self._ids.pop()
+        self._biases.pop()
+        self.counter.touch(4)
+        self._dirty = True
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def _rebuild(self) -> None:
+        self._group_alias = AliasTable(rng=self._rng, counter=self.counter)
+        self._subgroup_alias: Dict[int, AliasTable] = {}
+        for position, group in self._groups.items():
+            weight = group.weight()
+            if weight <= 0:
+                continue
+            self._group_alias.insert(position, float(weight))
+            sub_alias = AliasTable(rng=self._rng, counter=self.counter)
+            unit = self.base ** position
+            for digit, subgroup in group.subgroups.items():
+                sub_alias.insert(digit, float(digit * len(subgroup) * unit))
+            sub_alias.rebuild()
+            self._subgroup_alias[position] = sub_alias
+        if len(self._group_alias) > 0:
+            self._group_alias.rebuild()
+        self._dirty = False
+
+    def sample(self) -> int:
+        if not self._ids:
+            raise EmptySamplerError("arbitrary-radix sampler holds no candidates")
+        if self._dirty:
+            self._rebuild()
+        position = self._group_alias.sample()
+        digit = self._subgroup_alias[position].sample()
+        subgroup = self._groups[position].subgroups[digit]
+        slot = self._rng.randrange(len(subgroup))
+        self.counter.draw(1)
+        self.counter.touch(2)
+        return self._ids[subgroup.members[slot]]
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def candidates(self) -> List[Tuple[int, float]]:
+        return [(cid, float(bias)) for cid, bias in zip(self._ids, self._biases)]
+
+    def total_bias(self) -> float:
+        return float(sum(self._biases))
+
+    def num_groups(self) -> int:
+        """Number of non-empty digit groups (the K reduced by larger bases)."""
+        return sum(1 for group in self._groups.values() if len(group) > 0)
+
+    def memory_bytes(self) -> int:
+        index_bytes = 4
+        total = len(self._ids) * (index_bytes + 8)
+        for group in self._groups.values():
+            for subgroup in group.subgroups.values():
+                total += len(subgroup) * index_bytes * 2
+            total += len(group.subgroups) * (8 + index_bytes)
+        total += len(self._groups) * (8 + index_bytes)
+        return total

@@ -1,0 +1,401 @@
+"""The per-vertex Bingo sampler: hierarchical sampling over radix groups.
+
+This class is the reproduction of Sections 4 and 5.1 for a single vertex:
+
+* the neighbour list (candidate IDs + biases) kept compact with
+  swap-with-last deletion, exactly like the graph substrate;
+* one :class:`~repro.core.groups.RadixGroup` per set bit position, holding
+  neighbour *indices* plus an inverted index for O(1) delete-and-swap
+  (Figure 6);
+* a :class:`~repro.core.groups.DecimalGroup` absorbing fractional residues of
+  λ-scaled floating-point biases (Section 4.3);
+* an inter-group alias table over the group weights (Equation 5), rebuilt in
+  O(K) after every structural change (or deferred in batched mode);
+* the adaptive group representation of Section 5.1, with group-type
+  conversions recorded in an optional
+  :class:`~repro.core.adaptive.ConversionTracker`.
+
+Sampling follows the two-stage process of Section 4.1: alias-sample a group,
+then uniformly sample a member inside it (rejection against the neighbour
+bias array for dense groups), giving O(1) expected time.  Insertion and
+deletion touch at most ``popcount(w) + 1 <= K + 1`` groups plus one O(K)
+alias rebuild, giving the O(K) update cost of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.adaptive import ConversionTracker, GroupClassifier, GroupKind
+from repro.core.groups import DecimalGroup, RadixGroup
+from repro.core.memory_model import MemoryReport, vertex_memory_bytes
+from repro.core.radix import decompose_bias, split_scaled_bias
+from repro.errors import EmptySamplerError, SamplerStateError
+from repro.sampling.alias import AliasTable
+from repro.sampling.base import DynamicSampler, SamplerKind
+from repro.sampling.cost_model import OperationCounter
+from repro.utils.rng import RandomSource
+from repro.utils.validation import check_bias
+
+#: Sentinel group key used for the decimal group in the inter-group table.
+DECIMAL_GROUP_KEY = -1
+
+
+class BingoVertexSampler(DynamicSampler):
+    """Radix-factorized biased sampler for one vertex's neighbourhood.
+
+    Parameters
+    ----------
+    lam:
+        Amortization factor λ applied to every bias before radix
+        decomposition.  Use 1.0 (default) for integer biases; floating-point
+        workloads typically pass 10.0 or use
+        :func:`repro.core.radix.choose_amortization_factor`.
+    classifier:
+        Group-representation policy (Equation 9).  Pass
+        ``GroupClassifier(adaptive=False)`` to reproduce the BS baseline.
+    conversion_tracker:
+        Optional tracker receiving group-type transitions (Table 4).
+    auto_rebuild:
+        When ``True`` (streaming mode) the inter-group alias table and group
+        classification are refreshed after every insert/delete.  Batched
+        updates set this to ``False``, apply a whole batch, then call
+        :meth:`rebuild` once — the single-rebuild optimisation of Section 5.2.
+    """
+
+    kind = SamplerKind.BINGO
+
+    def __init__(
+        self,
+        *,
+        rng: RandomSource = None,
+        counter: Optional[OperationCounter] = None,
+        lam: float = 1.0,
+        classifier: Optional[GroupClassifier] = None,
+        conversion_tracker: Optional[ConversionTracker] = None,
+        auto_rebuild: bool = True,
+    ) -> None:
+        super().__init__(rng=rng, counter=counter)
+        if lam <= 0:
+            raise ValueError("amortization factor lam must be positive")
+        self.lam = float(lam)
+        self.classifier = classifier if classifier is not None else GroupClassifier()
+        self.conversion_tracker = conversion_tracker
+        self.auto_rebuild = bool(auto_rebuild)
+
+        # Neighbour list (candidate IDs aligned with biases and scaled parts).
+        self._ids: List[int] = []
+        self._biases: List[float] = []
+        self._integer_parts: List[int] = []
+        self._fractions: List[float] = []
+        self._index_of: Dict[int, int] = {}
+
+        # Radix groups keyed by bit position, plus the decimal group.
+        self._groups: Dict[int, RadixGroup] = {}
+        self._decimal = DecimalGroup()
+
+        # Inter-group alias table over group keys (bit positions; -1 = decimal).
+        self._inter_group = AliasTable(rng=self._rng, counter=self.counter)
+        self._inter_dirty = True
+        self.rebuild_count = 0
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_neighbors(
+        cls,
+        pairs: Iterable[Tuple[int, float]],
+        **kwargs,
+    ) -> "BingoVertexSampler":
+        """Build a sampler from ``(neighbour id, bias)`` pairs."""
+        sampler = cls(**kwargs)
+        previous_mode = sampler.auto_rebuild
+        sampler.auto_rebuild = False
+        for candidate, bias in pairs:
+            sampler.insert(candidate, bias)
+        sampler.auto_rebuild = previous_mode
+        sampler.rebuild()
+        return sampler
+
+    # ------------------------------------------------------------------ #
+    # mutation (Table 1: O(K))
+    # ------------------------------------------------------------------ #
+    def insert(self, candidate: int, bias: float) -> None:
+        """Insert a neighbour: append, register sub-biases, refresh inter-group table."""
+        check_bias(bias)
+        if candidate in self._index_of:
+            raise SamplerStateError(f"candidate {candidate} already present")
+
+        integer_part, fraction = split_scaled_bias(bias, self.lam)
+        if integer_part == 0 and fraction == 0.0:
+            raise SamplerStateError(
+                f"bias {bias} scaled by lam={self.lam} vanishes; increase lam"
+            )
+
+        index = len(self._ids)
+        self._index_of[candidate] = index
+        self._ids.append(candidate)
+        self._biases.append(float(bias))
+        self._integer_parts.append(integer_part)
+        self._fractions.append(fraction)
+        self.counter.touch(4)
+
+        if integer_part:
+            for position in decompose_bias(integer_part):
+                self._group_for(position).add(index, self.counter)
+        if fraction:
+            self._decimal.add(index, fraction)
+            self.counter.touch(1)
+
+        self._inter_dirty = True
+        if self.auto_rebuild:
+            self.rebuild()
+
+    def delete(self, candidate: int) -> None:
+        """Delete a neighbour with the Figure 6 delete-and-swap workflow."""
+        if candidate not in self._index_of:
+            raise SamplerStateError(f"candidate {candidate} not present")
+        index = self._index_of.pop(candidate)
+        integer_part = self._integer_parts[index]
+        fraction = self._fractions[index]
+
+        # Step (i)/(ii)/(iii): locate and swap-remove from every contributing group.
+        if integer_part:
+            for position in decompose_bias(integer_part):
+                self._groups[position].remove(index, self.counter)
+        if fraction:
+            self._decimal.remove(index)
+            self.counter.touch(1)
+
+        # Keep the neighbour list compact: relocate the tail into the hole and
+        # re-point every group referencing the relocated neighbour (O(K)).
+        last = len(self._ids) - 1
+        if index != last:
+            moved_id = self._ids[last]
+            moved_integer = self._integer_parts[last]
+            moved_fraction = self._fractions[last]
+            self._ids[index] = moved_id
+            self._biases[index] = self._biases[last]
+            self._integer_parts[index] = moved_integer
+            self._fractions[index] = moved_fraction
+            self._index_of[moved_id] = index
+            if moved_integer:
+                for position in decompose_bias(moved_integer):
+                    self._groups[position].rename(last, index, self.counter)
+            if moved_fraction:
+                self._decimal.rename(last, index)
+            self.counter.touch(4)
+        self._ids.pop()
+        self._biases.pop()
+        self._integer_parts.pop()
+        self._fractions.pop()
+        self.counter.touch(2)
+
+        self._inter_dirty = True
+        if self.auto_rebuild:
+            self.rebuild()
+
+    def update_bias(self, candidate: int, bias: float) -> None:
+        """Change a neighbour's bias (delete + insert, both O(K))."""
+        previous_mode = self.auto_rebuild
+        self.auto_rebuild = False
+        try:
+            self.delete(candidate)
+            self.insert(candidate, bias)
+        finally:
+            self.auto_rebuild = previous_mode
+        if self.auto_rebuild:
+            self.rebuild()
+
+    # ------------------------------------------------------------------ #
+    # rebuild: reclassify groups + refresh the inter-group alias table
+    # ------------------------------------------------------------------ #
+    def rebuild(self) -> None:
+        """Reclassify group representations and rebuild the inter-group table.
+
+        Both steps are O(K) except for group-type conversions out of the
+        dense representation, which require an O(d) scan of the neighbour
+        bias array (the paper performs those in the dedicated rebuild phase
+        of the batched workflow; streaming updates rarely trigger them).
+        """
+        self.rebuild_count += 1
+        degree = len(self._ids)
+        for group in self._groups.values():
+            new_kind = self.classifier.classify(len(group), degree)
+            if self.conversion_tracker is not None and len(group) > 0:
+                self.conversion_tracker.observe(group.kind, new_kind)
+            if new_kind is not group.kind:
+                group.convert(
+                    new_kind,
+                    integer_parts=self._integer_parts,
+                    counter=self.counter,
+                )
+
+        inter = AliasTable(rng=self._rng, counter=self.counter)
+        for position, group in self._groups.items():
+            weight = group.weight()
+            if weight > 0:
+                inter.insert(position, float(weight))
+        decimal_weight = self._decimal.weight()
+        if decimal_weight > 0 and len(self._decimal) > 0:
+            inter.insert(DECIMAL_GROUP_KEY, decimal_weight)
+        if len(inter) > 0:
+            inter.rebuild()
+        self._inter_group = inter
+        self._inter_dirty = False
+
+    def _group_for(self, position: int) -> RadixGroup:
+        group = self._groups.get(position)
+        if group is None:
+            group = RadixGroup(position, GroupKind.REGULAR)
+            self._groups[position] = group
+        return group
+
+    # ------------------------------------------------------------------ #
+    # sampling (Table 1: O(1))
+    # ------------------------------------------------------------------ #
+    def sample(self) -> int:
+        """Hierarchical sampling: inter-group alias draw, then intra-group uniform draw."""
+        if not self._ids:
+            raise EmptySamplerError("Bingo vertex sampler holds no candidates")
+        if self._inter_dirty:
+            self.rebuild()
+        key = self._inter_group.sample()
+        if key == DECIMAL_GROUP_KEY:
+            index = self._decimal.sample(self._rng, counter=self.counter)
+        else:
+            index = self._groups[key].sample(
+                self._rng,
+                integer_parts=self._integer_parts,
+                counter=self.counter,
+            )
+        self.counter.touch(1)
+        return self._ids[index]
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def candidates(self) -> List[Tuple[int, float]]:
+        return list(zip(self._ids, self._biases))
+
+    def total_bias(self) -> float:
+        return float(sum(self._biases))
+
+    def contains(self, candidate: int) -> bool:
+        return candidate in self._index_of
+
+    def bias_of(self, candidate: int) -> float:
+        """The stored (original, unscaled) bias of a neighbour."""
+        if candidate not in self._index_of:
+            raise SamplerStateError(f"candidate {candidate} not present")
+        return self._biases[self._index_of[candidate]]
+
+    def num_groups(self) -> int:
+        """Number of non-empty radix groups (excluding the decimal group)."""
+        return sum(1 for group in self._groups.values() if len(group) > 0)
+
+    def group_sizes(self) -> Dict[int, int]:
+        """Bit position -> member count for every non-empty group."""
+        return {pos: len(group) for pos, group in self._groups.items() if len(group) > 0}
+
+    def group_kinds(self) -> Dict[int, GroupKind]:
+        """Bit position -> current representation for every non-empty group."""
+        return {pos: group.kind for pos, group in self._groups.items() if len(group) > 0}
+
+    def decimal_group_size(self) -> int:
+        """Number of neighbours with a fractional sub-bias."""
+        return len(self._decimal)
+
+    def decimal_share(self) -> float:
+        """W_D / (W_I + W_D) — the quantity λ is chosen to keep below 1/d."""
+        integer_weight = float(sum(group.weight() for group in self._groups.values()))
+        decimal_weight = self._decimal.weight()
+        total = integer_weight + decimal_weight
+        return decimal_weight / total if total > 0 else 0.0
+
+    def structure_probability(self, candidate: int) -> float:
+        """Selection probability implied by the group structure (Equation 7).
+
+        Tests compare this against ``bias / total_bias`` to verify
+        Theorem 4.1 without Monte Carlo noise.
+        """
+        if candidate not in self._index_of:
+            return 0.0
+        index = self._index_of[candidate]
+        integer_weight = float(sum(group.weight() for group in self._groups.values()))
+        decimal_weight = self._decimal.weight()
+        total = integer_weight + decimal_weight
+        if total <= 0:
+            return 0.0
+        contribution = 0.0
+        integer_part = self._integer_parts[index]
+        if integer_part:
+            for position in decompose_bias(integer_part):
+                group = self._groups[position]
+                group_weight = float(group.weight())
+                if group_weight <= 0:
+                    continue
+                # P(group) * P(index | group) = (W_k / total) * (1 / |G_k|)
+                contribution += (group_weight / total) * (1.0 / len(group))
+        fraction = self._fractions[index]
+        if fraction and decimal_weight > 0:
+            contribution += (decimal_weight / total) * (fraction / decimal_weight)
+        return contribution
+
+    def memory_report(self) -> MemoryReport:
+        """Modelled memory footprint of this vertex's sampling state."""
+        return vertex_memory_bytes(
+            self.group_sizes(),
+            self.group_kinds(),
+            len(self._ids),
+            decimal_members=len(self._decimal),
+        )
+
+    def memory_bytes(self) -> int:
+        return self.memory_report().total_bytes()
+
+    def check_invariants(self) -> None:
+        """Raise :class:`SamplerStateError` if internal structures disagree.
+
+        Verified invariants:
+
+        * every list-backed group's inverted index is the exact inverse of its
+          member list;
+        * group sizes match the number of neighbours whose scaled bias has the
+          corresponding bit set;
+        * the decimal group holds exactly the neighbours with a fractional
+          residue;
+        * the id -> index map matches the neighbour array.
+        """
+        degree = len(self._ids)
+        for candidate, index in self._index_of.items():
+            if not (0 <= index < degree) or self._ids[index] != candidate:
+                raise SamplerStateError("id->index map inconsistent with neighbour array")
+        for position, group in self._groups.items():
+            mask = 1 << position
+            expected = [i for i in range(degree) if self._integer_parts[i] & mask]
+            if len(group) != len(expected):
+                raise SamplerStateError(
+                    f"group 2^{position} size {len(group)} != expected {len(expected)}"
+                )
+            if not group.is_dense():
+                if sorted(group.members) != expected:
+                    raise SamplerStateError(f"group 2^{position} membership mismatch")
+                for member, slot in group.slots.items():
+                    if group.members[slot] != member:
+                        raise SamplerStateError(
+                            f"group 2^{position} inverted index mismatch at {member}"
+                        )
+        expected_decimal = {i for i in range(degree) if self._fractions[i] > 0.0}
+        if set(self._decimal.fractions.keys()) != expected_decimal:
+            raise SamplerStateError("decimal group membership mismatch")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BingoVertexSampler(degree={len(self._ids)}, groups={self.num_groups()}, "
+            f"lam={self.lam})"
+        )

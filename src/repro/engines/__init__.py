@@ -1,0 +1,26 @@
+"""Random-walk engines: Bingo and the baseline systems it is compared against.
+
+Every engine implements :class:`~repro.engines.base.RandomWalkEngine`:
+build from a graph, ingest streaming or batched updates, answer first-order
+biased neighbour samples, and report modelled memory plus a per-phase time
+breakdown.  The Table 3 / Figure 12–16 benchmarks swap engines behind this
+interface.
+"""
+
+from repro.engines.base import RandomWalkEngine
+from repro.engines.bingo import BingoEngine
+from repro.engines.knightking import KnightKingEngine
+from repro.engines.gsampler import GSamplerEngine
+from repro.engines.flowwalker import FlowWalkerEngine
+from repro.engines.registry import ENGINE_REGISTRY, create_engine, engine_names
+
+__all__ = [
+    "RandomWalkEngine",
+    "BingoEngine",
+    "KnightKingEngine",
+    "GSamplerEngine",
+    "FlowWalkerEngine",
+    "ENGINE_REGISTRY",
+    "create_engine",
+    "engine_names",
+]

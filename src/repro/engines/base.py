@@ -1,0 +1,159 @@
+"""Common interface for random-walk engines.
+
+An engine owns a :class:`~repro.graph.dynamic_graph.DynamicGraph` plus
+whatever per-vertex sampling state its design requires, and exposes:
+
+* first-order biased neighbour sampling (the operation every walk
+  application reduces to),
+* streaming updates (one edge at a time) and batched updates (a list of
+  edges ingested together),
+* a modelled memory report and a wall-clock time breakdown split into the
+  phases the paper's figures use (``insert``, ``delete``, ``rebuild``,
+  ``sampling``).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.memory_model import MemoryReport
+from repro.errors import UpdateError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.update_stream import GraphUpdate, UpdateKind
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.timing import TimeBreakdown
+
+#: Phase names used in every engine's time breakdown.
+PHASE_INSERT = "insert"
+PHASE_DELETE = "delete"
+PHASE_REBUILD = "rebuild"
+PHASE_SAMPLING = "sampling"
+
+
+class RandomWalkEngine(abc.ABC):
+    """Abstract dynamic-graph random walk engine."""
+
+    #: Human-readable engine name (used by the registry and reports).
+    name: str = "abstract"
+
+    def __init__(self, *, rng: RandomSource = None) -> None:
+        self._rng = ensure_rng(rng)
+        self.graph: Optional[DynamicGraph] = None
+        self.breakdown = TimeBreakdown()
+        self.updates_applied = 0
+        self.samples_drawn = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def build(self, graph: DynamicGraph) -> None:
+        """Adopt ``graph`` (by reference) and build the engine's sampling state."""
+        self.graph = graph
+        start = time.perf_counter()
+        self._build_state()
+        self.breakdown.add(PHASE_REBUILD, time.perf_counter() - start)
+
+    @abc.abstractmethod
+    def _build_state(self) -> None:
+        """Construct per-vertex sampling structures for the adopted graph."""
+
+    def _require_graph(self) -> DynamicGraph:
+        if self.graph is None:
+            raise UpdateError(f"engine {self.name!r} has not been built from a graph yet")
+        return self.graph
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def apply_streaming_update(self, update: GraphUpdate) -> None:
+        """Apply one update immediately (the low-latency path)."""
+        graph = self._require_graph()
+        graph.ensure_vertex(update.src)
+        graph.ensure_vertex(update.dst)
+        phase = PHASE_INSERT if update.kind is UpdateKind.INSERT else PHASE_DELETE
+        start = time.perf_counter()
+        if update.kind is UpdateKind.INSERT:
+            graph.add_edge(update.src, update.dst, update.bias)
+            self._on_insert(update.src, update.dst, update.bias)
+        else:
+            graph.remove_edge(update.src, update.dst)
+            self._on_delete(update.src, update.dst)
+        self.breakdown.add(phase, time.perf_counter() - start)
+        self.updates_applied += 1
+
+    def apply_streaming(self, updates: Iterable[GraphUpdate]) -> None:
+        """Apply a sequence of updates one at a time."""
+        for update in updates:
+            self.apply_streaming_update(update)
+
+    def apply_batch(self, updates: Sequence[GraphUpdate]) -> None:
+        """Ingest a whole batch of updates (the high-throughput path).
+
+        The default implementation streams the batch; engines with a real
+        batched path (Bingo) or rebuild-from-scratch semantics (the static
+        baselines) override this.
+        """
+        self.apply_streaming(updates)
+
+    # per-update hooks for subclasses (graph mutation already done)
+    @abc.abstractmethod
+    def _on_insert(self, src: int, dst: int, bias: float) -> None:
+        """Update sampling state after an edge insertion."""
+
+    @abc.abstractmethod
+    def _on_delete(self, src: int, dst: int) -> None:
+        """Update sampling state after an edge deletion."""
+
+    # ------------------------------------------------------------------ #
+    # sampling (NeighborSampler protocol)
+    # ------------------------------------------------------------------ #
+    def sample_neighbor(self, vertex: int) -> Optional[int]:
+        """Draw a biased out-neighbour of ``vertex`` (None for sinks)."""
+        start = time.perf_counter()
+        try:
+            return self._sample(vertex)
+        finally:
+            self.breakdown.add(PHASE_SAMPLING, time.perf_counter() - start)
+            self.samples_drawn += 1
+
+    @abc.abstractmethod
+    def _sample(self, vertex: int) -> Optional[int]:
+        """Engine-specific biased neighbour draw."""
+
+    def degree(self, vertex: int) -> int:
+        """Out-degree of ``vertex`` in the current snapshot."""
+        return self._require_graph().degree(vertex)
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        """Whether ``src -> dst`` exists in the current snapshot."""
+        graph = self._require_graph()
+        if src >= graph.num_vertices or dst >= graph.num_vertices:
+            return False
+        return graph.has_edge(src, dst)
+
+    def num_vertices(self) -> int:
+        """Number of vertices in the current snapshot."""
+        return self._require_graph().num_vertices
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def memory_report(self) -> MemoryReport:
+        """Modelled memory footprint of graph plus sampling structures."""
+
+    def memory_gigabytes(self) -> float:
+        """Convenience: total modelled memory in GB."""
+        return self.memory_report().total_gigabytes()
+
+    def reset_breakdown(self) -> None:
+        """Clear the accumulated time breakdown and counters."""
+        self.breakdown = TimeBreakdown()
+        self.samples_drawn = 0
+        self.updates_applied = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        vertices = self.graph.num_vertices if self.graph is not None else 0
+        return f"{type(self).__name__}(vertices={vertices})"

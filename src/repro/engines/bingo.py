@@ -1,0 +1,253 @@
+"""The Bingo engine: per-vertex radix-factorized samplers on a dynamic graph.
+
+This is the system the paper contributes.  Each vertex with out-edges owns a
+:class:`~repro.core.vertex_sampler.BingoVertexSampler`; streaming updates touch
+one sampler in O(K); batched updates follow the Section 5.2 workflow — group
+requests by vertex, collapse them to net insertions/deletions, apply them with
+the sampler's rebuild deferred, then rebuild each touched vertex exactly once.
+Kernel launches are accounted on an optional
+:class:`~repro.gpu.device.SimulatedDevice` so throughput experiments can report
+device-model parallel steps alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.adaptive import ConversionTracker, GroupClassifier
+from repro.core.memory_model import MemoryReport
+from repro.core.radix import choose_amortization_factor
+from repro.core.vertex_sampler import BingoVertexSampler
+from repro.engines.base import (
+    PHASE_DELETE,
+    PHASE_INSERT,
+    PHASE_REBUILD,
+    RandomWalkEngine,
+)
+from repro.errors import UpdateError
+from repro.gpu.device import SimulatedDevice
+from repro.gpu.kernels import (
+    BatchStatistics,
+    group_updates_by_vertex,
+    normalize_vertex_updates,
+)
+from repro.graph.update_stream import GraphUpdate, UpdateKind
+from repro.utils.rng import RandomSource, spawn_rng
+
+
+class BingoEngine(RandomWalkEngine):
+    """GPU-style random walk engine built on radix-based bias factorization.
+
+    Parameters
+    ----------
+    lam:
+        Amortization factor for floating-point biases.  ``None`` (default)
+        selects λ automatically from the biases present when :meth:`build`
+        runs (Section 4.3's empirical choice); integer-bias graphs resolve to
+        λ = 1.
+    adaptive_groups:
+        Enables the Section 5.1 group-adaption optimisation.  ``False``
+        reproduces the BS baseline of Figures 11 and 13.
+    alpha_percent / beta_percent:
+        The Equation (9) thresholds (paper defaults 40 / 10).
+    device:
+        Optional simulated device used to account batched-update kernels.
+    """
+
+    name = "bingo"
+
+    def __init__(
+        self,
+        *,
+        rng: RandomSource = None,
+        lam: Optional[float] = None,
+        adaptive_groups: bool = True,
+        alpha_percent: float = 40.0,
+        beta_percent: float = 10.0,
+        device: Optional[SimulatedDevice] = None,
+    ) -> None:
+        super().__init__(rng=rng)
+        self._requested_lam = lam
+        self.lam = lam if lam is not None else 1.0
+        self.classifier = GroupClassifier(
+            alpha_percent=alpha_percent,
+            beta_percent=beta_percent,
+            adaptive=adaptive_groups,
+        )
+        self.conversion_tracker = ConversionTracker()
+        self.device = device if device is not None else SimulatedDevice()
+        self.batch_stats = BatchStatistics()
+        self._samplers: Dict[int, BingoVertexSampler] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build_state(self) -> None:
+        graph = self._require_graph()
+        if self._requested_lam is None:
+            biases = [edge.bias for edge in graph.edges()]
+            self.lam = choose_amortization_factor(biases) if biases else 1.0
+        self._samplers = {}
+        for vertex in range(graph.num_vertices):
+            if graph.degree(vertex) == 0:
+                continue
+            sampler = self._new_sampler(vertex)
+            for edge in graph.out_edges(vertex):
+                sampler.insert(edge.dst, edge.bias)
+            sampler.rebuild()
+            self._samplers[vertex] = sampler
+
+    def _new_sampler(self, vertex: int) -> BingoVertexSampler:
+        return BingoVertexSampler(
+            rng=spawn_rng(self._rng, vertex),
+            lam=self.lam,
+            classifier=self.classifier,
+            conversion_tracker=self.conversion_tracker,
+            auto_rebuild=False,
+        )
+
+    def sampler_for(self, vertex: int) -> Optional[BingoVertexSampler]:
+        """The per-vertex sampler (None for vertices without out-edges)."""
+        return self._samplers.get(vertex)
+
+    # ------------------------------------------------------------------ #
+    # streaming updates: O(K) per event plus one inter-group rebuild
+    # ------------------------------------------------------------------ #
+    def _on_insert(self, src: int, dst: int, bias: float) -> None:
+        sampler = self._samplers.get(src)
+        if sampler is None:
+            sampler = self._new_sampler(src)
+            self._samplers[src] = sampler
+        sampler.insert(dst, bias)
+        start = time.perf_counter()
+        sampler.rebuild()
+        self.breakdown.add(PHASE_REBUILD, time.perf_counter() - start)
+
+    def _on_delete(self, src: int, dst: int) -> None:
+        sampler = self._samplers.get(src)
+        if sampler is None or not sampler.contains(dst):
+            raise UpdateError(f"Bingo has no sampling state for edge ({src}, {dst})")
+        sampler.delete(dst)
+        start = time.perf_counter()
+        if len(sampler) == 0:
+            del self._samplers[src]
+        else:
+            sampler.rebuild()
+        self.breakdown.add(PHASE_REBUILD, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------ #
+    # batched updates (Section 5.2)
+    # ------------------------------------------------------------------ #
+    def apply_batch(self, updates: Sequence[GraphUpdate]) -> None:
+        """Ingest a batch: reorder by vertex, apply net updates, rebuild once."""
+        graph = self._require_graph()
+        stats = BatchStatistics()
+        grouped = group_updates_by_vertex(updates)
+        stats.touched_vertices = len(grouped)
+
+        def process_vertex(item) -> None:
+            vertex, vertex_updates = item
+            graph.ensure_vertex(vertex)
+            for update in vertex_updates:
+                graph.ensure_vertex(update.dst)
+            # Only the destinations mentioned in this batch matter for the
+            # delete-then-reinsert case; checking them individually keeps the
+            # normalisation O(#updates) instead of O(degree).
+            existing = {
+                update.dst
+                for update in vertex_updates
+                if graph.has_edge(vertex, update.dst)
+            }
+            insertions, deletions, cancelled = normalize_vertex_updates(
+                vertex_updates, existing
+            )
+            stats.cancelled_pairs += cancelled
+
+            sampler = self._samplers.get(vertex)
+            delete_start = time.perf_counter()
+            for dst in deletions:
+                graph.remove_edge(vertex, dst)
+                if sampler is not None and sampler.contains(dst):
+                    sampler.delete(dst)
+                stats.deletions += 1
+            self.breakdown.add(PHASE_DELETE, time.perf_counter() - delete_start)
+
+            insert_start = time.perf_counter()
+            for dst, bias in insertions:
+                graph.add_edge(vertex, dst, bias)
+                if sampler is None:
+                    sampler = self._new_sampler(vertex)
+                    self._samplers[vertex] = sampler
+                sampler.insert(dst, bias)
+                stats.insertions += 1
+            self.breakdown.add(PHASE_INSERT, time.perf_counter() - insert_start)
+
+            rebuild_start = time.perf_counter()
+            if sampler is not None:
+                if len(sampler) == 0:
+                    self._samplers.pop(vertex, None)
+                else:
+                    sampler.rebuild()
+                stats.rebuilds += 1
+            self.breakdown.add(PHASE_REBUILD, time.perf_counter() - rebuild_start)
+
+        self.device.launch("batched_update", list(grouped.items()), process_vertex)
+        stats.kernel_launches += 1
+        stats.parallel_steps += self.device.launches[-1].parallel_steps
+        self.batch_stats.merge(stats)
+        self.updates_applied += len(updates)
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def _sample(self, vertex: int) -> Optional[int]:
+        self._require_graph()
+        sampler = self._samplers.get(vertex)
+        if sampler is None or len(sampler) == 0:
+            return None
+        return sampler.sample()
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def memory_report(self) -> MemoryReport:
+        report = MemoryReport()
+        graph = self._require_graph()
+        # The adjacency itself (shared by every engine).
+        report.add("graph", graph.num_arcs * (4 + 8) + graph.num_vertices * 8)
+        for sampler in self._samplers.values():
+            report.merge(sampler.memory_report())
+        return report
+
+    def group_kind_ratios(self) -> Dict[str, float]:
+        """Share of non-empty groups per representation (Figure 11e)."""
+        counts: Dict[str, int] = {}
+        total = 0
+        for sampler in self._samplers.values():
+            for kind in sampler.group_kinds().values():
+                counts[kind.value] = counts.get(kind.value, 0) + 1
+                total += 1
+        if total == 0:
+            return {}
+        return {kind: count / total for kind, count in counts.items()}
+
+    def check_consistency(self) -> None:
+        """Verify every sampler matches the graph adjacency (test hook)."""
+        graph = self._require_graph()
+        for vertex in range(graph.num_vertices):
+            sampler = self._samplers.get(vertex)
+            expected = {dst: graph.edge_bias(vertex, dst) for dst in graph.neighbors(vertex)}
+            if not expected:
+                if sampler is not None and len(sampler) > 0:
+                    raise UpdateError(f"vertex {vertex} has stale sampling state")
+                continue
+            if sampler is None:
+                raise UpdateError(f"vertex {vertex} is missing sampling state")
+            actual = dict(sampler.candidates())
+            if set(actual) != set(expected):
+                raise UpdateError(f"vertex {vertex} sampler/graph neighbour mismatch")
+            for dst, bias in expected.items():
+                if abs(actual[dst] - bias) > 1e-9:
+                    raise UpdateError(f"vertex {vertex} bias mismatch on edge to {dst}")
+            sampler.check_invariants()

@@ -1,0 +1,84 @@
+"""FlowWalker-style baseline: structure-free reservoir sampling.
+
+FlowWalker (VLDB'24) keeps *no* per-vertex sampling structure: every step
+runs a parallel weighted reservoir pass over the neighbour list.  Updates are
+therefore nearly free (the paper's Figure 16a shows FlowWalker's reload being
+slightly faster than Bingo's update), but each sample costs O(d), which is
+exactly what makes it two-plus orders of magnitude slower on the high-degree
+Twitter graph (Figure 16b, Table 3).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional, Sequence
+
+from repro.core.memory_model import MemoryReport
+from repro.engines.base import PHASE_REBUILD, RandomWalkEngine
+from repro.graph.update_stream import GraphUpdate, UpdateKind
+from repro.utils.rng import RandomSource
+
+
+class FlowWalkerEngine(RandomWalkEngine):
+    """Reservoir-sampling engine: zero auxiliary state, O(d) per sample."""
+
+    name = "flowwalker"
+
+    def __init__(self, *, rng: RandomSource = None) -> None:
+        super().__init__(rng=rng)
+        self.reload_count = 0
+
+    # ------------------------------------------------------------------ #
+    def _build_state(self) -> None:
+        # Nothing to build: sampling scans the adjacency directly.
+        self.reload_count += 1
+
+    def _on_insert(self, src: int, dst: int, bias: float) -> None:
+        # Graph mutation (done by the base class) is the whole update.
+        return None
+
+    def _on_delete(self, src: int, dst: int) -> None:
+        return None
+
+    def apply_batch(self, updates: Sequence[GraphUpdate]) -> None:
+        graph = self._require_graph()
+        for update in updates:
+            graph.ensure_vertex(update.src)
+            graph.ensure_vertex(update.dst)
+            if update.kind is UpdateKind.INSERT:
+                graph.add_edge(update.src, update.dst, update.bias)
+            else:
+                graph.remove_edge(update.src, update.dst)
+        # FlowWalker "reloads the new graph after updates": model that as a
+        # single pass over the edited adjacency.
+        start = time.perf_counter()
+        self._build_state()
+        self.breakdown.add(PHASE_REBUILD, time.perf_counter() - start)
+        self.updates_applied += len(updates)
+
+    # ------------------------------------------------------------------ #
+    def _sample(self, vertex: int) -> Optional[int]:
+        graph = self._require_graph()
+        degree = graph.degree(vertex)
+        if degree == 0:
+            return None
+        best_key = -math.inf
+        best_dst: Optional[int] = None
+        # Efraimidis–Spirakis weighted reservoir over the live neighbour list.
+        for dst, bias in zip(graph.neighbors(vertex), graph.neighbor_biases(vertex)):
+            u = self._rng.random()
+            key = math.log(u) / bias if u > 0.0 else -math.inf
+            if key > best_key:
+                best_key = key
+                best_dst = dst
+        return best_dst
+
+    # ------------------------------------------------------------------ #
+    def memory_report(self) -> MemoryReport:
+        report = MemoryReport()
+        graph = self._require_graph()
+        report.add("graph", graph.num_arcs * (4 + 8) + graph.num_vertices * 8)
+        # Per-walker reservoir registers only; modelled as one slot per vertex.
+        report.add("reservoir_state", graph.num_vertices * 8)
+        return report

@@ -1,0 +1,34 @@
+"""Engine registry: name -> factory, used by the CLI and benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.engines.base import RandomWalkEngine
+from repro.engines.bingo import BingoEngine
+from repro.engines.flowwalker import FlowWalkerEngine
+from repro.engines.gsampler import GSamplerEngine
+from repro.engines.knightking import KnightKingEngine
+from repro.errors import EngineError
+
+ENGINE_REGISTRY: Dict[str, Callable[..., RandomWalkEngine]] = {
+    BingoEngine.name: BingoEngine,
+    KnightKingEngine.name: KnightKingEngine,
+    GSamplerEngine.name: GSamplerEngine,
+    FlowWalkerEngine.name: FlowWalkerEngine,
+}
+
+
+def engine_names() -> List[str]:
+    """Registered engine names in registration order."""
+    return list(ENGINE_REGISTRY)
+
+
+def create_engine(name: str, **kwargs) -> RandomWalkEngine:
+    """Instantiate an engine by name (keyword arguments forwarded)."""
+    factory = ENGINE_REGISTRY.get(name)
+    if factory is None:
+        raise EngineError(
+            f"unknown engine {name!r}; available engines: {', '.join(ENGINE_REGISTRY)}"
+        )
+    return factory(**kwargs)

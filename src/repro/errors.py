@@ -1,0 +1,99 @@
+"""Exception hierarchy for the Bingo reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without accidentally swallowing unrelated
+exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the dynamic graph substrate."""
+
+
+class VertexNotFoundError(GraphError):
+    """Raised when an operation references a vertex that does not exist."""
+
+    def __init__(self, vertex: int) -> None:
+        super().__init__(f"vertex {vertex} does not exist in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when an operation references an edge that does not exist."""
+
+    def __init__(self, src: int, dst: int) -> None:
+        super().__init__(f"edge ({src}, {dst}) does not exist in the graph")
+        self.src = src
+        self.dst = dst
+
+
+class DuplicateEdgeError(GraphError):
+    """Raised when inserting an edge that already exists and duplicates are disallowed."""
+
+    def __init__(self, src: int, dst: int) -> None:
+        super().__init__(f"edge ({src}, {dst}) already exists in the graph")
+        self.src = src
+        self.dst = dst
+
+
+class InvalidBiasError(ReproError):
+    """Raised when an edge bias is not a positive, finite number."""
+
+    def __init__(self, bias: object) -> None:
+        super().__init__(f"bias must be a positive finite number, got {bias!r}")
+        self.bias = bias
+
+
+class SamplerError(ReproError):
+    """Base class for errors raised by sampling structures."""
+
+
+class EmptySamplerError(SamplerError):
+    """Raised when sampling from a sampler that holds no candidates."""
+
+
+class SamplerStateError(SamplerError):
+    """Raised when a sampler structure is internally inconsistent."""
+
+
+class EngineError(ReproError):
+    """Base class for errors raised by random walk engines."""
+
+
+class UnsupportedApplicationError(EngineError):
+    """Raised when an engine is asked to run an application it does not support."""
+
+    def __init__(self, application: str, engine: str) -> None:
+        super().__init__(f"engine {engine!r} does not support application {application!r}")
+        self.application = application
+        self.engine = engine
+
+
+class UpdateError(EngineError):
+    """Raised when a graph update cannot be applied."""
+
+
+class DeviceError(ReproError):
+    """Base class for errors raised by the simulated GPU runtime."""
+
+
+class OutOfDeviceMemoryError(DeviceError):
+    """Raised when the simulated device cannot satisfy an allocation request."""
+
+    def __init__(self, requested: int, available: int) -> None:
+        super().__init__(
+            f"simulated device out of memory: requested {requested} bytes, "
+            f"only {available} available"
+        )
+        self.requested = requested
+        self.available = available
+
+
+class BenchmarkError(ReproError):
+    """Raised when a benchmark experiment is mis-configured."""

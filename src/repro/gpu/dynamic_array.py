@@ -1,0 +1,111 @@
+"""Capacity-doubling dynamic arrays backed by the simulated memory pool.
+
+Bingo adopts Hornet's dynamic-array design for the adjacency list, the
+intra-group neighbour index lists and the inverted indices (Section 9.1).
+This class models that container: amortised O(1) append, O(1) swap-with-last
+removal, and pool-backed storage so growth/shrink behaviour shows up in the
+pool statistics used by the update-time analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, TypeVar
+
+from repro.gpu.memory_pool import MemoryPool
+
+T = TypeVar("T")
+
+_DEFAULT_ELEMENT_BYTES = 4
+
+
+class DynamicArray(Generic[T]):
+    """A growable array with explicit capacity and pool-backed storage."""
+
+    def __init__(
+        self,
+        pool: Optional[MemoryPool] = None,
+        *,
+        element_bytes: int = _DEFAULT_ELEMENT_BYTES,
+        initial_capacity: int = 4,
+    ) -> None:
+        if element_bytes <= 0:
+            raise ValueError("element_bytes must be positive")
+        if initial_capacity <= 0:
+            raise ValueError("initial_capacity must be positive")
+        self._pool = pool
+        self._element_bytes = element_bytes
+        self._capacity = initial_capacity
+        self._items: List[T] = []
+        self._handle: Optional[int] = None
+        if self._pool is not None:
+            self._handle = self._pool.allocate(self._capacity * element_bytes)
+        self.grow_count = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> T:
+        return self._items[index]
+
+    def __setitem__(self, index: int, value: T) -> None:
+        self._items[index] = value
+
+    @property
+    def capacity(self) -> int:
+        """Current allocated capacity in elements."""
+        return self._capacity
+
+    def append(self, value: T) -> None:
+        """Append, doubling capacity (and re-allocating from the pool) when full."""
+        if len(self._items) >= self._capacity:
+            self._grow()
+        self._items.append(value)
+
+    def _grow(self) -> None:
+        new_capacity = self._capacity * 2
+        if self._pool is not None:
+            new_handle = self._pool.allocate(new_capacity * self._element_bytes)
+            if self._handle is not None:
+                self._pool.release(self._handle)
+            self._handle = new_handle
+        self._capacity = new_capacity
+        self.grow_count += 1
+
+    def swap_remove(self, index: int) -> T:
+        """Remove position ``index`` by overwriting it with the tail (O(1))."""
+        if not (0 <= index < len(self._items)):
+            raise IndexError(f"index {index} out of range")
+        last = len(self._items) - 1
+        value = self._items[index]
+        if index != last:
+            self._items[index] = self._items[last]
+        self._items.pop()
+        return value
+
+    def pop(self) -> T:
+        """Remove and return the last element."""
+        return self._items.pop()
+
+    def clear(self) -> None:
+        """Drop every element (capacity is retained)."""
+        self._items.clear()
+
+    def to_list(self) -> List[T]:
+        """A copy of the contents as a plain list."""
+        return list(self._items)
+
+    def memory_bytes(self) -> int:
+        """Modelled bytes of the allocated backing store."""
+        return self._capacity * self._element_bytes
+
+    def release(self) -> None:
+        """Return the backing store to the pool (the array becomes unusable)."""
+        if self._pool is not None and self._handle is not None:
+            self._pool.release(self._handle)
+            self._handle = None
+        self._items.clear()
+        self._capacity = 0

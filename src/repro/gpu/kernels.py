@@ -1,0 +1,184 @@
+"""Batched-update kernels (Section 5.2).
+
+The paper's batched workflow is: (host) reorder update requests so the ones
+touching the same vertex sit together, (device) per vertex run insert, then
+delete, then rebuild, and use the 2-phase parallel delete-and-swap of
+Figure 10(b) so many deletions can fill holes concurrently without reading
+entries that are themselves being deleted.
+
+This module provides the host-side pieces of that workflow as pure functions
+so they can be unit-tested in isolation and reused by
+:class:`repro.engines.bingo.BingoEngine`:
+
+* :func:`group_updates_by_vertex` — request reordering.
+* :func:`normalize_vertex_updates` — collapse a vertex's request sequence into
+  a net set of deletions and insertions (the timestamp-ordered semantics the
+  paper preserves when the same edge is inserted and deleted in one batch).
+* :func:`parallel_delete_and_swap` — the 2-phase compaction, returning both
+  the compacted list and statistics about the phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.graph.update_stream import GraphUpdate, UpdateKind
+
+
+@dataclass
+class BatchStatistics:
+    """Counters for one batched-update round."""
+
+    insertions: int = 0
+    deletions: int = 0
+    cancelled_pairs: int = 0
+    touched_vertices: int = 0
+    rebuilds: int = 0
+    kernel_launches: int = 0
+    shared_memory_windows: int = 0
+    global_memory_windows: int = 0
+    parallel_steps: int = 0
+
+    def merge(self, other: "BatchStatistics") -> None:
+        """Fold another round's counters into this one."""
+        self.insertions += other.insertions
+        self.deletions += other.deletions
+        self.cancelled_pairs += other.cancelled_pairs
+        self.touched_vertices += other.touched_vertices
+        self.rebuilds += other.rebuilds
+        self.kernel_launches += other.kernel_launches
+        self.shared_memory_windows += other.shared_memory_windows
+        self.global_memory_windows += other.global_memory_windows
+        self.parallel_steps += other.parallel_steps
+
+
+def group_updates_by_vertex(updates: Iterable[GraphUpdate]) -> Dict[int, List[GraphUpdate]]:
+    """Reorder a batch so updates of the same source vertex sit together.
+
+    The relative order of updates within one vertex is preserved (timestamps
+    stay monotone), which is all the per-vertex kernels rely on.
+    """
+    grouped: Dict[int, List[GraphUpdate]] = {}
+    for update in updates:
+        grouped.setdefault(update.src, []).append(update)
+    return grouped
+
+
+def normalize_vertex_updates(
+    updates: Sequence[GraphUpdate],
+    existing_destinations: Set[int],
+) -> Tuple[List[Tuple[int, float]], List[int], int]:
+    """Collapse one vertex's update sequence into net insertions and deletions.
+
+    The paper allows an edge to be deleted and re-inserted (or inserted and
+    deleted) within one batch by time-stamping duplicates; the observable
+    result is determined by the *last* operation on each destination.  This
+    function replays the sequence and returns
+
+    ``(insertions, deletions, cancelled)`` where ``insertions`` is a list of
+    ``(destination, bias)`` to add, ``deletions`` a list of destinations to
+    remove, and ``cancelled`` counts insert/delete pairs that annihilated
+    (their work disappears from the batch, which is part of why batched
+    ingestion is faster than streaming the same requests).
+    """
+    # destination -> ("insert", bias) | ("delete", None) | ("update", bias)
+    net: Dict[int, Tuple[str, float | None]] = {}
+    cancelled = 0
+    for update in updates:
+        dst = update.dst
+        previous = net.get(dst)
+        if update.kind is UpdateKind.INSERT:
+            if previous is not None and previous[0] == "delete":
+                # delete then insert: the edge survives with the new bias.
+                net[dst] = ("update", update.bias)
+            else:
+                net[dst] = ("insert", update.bias)
+        else:  # DELETE
+            if previous is not None and previous[0] == "insert":
+                # insert then delete within the batch: both vanish.
+                del net[dst]
+                cancelled += 1
+            elif previous is not None and previous[0] == "update":
+                net[dst] = ("delete", None)
+            else:
+                net[dst] = ("delete", None)
+
+    insertions: List[Tuple[int, float]] = []
+    deletions: List[int] = []
+    for dst, (action, bias) in net.items():
+        if action == "insert":
+            insertions.append((dst, float(bias)))
+        elif action == "delete":
+            deletions.append(dst)
+        else:  # "update": delete the old edge, insert the new bias
+            if dst in existing_destinations:
+                deletions.append(dst)
+            insertions.append((dst, float(bias)))
+    return insertions, deletions, cancelled
+
+
+@dataclass
+class DeleteSwapResult:
+    """Outcome of one 2-phase parallel delete-and-swap compaction."""
+
+    items: List[int] = field(default_factory=list)
+    tail_window: int = 0
+    deleted_in_tail: int = 0
+    front_fills: int = 0
+    used_shared_memory: bool = False
+
+
+def parallel_delete_and_swap(
+    items: Sequence[int],
+    delete_positions: Iterable[int],
+    *,
+    shared_memory_capacity: int | None = None,
+) -> DeleteSwapResult:
+    """Figure 10(b): delete N positions from a compact list, in two phases.
+
+    Phase 1 stages the last N elements (the tail window) — in shared memory
+    when ``shared_memory_capacity`` allows — and removes every to-be-deleted
+    element that falls inside the window (γ of them).  Phase 2 fills the
+    remaining ``N − γ`` to-be-deleted front positions with the ``N − γ``
+    surviving tail elements, which by construction are *not* scheduled for
+    deletion, so no fill value is itself a victim.
+
+    The result is the same multiset a sequential swap-with-last deletion
+    would produce (order may differ), with no holes.
+    """
+    source = list(items)
+    victims = sorted(set(delete_positions))
+    if victims and (victims[0] < 0 or victims[-1] >= len(source)):
+        raise IndexError("delete position out of range")
+    n_delete = len(victims)
+    if n_delete == 0:
+        return DeleteSwapResult(items=source)
+
+    window_start = len(source) - n_delete
+    used_shared = shared_memory_capacity is None or n_delete <= shared_memory_capacity
+
+    victim_set = set(victims)
+    # Phase 1: drop victims that already live inside the tail window.
+    tail_survivors = [
+        source[pos] for pos in range(window_start, len(source)) if pos not in victim_set
+    ]
+    deleted_in_tail = n_delete - len(tail_survivors)
+
+    # Phase 2: the victims in the front region are exactly n_delete - γ many;
+    # fill each with one surviving tail element.
+    front_victims = [pos for pos in victims if pos < window_start]
+    if len(front_victims) != len(tail_survivors):
+        # This cannot happen for well-formed input; guard for safety.
+        raise AssertionError("front victim count does not match surviving tail count")
+    result = source[:window_start]
+    for pos, filler in zip(front_victims, tail_survivors):
+        result[pos] = filler
+
+    return DeleteSwapResult(
+        items=result,
+        tail_window=n_delete,
+        deleted_in_tail=deleted_in_tail,
+        front_fills=len(front_victims),
+        used_shared_memory=used_shared,
+    )

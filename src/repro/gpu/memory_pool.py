@@ -1,0 +1,116 @@
+"""A Hornet-style pooled allocator for device dynamic arrays.
+
+The paper notes that deletions are cheaper than insertions for Bingo partly
+because "memory released during deletion can be managed offline without
+incurring immediate overhead in our custom memory pool".  This module models
+that pool: fixed power-of-two block classes, a free list per class, and
+statistics distinguishing *fresh* allocations (which would hit ``cudaMalloc``)
+from *recycled* ones (served from the free list).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import OutOfDeviceMemoryError
+
+
+@dataclass
+class PoolStatistics:
+    """Counters describing pool behaviour over its lifetime."""
+
+    fresh_allocations: int = 0
+    recycled_allocations: int = 0
+    releases: int = 0
+    bytes_in_use: int = 0
+    peak_bytes_in_use: int = 0
+
+    def allocation_count(self) -> int:
+        """Total allocations served (fresh + recycled)."""
+        return self.fresh_allocations + self.recycled_allocations
+
+    def recycle_rate(self) -> float:
+        """Fraction of allocations served from the free list."""
+        total = self.allocation_count()
+        return self.recycled_allocations / total if total else 0.0
+
+
+class MemoryPool:
+    """Power-of-two block allocator with per-class free lists.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total simulated device memory available to the pool.  ``None`` means
+        unlimited (useful for tests).
+    min_block_bytes:
+        Smallest block class; requests are rounded up to a power of two of at
+        least this size.
+    """
+
+    def __init__(self, capacity_bytes: int | None = None, *, min_block_bytes: int = 64) -> None:
+        if min_block_bytes <= 0 or (min_block_bytes & (min_block_bytes - 1)):
+            raise ValueError("min_block_bytes must be a positive power of two")
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive or None")
+        self.capacity_bytes = capacity_bytes
+        self.min_block_bytes = min_block_bytes
+        self._free_lists: Dict[int, List[int]] = {}
+        self._next_handle = 1
+        self._handle_sizes: Dict[int, int] = {}
+        self.stats = PoolStatistics()
+
+    # ------------------------------------------------------------------ #
+    def block_size_for(self, requested_bytes: int) -> int:
+        """The power-of-two block class serving a request of ``requested_bytes``."""
+        if requested_bytes < 0:
+            raise ValueError("requested_bytes must be non-negative")
+        size = self.min_block_bytes
+        while size < requested_bytes:
+            size <<= 1
+        return size
+
+    def allocate(self, requested_bytes: int) -> int:
+        """Allocate a block and return an opaque handle."""
+        block = self.block_size_for(requested_bytes)
+        free_list = self._free_lists.get(block)
+        if free_list:
+            handle = free_list.pop()
+            self.stats.recycled_allocations += 1
+        else:
+            if (
+                self.capacity_bytes is not None
+                and self.stats.bytes_in_use + block > self.capacity_bytes
+            ):
+                raise OutOfDeviceMemoryError(
+                    block, self.capacity_bytes - self.stats.bytes_in_use
+                )
+            handle = self._next_handle
+            self._next_handle += 1
+            self.stats.fresh_allocations += 1
+        self._handle_sizes[handle] = block
+        self.stats.bytes_in_use += block
+        self.stats.peak_bytes_in_use = max(
+            self.stats.peak_bytes_in_use, self.stats.bytes_in_use
+        )
+        return handle
+
+    def release(self, handle: int) -> None:
+        """Return a block to the pool's free list (no device-level free)."""
+        block = self._handle_sizes.pop(handle, None)
+        if block is None:
+            raise KeyError(f"unknown memory pool handle {handle}")
+        self._free_lists.setdefault(block, []).append(handle)
+        self.stats.bytes_in_use -= block
+        self.stats.releases += 1
+
+    def bytes_in_use(self) -> int:
+        """Bytes currently held by live handles."""
+        return self.stats.bytes_in_use
+
+    def free_bytes(self) -> int | None:
+        """Remaining capacity, or ``None`` for an unbounded pool."""
+        if self.capacity_bytes is None:
+            return None
+        return self.capacity_bytes - self.stats.bytes_in_use

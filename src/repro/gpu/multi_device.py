@@ -1,0 +1,70 @@
+"""Multi-device random walking with walker transfer (Section 9.1).
+
+Bingo scales across GPUs by 1-D partitioning the vertex set and *moving
+walkers, not sampling structures*: when a walker steps onto a vertex owned by
+another device, it is shipped to that device (fast peer-to-peer in the real
+system).  This module models that policy on top of the
+:class:`~repro.graph.partition.OneDimPartition` substrate so the scalability
+ablation can count transfers and per-device load without real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.graph.partition import OneDimPartition
+
+
+@dataclass
+class WalkerTransferStats:
+    """Counters describing cross-device traffic for a set of walks."""
+
+    steps: int = 0
+    transfers: int = 0
+    per_device_steps: Dict[int, int] = field(default_factory=dict)
+
+    def transfer_rate(self) -> float:
+        """Fraction of steps that crossed a partition boundary."""
+        return self.transfers / self.steps if self.steps else 0.0
+
+    def load_imbalance(self) -> float:
+        """Max over mean per-device step count (1.0 = perfectly balanced)."""
+        if not self.per_device_steps:
+            return 1.0
+        loads = list(self.per_device_steps.values())
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean else 1.0
+
+
+class MultiDeviceRuntime:
+    """Tracks which simulated device executes each walk step.
+
+    The runtime does not own samplers; engines call :meth:`record_step` for
+    every transition so the accounting stays engine-agnostic.
+    """
+
+    def __init__(self, partition: OneDimPartition) -> None:
+        self.partition = partition
+        self.stats = WalkerTransferStats(
+            per_device_steps={part: 0 for part in range(partition.num_parts)}
+        )
+
+    def device_of(self, vertex: int) -> int:
+        """The device owning ``vertex``."""
+        return self.partition.part_of(vertex)
+
+    def record_step(self, current_vertex: int, next_vertex: int) -> bool:
+        """Record one walk transition; returns True when a transfer happened."""
+        device = self.device_of(current_vertex)
+        self.stats.steps += 1
+        self.stats.per_device_steps[device] = self.stats.per_device_steps.get(device, 0) + 1
+        transferred = self.device_of(next_vertex) != device
+        if transferred:
+            self.stats.transfers += 1
+        return transferred
+
+    def record_walk(self, path: Sequence[int]) -> None:
+        """Record every transition of a completed walk path."""
+        for current_vertex, next_vertex in zip(path, path[1:]):
+            self.record_step(current_vertex, next_vertex)

@@ -1,0 +1,72 @@
+"""Dynamic graph substrate.
+
+The paper's system sits on top of a Hornet-like dynamic graph structure.  This
+package provides that substrate in pure Python:
+
+* :class:`~repro.graph.dynamic_graph.DynamicGraph` — an adjacency structure
+  supporting O(1) amortised edge insertion, O(1) deletion via swap-with-last,
+  and per-edge biases.
+* :class:`~repro.graph.csr.CSRGraph` — an immutable CSR snapshot used by the
+  static baselines and for fast bulk walks.
+* Synthetic graph and bias generators reproducing the dataset shapes and bias
+  distributions in the paper's evaluation.
+* Update-stream generation following the methodology of Section 6.1.
+* 1-D partitioning mirroring the multi-GPU layout of Section 9.1.
+"""
+
+from repro.graph.dynamic_graph import DynamicGraph, Edge
+from repro.graph.csr import CSRGraph
+from repro.graph.edge_list import load_edge_list, save_edge_list
+from repro.graph.bias import (
+    BiasDistribution,
+    degree_biases,
+    gauss_biases,
+    power_law_biases,
+    uniform_biases,
+    make_bias_generator,
+)
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    power_law_graph,
+    rmat_graph,
+    star_graph,
+    complete_graph,
+    path_graph,
+    running_example_graph,
+)
+from repro.graph.update_stream import (
+    GraphUpdate,
+    UpdateKind,
+    UpdateStream,
+    generate_update_stream,
+    split_initial_and_updates,
+)
+from repro.graph.partition import OneDimPartition, partition_graph
+
+__all__ = [
+    "DynamicGraph",
+    "Edge",
+    "CSRGraph",
+    "load_edge_list",
+    "save_edge_list",
+    "BiasDistribution",
+    "degree_biases",
+    "gauss_biases",
+    "power_law_biases",
+    "uniform_biases",
+    "make_bias_generator",
+    "erdos_renyi_graph",
+    "power_law_graph",
+    "rmat_graph",
+    "star_graph",
+    "complete_graph",
+    "path_graph",
+    "running_example_graph",
+    "GraphUpdate",
+    "UpdateKind",
+    "UpdateStream",
+    "generate_update_stream",
+    "split_initial_and_updates",
+    "OneDimPartition",
+    "partition_graph",
+]

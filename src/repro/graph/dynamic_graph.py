@@ -1,0 +1,367 @@
+"""A dynamic, weighted, directed adjacency structure.
+
+The paper builds Bingo on Hornet-style dynamic arrays: each vertex owns a
+growable neighbour list, edge deletion swaps the victim with the tail so the
+list stays compact, and a per-vertex index maps destination → position for
+O(1) lookup.  This module reproduces those semantics on the host; the
+simulated-GPU dynamic arrays in :mod:`repro.gpu.dynamic_array` model the
+device-side counterpart used for memory accounting.
+
+Undirected graphs are represented as two directed arcs sharing one logical
+edge, which matches how the evaluation datasets are ingested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    DuplicateEdgeError,
+    EdgeNotFoundError,
+    VertexNotFoundError,
+)
+from repro.utils.validation import check_bias, check_non_negative_int
+
+Number = float
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A single directed edge with its sampling bias."""
+
+    src: int
+    dst: int
+    bias: Number
+
+    def reversed(self) -> "Edge":
+        """The same edge pointing the opposite way (used for undirected input)."""
+        return Edge(self.dst, self.src, self.bias)
+
+
+class _VertexAdjacency:
+    """Per-vertex growable neighbour list with O(1) delete via swap-with-last."""
+
+    __slots__ = ("dsts", "biases", "position")
+
+    def __init__(self) -> None:
+        self.dsts: List[int] = []
+        self.biases: List[Number] = []
+        # destination vertex -> index inside `dsts`/`biases`
+        self.position: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.dsts)
+
+    def add(self, dst: int, bias: Number) -> int:
+        index = len(self.dsts)
+        self.dsts.append(dst)
+        self.biases.append(bias)
+        self.position[dst] = index
+        return index
+
+    def remove(self, dst: int) -> Tuple[int, Number, Optional[int]]:
+        """Remove ``dst`` and return (removed_index, removed_bias, moved_dst).
+
+        ``moved_dst`` is the destination that was relocated from the tail into
+        ``removed_index`` (``None`` when the victim was already the tail).
+        """
+        index = self.position.pop(dst)
+        bias = self.biases[index]
+        last = len(self.dsts) - 1
+        moved: Optional[int] = None
+        if index != last:
+            moved = self.dsts[last]
+            self.dsts[index] = moved
+            self.biases[index] = self.biases[last]
+            self.position[moved] = index
+        self.dsts.pop()
+        self.biases.pop()
+        return index, bias, moved
+
+    def set_bias(self, dst: int, bias: Number) -> Number:
+        index = self.position[dst]
+        old = self.biases[index]
+        self.biases[index] = bias
+        return old
+
+
+class DynamicGraph:
+    """A mutable weighted directed graph with integer vertex identifiers.
+
+    Vertices are numbered ``0 .. num_vertices - 1``.  The structure supports:
+
+    * O(1) amortised edge insertion,
+    * O(1) edge deletion (swap-with-last inside the neighbour list),
+    * O(1) bias lookup / update,
+    * iteration over out-neighbours in list order (the order Bingo's
+      intra-group structures reference by *neighbour index*).
+
+    Parameters
+    ----------
+    num_vertices:
+        Initial number of vertices.  Further vertices can be added with
+        :meth:`add_vertex` / :meth:`add_vertices`.
+    undirected:
+        When ``True`` each :meth:`add_edge` inserts both arcs and each
+        :meth:`remove_edge` removes both.
+    """
+
+    def __init__(self, num_vertices: int = 0, *, undirected: bool = False) -> None:
+        check_non_negative_int(num_vertices, "num_vertices")
+        self._adjacency: List[_VertexAdjacency] = [
+            _VertexAdjacency() for _ in range(num_vertices)
+        ]
+        self._undirected = bool(undirected)
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int, Number]],
+        *,
+        num_vertices: Optional[int] = None,
+        undirected: bool = False,
+    ) -> "DynamicGraph":
+        """Build a graph from an iterable of ``(src, dst, bias)`` triples."""
+        edge_list = [(int(s), int(d), b) for s, d, b in edges]
+        if num_vertices is None:
+            highest = -1
+            for src, dst, _ in edge_list:
+                highest = max(highest, src, dst)
+            num_vertices = highest + 1
+        graph = cls(num_vertices, undirected=undirected)
+        for src, dst, bias in edge_list:
+            graph.add_edge(src, dst, bias)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def undirected(self) -> bool:
+        """Whether edges are mirrored automatically."""
+        return self._undirected
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices currently in the graph."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of logical edges (an undirected edge counts once)."""
+        return self._num_edges
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed arcs stored internally."""
+        return sum(len(adj) for adj in self._adjacency)
+
+    def __contains__(self, vertex: int) -> bool:
+        return 0 <= vertex < len(self._adjacency)
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not (0 <= vertex < len(self._adjacency)):
+            raise VertexNotFoundError(vertex)
+
+    # ------------------------------------------------------------------ #
+    # vertex operations
+    # ------------------------------------------------------------------ #
+    def add_vertex(self) -> int:
+        """Append a new isolated vertex and return its identifier."""
+        self._adjacency.append(_VertexAdjacency())
+        return len(self._adjacency) - 1
+
+    def add_vertices(self, count: int) -> List[int]:
+        """Append ``count`` new isolated vertices and return their identifiers."""
+        check_non_negative_int(count, "count")
+        start = len(self._adjacency)
+        self._adjacency.extend(_VertexAdjacency() for _ in range(count))
+        return list(range(start, start + count))
+
+    def ensure_vertex(self, vertex: int) -> None:
+        """Grow the vertex set (if needed) so that ``vertex`` exists."""
+        check_non_negative_int(vertex, "vertex")
+        while vertex >= len(self._adjacency):
+            self._adjacency.append(_VertexAdjacency())
+
+    def isolate_vertex(self, vertex: int) -> List[Edge]:
+        """Remove every edge incident to ``vertex`` and return the removed edges.
+
+        This implements *vertex deletion* in terms of edge deletions, as the
+        paper notes (Section 4.2): the vertex identifier itself remains valid
+        but becomes isolated.
+        """
+        self._check_vertex(vertex)
+        removed: List[Edge] = []
+        for dst in list(self._adjacency[vertex].position):
+            bias = self.edge_bias(vertex, dst)
+            self.remove_edge(vertex, dst)
+            removed.append(Edge(vertex, dst, bias))
+        if not self._undirected:
+            # Remove incoming arcs as well by scanning sources; directed
+            # deletion of in-edges is inherently O(V) without an in-index.
+            for src in range(len(self._adjacency)):
+                if src == vertex:
+                    continue
+                if self.has_edge(src, vertex):
+                    bias = self.edge_bias(src, vertex)
+                    self.remove_edge(src, vertex)
+                    removed.append(Edge(src, vertex, bias))
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # edge operations
+    # ------------------------------------------------------------------ #
+    def has_edge(self, src: int, dst: int) -> bool:
+        """Whether the arc ``src -> dst`` exists."""
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        return dst in self._adjacency[src].position
+
+    def add_edge(self, src: int, dst: int, bias: Number = 1.0) -> None:
+        """Insert an edge with the given bias.
+
+        Raises
+        ------
+        DuplicateEdgeError
+            If the edge already exists.  Use :meth:`update_bias` to change an
+            existing edge's bias.
+        """
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        check_bias(bias)
+        if dst in self._adjacency[src].position:
+            raise DuplicateEdgeError(src, dst)
+        self._adjacency[src].add(dst, bias)
+        if self._undirected and src != dst:
+            if src in self._adjacency[dst].position:
+                raise DuplicateEdgeError(dst, src)
+            self._adjacency[dst].add(src, bias)
+        self._num_edges += 1
+
+    def remove_edge(self, src: int, dst: int) -> Number:
+        """Delete an edge and return its bias.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge does not exist.
+        """
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        if dst not in self._adjacency[src].position:
+            raise EdgeNotFoundError(src, dst)
+        _, bias, _ = self._adjacency[src].remove(dst)
+        if self._undirected and src != dst:
+            self._adjacency[dst].remove(src)
+        self._num_edges -= 1
+        return bias
+
+    def update_bias(self, src: int, dst: int, bias: Number) -> Number:
+        """Change the bias of an existing edge, returning the previous value."""
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        check_bias(bias)
+        if dst not in self._adjacency[src].position:
+            raise EdgeNotFoundError(src, dst)
+        old = self._adjacency[src].set_bias(dst, bias)
+        if self._undirected and src != dst:
+            self._adjacency[dst].set_bias(src, bias)
+        return old
+
+    def edge_bias(self, src: int, dst: int) -> Number:
+        """The bias of an existing edge."""
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        adjacency = self._adjacency[src]
+        if dst not in adjacency.position:
+            raise EdgeNotFoundError(src, dst)
+        return adjacency.biases[adjacency.position[dst]]
+
+    # ------------------------------------------------------------------ #
+    # neighbour access
+    # ------------------------------------------------------------------ #
+    def degree(self, vertex: int) -> int:
+        """Out-degree of ``vertex``."""
+        self._check_vertex(vertex)
+        return len(self._adjacency[vertex])
+
+    def neighbors(self, vertex: int) -> Sequence[int]:
+        """Out-neighbours of ``vertex`` in neighbour-list order."""
+        self._check_vertex(vertex)
+        return list(self._adjacency[vertex].dsts)
+
+    def neighbor_biases(self, vertex: int) -> Sequence[Number]:
+        """Biases aligned with :meth:`neighbors`."""
+        self._check_vertex(vertex)
+        return list(self._adjacency[vertex].biases)
+
+    def neighbor_at(self, vertex: int, index: int) -> Tuple[int, Number]:
+        """The ``(destination, bias)`` stored at neighbour-list position ``index``."""
+        self._check_vertex(vertex)
+        adjacency = self._adjacency[vertex]
+        if not (0 <= index < len(adjacency)):
+            raise IndexError(f"neighbor index {index} out of range for vertex {vertex}")
+        return adjacency.dsts[index], adjacency.biases[index]
+
+    def neighbor_index(self, src: int, dst: int) -> int:
+        """Position of ``dst`` inside ``src``'s neighbour list."""
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        adjacency = self._adjacency[src]
+        if dst not in adjacency.position:
+            raise EdgeNotFoundError(src, dst)
+        return adjacency.position[dst]
+
+    def out_edges(self, vertex: int) -> Iterator[Edge]:
+        """Iterate the out-edges of ``vertex``."""
+        self._check_vertex(vertex)
+        adjacency = self._adjacency[vertex]
+        for dst, bias in zip(adjacency.dsts, adjacency.biases):
+            yield Edge(vertex, dst, bias)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate every stored arc (both directions for undirected graphs)."""
+        for src in range(len(self._adjacency)):
+            yield from self.out_edges(src)
+
+    def total_bias(self, vertex: int) -> Number:
+        """Sum of biases of the out-edges of ``vertex``."""
+        self._check_vertex(vertex)
+        return sum(self._adjacency[vertex].biases)
+
+    def max_degree(self) -> int:
+        """Largest out-degree in the graph (0 for an empty graph)."""
+        if not self._adjacency:
+            return 0
+        return max(len(adj) for adj in self._adjacency)
+
+    def average_degree(self) -> float:
+        """Mean out-degree (counting arcs)."""
+        if not self._adjacency:
+            return 0.0
+        return self.num_arcs / len(self._adjacency)
+
+    # ------------------------------------------------------------------ #
+    # snapshots and copies
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "DynamicGraph":
+        """A deep copy of the graph."""
+        clone = DynamicGraph(self.num_vertices, undirected=False)
+        for edge in self.edges():
+            clone._adjacency[edge.src].add(edge.dst, edge.bias)
+        clone._undirected = self._undirected
+        clone._num_edges = self._num_edges
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "undirected" if self._undirected else "directed"
+        return (
+            f"DynamicGraph({kind}, vertices={self.num_vertices}, "
+            f"edges={self.num_edges})"
+        )

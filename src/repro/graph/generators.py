@@ -1,0 +1,234 @@
+"""Synthetic graph generators.
+
+The paper evaluates on five real-world graphs (Amazon, Google, Citation,
+LiveJournal, Twitter).  Those datasets are not redistributable here, so the
+benchmark harness uses scaled-down synthetic stand-ins whose degree profiles
+match the originals in shape:
+
+* :func:`rmat_graph` — the R-MAT recursive generator [Chakrabarti et al. 2004]
+  the paper itself cites for power-law graph structure; this is the primary
+  stand-in for the social / web graphs.
+* :func:`power_law_graph` — a preferential-attachment generator, used for the
+  smaller citation-like graphs.
+* :func:`erdos_renyi_graph` — a uniform random graph for control experiments.
+* Small deterministic topologies (star, path, complete) for tests, plus the
+  paper's running example graph (Figure 1, snapshot 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.graph.bias import BiasDistribution, degree_biases, make_bias_generator
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+
+def running_example_graph() -> DynamicGraph:
+    """The weighted 6-vertex running example from Figure 1 (snapshot 1).
+
+    Edges are listed in ``(src, dst, bias)`` form; vertex 2's out-edges
+    (2, 1, 5), (2, 4, 4) and (2, 5, 3) are the ones used throughout the
+    paper's worked examples.
+    """
+    edges = [
+        (0, 1, 5),
+        (0, 3, 1),
+        (1, 2, 6),
+        (2, 1, 5),
+        (2, 4, 4),
+        (2, 5, 3),
+        (3, 4, 7),
+        (4, 5, 5),
+        (5, 0, 3),
+        (5, 3, 5),
+    ]
+    return DynamicGraph.from_edges(edges, num_vertices=6)
+
+
+def star_graph(num_leaves: int, *, bias: float = 1.0) -> DynamicGraph:
+    """A hub (vertex 0) connected to ``num_leaves`` leaves."""
+    check_positive_int(num_leaves, "num_leaves")
+    edges = [(0, leaf, bias) for leaf in range(1, num_leaves + 1)]
+    return DynamicGraph.from_edges(edges, num_vertices=num_leaves + 1)
+
+
+def path_graph(num_vertices: int, *, bias: float = 1.0) -> DynamicGraph:
+    """A simple directed path 0 -> 1 -> ... -> n-1."""
+    check_positive_int(num_vertices, "num_vertices")
+    edges = [(i, i + 1, bias) for i in range(num_vertices - 1)]
+    return DynamicGraph.from_edges(edges, num_vertices=num_vertices)
+
+
+def complete_graph(num_vertices: int, *, bias: float = 1.0) -> DynamicGraph:
+    """A complete directed graph without self-loops."""
+    check_positive_int(num_vertices, "num_vertices")
+    edges = [
+        (src, dst, bias)
+        for src in range(num_vertices)
+        for dst in range(num_vertices)
+        if src != dst
+    ]
+    return DynamicGraph.from_edges(edges, num_vertices=num_vertices)
+
+
+def erdos_renyi_graph(
+    num_vertices: int,
+    num_edges: int,
+    *,
+    bias_distribution: BiasDistribution | str = BiasDistribution.UNIFORM,
+    rng: RandomSource = None,
+    undirected: bool = False,
+) -> DynamicGraph:
+    """A uniform random graph with exactly ``num_edges`` distinct edges."""
+    check_positive_int(num_vertices, "num_vertices")
+    check_non_negative_int(num_edges, "num_edges")
+    generator = ensure_rng(rng)
+    max_edges = num_vertices * (num_vertices - 1)
+    if undirected:
+        max_edges //= 2
+    if num_edges > max_edges:
+        raise ValueError(
+            f"cannot place {num_edges} distinct edges in a graph with "
+            f"{num_vertices} vertices (max {max_edges})"
+        )
+    pairs = set()
+    while len(pairs) < num_edges:
+        src = generator.randrange(num_vertices)
+        dst = generator.randrange(num_vertices)
+        if src == dst:
+            continue
+        if undirected and (dst, src) in pairs:
+            continue
+        pairs.add((src, dst))
+    ordered = sorted(pairs)
+    biases = _make_biases(ordered, num_vertices, bias_distribution, generator)
+    graph = DynamicGraph(num_vertices, undirected=undirected)
+    for (src, dst), bias in zip(ordered, biases):
+        graph.add_edge(src, dst, bias)
+    return graph
+
+
+def power_law_graph(
+    num_vertices: int,
+    edges_per_vertex: int,
+    *,
+    bias_distribution: BiasDistribution | str = BiasDistribution.DEGREE,
+    rng: RandomSource = None,
+) -> DynamicGraph:
+    """A preferential-attachment (Barabási–Albert style) directed graph.
+
+    Each new vertex attaches ``edges_per_vertex`` out-edges to existing
+    vertices with probability proportional to their current in-degree plus
+    one, producing the heavy-tailed degree distribution of real graphs.
+    """
+    check_positive_int(num_vertices, "num_vertices")
+    check_positive_int(edges_per_vertex, "edges_per_vertex")
+    if num_vertices <= edges_per_vertex:
+        raise ValueError("num_vertices must exceed edges_per_vertex")
+    generator = ensure_rng(rng)
+
+    # Repeated-vertex list implements preferential attachment in O(1) per draw.
+    attachment_pool: List[int] = list(range(edges_per_vertex + 1))
+    pairs = set()
+    for new_vertex in range(edges_per_vertex + 1, num_vertices):
+        chosen = set()
+        attempts = 0
+        while len(chosen) < edges_per_vertex and attempts < 50 * edges_per_vertex:
+            target = generator.choice(attachment_pool)
+            attempts += 1
+            if target != new_vertex:
+                chosen.add(target)
+        # Fall back to uniform choice if the pool was too concentrated.
+        while len(chosen) < edges_per_vertex:
+            target = generator.randrange(new_vertex)
+            chosen.add(target)
+        for target in chosen:
+            pairs.add((new_vertex, target))
+            attachment_pool.append(target)
+        attachment_pool.append(new_vertex)
+
+    # Seed clique among the first vertices so every vertex has out-edges.
+    for src in range(edges_per_vertex + 1):
+        for dst in range(edges_per_vertex + 1):
+            if src != dst:
+                pairs.add((src, dst))
+
+    ordered = sorted(pairs)
+    biases = _make_biases(ordered, num_vertices, bias_distribution, generator)
+    graph = DynamicGraph(num_vertices)
+    for (src, dst), bias in zip(ordered, biases):
+        graph.add_edge(src, dst, bias)
+    return graph
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    bias_distribution: BiasDistribution | str = BiasDistribution.DEGREE,
+    rng: RandomSource = None,
+) -> DynamicGraph:
+    """An R-MAT graph with ``2**scale`` vertices and ``edge_factor * 2**scale`` edges.
+
+    The default (a, b, c) parameters are the Graph500 values, which produce a
+    skewed, power-law-like degree distribution comparable to the Twitter /
+    LiveJournal graphs in the paper.
+    """
+    check_positive_int(scale, "scale")
+    check_positive_int(edge_factor, "edge_factor")
+    if min(a, b, c) < 0 or a + b + c >= 1.0:
+        raise ValueError("R-MAT parameters must be non-negative and a + b + c < 1")
+    generator = ensure_rng(rng)
+    num_vertices = 1 << scale
+    target_edges = edge_factor * num_vertices
+
+    pairs = set()
+    attempts = 0
+    max_attempts = 20 * target_edges
+    while len(pairs) < target_edges and attempts < max_attempts:
+        attempts += 1
+        src, dst = 0, 0
+        for _ in range(scale):
+            r = generator.random()
+            src <<= 1
+            dst <<= 1
+            if r < a:
+                pass
+            elif r < a + b:
+                dst |= 1
+            elif r < a + b + c:
+                src |= 1
+            else:
+                src |= 1
+                dst |= 1
+        if src != dst:
+            pairs.add((src, dst))
+
+    ordered = sorted(pairs)
+    biases = _make_biases(ordered, num_vertices, bias_distribution, generator)
+    graph = DynamicGraph(num_vertices)
+    for (src, dst), bias in zip(ordered, biases):
+        graph.add_edge(src, dst, bias)
+    return graph
+
+
+def _make_biases(
+    pairs: Sequence[Tuple[int, int]],
+    num_vertices: int,
+    distribution: BiasDistribution | str,
+    rng,
+) -> List[float]:
+    """Produce one bias per edge according to the requested distribution."""
+    distribution = BiasDistribution(distribution)
+    if distribution is BiasDistribution.DEGREE:
+        in_degree = [0] * num_vertices
+        for _, dst in pairs:
+            in_degree[dst] += 1
+        return [float(bias) for bias in degree_biases([in_degree[dst] for _, dst in pairs])]
+    generator_fn = make_bias_generator(distribution, rng=rng)
+    return [float(bias) for bias in generator_fn(len(pairs))]

@@ -1,0 +1,239 @@
+"""Dynamic-update stream generation.
+
+Section 6.1 of the paper describes the workload-construction recipe used by
+every experiment:
+
+1. split the original edge set into A (initial graph) and B (a reserve of
+   ``10 * BATCHSIZE`` edges),
+2. repeatedly flip a coin to decide insert vs. delete,
+3. an insertion draws an edge from B and adds it to A, a deletion removes a
+   random edge currently in A,
+4. repeat ``10 * BATCHSIZE`` times, giving ten batches of BATCHSIZE updates.
+
+Three workload flavours are evaluated: "Insertion", "Deletion" and "Mixed".
+:func:`generate_update_stream` reproduces the recipe, and
+:class:`UpdateStream` packages the batches together with the initial graph.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import UpdateError
+from repro.graph.dynamic_graph import DynamicGraph, Edge
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+class UpdateKind(str, enum.Enum):
+    """The two edge-level events a dynamic graph experiences."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class UpdateWorkload(str, enum.Enum):
+    """Workload flavours from the paper's evaluation."""
+
+    INSERTION = "insertion"
+    DELETION = "deletion"
+    MIXED = "mixed"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class GraphUpdate:
+    """A single edge insertion or deletion with a logical timestamp."""
+
+    kind: UpdateKind
+    src: int
+    dst: int
+    bias: float = 1.0
+    timestamp: int = 0
+
+    def as_edge(self) -> Edge:
+        """The edge this update refers to."""
+        return Edge(self.src, self.dst, self.bias)
+
+
+@dataclass
+class UpdateStream:
+    """An initial graph plus an ordered sequence of update batches."""
+
+    initial_graph: DynamicGraph
+    batches: List[List[GraphUpdate]] = field(default_factory=list)
+    workload: UpdateWorkload = UpdateWorkload.MIXED
+
+    @property
+    def num_batches(self) -> int:
+        """Number of update batches."""
+        return len(self.batches)
+
+    @property
+    def num_updates(self) -> int:
+        """Total number of updates across all batches."""
+        return sum(len(batch) for batch in self.batches)
+
+    def all_updates(self) -> Iterator[GraphUpdate]:
+        """Iterate updates across batches in order."""
+        for batch in self.batches:
+            yield from batch
+
+    def final_graph(self) -> DynamicGraph:
+        """Apply every update to a copy of the initial graph and return it."""
+        graph = self.initial_graph.copy()
+        apply_updates(graph, self.all_updates())
+        return graph
+
+
+def apply_updates(graph: DynamicGraph, updates) -> None:
+    """Apply a sequence of updates to ``graph`` in place.
+
+    Insertions of already-present edges and deletions of absent edges raise
+    :class:`UpdateError` so that stream-generation bugs surface immediately.
+    """
+    for update in updates:
+        graph.ensure_vertex(update.src)
+        graph.ensure_vertex(update.dst)
+        if update.kind is UpdateKind.INSERT:
+            if graph.has_edge(update.src, update.dst):
+                raise UpdateError(
+                    f"insertion of existing edge ({update.src}, {update.dst})"
+                )
+            graph.add_edge(update.src, update.dst, update.bias)
+        elif update.kind is UpdateKind.DELETE:
+            if not graph.has_edge(update.src, update.dst):
+                raise UpdateError(
+                    f"deletion of missing edge ({update.src}, {update.dst})"
+                )
+            graph.remove_edge(update.src, update.dst)
+        else:  # pragma: no cover - enum is exhaustive
+            raise UpdateError(f"unknown update kind {update.kind!r}")
+
+
+def split_initial_and_updates(
+    graph: DynamicGraph,
+    reserve_edges: int,
+    *,
+    rng: RandomSource = None,
+) -> Tuple[DynamicGraph, List[Edge]]:
+    """Split ``graph`` into an initial graph (set A) and a reserve edge pool (set B).
+
+    ``reserve_edges`` edges are removed uniformly at random from the graph and
+    returned as the pool future insertions will draw from, mirroring step (i)
+    of the paper's workload recipe.
+    """
+    generator = ensure_rng(rng)
+    all_edges = list(graph.edges())
+    if reserve_edges > len(all_edges):
+        raise ValueError(
+            f"cannot reserve {reserve_edges} edges from a graph with only "
+            f"{len(all_edges)} edges"
+        )
+    generator.shuffle(all_edges)
+    reserve = all_edges[:reserve_edges]
+    initial = graph.copy()
+    for edge in reserve:
+        initial.remove_edge(edge.src, edge.dst)
+    return initial, reserve
+
+
+def generate_update_stream(
+    graph: DynamicGraph,
+    *,
+    batch_size: int,
+    num_batches: int = 10,
+    workload: UpdateWorkload | str = UpdateWorkload.MIXED,
+    rng: RandomSource = None,
+) -> UpdateStream:
+    """Generate a paper-style update stream from an existing graph.
+
+    Parameters
+    ----------
+    graph:
+        The full graph; a reserve of ``num_batches * batch_size`` edges is
+        carved out for insertions (for insertion/mixed workloads).
+    batch_size:
+        Number of updates per batch (the paper's BATCHSIZE, 100K by default
+        there; scaled down here).
+    num_batches:
+        Number of batches (10 in the paper).
+    workload:
+        ``insertion``, ``deletion`` or ``mixed``.
+    """
+    check_positive_int(batch_size, "batch_size")
+    check_positive_int(num_batches, "num_batches")
+    workload = UpdateWorkload(workload)
+    generator = ensure_rng(rng)
+    total_updates = batch_size * num_batches
+
+    if workload is UpdateWorkload.DELETION:
+        reserve: List[Edge] = []
+        initial = graph.copy()
+    else:
+        initial, reserve = split_initial_and_updates(graph, total_updates, rng=generator)
+
+    # Track the live edge set of A so deletions always pick an existing edge
+    # and insertions never duplicate one.
+    live_edges: List[Edge] = list(initial.edges())
+    live_keys = {(edge.src, edge.dst) for edge in live_edges}
+
+    def pick_live_index() -> int:
+        # Swap-with-last removal keeps this O(1); skip stale entries lazily.
+        while True:
+            index = generator.randrange(len(live_edges))
+            edge = live_edges[index]
+            if (edge.src, edge.dst) in live_keys:
+                return index
+            live_edges[index] = live_edges[-1]
+            live_edges.pop()
+
+    batches: List[List[GraphUpdate]] = []
+    timestamp = 0
+    reserve_cursor = 0
+    for _ in range(num_batches):
+        batch: List[GraphUpdate] = []
+        for _ in range(batch_size):
+            if workload is UpdateWorkload.INSERTION:
+                do_insert = True
+            elif workload is UpdateWorkload.DELETION:
+                do_insert = False
+            else:
+                do_insert = generator.random() < 0.5
+                if do_insert and reserve_cursor >= len(reserve):
+                    do_insert = False
+                if not do_insert and not live_keys:
+                    do_insert = True
+
+            if do_insert:
+                if reserve_cursor >= len(reserve):
+                    raise UpdateError("insertion reserve exhausted; reduce batch size")
+                edge = reserve[reserve_cursor]
+                reserve_cursor += 1
+                batch.append(
+                    GraphUpdate(UpdateKind.INSERT, edge.src, edge.dst, edge.bias, timestamp)
+                )
+                live_edges.append(edge)
+                live_keys.add((edge.src, edge.dst))
+            else:
+                if not live_keys:
+                    raise UpdateError("no live edges remain to delete; reduce batch size")
+                index = pick_live_index()
+                edge = live_edges[index]
+                live_edges[index] = live_edges[-1]
+                live_edges.pop()
+                live_keys.remove((edge.src, edge.dst))
+                batch.append(
+                    GraphUpdate(UpdateKind.DELETE, edge.src, edge.dst, edge.bias, timestamp)
+                )
+            timestamp += 1
+        batches.append(batch)
+
+    return UpdateStream(initial_graph=initial, batches=batches, workload=workload)

@@ -1,0 +1,38 @@
+"""Monte Carlo sampling structures.
+
+These are the classical per-vertex samplers Section 2.3 reviews and Table 1
+compares against Bingo:
+
+* :class:`~repro.sampling.alias.AliasTable` — Vose alias method, O(1) sampling,
+  O(d) (re)construction.
+* :class:`~repro.sampling.its.InverseTransformSampler` — CDF + binary search,
+  O(log d) sampling, O(d) construction, O(1) append-only insertion.
+* :class:`~repro.sampling.rejection.RejectionSampler` — O(1) updates, sampling
+  cost governed by the bias skew (d * max(w) / Σw expected trials).
+* :class:`~repro.sampling.reservoir.WeightedReservoirSampler` — the
+  FlowWalker-style structure-free sampler, O(d) per sample.
+
+All of them implement the :class:`~repro.sampling.base.DynamicSampler`
+protocol, so the engines and benchmarks can swap them freely, and all of them
+report elementary-operation counts through
+:class:`~repro.sampling.cost_model.OperationCounter` so the Table 1 complexity
+benchmark can fit measured costs against the published asymptotics.
+"""
+
+from repro.sampling.base import DynamicSampler, SamplerKind
+from repro.sampling.alias import AliasTable
+from repro.sampling.its import InverseTransformSampler
+from repro.sampling.rejection import RejectionSampler
+from repro.sampling.reservoir import WeightedReservoirSampler
+from repro.sampling.cost_model import OperationCounter, OperationCosts
+
+__all__ = [
+    "DynamicSampler",
+    "SamplerKind",
+    "AliasTable",
+    "InverseTransformSampler",
+    "RejectionSampler",
+    "WeightedReservoirSampler",
+    "OperationCounter",
+    "OperationCosts",
+]

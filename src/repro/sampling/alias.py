@@ -1,0 +1,166 @@
+"""The alias method (Walker/Vose) as a dynamic sampler.
+
+The alias table delivers O(1) sampling but any bias change requires a full
+O(d) rebuild, which is exactly the weakness Bingo's radix factorization
+attacks (Table 1, row "Alias Method").  The engine emulating KnightKing uses
+this structure per vertex and rebuilds it on every update.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import EmptySamplerError, SamplerStateError
+from repro.sampling.base import DynamicSampler, SamplerKind
+from repro.sampling.cost_model import OperationCounter
+from repro.utils.rng import RandomSource
+from repro.utils.validation import check_bias
+
+_FLOAT_BYTES = 8
+_INT_BYTES = 8
+
+
+class AliasTable(DynamicSampler):
+    """Vose's alias method over a dynamic candidate set.
+
+    The candidate list is kept as parallel arrays; every structural change
+    marks the alias table dirty and the next :meth:`sample` (or an explicit
+    :meth:`rebuild`) reconstructs it in O(d).
+    """
+
+    kind = SamplerKind.ALIAS
+
+    def __init__(self, *, rng: RandomSource = None, counter: Optional[OperationCounter] = None) -> None:
+        super().__init__(rng=rng, counter=counter)
+        self._ids: List[int] = []
+        self._biases: List[float] = []
+        self._index: Dict[int, int] = {}
+        self._prob: List[float] = []
+        self._alias: List[int] = []
+        self._dirty = True
+        self.rebuild_count = 0
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, candidate: int, bias: float) -> None:
+        check_bias(bias)
+        if candidate in self._index:
+            raise SamplerStateError(f"candidate {candidate} already present")
+        self._index[candidate] = len(self._ids)
+        self._ids.append(candidate)
+        self._biases.append(float(bias))
+        self._dirty = True
+        self.counter.touch(2)
+
+    def delete(self, candidate: int) -> None:
+        if candidate not in self._index:
+            raise SamplerStateError(f"candidate {candidate} not present")
+        position = self._index.pop(candidate)
+        last = len(self._ids) - 1
+        if position != last:
+            moved = self._ids[last]
+            self._ids[position] = moved
+            self._biases[position] = self._biases[last]
+            self._index[moved] = position
+        self._ids.pop()
+        self._biases.pop()
+        self._dirty = True
+        self.counter.touch(3)
+
+    def update_bias(self, candidate: int, bias: float) -> None:
+        check_bias(bias)
+        if candidate not in self._index:
+            raise SamplerStateError(f"candidate {candidate} not present")
+        self._biases[self._index[candidate]] = float(bias)
+        self._dirty = True
+        self.counter.touch(1)
+
+    # ------------------------------------------------------------------ #
+    # alias construction (Vose's O(d) algorithm)
+    # ------------------------------------------------------------------ #
+    def rebuild(self) -> None:
+        """Reconstruct the alias table from the current candidate arrays."""
+        count = len(self._ids)
+        self.rebuild_count += 1
+        if count == 0:
+            self._prob = []
+            self._alias = []
+            self._dirty = False
+            return
+        total = sum(self._biases)
+        self.counter.arith(count)
+        if total <= 0:
+            raise SamplerStateError("total bias must be positive")
+
+        scaled = [bias * count / total for bias in self._biases]
+        self.counter.arith(count)
+        small: List[int] = []
+        large: List[int] = []
+        for position, value in enumerate(scaled):
+            self.counter.compare(1)
+            if value < 1.0:
+                small.append(position)
+            else:
+                large.append(position)
+
+        prob = [0.0] * count
+        alias = list(range(count))
+        while small and large:
+            small_index = small.pop()
+            large_index = large.pop()
+            prob[small_index] = scaled[small_index]
+            alias[small_index] = large_index
+            scaled[large_index] = scaled[large_index] + scaled[small_index] - 1.0
+            self.counter.touch(4)
+            self.counter.arith(2)
+            self.counter.compare(1)
+            if scaled[large_index] < 1.0:
+                small.append(large_index)
+            else:
+                large.append(large_index)
+        for remaining in large + small:
+            prob[remaining] = 1.0
+            self.counter.touch(1)
+
+        self._prob = prob
+        self._alias = alias
+        self._dirty = False
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def sample(self) -> int:
+        if not self._ids:
+            raise EmptySamplerError("alias table holds no candidates")
+        if self._dirty:
+            self.rebuild()
+        bucket = self._rng.randrange(len(self._ids))
+        toss = self._rng.random()
+        self.counter.draw(2)
+        self.counter.compare(1)
+        self.counter.touch(2)
+        if toss < self._prob[bucket]:
+            return self._ids[bucket]
+        return self._ids[self._alias[bucket]]
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def candidates(self) -> List[Tuple[int, float]]:
+        return list(zip(self._ids, self._biases))
+
+    def total_bias(self) -> float:
+        return float(sum(self._biases))
+
+    def memory_bytes(self) -> int:
+        count = len(self._ids)
+        # ids + biases + prob + alias arrays, plus the position index.
+        return count * (2 * _INT_BYTES + 2 * _FLOAT_BYTES) + count * 2 * _INT_BYTES
+
+    def is_dirty(self) -> bool:
+        """Whether the alias arrays are stale relative to the candidate set."""
+        return self._dirty

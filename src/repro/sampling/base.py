@@ -1,0 +1,125 @@
+"""Common protocol for per-vertex dynamic samplers.
+
+A *sampler* owns the candidate set of one vertex: the list of (neighbour,
+bias) pairs a walker standing at that vertex chooses from.  The protocol
+exposes exactly the operations Table 1 compares — sample, insert, delete,
+bias update — plus introspection used by tests (exact probabilities, memory
+accounting, candidate enumeration).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sampling.cost_model import OperationCounter
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+class SamplerKind(str, enum.Enum):
+    """Identifiers for the sampler families compared in the paper."""
+
+    BINGO = "bingo"
+    ALIAS = "alias"
+    ITS = "its"
+    REJECTION = "rejection"
+    RESERVOIR = "reservoir"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class DynamicSampler(abc.ABC):
+    """Abstract per-vertex biased sampler with dynamic updates.
+
+    Candidates are identified by arbitrary hashable IDs (the engines use the
+    neighbour vertex ID).  Implementations must keep ``counter`` updated so
+    the complexity benchmarks can observe their work.
+    """
+
+    kind: SamplerKind
+
+    def __init__(self, *, rng: RandomSource = None, counter: Optional[OperationCounter] = None) -> None:
+        self._rng = ensure_rng(rng)
+        self.counter = counter if counter is not None else OperationCounter()
+
+    # ------------------------------------------------------------------ #
+    # the Table 1 operations
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def sample(self) -> int:
+        """Draw one candidate ID according to the bias distribution."""
+
+    @abc.abstractmethod
+    def insert(self, candidate: int, bias: float) -> None:
+        """Add a candidate with the given bias."""
+
+    @abc.abstractmethod
+    def delete(self, candidate: int) -> None:
+        """Remove a candidate."""
+
+    def update_bias(self, candidate: int, bias: float) -> None:
+        """Change a candidate's bias (default: delete + insert)."""
+        self.delete(candidate)
+        self.insert(candidate, bias)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of candidates currently held."""
+
+    @abc.abstractmethod
+    def candidates(self) -> List[Tuple[int, float]]:
+        """The current ``(candidate, bias)`` pairs (order unspecified)."""
+
+    @abc.abstractmethod
+    def total_bias(self) -> float:
+        """Sum of all candidate biases."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Modelled memory footprint of the auxiliary structures, in bytes."""
+
+    def contains(self, candidate: int) -> bool:
+        """Whether ``candidate`` is currently held."""
+        return any(existing == candidate for existing, _ in self.candidates())
+
+    def exact_probabilities(self) -> Dict[int, float]:
+        """The exact selection probability of every candidate.
+
+        Used by correctness tests to check Theorem 4.1-style invariants
+        without relying on Monte Carlo convergence.
+        """
+        total = self.total_bias()
+        if total <= 0:
+            return {}
+        return {candidate: bias / total for candidate, bias in self.candidates()}
+
+    def empirical_distribution(self, draws: int) -> Dict[int, float]:
+        """Empirical selection frequencies over ``draws`` samples."""
+        counts: Dict[int, int] = {}
+        for _ in range(draws):
+            candidate = self.sample()
+            counts[candidate] = counts.get(candidate, 0) + 1
+        return {candidate: count / draws for candidate, count in counts.items()}
+
+    # ------------------------------------------------------------------ #
+    # bulk construction helper
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_candidates(
+        cls,
+        pairs: Iterable[Tuple[int, float]],
+        *,
+        rng: RandomSource = None,
+        counter: Optional[OperationCounter] = None,
+        **kwargs,
+    ) -> "DynamicSampler":
+        """Build a sampler pre-populated with ``pairs``."""
+        sampler = cls(rng=rng, counter=counter, **kwargs)
+        for candidate, bias in pairs:
+            sampler.insert(candidate, bias)
+        return sampler

@@ -1,0 +1,88 @@
+"""Elementary-operation accounting for sampling structures.
+
+Wall-clock timing of a pure-Python reproduction is dominated by interpreter
+overhead, so the Table 1 complexity comparison is additionally reported in
+*elementary operations*: memory touches, comparisons, random-number draws and
+arithmetic steps.  Every sampler increments a shared
+:class:`OperationCounter`; the benchmark harness fits the counts against the
+published asymptotics (O(1), O(K), O(log d), O(d)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class OperationCounter:
+    """Mutable counters for elementary operations performed by a sampler."""
+
+    memory_touches: int = 0
+    comparisons: int = 0
+    random_draws: int = 0
+    arithmetic_ops: int = 0
+
+    def touch(self, count: int = 1) -> None:
+        """Record ``count`` memory reads/writes."""
+        self.memory_touches += count
+
+    def compare(self, count: int = 1) -> None:
+        """Record ``count`` comparisons."""
+        self.comparisons += count
+
+    def draw(self, count: int = 1) -> None:
+        """Record ``count`` random-number generations."""
+        self.random_draws += count
+
+    def arith(self, count: int = 1) -> None:
+        """Record ``count`` arithmetic operations."""
+        self.arithmetic_ops += count
+
+    def total(self) -> int:
+        """Total elementary operations across categories."""
+        return (
+            self.memory_touches
+            + self.comparisons
+            + self.random_draws
+            + self.arithmetic_ops
+        )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.memory_touches = 0
+        self.comparisons = 0
+        self.random_draws = 0
+        self.arithmetic_ops = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of the counters as a plain dict."""
+        return {
+            "memory_touches": self.memory_touches,
+            "comparisons": self.comparisons,
+            "random_draws": self.random_draws,
+            "arithmetic_ops": self.arithmetic_ops,
+            "total": self.total(),
+        }
+
+
+@dataclass
+class OperationCosts:
+    """Aggregated per-operation cost summary for one experiment.
+
+    ``per_op`` maps an operation name (``"sample"``, ``"insert"``,
+    ``"delete"``, ``"build"``) to the average number of elementary operations
+    consumed per invocation.
+    """
+
+    per_op: Dict[str, float] = field(default_factory=dict)
+
+    def record(self, operation: str, ops: int, invocations: int) -> None:
+        """Record that ``invocations`` calls of ``operation`` cost ``ops`` total."""
+        if invocations <= 0:
+            raise ValueError("invocations must be positive")
+        self.per_op[operation] = ops / invocations
+
+    def get(self, operation: str) -> float:
+        """Average cost of ``operation`` (0.0 when never recorded)."""
+        return self.per_op.get(operation, 0.0)

@@ -1,0 +1,127 @@
+"""Inverse Transform Sampling (ITS) as a dynamic sampler.
+
+ITS keeps the prefix sums of candidate biases and binary-searches a uniform
+draw in ``[0, total_bias)``.  Sampling is O(log d); append-only insertion is
+O(1) amortised (extend the prefix-sum array); deleting or changing an interior
+candidate invalidates every later prefix and costs O(d).  These are the
+"ITS" row costs in Table 1, and the structure used by the gSampler-style
+baseline engine.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import EmptySamplerError, SamplerStateError
+from repro.sampling.base import DynamicSampler, SamplerKind
+from repro.sampling.cost_model import OperationCounter
+from repro.utils.rng import RandomSource
+from repro.utils.validation import check_bias
+
+_FLOAT_BYTES = 8
+_INT_BYTES = 8
+
+
+class InverseTransformSampler(DynamicSampler):
+    """CDF (prefix-sum) sampler with binary search."""
+
+    kind = SamplerKind.ITS
+
+    def __init__(self, *, rng: RandomSource = None, counter: Optional[OperationCounter] = None) -> None:
+        super().__init__(rng=rng, counter=counter)
+        self._ids: List[int] = []
+        self._biases: List[float] = []
+        self._index: Dict[int, int] = {}
+        self._cumulative: List[float] = []
+        self._dirty = False
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, candidate: int, bias: float) -> None:
+        check_bias(bias)
+        if candidate in self._index:
+            raise SamplerStateError(f"candidate {candidate} already present")
+        self._index[candidate] = len(self._ids)
+        self._ids.append(candidate)
+        self._biases.append(float(bias))
+        # Appending extends the prefix sums in O(1); no rebuild needed.
+        previous = self._cumulative[-1] if self._cumulative else 0.0
+        self._cumulative.append(previous + float(bias))
+        self.counter.touch(3)
+        self.counter.arith(1)
+
+    def delete(self, candidate: int) -> None:
+        if candidate not in self._index:
+            raise SamplerStateError(f"candidate {candidate} not present")
+        position = self._index.pop(candidate)
+        self._ids.pop(position)
+        self._biases.pop(position)
+        for moved_position in range(position, len(self._ids)):
+            self._index[self._ids[moved_position]] = moved_position
+            self.counter.touch(1)
+        self._dirty = True
+        self.counter.touch(2)
+
+    def update_bias(self, candidate: int, bias: float) -> None:
+        check_bias(bias)
+        if candidate not in self._index:
+            raise SamplerStateError(f"candidate {candidate} not present")
+        self._biases[self._index[candidate]] = float(bias)
+        self._dirty = True
+        self.counter.touch(1)
+
+    # ------------------------------------------------------------------ #
+    # CDF maintenance
+    # ------------------------------------------------------------------ #
+    def rebuild(self) -> None:
+        """Recompute the prefix sums in O(d)."""
+        running = 0.0
+        cumulative: List[float] = []
+        for bias in self._biases:
+            running += bias
+            cumulative.append(running)
+            self.counter.arith(1)
+            self.counter.touch(1)
+        self._cumulative = cumulative
+        self._dirty = False
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def sample(self) -> int:
+        if not self._ids:
+            raise EmptySamplerError("ITS sampler holds no candidates")
+        if self._dirty:
+            self.rebuild()
+        total = self._cumulative[-1]
+        draw = self._rng.random() * total
+        self.counter.draw(1)
+        position = bisect.bisect_right(self._cumulative, draw)
+        if position >= len(self._ids):
+            position = len(self._ids) - 1
+        # Binary search cost: ceil(log2(d)) comparisons.
+        self.counter.compare(max(1, (len(self._ids)).bit_length()))
+        self.counter.touch(1)
+        return self._ids[position]
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def candidates(self) -> List[Tuple[int, float]]:
+        return list(zip(self._ids, self._biases))
+
+    def total_bias(self) -> float:
+        return float(sum(self._biases))
+
+    def memory_bytes(self) -> int:
+        count = len(self._ids)
+        return count * (_INT_BYTES + 2 * _FLOAT_BYTES) + count * _INT_BYTES
+
+    def is_dirty(self) -> bool:
+        """Whether the prefix sums are stale."""
+        return self._dirty

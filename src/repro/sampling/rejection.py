@@ -1,0 +1,146 @@
+"""Rejection sampling as a dynamic sampler.
+
+Rejection sampling keeps no auxiliary structure beyond the candidate array
+and the maximum bias, so insertions and deletions are O(1).  Its weakness —
+the one Table 1 records — is that expected sampling cost is
+``d * max(w) / Σw`` trials, which blows up for skewed bias distributions.
+KnightKing uses this scheme for the dynamic (second-order) component of
+node2vec, and Bingo's dense-group intra-group sampling also uses a bounded
+variant of it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import EmptySamplerError, SamplerStateError
+from repro.sampling.base import DynamicSampler, SamplerKind
+from repro.sampling.cost_model import OperationCounter
+from repro.utils.rng import RandomSource
+from repro.utils.validation import check_bias
+
+_FLOAT_BYTES = 8
+_INT_BYTES = 8
+
+
+class RejectionSampler(DynamicSampler):
+    """Uniform-propose / bias-accept rejection sampler.
+
+    The acceptance envelope is the running maximum bias.  Deletions do not
+    shrink the envelope (recomputing the maximum would cost O(d)); the
+    envelope is lazily tightened only when a full rescan happens anyway.
+    This mirrors how practical systems (e.g. KnightKing) manage the bound.
+    """
+
+    kind = SamplerKind.REJECTION
+
+    def __init__(
+        self,
+        *,
+        rng: RandomSource = None,
+        counter: Optional[OperationCounter] = None,
+        max_trials: int = 1_000_000,
+    ) -> None:
+        super().__init__(rng=rng, counter=counter)
+        self._ids: List[int] = []
+        self._biases: List[float] = []
+        self._index: Dict[int, int] = {}
+        self._max_bias = 0.0
+        self._max_trials = int(max_trials)
+        self.trial_count = 0
+        self.accept_count = 0
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, candidate: int, bias: float) -> None:
+        check_bias(bias)
+        if candidate in self._index:
+            raise SamplerStateError(f"candidate {candidate} already present")
+        self._index[candidate] = len(self._ids)
+        self._ids.append(candidate)
+        self._biases.append(float(bias))
+        if bias > self._max_bias:
+            self._max_bias = float(bias)
+        self.counter.touch(2)
+        self.counter.compare(1)
+
+    def delete(self, candidate: int) -> None:
+        if candidate not in self._index:
+            raise SamplerStateError(f"candidate {candidate} not present")
+        position = self._index.pop(candidate)
+        last = len(self._ids) - 1
+        if position != last:
+            moved = self._ids[last]
+            self._ids[position] = moved
+            self._biases[position] = self._biases[last]
+            self._index[moved] = position
+        self._ids.pop()
+        self._biases.pop()
+        self.counter.touch(3)
+
+    def update_bias(self, candidate: int, bias: float) -> None:
+        check_bias(bias)
+        if candidate not in self._index:
+            raise SamplerStateError(f"candidate {candidate} not present")
+        self._biases[self._index[candidate]] = float(bias)
+        if bias > self._max_bias:
+            self._max_bias = float(bias)
+        self.counter.touch(1)
+        self.counter.compare(1)
+
+    def tighten_envelope(self) -> None:
+        """Recompute the acceptance envelope as the true maximum bias (O(d))."""
+        self._max_bias = max(self._biases) if self._biases else 0.0
+        self.counter.touch(len(self._biases))
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def sample(self) -> int:
+        if not self._ids:
+            raise EmptySamplerError("rejection sampler holds no candidates")
+        count = len(self._ids)
+        envelope = self._max_bias
+        for _ in range(self._max_trials):
+            position = self._rng.randrange(count)
+            threshold = self._rng.random() * envelope
+            self.counter.draw(2)
+            self.counter.touch(1)
+            self.counter.compare(1)
+            self.trial_count += 1
+            if threshold < self._biases[position]:
+                self.accept_count += 1
+                return self._ids[position]
+        raise SamplerStateError(
+            f"rejection sampling did not accept within {self._max_trials} trials"
+        )
+
+    def acceptance_rate(self) -> float:
+        """Observed acceptance rate since construction (1.0 when no trials yet)."""
+        if self.trial_count == 0:
+            return 1.0
+        return self.accept_count / self.trial_count
+
+    def expected_trials(self) -> float:
+        """Theoretical expected trials per sample: d * max(w) / Σw."""
+        total = self.total_bias()
+        if total <= 0:
+            return 0.0
+        return len(self._ids) * self._max_bias / total
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def candidates(self) -> List[Tuple[int, float]]:
+        return list(zip(self._ids, self._biases))
+
+    def total_bias(self) -> float:
+        return float(sum(self._biases))
+
+    def memory_bytes(self) -> int:
+        count = len(self._ids)
+        return count * (_INT_BYTES + _FLOAT_BYTES) + count * _INT_BYTES + _FLOAT_BYTES

@@ -1,0 +1,22 @@
+"""Shared helpers: random number management, validation, timing."""
+
+from repro.utils.rng import RandomSource, ensure_rng, spawn_rng
+from repro.utils.validation import (
+    check_bias,
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+)
+from repro.utils.timing import Stopwatch, TimeBreakdown
+
+__all__ = [
+    "RandomSource",
+    "ensure_rng",
+    "spawn_rng",
+    "check_bias",
+    "check_non_negative_int",
+    "check_positive_int",
+    "check_probability",
+    "Stopwatch",
+    "TimeBreakdown",
+]

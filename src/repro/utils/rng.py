@@ -1,0 +1,44 @@
+"""Random-number utilities.
+
+All stochastic components in the library accept either an integer seed, an
+existing :class:`random.Random`, or ``None`` (fresh nondeterministic state).
+Centralising the coercion here keeps every sampler, generator, and engine
+reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+RandomSource = Union[int, random.Random, None]
+
+
+def ensure_rng(source: RandomSource = None) -> random.Random:
+    """Coerce ``source`` into a :class:`random.Random` instance.
+
+    Parameters
+    ----------
+    source:
+        ``None`` for nondeterministic state, an ``int`` seed, or an existing
+        ``random.Random`` which is returned unchanged.
+    """
+    if source is None:
+        return random.Random()
+    if isinstance(source, random.Random):
+        return source
+    if isinstance(source, bool):  # bool is an int subclass; reject it explicitly.
+        raise TypeError("rng seed must be an int, random.Random, or None")
+    if isinstance(source, int):
+        return random.Random(source)
+    raise TypeError(f"rng source must be an int, random.Random, or None, got {type(source)!r}")
+
+
+def spawn_rng(rng: random.Random, stream: int) -> random.Random:
+    """Derive an independent child generator from ``rng``.
+
+    Used to give each walker or each simulated thread block its own stream so
+    that parallel-order differences do not change results.
+    """
+    seed = (rng.getrandbits(48) << 16) ^ (stream & 0xFFFF)
+    return random.Random(seed)

@@ -1,0 +1,64 @@
+"""Lightweight timing helpers used by engines and the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+from contextlib import contextmanager
+
+
+class Stopwatch:
+    """A resettable stopwatch measuring wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def reset(self) -> None:
+        """Restart the stopwatch."""
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds elapsed since construction or the last :meth:`reset`."""
+        return time.perf_counter() - self._start
+
+
+@dataclass
+class TimeBreakdown:
+    """Accumulates wall-clock time per named phase.
+
+    Engines use this to produce the piecewise breakdowns of Figures 13 and 16
+    (insert/delete vs. rebuild vs. sampling time).
+    """
+
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, phase: str) -> Iterator[None]:
+        """Context manager adding the elapsed time of the block to ``phase``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phases[phase] = self.phases.get(phase, 0.0) + (time.perf_counter() - start)
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Add ``seconds`` to ``phase`` directly."""
+        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+
+    def get(self, phase: str) -> float:
+        """Total seconds recorded for ``phase`` (0.0 if never measured)."""
+        return self.phases.get(phase, 0.0)
+
+    def total(self) -> float:
+        """Sum of all recorded phases."""
+        return sum(self.phases.values())
+
+    def merge(self, other: "TimeBreakdown") -> None:
+        """Fold another breakdown into this one."""
+        for phase, seconds in other.phases.items():
+            self.add(phase, seconds)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a copy of the phase table."""
+        return dict(self.phases)

@@ -1,0 +1,51 @@
+"""Argument validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from repro.errors import InvalidBiasError
+
+Number = Union[int, float]
+
+
+def check_bias(bias: Number) -> Number:
+    """Validate that ``bias`` is a positive, finite number and return it.
+
+    Biases of zero are rejected: a zero-bias edge can never be sampled and the
+    radix decomposition of zero is empty, so callers should simply delete the
+    edge instead.
+    """
+    if isinstance(bias, bool) or not isinstance(bias, (int, float)):
+        raise InvalidBiasError(bias)
+    if not math.isfinite(bias) or bias <= 0:
+        raise InvalidBiasError(bias)
+    return bias
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value)!r}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value)!r}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a number, got {type(value)!r}")
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value}")
+    return float(value)

@@ -1,0 +1,36 @@
+"""Random walk applications (Section 2.2 / the paper's evaluation workloads).
+
+The three applications evaluated in the paper — biased DeepWalk, node2vec and
+Personalized PageRank — plus the simple one-step sampling kernel.  Every
+application is written against the :class:`~repro.walks.walker.NeighborSampler`
+protocol, so any engine (Bingo or the baselines) can execute it.
+"""
+
+from repro.walks.walker import (
+    NeighborSampler,
+    VisitCounter,
+    WalkResult,
+    collect_walks,
+)
+from repro.walks.deepwalk import DeepWalkConfig, deepwalk_walk, run_deepwalk
+from repro.walks.node2vec import Node2VecConfig, node2vec_walk, run_node2vec
+from repro.walks.ppr import PPRConfig, ppr_walk, run_ppr, ppr_scores
+from repro.walks.simple import run_simple_sampling
+
+__all__ = [
+    "NeighborSampler",
+    "VisitCounter",
+    "WalkResult",
+    "collect_walks",
+    "DeepWalkConfig",
+    "deepwalk_walk",
+    "run_deepwalk",
+    "Node2VecConfig",
+    "node2vec_walk",
+    "run_node2vec",
+    "PPRConfig",
+    "ppr_walk",
+    "run_ppr",
+    "ppr_scores",
+    "run_simple_sampling",
+]

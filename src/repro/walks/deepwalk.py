@@ -1,0 +1,67 @@
+"""Biased DeepWalk (Perozzi et al., extended to weighted graphs by Cochez et al.).
+
+Each walker starts at its seed vertex and takes ``walk_length`` first-order
+biased steps (transition probability proportional to edge bias).  The
+resulting paths are what a downstream SkipGram model would consume; the
+engine-facing cost is purely the repeated biased sampling the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_positive_int
+from repro.walks.walker import NeighborSampler, WalkResult, default_start_vertices
+
+
+@dataclass(frozen=True)
+class DeepWalkConfig:
+    """DeepWalk parameters (paper defaults: walk length 80, one walker per vertex)."""
+
+    walk_length: int = 80
+    walkers_per_vertex: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.walk_length, "walk_length")
+        check_positive_int(self.walkers_per_vertex, "walkers_per_vertex")
+
+
+def deepwalk_walk(
+    engine: NeighborSampler,
+    start: int,
+    walk_length: int,
+) -> List[int]:
+    """One DeepWalk path of at most ``walk_length`` steps from ``start``.
+
+    The walk stops early if it reaches a vertex with no out-edges.
+    """
+    path = [start]
+    current = start
+    for _ in range(walk_length):
+        next_vertex = engine.sample_neighbor(current)
+        if next_vertex is None:
+            break
+        path.append(next_vertex)
+        current = next_vertex
+    return path
+
+
+def run_deepwalk(
+    engine: NeighborSampler,
+    config: DeepWalkConfig = DeepWalkConfig(),
+    *,
+    starts: Optional[Sequence[int]] = None,
+) -> WalkResult:
+    """Run DeepWalk for every start vertex and return the collected paths.
+
+    When ``starts`` is omitted the paper's default placement is used: one
+    walker per vertex of the current snapshot.
+    """
+    if starts is None:
+        starts = default_start_vertices(engine.num_vertices(), config.walkers_per_vertex)
+    result = WalkResult()
+    for start in starts:
+        result.add(deepwalk_walk(engine, start, config.walk_length))
+    return result

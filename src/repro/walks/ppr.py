@@ -1,0 +1,101 @@
+"""Personalized PageRank via terminating random walks.
+
+The paper configures PPR with a per-step termination probability of 1/80,
+giving an expected walk length of 80, launches one walker per vertex, and
+derives the PPR scores from visit frequencies (Section 1 / 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_positive_int, check_probability
+from repro.walks.walker import (
+    NeighborSampler,
+    VisitCounter,
+    WalkResult,
+    default_start_vertices,
+)
+
+
+@dataclass(frozen=True)
+class PPRConfig:
+    """PPR parameters (paper default: termination probability 1/80)."""
+
+    termination_probability: float = 1.0 / 80.0
+    max_steps: int = 10_000
+    walkers_per_vertex: int = 1
+
+    def __post_init__(self) -> None:
+        check_probability(self.termination_probability, "termination_probability")
+        if self.termination_probability == 0.0:
+            raise ValueError("termination_probability must be positive")
+        check_positive_int(self.max_steps, "max_steps")
+        check_positive_int(self.walkers_per_vertex, "walkers_per_vertex")
+
+    @property
+    def expected_length(self) -> float:
+        """Expected number of steps before termination (1 / termination prob)."""
+        return 1.0 / self.termination_probability
+
+
+def ppr_walk(
+    engine: NeighborSampler,
+    start: int,
+    config: PPRConfig,
+    *,
+    rng: RandomSource = None,
+) -> List[int]:
+    """One terminating random walk from ``start``."""
+    generator = ensure_rng(rng)
+    path = [start]
+    current = start
+    for _ in range(config.max_steps):
+        if generator.random() < config.termination_probability:
+            break
+        next_vertex = engine.sample_neighbor(current)
+        if next_vertex is None:
+            break
+        path.append(next_vertex)
+        current = next_vertex
+    return path
+
+
+def run_ppr(
+    engine: NeighborSampler,
+    config: PPRConfig = PPRConfig(),
+    *,
+    starts: Optional[Sequence[int]] = None,
+    rng: RandomSource = None,
+) -> WalkResult:
+    """Run PPR walks from every start vertex and return the collected paths."""
+    generator = ensure_rng(rng)
+    if starts is None:
+        starts = default_start_vertices(engine.num_vertices(), config.walkers_per_vertex)
+    result = WalkResult()
+    for start in starts:
+        result.add(ppr_walk(engine, start, config, rng=generator))
+    return result
+
+
+def ppr_scores(
+    engine: NeighborSampler,
+    source: int,
+    *,
+    num_walks: int = 1000,
+    config: PPRConfig = PPRConfig(),
+    rng: RandomSource = None,
+) -> Dict[int, float]:
+    """Monte Carlo PPR scores for a single source vertex.
+
+    Launches ``num_walks`` terminating walks from ``source`` and returns the
+    normalized visit frequencies, the estimator the paper's motivating
+    applications (recommendation, fraud detection) consume.
+    """
+    generator = ensure_rng(rng)
+    counter = VisitCounter()
+    for _ in range(num_walks):
+        counter.add_path(ppr_walk(engine, source, config, rng=generator))
+    return {vertex: counter.frequency(vertex) for vertex in counter.counts}

@@ -1,0 +1,36 @@
+"""The ``random_walk_simple_sampling`` kernel: independent one-step samples.
+
+Bingo exposes a simple-sampling kernel (Section 6's implementation notes)
+that, for each query vertex, draws one biased neighbour.  It is the purest
+measurement of per-sample cost and is what the Figure 16 sampling-time
+breakdown exercises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.walks.walker import NeighborSampler
+
+
+def run_simple_sampling(
+    engine: NeighborSampler,
+    queries: Sequence[int],
+) -> List[Optional[int]]:
+    """Draw one biased neighbour per query vertex (None for sink vertices)."""
+    return [engine.sample_neighbor(vertex) for vertex in queries]
+
+
+def sampling_histogram(
+    engine: NeighborSampler,
+    vertex: int,
+    draws: int,
+) -> Dict[int, int]:
+    """Histogram of ``draws`` repeated samples at one vertex (test helper)."""
+    histogram: Dict[int, int] = {}
+    for _ in range(draws):
+        neighbor = engine.sample_neighbor(vertex)
+        if neighbor is None:
+            break
+        histogram[neighbor] = histogram.get(neighbor, 0) + 1
+    return histogram

@@ -1,0 +1,119 @@
+"""Walker-side abstractions shared by every random walk application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, runtime_checkable
+
+
+@runtime_checkable
+class NeighborSampler(Protocol):
+    """What a walk application needs from an engine.
+
+    Engines expose first-order biased neighbour sampling plus the minimal
+    topology queries node2vec's second-order acceptance test requires.
+    """
+
+    def sample_neighbor(self, vertex: int) -> Optional[int]:
+        """Draw an out-neighbour of ``vertex`` with probability ∝ edge bias.
+
+        Returns ``None`` when the vertex has no out-edges (the walk stops).
+        """
+        ...
+
+    def degree(self, vertex: int) -> int:
+        """Out-degree of ``vertex``."""
+        ...
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        """Whether the edge ``src -> dst`` currently exists."""
+        ...
+
+    def num_vertices(self) -> int:
+        """Number of vertices in the current graph snapshot."""
+        ...
+
+
+@dataclass
+class WalkResult:
+    """A batch of completed walks plus summary statistics."""
+
+    paths: List[List[int]] = field(default_factory=list)
+    total_steps: int = 0
+
+    def add(self, path: Sequence[int]) -> None:
+        """Record one completed walk."""
+        self.paths.append(list(path))
+        self.total_steps += max(0, len(path) - 1)
+
+    @property
+    def num_walks(self) -> int:
+        """Number of recorded walks."""
+        return len(self.paths)
+
+    def average_length(self) -> float:
+        """Mean number of vertices per walk (0.0 when empty)."""
+        if not self.paths:
+            return 0.0
+        return sum(len(path) for path in self.paths) / len(self.paths)
+
+    def visit_counter(self) -> "VisitCounter":
+        """Aggregate visit frequencies across all recorded walks."""
+        counter = VisitCounter()
+        for path in self.paths:
+            counter.add_path(path)
+        return counter
+
+
+@dataclass
+class VisitCounter:
+    """Visit frequencies across walks.
+
+    PPR, SimRank and Random Walk Domination all derive their scores from
+    these counts (Section 1), so the counter doubles as the application-level
+    output for the PPR workload.
+    """
+
+    counts: Dict[int, int] = field(default_factory=dict)
+    total: int = 0
+
+    def add(self, vertex: int, count: int = 1) -> None:
+        """Record ``count`` visits of ``vertex``."""
+        self.counts[vertex] = self.counts.get(vertex, 0) + count
+        self.total += count
+
+    def add_path(self, path: Iterable[int]) -> None:
+        """Record every vertex visit along a path."""
+        for vertex in path:
+            self.add(vertex)
+
+    def frequency(self, vertex: int) -> float:
+        """Normalised visit frequency of ``vertex``."""
+        if self.total == 0:
+            return 0.0
+        return self.counts.get(vertex, 0) / self.total
+
+    def top(self, k: int) -> List[tuple]:
+        """The ``k`` most visited vertices as ``(vertex, count)`` pairs."""
+        ranked = sorted(self.counts.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:k]
+
+
+def collect_walks(paths: Iterable[Sequence[int]]) -> WalkResult:
+    """Bundle an iterable of paths into a :class:`WalkResult`."""
+    result = WalkResult()
+    for path in paths:
+        result.add(path)
+    return result
+
+
+def default_start_vertices(num_vertices: int, walkers_per_vertex: int = 1) -> List[int]:
+    """The paper's default walker placement: one walker per vertex.
+
+    ("For all of them, we initialize the vertex count number of random
+    walkers.")  ``walkers_per_vertex`` scales that uniformly.
+    """
+    starts: List[int] = []
+    for _ in range(walkers_per_vertex):
+        starts.extend(range(num_vertices))
+    return starts

@@ -1,0 +1,58 @@
+"""Tests for dataset stand-ins (Table 2)."""
+
+import pytest
+
+from repro.bench.datasets import (
+    DATASETS,
+    build_dataset,
+    dataset_names,
+    dataset_statistics,
+)
+from repro.errors import BenchmarkError
+
+
+class TestRegistry:
+    def test_five_datasets_in_paper_order(self):
+        assert dataset_names() == ["AM", "GO", "CT", "LJ", "TW"]
+
+    def test_specs_carry_paper_statistics(self):
+        lj = DATASETS["LJ"]
+        assert lj.paper_vertices == 4_800_000
+        assert lj.paper_edges == 68_500_000
+        assert lj.paper_avg_degree == pytest.approx(14.3)
+        assert "LiveJournal" in lj.describe()
+
+    def test_relative_size_ordering_matches_paper(self):
+        """The stand-ins preserve the paper's size ordering AM < ... < TW."""
+        edges = {}
+        for abbreviation in dataset_names():
+            graph = build_dataset(abbreviation, rng=3)
+            edges[abbreviation] = graph.num_edges
+        assert edges["TW"] > edges["LJ"] > edges["GO"]
+        assert edges["TW"] > edges["CT"] > 0
+        assert edges["AM"] > 0
+
+
+class TestBuild:
+    @pytest.mark.parametrize("abbreviation", ["AM", "CT"])
+    def test_build_is_deterministic_per_seed(self, abbreviation):
+        a = build_dataset(abbreviation, rng=9)
+        b = build_dataset(abbreviation, rng=9)
+        assert a.num_edges == b.num_edges
+        assert a.num_vertices == b.num_vertices
+
+    def test_unknown_dataset(self):
+        with pytest.raises(BenchmarkError):
+            build_dataset("XX")
+
+    def test_statistics_helper(self):
+        graph = build_dataset("AM", rng=1)
+        stats = dataset_statistics(graph)
+        assert stats["vertices"] == graph.num_vertices
+        assert stats["edges"] == graph.num_edges
+        assert stats["max_degree"] >= stats["avg_degree"]
+
+    def test_skewed_degree_distribution(self):
+        """The heavy-tail shape that drives Bingo's advantage must be present."""
+        graph = build_dataset("LJ", rng=5)
+        assert graph.max_degree() > 5 * graph.average_degree()

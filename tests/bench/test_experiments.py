@@ -1,0 +1,166 @@
+"""Smoke tests for the per-table / per-figure experiment functions.
+
+These run every experiment at a very small scale and check the *structure*
+of the outputs plus the qualitative relationships the paper reports (who is
+faster / smaller).  The full-scale numbers live in EXPERIMENTS.md and the
+pytest-benchmark targets.
+"""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.harness import EvaluationSettings
+
+
+class TestTable1:
+    def test_rows_cover_all_samplers_and_degrees(self):
+        rows = experiments.table1_complexity(degrees=(8, 64), samples_per_degree=30)
+        samplers = {row.sampler for row in rows}
+        assert samplers == {"bingo", "alias", "its", "rejection"}
+        assert {row.degree for row in rows} == {8, 64}
+
+    def test_bingo_update_cost_stays_flat_while_alias_grows(self):
+        rows = experiments.table1_complexity(degrees=(16, 256), samples_per_degree=30)
+        by_key = {(r.sampler, r.degree): r for r in rows}
+        alias_growth = by_key[("alias", 256)].insert_ops / by_key[("alias", 16)].insert_ops
+        bingo_growth = by_key[("bingo", 256)].insert_ops / by_key[("bingo", 16)].insert_ops
+        assert alias_growth > 4.0           # O(d) rebuild per insertion
+        assert bingo_growth < alias_growth  # O(K) is much flatter
+
+    def test_bingo_sampling_is_constant_ish(self):
+        rows = experiments.table1_complexity(degrees=(16, 256), samples_per_degree=50)
+        by_key = {(r.sampler, r.degree): r for r in rows}
+        ratio = by_key[("bingo", 256)].sample_ops / by_key[("bingo", 16)].sample_ops
+        assert ratio < 3.0
+
+
+class TestTable2:
+    def test_all_datasets_reported(self):
+        rows = experiments.table2_datasets(seed=3)
+        assert len(rows) == 5
+        for row in rows:
+            assert row["paper_edges"] > row["standin_edges"]
+            assert row["standin_vertices"] > 0
+
+
+class TestTable3:
+    def test_reduced_sweep_structure_and_speedups(self):
+        settings = EvaluationSettings(batch_size=40, num_batches=1, walk_length=4, num_walkers=8)
+        results = experiments.table3_sota(
+            datasets=("AM",),
+            applications=("deepwalk",),
+            workloads=("mixed",),
+            settings=settings,
+        )
+        assert len(results) == 4  # one per engine
+        speedups = experiments.table3_speedups(results)
+        assert set(speedups) == {"knightking", "gsampler", "flowwalker"}
+        assert all(value > 0 for value in speedups.values())
+
+
+class TestTable4:
+    def test_conversion_ratios_are_small(self):
+        report = experiments.table4_conversion(dataset="AM", batch_size=60, num_batches=2)
+        assert report["observations"] > 0
+        assert 0.0 <= report["max_ratio"] <= 1.0
+        assert set(report["matrix"]) == {"dense", "one-element", "sparse", "regular"}
+
+
+class TestFigure9:
+    def test_distribution_shapes(self):
+        ratios = experiments.fig9_group_ratio(num_groups=8, num_edges=5000)
+        assert set(ratios) == {"uniform", "gauss", "power-law"}
+        for series in ratios.values():
+            assert len(series) == 8
+            assert all(0.0 <= value <= 1.0 for value in series)
+        # Power-law biases concentrate in low groups: high groups are sparser.
+        power = ratios["power-law"]
+        assert power[0] > power[7]
+        # Uniform biases populate every bit position roughly equally.
+        uniform = ratios["uniform"]
+        assert max(uniform[:7]) - min(uniform[:7]) < 0.2
+
+
+class TestFigure11:
+    def test_ga_saves_memory_on_every_dataset(self):
+        report = experiments.fig11_memory(datasets=("AM", "GO"), seed=5)
+        for dataset, entry in report.items():
+            assert entry["ga_total_bytes"] < entry["bs_total_bytes"]
+            assert entry["overall_saving_factor"] > 1.0
+            ratios = entry["group_kind_ratios"]
+            assert ratios and abs(sum(ratios.values()) - 1.0) < 1e-9
+
+
+class TestFigure12:
+    def test_batched_beats_streaming_under_the_device_model(self):
+        report = experiments.fig12_batched_updates(
+            datasets=("AM",), workloads=("mixed",), batch_size=150, num_batches=1
+        )
+        entry = report["mixed"]["AM"]
+        assert entry["batched_updates_per_second"] > 0
+        assert entry["streaming_updates_per_second"] > 0
+        # Parallel ingestion of a whole batch collapses to a handful of
+        # modelled kernel steps, which is where the paper's ~1000x lives.
+        assert entry["modelled_parallel_speedup"] > 10.0
+        # The host wall clock cannot show the parallelism, but batching must
+        # not be dramatically slower than streaming either.
+        assert entry["wall_clock_speedup"] > 0.5
+
+
+class TestFigure13:
+    def test_breakdown_phases_present(self):
+        report = experiments.fig13_breakdown(
+            datasets=("AM",), batch_size=60, num_batches=1, num_samples=300
+        )
+        for label in ("BS", "GA"):
+            phases = report["AM"][label]
+            assert set(phases) == {"insert_delete", "rebuild", "sampling"}
+            assert phases["sampling"] > 0
+
+
+class TestFigure14:
+    def test_float_bias_overhead_is_modest(self):
+        report = experiments.fig14_float_bias(
+            datasets=("AM",), batch_size=60, num_batches=1, num_samples=300
+        )
+        entry = report["AM"]
+        assert entry["floating-point"]["lam"] >= entry["integer"]["lam"]
+        assert entry["floating-point"]["memory_bytes"] >= entry["integer"]["memory_bytes"]
+        # The paper reports ~1.02x time and ~1.08x memory; allow generous slack.
+        assert entry["floating-point"]["time_seconds"] < 10 * entry["integer"]["time_seconds"]
+
+
+class TestFigure15:
+    def test_batch_size_sweep(self):
+        report = experiments.fig15_batch_size_sweep(
+            dataset="AM", batch_sizes=(50, 100), total_updates=200
+        )
+        assert set(report) == {50, 100}
+        for row in report.values():
+            assert set(row) == {"gsampler", "bingo"}
+
+    def test_walk_length_sweep_grows_with_length(self):
+        report = experiments.fig15_walk_length_sweep(dataset="AM", walk_lengths=(3, 12))
+        assert report[12]["bingo"] > 0
+        assert report[12]["gsampler"] >= report[3]["gsampler"] * 0.5
+
+    def test_bias_distribution_sweep(self):
+        report = experiments.fig15_bias_distribution(
+            dataset="AM", batch_size=60, num_batches=1, num_samples=200
+        )
+        assert set(report) == {"uniform", "gauss", "power-law"}
+        for entry in report.values():
+            assert entry["time_seconds"] > 0
+            assert entry["memory_bytes"] > 0
+
+
+class TestFigure16:
+    def test_piecewise_breakdown(self):
+        report = experiments.fig16_piecewise(datasets=("AM",), num_updates=150, num_samples=200)
+        entry = report["AM"]
+        assert entry["bingo_insert_seconds"] > 0
+        assert entry["bingo_delete_seconds"] > 0
+        assert entry["bingo_sampling_seconds"] > 0
+        assert entry["flowwalker_sampling_seconds"] > 0
+        # Bingo's per-sample cost beats FlowWalker's O(d) scan.
+        assert entry["bingo_sampling_seconds"] < entry["flowwalker_sampling_seconds"] * 5

@@ -1,0 +1,67 @@
+"""Tests for the evaluation harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    EvaluationSettings,
+    compare_engines,
+    run_evaluation,
+    run_update_only,
+)
+from repro.bench.workloads import build_update_stream
+
+FAST = EvaluationSettings(batch_size=40, num_batches=2, walk_length=4, num_walkers=8)
+
+
+class TestRunEvaluation:
+    def test_single_run_produces_metrics(self):
+        result = run_evaluation(
+            "bingo", "AM", "deepwalk", workload="mixed", settings=FAST, rng=3
+        )
+        assert result.engine == "bingo"
+        assert result.dataset == "AM"
+        assert result.total_updates == 80
+        assert result.runtime_seconds > 0
+        assert result.memory_bytes > 0
+        assert result.total_walk_steps > 0
+        assert result.updates_per_second() > 0
+        assert set(result.phase_breakdown) & {"insert", "delete", "rebuild", "sampling"}
+
+    def test_streaming_mode(self):
+        settings = EvaluationSettings(
+            batch_size=20, num_batches=1, walk_length=3, num_walkers=4, streaming=True
+        )
+        result = run_evaluation("bingo", "AM", "ppr", settings=settings, rng=5)
+        assert result.total_updates == 20
+
+    def test_engine_kwargs_forwarded(self):
+        settings = EvaluationSettings(
+            batch_size=20, num_batches=1, walk_length=3, num_walkers=4,
+            engine_kwargs={"adaptive_groups": False},
+        )
+        result = run_evaluation("bingo", "AM", "deepwalk", settings=settings, rng=5)
+        assert result.memory_bytes > 0
+
+
+class TestRunUpdateOnly:
+    def test_update_only_has_no_walk_time(self):
+        stream = build_update_stream("AM", batch_size=40, num_batches=2, rng=11)
+        result = run_update_only("bingo", stream, streaming=False, rng=11)
+        assert result.walk_seconds == 0.0
+        assert result.total_updates == 80
+        assert result.application == "updates-only"
+
+    def test_streaming_vs_batched_both_run(self):
+        stream = build_update_stream("AM", batch_size=40, num_batches=1, rng=13)
+        streaming = run_update_only("bingo", stream, streaming=True, rng=13)
+        batched = run_update_only("bingo", stream, streaming=False, rng=13)
+        assert streaming.total_updates == batched.total_updates == 40
+
+
+class TestCompareEngines:
+    def test_all_engines_share_the_same_workload(self):
+        results = compare_engines(
+            ("bingo", "flowwalker"), "AM", "deepwalk", settings=FAST, seed=17
+        )
+        assert {r.engine for r in results} == {"bingo", "flowwalker"}
+        assert len({r.total_updates for r in results}) == 1

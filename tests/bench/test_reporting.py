@@ -1,0 +1,73 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.bench.harness import EvaluationResult
+from repro.bench.reporting import (
+    format_ratio_series,
+    format_speedup_table,
+    format_table,
+    speedup,
+    summarize_results,
+)
+
+
+def _result(engine, runtime, memory=1024 ** 2):
+    return EvaluationResult(
+        engine=engine,
+        dataset="AM",
+        application="deepwalk",
+        workload="mixed",
+        runtime_seconds=runtime,
+        update_seconds=runtime / 2,
+        walk_seconds=runtime / 2,
+        memory_gigabytes=memory / 1024 ** 3,
+        memory_bytes=memory,
+        phase_breakdown={},
+        total_updates=100,
+        total_walk_steps=500,
+    )
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 0.0001]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+
+class TestSummaries:
+    def test_summarize_results(self):
+        text = summarize_results([_result("bingo", 0.5), _result("knightking", 2.0)])
+        assert "bingo" in text
+        assert "knightking" in text
+        assert "memory (MB)" in text
+
+    def test_speedup_table(self):
+        text = format_speedup_table([_result("bingo", 0.5), _result("gsampler", 2.0)])
+        assert "gsampler" in text
+        assert "speedup of bingo" in text
+
+    def test_speedup_table_requires_reference(self):
+        with pytest.raises(ValueError):
+            format_speedup_table([_result("gsampler", 2.0)])
+
+    def test_ratio_series(self):
+        text = format_ratio_series("batch", {10: 1.5, 20: 0.9})
+        assert "batch" in text
+        assert "10" in text
+
+
+class TestSpeedupHelper:
+    def test_normal_case(self):
+        assert speedup(4.0, 2.0) == 2.0
+
+    def test_zero_target(self):
+        assert speedup(4.0, 0.0) == float("inf")
+        assert speedup(0.0, 0.0) == 1.0

@@ -1,0 +1,65 @@
+"""Tests for workload builders."""
+
+import pytest
+
+from repro.bench.workloads import (
+    APPLICATIONS,
+    application_names,
+    build_update_stream,
+    run_application,
+    sample_start_vertices,
+)
+from repro.engines.bingo import BingoEngine
+from repro.errors import BenchmarkError
+from repro.graph.generators import power_law_graph
+
+
+@pytest.fixture
+def engine(small_power_law_graph):
+    engine = BingoEngine(rng=5)
+    engine.build(small_power_law_graph)
+    return engine
+
+
+class TestApplications:
+    def test_three_paper_applications(self):
+        assert application_names() == ["deepwalk", "node2vec", "ppr"]
+
+    @pytest.mark.parametrize("name", ["deepwalk", "node2vec", "ppr"])
+    def test_run_application(self, name, engine):
+        result = run_application(name, engine, walk_length=5, starts=[0, 1, 2], rng=3)
+        assert result.num_walks == 3
+        assert all(path for path in result.paths)
+
+    def test_unknown_application(self, engine):
+        with pytest.raises(BenchmarkError):
+            run_application("metapath", engine)
+
+
+class TestUpdateStreamBuilder:
+    def test_build_from_abbreviation(self):
+        stream = build_update_stream("AM", batch_size=50, num_batches=2, rng=7)
+        assert stream.num_updates == 100
+
+    def test_build_from_graph(self):
+        graph = power_law_graph(100, 3, rng=9)
+        stream = build_update_stream(graph, batch_size=30, num_batches=2, rng=9)
+        assert stream.num_batches == 2
+
+
+class TestStartSampling:
+    def test_only_vertices_with_out_edges(self, small_power_law_graph):
+        graph = small_power_law_graph
+        sink = graph.add_vertex()
+        starts = sample_start_vertices(graph, 1000, rng=3)
+        assert sink not in starts
+        assert all(graph.degree(v) > 0 for v in starts)
+
+    def test_count_respected(self, small_power_law_graph):
+        starts = sample_start_vertices(small_power_law_graph, 10, rng=3)
+        assert len(starts) == 10
+
+    def test_deterministic(self, small_power_law_graph):
+        a = sample_start_vertices(small_power_law_graph, 10, rng=3)
+        b = sample_start_vertices(small_power_law_graph, 10, rng=3)
+        assert a == b

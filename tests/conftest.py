@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import power_law_graph, running_example_graph
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random generator for tests."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def example_graph() -> DynamicGraph:
+    """The paper's Figure 1 running example (snapshot 1)."""
+    return running_example_graph()
+
+
+@pytest.fixture
+def vertex2_neighbors():
+    """Vertex 2's out-edges from the running example: (dst, bias) pairs."""
+    return [(1, 5), (4, 4), (5, 3)]
+
+
+@pytest.fixture
+def small_power_law_graph() -> DynamicGraph:
+    """A small skewed graph used by engine and walk tests."""
+    return power_law_graph(120, 3, rng=99)
+
+
+def total_variation(dist_a, dist_b) -> float:
+    """Total variation distance between two discrete distributions (dicts)."""
+    keys = set(dist_a) | set(dist_b)
+    return 0.5 * sum(abs(dist_a.get(k, 0.0) - dist_b.get(k, 0.0)) for k in keys)

@@ -1,0 +1,90 @@
+"""Tests for the adaptive group classifier (Equation 9) and conversion tracking."""
+
+import pytest
+
+from repro.core.adaptive import ConversionTracker, GroupClassifier, GroupKind
+
+
+class TestClassifier:
+    def test_paper_thresholds(self):
+        classifier = GroupClassifier()  # alpha=40, beta=10
+        degree = 100
+        assert classifier.classify(50, degree) is GroupKind.DENSE       # 50% > 40%
+        assert classifier.classify(1, degree) is GroupKind.ONE_ELEMENT
+        assert classifier.classify(5, degree) is GroupKind.SPARSE       # 5% < 10%
+        assert classifier.classify(25, degree) is GroupKind.REGULAR     # between
+
+    def test_one_element_takes_precedence_over_sparse(self):
+        classifier = GroupClassifier()
+        assert classifier.classify(1, 1000) is GroupKind.ONE_ELEMENT
+
+    def test_small_degree_edge_cases(self):
+        classifier = GroupClassifier()
+        # A 2-member group at degree 2 is 100% dense.
+        assert classifier.classify(2, 2) is GroupKind.DENSE
+        # Degree 1 single member is one-element.
+        assert classifier.classify(1, 1) is GroupKind.ONE_ELEMENT
+
+    def test_empty_group_is_regular(self):
+        classifier = GroupClassifier()
+        assert classifier.classify(0, 10) is GroupKind.REGULAR
+
+    def test_non_adaptive_mode_always_regular(self):
+        classifier = GroupClassifier(adaptive=False)
+        assert classifier.classify(90, 100) is GroupKind.REGULAR
+        assert classifier.classify(1, 100) is GroupKind.REGULAR
+
+    def test_custom_thresholds(self):
+        classifier = GroupClassifier(alpha_percent=60, beta_percent=20)
+        assert classifier.classify(50, 100) is GroupKind.REGULAR
+        assert classifier.classify(70, 100) is GroupKind.DENSE
+        assert classifier.classify(15, 100) is GroupKind.SPARSE
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            GroupClassifier(alpha_percent=10, beta_percent=40)
+        with pytest.raises(ValueError):
+            GroupClassifier(alpha_percent=120)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            GroupClassifier().classify(-1, 10)
+
+
+class TestConversionTracker:
+    def test_observe_same_kind_is_not_a_conversion(self):
+        tracker = ConversionTracker()
+        tracker.observe(GroupKind.REGULAR, GroupKind.REGULAR)
+        assert tracker.observations == 1
+        assert tracker.conversion_count() == 0
+
+    def test_observe_conversion(self):
+        tracker = ConversionTracker()
+        tracker.observe(GroupKind.DENSE, GroupKind.REGULAR)
+        tracker.observe(GroupKind.DENSE, GroupKind.REGULAR)
+        tracker.observe(GroupKind.SPARSE, GroupKind.ONE_ELEMENT)
+        assert tracker.conversion_count() == 3
+        assert tracker.conversion_ratio(GroupKind.DENSE, GroupKind.REGULAR) == pytest.approx(2 / 3)
+
+    def test_ratio_matrix_shape(self):
+        tracker = ConversionTracker()
+        tracker.observe(GroupKind.REGULAR, GroupKind.SPARSE)
+        matrix = tracker.ratio_matrix()
+        assert set(matrix) == set(GroupKind)
+        for old, row in matrix.items():
+            assert old not in row  # no diagonal entries
+        assert matrix[GroupKind.REGULAR][GroupKind.SPARSE] == 1.0
+
+    def test_empty_tracker_ratios_are_zero(self):
+        tracker = ConversionTracker()
+        assert tracker.conversion_ratio(GroupKind.DENSE, GroupKind.SPARSE) == 0.0
+
+    def test_merge(self):
+        a = ConversionTracker()
+        a.observe(GroupKind.DENSE, GroupKind.REGULAR)
+        b = ConversionTracker()
+        b.observe(GroupKind.DENSE, GroupKind.REGULAR)
+        b.observe(GroupKind.REGULAR, GroupKind.REGULAR)
+        a.merge(b)
+        assert a.observations == 3
+        assert a.conversion_count() == 2

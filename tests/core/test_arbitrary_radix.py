@@ -1,0 +1,116 @@
+"""Tests for arbitrary radix bases (supplement Section 9.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.arbitrary_radix import ArbitraryRadixSampler, digits_in_base
+from repro.errors import EmptySamplerError, SamplerStateError
+from tests.conftest import total_variation
+
+
+class TestDigits:
+    @pytest.mark.parametrize(
+        "value,base,expected",
+        [
+            (5, 4, [(0, 1), (1, 1)]),        # 5 = 1*4 + 1
+            (10, 4, [(0, 2), (1, 2)]),       # 10 = 2*4 + 2
+            (16, 4, [(2, 1)]),
+            (7, 2, [(0, 1), (1, 1), (2, 1)]),
+            (9, 8, [(0, 1), (1, 1)]),
+        ],
+    )
+    def test_known_digit_decompositions(self, value, base, expected):
+        assert digits_in_base(value, base) == expected
+
+    @given(value=st.integers(min_value=1, max_value=1 << 20), base_bits=st.integers(1, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_digits_reconstruct_value(self, value, base_bits):
+        base = 1 << base_bits
+        assert sum(d * base ** p for p, d in digits_in_base(value, base)) == value
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            digits_in_base(0, 4)
+        with pytest.raises(ValueError):
+            digits_in_base(5, 1)
+
+
+class TestArbitraryRadixSampler:
+    def test_exact_probabilities(self):
+        sampler = ArbitraryRadixSampler(radix_bits=2, rng=1)
+        biases = {0: 2, 1: 3, 2: 10, 3: 11.0}
+        for candidate, bias in biases.items():
+            sampler.insert(candidate, bias)
+        probs = sampler.exact_probabilities()
+        total = sum(biases.values())
+        for candidate, bias in biases.items():
+            assert probs[candidate] == pytest.approx(bias / total)
+
+    def test_empirical_distribution_base4(self):
+        sampler = ArbitraryRadixSampler(radix_bits=2, rng=5)
+        for candidate, bias in enumerate([2, 3, 10, 11, 5]):
+            sampler.insert(candidate, bias)
+        empirical = sampler.empirical_distribution(30_000)
+        assert total_variation(empirical, sampler.exact_probabilities()) < 0.02
+
+    def test_larger_base_reduces_group_count(self):
+        biases = [(i, (i * 37) % 4000 + 1) for i in range(40)]
+        base2 = ArbitraryRadixSampler(radix_bits=1, rng=2)
+        base16 = ArbitraryRadixSampler(radix_bits=4, rng=2)
+        for candidate, bias in biases:
+            base2.insert(candidate, bias)
+            base16.insert(candidate, bias)
+        assert base16.num_groups() < base2.num_groups()
+
+    def test_delete_with_swap(self):
+        sampler = ArbitraryRadixSampler(radix_bits=2, rng=3)
+        for candidate, bias in enumerate([7, 9, 12, 5]):
+            sampler.insert(candidate, bias)
+        sampler.delete(1)
+        sampler.delete(3)
+        probs = sampler.exact_probabilities()
+        assert set(probs) == {0, 2}
+        assert probs[0] == pytest.approx(7 / 19)
+        draws = {sampler.sample() for _ in range(200)}
+        assert draws <= {0, 2}
+
+    def test_float_bias_rejected(self):
+        sampler = ArbitraryRadixSampler(radix_bits=2, rng=1)
+        with pytest.raises(SamplerStateError):
+            sampler.insert(0, 2.5)
+
+    def test_duplicate_and_missing(self):
+        sampler = ArbitraryRadixSampler(radix_bits=2, rng=1)
+        sampler.insert(0, 3)
+        with pytest.raises(SamplerStateError):
+            sampler.insert(0, 4)
+        with pytest.raises(SamplerStateError):
+            sampler.delete(9)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(EmptySamplerError):
+            ArbitraryRadixSampler(rng=1).sample()
+
+    def test_invalid_radix_bits(self):
+        with pytest.raises(ValueError):
+            ArbitraryRadixSampler(radix_bits=0)
+
+    def test_memory_accounting_positive(self):
+        sampler = ArbitraryRadixSampler(radix_bits=3, rng=4)
+        for candidate in range(20):
+            sampler.insert(candidate, candidate + 1)
+        assert sampler.memory_bytes() > 0
+
+    @given(
+        biases=st.lists(st.integers(min_value=1, max_value=1 << 10), min_size=1, max_size=25),
+        base_bits=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_probabilities_exact_for_any_base(self, biases, base_bits):
+        sampler = ArbitraryRadixSampler(radix_bits=base_bits, rng=7)
+        for candidate, bias in enumerate(biases):
+            sampler.insert(candidate, bias)
+        total = sum(biases)
+        probs = sampler.exact_probabilities()
+        for candidate, bias in enumerate(biases):
+            assert probs[candidate] == pytest.approx(bias / total)

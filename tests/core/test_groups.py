@@ -1,0 +1,188 @@
+"""Tests for intra-group structures (RadixGroup, DecimalGroup)."""
+
+import random
+
+import pytest
+
+from repro.core.adaptive import GroupKind
+from repro.core.groups import DecimalGroup, RadixGroup
+from repro.errors import SamplerStateError
+
+
+class TestRadixGroupListBacked:
+    def test_add_and_weight(self):
+        group = RadixGroup(2)
+        group.add(0)
+        group.add(3)
+        assert len(group) == 2
+        assert group.sub_bias == 4
+        assert group.weight() == 8
+        assert group.contains(0) and group.contains(3)
+
+    def test_duplicate_add_rejected(self):
+        group = RadixGroup(0)
+        group.add(1)
+        with pytest.raises(SamplerStateError):
+            group.add(1)
+
+    def test_remove_swaps_with_tail(self):
+        group = RadixGroup(0)
+        for index in (0, 1, 2, 3):
+            group.add(index)
+        group.remove(1)
+        assert len(group) == 3
+        assert not group.contains(1)
+        # Inverted index stays the exact inverse of the member list.
+        for member, slot in group.slots.items():
+            assert group.members[slot] == member
+
+    def test_remove_missing_rejected(self):
+        group = RadixGroup(0)
+        group.add(0)
+        with pytest.raises(SamplerStateError):
+            group.remove(5)
+
+    def test_remove_from_empty_rejected(self):
+        with pytest.raises(SamplerStateError):
+            RadixGroup(0).remove(0)
+
+    def test_rename(self):
+        group = RadixGroup(1)
+        group.add(7)
+        group.rename(7, 3)
+        assert group.contains(3)
+        assert not group.contains(7)
+
+    def test_rename_missing_rejected(self):
+        group = RadixGroup(1)
+        group.add(7)
+        with pytest.raises(SamplerStateError):
+            group.rename(8, 3)
+
+    def test_sample_uniform_over_members(self):
+        group = RadixGroup(0)
+        for index in range(4):
+            group.add(index)
+        rng = random.Random(3)
+        counts = {i: 0 for i in range(4)}
+        for _ in range(8000):
+            counts[group.sample(rng)] += 1
+        for count in counts.values():
+            assert abs(count / 8000 - 0.25) < 0.03
+
+    def test_sample_empty_rejected(self):
+        with pytest.raises(SamplerStateError):
+            RadixGroup(0).sample(random.Random(1))
+
+
+class TestRadixGroupDense:
+    def test_dense_keeps_only_count(self):
+        group = RadixGroup(0, GroupKind.DENSE)
+        group.add(0)
+        group.add(1)
+        assert len(group) == 2
+        assert group.members == []
+        assert group.slots == {}
+
+    def test_dense_membership_query_rejected(self):
+        group = RadixGroup(0, GroupKind.DENSE)
+        with pytest.raises(SamplerStateError):
+            group.contains(0)
+
+    def test_dense_sampling_uses_rejection_on_bias_mask(self):
+        """Dense sampling proposes uniformly and accepts via bias & 2^k."""
+        group = RadixGroup(0, GroupKind.DENSE)
+        # Neighbours 0, 2 have odd biases (bit 0 set); neighbour 1 even.
+        integer_parts = [5, 4, 3]
+        group.add(0)
+        group.add(2)
+        rng = random.Random(5)
+        draws = [group.sample(rng, integer_parts=integer_parts) for _ in range(2000)]
+        assert set(draws) == {0, 2}
+        share = draws.count(0) / len(draws)
+        assert abs(share - 0.5) < 0.05
+
+    def test_dense_sampling_requires_bias_array(self):
+        group = RadixGroup(0, GroupKind.DENSE)
+        group.add(0)
+        with pytest.raises(SamplerStateError):
+            group.sample(random.Random(1))
+
+    def test_convert_dense_to_regular_rebuilds_members(self):
+        group = RadixGroup(1, GroupKind.DENSE)
+        integer_parts = [2, 3, 4, 6]  # bit 1 set for 2, 3, 6 -> indices 0, 1, 3
+        for index in (0, 1, 3):
+            group.add(index)
+        group.convert(GroupKind.REGULAR, integer_parts=integer_parts)
+        assert sorted(group.members) == [0, 1, 3]
+        assert len(group) == 3
+
+    def test_convert_dense_without_bias_array_rejected(self):
+        group = RadixGroup(1, GroupKind.DENSE)
+        group.add(0)
+        with pytest.raises(SamplerStateError):
+            group.convert(GroupKind.REGULAR)
+
+    def test_convert_regular_to_dense_drops_structures(self):
+        group = RadixGroup(1)
+        group.add(0)
+        group.add(2)
+        group.convert(GroupKind.DENSE)
+        assert group.members == []
+        assert len(group) == 2
+
+    def test_member_list_for_dense_scans_bias_array(self):
+        group = RadixGroup(2, GroupKind.DENSE)
+        integer_parts = [4, 1, 5]
+        group.add(0)
+        group.add(2)
+        assert group.member_list(integer_parts) == [0, 2]
+
+
+class TestDecimalGroup:
+    def test_add_remove_weight(self):
+        group = DecimalGroup()
+        group.add(0, 0.5)
+        group.add(1, 0.25)
+        assert len(group) == 2
+        assert group.weight() == pytest.approx(0.75)
+        group.remove(0)
+        assert group.weight() == pytest.approx(0.25)
+        assert not group.contains(0)
+
+    def test_invalid_fraction_rejected(self):
+        group = DecimalGroup()
+        with pytest.raises(SamplerStateError):
+            group.add(0, 0.0)
+        with pytest.raises(SamplerStateError):
+            group.add(0, 1.0)
+
+    def test_duplicate_add_rejected(self):
+        group = DecimalGroup()
+        group.add(0, 0.5)
+        with pytest.raises(SamplerStateError):
+            group.add(0, 0.4)
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(SamplerStateError):
+            DecimalGroup().remove(1)
+
+    def test_rename(self):
+        group = DecimalGroup()
+        group.add(5, 0.3)
+        group.rename(5, 2)
+        assert group.fraction_of(2) == pytest.approx(0.3)
+        assert group.fraction_of(5) == 0.0
+
+    def test_sample_proportional_to_fractions(self):
+        group = DecimalGroup()
+        group.add(0, 0.9)
+        group.add(1, 0.1)
+        rng = random.Random(7)
+        draws = [group.sample(rng) for _ in range(5000)]
+        share = draws.count(0) / len(draws)
+        assert abs(share - 0.9) < 0.03
+
+    def test_sample_empty_rejected(self):
+        with pytest.raises(SamplerStateError):
+            DecimalGroup().sample(random.Random(1))

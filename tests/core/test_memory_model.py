@@ -1,0 +1,111 @@
+"""Tests for the memory model behind the Figure 11 comparison."""
+
+import pytest
+
+from repro.core.adaptive import GroupKind
+from repro.core.memory_model import (
+    MemoryReport,
+    alias_engine_memory_bytes,
+    csr_memory_bytes,
+    group_memory_bytes,
+    its_engine_memory_bytes,
+    vertex_memory_bytes,
+)
+
+
+class TestGroupMemoryBytes:
+    def test_empty_group_is_free(self):
+        assert group_memory_bytes(GroupKind.REGULAR, 0, 100) == 0
+
+    def test_dense_and_one_element_are_constant(self):
+        assert group_memory_bytes(GroupKind.DENSE, 50, 100) == 4
+        assert group_memory_bytes(GroupKind.ONE_ELEMENT, 1, 100) == 4
+
+    def test_sparse_scales_with_group_size_only(self):
+        small_degree = group_memory_bytes(GroupKind.SPARSE, 5, 100)
+        large_degree = group_memory_bytes(GroupKind.SPARSE, 5, 100_000)
+        assert small_degree == large_degree == 5 * 8
+
+    def test_regular_scales_with_degree(self):
+        assert group_memory_bytes(GroupKind.REGULAR, 5, 100) == 5 * 4 + 100 * 4
+        assert group_memory_bytes(GroupKind.REGULAR, 5, 1000) > group_memory_bytes(
+            GroupKind.REGULAR, 5, 100
+        )
+
+    def test_adaptive_kinds_never_exceed_regular(self):
+        for kind in (GroupKind.DENSE, GroupKind.ONE_ELEMENT, GroupKind.SPARSE):
+            size = 1 if kind is GroupKind.ONE_ELEMENT else 8
+            assert group_memory_bytes(kind, size, 200) <= group_memory_bytes(
+                GroupKind.REGULAR, size, 200
+            )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            group_memory_bytes(GroupKind.REGULAR, -1, 10)
+
+
+class TestMemoryReport:
+    def test_add_get_total(self):
+        report = MemoryReport()
+        report.add("a", 100)
+        report.add("a", 50)
+        report.add("b", 25)
+        assert report.get("a") == 150
+        assert report.total_bytes() == 175
+        assert report.total_gigabytes() == pytest.approx(175 / 1024 ** 3)
+
+    def test_merge(self):
+        first = MemoryReport()
+        first.add("x", 10)
+        second = MemoryReport()
+        second.add("x", 5)
+        second.add("y", 7)
+        first.merge(second)
+        assert first.get("x") == 15
+        assert first.get("y") == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryReport().add("a", -1)
+
+    def test_as_dict_is_copy(self):
+        report = MemoryReport()
+        report.add("a", 1)
+        snapshot = report.as_dict()
+        snapshot["a"] = 99
+        assert report.get("a") == 1
+
+
+class TestVertexMemoryBytes:
+    def test_components(self):
+        report = vertex_memory_bytes(
+            {0: 3, 2: 1},
+            {0: GroupKind.REGULAR, 2: GroupKind.ONE_ELEMENT},
+            degree=4,
+            decimal_members=2,
+        )
+        assert report.get("neighbor_list") == 4 * 12
+        assert report.get("group:regular") == 3 * 4 + 4 * 4
+        assert report.get("group:one-element") == 4
+        assert report.get("group:decimal") == 2 * 12
+        assert report.get("inter_group_alias") == 3 * 12
+
+    def test_ga_smaller_than_bs_for_skewed_groups(self):
+        sizes = {0: 60, 1: 1, 2: 3}
+        degree = 100
+        bs = vertex_memory_bytes(sizes, {k: GroupKind.REGULAR for k in sizes}, degree)
+        ga = vertex_memory_bytes(
+            sizes,
+            {0: GroupKind.DENSE, 1: GroupKind.ONE_ELEMENT, 2: GroupKind.SPARSE},
+            degree,
+        )
+        assert ga.total_bytes() < bs.total_bytes()
+
+
+class TestEngineMemoryHelpers:
+    def test_csr_memory(self):
+        assert csr_memory_bytes(10, 40) == 11 * 8 + 40 * 12
+
+    def test_alias_vs_its_memory(self):
+        degrees = [5, 10, 20]
+        assert alias_engine_memory_bytes(degrees) > its_engine_memory_bytes(degrees)

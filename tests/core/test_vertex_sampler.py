@@ -1,0 +1,230 @@
+"""Tests for the Bingo per-vertex hierarchical sampler (Sections 4 and 5.1)."""
+
+import pytest
+
+from repro.core.adaptive import ConversionTracker, GroupClassifier, GroupKind
+from repro.core.vertex_sampler import BingoVertexSampler
+from repro.errors import EmptySamplerError, SamplerStateError
+from tests.conftest import total_variation
+
+
+class TestRunningExample:
+    """The paper's Figure 4 worked example: vertex 2 with biases 5, 4, 3."""
+
+    def test_group_structure_matches_figure4(self, vertex2_neighbors):
+        sampler = BingoVertexSampler.from_neighbors(vertex2_neighbors, rng=1)
+        sizes = sampler.group_sizes()
+        # Group 2^0 holds {1, 5}, group 2^1 holds {5}, group 2^2 holds {1, 4}.
+        assert sizes == {0: 2, 1: 1, 2: 2}
+        assert sampler.num_groups() == 3
+        assert sampler.decimal_group_size() == 0
+
+    def test_group_weights_match_paper(self, vertex2_neighbors):
+        sampler = BingoVertexSampler.from_neighbors(vertex2_neighbors, rng=1)
+        # "the biases of these three groups are 2, 2, and 8"
+        weights = {
+            pos: size * (1 << pos) for pos, size in sampler.group_sizes().items()
+        }
+        assert weights == {0: 2, 1: 2, 2: 8}
+
+    def test_exact_probabilities_match_equation2(self, vertex2_neighbors):
+        sampler = BingoVertexSampler.from_neighbors(vertex2_neighbors, rng=1)
+        probs = sampler.exact_probabilities()
+        assert probs[1] == pytest.approx(5 / 12)
+        assert probs[4] == pytest.approx(4 / 12)
+        assert probs[5] == pytest.approx(3 / 12)
+
+    def test_structure_probability_theorem41(self, vertex2_neighbors):
+        """Theorem 4.1: the group-structure probability equals w_i / Σw."""
+        sampler = BingoVertexSampler.from_neighbors(vertex2_neighbors, rng=1)
+        for candidate, bias in vertex2_neighbors:
+            assert sampler.structure_probability(candidate) == pytest.approx(bias / 12)
+
+    def test_empirical_distribution(self, vertex2_neighbors):
+        sampler = BingoVertexSampler.from_neighbors(vertex2_neighbors, rng=7)
+        empirical = sampler.empirical_distribution(40_000)
+        assert total_variation(empirical, sampler.exact_probabilities()) < 0.02
+
+
+class TestInsertion:
+    def test_figure5_insertion(self, vertex2_neighbors):
+        """Inserting edge (2, 3, 3) adds neighbour 3 to groups 2^0 and 2^1."""
+        sampler = BingoVertexSampler.from_neighbors(vertex2_neighbors, rng=1)
+        sampler.insert(3, 3)
+        sizes = sampler.group_sizes()
+        assert sizes == {0: 3, 1: 2, 2: 2}
+        assert sampler.structure_probability(3) == pytest.approx(3 / 15)
+        sampler.check_invariants()
+
+    def test_duplicate_insert_rejected(self, vertex2_neighbors):
+        sampler = BingoVertexSampler.from_neighbors(vertex2_neighbors, rng=1)
+        with pytest.raises(SamplerStateError):
+            sampler.insert(1, 2)
+
+    def test_invalid_bias_rejected(self):
+        sampler = BingoVertexSampler(rng=1)
+        with pytest.raises(Exception):
+            sampler.insert(0, 0)
+
+    def test_vanishing_scaled_bias_rejected(self):
+        sampler = BingoVertexSampler(rng=1, lam=1.0)
+        # 1e-12 scaled by 1 has neither integer nor (snapped) fractional part.
+        with pytest.raises(SamplerStateError):
+            sampler.insert(0, 1e-12)
+
+
+class TestDeletion:
+    def test_figure6_deletion(self, vertex2_neighbors):
+        """Deleting edge (2, 1, 5) removes neighbour 1 from groups 2^0 and 2^2."""
+        sampler = BingoVertexSampler.from_neighbors(vertex2_neighbors, rng=1)
+        sampler.delete(1)
+        sizes = sampler.group_sizes()
+        assert sizes == {0: 1, 1: 1, 2: 1}
+        assert not sampler.contains(1)
+        assert sampler.total_bias() == 7
+        probs = sampler.exact_probabilities()
+        assert probs[4] == pytest.approx(4 / 7)
+        assert probs[5] == pytest.approx(3 / 7)
+        sampler.check_invariants()
+
+    def test_delete_missing_rejected(self, vertex2_neighbors):
+        sampler = BingoVertexSampler.from_neighbors(vertex2_neighbors, rng=1)
+        with pytest.raises(SamplerStateError):
+            sampler.delete(99)
+
+    def test_delete_all_then_sample_raises(self, vertex2_neighbors):
+        sampler = BingoVertexSampler.from_neighbors(vertex2_neighbors, rng=1)
+        for candidate, _ in vertex2_neighbors:
+            sampler.delete(candidate)
+        assert len(sampler) == 0
+        with pytest.raises(EmptySamplerError):
+            sampler.sample()
+
+    def test_delete_then_reinsert(self, vertex2_neighbors):
+        sampler = BingoVertexSampler.from_neighbors(vertex2_neighbors, rng=1)
+        sampler.delete(4)
+        sampler.insert(4, 9)
+        assert sampler.bias_of(4) == 9
+        assert sampler.structure_probability(4) == pytest.approx(9 / 17)
+        sampler.check_invariants()
+
+
+class TestUpdateBias:
+    def test_update_changes_probability(self, vertex2_neighbors):
+        sampler = BingoVertexSampler.from_neighbors(vertex2_neighbors, rng=1)
+        sampler.update_bias(5, 12)
+        assert sampler.bias_of(5) == 12
+        assert sampler.structure_probability(5) == pytest.approx(12 / 21)
+        sampler.check_invariants()
+
+
+class TestSamplingDistributionAfterUpdates:
+    def test_distribution_tracks_mutations(self):
+        sampler = BingoVertexSampler.from_neighbors(
+            [(0, 7), (1, 2), (2, 9), (3, 1)], rng=5
+        )
+        sampler.delete(2)
+        sampler.insert(4, 6)
+        sampler.update_bias(0, 3)
+        empirical = sampler.empirical_distribution(30_000)
+        assert total_variation(empirical, sampler.exact_probabilities()) < 0.02
+
+
+class TestBatchedMode:
+    def test_deferred_rebuild(self, vertex2_neighbors):
+        sampler = BingoVertexSampler.from_neighbors(
+            vertex2_neighbors, rng=1, auto_rebuild=False
+        )
+        rebuilds_before = sampler.rebuild_count
+        sampler.insert(3, 3)
+        sampler.insert(6, 7)
+        sampler.delete(4)
+        assert sampler.rebuild_count == rebuilds_before  # nothing rebuilt yet
+        sampler.rebuild()
+        assert sampler.rebuild_count == rebuilds_before + 1
+        probs = sampler.exact_probabilities()
+        total = 5 + 3 + 3 + 7
+        assert probs[6] == pytest.approx(7 / total)
+        sampler.check_invariants()
+
+    def test_sampling_forces_rebuild_when_dirty(self, vertex2_neighbors):
+        sampler = BingoVertexSampler.from_neighbors(
+            vertex2_neighbors, rng=2, auto_rebuild=False
+        )
+        sampler.insert(9, 8)
+        draws = {sampler.sample() for _ in range(200)}
+        assert 9 in draws
+
+
+class TestAdaptiveRepresentation:
+    def test_one_element_group_detected(self):
+        # Bias 8 is the only neighbour with bit 3 set.
+        sampler = BingoVertexSampler.from_neighbors(
+            [(0, 8), (1, 1), (2, 1), (3, 1)], rng=1
+        )
+        kinds = sampler.group_kinds()
+        assert kinds[3] is GroupKind.ONE_ELEMENT
+
+    def test_dense_group_detected_and_sampled(self):
+        # Every bias is odd: group 2^0 holds 100% of neighbours (dense).
+        neighbors = [(i, 2 * i + 1) for i in range(10)]
+        sampler = BingoVertexSampler.from_neighbors(neighbors, rng=3)
+        assert sampler.group_kinds()[0] is GroupKind.DENSE
+        empirical = sampler.empirical_distribution(30_000)
+        assert total_variation(empirical, sampler.exact_probabilities()) < 0.03
+
+    def test_sparse_group_detected(self):
+        # One neighbour pair with bit 4 set among 30 neighbours -> sparse (2/30 < 10%).
+        neighbors = [(i, 1) for i in range(28)] + [(28, 16), (29, 16)]
+        sampler = BingoVertexSampler.from_neighbors(neighbors, rng=4)
+        assert sampler.group_kinds()[4] is GroupKind.SPARSE
+
+    def test_non_adaptive_mode_keeps_everything_regular(self):
+        neighbors = [(i, 2 * i + 1) for i in range(10)]
+        sampler = BingoVertexSampler.from_neighbors(
+            neighbors, rng=3, classifier=GroupClassifier(adaptive=False)
+        )
+        assert all(kind is GroupKind.REGULAR for kind in sampler.group_kinds().values())
+
+    def test_adaptive_memory_is_smaller_than_baseline(self):
+        neighbors = [(i, (i % 7) + 1) for i in range(60)]
+        adaptive = BingoVertexSampler.from_neighbors(neighbors, rng=5)
+        baseline = BingoVertexSampler.from_neighbors(
+            neighbors, rng=5, classifier=GroupClassifier(adaptive=False)
+        )
+        assert adaptive.memory_bytes() < baseline.memory_bytes()
+
+    def test_conversion_tracker_records_transitions(self):
+        tracker = ConversionTracker()
+        sampler = BingoVertexSampler.from_neighbors(
+            [(0, 8), (1, 1)], rng=6, conversion_tracker=tracker
+        )
+        # Adding more neighbours with bit 3 set grows the one-element group.
+        sampler.insert(2, 8)
+        sampler.insert(3, 8)
+        assert tracker.observations > 0
+        assert tracker.conversion_count() >= 1
+
+    def test_distribution_correct_under_adaptive_mix(self):
+        """Correctness must hold regardless of representation choices."""
+        neighbors = [(i, b) for i, b in enumerate([1, 1, 1, 3, 3, 5, 7, 16, 64, 64])]
+        sampler = BingoVertexSampler.from_neighbors(neighbors, rng=8)
+        for candidate, bias in neighbors:
+            assert sampler.structure_probability(candidate) == pytest.approx(
+                bias / sampler.total_bias()
+            )
+        empirical = sampler.empirical_distribution(40_000)
+        assert total_variation(empirical, sampler.exact_probabilities()) < 0.02
+
+
+class TestMemoryReport:
+    def test_components_present(self, vertex2_neighbors):
+        sampler = BingoVertexSampler.from_neighbors(vertex2_neighbors, rng=1)
+        report = sampler.memory_report()
+        assert report.get("neighbor_list") > 0
+        assert report.get("inter_group_alias") > 0
+        assert report.total_bytes() == sampler.memory_bytes()
+
+    def test_lambda_validation(self):
+        with pytest.raises(ValueError):
+            BingoVertexSampler(lam=0.0)

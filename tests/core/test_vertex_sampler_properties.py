@@ -1,0 +1,141 @@
+"""Property-based tests of the Bingo vertex sampler's structural invariants.
+
+Hypothesis drives arbitrary interleavings of insertions, deletions and bias
+updates (integer and floating-point) through the sampler and then checks:
+
+* Theorem 4.1 — the probability implied by the group structure equals
+  ``w_i / Σw`` for every live neighbour;
+* structural consistency — inverted indices invert member lists, group sizes
+  match bit counts, the decimal group matches fractional residues;
+* adaptive-representation independence — the BS (all-regular) and GA
+  (adaptive) configurations expose the identical distribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adaptive import GroupClassifier
+from repro.core.vertex_sampler import BingoVertexSampler
+
+
+def _apply_operations(sampler: BingoVertexSampler, operations) -> dict:
+    """Apply an operation list and return the expected candidate -> bias map."""
+    expected = {}
+    for op_kind, candidate, bias in operations:
+        if op_kind == "insert":
+            if candidate in expected:
+                continue
+            sampler.insert(candidate, bias)
+            expected[candidate] = bias
+        elif op_kind == "delete":
+            if candidate not in expected:
+                continue
+            sampler.delete(candidate)
+            del expected[candidate]
+        else:  # update
+            if candidate not in expected:
+                continue
+            sampler.update_bias(candidate, bias)
+            expected[candidate] = bias
+    return expected
+
+
+operation_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "update"]),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=1, max_value=1 << 10),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(operations=operation_strategy)
+@settings(max_examples=60, deadline=None)
+def test_integer_operations_preserve_theorem41_and_invariants(operations):
+    sampler = BingoVertexSampler(rng=3)
+    expected = _apply_operations(sampler, [(k, c, float(b)) for k, c, b in operations])
+    sampler.check_invariants()
+    assert dict(sampler.candidates()) == expected
+    total = sum(expected.values())
+    for candidate, bias in expected.items():
+        assert sampler.structure_probability(candidate) == pytest.approx(bias / total)
+
+
+float_operation_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "update"]),
+        st.integers(min_value=0, max_value=10),
+        st.floats(min_value=0.05, max_value=100.0, allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(operations=float_operation_strategy)
+@settings(max_examples=40, deadline=None)
+def test_float_operations_preserve_theorem41(operations):
+    sampler = BingoVertexSampler(rng=5, lam=100.0)
+    expected = _apply_operations(sampler, operations)
+    sampler.check_invariants()
+    total = sum(expected.values())
+    if not expected:
+        return
+    for candidate, bias in expected.items():
+        # λ-scaling rounds each bias to 1/λ precision; allow that quantisation.
+        assert sampler.structure_probability(candidate) == pytest.approx(
+            bias / total, rel=0.02, abs=0.02
+        )
+
+
+@given(
+    biases=st.lists(st.integers(min_value=1, max_value=1 << 8), min_size=1, max_size=30)
+)
+@settings(max_examples=40, deadline=None)
+def test_adaptive_and_baseline_representations_agree(biases):
+    adaptive = BingoVertexSampler.from_neighbors(
+        list(enumerate(map(float, biases))), rng=7
+    )
+    baseline = BingoVertexSampler.from_neighbors(
+        list(enumerate(map(float, biases))),
+        rng=7,
+        classifier=GroupClassifier(adaptive=False),
+    )
+    for candidate in range(len(biases)):
+        assert adaptive.structure_probability(candidate) == pytest.approx(
+            baseline.structure_probability(candidate)
+        )
+    # GA never uses more modelled memory than BS.
+    assert adaptive.memory_bytes() <= baseline.memory_bytes()
+
+
+@given(
+    biases=st.lists(st.integers(min_value=1, max_value=1 << 10), min_size=2, max_size=25),
+    delete_positions=st.lists(st.integers(min_value=0, max_value=24), min_size=1, max_size=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_batched_mode_matches_streaming_mode(biases, delete_positions):
+    """Applying the same edits with deferred rebuild gives the same distribution."""
+    pairs = list(enumerate(map(float, biases)))
+    streaming = BingoVertexSampler.from_neighbors(pairs, rng=11)
+    batched = BingoVertexSampler.from_neighbors(pairs, rng=11, auto_rebuild=False)
+
+    victims = sorted({p % len(biases) for p in delete_positions})
+    if len(victims) == len(biases):
+        victims = victims[:-1]
+    for victim in victims:
+        streaming.delete(victim)
+        batched.delete(victim)
+    batched.rebuild()
+
+    assert dict(streaming.candidates()) == dict(batched.candidates())
+    for candidate, _ in streaming.candidates():
+        assert streaming.structure_probability(candidate) == pytest.approx(
+            batched.structure_probability(candidate)
+        )
+    streaming.check_invariants()
+    batched.check_invariants()

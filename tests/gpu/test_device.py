@@ -1,0 +1,56 @@
+"""Tests for the simulated device execution model."""
+
+import pytest
+
+from repro.gpu.device import DeviceConfig, SimulatedDevice
+
+
+class TestParallelSteps:
+    def test_zero_items(self):
+        device = SimulatedDevice()
+        assert device.parallel_steps(0) == 0
+
+    def test_ceiling_division(self):
+        config = DeviceConfig(num_sms=2, threads_per_sm=8)
+        device = SimulatedDevice(config=config)
+        assert config.parallel_lanes == 16
+        assert device.parallel_steps(16) == 1
+        assert device.parallel_steps(17) == 2
+        assert device.parallel_steps(160) == 10
+
+
+class TestLaunch:
+    def test_launch_runs_body_and_records(self):
+        device = SimulatedDevice(config=DeviceConfig(num_sms=1, threads_per_sm=4))
+        results = device.launch("square", [1, 2, 3, 4, 5], lambda x: x * x)
+        assert results == [1, 4, 9, 16, 25]
+        assert len(device.launches) == 1
+        launch = device.launches[0]
+        assert launch.name == "square"
+        assert launch.work_items == 5
+        assert launch.parallel_steps == 2
+        assert launch.wall_seconds >= 0
+
+    def test_statistics_helpers(self):
+        device = SimulatedDevice(config=DeviceConfig(num_sms=1, threads_per_sm=2))
+        device.launch("a", [1, 2, 3], lambda x: x)
+        device.launch("b", [1], lambda x: x)
+        device.launch("a", [1, 2], lambda x: x)
+        assert device.total_parallel_steps() == 2 + 1 + 1
+        assert len(device.launches_named("a")) == 2
+        assert device.total_kernel_seconds() >= 0
+        device.reset_statistics()
+        assert device.launches == []
+
+    def test_default_pool_sized_by_global_memory(self):
+        device = SimulatedDevice()
+        assert device.pool is not None
+        assert device.pool.capacity_bytes == device.config.global_memory_bytes
+
+
+class TestSharedMemory:
+    def test_shared_memory_capacity(self):
+        device = SimulatedDevice(config=DeviceConfig(shared_memory_bytes=1024))
+        assert device.shared_memory_capacity(4) == 256
+        with pytest.raises(ValueError):
+            device.shared_memory_capacity(0)

@@ -1,0 +1,83 @@
+"""Tests for pool-backed dynamic arrays."""
+
+import pytest
+
+from repro.gpu.dynamic_array import DynamicArray
+from repro.gpu.memory_pool import MemoryPool
+
+
+class TestAppendAndGrowth:
+    def test_append_and_index(self):
+        array = DynamicArray()
+        for value in range(10):
+            array.append(value)
+        assert len(array) == 10
+        assert array[3] == 3
+        array[3] = 99
+        assert array[3] == 99
+        assert list(array) == array.to_list()
+
+    def test_capacity_doubles(self):
+        array = DynamicArray(initial_capacity=2)
+        for value in range(9):
+            array.append(value)
+        assert array.capacity == 16
+        assert array.grow_count == 3
+
+    def test_growth_reallocates_from_pool(self):
+        pool = MemoryPool()
+        array = DynamicArray(pool, element_bytes=4, initial_capacity=2)
+        for value in range(10):
+            array.append(value)
+        # Old blocks were released back to the pool as the array grew.
+        assert pool.stats.releases == array.grow_count
+        assert pool.bytes_in_use() == array.memory_bytes()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DynamicArray(element_bytes=0)
+        with pytest.raises(ValueError):
+            DynamicArray(initial_capacity=0)
+
+
+class TestSwapRemove:
+    def test_swap_remove_middle(self):
+        array = DynamicArray()
+        for value in (10, 20, 30, 40):
+            array.append(value)
+        removed = array.swap_remove(1)
+        assert removed == 20
+        assert sorted(array.to_list()) == [10, 30, 40]
+        assert len(array) == 3
+
+    def test_swap_remove_last(self):
+        array = DynamicArray()
+        array.append(1)
+        array.append(2)
+        assert array.swap_remove(1) == 2
+        assert array.to_list() == [1]
+
+    def test_swap_remove_out_of_range(self):
+        array = DynamicArray()
+        array.append(1)
+        with pytest.raises(IndexError):
+            array.swap_remove(5)
+
+    def test_pop_and_clear(self):
+        array = DynamicArray()
+        array.append(1)
+        array.append(2)
+        assert array.pop() == 2
+        array.clear()
+        assert len(array) == 0
+
+
+class TestRelease:
+    def test_release_returns_memory_to_pool(self):
+        pool = MemoryPool()
+        array = DynamicArray(pool, initial_capacity=8)
+        array.append(1)
+        array.release()
+        assert pool.bytes_in_use() == 0
+        assert len(array) == 0
+        assert array.capacity == 0

@@ -1,0 +1,136 @@
+"""Tests for the batched-update kernels (Section 5.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.kernels import (
+    BatchStatistics,
+    group_updates_by_vertex,
+    normalize_vertex_updates,
+    parallel_delete_and_swap,
+)
+from repro.graph.update_stream import GraphUpdate, UpdateKind
+
+
+def _insert(src, dst, bias=1.0, ts=0):
+    return GraphUpdate(UpdateKind.INSERT, src, dst, bias, ts)
+
+
+def _delete(src, dst, ts=0):
+    return GraphUpdate(UpdateKind.DELETE, src, dst, 1.0, ts)
+
+
+class TestGrouping:
+    def test_groups_by_source_preserving_order(self):
+        updates = [_insert(1, 2, ts=0), _insert(3, 4, ts=1), _delete(1, 5, ts=2)]
+        grouped = group_updates_by_vertex(updates)
+        assert set(grouped) == {1, 3}
+        assert [u.timestamp for u in grouped[1]] == [0, 2]
+
+    def test_empty_input(self):
+        assert group_updates_by_vertex([]) == {}
+
+
+class TestNormalization:
+    def test_plain_insert_and_delete(self):
+        inserts, deletes, cancelled = normalize_vertex_updates(
+            [_insert(0, 1, 2.0), _delete(0, 5)], existing_destinations={5}
+        )
+        assert inserts == [(1, 2.0)]
+        assert deletes == [5]
+        assert cancelled == 0
+
+    def test_insert_then_delete_cancels(self):
+        inserts, deletes, cancelled = normalize_vertex_updates(
+            [_insert(0, 1, 2.0, ts=0), _delete(0, 1, ts=1)], existing_destinations=set()
+        )
+        assert inserts == []
+        assert deletes == []
+        assert cancelled == 1
+
+    def test_delete_then_insert_becomes_bias_update(self):
+        inserts, deletes, cancelled = normalize_vertex_updates(
+            [_delete(0, 1, ts=0), _insert(0, 1, 9.0, ts=1)], existing_destinations={1}
+        )
+        assert inserts == [(1, 9.0)]
+        assert deletes == [1]
+        assert cancelled == 0
+
+    def test_delete_then_insert_of_missing_edge(self):
+        inserts, deletes, cancelled = normalize_vertex_updates(
+            [_delete(0, 1, ts=0), _insert(0, 1, 9.0, ts=1)], existing_destinations=set()
+        )
+        assert inserts == [(1, 9.0)]
+        assert deletes == []
+
+    def test_delete_insert_delete_sequence(self):
+        inserts, deletes, _ = normalize_vertex_updates(
+            [_delete(0, 1, ts=0), _insert(0, 1, 9.0, ts=1), _delete(0, 1, ts=2)],
+            existing_destinations={1},
+        )
+        assert inserts == []
+        assert deletes == [1]
+
+
+class TestParallelDeleteAndSwap:
+    def test_matches_sequential_deletion_multiset(self):
+        items = list(range(10))
+        result = parallel_delete_and_swap(items, [0, 9, 4])
+        assert sorted(result.items) == [1, 2, 3, 5, 6, 7, 8]
+        assert result.tail_window == 3
+
+    def test_all_victims_in_tail(self):
+        items = list(range(6))
+        result = parallel_delete_and_swap(items, [4, 5])
+        assert sorted(result.items) == [0, 1, 2, 3]
+        assert result.deleted_in_tail == 2
+        assert result.front_fills == 0
+
+    def test_all_victims_in_front(self):
+        items = list(range(6))
+        result = parallel_delete_and_swap(items, [0, 1])
+        assert sorted(result.items) == [2, 3, 4, 5]
+        assert result.deleted_in_tail == 0
+        assert result.front_fills == 2
+
+    def test_delete_everything(self):
+        result = parallel_delete_and_swap([1, 2, 3], [0, 1, 2])
+        assert result.items == []
+
+    def test_no_deletions(self):
+        result = parallel_delete_and_swap([5, 6], [])
+        assert result.items == [5, 6]
+
+    def test_shared_memory_flag(self):
+        in_shared = parallel_delete_and_swap(list(range(20)), [1, 2], shared_memory_capacity=8)
+        spilled = parallel_delete_and_swap(list(range(20)), list(range(10)), shared_memory_capacity=8)
+        assert in_shared.used_shared_memory
+        assert not spilled.used_shared_memory
+
+    def test_out_of_range_positions(self):
+        with pytest.raises(IndexError):
+            parallel_delete_and_swap([1, 2], [5])
+
+    @given(
+        items=st.lists(st.integers(), min_size=1, max_size=60, unique=True),
+        seed_positions=st.lists(st.integers(min_value=0, max_value=59), max_size=40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_equivalent_to_set_difference(self, items, seed_positions):
+        """The 2-phase compaction keeps exactly the non-deleted elements (any order)."""
+        positions = sorted({p % len(items) for p in seed_positions})
+        expected = [value for index, value in enumerate(items) if index not in positions]
+        result = parallel_delete_and_swap(items, positions)
+        assert sorted(result.items) == sorted(expected)
+        assert len(result.items) == len(items) - len(positions)
+
+
+class TestBatchStatistics:
+    def test_merge(self):
+        a = BatchStatistics(insertions=1, deletions=2, rebuilds=1)
+        b = BatchStatistics(insertions=3, deletions=1, kernel_launches=2)
+        a.merge(b)
+        assert a.insertions == 4
+        assert a.deletions == 3
+        assert a.kernel_launches == 2
+        assert a.rebuilds == 1

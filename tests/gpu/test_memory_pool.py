@@ -1,0 +1,80 @@
+"""Tests for the simulated device memory pool."""
+
+import pytest
+
+from repro.errors import OutOfDeviceMemoryError
+from repro.gpu.memory_pool import MemoryPool
+
+
+class TestBlockSizing:
+    def test_rounds_up_to_power_of_two(self):
+        pool = MemoryPool(min_block_bytes=64)
+        assert pool.block_size_for(1) == 64
+        assert pool.block_size_for(64) == 64
+        assert pool.block_size_for(65) == 128
+        assert pool.block_size_for(1000) == 1024
+
+    def test_invalid_min_block(self):
+        with pytest.raises(ValueError):
+            MemoryPool(min_block_bytes=48)
+
+    def test_negative_request_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryPool().block_size_for(-1)
+
+
+class TestAllocateRelease:
+    def test_allocate_tracks_bytes(self):
+        pool = MemoryPool()
+        handle = pool.allocate(100)
+        assert pool.bytes_in_use() == 128
+        pool.release(handle)
+        assert pool.bytes_in_use() == 0
+        assert pool.stats.releases == 1
+
+    def test_release_recycles_blocks(self):
+        pool = MemoryPool()
+        handle = pool.allocate(100)
+        pool.release(handle)
+        pool.allocate(100)
+        assert pool.stats.fresh_allocations == 1
+        assert pool.stats.recycled_allocations == 1
+        assert pool.stats.recycle_rate() == 0.5
+
+    def test_release_unknown_handle(self):
+        with pytest.raises(KeyError):
+            MemoryPool().release(99)
+
+    def test_peak_tracking(self):
+        pool = MemoryPool()
+        handles = [pool.allocate(64) for _ in range(4)]
+        for handle in handles:
+            pool.release(handle)
+        assert pool.stats.peak_bytes_in_use == 4 * 64
+        assert pool.bytes_in_use() == 0
+
+
+class TestCapacity:
+    def test_out_of_memory(self):
+        pool = MemoryPool(capacity_bytes=256)
+        pool.allocate(128)
+        with pytest.raises(OutOfDeviceMemoryError):
+            pool.allocate(256)
+
+    def test_free_bytes(self):
+        pool = MemoryPool(capacity_bytes=512)
+        pool.allocate(100)
+        assert pool.free_bytes() == 512 - 128
+        assert MemoryPool().free_bytes() is None
+
+    def test_recycled_blocks_do_not_hit_capacity(self):
+        pool = MemoryPool(capacity_bytes=128)
+        handle = pool.allocate(128)
+        pool.release(handle)
+        # The recycled block is reused without a fresh reservation.
+        pool.allocate(128)
+        assert pool.stats.recycled_allocations == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryPool(capacity_bytes=0)

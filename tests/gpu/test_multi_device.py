@@ -1,0 +1,49 @@
+"""Tests for multi-device walker transfer accounting."""
+
+import pytest
+
+from repro.graph.generators import power_law_graph
+from repro.graph.partition import partition_graph
+from repro.gpu.multi_device import MultiDeviceRuntime
+
+
+@pytest.fixture
+def runtime():
+    graph = power_law_graph(80, 3, rng=41)
+    partition = partition_graph(graph, 4)
+    return graph, MultiDeviceRuntime(partition)
+
+
+class TestRecordStep:
+    def test_transfer_detection(self, runtime):
+        graph, rt = runtime
+        same = None
+        cross = None
+        for edge in graph.edges():
+            if rt.device_of(edge.src) == rt.device_of(edge.dst) and same is None:
+                same = edge
+            if rt.device_of(edge.src) != rt.device_of(edge.dst) and cross is None:
+                cross = edge
+        assert same is not None and cross is not None
+        assert rt.record_step(same.src, same.dst) is False
+        assert rt.record_step(cross.src, cross.dst) is True
+        assert rt.stats.steps == 2
+        assert rt.stats.transfers == 1
+        assert rt.stats.transfer_rate() == pytest.approx(0.5)
+
+    def test_record_walk(self, runtime):
+        _, rt = runtime
+        rt.record_walk([0, 1, 2, 3])
+        assert rt.stats.steps == 3
+
+    def test_per_device_loads(self, runtime):
+        graph, rt = runtime
+        for edge in list(graph.edges())[:50]:
+            rt.record_step(edge.src, edge.dst)
+        assert sum(rt.stats.per_device_steps.values()) == rt.stats.steps
+        assert rt.stats.load_imbalance() >= 1.0
+
+    def test_empty_stats(self, runtime):
+        _, rt = runtime
+        assert rt.stats.transfer_rate() == 0.0
+        assert rt.stats.load_imbalance() == 1.0 or rt.stats.load_imbalance() >= 0

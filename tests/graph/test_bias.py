@@ -1,0 +1,103 @@
+"""Tests for bias generators."""
+
+import pytest
+
+from repro.graph.bias import (
+    BiasDistribution,
+    add_fractional_noise,
+    degree_biases,
+    gauss_biases,
+    group_element_ratio,
+    make_bias_generator,
+    power_law_biases,
+    uniform_biases,
+)
+
+
+class TestUniform:
+    def test_range_and_count(self):
+        biases = uniform_biases(500, low=2, high=9, rng=1)
+        assert len(biases) == 500
+        assert all(2 <= b <= 9 for b in biases)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            uniform_biases(5, low=0, high=4)
+        with pytest.raises(ValueError):
+            uniform_biases(5, low=5, high=4)
+
+
+class TestGauss:
+    def test_clamped_to_one(self):
+        biases = gauss_biases(500, mean=2, stddev=5, rng=2)
+        assert all(b >= 1 for b in biases)
+
+    def test_mean_roughly_respected(self):
+        biases = gauss_biases(5000, mean=50, stddev=5, rng=3)
+        assert 45 < sum(biases) / len(biases) < 55
+
+
+class TestPowerLaw:
+    def test_bounds(self):
+        biases = power_law_biases(1000, alpha=2.0, max_bias=256, rng=4)
+        assert all(1 <= b <= 256 for b in biases)
+
+    def test_heavy_tail_is_skewed(self):
+        biases = power_law_biases(5000, alpha=2.0, max_bias=1 << 12, rng=5)
+        # Most mass sits at small values for a power law.
+        small = sum(1 for b in biases if b <= 4)
+        assert small > len(biases) * 0.5
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            power_law_biases(10, alpha=1.0)
+
+    def test_invalid_max_bias(self):
+        with pytest.raises(ValueError):
+            power_law_biases(10, max_bias=0)
+
+
+class TestDegreeAndNoise:
+    def test_degree_biases_clamped(self):
+        assert degree_biases([0, 1, 5]) == [1, 1, 5]
+
+    def test_fractional_noise_adds_less_than_one(self):
+        base = [1, 2, 3]
+        noisy = add_fractional_noise(base, rng=6)
+        assert all(b <= n < b + 1 for b, n in zip(base, noisy))
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["uniform", "gauss", "power-law"])
+    def test_named_distributions(self, name):
+        generator = make_bias_generator(name, rng=7)
+        biases = generator(100)
+        assert len(biases) == 100
+        assert all(b >= 1 for b in biases)
+
+    def test_degree_requires_topology(self):
+        with pytest.raises(ValueError):
+            make_bias_generator(BiasDistribution.DEGREE)
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(TypeError):
+            make_bias_generator("uniform", rng=1, bogus=3)
+
+
+class TestGroupElementRatio:
+    def test_all_odd_biases_fill_group_zero(self):
+        ratios = group_element_ratio([1, 3, 5, 7], num_groups=4)
+        assert ratios[0] == 1.0
+        assert ratios[3] == 0.0
+
+    def test_specific_bits(self):
+        # 5 = 101b, 6 = 110b
+        ratios = group_element_ratio([5, 6], num_groups=3)
+        assert ratios == [0.5, 0.5, 1.0]
+
+    def test_empty_input(self):
+        assert group_element_ratio([], num_groups=3) == [0.0, 0.0, 0.0]
+
+    def test_invalid_group_count(self):
+        with pytest.raises(ValueError):
+            group_element_ratio([1], num_groups=0)

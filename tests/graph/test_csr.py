@@ -1,0 +1,70 @@
+"""Tests for CSR snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VertexNotFoundError
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+class TestFromDynamic:
+    def test_roundtrip_matches_adjacency(self, example_graph):
+        csr = CSRGraph.from_dynamic(example_graph)
+        assert csr.num_vertices == example_graph.num_vertices
+        assert csr.num_arcs == example_graph.num_arcs
+        for vertex in range(example_graph.num_vertices):
+            assert csr.degree(vertex) == example_graph.degree(vertex)
+            assert set(csr.neighbors(vertex).tolist()) == set(example_graph.neighbors(vertex))
+            assert csr.total_bias(vertex) == pytest.approx(example_graph.total_bias(vertex))
+
+    def test_empty_graph(self):
+        csr = CSRGraph.from_dynamic(DynamicGraph(3))
+        assert csr.num_vertices == 3
+        assert csr.num_arcs == 0
+        assert csr.max_degree() == 0
+
+
+class TestValidation:
+    def test_mismatched_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph([0, 2], [1], [1.0])
+
+    def test_mismatched_bias_shape_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph([0, 1], [1], [1.0, 2.0])
+
+    def test_empty_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph([], [], [])
+
+    def test_unknown_vertex(self, example_graph):
+        csr = CSRGraph.from_dynamic(example_graph)
+        with pytest.raises(VertexNotFoundError):
+            csr.degree(100)
+
+
+class TestAccessors:
+    def test_out_edges(self, example_graph):
+        csr = CSRGraph.from_dynamic(example_graph)
+        edges = list(csr.out_edges(2))
+        assert {(e.dst, e.bias) for e in edges} == {(1, 5.0), (4, 4.0), (5, 3.0)}
+
+    def test_edges_total(self, example_graph):
+        csr = CSRGraph.from_dynamic(example_graph)
+        assert len(list(csr.edges())) == csr.num_arcs
+
+    def test_statistics(self, example_graph):
+        csr = CSRGraph.from_dynamic(example_graph)
+        assert csr.max_degree() == example_graph.max_degree()
+        assert csr.average_degree() == pytest.approx(example_graph.average_degree())
+
+    def test_memory_bytes_positive(self, example_graph):
+        csr = CSRGraph.from_dynamic(example_graph)
+        assert csr.memory_bytes() > 0
+
+    def test_arrays_dtype(self, example_graph):
+        csr = CSRGraph.from_dynamic(example_graph)
+        assert csr.offsets.dtype == np.int64
+        assert csr.targets.dtype == np.int64
+        assert csr.biases.dtype == np.float64

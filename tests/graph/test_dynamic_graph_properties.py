@@ -1,0 +1,81 @@
+"""Property-based tests for the dynamic graph against a reference model.
+
+Hypothesis drives arbitrary interleavings of edge insertions, deletions and
+bias updates through :class:`DynamicGraph` and mirrors them in a plain
+dictionary model; the two must agree on every query the engines rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic_graph import DynamicGraph
+
+NUM_VERTICES = 8
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "update"]),
+        st.integers(min_value=0, max_value=NUM_VERTICES - 1),
+        st.integers(min_value=0, max_value=NUM_VERTICES - 1),
+        st.integers(min_value=1, max_value=100),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+def _replay(ops):
+    graph = DynamicGraph(NUM_VERTICES)
+    model = {}
+    for kind, src, dst, bias in ops:
+        if kind == "insert":
+            if (src, dst) not in model:
+                graph.add_edge(src, dst, float(bias))
+                model[(src, dst)] = float(bias)
+        elif kind == "delete":
+            if (src, dst) in model:
+                graph.remove_edge(src, dst)
+                del model[(src, dst)]
+        else:  # update
+            if (src, dst) in model:
+                graph.update_bias(src, dst, float(bias))
+                model[(src, dst)] = float(bias)
+    return graph, model
+
+
+@given(ops=operations)
+@settings(max_examples=80, deadline=None)
+def test_graph_matches_reference_model(ops):
+    graph, model = _replay(ops)
+    assert graph.num_edges == len(model)
+    observed = {(e.src, e.dst): e.bias for e in graph.edges()}
+    assert observed == model
+    for (src, dst), bias in model.items():
+        assert graph.has_edge(src, dst)
+        assert graph.edge_bias(src, dst) == bias
+        assert graph.neighbor_index(src, dst) < graph.degree(src)
+
+
+@given(ops=operations)
+@settings(max_examples=50, deadline=None)
+def test_degrees_and_totals_are_consistent(ops):
+    graph, model = _replay(ops)
+    for vertex in range(NUM_VERTICES):
+        out = {dst: bias for (src, dst), bias in model.items() if src == vertex}
+        assert graph.degree(vertex) == len(out)
+        assert graph.total_bias(vertex) == pytest.approx(sum(out.values()))
+        assert sorted(graph.neighbors(vertex)) == sorted(out)
+    assert graph.num_arcs == len(model)
+
+
+@given(ops=operations)
+@settings(max_examples=50, deadline=None)
+def test_csr_snapshot_matches_dynamic_graph(ops):
+    graph, model = _replay(ops)
+    csr = CSRGraph.from_dynamic(graph)
+    assert csr.num_arcs == graph.num_arcs
+    observed = {(e.src, e.dst): e.bias for e in csr.edges()}
+    assert observed == model

@@ -1,0 +1,74 @@
+"""Tests for edge-list IO."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.edge_list import edges_from_pairs, load_edge_list, save_edge_list
+
+
+class TestLoad:
+    def test_load_basic(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment\n0 1 2.5\n1 2\n\n% another comment\n2 0 4\n")
+        graph = load_edge_list(path)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 3
+        assert graph.edge_bias(0, 1) == 2.5
+        assert graph.edge_bias(1, 2) == 1.0  # default bias
+
+    def test_load_duplicate_lines_skipped(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("0 1 1\n0 1 2\n")
+        graph = load_edge_list(path)
+        assert graph.num_edges == 1
+        assert graph.edge_bias(0, 1) == 1.0
+
+    def test_load_undirected_skips_reverse_duplicates(self, tmp_path):
+        path = tmp_path / "undirected.txt"
+        path.write_text("0 1 1\n1 0 1\n")
+        graph = load_edge_list(path, undirected=True)
+        assert graph.num_edges == 1
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_non_numeric_raises(self, tmp_path):
+        path = tmp_path / "bad2.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+
+class TestSave:
+    def test_roundtrip(self, tmp_path, example_graph):
+        path = tmp_path / "roundtrip.txt"
+        save_edge_list(example_graph, path, header="running example")
+        loaded = load_edge_list(path)
+        assert loaded.num_edges == example_graph.num_edges
+        for edge in example_graph.edges():
+            assert loaded.edge_bias(edge.src, edge.dst) == pytest.approx(edge.bias)
+
+    def test_save_without_bias(self, tmp_path):
+        graph = DynamicGraph.from_edges([(0, 1, 5.0)])
+        path = tmp_path / "nobias.txt"
+        save_edge_list(graph, path, include_bias=False)
+        loaded = load_edge_list(path)
+        assert loaded.edge_bias(0, 1) == 1.0
+
+    def test_save_undirected_writes_each_edge_once(self, tmp_path):
+        graph = DynamicGraph(2, undirected=True)
+        graph.add_edge(0, 1, 2.0)
+        path = tmp_path / "undirected.txt"
+        save_edge_list(graph, path)
+        lines = [l for l in path.read_text().splitlines() if l and not l.startswith("#")]
+        assert len(lines) == 1
+
+
+class TestHelpers:
+    def test_edges_from_pairs(self):
+        assert edges_from_pairs([(0, 1), (1, 2)], bias=3.0) == [(0, 1, 3.0), (1, 2, 3.0)]

@@ -1,0 +1,107 @@
+"""Tests for synthetic graph generators."""
+
+import pytest
+
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi_graph,
+    path_graph,
+    power_law_graph,
+    rmat_graph,
+    running_example_graph,
+    star_graph,
+)
+
+
+class TestRunningExample:
+    def test_matches_paper_figure(self):
+        graph = running_example_graph()
+        assert graph.num_vertices == 6
+        # Vertex 2's out-edges are the paper's worked example.
+        assert {(e.dst, e.bias) for e in graph.out_edges(2)} == {(1, 5), (4, 4), (5, 3)}
+
+    def test_every_vertex_has_an_out_edge(self):
+        graph = running_example_graph()
+        assert all(graph.degree(v) > 0 for v in range(graph.num_vertices))
+
+
+class TestDeterministicTopologies:
+    def test_star(self):
+        graph = star_graph(5)
+        assert graph.num_vertices == 6
+        assert graph.degree(0) == 5
+        assert all(graph.degree(v) == 0 for v in range(1, 6))
+
+    def test_path(self):
+        graph = path_graph(4)
+        assert graph.num_edges == 3
+        assert graph.has_edge(0, 1) and graph.has_edge(2, 3)
+
+    def test_complete(self):
+        graph = complete_graph(4)
+        assert graph.num_edges == 12
+        assert all(graph.degree(v) == 3 for v in range(4))
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        graph = erdos_renyi_graph(50, 200, rng=1)
+        assert graph.num_edges == 200
+        assert graph.num_vertices == 50
+
+    def test_no_self_loops(self):
+        graph = erdos_renyi_graph(30, 100, rng=2)
+        assert all(edge.src != edge.dst for edge in graph.edges())
+
+    def test_undirected_variant(self):
+        graph = erdos_renyi_graph(20, 40, rng=3, undirected=True)
+        assert graph.num_edges == 40
+        assert graph.num_arcs == 80
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(3, 100, rng=4)
+
+    def test_deterministic_with_seed(self):
+        a = erdos_renyi_graph(30, 60, rng=5)
+        b = erdos_renyi_graph(30, 60, rng=5)
+        assert {(e.src, e.dst) for e in a.edges()} == {(e.src, e.dst) for e in b.edges()}
+
+
+class TestPowerLaw:
+    def test_size_and_positive_biases(self):
+        graph = power_law_graph(200, 3, rng=6)
+        assert graph.num_vertices == 200
+        assert graph.num_edges > 200
+        assert all(edge.bias >= 1 for edge in graph.edges())
+
+    def test_degree_skew(self):
+        graph = power_law_graph(300, 3, rng=7)
+        in_degree = [0] * graph.num_vertices
+        for edge in graph.edges():
+            in_degree[edge.dst] += 1
+        assert max(in_degree) > 5 * (sum(in_degree) / len(in_degree))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            power_law_graph(3, 5)
+
+
+class TestRMAT:
+    def test_vertex_count_is_power_of_two(self):
+        graph = rmat_graph(8, 4, rng=8)
+        assert graph.num_vertices == 256
+        assert graph.num_edges > 0
+
+    def test_skewed_degrees(self):
+        graph = rmat_graph(9, 8, rng=9)
+        assert graph.max_degree() > 4 * graph.average_degree()
+
+    def test_invalid_rmat_parameters(self):
+        with pytest.raises(ValueError):
+            rmat_graph(5, 2, a=0.5, b=0.3, c=0.3)
+
+    def test_deterministic_with_seed(self):
+        a = rmat_graph(7, 3, rng=10)
+        b = rmat_graph(7, 3, rng=10)
+        assert a.num_edges == b.num_edges

@@ -1,0 +1,51 @@
+"""Tests for 1-D graph partitioning."""
+
+import pytest
+
+from repro.graph.generators import power_law_graph
+from repro.graph.partition import partition_graph
+
+
+@pytest.fixture
+def graph():
+    return power_law_graph(100, 3, rng=31)
+
+
+class TestPartitionGraph:
+    @pytest.mark.parametrize("strategy", ["contiguous", "round_robin"])
+    def test_every_vertex_assigned(self, graph, strategy):
+        partition = partition_graph(graph, 4, strategy=strategy)
+        assert len(partition.owner) == graph.num_vertices
+        assert all(0 <= part < 4 for part in partition.owner)
+        assert sum(len(group) for group in partition.vertices) == graph.num_vertices
+
+    def test_vertices_lists_match_owner(self, graph):
+        partition = partition_graph(graph, 3)
+        for part, vertices in enumerate(partition.vertices):
+            assert all(partition.owner[v] == part for v in vertices)
+
+    def test_single_partition_has_no_cut(self, graph):
+        partition = partition_graph(graph, 1)
+        assert partition.edge_cut(graph) == 0
+        assert partition.balance(graph) == pytest.approx(1.0)
+
+    def test_round_robin_assignment(self, graph):
+        partition = partition_graph(graph, 4, strategy="round_robin")
+        assert all(partition.owner[v] == v % 4 for v in range(graph.num_vertices))
+
+    def test_contiguous_balances_arcs(self, graph):
+        partition = partition_graph(graph, 4, strategy="contiguous")
+        # Degree-aware contiguous split should not be wildly imbalanced.
+        assert partition.balance(graph) < 3.0
+
+    def test_edge_cut_bounded_by_arcs(self, graph):
+        partition = partition_graph(graph, 4)
+        assert 0 <= partition.edge_cut(graph) <= graph.num_arcs
+
+    def test_unknown_strategy(self, graph):
+        with pytest.raises(ValueError):
+            partition_graph(graph, 2, strategy="metis")
+
+    def test_invalid_part_count(self, graph):
+        with pytest.raises(ValueError):
+            partition_graph(graph, 0)

@@ -1,0 +1,110 @@
+"""End-to-end integration tests: the full paper workflow on one engine stack.
+
+These exercise the whole pipeline — dataset generation, update-stream
+construction, the Bingo engine's batched ingestion, every walk application,
+and the reporting layer — the way the examples and benchmarks do.
+"""
+
+import pytest
+
+from repro.bench.harness import EvaluationSettings, compare_engines
+from repro.engines.bingo import BingoEngine
+from repro.graph.generators import power_law_graph
+from repro.graph.update_stream import UpdateWorkload, generate_update_stream
+from repro.walks.deepwalk import DeepWalkConfig, run_deepwalk
+from repro.walks.node2vec import Node2VecConfig, run_node2vec
+from repro.walks.ppr import PPRConfig, run_ppr
+
+
+class TestDynamicWalkPipeline:
+    def test_walks_remain_valid_across_update_rounds(self):
+        """Walks after every batch must only use edges of the current snapshot."""
+        graph = power_law_graph(200, 3, rng=51)
+        stream = generate_update_stream(
+            graph, batch_size=120, num_batches=3, workload=UpdateWorkload.MIXED, rng=52
+        )
+        engine = BingoEngine(rng=53)
+        engine.build(stream.initial_graph.copy())
+
+        for batch in stream.batches:
+            engine.apply_batch(batch)
+            engine.check_consistency()
+            walks = run_deepwalk(
+                engine, DeepWalkConfig(walk_length=10), starts=list(range(0, 40))
+            )
+            snapshot = engine.graph
+            for path in walks.paths:
+                for src, dst in zip(path, path[1:]):
+                    assert snapshot.has_edge(src, dst)
+
+    def test_all_applications_run_after_updates(self):
+        graph = power_law_graph(150, 3, rng=61)
+        stream = generate_update_stream(
+            graph, batch_size=80, num_batches=2, workload=UpdateWorkload.MIXED, rng=62
+        )
+        engine = BingoEngine(rng=63)
+        engine.build(stream.initial_graph.copy())
+        for batch in stream.batches:
+            engine.apply_batch(batch)
+
+        starts = [v for v in range(30) if engine.degree(v) > 0][:10]
+        deepwalk = run_deepwalk(engine, DeepWalkConfig(walk_length=8), starts=starts)
+        node2vec = run_node2vec(
+            engine, Node2VecConfig(walk_length=8), starts=starts, rng=64
+        )
+        ppr = run_ppr(
+            engine, PPRConfig(termination_probability=0.2, max_steps=40),
+            starts=starts, rng=65,
+        )
+        assert deepwalk.num_walks == node2vec.num_walks == ppr.num_walks == len(starts)
+        assert deepwalk.total_steps > 0
+        assert ppr.visit_counter().total > 0
+
+    def test_streaming_and_batched_paths_converge(self):
+        """After the same stream, both ingestion modes expose identical graphs."""
+        graph = power_law_graph(120, 3, rng=71)
+        stream = generate_update_stream(
+            graph, batch_size=60, num_batches=2, workload=UpdateWorkload.MIXED, rng=72
+        )
+        streaming = BingoEngine(rng=73)
+        streaming.build(stream.initial_graph.copy())
+        batched = BingoEngine(rng=73)
+        batched.build(stream.initial_graph.copy())
+        for batch in stream.batches:
+            streaming.apply_streaming(batch)
+            batched.apply_batch(batch)
+        streaming.check_consistency()
+        batched.check_consistency()
+        assert streaming.graph.num_edges == batched.graph.num_edges
+
+
+class TestCrossEngineEndToEnd:
+    def test_full_comparison_produces_consistent_workload(self):
+        settings = EvaluationSettings(
+            batch_size=40, num_batches=2, walk_length=5, num_walkers=10
+        )
+        results = compare_engines(
+            ("bingo", "knightking", "gsampler", "flowwalker"),
+            "AM",
+            "deepwalk",
+            workload="mixed",
+            settings=settings,
+            seed=81,
+        )
+        assert len(results) == 4
+        assert len({r.total_updates for r in results}) == 1
+        for result in results:
+            assert result.runtime_seconds > 0
+            assert result.memory_bytes > 0
+
+    def test_bingo_updates_faster_than_rebuild_baselines_on_skewed_graph(self):
+        """The core claim: Bingo's update path beats rebuild-from-scratch baselines."""
+        graph = power_law_graph(400, 5, rng=91)
+        stream = generate_update_stream(
+            graph, batch_size=200, num_batches=2, workload=UpdateWorkload.MIXED, rng=92
+        )
+        from repro.bench.harness import run_update_only
+
+        bingo = run_update_only("bingo", stream, streaming=False, rng=93)
+        knightking = run_update_only("knightking", stream, streaming=False, rng=93)
+        assert bingo.update_seconds < knightking.update_seconds

@@ -1,0 +1,109 @@
+"""Tests for the alias-table sampler."""
+
+import pytest
+
+from repro.errors import EmptySamplerError, SamplerStateError
+from repro.sampling.alias import AliasTable
+from tests.conftest import total_variation
+
+
+class TestMutation:
+    def test_insert_and_len(self):
+        table = AliasTable(rng=1)
+        table.insert(10, 2.0)
+        table.insert(20, 3.0)
+        assert len(table) == 2
+        assert table.total_bias() == 5.0
+        assert set(dict(table.candidates())) == {10, 20}
+
+    def test_duplicate_insert_rejected(self):
+        table = AliasTable(rng=1)
+        table.insert(1, 1.0)
+        with pytest.raises(SamplerStateError):
+            table.insert(1, 2.0)
+
+    def test_delete(self):
+        table = AliasTable(rng=1)
+        for c in range(5):
+            table.insert(c, c + 1.0)
+        table.delete(2)
+        assert len(table) == 4
+        assert not table.contains(2)
+
+    def test_delete_missing_rejected(self):
+        table = AliasTable(rng=1)
+        with pytest.raises(SamplerStateError):
+            table.delete(7)
+
+    def test_update_bias(self):
+        table = AliasTable(rng=1)
+        table.insert(1, 1.0)
+        table.update_bias(1, 4.0)
+        assert dict(table.candidates())[1] == 4.0
+
+    def test_mutation_marks_dirty(self):
+        table = AliasTable(rng=1)
+        table.insert(1, 1.0)
+        assert table.is_dirty()
+        table.rebuild()
+        assert not table.is_dirty()
+        table.insert(2, 1.0)
+        assert table.is_dirty()
+
+
+class TestSampling:
+    def test_empty_sample_raises(self):
+        with pytest.raises(EmptySamplerError):
+            AliasTable(rng=1).sample()
+
+    def test_single_candidate(self):
+        table = AliasTable(rng=1)
+        table.insert(42, 3.0)
+        assert all(table.sample() == 42 for _ in range(10))
+
+    def test_sample_triggers_lazy_rebuild(self):
+        table = AliasTable(rng=1)
+        table.insert(1, 1.0)
+        table.insert(2, 1.0)
+        before = table.rebuild_count
+        table.sample()
+        assert table.rebuild_count == before + 1
+
+    def test_distribution_matches_biases(self):
+        table = AliasTable(rng=7)
+        biases = {0: 1.0, 1: 2.0, 2: 4.0, 3: 8.0}
+        for candidate, bias in biases.items():
+            table.insert(candidate, bias)
+        empirical = table.empirical_distribution(30_000)
+        assert total_variation(empirical, table.exact_probabilities()) < 0.02
+
+    def test_exact_probabilities(self):
+        table = AliasTable(rng=1)
+        table.insert(0, 1.0)
+        table.insert(1, 3.0)
+        probs = table.exact_probabilities()
+        assert probs[0] == pytest.approx(0.25)
+        assert probs[1] == pytest.approx(0.75)
+
+
+class TestAccounting:
+    def test_memory_scales_with_candidates(self):
+        small = AliasTable(rng=1)
+        large = AliasTable(rng=1)
+        for c in range(4):
+            small.insert(c, 1.0)
+        for c in range(400):
+            large.insert(c, 1.0)
+        assert large.memory_bytes() > small.memory_bytes()
+
+    def test_rebuild_cost_grows_linearly(self):
+        """Alias reconstruction is O(d): ops roughly scale with candidate count."""
+        costs = {}
+        for degree in (64, 512):
+            table = AliasTable(rng=1)
+            for c in range(degree):
+                table.insert(c, float((c % 7) + 1))
+            table.counter.reset()
+            table.rebuild()
+            costs[degree] = table.counter.total()
+        assert costs[512] > 4 * costs[64]

@@ -1,0 +1,46 @@
+"""Tests for the operation cost model."""
+
+import pytest
+
+from repro.sampling.cost_model import OperationCosts, OperationCounter
+
+
+class TestOperationCounter:
+    def test_counters_accumulate(self):
+        counter = OperationCounter()
+        counter.touch(3)
+        counter.compare()
+        counter.draw(2)
+        counter.arith(4)
+        assert counter.memory_touches == 3
+        assert counter.comparisons == 1
+        assert counter.random_draws == 2
+        assert counter.arithmetic_ops == 4
+        assert counter.total() == 10
+
+    def test_reset(self):
+        counter = OperationCounter()
+        counter.touch(5)
+        counter.reset()
+        assert counter.total() == 0
+
+    def test_snapshot_is_a_copy(self):
+        counter = OperationCounter()
+        counter.touch(2)
+        snap = counter.snapshot()
+        assert snap["memory_touches"] == 2
+        assert snap["total"] == 2
+        counter.touch(1)
+        assert snap["memory_touches"] == 2
+
+
+class TestOperationCosts:
+    def test_record_and_get(self):
+        costs = OperationCosts()
+        costs.record("sample", ops=500, invocations=100)
+        assert costs.get("sample") == 5.0
+        assert costs.get("insert") == 0.0
+
+    def test_zero_invocations_rejected(self):
+        with pytest.raises(ValueError):
+            OperationCosts().record("sample", ops=10, invocations=0)

@@ -1,0 +1,88 @@
+"""Tests for the inverse-transform sampler."""
+
+import pytest
+
+from repro.errors import EmptySamplerError, SamplerStateError
+from repro.sampling.its import InverseTransformSampler
+from tests.conftest import total_variation
+
+
+class TestMutation:
+    def test_insert_is_append_only_fast_path(self):
+        sampler = InverseTransformSampler(rng=1)
+        sampler.insert(0, 1.0)
+        sampler.insert(1, 2.0)
+        assert not sampler.is_dirty()  # appends extend the prefix sums directly
+        assert sampler.total_bias() == 3.0
+
+    def test_delete_marks_dirty(self):
+        sampler = InverseTransformSampler(rng=1)
+        for c in range(4):
+            sampler.insert(c, 1.0)
+        sampler.delete(1)
+        assert sampler.is_dirty()
+        assert len(sampler) == 3
+        sampler.rebuild()
+        assert not sampler.is_dirty()
+
+    def test_update_bias_marks_dirty(self):
+        sampler = InverseTransformSampler(rng=1)
+        sampler.insert(0, 1.0)
+        sampler.update_bias(0, 5.0)
+        assert sampler.is_dirty()
+
+    def test_duplicate_insert_rejected(self):
+        sampler = InverseTransformSampler(rng=1)
+        sampler.insert(0, 1.0)
+        with pytest.raises(SamplerStateError):
+            sampler.insert(0, 1.0)
+
+    def test_delete_missing_rejected(self):
+        with pytest.raises(SamplerStateError):
+            InverseTransformSampler(rng=1).delete(3)
+
+
+class TestSampling:
+    def test_empty_sample_raises(self):
+        with pytest.raises(EmptySamplerError):
+            InverseTransformSampler(rng=1).sample()
+
+    def test_distribution_matches_biases(self):
+        sampler = InverseTransformSampler(rng=3)
+        for candidate, bias in enumerate([1.0, 1.0, 2.0, 4.0, 8.0]):
+            sampler.insert(candidate, bias)
+        empirical = sampler.empirical_distribution(30_000)
+        assert total_variation(empirical, sampler.exact_probabilities()) < 0.02
+
+    def test_distribution_correct_after_delete(self):
+        sampler = InverseTransformSampler(rng=5)
+        for candidate, bias in enumerate([1.0, 5.0, 3.0, 1.0]):
+            sampler.insert(candidate, bias)
+        sampler.delete(1)
+        empirical = sampler.empirical_distribution(20_000)
+        assert total_variation(empirical, sampler.exact_probabilities()) < 0.02
+
+    def test_sampling_cost_is_logarithmic(self):
+        """ITS sampling cost should grow slowly (log d) with degree."""
+        costs = {}
+        for degree in (16, 4096):
+            sampler = InverseTransformSampler(rng=1)
+            for c in range(degree):
+                sampler.insert(c, 1.0)
+            sampler.counter.reset()
+            for _ in range(100):
+                sampler.sample()
+            costs[degree] = sampler.counter.total() / 100
+        # 256x more candidates should cost far less than 256x more work.
+        assert costs[4096] < 6 * costs[16]
+
+
+class TestAccounting:
+    def test_memory_scales_with_candidates(self):
+        small = InverseTransformSampler(rng=1)
+        large = InverseTransformSampler(rng=1)
+        for c in range(4):
+            small.insert(c, 1.0)
+        for c in range(400):
+            large.insert(c, 1.0)
+        assert large.memory_bytes() > small.memory_bytes()

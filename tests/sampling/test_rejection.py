@@ -1,0 +1,90 @@
+"""Tests for the rejection sampler."""
+
+import pytest
+
+from repro.errors import EmptySamplerError, SamplerStateError
+from repro.sampling.rejection import RejectionSampler
+from tests.conftest import total_variation
+
+
+class TestMutation:
+    def test_insert_updates_envelope(self):
+        sampler = RejectionSampler(rng=1)
+        sampler.insert(0, 2.0)
+        sampler.insert(1, 10.0)
+        assert sampler.expected_trials() == pytest.approx(2 * 10.0 / 12.0)
+
+    def test_delete_keeps_envelope_lazy(self):
+        sampler = RejectionSampler(rng=1)
+        sampler.insert(0, 2.0)
+        sampler.insert(1, 10.0)
+        sampler.delete(1)
+        # Envelope is not tightened automatically…
+        assert sampler.expected_trials() == pytest.approx(1 * 10.0 / 2.0)
+        # …until an explicit rescan.
+        sampler.tighten_envelope()
+        assert sampler.expected_trials() == pytest.approx(1.0)
+
+    def test_duplicate_insert_rejected(self):
+        sampler = RejectionSampler(rng=1)
+        sampler.insert(0, 1.0)
+        with pytest.raises(SamplerStateError):
+            sampler.insert(0, 1.0)
+
+    def test_delete_missing_rejected(self):
+        with pytest.raises(SamplerStateError):
+            RejectionSampler(rng=1).delete(0)
+
+
+class TestSampling:
+    def test_empty_sample_raises(self):
+        with pytest.raises(EmptySamplerError):
+            RejectionSampler(rng=1).sample()
+
+    def test_distribution_matches_biases(self):
+        sampler = RejectionSampler(rng=11)
+        for candidate, bias in enumerate([1.0, 2.0, 3.0, 6.0]):
+            sampler.insert(candidate, bias)
+        empirical = sampler.empirical_distribution(30_000)
+        assert total_variation(empirical, sampler.exact_probabilities()) < 0.02
+
+    def test_acceptance_rate_tracks_skew(self):
+        """A highly skewed bias set should reject often."""
+        skewed = RejectionSampler(rng=13)
+        skewed.insert(0, 100.0)
+        for candidate in range(1, 50):
+            skewed.insert(candidate, 1.0)
+        for _ in range(2000):
+            skewed.sample()
+        uniform = RejectionSampler(rng=13)
+        for candidate in range(50):
+            uniform.insert(candidate, 5.0)
+        for _ in range(2000):
+            uniform.sample()
+        assert skewed.acceptance_rate() < uniform.acceptance_rate()
+        assert uniform.acceptance_rate() == pytest.approx(1.0)
+
+    def test_max_trials_guard(self):
+        sampler = RejectionSampler(rng=1, max_trials=1)
+        sampler.insert(0, 1.0)
+        sampler.insert(1, 1e9)
+        sampler.delete(1)  # stale huge envelope, single tiny candidate
+        with pytest.raises(SamplerStateError):
+            # Probability of acceptance within one trial is ~1e-9.
+            for _ in range(20):
+                sampler.sample()
+
+
+class TestAccounting:
+    def test_update_cost_is_constant(self):
+        """Rejection sampling updates should not grow with degree."""
+        costs = {}
+        for degree in (16, 2048):
+            sampler = RejectionSampler(rng=1)
+            for c in range(degree):
+                sampler.insert(c, float((c % 5) + 1))
+            sampler.counter.reset()
+            for c in range(degree, degree + 100):
+                sampler.insert(c, 2.0)
+            costs[degree] = sampler.counter.total() / 100
+        assert costs[2048] == pytest.approx(costs[16], rel=0.5)

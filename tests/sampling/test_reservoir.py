@@ -1,0 +1,65 @@
+"""Tests for the weighted reservoir sampler."""
+
+import pytest
+
+from repro.errors import EmptySamplerError, SamplerStateError
+from repro.sampling.reservoir import WeightedReservoirSampler
+from tests.conftest import total_variation
+
+
+class TestMutation:
+    def test_insert_delete(self):
+        sampler = WeightedReservoirSampler(rng=1)
+        sampler.insert(0, 1.0)
+        sampler.insert(1, 2.0)
+        sampler.delete(0)
+        assert len(sampler) == 1
+        assert sampler.contains(1)
+        assert not sampler.contains(0)
+
+    def test_duplicate_insert_rejected(self):
+        sampler = WeightedReservoirSampler(rng=1)
+        sampler.insert(0, 1.0)
+        with pytest.raises(SamplerStateError):
+            sampler.insert(0, 2.0)
+
+    def test_update_bias(self):
+        sampler = WeightedReservoirSampler(rng=1)
+        sampler.insert(0, 1.0)
+        sampler.update_bias(0, 3.0)
+        assert sampler.total_bias() == 3.0
+
+
+class TestSampling:
+    def test_empty_sample_raises(self):
+        with pytest.raises(EmptySamplerError):
+            WeightedReservoirSampler(rng=1).sample()
+
+    def test_distribution_matches_biases(self):
+        sampler = WeightedReservoirSampler(rng=17)
+        for candidate, bias in enumerate([1.0, 3.0, 6.0]):
+            sampler.insert(candidate, bias)
+        empirical = sampler.empirical_distribution(30_000)
+        assert total_variation(empirical, sampler.exact_probabilities()) < 0.02
+
+    def test_sampling_cost_is_linear_in_degree(self):
+        """Each reservoir draw scans every candidate (the FlowWalker weakness)."""
+        costs = {}
+        for degree in (32, 1024):
+            sampler = WeightedReservoirSampler(rng=1)
+            for c in range(degree):
+                sampler.insert(c, 1.0)
+            sampler.counter.reset()
+            for _ in range(20):
+                sampler.sample()
+            costs[degree] = sampler.counter.total() / 20
+        assert costs[1024] > 20 * costs[32]
+
+
+class TestAccounting:
+    def test_no_auxiliary_memory(self):
+        """Reservoir memory is just the candidate arrays (no alias/CDF state)."""
+        sampler = WeightedReservoirSampler(rng=1)
+        for c in range(100):
+            sampler.insert(c, 1.0)
+        assert sampler.memory_bytes() == 100 * 16

@@ -1,0 +1,75 @@
+"""Property-based tests shared by every DynamicSampler implementation.
+
+These use hypothesis to drive random bias vectors and random update sequences
+through each sampler and check the invariants that make the Table 1 / Table 3
+comparisons meaningful: the exact selection probabilities always equal
+``w_i / Σw`` and the candidate set always reflects the applied updates.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.vertex_sampler import BingoVertexSampler
+from repro.sampling.alias import AliasTable
+from repro.sampling.its import InverseTransformSampler
+from repro.sampling.rejection import RejectionSampler
+from repro.sampling.reservoir import WeightedReservoirSampler
+
+SAMPLER_CLASSES = [
+    AliasTable,
+    InverseTransformSampler,
+    RejectionSampler,
+    WeightedReservoirSampler,
+    BingoVertexSampler,
+]
+
+bias_lists = st.lists(st.integers(min_value=1, max_value=1 << 12), min_size=1, max_size=40)
+
+
+@pytest.mark.parametrize("sampler_cls", SAMPLER_CLASSES)
+@given(biases=bias_lists)
+@settings(max_examples=40, deadline=None)
+def test_exact_probabilities_match_normalized_biases(sampler_cls, biases):
+    sampler = sampler_cls(rng=5)
+    for candidate, bias in enumerate(biases):
+        sampler.insert(candidate, float(bias))
+    total = float(sum(biases))
+    probabilities = sampler.exact_probabilities()
+    assert len(probabilities) == len(biases)
+    for candidate, bias in enumerate(biases):
+        assert probabilities[candidate] == pytest.approx(bias / total)
+
+
+@pytest.mark.parametrize("sampler_cls", SAMPLER_CLASSES)
+@given(
+    biases=bias_lists,
+    deletions=st.lists(st.integers(min_value=0, max_value=39), max_size=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_candidate_set_tracks_inserts_and_deletes(sampler_cls, biases, deletions):
+    sampler = sampler_cls(rng=9)
+    expected = {}
+    for candidate, bias in enumerate(biases):
+        sampler.insert(candidate, float(bias))
+        expected[candidate] = float(bias)
+    for victim in deletions:
+        if victim in expected:
+            sampler.delete(victim)
+            del expected[victim]
+    assert dict(sampler.candidates()) == expected
+    assert len(sampler) == len(expected)
+    assert sampler.total_bias() == pytest.approx(sum(expected.values()))
+
+
+@pytest.mark.parametrize("sampler_cls", SAMPLER_CLASSES)
+@given(biases=st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=10))
+@settings(max_examples=20, deadline=None)
+def test_samples_only_return_live_candidates(sampler_cls, biases):
+    sampler = sampler_cls(rng=13)
+    for candidate, bias in enumerate(biases):
+        sampler.insert(candidate + 100, float(bias))
+    live = {candidate + 100 for candidate in range(len(biases))}
+    for _ in range(30):
+        assert sampler.sample() in live

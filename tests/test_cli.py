@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENT_RUNNERS, main
+
+
+class TestList:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENT_RUNNERS:
+            assert name in output
+
+
+class TestRun:
+    def test_run_fig9_json(self, capsys):
+        assert main(["run", "fig9", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"uniform", "gauss", "power-law"}
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 5
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "bogus"])
+
+
+class TestCompare:
+    def test_compare_small(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset", "AM",
+                "--application", "deepwalk",
+                "--batch-size", "30",
+                "--num-batches", "1",
+                "--walk-length", "3",
+                "--num-walkers", "4",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        for engine in ("bingo", "knightking", "gsampler", "flowwalker"):
+            assert engine in output

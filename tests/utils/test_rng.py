@@ -1,0 +1,46 @@
+"""Tests for repro.utils.rng."""
+
+import random
+
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_returns_random_instance(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42)
+        b = ensure_rng(42)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_existing_rng_returned_unchanged(self):
+        rng = random.Random(7)
+        assert ensure_rng(rng) is rng
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng(True)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")  # type: ignore[arg-type]
+
+
+class TestSpawnRng:
+    def test_children_are_independent_streams(self):
+        parent_a = random.Random(5)
+        parent_b = random.Random(5)
+        child_a = spawn_rng(parent_a, 0)
+        child_b = spawn_rng(parent_b, 1)
+        # Different stream indices from identical parents diverge.
+        seq_a = [child_a.random() for _ in range(5)]
+        seq_b = [child_b.random() for _ in range(5)]
+        assert seq_a != seq_b
+
+    def test_same_stream_is_reproducible(self):
+        child_a = spawn_rng(random.Random(5), 3)
+        child_b = spawn_rng(random.Random(5), 3)
+        assert [child_a.random() for _ in range(5)] == [child_b.random() for _ in range(5)]

@@ -1,0 +1,66 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+from repro.utils.timing import Stopwatch, TimeBreakdown
+
+
+class TestStopwatch:
+    def test_elapsed_increases(self):
+        watch = Stopwatch()
+        first = watch.elapsed()
+        time.sleep(0.001)
+        assert watch.elapsed() > first
+
+    def test_reset_restarts(self):
+        watch = Stopwatch()
+        time.sleep(0.001)
+        watch.reset()
+        assert watch.elapsed() < 0.5
+
+
+class TestTimeBreakdown:
+    def test_measure_accumulates(self):
+        breakdown = TimeBreakdown()
+        with breakdown.measure("phase"):
+            time.sleep(0.001)
+        with breakdown.measure("phase"):
+            time.sleep(0.001)
+        assert breakdown.get("phase") > 0.0
+        assert breakdown.total() == breakdown.get("phase")
+
+    def test_add_and_get(self):
+        breakdown = TimeBreakdown()
+        breakdown.add("a", 1.0)
+        breakdown.add("a", 0.5)
+        breakdown.add("b", 2.0)
+        assert breakdown.get("a") == 1.5
+        assert breakdown.get("missing") == 0.0
+        assert breakdown.total() == 3.5
+
+    def test_merge(self):
+        first = TimeBreakdown()
+        first.add("a", 1.0)
+        second = TimeBreakdown()
+        second.add("a", 2.0)
+        second.add("b", 3.0)
+        first.merge(second)
+        assert first.get("a") == 3.0
+        assert first.get("b") == 3.0
+
+    def test_as_dict_is_a_copy(self):
+        breakdown = TimeBreakdown()
+        breakdown.add("a", 1.0)
+        snapshot = breakdown.as_dict()
+        snapshot["a"] = 99.0
+        assert breakdown.get("a") == 1.0
+
+    def test_measure_records_even_on_exception(self):
+        breakdown = TimeBreakdown()
+        try:
+            with breakdown.measure("phase"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert breakdown.get("phase") >= 0.0
+        assert "phase" in breakdown.phases

@@ -1,0 +1,63 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidBiasError
+from repro.utils.validation import (
+    check_bias,
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckBias:
+    @pytest.mark.parametrize("bias", [1, 5, 0.25, 1e-6, 2 ** 40])
+    def test_accepts_positive_finite(self, bias):
+        assert check_bias(bias) == bias
+
+    @pytest.mark.parametrize("bias", [0, -1, -0.5, math.inf, math.nan, "3", None, True])
+    def test_rejects_invalid(self, bias):
+        with pytest.raises(InvalidBiasError):
+            check_bias(bias)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "n") == 3
+
+    @pytest.mark.parametrize("value", [0, -2])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError):
+            check_positive_int(value, "n")
+
+    @pytest.mark.parametrize("value", [1.5, "2", True])
+    def test_rejects_non_int(self, value):
+        with pytest.raises(TypeError):
+            check_positive_int(value, "n")
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "n") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int(-1, "n")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0, 1])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == pytest.approx(float(value))
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            check_probability("0.5", "p")

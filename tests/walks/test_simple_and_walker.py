@@ -1,0 +1,81 @@
+"""Tests for simple sampling and the walker-side helpers."""
+
+import pytest
+
+from repro.engines.bingo import BingoEngine
+from repro.walks.simple import run_simple_sampling, sampling_histogram
+from repro.walks.walker import VisitCounter, WalkResult, collect_walks, default_start_vertices
+
+
+@pytest.fixture
+def engine(example_graph):
+    engine = BingoEngine(rng=3)
+    engine.build(example_graph)
+    return engine
+
+
+class TestSimpleSampling:
+    def test_one_result_per_query(self, engine):
+        results = run_simple_sampling(engine, [0, 1, 2, 2, 5])
+        assert len(results) == 5
+        assert all(result is not None for result in results)
+
+    def test_sink_query_returns_none(self, engine, example_graph):
+        sink = example_graph.add_vertex()
+        results = run_simple_sampling(engine, [sink])
+        assert results == [None]
+
+    def test_histogram_counts(self, engine):
+        histogram = sampling_histogram(engine, 2, 2000)
+        assert set(histogram) == {1, 4, 5}
+        assert sum(histogram.values()) == 2000
+
+
+class TestWalkResult:
+    def test_add_and_statistics(self):
+        result = WalkResult()
+        result.add([0, 1, 2])
+        result.add([3])
+        assert result.num_walks == 2
+        assert result.total_steps == 2
+        assert result.average_length() == 2.0
+
+    def test_collect_walks(self):
+        result = collect_walks([[0, 1], [1, 2, 3]])
+        assert result.num_walks == 2
+        assert result.total_steps == 3
+
+    def test_empty_average(self):
+        assert WalkResult().average_length() == 0.0
+
+    def test_visit_counter_from_result(self):
+        result = collect_walks([[0, 1, 1], [1, 2]])
+        counter = result.visit_counter()
+        assert counter.counts[1] == 3
+        assert counter.total == 5
+
+
+class TestVisitCounter:
+    def test_frequency(self):
+        counter = VisitCounter()
+        counter.add(0, 3)
+        counter.add(1, 1)
+        assert counter.frequency(0) == pytest.approx(0.75)
+        assert counter.frequency(9) == 0.0
+
+    def test_top(self):
+        counter = VisitCounter()
+        counter.add_path([0, 1, 1, 2, 2, 2])
+        assert counter.top(2) == [(2, 3), (1, 2)]
+
+    def test_empty_frequency(self):
+        assert VisitCounter().frequency(0) == 0.0
+
+
+class TestDefaultStarts:
+    def test_one_walker_per_vertex(self):
+        assert default_start_vertices(3) == [0, 1, 2]
+
+    def test_multiple_walkers(self):
+        starts = default_start_vertices(2, walkers_per_vertex=2)
+        assert starts == [0, 1, 0, 1]
