@@ -21,11 +21,12 @@ from repro.bench.harness import (
     compare_engines,
     run_update_only,
 )
-from repro.bench.workloads import sample_start_vertices
+from repro.bench.workloads import run_application, sample_start_vertices
 from repro.core.adaptive import GroupKind
 from repro.core.vertex_sampler import BingoVertexSampler
 from repro.engines.bingo import BingoEngine
 from repro.engines.flowwalker import FlowWalkerEngine
+from repro.engines.registry import create_engine
 from repro.graph.bias import (
     gauss_biases,
     group_element_ratio,
@@ -523,6 +524,127 @@ def fig15_batch_size_sweep(
             result = run_update_only(engine_name, stream, streaming=False, rng=seed + 1)
             row[engine_name] = result.runtime_seconds
         output[batch_size] = row
+    return output
+
+
+def fig15_frontier_sweep(
+    *,
+    dataset: str = "LJ",
+    batch_sizes: Sequence[int] = (50, 125, 250, 500),
+    total_updates: int = 1500,
+    walk_length: int = 10,
+    num_walkers: Optional[int] = None,
+    engines: Sequence[str] = ("gsampler", "bingo"),
+    seed: int = 43,
+) -> Dict[int, Dict[str, float]]:
+    """Figure 15a executed through the batched walk frontier.
+
+    Same sweep shape as :func:`fig15_batch_size_sweep`, but each ingested
+    batch is followed by a DeepWalk round, run twice per engine: once with
+    the scalar per-walker loop and once with the batched frontier.  The
+    ``*_frontier_seconds`` vs ``*_scalar_seconds`` columns are the measured
+    win of the vectorized sampling kernels on identical workloads.
+    ``num_walkers=None`` uses the paper's placement: one walker per vertex.
+    """
+    output: Dict[int, Dict[str, float]] = {}
+    for batch_size in batch_sizes:
+        num_batches = max(1, total_updates // batch_size)
+        rng = ensure_rng(seed)
+        graph = build_dataset(dataset, rng=rng)
+        stream = generate_update_stream(
+            graph,
+            batch_size=batch_size,
+            num_batches=num_batches,
+            workload=UpdateWorkload.MIXED,
+            rng=rng,
+        )
+        starts = sample_start_vertices(
+            stream.initial_graph,
+            num_walkers if num_walkers is not None else stream.initial_graph.num_vertices,
+            rng=seed + 2,
+        )
+        row: Dict[str, float] = {}
+        for engine_name in engines:
+            for mode, use_frontier in (("scalar", False), ("frontier", True)):
+                engine = create_engine(engine_name, rng=seed + 1)
+                engine.build(stream.initial_graph.copy())
+                walk_rng = ensure_rng(seed + 3)
+                start_time = time.perf_counter()
+                for batch in stream.batches:
+                    engine.apply_batch(batch)
+                    run_application(
+                        "deepwalk",
+                        engine,
+                        walk_length=walk_length,
+                        starts=starts,
+                        rng=walk_rng,
+                        frontier=use_frontier,
+                    )
+                row[f"{engine_name}_{mode}_seconds"] = (
+                    time.perf_counter() - start_time
+                )
+        output[batch_size] = row
+    return output
+
+
+def frontier_throughput(
+    *,
+    dataset: str = "LJ",
+    engines: Sequence[str] = SOTA_ENGINES,
+    num_walkers: Optional[int] = None,
+    walk_length: int = 10,
+    rounds: int = 3,
+    seed: int = 61,
+) -> Dict[str, Dict[str, float]]:
+    """Scalar per-walker loop vs batched frontier walk throughput per engine.
+
+    Runs ``rounds`` DeepWalk rounds per mode (the paper's workflow runs the
+    application after every update batch, so the fused frontier tables are
+    warm for all but the first round).  ``num_walkers=None`` uses the
+    paper's placement: one walker per vertex.
+    """
+    from repro.walks.deepwalk import DeepWalkConfig, run_deepwalk
+
+    rng = ensure_rng(seed)
+    graph = build_dataset(dataset, rng=rng)
+    starts = sample_start_vertices(
+        graph,
+        num_walkers if num_walkers is not None else graph.num_vertices,
+        rng=seed + 1,
+    )
+    config = DeepWalkConfig(walk_length=walk_length)
+    output: Dict[str, Dict[str, float]] = {}
+    for engine_name in engines:
+        engine = create_engine(engine_name, rng=seed + 2)
+        engine.build(graph.copy())
+
+        scalar_steps = 0
+        scalar_start = time.perf_counter()
+        for _ in range(rounds):
+            scalar_steps += run_deepwalk(engine, config, starts=starts).total_steps
+        scalar_seconds = time.perf_counter() - scalar_start
+
+        frontier_steps = 0
+        frontier_start = time.perf_counter()
+        for round_index in range(rounds):
+            frontier_steps += run_deepwalk(
+                engine, config, starts=starts, frontier=True, rng=seed + 3 + round_index
+            ).total_steps
+        frontier_seconds = time.perf_counter() - frontier_start
+
+        output[engine_name] = {
+            "scalar_steps_per_second": (
+                scalar_steps / scalar_seconds if scalar_seconds > 0 else float("inf")
+            ),
+            "frontier_steps_per_second": (
+                frontier_steps / frontier_seconds
+                if frontier_seconds > 0
+                else float("inf")
+            ),
+            "frontier_speedup": (
+                scalar_seconds / frontier_seconds if frontier_seconds > 0 else float("inf")
+            ),
+        }
     return output
 
 

@@ -30,6 +30,7 @@ class EvaluationSettings:
     walk_length: int = 10          # paper: 80
     num_walkers: int = 64          # paper: one per vertex
     streaming: bool = False        # paper evaluates both streaming and batched
+    frontier_walks: bool = False   # run walks through the batched frontier
     engine_kwargs: Dict[str, object] = field(default_factory=dict)
 
 
@@ -128,6 +129,7 @@ def run_evaluation(
             walk_length=settings.walk_length,
             starts=starts,
             rng=generator,
+            frontier=settings.frontier_walks,
         )
         walk_seconds += time.perf_counter() - walk_start
         total_walk_steps += result.total_steps

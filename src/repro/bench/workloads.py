@@ -49,28 +49,37 @@ class ApplicationSpec:
         walk_length: int,
         starts: Optional[Sequence[int]] = None,
         rng: RandomSource = None,
+        frontier: bool = False,
     ) -> WalkResult:
         """Execute the application on ``engine`` with a scaled walk length."""
-        return self.runner(engine, walk_length=walk_length, starts=starts, rng=rng)
+        return self.runner(
+            engine, walk_length=walk_length, starts=starts, rng=rng, frontier=frontier
+        )
 
 
-def _run_deepwalk(engine, *, walk_length, starts, rng) -> WalkResult:
-    return run_deepwalk(engine, DeepWalkConfig(walk_length=walk_length), starts=starts)
+def _run_deepwalk(engine, *, walk_length, starts, rng, frontier=False) -> WalkResult:
+    return run_deepwalk(
+        engine,
+        DeepWalkConfig(walk_length=walk_length),
+        starts=starts,
+        frontier=frontier,
+        rng=rng if frontier else None,
+    )
 
 
-def _run_node2vec(engine, *, walk_length, starts, rng) -> WalkResult:
+def _run_node2vec(engine, *, walk_length, starts, rng, frontier=False) -> WalkResult:
     config = Node2VecConfig(p=0.5, q=2.0, walk_length=walk_length)
-    return run_node2vec(engine, config, starts=starts, rng=rng)
+    return run_node2vec(engine, config, starts=starts, rng=rng, frontier=frontier)
 
 
-def _run_ppr(engine, *, walk_length, starts, rng) -> WalkResult:
+def _run_ppr(engine, *, walk_length, starts, rng, frontier=False) -> WalkResult:
     # Termination probability 1/walk_length gives expected length walk_length,
     # matching the paper's 1/80 default; max_steps caps the tail.
     config = PPRConfig(
         termination_probability=1.0 / walk_length,
         max_steps=4 * walk_length,
     )
-    return run_ppr(engine, config, starts=starts, rng=rng)
+    return run_ppr(engine, config, starts=starts, rng=rng, frontier=frontier)
 
 
 #: Applications evaluated in Table 3, keyed by the names used in the paper.
@@ -93,14 +102,21 @@ def run_application(
     walk_length: int = 80,
     starts: Optional[Sequence[int]] = None,
     rng: RandomSource = None,
+    frontier: bool = False,
 ) -> WalkResult:
-    """Run one named application on an engine."""
+    """Run one named application on an engine.
+
+    ``frontier=True`` executes the walks through the batched walk-frontier
+    engine instead of the scalar per-walker loop.
+    """
     spec = APPLICATIONS.get(name)
     if spec is None:
         raise BenchmarkError(
             f"unknown application {name!r}; available: {', '.join(APPLICATIONS)}"
         )
-    return spec.run(engine, walk_length=walk_length, starts=starts, rng=rng)
+    return spec.run(
+        engine, walk_length=walk_length, starts=starts, rng=rng, frontier=frontier
+    )
 
 
 def build_update_stream(

@@ -39,9 +39,11 @@ EXPERIMENT_RUNNERS: Dict[str, Callable[..., Any]] = {
     "fig13": experiments.fig13_breakdown,
     "fig14": experiments.fig14_float_bias,
     "fig15a": experiments.fig15_batch_size_sweep,
+    "fig15a-frontier": experiments.fig15_frontier_sweep,
     "fig15b": experiments.fig15_walk_length_sweep,
     "fig15c": experiments.fig15_bias_distribution,
     "fig16": experiments.fig16_piecewise,
+    "frontier": experiments.frontier_throughput,
 }
 
 
@@ -91,6 +93,11 @@ def _build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--walk-length", type=int, default=10)
     compare_parser.add_argument("--num-walkers", type=int, default=32)
     compare_parser.add_argument("--seed", type=int, default=2025)
+    compare_parser.add_argument(
+        "--frontier",
+        action="store_true",
+        help="run the walks through the batched walk-frontier engine",
+    )
 
     return parser
 
@@ -123,6 +130,7 @@ def _run_compare(args: argparse.Namespace) -> int:
         num_batches=args.num_batches,
         walk_length=args.walk_length,
         num_walkers=args.num_walkers,
+        frontier_walks=args.frontier,
     )
     results = compare_engines(
         ("bingo", "knightking", "gsampler", "flowwalker"),

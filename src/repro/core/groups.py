@@ -26,6 +26,8 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.adaptive import GroupKind
 from repro.errors import SamplerStateError
 from repro.sampling.cost_model import OperationCounter
@@ -34,7 +36,7 @@ from repro.sampling.cost_model import OperationCounter
 class RadixGroup:
     """Members of one radix group, under a switchable representation."""
 
-    __slots__ = ("position", "kind", "members", "slots", "_count")
+    __slots__ = ("position", "kind", "members", "slots", "_count", "_np_members")
 
     def __init__(self, position: int, kind: GroupKind = GroupKind.REGULAR) -> None:
         self.position = int(position)
@@ -45,6 +47,8 @@ class RadixGroup:
         self.slots: Dict[int, int] = {}
         #: member count (the only state kept in dense mode)
         self._count = 0
+        #: NumPy mirror of ``members``, built lazily for sample_batch
+        self._np_members: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # size / weight
@@ -71,6 +75,7 @@ class RadixGroup:
     def add(self, neighbor_index: int, counter: Optional[OperationCounter] = None) -> None:
         """Add a member (the neighbour's bias has bit ``position`` set)."""
         self._count += 1
+        self._np_members = None
         if self.kind is GroupKind.DENSE:
             if counter is not None:
                 counter.arith(1)
@@ -89,6 +94,7 @@ class RadixGroup:
         if self._count <= 0:
             raise SamplerStateError(f"group 2^{self.position} is already empty")
         self._count -= 1
+        self._np_members = None
         if self.kind is GroupKind.DENSE:
             if counter is not None:
                 counter.arith(1)
@@ -126,6 +132,7 @@ class RadixGroup:
         slot = self.slots.pop(old_index)
         self.members[slot] = new_index
         self.slots[new_index] = slot
+        self._np_members = None
         if counter is not None:
             counter.touch(2)
 
@@ -174,6 +181,7 @@ class RadixGroup:
             self.slots = {}
             if counter is not None:
                 counter.touch(1)
+        self._np_members = None
         self.kind = new_kind
 
     # ------------------------------------------------------------------ #
@@ -219,6 +227,55 @@ class RadixGroup:
             f"dense-group rejection sampling exceeded {max_trials} trials"
         )
 
+    def sample_batch(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        *,
+        integer_parts: Optional[np.ndarray] = None,
+        counter: Optional[OperationCounter] = None,
+        max_rounds: int = 10_000,
+    ) -> np.ndarray:
+        """Uniformly sample ``count`` member neighbour indices at once.
+
+        List-backed kinds index the member array with one vector of uniform
+        slots.  Dense groups run the Section 5.1 rejection loop vectorized:
+        every still-pending draw proposes a uniform neighbour per round and
+        accepts when the group's bit is set in its integer bias.
+        """
+        if self._count == 0:
+            raise SamplerStateError(f"group 2^{self.position} is empty")
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        if self.kind is not GroupKind.DENSE:
+            if self._np_members is None:
+                self._np_members = np.asarray(self.members, dtype=np.int64)
+            slots = rng.integers(0, len(self.members), size=count)
+            if counter is not None:
+                counter.draw(count)
+                counter.touch(count)
+            return self._np_members[slots]
+        if integer_parts is None:
+            raise SamplerStateError("dense-group sampling requires the vertex bias array")
+        mask = self.sub_bias
+        degree = len(integer_parts)
+        out = np.empty(count, dtype=np.int64)
+        pending = np.arange(count)
+        for _ in range(max_rounds):
+            proposals = rng.integers(0, degree, size=len(pending))
+            if counter is not None:
+                counter.draw(len(pending))
+                counter.touch(len(pending))
+                counter.compare(len(pending))
+            accepted = (integer_parts[proposals] & mask) != 0
+            out[pending[accepted]] = proposals[accepted]
+            pending = pending[~accepted]
+            if len(pending) == 0:
+                return out
+        raise SamplerStateError(
+            f"dense-group rejection sampling exceeded {max_rounds} rounds"
+        )
+
     def member_list(self, integer_parts: Optional[Sequence[int]] = None) -> List[int]:
         """The member neighbour indices (scanning the bias array for dense groups)."""
         if self.kind is not GroupKind.DENSE:
@@ -242,11 +299,13 @@ class DecimalGroup:
     as the envelope (fractions are < 1 so the envelope is tight).
     """
 
-    __slots__ = ("fractions", "_total")
+    __slots__ = ("fractions", "_total", "_np_arrays")
 
     def __init__(self) -> None:
         self.fractions: Dict[int, float] = {}
         self._total = 0.0
+        #: NumPy mirrors of the (index, fraction) pairs for sample_batch
+        self._np_arrays = None
 
     def __len__(self) -> int:
         return len(self.fractions)
@@ -265,6 +324,7 @@ class DecimalGroup:
             raise SamplerStateError(f"neighbor index {neighbor_index} already in decimal group")
         self.fractions[neighbor_index] = fraction
         self._total += fraction
+        self._np_arrays = None
 
     def remove(self, neighbor_index: int) -> None:
         """Drop a neighbour's fractional sub-bias."""
@@ -272,6 +332,7 @@ class DecimalGroup:
         if fraction is None:
             raise SamplerStateError(f"neighbor index {neighbor_index} not in decimal group")
         self._total -= fraction
+        self._np_arrays = None
 
     def rename(self, old_index: int, new_index: int) -> None:
         """Re-point an entry after the vertex neighbour list moved it."""
@@ -280,6 +341,7 @@ class DecimalGroup:
         if old_index not in self.fractions:
             raise SamplerStateError(f"neighbor index {old_index} not in decimal group")
         self.fractions[new_index] = self.fractions.pop(old_index)
+        self._np_arrays = None
 
     def contains(self, neighbor_index: int) -> bool:
         """Whether the neighbour has a fractional sub-bias registered."""
@@ -312,4 +374,44 @@ class DecimalGroup:
                 return index
         raise SamplerStateError(
             f"decimal-group rejection sampling exceeded {max_trials} trials"
+        )
+
+    def sample_batch(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        *,
+        counter: Optional[OperationCounter] = None,
+        max_rounds: int = 10_000,
+    ) -> np.ndarray:
+        """Draw ``count`` neighbour indices ∝ fraction, rejection vectorized."""
+        if not self.fractions:
+            raise SamplerStateError("decimal group is empty")
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        if self._np_arrays is None:
+            self._np_arrays = (
+                np.fromiter(self.fractions.keys(), dtype=np.int64, count=len(self.fractions)),
+                np.fromiter(
+                    self.fractions.values(), dtype=np.float64, count=len(self.fractions)
+                ),
+            )
+        indices, fractions = self._np_arrays
+        envelope = float(fractions.max())
+        out = np.empty(count, dtype=np.int64)
+        pending = np.arange(count)
+        for _ in range(max_rounds):
+            proposals = rng.integers(0, len(indices), size=len(pending))
+            thresholds = rng.random(len(pending)) * envelope
+            if counter is not None:
+                counter.draw(2 * len(pending))
+                counter.compare(len(pending))
+                counter.touch(len(pending))
+            accepted = thresholds < fractions[proposals]
+            out[pending[accepted]] = indices[proposals[accepted]]
+            pending = pending[~accepted]
+            if len(pending) == 0:
+                return out
+        raise SamplerStateError(
+            f"decimal-group rejection sampling exceeded {max_rounds} rounds"
         )

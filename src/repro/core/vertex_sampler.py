@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.adaptive import ConversionTracker, GroupClassifier, GroupKind
 from repro.core.groups import DecimalGroup, RadixGroup
 from repro.core.memory_model import MemoryReport, vertex_memory_bytes
@@ -34,7 +36,7 @@ from repro.errors import EmptySamplerError, SamplerStateError
 from repro.sampling.alias import AliasTable
 from repro.sampling.base import DynamicSampler, SamplerKind
 from repro.sampling.cost_model import OperationCounter
-from repro.utils.rng import RandomSource
+from repro.utils.rng import NumpySource, RandomSource, ensure_np_rng
 from repro.utils.validation import check_bias
 
 #: Sentinel group key used for the decimal group in the inter-group table.
@@ -98,6 +100,9 @@ class BingoVertexSampler(DynamicSampler):
         self._inter_group = AliasTable(rng=self._rng, counter=self.counter)
         self._inter_dirty = True
         self.rebuild_count = 0
+        # NumPy mirrors (ids, key lut, flat member table, offsets, sizes),
+        # built lazily for sample_many.
+        self._np_cache: Optional[Tuple[np.ndarray, ...]] = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -149,6 +154,7 @@ class BingoVertexSampler(DynamicSampler):
             self.counter.touch(1)
 
         self._inter_dirty = True
+        self._np_cache = None
         if self.auto_rebuild:
             self.rebuild()
 
@@ -193,6 +199,7 @@ class BingoVertexSampler(DynamicSampler):
         self.counter.touch(2)
 
         self._inter_dirty = True
+        self._np_cache = None
         if self.auto_rebuild:
             self.rebuild()
 
@@ -244,6 +251,7 @@ class BingoVertexSampler(DynamicSampler):
             inter.rebuild()
         self._inter_group = inter
         self._inter_dirty = False
+        self._np_cache = None
 
     def _group_for(self, position: int) -> RadixGroup:
         group = self._groups.get(position)
@@ -272,6 +280,97 @@ class BingoVertexSampler(DynamicSampler):
             )
         self.counter.touch(1)
         return self._ids[index]
+
+    def sample_many(self, count: int, rng: NumpySource = None) -> np.ndarray:
+        """Draw ``count`` candidates at once through the two-stage hierarchy.
+
+        The whole batch resolves in a handful of vectorized operations: one
+        fused inter-group alias draw (bucket + toss vectors against the
+        cached prob/alias arrays), then one gather into a flattened
+        member table holding every group's members contiguously, indexed by
+        a single intra-group uniform vector.  Only draws landing in the
+        decimal group fall back to its (vectorized) rejection loop.  The
+        flattened table is rebuilt lazily after a structural change, so the
+        amortized per-draw work matches :meth:`sample` — this is the kernel
+        the batched walk frontier runs on.
+        """
+        if not self._ids:
+            raise EmptySamplerError("Bingo vertex sampler holds no candidates")
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        if self._inter_dirty:
+            self.rebuild()
+        generator = ensure_np_rng(rng)
+        ids, lut, flat, offsets, sizes = self._batch_cache()
+        group_ids, prob, alias = self._inter_group.numpy_tables()
+
+        uniforms = generator.random(3 * count)
+        self.counter.draw(3 * count)
+        self.counter.compare(2 * count)
+        self.counter.touch(3 * count)
+        # Inter-group alias draw: floor(u * n) is the uniform bucket.
+        buckets = (uniforms[:count] * len(group_ids)).astype(np.int64)
+        chosen = np.where(
+            uniforms[count : 2 * count] < prob[buckets], buckets, alias[buckets]
+        )
+        keys = group_ids[chosen]
+        slots = lut[keys + 1]
+
+        # Intra-group uniform member pick through the flattened member table.
+        intra = uniforms[2 * count :]
+        positions = offsets[slots] + np.minimum(
+            (intra * sizes[slots]).astype(np.int64), sizes[slots] - 1
+        )
+        indices = flat[positions]
+        decimal_mask = keys == DECIMAL_GROUP_KEY
+        if decimal_mask.any():
+            indices[decimal_mask] = self._decimal.sample_batch(
+                int(decimal_mask.sum()), generator, counter=self.counter
+            )
+        return ids[indices]
+
+    def _batch_cache(self) -> Tuple[np.ndarray, ...]:
+        """Lazily (re)build the NumPy mirrors used by :meth:`sample_many`.
+
+        ``flat`` concatenates every weighted group's member indices (dense
+        groups are materialised by scanning the integer bias array — the
+        same O(d) the paper's batched rebuild phase pays); ``offsets`` and
+        ``sizes`` delimit each group's slice, and ``lut`` maps a group key
+        (shifted by one so the decimal group's -1 fits) to its slice slot.
+        The decimal group keeps a sentinel slice of size 1 — its draws are
+        overwritten by the rejection kernel.
+        """
+        if self._np_cache is not None:
+            return self._np_cache
+        keys = [key for key, _ in self._inter_group.candidates()]
+        lut = np.full(max(keys, default=0) + 2, -1, dtype=np.int64)
+        flat_parts: List[np.ndarray] = []
+        offsets = np.zeros(len(keys), dtype=np.int64)
+        sizes = np.ones(len(keys), dtype=np.int64)
+        cursor = 0
+        for slot, key in enumerate(keys):
+            lut[key + 1] = slot
+            if key == DECIMAL_GROUP_KEY:
+                members = np.zeros(1, dtype=np.int64)
+            else:
+                members = np.asarray(
+                    self._groups[key].member_list(self._integer_parts), dtype=np.int64
+                )
+            flat_parts.append(members)
+            offsets[slot] = cursor
+            sizes[slot] = len(members)
+            cursor += len(members)
+        flat = (
+            np.concatenate(flat_parts) if flat_parts else np.empty(0, dtype=np.int64)
+        )
+        self._np_cache = (
+            np.asarray(self._ids, dtype=np.int64),
+            lut,
+            flat,
+            offsets,
+            sizes,
+        )
+        return self._np_cache
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -18,11 +18,13 @@ import abc
 import time
 from typing import Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.memory_model import MemoryReport
 from repro.errors import UpdateError
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.update_stream import GraphUpdate, UpdateKind
-from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.rng import NumpySource, RandomSource, ensure_np_rng, ensure_rng
 from repro.utils.timing import TimeBreakdown
 
 #: Phase names used in every engine's time breakdown.
@@ -37,6 +39,16 @@ class RandomWalkEngine(abc.ABC):
 
     #: Human-readable engine name (used by the registry and reports).
     name: str = "abstract"
+
+    #: Whether :meth:`sample_neighbors` runs a real vectorized kernel.  When
+    #: ``False`` the batched API still works but falls back to a scalar loop,
+    #: so the walk frontier can decide whether batching pays off.
+    supports_batch: bool = False
+
+    #: Co-located walker groups smaller than this use the scalar draw inside
+    #: :meth:`sample_frontier` — the fixed cost of a vectorized kernel call
+    #: only amortizes once a few walkers share a vertex.
+    kernel_threshold: int = 2
 
     def __init__(self, *, rng: RandomSource = None) -> None:
         self._rng = ensure_rng(rng)
@@ -121,6 +133,80 @@ class RandomWalkEngine(abc.ABC):
     @abc.abstractmethod
     def _sample(self, vertex: int) -> Optional[int]:
         """Engine-specific biased neighbour draw."""
+
+    def sample_neighbors(
+        self, vertex: int, count: int, rng: NumpySource = None
+    ) -> np.ndarray:
+        """Draw ``count`` biased out-neighbours of ``vertex`` as one batch.
+
+        Returns an ``int64`` array of length ``count``; every entry is ``-1``
+        when the vertex has no out-edges (the batched form of
+        :meth:`sample_neighbor` returning ``None``).  Engines with
+        ``supports_batch`` resolve the whole request in one vectorized
+        kernel; the default implementation loops the scalar draw so every
+        engine can serve walk-frontier queries.
+        """
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        start = time.perf_counter()
+        try:
+            return self._sample_batch(vertex, count, ensure_np_rng(rng))
+        finally:
+            self.breakdown.add(PHASE_SAMPLING, time.perf_counter() - start)
+            self.samples_drawn += count
+
+    def _sample_batch(
+        self, vertex: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Engine-specific batched draw (default: scalar fallback loop)."""
+        out = np.empty(count, dtype=np.int64)
+        for position in range(count):
+            drawn = self._sample(vertex)
+            out[position] = -1 if drawn is None else drawn
+        return out
+
+    def sample_frontier(
+        self, vertices: Sequence[int], rng: NumpySource = None
+    ) -> np.ndarray:
+        """Draw one biased neighbour for every entry of ``vertices`` at once.
+
+        ``vertices`` is a walk frontier: the current positions of N walkers,
+        repeats expected and welcome.  Returns an ``int64`` array aligned
+        with the input, ``-1`` where the vertex has no out-edges.  The
+        default implementation partitions the frontier by vertex (one
+        argsort) and serves each group with the engine's batched kernel;
+        engines can override :meth:`_sample_frontier` with a fused kernel
+        that resolves the whole frontier without per-vertex dispatch.
+        """
+        query = np.ascontiguousarray(vertices, dtype=np.int64)
+        if query.size == 0:
+            return np.empty(0, dtype=np.int64)
+        start = time.perf_counter()
+        try:
+            return self._sample_frontier(query, ensure_np_rng(rng))
+        finally:
+            self.breakdown.add(PHASE_SAMPLING, time.perf_counter() - start)
+            self.samples_drawn += int(query.size)
+
+    def _sample_frontier(
+        self, vertices: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Engine-specific frontier draw (default: group-by-vertex dispatch)."""
+        draws = np.full(len(vertices), -1, dtype=np.int64)
+        # argsort-partition: members of group g sit at order[bounds[g]:bounds[g+1]].
+        order = np.argsort(vertices, kind="stable")
+        unique, counts = np.unique(vertices, return_counts=True)
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        for group, vertex in enumerate(unique):
+            members = order[bounds[group] : bounds[group + 1]]
+            share = int(counts[group])
+            if self.supports_batch and share >= self.kernel_threshold:
+                draws[members] = self._sample_batch(int(vertex), share, rng)
+            else:
+                for member in members:
+                    drawn = self._sample(int(vertex))
+                    draws[member] = -1 if drawn is None else drawn
+        return draws
 
     def degree(self, vertex: int) -> int:
         """Out-degree of ``vertex`` in the current snapshot."""

@@ -15,10 +15,12 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.adaptive import ConversionTracker, GroupClassifier
 from repro.core.memory_model import MemoryReport
 from repro.core.radix import choose_amortization_factor
-from repro.core.vertex_sampler import BingoVertexSampler
+from repro.core.vertex_sampler import DECIMAL_GROUP_KEY, BingoVertexSampler
 from repro.engines.base import (
     PHASE_DELETE,
     PHASE_INSERT,
@@ -56,6 +58,7 @@ class BingoEngine(RandomWalkEngine):
     """
 
     name = "bingo"
+    supports_batch = True
 
     def __init__(
         self,
@@ -79,6 +82,11 @@ class BingoEngine(RandomWalkEngine):
         self.device = device if device is not None else SimulatedDevice()
         self.batch_stats = BatchStatistics()
         self._samplers: Dict[int, BingoVertexSampler] = {}
+        # Concatenated per-vertex sampling tables for the fused frontier
+        # kernel; rebuilt lazily after any update.  The per-vertex parts are
+        # cached separately so a batch only re-derives its touched vertices.
+        self._frontier_cache: Optional[Dict[str, np.ndarray]] = None
+        self._vertex_tables: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------ #
     # construction
@@ -89,6 +97,8 @@ class BingoEngine(RandomWalkEngine):
             biases = [edge.bias for edge in graph.edges()]
             self.lam = choose_amortization_factor(biases) if biases else 1.0
         self._samplers = {}
+        self._frontier_cache = None
+        self._vertex_tables = {}
         for vertex in range(graph.num_vertices):
             if graph.degree(vertex) == 0:
                 continue
@@ -115,6 +125,8 @@ class BingoEngine(RandomWalkEngine):
     # streaming updates: O(K) per event plus one inter-group rebuild
     # ------------------------------------------------------------------ #
     def _on_insert(self, src: int, dst: int, bias: float) -> None:
+        self._frontier_cache = None
+        self._vertex_tables.pop(src, None)
         sampler = self._samplers.get(src)
         if sampler is None:
             sampler = self._new_sampler(src)
@@ -125,6 +137,8 @@ class BingoEngine(RandomWalkEngine):
         self.breakdown.add(PHASE_REBUILD, time.perf_counter() - start)
 
     def _on_delete(self, src: int, dst: int) -> None:
+        self._frontier_cache = None
+        self._vertex_tables.pop(src, None)
         sampler = self._samplers.get(src)
         if sampler is None or not sampler.contains(dst):
             raise UpdateError(f"Bingo has no sampling state for edge ({src}, {dst})")
@@ -142,12 +156,14 @@ class BingoEngine(RandomWalkEngine):
     def apply_batch(self, updates: Sequence[GraphUpdate]) -> None:
         """Ingest a batch: reorder by vertex, apply net updates, rebuild once."""
         graph = self._require_graph()
+        self._frontier_cache = None
         stats = BatchStatistics()
         grouped = group_updates_by_vertex(updates)
         stats.touched_vertices = len(grouped)
 
         def process_vertex(item) -> None:
             vertex, vertex_updates = item
+            self._vertex_tables.pop(vertex, None)
             graph.ensure_vertex(vertex)
             for update in vertex_updates:
                 graph.ensure_vertex(update.dst)
@@ -207,6 +223,150 @@ class BingoEngine(RandomWalkEngine):
         if sampler is None or len(sampler) == 0:
             return None
         return sampler.sample()
+
+    def _sample_batch(
+        self, vertex: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        self._require_graph()
+        sampler = self._samplers.get(vertex)
+        if sampler is None or len(sampler) == 0:
+            return np.full(count, -1, dtype=np.int64)
+        return sampler.sample_many(count, rng)
+
+    # ------------------------------------------------------------------ #
+    # fused frontier kernel
+    # ------------------------------------------------------------------ #
+    def _frontier_tables(self) -> Dict[str, np.ndarray]:
+        """Concatenate every vertex's sampling tables into global arrays.
+
+        One flattened structure serves the whole graph: per-vertex slices of
+        the inter-group alias arrays (``group_offset`` / ``group_count``)
+        select a group with a fused bucket-and-toss, and per-inter-entry
+        slices of a global member table (``entry_offset`` / ``entry_size``)
+        resolve the intra-group uniform pick — so a frontier of N walkers on
+        arbitrary vertices advances with a fixed number of NumPy operations.
+        Entries landing in a decimal group are flagged and re-resolved by
+        the per-vertex rejection kernel (they are rare by the choice of λ).
+        Built lazily; any update invalidates it.
+        """
+        if self._frontier_cache is not None:
+            return self._frontier_cache
+        graph = self._require_graph()
+        num_vertices = graph.num_vertices
+        group_offset = np.zeros(num_vertices, dtype=np.int64)
+        group_count = np.zeros(num_vertices, dtype=np.int64)
+        prob_parts: List[np.ndarray] = []
+        alias_parts: List[np.ndarray] = []
+        entry_offset_parts: List[np.ndarray] = []
+        entry_size_parts: List[np.ndarray] = []
+        entry_decimal_parts: List[np.ndarray] = []
+        flat_parts: List[np.ndarray] = []
+        inter_cursor = 0
+        flat_cursor = 0
+        for vertex, sampler in self._samplers.items():
+            if len(sampler) == 0:
+                continue
+            parts = self._vertex_tables.get(vertex)
+            if parts is None:
+                parts = self._build_vertex_table(sampler)
+                self._vertex_tables[vertex] = parts
+            prob, alias, entry_offset, entry_size, entry_decimal, flat = parts
+            group_offset[vertex] = inter_cursor
+            group_count[vertex] = len(prob)
+            prob_parts.append(prob)
+            alias_parts.append(alias)
+            entry_offset_parts.append(flat_cursor + entry_offset)
+            entry_size_parts.append(entry_size)
+            entry_decimal_parts.append(entry_decimal)
+            flat_parts.append(flat)
+            inter_cursor += len(prob)
+            flat_cursor += len(flat)
+
+        def _concat(parts, dtype):
+            return np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
+
+        self._frontier_cache = {
+            "group_offset": group_offset,
+            "group_count": group_count,
+            "prob": _concat(prob_parts, np.float64),
+            "alias": _concat(alias_parts, np.int64),
+            "entry_offset": _concat(entry_offset_parts, np.int64),
+            "entry_size": _concat(entry_size_parts, np.int64),
+            "entry_decimal": _concat(entry_decimal_parts, np.bool_),
+            "flat": _concat(flat_parts, np.int64),
+        }
+        return self._frontier_cache
+
+    @staticmethod
+    def _build_vertex_table(sampler: BingoVertexSampler) -> tuple:
+        """One vertex's slice of the fused tables (offsets still local)."""
+        if sampler._inter_dirty:
+            sampler.rebuild()
+        ids, lut, flat, offsets, sizes = sampler._batch_cache()
+        group_ids, prob, alias = sampler._inter_group.numpy_tables()
+        slots = lut[group_ids + 1]
+        # Translate neighbour indices to neighbour ids once, here, so the
+        # query path gathers final vertex ids directly.
+        return (
+            prob,
+            alias,
+            offsets[slots],
+            sizes[slots],
+            group_ids == DECIMAL_GROUP_KEY,
+            ids[flat],
+        )
+
+    def _sample_frontier(
+        self, vertices: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        tables = self._frontier_tables()
+        count = len(vertices)
+        out = np.full(count, -1, dtype=np.int64)
+        limit = len(tables["group_count"])
+        if limit == 0:
+            return out
+        # Out-of-range vertices (like sinks) draw -1, matching the scalar path.
+        safe = np.minimum(vertices, limit - 1)
+        counts = np.where(vertices < limit, tables["group_count"][safe], 0)
+        live = np.nonzero(counts > 0)[0]
+        if len(live) == 0:
+            return out
+        query = vertices[live]
+        offsets = tables["group_offset"][query]
+        sizes = counts[live]
+
+        uniforms = rng.random(3 * len(live))
+        first = uniforms[: len(live)]
+        second = uniforms[len(live) : 2 * len(live)]
+        third = uniforms[2 * len(live) :]
+
+        # Stage 1 — vectorized group selection (per-vertex alias slices).
+        buckets = offsets + (first * sizes).astype(np.int64)
+        chosen = np.where(
+            second < tables["prob"][buckets],
+            buckets,
+            offsets + tables["alias"][buckets],
+        )
+        # Stage 2 — vectorized intra-group uniform pick via the member table.
+        entry_sizes = tables["entry_size"][chosen]
+        positions = tables["entry_offset"][chosen] + np.minimum(
+            (third * entry_sizes).astype(np.int64), entry_sizes - 1
+        )
+        drawn = tables["flat"][positions]
+
+        decimal_mask = tables["entry_decimal"][chosen]
+        if decimal_mask.any():
+            picks = np.nonzero(decimal_mask)[0]
+            for vertex in np.unique(query[picks]):
+                members = picks[query[picks] == vertex]
+                sampler = self._samplers[int(vertex)]
+                ids = sampler._batch_cache()[0]
+                indices = sampler._decimal.sample_batch(
+                    len(members), rng, counter=sampler.counter
+                )
+                drawn[members] = ids[indices]
+        out[live] = drawn
+        return out
 
     # ------------------------------------------------------------------ #
     # reporting

@@ -14,6 +14,8 @@ import math
 import time
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.core.memory_model import MemoryReport
 from repro.engines.base import PHASE_REBUILD, RandomWalkEngine
 from repro.graph.update_stream import GraphUpdate, UpdateKind
@@ -24,6 +26,7 @@ class FlowWalkerEngine(RandomWalkEngine):
     """Reservoir-sampling engine: zero auxiliary state, O(d) per sample."""
 
     name = "flowwalker"
+    supports_batch = True
 
     def __init__(self, *, rng: RandomSource = None) -> None:
         super().__init__(rng=rng)
@@ -73,6 +76,23 @@ class FlowWalkerEngine(RandomWalkEngine):
                 best_key = key
                 best_dst = dst
         return best_dst
+
+    def _sample_batch(
+        self, vertex: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        graph = self._require_graph()
+        degree = graph.degree(vertex)
+        if degree == 0:
+            return np.full(count, -1, dtype=np.int64)
+        dsts = np.asarray(graph.neighbors(vertex), dtype=np.int64)
+        biases = np.asarray(graph.neighbor_biases(vertex), dtype=np.float64)
+        # Efraimidis–Spirakis keys for every (walker, neighbour) pair at once;
+        # the per-row argmax is the reservoir winner, still structure-free and
+        # still O(d) work per query like the scalar pass.
+        uniforms = rng.random((count, degree))
+        with np.errstate(divide="ignore"):
+            keys = np.log(uniforms) / biases
+        return dsts[np.argmax(keys, axis=1)]
 
     # ------------------------------------------------------------------ #
     def memory_report(self) -> MemoryReport:

@@ -13,6 +13,8 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional, Sequence
 
+import numpy as np
+
 from repro.core.memory_model import MemoryReport
 from repro.engines.base import PHASE_REBUILD, RandomWalkEngine
 from repro.graph.update_stream import GraphUpdate, UpdateKind
@@ -28,16 +30,20 @@ class GSamplerEngine(RandomWalkEngine):
     """Prefix-sum (ITS) engine with rebuild-on-update semantics."""
 
     name = "gsampler"
+    supports_batch = True
 
     def __init__(self, *, rng: RandomSource = None, full_rebuild_on_batch: bool = True) -> None:
         super().__init__(rng=rng)
         self.full_rebuild_on_batch = full_rebuild_on_batch
         self._samplers: Dict[int, InverseTransformSampler] = {}
+        # Global CDF concatenation for the fused frontier kernel.
+        self._frontier_cache: Optional[Dict[str, np.ndarray]] = None
 
     # ------------------------------------------------------------------ #
     def _build_state(self) -> None:
         graph = self._require_graph()
         self._samplers = {}
+        self._frontier_cache = None
         for vertex in range(graph.num_vertices):
             if graph.degree(vertex) == 0:
                 continue
@@ -52,6 +58,7 @@ class GSamplerEngine(RandomWalkEngine):
 
     def _rebuild_vertex(self, vertex: int) -> None:
         graph = self._require_graph()
+        self._frontier_cache = None
         start = time.perf_counter()
         if graph.degree(vertex) == 0:
             self._samplers.pop(vertex, None)
@@ -61,6 +68,7 @@ class GSamplerEngine(RandomWalkEngine):
 
     # ------------------------------------------------------------------ #
     def _on_insert(self, src: int, dst: int, bias: float) -> None:
+        self._frontier_cache = None
         sampler = self._samplers.get(src)
         if sampler is None:
             self._rebuild_vertex(src)
@@ -74,6 +82,7 @@ class GSamplerEngine(RandomWalkEngine):
 
     def apply_batch(self, updates: Sequence[GraphUpdate]) -> None:
         graph = self._require_graph()
+        self._frontier_cache = None
         touched = set()
         for update in updates:
             graph.ensure_vertex(update.src)
@@ -101,6 +110,85 @@ class GSamplerEngine(RandomWalkEngine):
         if sampler is None or len(sampler) == 0:
             return None
         return sampler.sample()
+
+    def _sample_batch(
+        self, vertex: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        sampler = self._samplers.get(vertex)
+        if sampler is None or len(sampler) == 0:
+            return np.full(count, -1, dtype=np.int64)
+        return sampler.sample_batch(count, rng)
+
+    def _frontier_tables(self) -> Dict[str, np.ndarray]:
+        """Concatenate every vertex's CDF into one global running prefix sum.
+
+        Because each vertex's local prefix sums are shifted by the running
+        total of all earlier segments, the concatenation stays globally
+        nondecreasing — so a single :func:`numpy.searchsorted` resolves the
+        whole frontier's binary searches at once.  Built lazily; any update
+        invalidates it.
+        """
+        if self._frontier_cache is not None:
+            return self._frontier_cache
+        graph = self._require_graph()
+        num_vertices = graph.num_vertices
+        seg_offset = np.zeros(num_vertices, dtype=np.int64)
+        seg_length = np.zeros(num_vertices, dtype=np.int64)
+        base = np.zeros(num_vertices, dtype=np.float64)
+        totals = np.zeros(num_vertices, dtype=np.float64)
+        cum_parts = []
+        id_parts = []
+        cursor = 0
+        running = 0.0
+        for vertex, sampler in self._samplers.items():
+            if len(sampler) == 0:
+                continue
+            ids, cumulative = sampler.numpy_tables()
+            seg_offset[vertex] = cursor
+            seg_length[vertex] = len(ids)
+            base[vertex] = running
+            totals[vertex] = cumulative[-1]
+            cum_parts.append(cumulative + running)
+            id_parts.append(ids)
+            cursor += len(ids)
+            running += float(cumulative[-1])
+        self._frontier_cache = {
+            "seg_offset": seg_offset,
+            "seg_length": seg_length,
+            "base": base,
+            "totals": totals,
+            "cumulative": (
+                np.concatenate(cum_parts) if cum_parts else np.empty(0, dtype=np.float64)
+            ),
+            "ids": (
+                np.concatenate(id_parts) if id_parts else np.empty(0, dtype=np.int64)
+            ),
+        }
+        return self._frontier_cache
+
+    def _sample_frontier(
+        self, vertices: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        tables = self._frontier_tables()
+        out = np.full(len(vertices), -1, dtype=np.int64)
+        limit = len(tables["seg_length"])
+        if limit == 0:
+            return out
+        # Out-of-range vertices (like sinks) draw -1, matching the scalar path.
+        safe = np.minimum(vertices, limit - 1)
+        lengths = np.where(vertices < limit, tables["seg_length"][safe], 0)
+        live = np.nonzero(lengths > 0)[0]
+        if len(live) == 0:
+            return out
+        query = vertices[live]
+        draws = tables["base"][query] + rng.random(len(live)) * tables["totals"][query]
+        positions = np.searchsorted(tables["cumulative"], draws, side="right")
+        # Clamp into the query's own segment against float boundary drift.
+        low = tables["seg_offset"][query]
+        high = low + tables["seg_length"][query] - 1
+        np.clip(positions, low, high, out=positions)
+        out[live] = tables["ids"][positions]
+        return out
 
     # ------------------------------------------------------------------ #
     def memory_report(self) -> MemoryReport:

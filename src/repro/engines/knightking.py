@@ -19,6 +19,8 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional, Sequence
 
+import numpy as np
+
 from repro.core.memory_model import MemoryReport
 from repro.engines.base import PHASE_REBUILD, RandomWalkEngine
 from repro.graph.update_stream import GraphUpdate, UpdateKind
@@ -30,6 +32,7 @@ class KnightKingEngine(RandomWalkEngine):
     """Alias-table engine with rebuild-on-update semantics."""
 
     name = "knightking"
+    supports_batch = True
 
     def __init__(self, *, rng: RandomSource = None, full_rebuild_on_batch: bool = True) -> None:
         super().__init__(rng=rng)
@@ -38,11 +41,14 @@ class KnightKingEngine(RandomWalkEngine):
         #: measure the hypothetical per-vertex-rebuild variant.
         self.full_rebuild_on_batch = full_rebuild_on_batch
         self._tables: Dict[int, AliasTable] = {}
+        # Concatenated per-vertex alias arrays for the fused frontier kernel.
+        self._frontier_cache: Optional[Dict[str, np.ndarray]] = None
 
     # ------------------------------------------------------------------ #
     def _build_state(self) -> None:
         graph = self._require_graph()
         self._tables = {}
+        self._frontier_cache = None
         for vertex in range(graph.num_vertices):
             if graph.degree(vertex) == 0:
                 continue
@@ -58,6 +64,7 @@ class KnightKingEngine(RandomWalkEngine):
 
     def _rebuild_vertex(self, vertex: int) -> None:
         graph = self._require_graph()
+        self._frontier_cache = None
         start = time.perf_counter()
         if graph.degree(vertex) == 0:
             self._tables.pop(vertex, None)
@@ -75,6 +82,7 @@ class KnightKingEngine(RandomWalkEngine):
 
     def apply_batch(self, updates: Sequence[GraphUpdate]) -> None:
         graph = self._require_graph()
+        self._frontier_cache = None
         touched = set()
         for update in updates:
             graph.ensure_vertex(update.src)
@@ -102,6 +110,83 @@ class KnightKingEngine(RandomWalkEngine):
         if table is None or len(table) == 0:
             return None
         return table.sample()
+
+    def _sample_batch(
+        self, vertex: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        table = self._tables.get(vertex)
+        if table is None or len(table) == 0:
+            return np.full(count, -1, dtype=np.int64)
+        return table.sample_batch(count, rng)
+
+    def _frontier_tables(self) -> Dict[str, np.ndarray]:
+        """Concatenate every vertex's alias arrays into one global table.
+
+        A walker on vertex ``v`` draws a bucket inside the slice
+        ``[seg_offset[v], seg_offset[v] + seg_length[v])`` and resolves the
+        alias toss against the global prob/alias arrays, so the whole
+        frontier advances with a fixed number of NumPy operations.  Built
+        lazily; any update invalidates it.
+        """
+        if self._frontier_cache is not None:
+            return self._frontier_cache
+        graph = self._require_graph()
+        num_vertices = graph.num_vertices
+        seg_offset = np.zeros(num_vertices, dtype=np.int64)
+        seg_length = np.zeros(num_vertices, dtype=np.int64)
+        id_parts = []
+        prob_parts = []
+        alias_parts = []
+        cursor = 0
+        for vertex, table in self._tables.items():
+            if len(table) == 0:
+                continue
+            ids, prob, alias = table.numpy_tables()
+            seg_offset[vertex] = cursor
+            seg_length[vertex] = len(ids)
+            id_parts.append(ids)
+            prob_parts.append(prob)
+            alias_parts.append(alias)
+            cursor += len(ids)
+        self._frontier_cache = {
+            "seg_offset": seg_offset,
+            "seg_length": seg_length,
+            "ids": np.concatenate(id_parts) if id_parts else np.empty(0, dtype=np.int64),
+            "prob": (
+                np.concatenate(prob_parts) if prob_parts else np.empty(0, dtype=np.float64)
+            ),
+            "alias": (
+                np.concatenate(alias_parts) if alias_parts else np.empty(0, dtype=np.int64)
+            ),
+        }
+        return self._frontier_cache
+
+    def _sample_frontier(
+        self, vertices: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        tables = self._frontier_tables()
+        out = np.full(len(vertices), -1, dtype=np.int64)
+        limit = len(tables["seg_length"])
+        if limit == 0:
+            return out
+        # Out-of-range vertices (like sinks) draw -1, matching the scalar path.
+        safe = np.minimum(vertices, limit - 1)
+        lengths = np.where(vertices < limit, tables["seg_length"][safe], 0)
+        live = np.nonzero(lengths > 0)[0]
+        if len(live) == 0:
+            return out
+        query = vertices[live]
+        offsets = tables["seg_offset"][query]
+        degrees = lengths[live]
+        uniforms = rng.random(2 * len(live))
+        buckets = offsets + (uniforms[: len(live)] * degrees).astype(np.int64)
+        chosen = np.where(
+            uniforms[len(live) :] < tables["prob"][buckets],
+            buckets,
+            offsets + tables["alias"][buckets],
+        )
+        out[live] = tables["ids"][chosen]
+        return out
 
     # ------------------------------------------------------------------ #
     def memory_report(self) -> MemoryReport:

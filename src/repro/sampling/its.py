@@ -13,10 +13,12 @@ from __future__ import annotations
 import bisect
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import EmptySamplerError, SamplerStateError
 from repro.sampling.base import DynamicSampler, SamplerKind
 from repro.sampling.cost_model import OperationCounter
-from repro.utils.rng import RandomSource
+from repro.utils.rng import NumpySource, RandomSource, ensure_np_rng
 from repro.utils.validation import check_bias
 
 _FLOAT_BYTES = 8
@@ -35,6 +37,8 @@ class InverseTransformSampler(DynamicSampler):
         self._index: Dict[int, int] = {}
         self._cumulative: List[float] = []
         self._dirty = False
+        # NumPy mirrors of (ids, cumulative), built lazily for sample_batch.
+        self._np_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -49,6 +53,7 @@ class InverseTransformSampler(DynamicSampler):
         # Appending extends the prefix sums in O(1); no rebuild needed.
         previous = self._cumulative[-1] if self._cumulative else 0.0
         self._cumulative.append(previous + float(bias))
+        self._np_arrays = None
         self.counter.touch(3)
         self.counter.arith(1)
 
@@ -86,6 +91,7 @@ class InverseTransformSampler(DynamicSampler):
             self.counter.touch(1)
         self._cumulative = cumulative
         self._dirty = False
+        self._np_arrays = None
 
     # ------------------------------------------------------------------ #
     # sampling
@@ -105,6 +111,43 @@ class InverseTransformSampler(DynamicSampler):
         self.counter.compare(max(1, (len(self._ids)).bit_length()))
         self.counter.touch(1)
         return self._ids[position]
+
+    def sample_batch(self, count: int, rng: NumpySource = None) -> np.ndarray:
+        """Draw ``count`` candidates at once via vectorized binary search.
+
+        One uniform per draw, searched in the shared prefix-sum array with a
+        single :func:`numpy.searchsorted` call — the batched form of exactly
+        the scalar :meth:`sample` procedure.
+        """
+        if not self._ids:
+            raise EmptySamplerError("ITS sampler holds no candidates")
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        generator = ensure_np_rng(rng)
+        ids, cumulative = self.numpy_tables()
+        total = cumulative[-1]
+        draws = generator.random(count) * total
+        positions = np.searchsorted(cumulative, draws, side="right")
+        np.clip(positions, 0, len(ids) - 1, out=positions)
+        self.counter.draw(count)
+        self.counter.compare(count * max(1, (len(self._ids)).bit_length()))
+        self.counter.touch(count)
+        return ids[positions]
+
+    def numpy_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The (ids, cumulative) arrays as cached NumPy mirrors.
+
+        Rebuilds first when dirty; used by :meth:`sample_batch` and by the
+        gSampler engine's fused frontier kernel.
+        """
+        if self._dirty:
+            self.rebuild()
+        if self._np_arrays is None:
+            self._np_arrays = (
+                np.asarray(self._ids, dtype=np.int64),
+                np.asarray(self._cumulative, dtype=np.float64),
+            )
+        return self._np_arrays
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -4,6 +4,10 @@ All stochastic components in the library accept either an integer seed, an
 existing :class:`random.Random`, or ``None`` (fresh nondeterministic state).
 Centralising the coercion here keeps every sampler, generator, and engine
 reproducible from a single seed.
+
+The vectorized (batched) sampling kernels draw from NumPy generators
+instead; :func:`ensure_np_rng` provides the same coercion for
+:class:`numpy.random.Generator` sources.
 """
 
 from __future__ import annotations
@@ -11,7 +15,14 @@ from __future__ import annotations
 import random
 from typing import Optional, Union
 
+import numpy as np
+
 RandomSource = Union[int, random.Random, None]
+
+NumpySource = Union[int, np.random.Generator, None]
+
+#: Anything coerce_np_rng accepts: Python or NumPy generator, seed, or None.
+AnyRngSource = Union[int, random.Random, np.random.Generator, None]
 
 
 def ensure_rng(source: RandomSource = None) -> random.Random:
@@ -42,3 +53,44 @@ def spawn_rng(rng: random.Random, stream: int) -> random.Random:
     """
     seed = (rng.getrandbits(48) << 16) ^ (stream & 0xFFFF)
     return random.Random(seed)
+
+
+def ensure_np_rng(source: NumpySource = None) -> np.random.Generator:
+    """Coerce ``source`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    source:
+        ``None`` for nondeterministic state, an ``int`` seed, or an existing
+        ``numpy.random.Generator`` which is returned unchanged.
+    """
+    if source is None:
+        return np.random.default_rng()
+    if isinstance(source, np.random.Generator):
+        return source
+    if isinstance(source, bool):
+        raise TypeError("numpy rng seed must be an int, Generator, or None")
+    if isinstance(source, (int, np.integer)):
+        return np.random.default_rng(int(source))
+    raise TypeError(
+        f"numpy rng source must be an int, Generator, or None, got {type(source)!r}"
+    )
+
+
+def spawn_np_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent child NumPy generator from ``rng``."""
+    seed = (int(rng.integers(0, 1 << 48)) << 16) ^ (stream & 0xFFFF)
+    return np.random.default_rng(seed)
+
+
+def coerce_np_rng(source: Union[RandomSource, NumpySource]) -> np.random.Generator:
+    """Coerce *any* accepted rng source into a :class:`numpy.random.Generator`.
+
+    Accepts everything :func:`ensure_np_rng` does, plus a
+    :class:`random.Random`, from which a NumPy generator is derived
+    deterministically (so callers holding a Python generator — the harness,
+    the scalar walk paths — can seed the batched frontier reproducibly).
+    """
+    if isinstance(source, random.Random):
+        return np.random.default_rng(source.getrandbits(64))
+    return ensure_np_rng(source)

@@ -12,6 +12,13 @@ from repro.walks.walker import (
     WalkResult,
     collect_walks,
 )
+from repro.walks.frontier import (
+    BatchedWalks,
+    WalkFrontier,
+    run_frontier_deepwalk,
+    run_frontier_node2vec,
+    run_frontier_ppr,
+)
 from repro.walks.deepwalk import DeepWalkConfig, deepwalk_walk, run_deepwalk
 from repro.walks.node2vec import Node2VecConfig, node2vec_walk, run_node2vec
 from repro.walks.ppr import PPRConfig, ppr_walk, run_ppr, ppr_scores
@@ -22,6 +29,11 @@ __all__ = [
     "VisitCounter",
     "WalkResult",
     "collect_walks",
+    "BatchedWalks",
+    "WalkFrontier",
+    "run_frontier_deepwalk",
+    "run_frontier_node2vec",
+    "run_frontier_ppr",
     "DeepWalkConfig",
     "deepwalk_walk",
     "run_deepwalk",

@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
-from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.rng import AnyRngSource
 from repro.utils.validation import check_positive_int
+from repro.walks.frontier import run_frontier_deepwalk
 from repro.walks.walker import NeighborSampler, WalkResult, default_start_vertices
 
 
@@ -53,14 +54,23 @@ def run_deepwalk(
     config: DeepWalkConfig = DeepWalkConfig(),
     *,
     starts: Optional[Sequence[int]] = None,
+    frontier: bool = False,
+    rng: AnyRngSource = None,
 ) -> WalkResult:
     """Run DeepWalk for every start vertex and return the collected paths.
 
     When ``starts`` is omitted the paper's default placement is used: one
-    walker per vertex of the current snapshot.
+    walker per vertex of the current snapshot.  With ``frontier=True`` all
+    walkers advance together through the batched walk-frontier engine;
+    ``rng`` (an int seed, NumPy generator, or Python generator) seeds its
+    stream deterministically.  The scalar loop is the default.
     """
     if starts is None:
         starts = default_start_vertices(engine.num_vertices(), config.walkers_per_vertex)
+    if frontier:
+        return run_frontier_deepwalk(
+            engine, starts, config.walk_length, rng=rng
+        ).to_walk_result()
     result = WalkResult()
     for start in starts:
         result.add(deepwalk_walk(engine, start, config.walk_length))

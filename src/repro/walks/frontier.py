@@ -1,0 +1,284 @@
+"""Batched walk-frontier execution engine.
+
+The paper's throughput numbers come from advancing *many* walkers per kernel
+launch, not one walker per Python loop iteration.  This module reproduces
+that execution model on the host: the positions of N concurrent walkers live
+in one NumPy vector, an alive mask tracks which walkers still step, and each
+step hands the whole frontier to the engine's
+:meth:`~repro.engines.base.RandomWalkEngine.sample_frontier` kernel — a
+fused whole-frontier draw for Bingo, or a group-by-vertex dispatch onto the
+vectorized ``sample_many`` / ``sample_batch`` kernels for the baselines.
+
+The result is a dense walk matrix (walkers × steps, ``-1`` padded) that
+converts back to the scalar :class:`~repro.walks.walker.WalkResult` when the
+application wants paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import SamplerStateError
+from repro.utils.rng import AnyRngSource, coerce_np_rng
+from repro.walks.walker import WalkResult
+
+#: Initial number of matrix columns for open-ended (PPR-style) walks.
+_INITIAL_COLUMNS = 129
+
+#: Safety valve for the node2vec acceptance loop (expected trials are tiny).
+_MAX_REJECTION_ROUNDS = 10_000
+
+
+@dataclass
+class BatchedWalks:
+    """The dense output of a frontier run: one row per walker.
+
+    ``matrix[i, j]`` is the vertex of walker ``i`` after ``j`` steps, or
+    ``-1`` once the walk has ended.  Column 0 holds the start vertices.
+    """
+
+    matrix: np.ndarray
+
+    @property
+    def num_walks(self) -> int:
+        return int(self.matrix.shape[0])
+
+    def lengths(self) -> np.ndarray:
+        """Number of vertices in each walk (≥ 1: the start always counts)."""
+        return (self.matrix >= 0).sum(axis=1)
+
+    @property
+    def total_steps(self) -> int:
+        """Total edges traversed across all walks."""
+        return int((self.lengths() - 1).sum())
+
+    def paths(self) -> List[List[int]]:
+        """The walks as plain vertex lists (padding stripped)."""
+        lengths = self.lengths()
+        return [
+            [int(v) for v in row[:length]]
+            for row, length in zip(self.matrix, lengths)
+        ]
+
+    def to_walk_result(self) -> WalkResult:
+        """Convert to the scalar-path result type used by the applications."""
+        result = WalkResult()
+        for path in self.paths():
+            result.add(path)
+        return result
+
+
+class WalkFrontier:
+    """N concurrent walkers advanced one step at a time as NumPy vectors."""
+
+    def __init__(
+        self,
+        engine,
+        starts: Sequence[int],
+        walk_length: int,
+        *,
+        rng: AnyRngSource = None,
+    ) -> None:
+        if walk_length < 1:
+            raise ValueError("walk_length must be positive")
+        self.engine = engine
+        # Accepts ints, NumPy generators, and (deterministically derived)
+        # Python generators, so scalar-path callers can seed the frontier.
+        self.rng = coerce_np_rng(rng)
+        self.walk_length = int(walk_length)
+        self.current = np.asarray(list(starts), dtype=np.int64)
+        if self.current.ndim != 1:
+            raise ValueError("starts must be a flat sequence of vertex ids")
+        size = len(self.current)
+        self.alive = np.ones(size, dtype=bool)
+        columns = min(self.walk_length + 1, _INITIAL_COLUMNS)
+        self.matrix = np.full((size, columns), -1, dtype=np.int64)
+        if size:
+            self.matrix[:, 0] = self.current
+        self.steps_taken = 0
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+    def alive_count(self) -> int:
+        return int(self.alive.sum())
+
+    def alive_walkers(self) -> np.ndarray:
+        """Indices of walkers that still step."""
+        return np.nonzero(self.alive)[0]
+
+    def kill(self, walkers: np.ndarray) -> None:
+        """Retire the given walker indices (their rows stop growing)."""
+        self.alive[walkers] = False
+
+    # ------------------------------------------------------------------ #
+    # the batched sampling step
+    # ------------------------------------------------------------------ #
+    def propose(self, walkers: np.ndarray) -> np.ndarray:
+        """One biased neighbour draw per walker index.
+
+        Engines expose :meth:`~repro.engines.base.RandomWalkEngine.sample_frontier`,
+        which either runs a fused whole-frontier kernel (Bingo) or partitions
+        by vertex and serves each group with one vectorized kernel call.  A
+        plain :class:`~repro.walks.walker.NeighborSampler` without the
+        batched API is walked scalar.  Entries are ``-1`` where the walker
+        sits on a sink vertex.
+        """
+        if len(walkers) == 0:
+            return np.empty(0, dtype=np.int64)
+        vertices = self.current[walkers]
+        sampler = getattr(self.engine, "sample_frontier", None)
+        if sampler is not None:
+            return sampler(vertices, self.rng)
+        draws = np.full(len(walkers), -1, dtype=np.int64)
+        for position, vertex in enumerate(vertices):
+            drawn = self.engine.sample_neighbor(int(vertex))
+            draws[position] = -1 if drawn is None else drawn
+        return draws
+
+    def advance(self, walkers: np.ndarray, next_vertices: np.ndarray) -> int:
+        """Commit one step: walkers with a ``-1`` draw die, the rest move.
+
+        Returns the number of walkers still alive.  The alive mask only ever
+        shrinks — a retired walker can never be stepped again.
+        """
+        self.steps_taken += 1
+        self._ensure_columns(self.steps_taken + 1)
+        stepping = walkers[next_vertices >= 0]
+        dying = walkers[next_vertices < 0]
+        moved = next_vertices[next_vertices >= 0]
+        self.matrix[stepping, self.steps_taken] = moved
+        self.current[stepping] = moved
+        self.alive[dying] = False
+        return self.alive_count()
+
+    def _ensure_columns(self, needed: int) -> None:
+        rows, columns = self.matrix.shape
+        if needed < columns:
+            return
+        grown = min(self.walk_length + 1, max(needed + 1, 2 * columns))
+        extension = np.full((rows, grown - columns), -1, dtype=np.int64)
+        self.matrix = np.hstack([self.matrix, extension])
+
+    def finish(self) -> BatchedWalks:
+        """Package the (trimmed) walk matrix."""
+        return BatchedWalks(matrix=self.matrix[:, : self.steps_taken + 1])
+
+
+# --------------------------------------------------------------------------- #
+# application drivers
+# --------------------------------------------------------------------------- #
+def run_frontier_deepwalk(
+    engine,
+    starts: Sequence[int],
+    walk_length: int,
+    *,
+    rng: AnyRngSource = None,
+) -> BatchedWalks:
+    """DeepWalk for every start vertex, executed as one batched frontier."""
+    frontier = WalkFrontier(engine, starts, walk_length, rng=rng)
+    for _ in range(walk_length):
+        walkers = frontier.alive_walkers()
+        if len(walkers) == 0:
+            break
+        frontier.advance(walkers, frontier.propose(walkers))
+    return frontier.finish()
+
+
+def run_frontier_ppr(
+    engine,
+    starts: Sequence[int],
+    *,
+    termination_probability: float,
+    max_steps: int,
+    rng: AnyRngSource = None,
+) -> BatchedWalks:
+    """Terminating (PPR) walks as a batched frontier.
+
+    Before every step each alive walker flips the termination coin from the
+    shared generator — one vectorized draw for the whole frontier — and the
+    survivors advance together.
+    """
+    if not 0.0 < termination_probability <= 1.0:
+        raise ValueError("termination_probability must lie in (0, 1]")
+    frontier = WalkFrontier(engine, starts, max_steps, rng=rng)
+    for _ in range(max_steps):
+        walkers = frontier.alive_walkers()
+        if len(walkers) == 0:
+            break
+        coins = frontier.rng.random(len(walkers))
+        frontier.kill(walkers[coins < termination_probability])
+        walkers = walkers[coins >= termination_probability]
+        if len(walkers) == 0:
+            break
+        frontier.advance(walkers, frontier.propose(walkers))
+    return frontier.finish()
+
+
+def run_frontier_node2vec(
+    engine,
+    starts: Sequence[int],
+    walk_length: int,
+    *,
+    p: float,
+    q: float,
+    rng: AnyRngSource = None,
+) -> BatchedWalks:
+    """node2vec as a batched frontier (static draw + vectorized rejection).
+
+    The first step of every walker is a plain first-order draw.  Later steps
+    follow the KnightKing strategy batched: the whole pending frontier
+    proposes from the static distribution in grouped kernel calls, the
+    Equation (1) factors are evaluated against the walkers' previous
+    vertices, and one vectorized coin flip accepts or returns each walker to
+    the pending set.
+    """
+    if p <= 0 or q <= 0:
+        raise ValueError("node2vec hyper-parameters p and q must be positive")
+    envelope = max(1.0 / p, 1.0, 1.0 / q)
+    frontier = WalkFrontier(engine, starts, walk_length, rng=rng)
+    previous = np.full(len(frontier.current), -1, dtype=np.int64)
+    for step in range(walk_length):
+        walkers = frontier.alive_walkers()
+        if len(walkers) == 0:
+            break
+        resolved = np.full(len(frontier.current), -1, dtype=np.int64)
+        if step == 0:
+            resolved[walkers] = frontier.propose(walkers)
+        else:
+            pending = walkers
+            for _ in range(_MAX_REJECTION_ROUNDS):
+                if len(pending) == 0:
+                    break
+                proposals = frontier.propose(pending)
+                sinks = proposals < 0
+                # Sink walkers are resolved as dead; the rest face the
+                # acceptance test against their previous vertex.
+                candidates = pending[~sinks]
+                drawn = proposals[~sinks]
+                if len(candidates) == 0:
+                    pending = candidates
+                    break
+                befores = previous[candidates]
+                # Equation (1) factors: backtracks and the default 1/q case
+                # vectorize; only the distance-1 test needs edge lookups.
+                factors = np.full(len(candidates), 1.0 / q, dtype=np.float64)
+                backtrack = drawn == befores
+                factors[backtrack] = 1.0 / p
+                for index in np.nonzero(~backtrack)[0]:
+                    if engine.has_edge(int(befores[index]), int(drawn[index])):
+                        factors[index] = 1.0
+                accepted = frontier.rng.random(len(candidates)) < factors / envelope
+                resolved[candidates[accepted]] = drawn[accepted]
+                pending = candidates[~accepted]
+            else:
+                raise SamplerStateError(
+                    "node2vec frontier rejection failed to accept; check p/q values"
+                )
+        stepped = walkers[resolved[walkers] >= 0]
+        previous[stepped] = frontier.current[stepped]
+        frontier.advance(walkers, resolved[walkers])
+    return frontier.finish()

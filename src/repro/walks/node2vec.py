@@ -21,8 +21,9 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.errors import SamplerStateError
-from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.rng import NumpySource, RandomSource, ensure_rng
 from repro.utils.validation import check_positive_int
+from repro.walks.frontier import run_frontier_node2vec
 from repro.walks.walker import NeighborSampler, WalkResult, default_start_vertices
 
 #: Safety valve for the acceptance loop (the expected trial count is tiny).
@@ -109,11 +110,28 @@ def run_node2vec(
     *,
     starts: Optional[Sequence[int]] = None,
     rng: RandomSource = None,
+    frontier: bool = False,
+    frontier_rng: NumpySource = None,
 ) -> WalkResult:
-    """Run node2vec from every start vertex and return the collected paths."""
-    generator = ensure_rng(rng)
+    """Run node2vec from every start vertex and return the collected paths.
+
+    With ``frontier=True`` every walker advances together through the
+    batched walk-frontier engine, drawing from ``frontier_rng`` when given
+    and otherwise from a stream derived deterministically from ``rng`` — so
+    the same seed reproduces the same walks on either path's rng argument.
+    """
     if starts is None:
         starts = default_start_vertices(engine.num_vertices(), config.walkers_per_vertex)
+    if frontier:
+        return run_frontier_node2vec(
+            engine,
+            starts,
+            config.walk_length,
+            p=config.p,
+            q=config.q,
+            rng=frontier_rng if frontier_rng is not None else rng,
+        ).to_walk_result()
+    generator = ensure_rng(rng)
     result = WalkResult()
     for start in starts:
         result.add(node2vec_walk(engine, start, config, rng=generator))

@@ -10,8 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.rng import NumpySource, RandomSource, ensure_rng
 from repro.utils.validation import check_positive_int, check_probability
+from repro.walks.frontier import run_frontier_ppr
 from repro.walks.walker import (
     NeighborSampler,
     VisitCounter,
@@ -69,11 +70,28 @@ def run_ppr(
     *,
     starts: Optional[Sequence[int]] = None,
     rng: RandomSource = None,
+    frontier: bool = False,
+    frontier_rng: NumpySource = None,
 ) -> WalkResult:
-    """Run PPR walks from every start vertex and return the collected paths."""
-    generator = ensure_rng(rng)
+    """Run PPR walks from every start vertex and return the collected paths.
+
+    With ``frontier=True`` the termination coins and neighbour draws are
+    vectorized over the whole frontier, drawing from ``frontier_rng`` when
+    given and otherwise from a stream derived deterministically from
+    ``rng`` — so the same seed reproduces the same walks on either path's
+    rng argument.
+    """
     if starts is None:
         starts = default_start_vertices(engine.num_vertices(), config.walkers_per_vertex)
+    if frontier:
+        return run_frontier_ppr(
+            engine,
+            starts,
+            termination_probability=config.termination_probability,
+            max_steps=config.max_steps,
+            rng=frontier_rng if frontier_rng is not None else rng,
+        ).to_walk_result()
+    generator = ensure_rng(rng)
     result = WalkResult()
     for start in starts:
         result.add(ppr_walk(engine, start, config, rng=generator))

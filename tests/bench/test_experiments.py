@@ -140,9 +140,16 @@ class TestFigure15:
             assert set(row) == {"gsampler", "bingo"}
 
     def test_walk_length_sweep_grows_with_length(self):
-        report = experiments.fig15_walk_length_sweep(dataset="AM", walk_lengths=(3, 12))
-        assert report[12]["bingo"] > 0
-        assert report[12]["gsampler"] >= report[3]["gsampler"] * 0.5
+        # Best-of-2 sweeps: a scheduler stall during the short-walk leg can
+        # otherwise inflate its lone measurement past the ratio bound.
+        reports = [
+            experiments.fig15_walk_length_sweep(dataset="AM", walk_lengths=(3, 12))
+            for _ in range(2)
+        ]
+        assert reports[0][12]["bingo"] > 0
+        short = min(report[3]["gsampler"] for report in reports)
+        long = min(report[12]["gsampler"] for report in reports)
+        assert long >= short * 0.5
 
     def test_bias_distribution_sweep(self):
         report = experiments.fig15_bias_distribution(

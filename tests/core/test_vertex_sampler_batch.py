@@ -1,0 +1,133 @@
+"""The vectorized ``sample_many`` kernel of the Bingo vertex sampler.
+
+Checks that the fused two-stage batch draw (vectorized inter-group alias
+selection + flattened-member intra-group pick) reproduces the exact
+Theorem 4.1 distribution, stays consistent through dynamic updates, and is
+deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import GroupClassifier
+from repro.core.vertex_sampler import BingoVertexSampler
+from tests.sampling.test_batch_equivalence import (
+    batch_histogram,
+    chi_square_critical,
+    chi_square_statistic,
+)
+
+DRAWS = 20_000
+
+
+def build_sampler(biases, **kwargs) -> BingoVertexSampler:
+    return BingoVertexSampler.from_neighbors(list(enumerate(biases)), **kwargs)
+
+
+@pytest.mark.parametrize(
+    "biases",
+    [
+        [5.0, 4.0, 3.0],
+        [1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
+        [7.0] * 12,
+        [1.0, 1000.0, 3.0, 17.0, 255.0, 64.0, 2.0],
+    ],
+)
+def test_sample_many_matches_exact_distribution(biases):
+    sampler = build_sampler(biases, rng=3)
+    exact = sampler.exact_probabilities()
+    draws = sampler.sample_many(DRAWS, np.random.default_rng(11))
+    statistic = chi_square_statistic(batch_histogram(draws), exact, DRAWS)
+    assert statistic < chi_square_critical(len(biases) - 1), statistic
+
+
+def test_sample_many_matches_scalar_empirical_distribution():
+    biases = [3.0, 9.0, 27.0, 5.0, 40.0, 1.0, 6.0, 6.0]
+    sampler = build_sampler(biases, rng=5)
+    exact = sampler.exact_probabilities()
+    critical = chi_square_critical(len(biases) - 1)
+
+    scalar_counts: dict = {}
+    for _ in range(DRAWS):
+        drawn = sampler.sample()
+        scalar_counts[drawn] = scalar_counts.get(drawn, 0) + 1
+    assert chi_square_statistic(scalar_counts, exact, DRAWS) < critical
+
+    batch_counts = batch_histogram(sampler.sample_many(DRAWS, np.random.default_rng(13)))
+    assert chi_square_statistic(batch_counts, exact, DRAWS) < critical
+
+
+def test_sample_many_floating_point_biases():
+    biases = [0.25, 1.5, 3.75, 0.6, 12.4, 7.3]
+    sampler = build_sampler(biases, rng=7, lam=16.0)
+    draws = sampler.sample_many(DRAWS, np.random.default_rng(17))
+    histogram = batch_histogram(draws)
+    # λ-scaling quantizes each bias to 1/λ; compare against the structural
+    # probabilities the quantized representation implies.
+    expected = {
+        candidate: sampler.structure_probability(candidate)
+        for candidate, _ in sampler.candidates()
+    }
+    statistic = chi_square_statistic(histogram, expected, DRAWS)
+    assert statistic < chi_square_critical(len(biases) - 1), statistic
+
+
+def test_sample_many_adaptive_and_baseline_agree():
+    biases = [float(b) for b in [1, 2, 2, 4, 9, 100, 100, 3, 8, 8, 8, 5]]
+    adaptive = build_sampler(biases, rng=9)
+    baseline = build_sampler(biases, rng=9, classifier=GroupClassifier(adaptive=False))
+    critical = chi_square_critical(len(biases) - 1)
+    for sampler in (adaptive, baseline):
+        draws = sampler.sample_many(DRAWS, np.random.default_rng(19))
+        statistic = chi_square_statistic(
+            batch_histogram(draws), sampler.exact_probabilities(), DRAWS
+        )
+        assert statistic < critical
+
+
+def test_sample_many_is_deterministic_per_seed():
+    sampler = build_sampler([4.0, 4.0, 9.0, 1.0, 30.0], rng=11)
+    first = sampler.sample_many(3_000, np.random.default_rng(23))
+    second = sampler.sample_many(3_000, np.random.default_rng(23))
+    assert np.array_equal(first, second)
+
+
+def test_sample_many_sees_updates_and_never_returns_deleted():
+    sampler = build_sampler([6.0, 2.0, 12.0, 5.0], rng=13)
+    sampler.delete(2)
+    sampler.insert(77, 64.0)
+    sampler.update_bias(0, 3.0)
+    draws = sampler.sample_many(DRAWS, np.random.default_rng(29))
+    drawn = set(int(v) for v in draws)
+    assert 2 not in drawn
+    assert drawn <= {0, 1, 3, 77}
+    statistic = chi_square_statistic(
+        batch_histogram(draws), sampler.exact_probabilities(), DRAWS
+    )
+    assert statistic < chi_square_critical(3)
+
+
+def test_sample_many_batched_update_mode():
+    """Deferred-rebuild (batched) mode serves the same distribution."""
+    sampler = BingoVertexSampler(rng=15, auto_rebuild=False)
+    for candidate, bias in enumerate([9.0, 3.0, 1.0, 27.0, 5.0]):
+        sampler.insert(candidate, bias)
+    sampler.rebuild()
+    sampler.delete(1)
+    sampler.insert(8, 11.0)
+    sampler.rebuild()
+    draws = sampler.sample_many(DRAWS, np.random.default_rng(31))
+    statistic = chi_square_statistic(
+        batch_histogram(draws), sampler.exact_probabilities(), DRAWS
+    )
+    assert statistic < chi_square_critical(4)
+
+
+def test_sample_many_rejects_empty_and_zero_count():
+    sampler = BingoVertexSampler(rng=17)
+    with pytest.raises(Exception):
+        sampler.sample_many(10, np.random.default_rng(0))
+    sampler.insert(1, 4.0)
+    assert len(sampler.sample_many(0, np.random.default_rng(0))) == 0

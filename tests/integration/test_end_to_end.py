@@ -105,6 +105,14 @@ class TestCrossEngineEndToEnd:
         )
         from repro.bench.harness import run_update_only
 
-        bingo = run_update_only("bingo", stream, streaming=False, rng=93)
-        knightking = run_update_only("knightking", stream, streaming=False, rng=93)
-        assert bingo.update_seconds < knightking.update_seconds
+        # Best-of-3 per engine: the single-run ratio sits near 0.75 and a
+        # scheduler hiccup on either side can flip a lone measurement.
+        bingo = min(
+            run_update_only("bingo", stream, streaming=False, rng=93).update_seconds
+            for _ in range(3)
+        )
+        knightking = min(
+            run_update_only("knightking", stream, streaming=False, rng=93).update_seconds
+            for _ in range(3)
+        )
+        assert bingo < knightking

@@ -1,0 +1,151 @@
+"""Equivalence of the vectorized ``sample_batch`` kernels with the scalar path.
+
+Two kinds of evidence per sampler:
+
+* distributional — a chi-square goodness-of-fit test over >= 10k draws
+  checks that the batch kernel and the scalar loop both reproduce the exact
+  bias distribution;
+* exact-sequence — for the samplers whose scalar draw consumes a fixed
+  number of uniforms (alias: bucket + toss, ITS: one uniform), replaying the
+  batch kernel's uniforms through the scalar path must yield the *identical*
+  output sequence.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.sampling.alias import AliasTable
+from repro.sampling.its import InverseTransformSampler
+from repro.sampling.rejection import RejectionSampler
+
+BIASES = [5.0, 4.0, 3.0, 1.0, 64.0, 7.0, 2.0, 20.0]
+DRAWS = 20_000
+
+
+def chi_square_critical(df: int, z: float = 3.719) -> float:
+    """Wilson–Hilferty upper critical value (z = 3.719 ~ significance 1e-4)."""
+    term = 2.0 / (9.0 * df)
+    return df * (1.0 - term + z * math.sqrt(term)) ** 3
+
+
+def chi_square_statistic(observed, expected_probs, total: int) -> float:
+    statistic = 0.0
+    for key, probability in expected_probs.items():
+        expected = probability * total
+        seen = observed.get(key, 0)
+        statistic += (seen - expected) ** 2 / expected
+    return statistic
+
+
+def batch_histogram(draws: np.ndarray) -> dict:
+    values, counts = np.unique(draws, return_counts=True)
+    return {int(value): int(count) for value, count in zip(values, counts)}
+
+
+def build(cls, **kwargs):
+    sampler = cls.from_candidates(list(enumerate(BIASES)), **kwargs)
+    if hasattr(sampler, "rebuild"):
+        sampler.rebuild()
+    return sampler
+
+
+@pytest.mark.parametrize("cls", [AliasTable, InverseTransformSampler, RejectionSampler])
+def test_batch_kernel_matches_exact_distribution(cls):
+    sampler = build(cls, rng=11)
+    exact = sampler.exact_probabilities()
+    draws = sampler.sample_batch(DRAWS, np.random.default_rng(5))
+    assert len(draws) == DRAWS
+    statistic = chi_square_statistic(batch_histogram(draws), exact, DRAWS)
+    assert statistic < chi_square_critical(len(BIASES) - 1), statistic
+
+
+@pytest.mark.parametrize("cls", [AliasTable, InverseTransformSampler, RejectionSampler])
+def test_scalar_and_batch_empirical_distributions_agree(cls):
+    """Both paths pass the same chi-square test against the same expectation."""
+    sampler = build(cls, rng=13)
+    exact = sampler.exact_probabilities()
+    critical = chi_square_critical(len(BIASES) - 1)
+
+    scalar_counts: dict = {}
+    for _ in range(DRAWS):
+        drawn = sampler.sample()
+        scalar_counts[drawn] = scalar_counts.get(drawn, 0) + 1
+    assert chi_square_statistic(scalar_counts, exact, DRAWS) < critical
+
+    batch_counts = batch_histogram(sampler.sample_batch(DRAWS, np.random.default_rng(7)))
+    assert chi_square_statistic(batch_counts, exact, DRAWS) < critical
+
+
+class ReplayRandom(random.Random):
+    """A ``random.Random`` that replays pre-drawn uniforms and buckets."""
+
+    def __init__(self, buckets, uniforms):
+        super().__init__(0)
+        self._buckets = iter(buckets)
+        self._uniforms = iter(uniforms)
+
+    def randrange(self, *args, **kwargs):  # noqa: D102 - replay stub
+        return int(next(self._buckets))
+
+    def random(self):  # noqa: D102 - replay stub
+        return float(next(self._uniforms))
+
+
+def test_alias_batch_matches_scalar_exactly_under_shared_draws():
+    """Replaying the batch kernel's (bucket, toss) stream through the scalar
+    path reproduces the identical candidate sequence."""
+    sampler = build(AliasTable, rng=17)
+    count = 500
+
+    generator = np.random.default_rng(23)
+    batch = sampler.sample_batch(count, generator)
+
+    # Regenerate the exact uniforms the kernel consumed, in kernel order.
+    replay_rng = np.random.default_rng(23)
+    buckets = replay_rng.integers(0, len(BIASES), size=count)
+    tosses = replay_rng.random(count)
+    sampler._rng = ReplayRandom(buckets, tosses)
+    scalar = [sampler.sample() for _ in range(count)]
+
+    assert scalar == [int(value) for value in batch]
+
+
+def test_its_batch_matches_scalar_exactly_under_shared_draws():
+    sampler = build(InverseTransformSampler, rng=19)
+    count = 500
+
+    generator = np.random.default_rng(29)
+    batch = sampler.sample_batch(count, generator)
+
+    replay_rng = np.random.default_rng(29)
+    uniforms = replay_rng.random(count)
+    sampler._rng = ReplayRandom([], uniforms)
+    scalar = [sampler.sample() for _ in range(count)]
+
+    assert scalar == [int(value) for value in batch]
+
+
+def test_batch_kernels_are_deterministic_per_seed():
+    for cls in (AliasTable, InverseTransformSampler, RejectionSampler):
+        sampler = build(cls, rng=3)
+        first = sampler.sample_batch(2_000, np.random.default_rng(41))
+        second = sampler.sample_batch(2_000, np.random.default_rng(41))
+        assert np.array_equal(first, second), cls.__name__
+
+
+def test_batch_kernel_tracks_dynamic_updates():
+    """Insertions and deletions are visible to the next batch draw."""
+    for cls in (AliasTable, InverseTransformSampler, RejectionSampler):
+        sampler = build(cls, rng=31)
+        sampler.delete(4)  # remove the heavy candidate
+        sampler.insert(99, 500.0)
+        exact = sampler.exact_probabilities()
+        draws = sampler.sample_batch(DRAWS, np.random.default_rng(43))
+        assert 4 not in set(int(v) for v in draws)
+        statistic = chi_square_statistic(batch_histogram(draws), exact, DRAWS)
+        assert statistic < chi_square_critical(len(exact) - 1), cls.__name__

@@ -1,0 +1,97 @@
+"""Seed determinism of the batched walk frontier.
+
+Same seeds => identical walk matrices, for every application and engine,
+including after interleaved insert/delete update batches on a dynamic graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engines.registry import create_engine, engine_names
+from repro.graph.generators import power_law_graph
+from repro.graph.update_stream import GraphUpdate, UpdateKind
+from repro.walks.frontier import (
+    run_frontier_deepwalk,
+    run_frontier_node2vec,
+    run_frontier_ppr,
+)
+
+ENGINE_SEED = 99
+FRONTIER_SEED = 7
+
+
+def make_graph():
+    return power_law_graph(120, 3, rng=41)
+
+
+def starts_of(graph):
+    return [vertex for vertex in range(graph.num_vertices) if graph.degree(vertex) > 0]
+
+
+def run_app(application, engine, starts, seed):
+    if application == "deepwalk":
+        return run_frontier_deepwalk(engine, starts, 12, rng=seed)
+    if application == "node2vec":
+        return run_frontier_node2vec(engine, starts, 8, p=0.5, q=2.0, rng=seed)
+    return run_frontier_ppr(
+        engine, starts, termination_probability=0.1, max_steps=30, rng=seed
+    )
+
+
+def update_batches(graph):
+    """Two small batches: deletions of existing edges, then fresh insertions."""
+    first, second = [], []
+    victims = list(graph.edges())[:6]
+    for edge in victims[:3]:
+        first.append(GraphUpdate(UpdateKind.DELETE, edge.src, edge.dst))
+    for edge in victims[3:]:
+        second.append(GraphUpdate(UpdateKind.DELETE, edge.src, edge.dst))
+    for offset, edge in enumerate(victims[:3]):
+        target = (edge.src + 7 + offset) % graph.num_vertices
+        if target != edge.src and not graph.has_edge(edge.src, target):
+            first.append(GraphUpdate(UpdateKind.INSERT, edge.src, target, 2.0 + offset))
+    return [first, second]
+
+
+@pytest.mark.parametrize("application", ["deepwalk", "node2vec", "ppr"])
+@pytest.mark.parametrize("engine_name", engine_names())
+def test_same_seed_gives_identical_walk_matrix(application, engine_name):
+    matrices = []
+    for _ in range(2):
+        engine = create_engine(engine_name, rng=ENGINE_SEED)
+        engine.build(make_graph())
+        starts = starts_of(engine.graph)
+        matrices.append(run_app(application, engine, starts, FRONTIER_SEED).matrix)
+    assert np.array_equal(matrices[0], matrices[1])
+
+
+@pytest.mark.parametrize("application", ["deepwalk", "node2vec", "ppr"])
+def test_determinism_survives_interleaved_update_batches(application):
+    """walk -> batch -> walk -> batch -> walk, twice, bit-identical."""
+    runs = []
+    for _ in range(2):
+        engine = create_engine("bingo", rng=ENGINE_SEED)
+        engine.build(make_graph())
+        starts = starts_of(engine.graph)
+        batches = update_batches(engine.graph)
+        matrices = [run_app(application, engine, starts, FRONTIER_SEED).matrix]
+        for round_index, batch in enumerate(batches):
+            engine.apply_batch(batch)
+            matrices.append(
+                run_app(application, engine, starts, FRONTIER_SEED + round_index).matrix
+            )
+        runs.append(matrices)
+    assert len(runs[0]) == len(runs[1]) == 3
+    for first, second in zip(runs[0], runs[1]):
+        assert np.array_equal(first, second)
+
+
+def test_different_seeds_give_different_walks():
+    engine = create_engine("bingo", rng=ENGINE_SEED)
+    engine.build(make_graph())
+    starts = starts_of(engine.graph)
+    first = run_frontier_deepwalk(engine, starts, 12, rng=1).matrix
+    second = run_frontier_deepwalk(engine, starts, 12, rng=2).matrix
+    assert not np.array_equal(first, second)

@@ -1,0 +1,115 @@
+"""Property-based tests of the batched walk frontier.
+
+Hypothesis drives arbitrary small graphs, walker placements and deletion
+sets through the frontier and checks the structural invariants:
+
+* a retired walker never steps again (rows are ``-1`` padded after death,
+  with no live vertex after padding starts);
+* every transition in the walk matrix follows an edge of the *current*
+  graph — in particular, never an edge deleted by an earlier update batch;
+* the alive mask shrinks monotonically step over step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.engines.bingo import BingoEngine
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.update_stream import GraphUpdate, UpdateKind
+from repro.walks.frontier import WalkFrontier, run_frontier_deepwalk
+
+NUM_VERTICES = 12
+
+edge_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=NUM_VERTICES - 1),
+        st.integers(min_value=0, max_value=NUM_VERTICES - 1),
+        st.integers(min_value=1, max_value=64),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def build_engine(edges):
+    graph = DynamicGraph(NUM_VERTICES)
+    for src, dst, bias in edges:
+        if src != dst and not graph.has_edge(src, dst):
+            graph.add_edge(src, dst, float(bias))
+    engine = BingoEngine(rng=5)
+    engine.build(graph)
+    return engine
+
+
+def assert_padding_is_terminal(matrix: np.ndarray) -> None:
+    """Once a row hits -1 it stays -1: a dead walker never steps."""
+    dead = matrix < 0
+    resurrected = (~dead[:, 1:]) & dead[:, :-1]
+    assert not resurrected.any()
+
+
+def assert_transitions_are_edges(matrix: np.ndarray, engine) -> None:
+    for row in matrix:
+        for column in range(len(row) - 1):
+            src, dst = int(row[column]), int(row[column + 1])
+            if src < 0 or dst < 0:
+                break
+            assert engine.has_edge(src, dst), (src, dst)
+
+
+@given(edges=edge_strategy, walk_length=st.integers(min_value=1, max_value=12))
+@settings(max_examples=40, deadline=None)
+def test_dead_walkers_never_step_and_transitions_are_edges(edges, walk_length):
+    engine = build_engine(edges)
+    starts = list(range(NUM_VERTICES))
+    walks = run_frontier_deepwalk(engine, starts, walk_length, rng=3)
+    assert walks.matrix.shape[0] == len(starts)
+    assert_padding_is_terminal(walks.matrix)
+    assert_transitions_are_edges(walks.matrix, engine)
+    # Walkers seeded on sink vertices never move.
+    for start in starts:
+        if engine.degree(start) == 0:
+            row = walks.matrix[start]
+            assert row[0] == start and (row[1:] < 0).all()
+
+
+@given(edges=edge_strategy)
+@settings(max_examples=40, deadline=None)
+def test_alive_mask_shrinks_monotonically(edges):
+    engine = build_engine(edges)
+    frontier = WalkFrontier(engine, list(range(NUM_VERTICES)), 10, rng=7)
+    alive_history = [frontier.alive_count()]
+    for _ in range(10):
+        walkers = frontier.alive_walkers()
+        if len(walkers) == 0:
+            break
+        frontier.advance(walkers, frontier.propose(walkers))
+        alive_history.append(frontier.alive_count())
+    assert all(
+        later <= earlier for earlier, later in zip(alive_history, alive_history[1:])
+    )
+
+
+@given(
+    edges=edge_strategy,
+    delete_picks=st.lists(st.integers(min_value=0, max_value=39), min_size=1, max_size=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_frontier_never_samples_a_deleted_edge(edges, delete_picks):
+    engine = build_engine(edges)
+    existing = list(engine.graph.edges())
+    if not existing:
+        return
+    victims = {(existing[p % len(existing)].src, existing[p % len(existing)].dst)
+               for p in delete_picks}
+    batch = [GraphUpdate(UpdateKind.DELETE, src, dst) for src, dst in victims]
+    engine.apply_batch(batch)
+
+    walks = run_frontier_deepwalk(engine, list(range(NUM_VERTICES)), 8, rng=11)
+    assert_padding_is_terminal(walks.matrix)
+    assert_transitions_are_edges(walks.matrix, engine)
+    for row in walks.paths():
+        for src, dst in zip(row, row[1:]):
+            assert (src, dst) not in victims
