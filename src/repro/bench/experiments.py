@@ -722,6 +722,122 @@ def fig15_bias_distribution(
 
 
 # --------------------------------------------------------------------------- #
+# Ingest throughput — columnar batch pipeline vs the per-edge paths
+# --------------------------------------------------------------------------- #
+def ingest_throughput(
+    *,
+    dataset: str = "LJ",
+    engines: Sequence[str] = SOTA_ENGINES,
+    batch_size: int = 4000,
+    num_batches: int = 2,
+    walk_length: int = 10,
+    num_walkers: int = 512,
+    repeats: int = 3,
+    workload: str = "mixed",
+    seed: int = 67,
+) -> Dict[str, object]:
+    """Update-ingestion throughput of the three ingestion paths per engine.
+
+    For every engine, the identical update stream is ingested three ways:
+
+    * ``columnar`` — the batched columnar pipeline (``apply_batch`` on
+      :class:`~repro.graph.update_batch.UpdateBatch` columns);
+    * ``legacy_batch`` — the pre-columnar batched path
+      (``apply_batch_scalar``: per-edge Python loops, one scalar rebuild per
+      touched vertex);
+    * ``streaming`` — the per-edge path (``apply_streaming``: one update at
+      a time, sampler refreshed after every edge).
+
+    Each is timed best-of-``repeats`` and reported as updates/s, together
+    with an *ingest-while-walking* run of the paper's Section 6.1 loop
+    (apply one batch, run a frontier DeepWalk round) that yields both
+    updates/s and walk steps/s under the interleaved workload.  The batch
+    size is clamped so the stream generator can always carve its insertion
+    reserve out of the dataset.
+    """
+    from repro.walks.deepwalk import DeepWalkConfig, run_deepwalk
+
+    rng = ensure_rng(seed)
+    graph = build_dataset(dataset, rng=rng)
+    max_batch = max(1, graph.num_edges // (num_batches + 1))
+    batch_size = min(batch_size, max_batch)
+    stream = generate_update_stream(
+        graph,
+        batch_size=batch_size,
+        num_batches=num_batches,
+        workload=UpdateWorkload(workload),
+        rng=rng,
+    )
+    total_updates = stream.num_updates
+    scalar_batches = [list(batch) for batch in stream.batches]
+    starts = sample_start_vertices(stream.initial_graph, num_walkers, rng=seed + 1)
+    config = DeepWalkConfig(walk_length=walk_length)
+
+    def timed_ingest(engine_name: str, method: str, batches) -> float:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            engine = create_engine(engine_name, rng=seed + 2)
+            engine.build(stream.initial_graph.copy())
+            start = time.perf_counter()
+            for batch in batches:
+                getattr(engine, method)(batch)
+            best = min(best, time.perf_counter() - start)
+        return total_updates / best if best > 0 else float("inf")
+
+    per_engine: Dict[str, Dict[str, float]] = {}
+    for engine_name in engines:
+        columnar = timed_ingest(engine_name, "apply_batch", stream.batches)
+        legacy = timed_ingest(engine_name, "apply_batch_scalar", scalar_batches)
+        streaming = timed_ingest(engine_name, "apply_streaming", scalar_batches)
+
+        # Ingest-while-walking: the paper's update-then-walk loop.
+        engine = create_engine(engine_name, rng=seed + 2)
+        engine.build(stream.initial_graph.copy())
+        update_seconds = 0.0
+        walk_seconds = 0.0
+        walk_steps = 0
+        for round_index, batch in enumerate(stream.batches):
+            start = time.perf_counter()
+            engine.apply_batch(batch)
+            update_seconds += time.perf_counter() - start
+            start = time.perf_counter()
+            result = run_deepwalk(
+                engine,
+                config,
+                starts=starts,
+                frontier=True,
+                rng=seed + 3 + round_index,
+            )
+            walk_seconds += time.perf_counter() - start
+            walk_steps += result.total_steps
+
+        per_engine[engine_name] = {
+            "columnar_updates_per_second": columnar,
+            "legacy_batch_updates_per_second": legacy,
+            "streaming_updates_per_second": streaming,
+            "columnar_vs_legacy_batch": columnar / legacy if legacy > 0 else float("inf"),
+            "columnar_vs_streaming": columnar / streaming if streaming > 0 else float("inf"),
+            "ingest_while_walking_updates_per_second": (
+                total_updates / update_seconds if update_seconds > 0 else float("inf")
+            ),
+            "walk_steps_per_second": (
+                walk_steps / walk_seconds if walk_seconds > 0 else float("inf")
+            ),
+        }
+
+    return {
+        "dataset": dataset,
+        "workload": str(UpdateWorkload(workload)),
+        "batch_size": batch_size,
+        "num_batches": num_batches,
+        "total_updates": total_updates,
+        "walk_length": walk_length,
+        "num_walkers": num_walkers,
+        "engines": per_engine,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # Figure 16 — piecewise breakdown vs FlowWalker
 # --------------------------------------------------------------------------- #
 def fig16_piecewise(

@@ -44,7 +44,11 @@ EXPERIMENT_RUNNERS: Dict[str, Callable[..., Any]] = {
     "fig15c": experiments.fig15_bias_distribution,
     "fig16": experiments.fig16_piecewise,
     "frontier": experiments.frontier_throughput,
+    "ingest": experiments.ingest_throughput,
 }
+
+#: Experiments whose JSON output lands in a file by default (perf trajectory).
+DEFAULT_OUTPUT_FILES = {"ingest": "BENCH_PR2.json"}
 
 
 def _to_jsonable(value: Any) -> Any:
@@ -81,6 +85,21 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--workloads", nargs="+", default=None, help="update workloads (table3/fig12)"
     )
+    run_parser.add_argument(
+        "--batch-size", type=int, default=None, help="updates per batch (ingest only)"
+    )
+    run_parser.add_argument(
+        "--num-batches", type=int, default=None, help="number of batches (ingest only)"
+    )
+    run_parser.add_argument(
+        "--output",
+        default=None,
+        help=(
+            "write the experiment's JSON to this file as well as stdout; "
+            "`run ingest` defaults to BENCH_PR2.json in the working directory "
+            "(pass --output '' to disable)"
+        ),
+    )
 
     compare_parser = subparsers.add_parser(
         "compare", help="compare every engine on one dataset + application"
@@ -113,8 +132,23 @@ def _run_experiment(args: argparse.Namespace) -> int:
         kwargs["applications"] = args.applications
     if args.workloads is not None and args.experiment in {"table3", "fig12"}:
         kwargs["workloads"] = args.workloads
+    if args.experiment == "ingest":
+        if args.datasets is not None:
+            kwargs["dataset"] = args.datasets[0]
+        if args.batch_size is not None:
+            kwargs["batch_size"] = args.batch_size
+        if args.num_batches is not None:
+            kwargs["num_batches"] = args.num_batches
     result = runner(**kwargs)
     payload = _to_jsonable(result)
+    output_path = args.output
+    if output_path is None:
+        output_path = DEFAULT_OUTPUT_FILES.get(args.experiment)
+    if output_path:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        sys.stderr.write(f"wrote {output_path}\n")
     if args.json:
         json.dump(payload, sys.stdout, indent=2)
         sys.stdout.write("\n")

@@ -326,6 +326,26 @@ class DecimalGroup:
         self._total += fraction
         self._np_arrays = None
 
+    def add_many(self, neighbor_indices: Sequence[int], fractions: Sequence[float]) -> None:
+        """Register a slice of fractional sub-biases (bulk form of :meth:`add`).
+
+        The running total is accumulated in the given order, so the stored
+        state is identical to repeated :meth:`add` calls.
+        """
+        registered = self.fractions
+        total = self._total
+        for neighbor_index, fraction in zip(neighbor_indices, fractions):
+            if not 0.0 < fraction < 1.0:
+                raise SamplerStateError(f"fraction must lie in (0, 1), got {fraction}")
+            if neighbor_index in registered:
+                raise SamplerStateError(
+                    f"neighbor index {neighbor_index} already in decimal group"
+                )
+            registered[neighbor_index] = fraction
+            total += fraction
+        self._total = total
+        self._np_arrays = None
+
     def remove(self, neighbor_index: int) -> None:
         """Drop a neighbour's fractional sub-bias."""
         fraction = self.fractions.pop(neighbor_index, None)

@@ -107,6 +107,35 @@ def split_scaled_bias(bias: float, lam: float) -> Tuple[int, float]:
     return integer_part, fraction
 
 
+def split_scaled_biases(biases, lam: float):
+    """Vectorized :func:`split_scaled_bias` over a whole bias slice.
+
+    Returns ``(integer_parts, fractions)`` as Python lists, elementwise
+    identical to calling the scalar function on each bias — including the
+    branch precedence of the tolerance snapping (snap-down to an integer is
+    checked *before* snap-up, which matters once the scaled bias is large
+    enough that the two tolerance windows overlap).  Invalid biases
+    (non-positive / non-finite) raise :class:`InvalidBiasError`.
+    """
+    import numpy as np
+
+    if lam <= 0:
+        raise ValueError("amortization factor must be positive")
+    bias_array = np.ascontiguousarray(biases, dtype=np.float64)
+    finite = np.isfinite(bias_array)
+    if not finite.all() or (bias_array[finite] <= 0).any():
+        check_bias(float(bias_array[~(finite & (bias_array > 0))][0]))
+    scaled = bias_array * lam
+    integer_parts = np.floor(scaled)
+    fractions = scaled - integer_parts
+    tolerance = 1e-9 * np.maximum(1.0, scaled)
+    snap_down = fractions <= tolerance
+    snap_up = ~snap_down & (fractions >= 1.0 - tolerance)
+    integer_parts[snap_up] += 1.0
+    fractions[snap_down | snap_up] = 0.0
+    return integer_parts.astype(np.int64).tolist(), fractions.tolist()
+
+
 def choose_amortization_factor(
     biases: Sequence[float],
     *,

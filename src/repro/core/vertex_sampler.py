@@ -24,14 +24,14 @@ alias rebuild, giving the O(K) update cost of Table 1.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.adaptive import ConversionTracker, GroupClassifier, GroupKind
 from repro.core.groups import DecimalGroup, RadixGroup
 from repro.core.memory_model import MemoryReport, vertex_memory_bytes
-from repro.core.radix import decompose_bias, split_scaled_bias
+from repro.core.radix import decompose_bias, split_scaled_bias, split_scaled_biases
 from repro.errors import EmptySamplerError, SamplerStateError
 from repro.sampling.alias import AliasTable
 from repro.sampling.base import DynamicSampler, SamplerKind
@@ -157,6 +157,217 @@ class BingoVertexSampler(DynamicSampler):
         self._np_cache = None
         if self.auto_rebuild:
             self.rebuild()
+
+    def insert_many(
+        self,
+        candidates,
+        biases,
+        *,
+        split_parts: Optional[Tuple[Sequence[int], Sequence[float]]] = None,
+    ) -> None:
+        """Insert a whole slice of neighbours in one pass.
+
+        The radix decomposition of every new bias is computed with array
+        arithmetic (one vectorized :func:`repro.core.radix.split_scaled_bias`
+        over the slice) and each touched radix group receives its new members
+        in one bulk append.  The resulting state — neighbour order, group
+        member order, group creation order, decimal-group running total — is
+        identical to calling :meth:`insert` once per pair, so the batched
+        and streaming ingestion paths remain interchangeable.
+
+        ``split_parts`` optionally carries pre-split ``(integer_parts,
+        fractions)`` sequences for the slice — the batched engine splits a
+        whole update batch in one vectorized pass and hands each vertex its
+        share, so small slices run allocation-free here.  The parts must be
+        exactly what :func:`split_scaled_bias` yields under this sampler's
+        λ, for already-validated positive finite biases.
+
+        Like :meth:`insert`, triggers one :meth:`rebuild` at the end when
+        ``auto_rebuild`` is set (instead of one per element).
+        """
+        count = len(candidates)
+        if count == 0:
+            return
+        if len(biases) != count:
+            raise SamplerStateError("candidates and biases must have matching lengths")
+        candidate_list = (
+            candidates.tolist() if isinstance(candidates, np.ndarray) else list(candidates)
+        )
+        bias_list = biases.tolist() if isinstance(biases, np.ndarray) else list(biases)
+
+        if split_parts is not None:
+            integer_list, fraction_list = split_parts
+            integer_list = (
+                integer_list.tolist()
+                if isinstance(integer_list, np.ndarray)
+                else list(integer_list)
+            )
+            fraction_list = (
+                fraction_list.tolist()
+                if isinstance(fraction_list, np.ndarray)
+                else list(fraction_list)
+            )
+        elif count < 16:
+            # Small slices: the scalar split beats vectorization overhead.
+            integer_list = []
+            fraction_list = []
+            for bias in bias_list:
+                integer_part, fraction = split_scaled_bias(bias, self.lam)
+                integer_list.append(integer_part)
+                fraction_list.append(fraction)
+        else:
+            integer_list, fraction_list = split_scaled_biases(bias_list, self.lam)
+
+        index_of = self._index_of
+        for candidate in candidate_list:
+            if candidate in index_of:
+                raise SamplerStateError(f"candidate {candidate} already present")
+        if count > 1 and len(set(candidate_list)) != count:
+            raise SamplerStateError("duplicate candidates within one insert_many slice")
+        for integer_part, fraction in zip(integer_list, fraction_list):
+            if integer_part == 0 and fraction == 0.0:
+                raise SamplerStateError(
+                    f"bias scaled by lam={self.lam} vanishes; increase lam"
+                )
+
+        start = len(self._ids)
+        index_of.update(zip(candidate_list, range(start, start + count)))
+        self._ids.extend(candidate_list)
+        self._biases.extend(bias_list)
+        self._integer_parts.extend(integer_list)
+        self._fractions.extend(fraction_list)
+        self.counter.touch(4 * count)
+
+        # Scatter the new neighbour indices into their radix groups in the
+        # scalar encounter order (candidate-major, bit ascending), creating
+        # missing groups on first contact exactly like the scalar loop.  The
+        # group membership update is inlined (new indices cannot collide, so
+        # the scalar duplicate guard is vacuous here).
+        groups = self._groups
+        dense_kind = GroupKind.DENSE
+        decimal_indices: List[int] = []
+        decimal_fractions: List[float] = []
+        for offset, (integer_part, fraction) in enumerate(
+            zip(integer_list, fraction_list)
+        ):
+            index = start + offset
+            if integer_part:
+                value = integer_part
+                position = 0
+                while value:
+                    if value & 1:
+                        group = groups.get(position)
+                        if group is None:
+                            group = RadixGroup(position, GroupKind.REGULAR)
+                            groups[position] = group
+                        group._count += 1
+                        group._np_members = None
+                        if group.kind is not dense_kind:
+                            members = group.members
+                            group.slots[index] = len(members)
+                            members.append(index)
+                    value >>= 1
+                    position += 1
+            if fraction:
+                decimal_indices.append(index)
+                decimal_fractions.append(fraction)
+        if decimal_indices:
+            self._decimal.add_many(decimal_indices, decimal_fractions)
+            self.counter.touch(len(decimal_indices))
+
+        self._inter_dirty = True
+        self._np_cache = None
+        if self.auto_rebuild:
+            self.rebuild()
+
+    def delete_many(self, candidates) -> None:
+        """Delete a slice of neighbours with one deferred rebuild.
+
+        Deletions replay the Figure 6 delete-and-swap workflow in slice
+        order — the stored state is identical to repeated :meth:`delete`
+        calls — as one tight loop with the radix decomposition inlined and
+        without per-operation cost-model accounting (the batched pipeline
+        accounts whole phases instead).  The inter-group rebuild runs once
+        at the end when ``auto_rebuild`` is set, not once per element.
+        """
+        index_of = self._index_of
+        ids = self._ids
+        biases = self._biases
+        integer_parts = self._integer_parts
+        fractions = self._fractions
+        groups = self._groups
+        decimal = self._decimal
+        dense_kind = GroupKind.DENSE
+        changed = False
+        for candidate in candidates:
+            candidate = int(candidate)
+            if candidate not in index_of:
+                raise SamplerStateError(f"candidate {candidate} not present")
+            index = index_of.pop(candidate)
+            integer_part = integer_parts[index]
+            if integer_part:
+                value = integer_part
+                position = 0
+                while value:
+                    if value & 1:
+                        # Inlined RadixGroup.remove (delete-and-swap).
+                        group = groups[position]
+                        group._count -= 1
+                        group._np_members = None
+                        if group.kind is not dense_kind:
+                            slots = group.slots
+                            members = group.members
+                            slot = slots.pop(index)
+                            last_slot = len(members) - 1
+                            if slot != last_slot:
+                                moved_member = members[last_slot]
+                                members[slot] = moved_member
+                                slots[moved_member] = slot
+                            members.pop()
+                    value >>= 1
+                    position += 1
+            if fractions[index]:
+                decimal.remove(index)
+            last = len(ids) - 1
+            if index != last:
+                moved_id = ids[last]
+                moved_integer = integer_parts[last]
+                moved_fraction = fractions[last]
+                ids[index] = moved_id
+                biases[index] = biases[last]
+                integer_parts[index] = moved_integer
+                fractions[index] = moved_fraction
+                index_of[moved_id] = index
+                if moved_integer:
+                    value = moved_integer
+                    position = 0
+                    while value:
+                        if value & 1:
+                            # Inlined RadixGroup.rename (re-point the moved
+                            # neighbour's slot).
+                            group = groups[position]
+                            if group.kind is not dense_kind:
+                                slots = group.slots
+                                slot = slots.pop(last)
+                                group.members[slot] = index
+                                slots[index] = slot
+                                group._np_members = None
+                        value >>= 1
+                        position += 1
+                if moved_fraction:
+                    decimal.rename(last, index)
+            ids.pop()
+            biases.pop()
+            integer_parts.pop()
+            fractions.pop()
+            changed = True
+        if changed:
+            self._inter_dirty = True
+            self._np_cache = None
+            if self.auto_rebuild:
+                # Scalar delete() rebuilds unconditionally, including down to
+                # an empty candidate set (which leaves an empty inter table).
+                self.rebuild()
 
     def delete(self, candidate: int) -> None:
         """Delete a neighbour with the Figure 6 delete-and-swap workflow."""
@@ -498,3 +709,112 @@ class BingoVertexSampler(DynamicSampler):
             f"BingoVertexSampler(degree={len(self._ids)}, groups={self.num_groups()}, "
             f"lam={self.lam})"
         )
+
+
+def rebuild_samplers_batch(samplers: Iterable["BingoVertexSampler"]) -> None:
+    """Rebuild many samplers at once (the batched form of :meth:`rebuild`).
+
+    This is the rebuild phase of the Section 5.2 batched-update workflow run
+    as two vectorized passes over every touched vertex:
+
+    1. group reclassification — one :meth:`GroupClassifier.classify_many`
+       call over all (group, vertex) pairs, with conversions and
+       conversion-tracker updates applied only where the representation
+       actually changes;
+    2. inter-group alias construction — one :func:`batch_vose` call building
+       every vertex's alias table simultaneously.
+
+    The resulting per-sampler state (group kinds, tracker counts, alias
+    arrays, dirtiness flags) is identical to calling :meth:`rebuild` on each
+    sampler, so batched and streaming ingestion stay interchangeable.
+    Per-operation cost-model accounting is skipped (the batched pipeline
+    accounts whole phases instead).
+    """
+    from repro.core.batch_rebuild import batch_vose
+
+    batch = samplers if isinstance(samplers, list) else list(samplers)
+    if not batch:
+        return
+
+    # One pass per sampler: inline reclassification (same decision tree as
+    # GroupClassifier.classify) + weight collection for the alias rows.
+    key_rows: List[List[int]] = []
+    weight_rows: List[List[float]] = []
+    regular = GroupKind.REGULAR
+    one_element = GroupKind.ONE_ELEMENT
+    dense = GroupKind.DENSE
+    sparse = GroupKind.SPARSE
+    for sampler in batch:
+        sampler.rebuild_count += 1
+        classifier = sampler.classifier
+        adaptive = classifier.adaptive
+        alpha = classifier.alpha_percent
+        beta = classifier.beta_percent
+        tracker = sampler.conversion_tracker
+        degree = len(sampler._ids)
+        keys: List[int] = []
+        weights: List[float] = []
+        for position, group in sampler._groups.items():
+            size = group._count
+            if size == 0 or degree <= 0 or not adaptive:
+                new_kind = regular
+            elif size == 1:
+                new_kind = one_element
+            else:
+                ratio = 100.0 * size / degree
+                if ratio > alpha:
+                    new_kind = dense
+                elif ratio < beta:
+                    new_kind = sparse
+                else:
+                    new_kind = regular
+            if size:
+                old_kind = group.kind
+                if tracker is not None:
+                    tracker.observations += 1
+                    if old_kind is not new_kind:
+                        transitions = tracker.transitions
+                        pair = (old_kind, new_kind)
+                        transitions[pair] = transitions.get(pair, 0) + 1
+                if old_kind is not new_kind:
+                    # Inlined RadixGroup.convert: only transitions out of the
+                    # dense representation need the O(d) member rediscovery.
+                    if old_kind is dense:
+                        group.convert(
+                            new_kind,
+                            integer_parts=sampler._integer_parts,
+                            counter=sampler.counter,
+                        )
+                    else:
+                        if new_kind is dense:
+                            group.members = []
+                            group.slots = {}
+                        group._np_members = None
+                        group.kind = new_kind
+                keys.append(position)
+                weights.append(float(size << position))
+            elif group.kind is not new_kind:
+                group.convert(
+                    new_kind,
+                    integer_parts=sampler._integer_parts,
+                    counter=sampler.counter,
+                )
+        decimal = sampler._decimal
+        decimal_weight = decimal.weight()
+        if decimal_weight > 0 and len(decimal.fractions) > 0:
+            keys.append(DECIMAL_GROUP_KEY)
+            weights.append(decimal_weight)
+        key_rows.append(keys)
+        weight_rows.append(weights)
+
+    # Batched Vose: every touched vertex's inter-group table in one kernel,
+    # then adopted per sampler without re-running the scalar construction.
+    tables = batch_vose(weight_rows)
+    for sampler, keys, weights, (prob, alias) in zip(
+        batch, key_rows, weight_rows, tables
+    ):
+        sampler._inter_group = AliasTable.from_built(
+            keys, weights, prob, alias, rng=sampler._rng, counter=sampler.counter
+        )
+        sampler._inter_dirty = False
+        sampler._np_cache = None

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.memory_model import MemoryReport
 from repro.errors import UpdateError
 from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.update_batch import UpdateBatch
 from repro.graph.update_stream import GraphUpdate, UpdateKind
 from repro.utils.rng import NumpySource, RandomSource, ensure_np_rng, ensure_rng
 from repro.utils.timing import TimeBreakdown
@@ -108,6 +109,65 @@ class RandomWalkEngine(abc.ABC):
         baselines) override this.
         """
         self.apply_streaming(updates)
+
+    def _apply_batch_to_graph(self, batch: UpdateBatch) -> List[int]:
+        """Mutate the adopted graph with a whole columnar batch.
+
+        Groups the batch by source vertex (one stable argsort) and replays
+        each vertex's slice as bulk kind-runs, so the resulting adjacency —
+        including neighbour-array order — is identical to applying the
+        updates one edge at a time in timestamp order.  Returns the touched
+        source vertices in first-appearance order.  Undirected graphs fall
+        back to the scalar path (mirrored arcs interleave vertices).
+        """
+        graph = self._require_graph()
+        if graph.undirected:
+            touched: List[int] = []
+            seen = set()
+            for update in batch:
+                graph.ensure_vertex(update.src)
+                graph.ensure_vertex(update.dst)
+                if update.kind is UpdateKind.INSERT:
+                    graph.add_edge(update.src, update.dst, update.bias)
+                else:
+                    graph.remove_edge(update.src, update.dst)
+                if update.src not in seen:
+                    seen.add(update.src)
+                    touched.append(update.src)
+            return touched
+        highest = batch.max_vertex()
+        if highest >= 0:
+            graph.ensure_vertices(highest)
+        touched = []
+        add_edge = graph.add_edge
+        remove_edge = graph.remove_edge
+        for group in batch.group_by_source(detect_duplicates=False):
+            vertex = group.vertex
+            dsts = group.dsts
+            if len(dsts) == 1:
+                # Single-update slices dominate realistic batches; the bulk
+                # mutators' vectorized validation would only add overhead.
+                if group.insert_mask[0]:
+                    add_edge(vertex, int(dsts[0]), float(group.biases[0]))
+                else:
+                    remove_edge(vertex, int(dsts[0]))
+            else:
+                for is_insert, start, stop in group.kind_runs():
+                    if stop - start == 1:
+                        if is_insert:
+                            add_edge(vertex, int(dsts[start]), float(group.biases[start]))
+                        else:
+                            remove_edge(vertex, int(dsts[start]))
+                    elif is_insert:
+                        graph.add_edges_bulk(
+                            vertex,
+                            dsts[start:stop],
+                            group.biases[start:stop],
+                        )
+                    else:
+                        graph.remove_edges_bulk(vertex, dsts[start:stop])
+            touched.append(vertex)
+        return touched
 
     # per-update hooks for subclasses (graph mutation already done)
     @abc.abstractmethod

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.memory_model import MemoryReport
 from repro.engines.base import PHASE_REBUILD, RandomWalkEngine
+from repro.graph.update_batch import UpdateBatch
 from repro.graph.update_stream import GraphUpdate, UpdateKind
 from repro.utils.rng import RandomSource
 
@@ -45,6 +46,18 @@ class FlowWalkerEngine(RandomWalkEngine):
         return None
 
     def apply_batch(self, updates: Sequence[GraphUpdate]) -> None:
+        """Apply the edits columnar (bulk per-vertex kind-runs), then reload."""
+        batch = UpdateBatch.coerce(updates)
+        self._apply_batch_to_graph(batch)
+        # FlowWalker "reloads the new graph after updates": model that as a
+        # single pass over the edited adjacency.
+        start = time.perf_counter()
+        self._build_state()
+        self.breakdown.add(PHASE_REBUILD, time.perf_counter() - start)
+        self.updates_applied += len(batch)
+
+    def apply_batch_scalar(self, updates: Sequence[GraphUpdate]) -> None:
+        """The legacy per-edge batch path (reference for equivalence tests)."""
         graph = self._require_graph()
         for update in updates:
             graph.ensure_vertex(update.src)
@@ -53,8 +66,6 @@ class FlowWalkerEngine(RandomWalkEngine):
                 graph.add_edge(update.src, update.dst, update.bias)
             else:
                 graph.remove_edge(update.src, update.dst)
-        # FlowWalker "reloads the new graph after updates": model that as a
-        # single pass over the edited adjacency.
         start = time.perf_counter()
         self._build_state()
         self.breakdown.add(PHASE_REBUILD, time.perf_counter() - start)
@@ -68,8 +79,11 @@ class FlowWalkerEngine(RandomWalkEngine):
             return None
         best_key = -math.inf
         best_dst: Optional[int] = None
-        # Efraimidis–Spirakis weighted reservoir over the live neighbour list.
-        for dst, bias in zip(graph.neighbors(vertex), graph.neighbor_biases(vertex)):
+        # Efraimidis–Spirakis weighted reservoir over the live neighbour
+        # columns (zero-copy views of the adjacency store).
+        for dst, bias in zip(
+            graph.neighbor_array(vertex).tolist(), graph.bias_array(vertex).tolist()
+        ):
             u = self._rng.random()
             key = math.log(u) / bias if u > 0.0 else -math.inf
             if key > best_key:
@@ -84,8 +98,8 @@ class FlowWalkerEngine(RandomWalkEngine):
         degree = graph.degree(vertex)
         if degree == 0:
             return np.full(count, -1, dtype=np.int64)
-        dsts = np.asarray(graph.neighbors(vertex), dtype=np.int64)
-        biases = np.asarray(graph.neighbor_biases(vertex), dtype=np.float64)
+        dsts = graph.neighbor_array(vertex)
+        biases = graph.bias_array(vertex)
         # Efraimidis–Spirakis keys for every (walker, neighbour) pair at once;
         # the per-row argmax is the reservoir winner, still structure-free and
         # still O(d) work per query like the scalar pass.

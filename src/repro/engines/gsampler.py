@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.memory_model import MemoryReport
 from repro.engines.base import PHASE_REBUILD, RandomWalkEngine
+from repro.graph.update_batch import UpdateBatch
 from repro.graph.update_stream import GraphUpdate, UpdateKind
 from repro.sampling.its import InverseTransformSampler
 from repro.utils.rng import RandomSource, spawn_rng
@@ -52,8 +53,8 @@ class GSamplerEngine(RandomWalkEngine):
     def _build_vertex_sampler(self, vertex: int) -> InverseTransformSampler:
         graph = self._require_graph()
         sampler = InverseTransformSampler(rng=spawn_rng(self._rng, vertex))
-        for edge in graph.out_edges(vertex):
-            sampler.insert(edge.dst, edge.bias)
+        # Bulk-load straight from the zero-copy adjacency views.
+        sampler.insert_many(graph.neighbor_array(vertex), graph.bias_array(vertex))
         return sampler
 
     def _rebuild_vertex(self, vertex: int) -> None:
@@ -81,6 +82,27 @@ class GSamplerEngine(RandomWalkEngine):
         self._rebuild_vertex(src)
 
     def apply_batch(self, updates: Sequence[GraphUpdate]) -> None:
+        """Apply the edits columnar (bulk per-vertex kind-runs), then rebuild."""
+        graph = self._require_graph()
+        batch = UpdateBatch.coerce(updates)
+        self._frontier_cache = None
+        touched = self._apply_batch_to_graph(batch)
+        start = time.perf_counter()
+        if self.full_rebuild_on_batch:
+            self._build_state()
+        else:
+            # Sorted order keeps the per-vertex RNG-stream assignment (one
+            # spawn_rng per rebuild) identical across ingestion paths.
+            for vertex in sorted(touched):
+                if graph.degree(vertex) == 0:
+                    self._samplers.pop(vertex, None)
+                else:
+                    self._samplers[vertex] = self._build_vertex_sampler(vertex)
+        self.breakdown.add(PHASE_REBUILD, time.perf_counter() - start)
+        self.updates_applied += len(batch)
+
+    def apply_batch_scalar(self, updates: Sequence[GraphUpdate]) -> None:
+        """The legacy per-edge batch path (reference for equivalence tests)."""
         graph = self._require_graph()
         self._frontier_cache = None
         touched = set()
@@ -96,7 +118,7 @@ class GSamplerEngine(RandomWalkEngine):
         if self.full_rebuild_on_batch:
             self._build_state()
         else:
-            for vertex in touched:
+            for vertex in sorted(touched):
                 if graph.degree(vertex) == 0:
                     self._samplers.pop(vertex, None)
                 else:

@@ -1,11 +1,26 @@
-"""A dynamic, weighted, directed adjacency structure.
+"""A dynamic, weighted, directed adjacency structure on columnar storage.
 
 The paper builds Bingo on Hornet-style dynamic arrays: each vertex owns a
 growable neighbour list, edge deletion swaps the victim with the tail so the
 list stays compact, and a per-vertex index maps destination → position for
-O(1) lookup.  This module reproduces those semantics on the host; the
+O(1) lookup.  This module reproduces those semantics on the host with a
+*columnar* NumPy layout — per-vertex capacity-doubling ``int64`` destination
+and ``float64`` bias arrays — so bulk ingestion and the vectorized walk
+kernels operate on contiguous memory instead of Python lists.  The
 simulated-GPU dynamic arrays in :mod:`repro.gpu.dynamic_array` model the
 device-side counterpart used for memory accounting.
+
+Two access tiers are exposed:
+
+* the legacy scalar API (:meth:`DynamicGraph.add_edge`,
+  :meth:`DynamicGraph.remove_edge`, :meth:`DynamicGraph.neighbors`, ...)
+  with unchanged semantics, and
+* zero-copy array views (:meth:`DynamicGraph.neighbor_array` /
+  :meth:`DynamicGraph.bias_array`) plus bulk mutators
+  (:meth:`DynamicGraph.add_edges_bulk` /
+  :meth:`DynamicGraph.remove_edges_bulk`) that apply a whole per-vertex
+  update slice with vectorized membership validation — the substrate of the
+  batched ingestion pipeline.
 
 Undirected graphs are represented as two directed arcs sharing one logical
 edge, which matches how the evaluation datasets are ingested.
@@ -16,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import (
     DuplicateEdgeError,
     EdgeNotFoundError,
@@ -24,6 +41,26 @@ from repro.errors import (
 from repro.utils.validation import check_bias, check_non_negative_int
 
 Number = float
+
+#: First non-zero capacity of a vertex's neighbour arrays.
+_MIN_CAPACITY = 4
+
+#: Below this many edges a bulk membership probe walks the position index
+#: (O(b) dict lookups); at or above it, one vectorized ``np.isin`` wins.
+_ISIN_THRESHOLD = 16
+
+_EMPTY_DSTS = np.empty(0, dtype=np.int64)
+_EMPTY_BIASES = np.empty(0, dtype=np.float64)
+
+
+def _first_duplicate(values: List[int]) -> int:
+    """The first value appearing twice in ``values`` (caller guarantees one)."""
+    seen = set()
+    for value in values:
+        if value in seen:
+            return value
+        seen.add(value)
+    return values[-1]  # pragma: no cover - unreachable under the guarantee
 
 
 @dataclass(frozen=True)
@@ -40,25 +77,69 @@ class Edge:
 
 
 class _VertexAdjacency:
-    """Per-vertex growable neighbour list with O(1) delete via swap-with-last."""
+    """Per-vertex columnar neighbour store with O(1) delete via swap-with-last.
 
-    __slots__ = ("dsts", "biases", "position")
+    ``dsts``/``biases`` are capacity arrays; only the first ``size`` entries
+    are live.  ``position`` maps destination → live index.
+    """
+
+    __slots__ = ("dsts", "biases", "size", "position")
 
     def __init__(self) -> None:
-        self.dsts: List[int] = []
-        self.biases: List[Number] = []
-        # destination vertex -> index inside `dsts`/`biases`
+        self.dsts: np.ndarray = _EMPTY_DSTS
+        self.biases: np.ndarray = _EMPTY_BIASES
+        self.size: int = 0
+        # destination vertex -> index inside the live prefix of `dsts`/`biases`
         self.position: Dict[int, int] = {}
 
     def __len__(self) -> int:
-        return len(self.dsts)
+        return self.size
 
+    # -------------------------------------------------------------- #
+    def _grow(self, needed: int) -> None:
+        """Capacity-double (Hornet-style) until ``needed`` entries fit."""
+        capacity = len(self.dsts)
+        if needed <= capacity:
+            return
+        new_capacity = max(_MIN_CAPACITY, capacity)
+        while new_capacity < needed:
+            new_capacity *= 2
+        dsts = np.empty(new_capacity, dtype=np.int64)
+        biases = np.empty(new_capacity, dtype=np.float64)
+        dsts[: self.size] = self.dsts[: self.size]
+        biases[: self.size] = self.biases[: self.size]
+        self.dsts = dsts
+        self.biases = biases
+
+    def dst_view(self) -> np.ndarray:
+        """Zero-copy view of the live destinations."""
+        return self.dsts[: self.size]
+
+    def bias_view(self) -> np.ndarray:
+        """Zero-copy view of the live biases."""
+        return self.biases[: self.size]
+
+    # -------------------------------------------------------------- #
     def add(self, dst: int, bias: Number) -> int:
-        index = len(self.dsts)
-        self.dsts.append(dst)
-        self.biases.append(bias)
+        index = self.size
+        self._grow(index + 1)
+        self.dsts[index] = dst
+        self.biases[index] = bias
         self.position[dst] = index
+        self.size = index + 1
         return index
+
+    def add_many(self, dsts: np.ndarray, biases: np.ndarray) -> None:
+        """Append a whole slice of new destinations in order."""
+        count = len(dsts)
+        if count == 0:
+            return
+        start = self.size
+        self._grow(start + count)
+        self.dsts[start : start + count] = dsts
+        self.biases[start : start + count] = biases
+        self.position.update(zip(dsts.tolist(), range(start, start + count)))
+        self.size = start + count
 
     def remove(self, dst: int) -> Tuple[int, Number, Optional[int]]:
         """Remove ``dst`` and return (removed_index, removed_bias, moved_dst).
@@ -67,23 +148,44 @@ class _VertexAdjacency:
         ``removed_index`` (``None`` when the victim was already the tail).
         """
         index = self.position.pop(dst)
-        bias = self.biases[index]
-        last = len(self.dsts) - 1
+        bias = float(self.biases[index])
+        last = self.size - 1
         moved: Optional[int] = None
         if index != last:
-            moved = self.dsts[last]
+            moved = int(self.dsts[last])
             self.dsts[index] = moved
             self.biases[index] = self.biases[last]
             self.position[moved] = index
-        self.dsts.pop()
-        self.biases.pop()
+        self.size = last
         return index, bias, moved
 
     def set_bias(self, dst: int, bias: Number) -> Number:
         index = self.position[dst]
-        old = self.biases[index]
+        old = float(self.biases[index])
         self.biases[index] = bias
         return old
+
+    def contains_many(self, dsts: np.ndarray) -> np.ndarray:
+        """Vectorized membership test: which of ``dsts`` are live neighbours."""
+        if self.size == 0 or len(dsts) == 0:
+            return np.zeros(len(dsts), dtype=bool)
+        if len(dsts) < _ISIN_THRESHOLD:
+            position = self.position
+            return np.fromiter(
+                (dst in position for dst in dsts.tolist()),
+                dtype=bool,
+                count=len(dsts),
+            )
+        return np.isin(dsts, self.dst_view())
+
+    def copy(self) -> "_VertexAdjacency":
+        clone = _VertexAdjacency()
+        if self.size:
+            clone.dsts = self.dsts[: self.size].copy()
+            clone.biases = self.biases[: self.size].copy()
+            clone.size = self.size
+            clone.position = dict(self.position)
+        return clone
 
 
 class DynamicGraph:
@@ -91,10 +193,11 @@ class DynamicGraph:
 
     Vertices are numbered ``0 .. num_vertices - 1``.  The structure supports:
 
-    * O(1) amortised edge insertion,
-    * O(1) edge deletion (swap-with-last inside the neighbour list),
+    * O(1) amortised edge insertion (scalar or bulk),
+    * O(1) edge deletion (swap-with-last inside the neighbour array),
     * O(1) bias lookup / update,
-    * iteration over out-neighbours in list order (the order Bingo's
+    * zero-copy NumPy views of each vertex's neighbour/bias columns,
+    * iteration over out-neighbours in array order (the order Bingo's
       intra-group structures reference by *neighbour index*).
 
     Parameters
@@ -159,7 +262,7 @@ class DynamicGraph:
     @property
     def num_arcs(self) -> int:
         """Number of directed arcs stored internally."""
-        return sum(len(adj) for adj in self._adjacency)
+        return sum(adj.size for adj in self._adjacency)
 
     def __contains__(self, vertex: int) -> bool:
         return 0 <= vertex < len(self._adjacency)
@@ -188,6 +291,13 @@ class DynamicGraph:
         check_non_negative_int(vertex, "vertex")
         while vertex >= len(self._adjacency):
             self._adjacency.append(_VertexAdjacency())
+
+    def ensure_vertices(self, highest: int) -> None:
+        """Grow the vertex set so every id up to ``highest`` exists (bulk form)."""
+        check_non_negative_int(highest, "highest")
+        missing = highest + 1 - len(self._adjacency)
+        if missing > 0:
+            self._adjacency.extend(_VertexAdjacency() for _ in range(missing))
 
     def isolate_vertex(self, vertex: int) -> List[Edge]:
         """Remove every edge incident to ``vertex`` and return the removed edges.
@@ -222,6 +332,17 @@ class DynamicGraph:
         self._check_vertex(src)
         self._check_vertex(dst)
         return dst in self._adjacency[src].position
+
+    def has_edges(self, src: int, dsts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`has_edge` for a slice of destinations of ``src``.
+
+        Returns a boolean array aligned with ``dsts``; destinations outside
+        the current vertex range are simply reported absent (bulk callers
+        probe edges toward vertices the batch is about to create).
+        """
+        self._check_vertex(src)
+        dsts = np.ascontiguousarray(dsts, dtype=np.int64)
+        return self._adjacency[src].contains_many(dsts)
 
     def add_edge(self, src: int, dst: int, bias: Number = 1.0) -> None:
         """Insert an edge with the given bias.
@@ -262,6 +383,122 @@ class DynamicGraph:
         self._num_edges -= 1
         return bias
 
+    # ------------------------------------------------------------------ #
+    # bulk edge operations (the batched-ingestion fast path)
+    # ------------------------------------------------------------------ #
+    def add_edges_bulk(
+        self,
+        src: int,
+        dsts: np.ndarray,
+        biases: np.ndarray,
+    ) -> None:
+        """Insert a whole slice of out-edges of ``src`` in one pass.
+
+        Equivalent to calling :meth:`add_edge` for each ``(src, dsts[i],
+        biases[i])`` in order — including the resulting neighbour-array order
+        — but with vectorized validation: one membership check against the
+        live neighbour column instead of one dictionary probe per edge.
+
+        Raises the same errors as the scalar path: ``VertexNotFoundError``
+        for out-of-range endpoints, ``InvalidBiasError`` for non-positive or
+        non-finite biases, ``DuplicateEdgeError`` when any destination is
+        already a neighbour (or appears twice in the slice).
+        """
+        self._check_vertex(src)
+        dsts = np.ascontiguousarray(dsts, dtype=np.int64)
+        biases = np.ascontiguousarray(biases, dtype=np.float64)
+        count = len(dsts)
+        if count == 0:
+            return
+        if len(biases) != count:
+            raise ValueError("dsts and biases must have matching lengths")
+        if count == 1:
+            # Bulk slices of one edge are common; skip the vectorized checks.
+            self.add_edge(src, int(dsts[0]), float(biases[0]))
+            return
+        limit = len(self._adjacency)
+        adjacency = self._adjacency[src]
+        if count < _ISIN_THRESHOLD:
+            # Small slices: direct index probes beat the vectorized checks.
+            dst_list = dsts.tolist()
+            position = adjacency.position
+            for dst in dst_list:
+                if not 0 <= dst < limit:
+                    raise VertexNotFoundError(dst)
+                if dst in position:
+                    raise DuplicateEdgeError(src, dst)
+            if len(set(dst_list)) != count:
+                raise DuplicateEdgeError(src, _first_duplicate(dst_list))
+            for bias in biases.tolist():
+                check_bias(bias)
+        else:
+            if int(dsts.max()) >= limit or int(dsts.min()) < 0:
+                bad = dsts[(dsts >= limit) | (dsts < 0)][0]
+                raise VertexNotFoundError(int(bad))
+            finite = np.isfinite(biases)
+            if not finite.all() or (biases[finite] <= 0).any():
+                bad_bias = biases[~(finite & (biases > 0))][0]
+                check_bias(float(bad_bias))  # raises InvalidBiasError
+            present = adjacency.contains_many(dsts)
+            if present.any():
+                raise DuplicateEdgeError(src, int(dsts[present][0]))
+            unique, counts = np.unique(dsts, return_counts=True)
+            if (counts > 1).any():
+                raise DuplicateEdgeError(src, int(unique[counts > 1][0]))
+        adjacency.add_many(dsts, biases)
+        if self._undirected:
+            for dst, bias in zip(dsts.tolist(), biases.tolist()):
+                if dst == src:
+                    continue
+                mirror = self._adjacency[dst]
+                if src in mirror.position:
+                    raise DuplicateEdgeError(dst, src)
+                mirror.add(src, bias)
+        self._num_edges += count
+
+    def remove_edges_bulk(self, src: int, dsts: np.ndarray) -> np.ndarray:
+        """Delete a whole slice of out-edges of ``src`` and return their biases.
+
+        Deletions are applied with the same swap-with-last workflow — in
+        slice order — as repeated :meth:`remove_edge` calls, so the surviving
+        neighbour-array order is identical to the scalar path.  Membership of
+        the entire slice is validated up front in one vectorized check.
+        """
+        self._check_vertex(src)
+        dsts = np.ascontiguousarray(dsts, dtype=np.int64)
+        count = len(dsts)
+        if count == 0:
+            return np.empty(0, dtype=np.float64)
+        adjacency = self._adjacency[src]
+        dst_list = dsts.tolist()
+        if count > 1:
+            if count < _ISIN_THRESHOLD:
+                position = adjacency.position
+                for dst in dst_list:
+                    if dst not in position:
+                        raise EdgeNotFoundError(src, dst)
+                if len(set(dst_list)) != count:
+                    # The second removal of a duplicate would miss.
+                    raise EdgeNotFoundError(src, _first_duplicate(dst_list))
+            else:
+                present = adjacency.contains_many(dsts)
+                if not present.all():
+                    raise EdgeNotFoundError(src, int(dsts[~present][0]))
+                unique, counts = np.unique(dsts, return_counts=True)
+                if (counts > 1).any():
+                    raise EdgeNotFoundError(src, int(unique[counts > 1][0]))
+        elif dst_list[0] not in adjacency.position:
+            raise EdgeNotFoundError(src, dst_list[0])
+        removed = np.empty(count, dtype=np.float64)
+        undirected = self._undirected
+        for slot, dst in enumerate(dst_list):
+            _, bias, _ = adjacency.remove(dst)
+            removed[slot] = bias
+            if undirected and dst != src:
+                self._adjacency[dst].remove(src)
+        self._num_edges -= count
+        return removed
+
     def update_bias(self, src: int, dst: int, bias: Number) -> Number:
         """Change the bias of an existing edge, returning the previous value."""
         self._check_vertex(src)
@@ -281,7 +518,7 @@ class DynamicGraph:
         adjacency = self._adjacency[src]
         if dst not in adjacency.position:
             raise EdgeNotFoundError(src, dst)
-        return adjacency.biases[adjacency.position[dst]]
+        return float(adjacency.biases[adjacency.position[dst]])
 
     # ------------------------------------------------------------------ #
     # neighbour access
@@ -289,28 +526,47 @@ class DynamicGraph:
     def degree(self, vertex: int) -> int:
         """Out-degree of ``vertex``."""
         self._check_vertex(vertex)
-        return len(self._adjacency[vertex])
+        return self._adjacency[vertex].size
 
     def neighbors(self, vertex: int) -> Sequence[int]:
-        """Out-neighbours of ``vertex`` in neighbour-list order."""
+        """Out-neighbours of ``vertex`` in neighbour-array order (a copy)."""
         self._check_vertex(vertex)
-        return list(self._adjacency[vertex].dsts)
+        return self._adjacency[vertex].dst_view().tolist()
 
     def neighbor_biases(self, vertex: int) -> Sequence[Number]:
-        """Biases aligned with :meth:`neighbors`."""
+        """Biases aligned with :meth:`neighbors` (a copy)."""
         self._check_vertex(vertex)
-        return list(self._adjacency[vertex].biases)
+        return self._adjacency[vertex].bias_view().tolist()
+
+    def neighbor_array(self, vertex: int) -> np.ndarray:
+        """Zero-copy ``int64`` view of the live destination column.
+
+        The view aliases the graph's storage: it is invalidated by any
+        mutation of ``vertex``'s out-edges (a capacity growth reallocates,
+        a delete rewrites the tail in place).  Callers that need a stable
+        snapshot must copy.
+        """
+        self._check_vertex(vertex)
+        return self._adjacency[vertex].dst_view()
+
+    def bias_array(self, vertex: int) -> np.ndarray:
+        """Zero-copy ``float64`` view of the live bias column.
+
+        Same aliasing caveat as :meth:`neighbor_array`.
+        """
+        self._check_vertex(vertex)
+        return self._adjacency[vertex].bias_view()
 
     def neighbor_at(self, vertex: int, index: int) -> Tuple[int, Number]:
-        """The ``(destination, bias)`` stored at neighbour-list position ``index``."""
+        """The ``(destination, bias)`` stored at neighbour-array position ``index``."""
         self._check_vertex(vertex)
         adjacency = self._adjacency[vertex]
-        if not (0 <= index < len(adjacency)):
+        if not (0 <= index < adjacency.size):
             raise IndexError(f"neighbor index {index} out of range for vertex {vertex}")
-        return adjacency.dsts[index], adjacency.biases[index]
+        return int(adjacency.dsts[index]), float(adjacency.biases[index])
 
     def neighbor_index(self, src: int, dst: int) -> int:
-        """Position of ``dst`` inside ``src``'s neighbour list."""
+        """Position of ``dst`` inside ``src``'s neighbour array."""
         self._check_vertex(src)
         self._check_vertex(dst)
         adjacency = self._adjacency[src]
@@ -322,7 +578,9 @@ class DynamicGraph:
         """Iterate the out-edges of ``vertex``."""
         self._check_vertex(vertex)
         adjacency = self._adjacency[vertex]
-        for dst, bias in zip(adjacency.dsts, adjacency.biases):
+        for dst, bias in zip(
+            adjacency.dst_view().tolist(), adjacency.bias_view().tolist()
+        ):
             yield Edge(vertex, dst, bias)
 
     def edges(self) -> Iterator[Edge]:
@@ -333,13 +591,13 @@ class DynamicGraph:
     def total_bias(self, vertex: int) -> Number:
         """Sum of biases of the out-edges of ``vertex``."""
         self._check_vertex(vertex)
-        return sum(self._adjacency[vertex].biases)
+        return float(self._adjacency[vertex].bias_view().sum())
 
     def max_degree(self) -> int:
         """Largest out-degree in the graph (0 for an empty graph)."""
         if not self._adjacency:
             return 0
-        return max(len(adj) for adj in self._adjacency)
+        return max(adj.size for adj in self._adjacency)
 
     def average_degree(self) -> float:
         """Mean out-degree (counting arcs)."""
@@ -351,10 +609,9 @@ class DynamicGraph:
     # snapshots and copies
     # ------------------------------------------------------------------ #
     def copy(self) -> "DynamicGraph":
-        """A deep copy of the graph."""
-        clone = DynamicGraph(self.num_vertices, undirected=False)
-        for edge in self.edges():
-            clone._adjacency[edge.src].add(edge.dst, edge.bias)
+        """A deep copy of the graph (column arrays are copied compactly)."""
+        clone = DynamicGraph(0, undirected=False)
+        clone._adjacency = [adj.copy() for adj in self._adjacency]
         clone._undirected = self._undirected
         clone._num_edges = self._num_edges
         return clone

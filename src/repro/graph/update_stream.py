@@ -21,20 +21,22 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import UpdateError
+from repro.errors import DuplicateEdgeError, EdgeNotFoundError, UpdateError
 from repro.graph.dynamic_graph import DynamicGraph, Edge
+from repro.graph.update_batch import GraphUpdate, UpdateBatch, UpdateKind
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import check_positive_int
 
-
-class UpdateKind(str, enum.Enum):
-    """The two edge-level events a dynamic graph experiences."""
-
-    INSERT = "insert"
-    DELETE = "delete"
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return self.value
+__all__ = [
+    "GraphUpdate",
+    "UpdateBatch",
+    "UpdateKind",
+    "UpdateStream",
+    "UpdateWorkload",
+    "apply_updates",
+    "generate_update_stream",
+    "split_initial_and_updates",
+]
 
 
 class UpdateWorkload(str, enum.Enum):
@@ -48,27 +50,16 @@ class UpdateWorkload(str, enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
-class GraphUpdate:
-    """A single edge insertion or deletion with a logical timestamp."""
-
-    kind: UpdateKind
-    src: int
-    dst: int
-    bias: float = 1.0
-    timestamp: int = 0
-
-    def as_edge(self) -> Edge:
-        """The edge this update refers to."""
-        return Edge(self.src, self.dst, self.bias)
-
-
 @dataclass
 class UpdateStream:
-    """An initial graph plus an ordered sequence of update batches."""
+    """An initial graph plus an ordered sequence of update batches.
+
+    Batches are stored columnar (:class:`UpdateBatch`); each batch still
+    behaves like a sequence of :class:`GraphUpdate` records.
+    """
 
     initial_graph: DynamicGraph
-    batches: List[List[GraphUpdate]] = field(default_factory=list)
+    batches: List[UpdateBatch] = field(default_factory=list)
     workload: UpdateWorkload = UpdateWorkload.MIXED
 
     @property
@@ -96,8 +87,52 @@ class UpdateStream:
 def apply_updates(graph: DynamicGraph, updates) -> None:
     """Apply a sequence of updates to ``graph`` in place.
 
-    Insertions of already-present edges and deletions of absent edges raise
+    The batch is coerced to columnar form, grouped by source vertex with one
+    stable argsort, and each vertex's slice is replayed as bulk kind-runs, so
+    the resulting adjacency (including neighbour-array order) is identical
+    to applying the updates one at a time in timestamp order.  Insertions of
+    already-present edges and deletions of absent edges raise
     :class:`UpdateError` so that stream-generation bugs surface immediately.
+    """
+    if graph.undirected:
+        # Mirrored arcs interleave vertices; keep the scalar order exactly.
+        apply_updates_scalar(graph, updates)
+        return
+    batch = UpdateBatch.coerce(updates)
+    if len(batch) == 0:
+        return
+    graph.ensure_vertices(batch.max_vertex())
+    for group in batch.group_by_source():
+        vertex = group.vertex
+        dsts = group.dsts
+        try:
+            if len(dsts) == 1:
+                if group.insert_mask[0]:
+                    graph.add_edge(vertex, int(dsts[0]), float(group.biases[0]))
+                else:
+                    graph.remove_edge(vertex, int(dsts[0]))
+            else:
+                for is_insert, start, stop in group.kind_runs():
+                    if is_insert:
+                        graph.add_edges_bulk(
+                            vertex,
+                            dsts[start:stop],
+                            group.biases[start:stop],
+                        )
+                    else:
+                        graph.remove_edges_bulk(vertex, dsts[start:stop])
+        except DuplicateEdgeError as exc:
+            raise UpdateError(f"insertion of existing edge ({exc})") from exc
+        except EdgeNotFoundError as exc:
+            raise UpdateError(f"deletion of missing edge ({exc})") from exc
+
+
+def apply_updates_scalar(graph: DynamicGraph, updates) -> None:
+    """The legacy per-edge application path (reference semantics).
+
+    Used for undirected graphs (where bulk per-vertex grouping would reorder
+    the mirrored arcs) and by the equivalence tests as the ground truth the
+    columnar path must match.
     """
     for update in updates:
         graph.ensure_vertex(update.src)
@@ -195,7 +230,7 @@ def generate_update_stream(
             live_edges[index] = live_edges[-1]
             live_edges.pop()
 
-    batches: List[List[GraphUpdate]] = []
+    batches: List[UpdateBatch] = []
     timestamp = 0
     reserve_cursor = 0
     for _ in range(num_batches):
@@ -234,6 +269,6 @@ def generate_update_stream(
                     GraphUpdate(UpdateKind.DELETE, edge.src, edge.dst, edge.bias, timestamp)
                 )
             timestamp += 1
-        batches.append(batch)
+        batches.append(UpdateBatch.from_updates(batch))
 
     return UpdateStream(initial_graph=initial, batches=batches, workload=workload)

@@ -15,7 +15,7 @@ import numpy as np
 from repro.errors import EmptySamplerError, SamplerStateError
 from repro.sampling.base import DynamicSampler, SamplerKind
 from repro.sampling.cost_model import OperationCounter
-from repro.utils.rng import NumpySource, RandomSource, ensure_np_rng
+from repro.utils.rng import NumpySource, RandomSource, ensure_np_rng, ensure_rng
 from repro.utils.validation import check_bias
 
 _FLOAT_BYTES = 8
@@ -44,6 +44,40 @@ class AliasTable(DynamicSampler):
         # NumPy mirrors of the alias arrays, built lazily for sample_batch.
         self._np_arrays: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
+    @classmethod
+    def from_built(
+        cls,
+        ids: List[int],
+        biases: List[float],
+        prob: List[float],
+        alias: List[int],
+        *,
+        rng: RandomSource = None,
+        counter: Optional[OperationCounter] = None,
+    ) -> "AliasTable":
+        """Adopt prebuilt alias arrays (the batched-rebuild fast path).
+
+        ``prob``/``alias`` must be exactly what :meth:`rebuild` would produce
+        for the given candidates — e.g. the output of
+        :func:`repro.core.batch_rebuild.batch_vose` — so a table adopted here
+        is indistinguishable from one built by the scalar path.  The lists
+        are adopted *by reference* (one table is assembled per touched vertex
+        per batch); callers must not mutate them afterwards.  Empty inputs
+        yield an empty, still-dirty table, matching a freshly constructed one.
+        """
+        table = cls.__new__(cls)
+        table._rng = ensure_rng(rng)
+        table.counter = counter if counter is not None else OperationCounter()
+        table._ids = ids
+        table._biases = biases
+        table._index = dict(zip(ids, range(len(ids))))
+        table._prob = prob
+        table._alias = alias
+        table._dirty = not ids
+        table.rebuild_count = 1 if ids else 0
+        table._np_arrays = None
+        return table
+
     # ------------------------------------------------------------------ #
     # mutation
     # ------------------------------------------------------------------ #
@@ -56,6 +90,37 @@ class AliasTable(DynamicSampler):
         self._biases.append(float(bias))
         self._dirty = True
         self.counter.touch(2)
+
+    def insert_many(self, candidates, biases) -> None:
+        """Bulk insert (same state as repeated :meth:`insert`, one pass).
+
+        Validation runs vectorized over the slice; the candidate arrays are
+        extended in order, so the table is indistinguishable from one built
+        with scalar inserts.
+        """
+        candidates = np.ascontiguousarray(candidates, dtype=np.int64)
+        biases = np.ascontiguousarray(biases, dtype=np.float64)
+        count = len(candidates)
+        if count == 0:
+            return
+        if len(biases) != count:
+            raise SamplerStateError("candidates and biases must have matching lengths")
+        finite = np.isfinite(biases)
+        if not finite.all() or (biases[finite] <= 0).any():
+            check_bias(float(biases[~(finite & (biases > 0))][0]))
+        candidate_list = candidates.tolist()
+        index = self._index
+        for candidate in candidate_list:
+            if candidate in index:
+                raise SamplerStateError(f"candidate {candidate} already present")
+        if len(set(candidate_list)) != count:
+            raise SamplerStateError("duplicate candidates within one insert_many slice")
+        start = len(self._ids)
+        index.update(zip(candidate_list, range(start, start + count)))
+        self._ids.extend(candidate_list)
+        self._biases.extend(biases.tolist())
+        self._dirty = True
+        self.counter.touch(2 * count)
 
     def delete(self, candidate: int) -> None:
         if candidate not in self._index:

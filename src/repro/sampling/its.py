@@ -57,6 +57,41 @@ class InverseTransformSampler(DynamicSampler):
         self.counter.touch(3)
         self.counter.arith(1)
 
+    def insert_many(self, candidates, biases) -> None:
+        """Bulk append-only insert (same state as repeated :meth:`insert`).
+
+        The prefix sums are extended with one sequential ``np.cumsum`` seeded
+        by the current running total, which accumulates left to right exactly
+        like the scalar appends — the stored CDF is bit-identical.
+        """
+        candidates = np.ascontiguousarray(candidates, dtype=np.int64)
+        biases = np.ascontiguousarray(biases, dtype=np.float64)
+        count = len(candidates)
+        if count == 0:
+            return
+        if len(biases) != count:
+            raise SamplerStateError("candidates and biases must have matching lengths")
+        finite = np.isfinite(biases)
+        if not finite.all() or (biases[finite] <= 0).any():
+            check_bias(float(biases[~(finite & (biases > 0))][0]))
+        candidate_list = candidates.tolist()
+        index = self._index
+        for candidate in candidate_list:
+            if candidate in index:
+                raise SamplerStateError(f"candidate {candidate} already present")
+        if len(set(candidate_list)) != count:
+            raise SamplerStateError("duplicate candidates within one insert_many slice")
+        start = len(self._ids)
+        index.update(zip(candidate_list, range(start, start + count)))
+        self._ids.extend(candidate_list)
+        self._biases.extend(biases.tolist())
+        previous = self._cumulative[-1] if self._cumulative else 0.0
+        extended = np.cumsum(np.concatenate(([previous], biases)))
+        self._cumulative.extend(extended[1:].tolist())
+        self._np_arrays = None
+        self.counter.touch(3 * count)
+        self.counter.arith(count)
+
     def delete(self, candidate: int) -> None:
         if candidate not in self._index:
             raise SamplerStateError(f"candidate {candidate} not present")

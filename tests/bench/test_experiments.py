@@ -118,6 +118,33 @@ class TestFigure13:
             assert phases["sampling"] > 0
 
 
+class TestIngestThroughput:
+    def test_reports_all_three_paths_per_engine(self):
+        report = experiments.ingest_throughput(
+            dataset="AM", batch_size=60, num_batches=1, num_walkers=16,
+            walk_length=4, repeats=1,
+        )
+        assert report["dataset"] == "AM"
+        assert report["total_updates"] == 60
+        engines = report["engines"]
+        assert set(engines) == set(experiments.SOTA_ENGINES)
+        for entry in engines.values():
+            assert entry["columnar_updates_per_second"] > 0
+            assert entry["legacy_batch_updates_per_second"] > 0
+            assert entry["streaming_updates_per_second"] > 0
+            assert entry["ingest_while_walking_updates_per_second"] > 0
+            assert entry["walk_steps_per_second"] > 0
+            assert entry["columnar_vs_streaming"] > 0
+
+    def test_batch_size_clamped_to_dataset(self):
+        report = experiments.ingest_throughput(
+            dataset="AM", batch_size=10**9, num_batches=2, num_walkers=8,
+            walk_length=3, repeats=1, engines=("bingo",),
+        )
+        assert report["batch_size"] * report["num_batches"] <= 4_000_000
+        assert report["total_updates"] == report["batch_size"] * report["num_batches"]
+
+
 class TestFigure14:
     def test_float_bias_overhead_is_modest(self):
         report = experiments.fig14_float_bias(

@@ -1,0 +1,263 @@
+"""Bulk sampler maintenance: insert_many / delete_many / batched rebuild.
+
+Every bulk operation must leave the sampler in *exactly* the state the
+scalar operations would — same neighbour order, same group membership and
+creation order, same decimal-group totals, same inter-group alias arrays —
+so batched and streaming ingestion remain interchangeable, including under
+seeded sampling.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import ConversionTracker, GroupClassifier
+from repro.core.batch_rebuild import batch_vose
+from repro.core.vertex_sampler import BingoVertexSampler, rebuild_samplers_batch
+from repro.errors import SamplerStateError
+from repro.sampling.alias import AliasTable
+from repro.sampling.its import InverseTransformSampler
+
+
+def _sampler_state(sampler: BingoVertexSampler) -> dict:
+    return {
+        "ids": list(sampler._ids),
+        "biases": list(sampler._biases),
+        "integer_parts": list(sampler._integer_parts),
+        "fractions": list(sampler._fractions),
+        "index_of": dict(sampler._index_of),
+        "group_order": list(sampler._groups.keys()),
+        "groups": {
+            position: (group.kind, list(group.members), dict(group.slots), len(group))
+            for position, group in sampler._groups.items()
+        },
+        "decimal": dict(sampler._decimal.fractions),
+        "decimal_total": sampler._decimal._total,
+        "inter_ids": list(sampler._inter_group._ids),
+        "inter_prob": list(sampler._inter_group._prob),
+        "inter_alias": list(sampler._inter_group._alias),
+    }
+
+
+def _random_pairs(rng: random.Random, count: int):
+    pairs = []
+    seen = set()
+    while len(pairs) < count:
+        candidate = rng.randrange(10_000)
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        bias = float(rng.randrange(1, 400))
+        if rng.random() < 0.5:
+            bias += rng.random()
+        pairs.append((candidate, bias))
+    return pairs
+
+
+class TestBatchVose:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bitwise_identical_to_scalar_vose(self, seed):
+        rng = random.Random(seed)
+        rows = []
+        for _ in range(200):
+            length = rng.randrange(1, 16)
+            rows.append(
+                [float(rng.randrange(1, 1 << 12)) + rng.random() for _ in range(length)]
+            )
+        rows.append([1.0])
+        rows.append([])
+        for row, (prob, alias) in zip(rows, batch_vose(rows)):
+            table = AliasTable()
+            for index, weight in enumerate(row):
+                table.insert(index, weight)
+            if row:
+                table.rebuild()
+            assert table._prob == prob
+            assert table._alias == alias
+
+    def test_empty_input(self):
+        assert batch_vose([]) == []
+
+
+class TestBulkSamplerEquivalence:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_insert_delete_rebuild_match_scalar(self, seed):
+        rng = random.Random(seed)
+        lam = rng.choice([1.0, 10.0])
+        classifier = GroupClassifier(adaptive=rng.random() < 0.8)
+        tracker_a, tracker_b = ConversionTracker(), ConversionTracker()
+        scalar = BingoVertexSampler(
+            rng=random.Random(7), lam=lam, classifier=classifier,
+            conversion_tracker=tracker_a, auto_rebuild=False,
+        )
+        bulk = BingoVertexSampler(
+            rng=random.Random(7), lam=lam, classifier=classifier,
+            conversion_tracker=tracker_b, auto_rebuild=False,
+        )
+        pairs = _random_pairs(rng, rng.randrange(2, 30))
+        prefix = rng.randrange(1, len(pairs))
+        for candidate, bias in pairs[:prefix]:
+            scalar.insert(candidate, bias)
+            bulk.insert(candidate, bias)
+        scalar.rebuild()
+        bulk.rebuild()
+
+        victims = [c for c, _ in pairs[:prefix] if rng.random() < 0.4]
+        for candidate in victims:
+            scalar.delete(candidate)
+        for candidate, bias in pairs[prefix:]:
+            scalar.insert(candidate, bias)
+        scalar.rebuild()
+
+        bulk.delete_many(victims)
+        tail = pairs[prefix:]
+        if tail:
+            bulk.insert_many(
+                np.array([c for c, _ in tail], dtype=np.int64),
+                np.array([b for _, b in tail]),
+            )
+        rebuild_samplers_batch([bulk])
+
+        assert _sampler_state(scalar) == _sampler_state(bulk)
+        assert tracker_a.observations == tracker_b.observations
+        assert tracker_a.transitions == tracker_b.transitions
+        scalar.check_invariants()
+        bulk.check_invariants()
+
+        # Seeded draws through both stacks are identical.
+        rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)
+        assert (scalar.sample_many(64, rng_a) == bulk.sample_many(64, rng_b)).all()
+        for _ in range(16):
+            assert scalar.sample() == bulk.sample()
+
+    def test_insert_many_with_precomputed_split(self):
+        from repro.core.radix import split_scaled_bias
+
+        lam = 10.0
+        biases = [1.5, 2.25, 7.0]
+        candidates = [3, 8, 1]
+        parts = [split_scaled_bias(bias, lam) for bias in biases]
+        direct = BingoVertexSampler(rng=1, lam=lam, auto_rebuild=False)
+        direct.insert_many(np.array(candidates), np.array(biases))
+        presplit = BingoVertexSampler(rng=1, lam=lam, auto_rebuild=False)
+        presplit.insert_many(
+            np.array(candidates),
+            np.array(biases),
+            split_parts=(
+                [integer for integer, _ in parts],
+                [fraction for _, fraction in parts],
+            ),
+        )
+        rebuild_samplers_batch([direct, presplit])
+        assert _sampler_state(direct) == _sampler_state(presplit)
+
+    def test_insert_many_rejects_duplicates(self):
+        sampler = BingoVertexSampler(rng=1, auto_rebuild=False)
+        with pytest.raises(SamplerStateError):
+            sampler.insert_many(np.array([1, 1]), np.array([1.0, 2.0]))
+        sampler.insert(4, 1.0)
+        with pytest.raises(SamplerStateError):
+            sampler.insert_many(np.array([4]), np.array([1.0]))
+
+    def test_delete_many_rejects_missing(self):
+        sampler = BingoVertexSampler(rng=1, auto_rebuild=False)
+        sampler.insert(4, 1.0)
+        with pytest.raises(SamplerStateError):
+            sampler.delete_many([4, 9])
+
+    def test_delete_many_to_empty_rebuilds_like_scalar(self):
+        scalar = BingoVertexSampler(rng=1)
+        bulk = BingoVertexSampler(rng=1)
+        for sampler in (scalar, bulk):
+            sampler.insert(1, 2.0)
+            sampler.insert(2, 4.0)
+        scalar.delete(1)
+        scalar.delete(2)
+        bulk.delete_many([1, 2])
+        assert len(bulk) == 0
+        assert bulk._inter_dirty == scalar._inter_dirty
+        assert bulk._inter_group._ids == scalar._inter_group._ids == []
+
+    def test_auto_rebuild_triggers_once(self):
+        sampler = BingoVertexSampler(rng=1)
+        sampler.insert_many(np.array([1, 2, 3]), np.array([1.0, 2.0, 4.0]))
+        assert not sampler._inter_dirty
+        before = sampler.rebuild_count
+        sampler.delete_many([1, 2])
+        assert sampler.rebuild_count == before + 1
+        assert not sampler._inter_dirty
+
+
+class TestSplitScaledBiases:
+    @pytest.mark.parametrize("lam", [1.0, 10.0, 1e6])
+    def test_matches_scalar_split_including_huge_biases(self, lam):
+        from repro.core.radix import split_scaled_bias, split_scaled_biases
+
+        # The large values push the tolerance window past 0.5, where the
+        # snap-down/snap-up branch precedence matters.
+        biases = [
+            1.0, 1.5, 2.25, 0.3, 123.456,
+            1e9 + 0.4, 1e9 + 0.6, 5e8 + 0.5, 1e12 + 0.25,
+        ]
+        expected = [split_scaled_bias(bias, lam) for bias in biases]
+        integers, fractions = split_scaled_biases(biases, lam)
+        assert integers == [integer for integer, _ in expected]
+        assert fractions == [fraction for _, fraction in expected]
+
+    def test_huge_bias_insert_many_matches_scalar_inserts(self):
+        scalar = BingoVertexSampler(rng=1, lam=1.0, auto_rebuild=False)
+        bulk = BingoVertexSampler(rng=1, lam=1.0, auto_rebuild=False)
+        candidates = list(range(20))
+        biases = [1e9 + 0.4] * 10 + [1e9 + 0.6] * 10
+        for candidate, bias in zip(candidates, biases):
+            scalar.insert(candidate, bias)
+        bulk.insert_many(np.array(candidates), np.array(biases))
+        assert scalar._integer_parts == bulk._integer_parts
+        assert scalar._fractions == bulk._fractions
+
+
+class TestBulkSamplerLoading:
+    def test_alias_insert_many_matches_scalar(self):
+        scalar = AliasTable(rng=random.Random(3))
+        bulk = AliasTable(rng=random.Random(3))
+        ids = np.array([5, 2, 9, 4], dtype=np.int64)
+        biases = np.array([1.0, 2.0, 0.5, 3.0])
+        for candidate, bias in zip(ids.tolist(), biases.tolist()):
+            scalar.insert(candidate, bias)
+        bulk.insert_many(ids, biases)
+        scalar.rebuild()
+        bulk.rebuild()
+        assert scalar._ids == bulk._ids
+        assert scalar._prob == bulk._prob
+        assert scalar._alias == bulk._alias
+        with pytest.raises(SamplerStateError):
+            bulk.insert_many(np.array([2]), np.array([1.0]))
+
+    def test_its_insert_many_matches_scalar(self):
+        scalar = InverseTransformSampler(rng=random.Random(3))
+        bulk = InverseTransformSampler(rng=random.Random(3))
+        scalar.insert(7, 1.5)
+        bulk.insert(7, 1.5)
+        ids = np.array([5, 2, 9], dtype=np.int64)
+        biases = np.array([1.0, 2.0, 0.5])
+        for candidate, bias in zip(ids.tolist(), biases.tolist()):
+            scalar.insert(candidate, bias)
+        bulk.insert_many(ids, biases)
+        assert scalar._ids == bulk._ids
+        assert scalar._cumulative == bulk._cumulative
+
+    def test_alias_from_built_equals_scalar_build(self):
+        reference = AliasTable()
+        weights = [3.0, 1.0, 6.0]
+        for index, weight in enumerate(weights):
+            reference.insert(index, weight)
+        reference.rebuild()
+        ((prob, alias),) = batch_vose([weights])
+        adopted = AliasTable.from_built([0, 1, 2], weights, prob, alias)
+        assert adopted._prob == reference._prob
+        assert adopted._alias == reference._alias
+        assert not adopted.is_dirty()
+        assert len(adopted) == 3

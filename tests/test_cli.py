@@ -30,6 +30,44 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", "bogus"])
 
+    def test_run_ingest_writes_perf_trajectory(self, capsys, tmp_path):
+        output = tmp_path / "BENCH_PR2.json"
+        code = main(
+            [
+                "run", "ingest",
+                "--datasets", "AM",
+                "--batch-size", "60",
+                "--num-batches", "1",
+                "--output", str(output),
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        on_disk = json.loads(output.read_text())
+        assert payload == on_disk
+        assert payload["dataset"] == "AM"
+        engines = payload["engines"]
+        assert set(engines) == {"bingo", "knightking", "gsampler", "flowwalker"}
+        for entry in engines.values():
+            assert entry["columnar_updates_per_second"] > 0
+            assert entry["streaming_updates_per_second"] > 0
+            assert entry["walk_steps_per_second"] > 0
+
+    def test_run_ingest_output_disabled_with_empty_flag(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            [
+                "run", "ingest",
+                "--datasets", "AM",
+                "--batch-size", "40",
+                "--num-batches", "1",
+                "--output", "",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "BENCH_PR2.json").exists()
+
 
 class TestCompare:
     def test_compare_small(self, capsys):
