@@ -27,6 +27,7 @@ from repro.core.vertex_sampler import BingoVertexSampler
 from repro.engines.bingo import BingoEngine
 from repro.engines.flowwalker import FlowWalkerEngine
 from repro.engines.registry import create_engine
+from repro.errors import BenchmarkError
 from repro.graph.bias import (
     gauss_biases,
     group_element_ratio,
@@ -900,3 +901,143 @@ def fig16_piecewise(
             "flowwalker_sampling_seconds": flow_sampling,
         }
     return output
+
+
+# --------------------------------------------------------------------------- #
+# Scaling curve — shard-parallel walk execution (Section 9.1)
+# --------------------------------------------------------------------------- #
+def scale_workers(
+    *,
+    dataset: str = "LJ",
+    engines: Sequence[str] = SOTA_ENGINES,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    walk_length: int = 10,
+    num_walkers: Optional[int] = None,
+    rounds: int = 3,
+    strategy: str = "degree_balanced",
+    seed: int = 71,
+) -> Dict[str, object]:
+    """Walk throughput vs worker count through the shard-parallel runner.
+
+    For every engine and worker count, ``rounds`` DeepWalk rounds run through
+    a fresh :class:`~repro.walks.parallel.ParallelWalkRunner` (one walker per
+    start vertex, identical starts everywhere).  Two throughputs are
+    reported per cell:
+
+    * ``wall_steps_per_second`` — wall clock, which only scales when the
+      host actually has spare cores;
+    * ``steps_per_second`` — the critical-path model: total steps divided by
+      the busiest shard's sampling CPU time.  This is the device-model
+      throughput (one simulated device per shard), the same convention
+      Figure 12 uses for batched-update parallelism, and the quantity whose
+      scaling curve the paper's Section 9.1 ablation plots.
+
+    ``speedup_vs_baseline`` compares the modelled throughput against the
+    smallest requested worker count (``speedup_baseline_workers`` in the
+    report); when that baseline is 1 worker — whose walk matrices are
+    bitwise-identical to the serial frontier — the same ratio is also
+    emitted as ``speedup_vs_1``.
+    """
+    import os
+
+    from repro.graph.partition import partition_graph
+    from repro.utils.timing import PhaseTimer
+    from repro.walks.parallel import ParallelWalkRunner
+
+    if rounds < 1:
+        raise BenchmarkError("scale experiment needs at least one round")
+    counts = sorted({int(count) for count in worker_counts})
+    if not counts or counts[0] < 1:
+        raise BenchmarkError("worker counts must be positive integers")
+
+    rng = ensure_rng(seed)
+    graph = build_dataset(dataset, rng=rng)
+    starts = sample_start_vertices(
+        graph,
+        num_walkers if num_walkers is not None else graph.num_vertices,
+        rng=seed + 1,
+    )
+
+    # Partitions (and their quality metrics) are engine-independent; compute
+    # once per worker count and hand the layout to every runner.
+    partitions: Dict[int, object] = {}
+    layouts: Dict[int, Dict[str, float]] = {}
+    for workers in counts:
+        partition = partition_graph(graph, workers, strategy=strategy)
+        partitions[workers] = partition
+        layouts[workers] = {
+            "edge_cut": partition.edge_cut(graph),
+            "balance": partition.balance(graph),
+        }
+
+    per_engine: Dict[str, Dict[int, Dict[str, object]]] = {}
+    for engine_name in engines:
+        rows: Dict[int, Dict[str, object]] = {}
+        for workers in counts:
+            timer = PhaseTimer()
+            total_steps = 0
+            critical_seconds = 0.0
+            with ParallelWalkRunner(
+                engine_name,
+                graph,
+                workers,
+                engine_seed=seed + 2,
+                strategy=strategy,
+                partition=partitions[workers],
+            ) as runner:
+                round_walk_seconds = []
+                for round_index in range(rounds):
+                    with timer.measure("walk"):
+                        result = runner.run_deepwalk(
+                            starts, walk_length, rng=seed + 3 + round_index
+                        )
+                    stats = runner.last_stats
+                    total_steps += result.total_steps
+                    critical_seconds += stats.critical_path_seconds
+                    # One reused timer, one summary per round (PhaseTimer's
+                    # round-reset semantics keep later rounds honest).
+                    round_walk_seconds.append(timer.finish_round()["walk"])
+                transfer_rate = runner.tracker.stats.transfer_rate()
+            wall_seconds = timer.totals()["walk"]
+            rows[workers] = {
+                "steps": total_steps,
+                "wall_seconds": wall_seconds,
+                "round_walk_seconds": round_walk_seconds,
+                "critical_path_seconds": critical_seconds,
+                "wall_steps_per_second": (
+                    total_steps / wall_seconds if wall_seconds > 0 else float("inf")
+                ),
+                "steps_per_second": (
+                    total_steps / critical_seconds
+                    if critical_seconds > 0
+                    else float("inf")
+                ),
+                "transfer_rate": transfer_rate,
+                **layouts[workers],
+            }
+        baseline = rows[counts[0]]["steps_per_second"]
+        for row in rows.values():
+            speedup = (
+                row["steps_per_second"] / baseline if baseline > 0 else float("inf")
+            )
+            row["speedup_vs_baseline"] = speedup
+            if counts[0] == 1:
+                row["speedup_vs_1"] = speedup
+        per_engine[engine_name] = rows
+
+    return {
+        "dataset": dataset,
+        "walk_length": walk_length,
+        "num_walkers": len(starts),
+        "rounds": rounds,
+        "strategy": strategy,
+        "worker_counts": counts,
+        "speedup_baseline_workers": counts[0],
+        "host_cpus": os.cpu_count(),
+        "note": (
+            "steps_per_second is the critical-path (busiest-shard CPU time) "
+            "device model; wall_steps_per_second only scales with spare host "
+            "cores"
+        ),
+        "engines": per_engine,
+    }

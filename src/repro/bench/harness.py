@@ -31,6 +31,8 @@ class EvaluationSettings:
     num_walkers: int = 64          # paper: one per vertex
     streaming: bool = False        # paper evaluates both streaming and batched
     frontier_walks: bool = False   # run walks through the batched frontier
+    workers: int = 1               # >1: shard-parallel walk execution
+    partition_strategy: str = "degree_balanced"  # shard layout for workers > 1
     engine_kwargs: Dict[str, object] = field(default_factory=dict)
 
 
@@ -110,30 +112,64 @@ def run_evaluation(
         update_stream.initial_graph, settings.num_walkers, rng=generator
     )
 
+    if settings.workers < 1:
+        raise ValueError("settings.workers must be at least 1")
+    if settings.workers > 1 and not settings.frontier_walks:
+        # Mirror the CLI: shard-parallel execution IS a frontier mode, and
+        # silently switching modes would make scalar-vs-frontier rows lie.
+        raise ValueError(
+            "settings.workers > 1 runs walks shard-parallel, which is a "
+            "frontier execution mode; set frontier_walks=True as well"
+        )
+    executor = None
     total_walk_steps = 0
     update_seconds = 0.0
     walk_seconds = 0.0
     run_start = time.perf_counter()
-    for batch in update_stream.batches:
-        update_start = time.perf_counter()
-        if settings.streaming:
-            engine.apply_streaming(batch)
-        else:
-            engine.apply_batch(batch)
-        update_seconds += time.perf_counter() - update_start
+    try:
+        for batch in update_stream.batches:
+            update_start = time.perf_counter()
+            if settings.streaming:
+                engine.apply_streaming(batch)
+            else:
+                engine.apply_batch(batch)
+            update_seconds += time.perf_counter() - update_start
 
-        walk_start = time.perf_counter()
-        result = run_application(
-            application,
-            engine,
-            walk_length=settings.walk_length,
-            starts=starts,
-            rng=generator,
-            frontier=settings.frontier_walks,
-        )
-        walk_seconds += time.perf_counter() - walk_start
-        total_walk_steps += result.total_steps
-    runtime = time.perf_counter() - run_start
+            if settings.workers > 1:
+                # Shard-parallel walk phase: export the freshly updated
+                # snapshot to the persistent worker pool (created lazily on
+                # the first round).  Pool setup / refresh is sampler
+                # maintenance, not walking — it is kept outside walk_seconds
+                # so the workers>1 rows stay comparable to the serial ones.
+                from repro.walks.parallel import ParallelWalkRunner
+
+                if executor is None:
+                    executor = ParallelWalkRunner(
+                        engine_name,
+                        engine.graph,
+                        settings.workers,
+                        engine_seed=generator.randrange(1 << 48),
+                        engine_kwargs=dict(settings.engine_kwargs),
+                        strategy=settings.partition_strategy,
+                    )
+                else:
+                    executor.refresh(engine.graph)
+            walk_start = time.perf_counter()
+            result = run_application(
+                application,
+                engine,
+                walk_length=settings.walk_length,
+                starts=starts,
+                rng=generator,
+                frontier=settings.frontier_walks,
+                executor=executor,
+            )
+            walk_seconds += time.perf_counter() - walk_start
+            total_walk_steps += result.total_steps
+        runtime = time.perf_counter() - run_start
+    finally:
+        if executor is not None:
+            executor.close()
 
     memory = engine.memory_report()
     return EvaluationResult(

@@ -50,14 +50,33 @@ class ApplicationSpec:
         starts: Optional[Sequence[int]] = None,
         rng: RandomSource = None,
         frontier: bool = False,
+        executor=None,
     ) -> WalkResult:
         """Execute the application on ``engine`` with a scaled walk length."""
         return self.runner(
-            engine, walk_length=walk_length, starts=starts, rng=rng, frontier=frontier
+            engine,
+            walk_length=walk_length,
+            starts=starts,
+            rng=rng,
+            frontier=frontier,
+            executor=executor,
         )
 
 
-def _run_deepwalk(engine, *, walk_length, starts, rng, frontier=False) -> WalkResult:
+def _executor_starts(executor, starts):
+    """Paper-default walker placement (one per vertex) on the parallel path."""
+    if starts is not None:
+        return starts
+    return list(range(executor.num_vertices))
+
+
+def _run_deepwalk(
+    engine, *, walk_length, starts, rng, frontier=False, executor=None
+) -> WalkResult:
+    if executor is not None:
+        return executor.run_deepwalk(
+            _executor_starts(executor, starts), walk_length, rng=rng
+        ).to_walk_result()
     return run_deepwalk(
         engine,
         DeepWalkConfig(walk_length=walk_length),
@@ -67,18 +86,37 @@ def _run_deepwalk(engine, *, walk_length, starts, rng, frontier=False) -> WalkRe
     )
 
 
-def _run_node2vec(engine, *, walk_length, starts, rng, frontier=False) -> WalkResult:
+def _run_node2vec(
+    engine, *, walk_length, starts, rng, frontier=False, executor=None
+) -> WalkResult:
     config = Node2VecConfig(p=0.5, q=2.0, walk_length=walk_length)
+    if executor is not None:
+        return executor.run_node2vec(
+            _executor_starts(executor, starts),
+            config.walk_length,
+            p=config.p,
+            q=config.q,
+            rng=rng,
+        ).to_walk_result()
     return run_node2vec(engine, config, starts=starts, rng=rng, frontier=frontier)
 
 
-def _run_ppr(engine, *, walk_length, starts, rng, frontier=False) -> WalkResult:
+def _run_ppr(
+    engine, *, walk_length, starts, rng, frontier=False, executor=None
+) -> WalkResult:
     # Termination probability 1/walk_length gives expected length walk_length,
     # matching the paper's 1/80 default; max_steps caps the tail.
     config = PPRConfig(
         termination_probability=1.0 / walk_length,
         max_steps=4 * walk_length,
     )
+    if executor is not None:
+        return executor.run_ppr(
+            _executor_starts(executor, starts),
+            termination_probability=config.termination_probability,
+            max_steps=config.max_steps,
+            rng=rng,
+        ).to_walk_result()
     return run_ppr(engine, config, starts=starts, rng=rng, frontier=frontier)
 
 
@@ -103,11 +141,15 @@ def run_application(
     starts: Optional[Sequence[int]] = None,
     rng: RandomSource = None,
     frontier: bool = False,
+    executor=None,
 ) -> WalkResult:
     """Run one named application on an engine.
 
     ``frontier=True`` executes the walks through the batched walk-frontier
-    engine instead of the scalar per-walker loop.
+    engine instead of the scalar per-walker loop.  Passing an ``executor``
+    (a :class:`~repro.walks.parallel.ParallelWalkRunner`) routes the walks
+    through the shard-parallel worker pool instead of ``engine``, with the
+    same application hyper-parameters.
     """
     spec = APPLICATIONS.get(name)
     if spec is None:
@@ -115,7 +157,12 @@ def run_application(
             f"unknown application {name!r}; available: {', '.join(APPLICATIONS)}"
         )
     return spec.run(
-        engine, walk_length=walk_length, starts=starts, rng=rng, frontier=frontier
+        engine,
+        walk_length=walk_length,
+        starts=starts,
+        rng=rng,
+        frontier=frontier,
+        executor=executor,
     )
 
 

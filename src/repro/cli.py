@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.bench import experiments
 from repro.bench.harness import EvaluationSettings, compare_engines
 from repro.bench.reporting import format_table, summarize_results
+from repro.errors import BenchmarkError, EngineError, ParallelExecutionError
 
 #: Experiment name -> callable returning a JSON-serialisable structure.
 EXPERIMENT_RUNNERS: Dict[str, Callable[..., Any]] = {
@@ -45,10 +46,11 @@ EXPERIMENT_RUNNERS: Dict[str, Callable[..., Any]] = {
     "fig16": experiments.fig16_piecewise,
     "frontier": experiments.frontier_throughput,
     "ingest": experiments.ingest_throughput,
+    "scale": experiments.scale_workers,
 }
 
 #: Experiments whose JSON output lands in a file by default (perf trajectory).
-DEFAULT_OUTPUT_FILES = {"ingest": "BENCH_PR2.json"}
+DEFAULT_OUTPUT_FILES = {"ingest": "BENCH_PR2.json", "scale": "BENCH_PR3.json"}
 
 
 def _to_jsonable(value: Any) -> Any:
@@ -74,7 +76,13 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list available experiments")
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment", choices=sorted(EXPERIMENT_RUNNERS))
+    # Validated manually (not via argparse choices) so unknown names return a
+    # clean non-zero exit with a clear message instead of a bare SystemExit.
+    run_parser.add_argument(
+        "experiment",
+        metavar="experiment",
+        help="one of: " + ", ".join(sorted(EXPERIMENT_RUNNERS)),
+    )
     run_parser.add_argument("--json", action="store_true", help="print raw JSON")
     run_parser.add_argument(
         "--datasets", nargs="+", default=None, help="dataset abbreviations (where applicable)"
@@ -90,6 +98,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--num-batches", type=int, default=None, help="number of batches (ingest only)"
+    )
+    run_parser.add_argument(
+        "--workers",
+        nargs="+",
+        type=int,
+        default=None,
+        help="worker counts to sweep (scale only)",
+    )
+    run_parser.add_argument(
+        "--walk-length", type=int, default=None, help="walk length (scale only)"
+    )
+    run_parser.add_argument(
+        "--rounds", type=int, default=None, help="walk rounds per cell (scale only)"
+    )
+    run_parser.add_argument(
+        "--num-walkers", type=int, default=None, help="walkers per round (scale only)"
     )
     run_parser.add_argument(
         "--output",
@@ -117,12 +141,42 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the walks through the batched walk-frontier engine",
     )
+    compare_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard-parallel walk workers (> 1 requires --frontier)",
+    )
 
     return parser
 
 
+def _fail(message: str) -> int:
+    """Print a clear error and return the CLI's failure exit code."""
+    sys.stderr.write(f"error: {message}\n")
+    return 2
+
+
 def _run_experiment(args: argparse.Namespace) -> int:
-    runner = EXPERIMENT_RUNNERS[args.experiment]
+    runner = EXPERIMENT_RUNNERS.get(args.experiment)
+    if runner is None:
+        return _fail(
+            f"unknown experiment {args.experiment!r}; available: "
+            + ", ".join(sorted(EXPERIMENT_RUNNERS))
+        )
+    if args.workers is not None:
+        if args.experiment != "scale":
+            return _fail("--workers only applies to `run scale`")
+        if any(count < 1 for count in args.workers):
+            return _fail("--workers counts must be positive integers")
+    for flag, value in (
+        ("--walk-length", args.walk_length),
+        ("--rounds", args.rounds),
+        ("--num-walkers", args.num_walkers),
+    ):
+        if value is not None and args.experiment != "scale":
+            # Fail fast instead of silently benchmarking the defaults.
+            return _fail(f"{flag} only applies to `run scale`")
     kwargs: Dict[str, Any] = {}
     if args.datasets is not None and args.experiment in {
         "table3", "fig11", "fig12", "fig13", "fig14", "fig16",
@@ -139,6 +193,22 @@ def _run_experiment(args: argparse.Namespace) -> int:
             kwargs["batch_size"] = args.batch_size
         if args.num_batches is not None:
             kwargs["num_batches"] = args.num_batches
+    if args.experiment == "scale":
+        if args.datasets is not None:
+            if len(args.datasets) > 1:
+                return _fail(
+                    "`run scale` sweeps worker counts over a single dataset; "
+                    f"got {len(args.datasets)} datasets"
+                )
+            kwargs["dataset"] = args.datasets[0]
+        if args.workers is not None:
+            kwargs["worker_counts"] = args.workers
+        if args.walk_length is not None:
+            kwargs["walk_length"] = args.walk_length
+        if args.rounds is not None:
+            kwargs["rounds"] = args.rounds
+        if args.num_walkers is not None:
+            kwargs["num_walkers"] = args.num_walkers
     result = runner(**kwargs)
     payload = _to_jsonable(result)
     output_path = args.output
@@ -159,12 +229,20 @@ def _run_experiment(args: argparse.Namespace) -> int:
 
 
 def _run_compare(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        return _fail("--workers must be at least 1")
+    if args.workers > 1 and not args.frontier:
+        return _fail(
+            "--workers > 1 runs the walks shard-parallel, which is a frontier "
+            "execution mode; pass --frontier as well"
+        )
     settings = EvaluationSettings(
         batch_size=args.batch_size,
         num_batches=args.num_batches,
         walk_length=args.walk_length,
         num_walkers=args.num_walkers,
         frontier_walks=args.frontier,
+        workers=args.workers,
     )
     results = compare_engines(
         ("bingo", "knightking", "gsampler", "flowwalker"),
@@ -188,10 +266,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         sys.stdout.write(format_table(["experiment"], rows))
         sys.stdout.write("\n")
         return 0
-    if args.command == "run":
-        return _run_experiment(args)
-    if args.command == "compare":
-        return _run_compare(args)
+    try:
+        if args.command == "run":
+            return _run_experiment(args)
+        if args.command == "compare":
+            return _run_compare(args)
+    except (BenchmarkError, EngineError, ParallelExecutionError) as exc:
+        return _fail(str(exc))
     parser.error(f"unknown command {args.command!r}")
     return 2
 

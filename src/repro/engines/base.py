@@ -57,6 +57,9 @@ class RandomWalkEngine(abc.ABC):
         self.breakdown = TimeBreakdown()
         self.updates_applied = 0
         self.samples_drawn = 0
+        #: Vertices this engine builds sampling state for; ``None`` means all
+        #: (the single-device default).  Set by :meth:`build_shard`.
+        self._shard_owned: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -67,6 +70,37 @@ class RandomWalkEngine(abc.ABC):
         start = time.perf_counter()
         self._build_state()
         self.breakdown.add(PHASE_REBUILD, time.perf_counter() - start)
+
+    @classmethod
+    def for_shard(cls, graph, owned_vertices, **kwargs) -> "RandomWalkEngine":
+        """Build an engine whose sampling state covers only ``owned_vertices``.
+
+        The shard-parallel walk runner gives each worker the full (shared,
+        read-only) topology — walkers are handed off between shards, and
+        node2vec probes arbitrary edges — but each worker only constructs
+        the per-vertex sampling structures of the vertices its shard owns.
+        ``graph`` is typically a
+        :class:`~repro.graph.partition.ShardSubgraph` view over the
+        shared-memory columns; any object with the ``DynamicGraph`` read API
+        works.  With ``owned_vertices`` spanning every vertex this is
+        exactly :meth:`build` (the single-shard case the equivalence tests
+        pin down).
+        """
+        engine = cls(**kwargs)
+        engine.build_shard(graph, owned_vertices)
+        return engine
+
+    def build_shard(self, graph, owned_vertices) -> None:
+        """Adopt ``graph`` but restrict sampling state to ``owned_vertices``."""
+        self._shard_owned = np.ascontiguousarray(owned_vertices, dtype=np.int64)
+        self.build(graph)
+
+    def _build_vertex_ids(self):
+        """Vertices :meth:`_build_state` constructs samplers for, in order."""
+        graph = self._require_graph()
+        if self._shard_owned is None:
+            return range(graph.num_vertices)
+        return self._shard_owned.tolist()
 
     @abc.abstractmethod
     def _build_state(self) -> None:
@@ -253,6 +287,17 @@ class RandomWalkEngine(abc.ABC):
     ) -> np.ndarray:
         """Engine-specific frontier draw (default: group-by-vertex dispatch)."""
         draws = np.full(len(vertices), -1, dtype=np.int64)
+        # Vertices outside the current snapshot — negative ids (the walk
+        # matrix's retired-walker padding) or ids past the vertex range —
+        # draw -1 so the walker retires instead of crashing the scalar
+        # fallback or sampling some other vertex's view.
+        valid = (vertices >= 0) & (vertices < self._require_graph().num_vertices)
+        if not valid.all():
+            positions = np.nonzero(valid)[0]
+            if len(positions) == 0:
+                return draws
+            draws[positions] = self._sample_frontier(vertices[positions], rng)
+            return draws
         # argsort-partition: members of group g sit at order[bounds[g]:bounds[g+1]].
         order = np.argsort(vertices, kind="stable")
         unique, counts = np.unique(vertices, return_counts=True)

@@ -100,12 +100,19 @@ class BingoEngine(RandomWalkEngine):
     def _build_state(self) -> None:
         graph = self._require_graph()
         if self._requested_lam is None:
-            biases = [edge.bias for edge in graph.edges()]
+            # Shard views expose the whole bias column flat; use it instead
+            # of iterating edges so every worker derives λ cheaply (and
+            # identically — same multiset of biases as the full graph).
+            column = getattr(graph, "biases", None)
+            if isinstance(column, np.ndarray):
+                biases = column.tolist()
+            else:
+                biases = [edge.bias for edge in graph.edges()]
             self.lam = choose_amortization_factor(biases) if biases else 1.0
         self._samplers = {}
         self._frontier_cache = None
         self._vertex_tables = {}
-        for vertex in range(graph.num_vertices):
+        for vertex in self._build_vertex_ids():
             if graph.degree(vertex) == 0:
                 continue
             sampler = self._new_sampler(vertex)
@@ -450,9 +457,12 @@ class BingoEngine(RandomWalkEngine):
         limit = len(tables["group_count"])
         if limit == 0:
             return out
-        # Out-of-range vertices (like sinks) draw -1, matching the scalar path.
-        safe = np.minimum(vertices, limit - 1)
-        counts = np.where(vertices < limit, tables["group_count"][safe], 0)
+        # Out-of-range vertices — negative ids (retired-walker padding) or ids
+        # past the table range — draw -1, matching the scalar path; clipping
+        # keeps the gather in bounds instead of wrapping onto another vertex.
+        in_range = (vertices >= 0) & (vertices < limit)
+        safe = np.clip(vertices, 0, limit - 1)
+        counts = np.where(in_range, tables["group_count"][safe], 0)
         live = np.nonzero(counts > 0)[0]
         if len(live) == 0:
             return out

@@ -74,6 +74,11 @@ class FlowWalkerEngine(RandomWalkEngine):
     # ------------------------------------------------------------------ #
     def _sample(self, vertex: int) -> Optional[int]:
         graph = self._require_graph()
+        if not (0 <= vertex < graph.num_vertices):
+            # Out-of-range ids (retired-walker padding, vertices the walker
+            # outlived) retire the walk like a sink instead of raising — the
+            # behaviour every other engine already has.
+            return None
         degree = graph.degree(vertex)
         if degree == 0:
             return None
@@ -95,6 +100,8 @@ class FlowWalkerEngine(RandomWalkEngine):
         self, vertex: int, count: int, rng: np.random.Generator
     ) -> np.ndarray:
         graph = self._require_graph()
+        if not (0 <= vertex < graph.num_vertices):
+            return np.full(count, -1, dtype=np.int64)
         degree = graph.degree(vertex)
         if degree == 0:
             return np.full(count, -1, dtype=np.int64)

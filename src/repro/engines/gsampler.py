@@ -45,7 +45,7 @@ class GSamplerEngine(RandomWalkEngine):
         graph = self._require_graph()
         self._samplers = {}
         self._frontier_cache = None
-        for vertex in range(graph.num_vertices):
+        for vertex in self._build_vertex_ids():
             if graph.degree(vertex) == 0:
                 continue
             self._samplers[vertex] = self._build_vertex_sampler(vertex)
@@ -196,9 +196,11 @@ class GSamplerEngine(RandomWalkEngine):
         limit = len(tables["seg_length"])
         if limit == 0:
             return out
-        # Out-of-range vertices (like sinks) draw -1, matching the scalar path.
-        safe = np.minimum(vertices, limit - 1)
-        lengths = np.where(vertices < limit, tables["seg_length"][safe], 0)
+        # Out-of-range vertices — negative ids (retired-walker padding) or
+        # ids past the table range — draw -1, matching the scalar path.
+        in_range = (vertices >= 0) & (vertices < limit)
+        safe = np.clip(vertices, 0, limit - 1)
+        lengths = np.where(in_range, tables["seg_length"][safe], 0)
         live = np.nonzero(lengths > 0)[0]
         if len(live) == 0:
             return out

@@ -97,3 +97,7 @@ class OutOfDeviceMemoryError(DeviceError):
 
 class BenchmarkError(ReproError):
     """Raised when a benchmark experiment is mis-configured."""
+
+
+class ParallelExecutionError(ReproError):
+    """Raised when the shard-parallel walk runner or one of its workers fails."""

@@ -62,3 +62,56 @@ class TimeBreakdown:
     def as_dict(self) -> Dict[str, float]:
         """Return a copy of the phase table."""
         return dict(self.phases)
+
+
+class PhaseTimer:
+    """A reusable round-aware phase timer for multi-round harness runs.
+
+    :class:`TimeBreakdown` only accumulates, so a harness that reused one
+    instance across rounds and reported ``as_dict()`` per round double-counted
+    every earlier round in every later summary (skewing the fig13 breakdown
+    on multi-round runs).  ``PhaseTimer`` separates the two scopes:
+    :meth:`measure` adds to the *current round*, :meth:`finish_round` returns
+    that round's summary and folds it into the cumulative totals, so the same
+    timer instance can be reused round after round without inflation.
+    """
+
+    def __init__(self) -> None:
+        self._round = TimeBreakdown()
+        self._totals = TimeBreakdown()
+        self.rounds_finished = 0
+
+    @contextmanager
+    def measure(self, phase: str) -> Iterator[None]:
+        """Context manager timing one block into the current round."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._round.add(phase, time.perf_counter() - start)
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Add ``seconds`` to ``phase`` in the current round directly."""
+        self._round.add(phase, seconds)
+
+    def round_so_far(self) -> Dict[str, float]:
+        """The current (unfinished) round's phase table."""
+        return self._round.as_dict()
+
+    def finish_round(self) -> Dict[str, float]:
+        """Close the current round: return its summary, reset it, keep totals."""
+        summary = self._round.as_dict()
+        self._totals.merge(self._round)
+        self._round = TimeBreakdown()
+        self.rounds_finished += 1
+        return summary
+
+    def totals(self) -> Dict[str, float]:
+        """Cumulative phase table across finished rounds plus the open one."""
+        combined = TimeBreakdown(phases=self._totals.as_dict())
+        combined.merge(self._round)
+        return combined.as_dict()
+
+    def total_seconds(self) -> float:
+        """Sum of every phase across all rounds."""
+        return sum(self.totals().values())

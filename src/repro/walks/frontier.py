@@ -134,7 +134,13 @@ class WalkFrontier:
         if sampler is not None:
             return sampler(vertices, self.rng)
         draws = np.full(len(walkers), -1, dtype=np.int64)
+        # A walker sitting on a vertex outside the sampler's current range
+        # (its vertex was never created, or updates shrank the snapshot the
+        # sampler covers) retires with -1 instead of crashing the walk.
+        limit = self.engine.num_vertices()
         for position, vertex in enumerate(vertices):
+            if not 0 <= vertex < limit:
+                continue
             drawn = self.engine.sample_neighbor(int(vertex))
             draws[position] = -1 if drawn is None else drawn
         return draws

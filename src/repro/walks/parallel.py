@@ -1,0 +1,651 @@
+"""Shard-parallel walk execution over partitioned columnar graphs.
+
+The serial :mod:`repro.walks.frontier` engine advances every walker in one
+process.  This module distributes that frontier across a persistent pool of
+worker processes, one per graph shard, following the paper's Section 9.1
+policy of *moving walkers, not sampling structures*:
+
+* the coordinator partitions the graph (degree-balanced by default), exports
+  the adjacency once into :class:`~repro.graph.partition.SharedGraphShards`
+  (shared-memory CSR columns — workers attach zero-copy views, nothing is
+  pickled), and spawns one worker per shard;
+* each worker builds its engine with
+  :meth:`~repro.engines.base.RandomWalkEngine.for_shard`, constructing
+  sampling state only for the vertices its shard owns;
+* every step, the coordinator groups the alive frontier by the owner of each
+  walker's current vertex and enqueues one message per shard — these inbox
+  queues are the walker hand-off path: a walker whose draw crossed the
+  partition boundary is simply routed to the destination shard's queue on
+  the next step, with the traffic accounted by a
+  :class:`~repro.gpu.multi_device.MultiDeviceTracker`;
+* workers reply with draws (plus their sampling CPU-busy time, which yields
+  the critical-path throughput model), and the coordinator commits the step
+  into the same dense ``-1``-padded walk matrix the serial frontier builds.
+
+Determinism: each walk run carries one seed.  With a single worker the
+worker's generator and call sequence are exactly those of the serial
+frontier drivers, so the resulting matrix is **bitwise identical** to
+:func:`~repro.walks.frontier.run_frontier_deepwalk` (and the PPR / node2vec
+variants) with the same ``int`` / ``random.Random`` seed — the equivalence
+tests pin this down for all four engines.  (A live
+``numpy.random.Generator`` cannot cross the process boundary by reference;
+passing one derives a fresh stream from it, which is deterministic but not
+bitwise-equal to handing the serial driver the same object.)  With N
+workers each shard draws from its own deterministically derived stream.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParallelExecutionError, SamplerStateError
+from repro.gpu.multi_device import MultiDeviceTracker
+from repro.graph.partition import (
+    OneDimPartition,
+    SharedGraphShards,
+    SharedShardHandle,
+    partition_graph,
+)
+from repro.utils.rng import AnyRngSource
+from repro.utils.validation import check_positive_int
+from repro.walks.frontier import _MAX_REJECTION_ROUNDS, BatchedWalks, WalkFrontier
+
+#: Seconds the coordinator waits for a worker reply before declaring it dead.
+_REPLY_TIMEOUT = 300.0
+
+
+# --------------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------------- #
+def _make_run_rng(seed: int, shard: int, num_shards: int) -> np.random.Generator:
+    """The walk generator for one (run, shard) pair.
+
+    A single shard gets ``default_rng(seed)`` — byte-for-byte the generator
+    the serial frontier derives from the same seed — so the 1-worker path is
+    bitwise identical to the serial one.  Multiple shards spread onto
+    deterministically distinct streams.
+    """
+    if num_shards == 1:
+        return np.random.default_rng(seed)
+    return np.random.default_rng([seed, shard])
+
+
+def _step_deepwalk(engine, rng, vertices: np.ndarray) -> np.ndarray:
+    return engine.sample_frontier(vertices, rng)
+
+
+def _step_ppr(
+    engine, rng, vertices: np.ndarray, termination_probability: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Coin-flip then propose, with the serial driver's exact draw order.
+
+    Returns ``(killed_mask, draws)`` where ``draws`` aligns with the
+    surviving positions (``~killed_mask``).
+    """
+    coins = rng.random(len(vertices))
+    killed = coins < termination_probability
+    survivors = vertices[~killed]
+    if len(survivors) == 0:
+        return killed, np.empty(0, dtype=np.int64)
+    return killed, engine.sample_frontier(survivors, rng)
+
+
+def _step_node2vec(
+    engine,
+    rng,
+    vertices: np.ndarray,
+    previous: np.ndarray,
+    first_step: bool,
+    p: float,
+    q: float,
+) -> np.ndarray:
+    """One node2vec step for this shard's walkers (rejection run locally).
+
+    Walkers stay on their current vertex for the whole rejection loop, so
+    the entire loop is shard-local; only the Equation (1) distance test
+    needs topology, and every worker holds the full shared CSR for that.
+    Mirrors the serial driver's control flow and generator call order.
+    """
+    count = len(vertices)
+    resolved = np.full(count, -1, dtype=np.int64)
+    if first_step:
+        resolved[:] = engine.sample_frontier(vertices, rng)
+        return resolved
+    envelope = max(1.0 / p, 1.0, 1.0 / q)
+    pending = np.arange(count)
+    for _ in range(_MAX_REJECTION_ROUNDS):
+        if len(pending) == 0:
+            break
+        proposals = engine.sample_frontier(vertices[pending], rng)
+        sinks = proposals < 0
+        candidates = pending[~sinks]
+        drawn = proposals[~sinks]
+        if len(candidates) == 0:
+            break
+        befores = previous[candidates]
+        factors = np.full(len(candidates), 1.0 / q, dtype=np.float64)
+        backtrack = drawn == befores
+        factors[backtrack] = 1.0 / p
+        for index in np.nonzero(~backtrack)[0]:
+            if engine.has_edge(int(befores[index]), int(drawn[index])):
+                factors[index] = 1.0
+        accepted = rng.random(len(candidates)) < factors / envelope
+        resolved[candidates[accepted]] = drawn[accepted]
+        pending = candidates[~accepted]
+    else:
+        raise SamplerStateError(
+            "node2vec frontier rejection failed to accept; check p/q values"
+        )
+    return resolved
+
+
+def _shard_worker_main(
+    shard: int,
+    num_shards: int,
+    engine_name: str,
+    engine_kwargs: dict,
+    engine_seed: int,
+    handle: SharedShardHandle,
+    inbox,
+    outbox,
+) -> None:
+    """Worker loop: attach the shared columns, build the shard engine, serve steps."""
+    # Imported here so "spawn" children resolve the registry cleanly.
+    from repro.engines.registry import ENGINE_REGISTRY
+
+    store: Optional[SharedGraphShards] = None
+    try:
+        store = SharedGraphShards.attach(handle)
+        view = store.shard_view(shard)
+        build_start = time.process_time()
+        engine = ENGINE_REGISTRY[engine_name].for_shard(
+            view, view.owned_vertices(), rng=engine_seed, **engine_kwargs
+        )
+        outbox.put(("ready", shard, time.process_time() - build_start))
+
+        rng: Optional[np.random.Generator] = None
+        mode = ""
+        params: dict = {}
+        while True:
+            message = inbox.get()
+            command = message[0]
+            try:
+                if command == "stop":
+                    break
+                if command == "refresh":
+                    _, new_handle = message
+                    old_store = store
+                    store = SharedGraphShards.attach(new_handle)
+                    view = store.shard_view(shard)
+                    build_start = time.process_time()
+                    engine = ENGINE_REGISTRY[engine_name].for_shard(
+                        view, view.owned_vertices(), rng=engine_seed, **engine_kwargs
+                    )
+                    old_store.close()
+                    outbox.put(("ready", shard, time.process_time() - build_start))
+                elif command == "begin":
+                    _, run_seed, mode, params = message
+                    rng = _make_run_rng(run_seed, shard, num_shards)
+                elif command == "step":
+                    _, walker_ids, vertices, extra = message
+                    busy_start = time.process_time()
+                    if mode == "deepwalk":
+                        draws = _step_deepwalk(engine, rng, vertices)
+                        killed = np.empty(0, dtype=np.int64)
+                        stepped = walker_ids
+                    elif mode == "ppr":
+                        killed_mask, draws = _step_ppr(
+                            engine, rng, vertices, params["termination_probability"]
+                        )
+                        killed = walker_ids[killed_mask]
+                        stepped = walker_ids[~killed_mask]
+                    elif mode == "node2vec":
+                        draws = _step_node2vec(
+                            engine,
+                            rng,
+                            vertices,
+                            extra["previous"],
+                            extra["first_step"],
+                            params["p"],
+                            params["q"],
+                        )
+                        killed = np.empty(0, dtype=np.int64)
+                        stepped = walker_ids
+                    else:  # pragma: no cover - protocol error
+                        raise ParallelExecutionError(f"unknown walk mode {mode!r}")
+                    busy = time.process_time() - busy_start
+                    outbox.put(("step", shard, stepped, draws, killed, busy))
+                else:  # pragma: no cover - protocol error
+                    raise ParallelExecutionError(f"unknown command {command!r}")
+            except Exception:  # propagate worker failures to the coordinator
+                outbox.put(("error", shard, traceback.format_exc()))
+    except Exception:  # pragma: no cover - startup failure
+        outbox.put(("error", shard, traceback.format_exc()))
+    finally:
+        if store is not None:
+            store.close()
+
+
+# --------------------------------------------------------------------------- #
+# coordinator side
+# --------------------------------------------------------------------------- #
+@dataclass
+class ParallelRunStats:
+    """Execution statistics of one parallel walk run."""
+
+    num_workers: int
+    wall_seconds: float = 0.0
+    #: Per-shard CPU time spent inside the sampling step handlers.
+    busy_seconds: List[float] = field(default_factory=list)
+    #: Samples served per shard (load accounting, includes retiring draws).
+    samples: List[int] = field(default_factory=list)
+    total_steps: int = 0
+    transfers: int = 0
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """The modelled parallel makespan: the busiest shard's CPU time.
+
+        On a host with fewer cores than workers the wall clock cannot show
+        shard parallelism, so throughput scaling is reported against this
+        critical path (the same device-model convention the fig12 experiment
+        uses for batched updates).
+        """
+        return max(self.busy_seconds) if self.busy_seconds else 0.0
+
+    def steps_per_second_wall(self) -> float:
+        return self.total_steps / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def steps_per_second_model(self) -> float:
+        critical = self.critical_path_seconds
+        return self.total_steps / critical if critical > 0 else 0.0
+
+
+class ParallelWalkRunner:
+    """Coordinator for shard-parallel walk execution.
+
+    Parameters
+    ----------
+    engine_name:
+        Registered engine (``bingo`` / ``knightking`` / ``gsampler`` /
+        ``flowwalker``); every worker builds its shard's slice of this engine.
+    graph:
+        The :class:`~repro.graph.dynamic_graph.DynamicGraph` snapshot to walk.
+        Call :meth:`refresh` after mutating it to re-export and rebuild.
+    num_workers:
+        Number of shards = worker processes.  One worker reproduces the
+        serial frontier bitwise (given the same seeds).
+    engine_seed:
+        Seed for every worker's engine construction (per-vertex sampler
+        streams derive from it exactly as in a serially built engine).
+    strategy:
+        Partitioning strategy (default ``degree_balanced``).
+    """
+
+    def __init__(
+        self,
+        engine_name: str,
+        graph,
+        num_workers: int,
+        *,
+        engine_seed: int = 2025,
+        engine_kwargs: Optional[dict] = None,
+        strategy: str = "degree_balanced",
+        partition: Optional[OneDimPartition] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        check_positive_int(num_workers, "num_workers")
+        self.engine_name = engine_name
+        self.num_workers = int(num_workers)
+        self.engine_seed = int(engine_seed)
+        self.engine_kwargs = dict(engine_kwargs or {})
+        self.strategy = strategy
+        if partition is not None and partition.num_parts != self.num_workers:
+            raise ValueError(
+                f"precomputed partition has {partition.num_parts} parts, "
+                f"need {self.num_workers}"
+            )
+        self.partition: OneDimPartition = (
+            partition
+            if partition is not None
+            else partition_graph(graph, self.num_workers, strategy=strategy)
+        )
+        self.store = SharedGraphShards.create(graph, self.partition)
+        self._owner = self.partition.owner_for(self.store.num_vertices)
+        self.tracker = MultiDeviceTracker(self._owner, self.num_workers)
+        self.last_stats: Optional[ParallelRunStats] = None
+        self.build_seconds: List[float] = [0.0] * self.num_workers
+        self._closed = False
+        self._run_counter = 0
+
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        context = mp.get_context(start_method)
+        self._inboxes = [context.Queue() for _ in range(self.num_workers)]
+        self._outbox = context.Queue()
+        self._workers = []
+        handle = self.store.handle()
+        for shard in range(self.num_workers):
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(
+                    shard,
+                    self.num_workers,
+                    engine_name,
+                    self.engine_kwargs,
+                    self.engine_seed,
+                    handle,
+                    self._inboxes[shard],
+                    self._outbox,
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._workers.append(process)
+        self._await_ready()
+
+    # ------------------------------------------------------------------ #
+    # pool management
+    # ------------------------------------------------------------------ #
+    def _collect(self) -> tuple:
+        try:
+            reply = self._outbox.get(timeout=_REPLY_TIMEOUT)
+        except Exception as exc:
+            self.close()
+            raise ParallelExecutionError(
+                f"timed out waiting for shard workers ({exc!r})"
+            ) from exc
+        if reply[0] == "error":
+            _, shard, text = reply
+            self.close()
+            raise ParallelExecutionError(
+                f"shard worker {shard} failed:\n{text}"
+            )
+        return reply
+
+    def _await_ready(self) -> None:
+        for _ in range(self.num_workers):
+            reply = self._collect()
+            if reply[0] != "ready":  # pragma: no cover - protocol error
+                raise ParallelExecutionError(f"unexpected worker reply {reply[0]!r}")
+            _, shard, build_seconds = reply
+            self.build_seconds[shard] = float(build_seconds)
+
+    def refresh(self, graph) -> None:
+        """Re-export a mutated graph and rebuild every shard engine.
+
+        The pool stays up; workers attach the new shared columns, rebuild
+        their shard's sampling state from the same engine seed, and drop the
+        old mapping.  Cumulative transfer statistics are preserved.
+        """
+        self._require_open()
+        new_partition = partition_graph(graph, self.num_workers, strategy=self.strategy)
+        new_store = SharedGraphShards.create(graph, new_partition)
+        handle = new_store.handle()
+        for inbox in self._inboxes:
+            inbox.put(("refresh", handle))
+        old_store = self.store
+        self.partition = new_partition
+        self.store = new_store
+        self._owner = new_partition.owner_for(new_store.num_vertices)
+        self.tracker.update_owner(self._owner)
+        self._await_ready()
+        old_store.close()
+
+    def close(self) -> None:
+        """Shut the pool down and release the shared memory."""
+        if self._closed:
+            return
+        self._closed = True
+        for inbox in self._inboxes:
+            try:
+                inbox.put(("stop",))
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for process in self._workers:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5)
+        self.store.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ParallelExecutionError("the parallel walk runner has been closed")
+
+    def __enter__(self) -> "ParallelWalkRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertices in the currently exported snapshot."""
+        return self.store.num_vertices
+
+    # ------------------------------------------------------------------ #
+    # stepping machinery
+    # ------------------------------------------------------------------ #
+    def _run_seed(self, rng: AnyRngSource) -> int:
+        """Derive the walk seed like the serial frontier's rng coercion.
+
+        ``int`` and ``random.Random`` sources reproduce the serial stream
+        exactly; a ``numpy.random.Generator`` only seeds a derived stream
+        (the live object cannot be shared with worker processes).
+        """
+        import random
+
+        if rng is None:
+            return int(np.random.default_rng().integers(0, 1 << 63))
+        if isinstance(rng, bool):
+            raise TypeError("walk seed must be an int, Random, Generator, or None")
+        if isinstance(rng, (int, np.integer)):
+            return int(rng)
+        if isinstance(rng, random.Random):
+            # Matches coerce_np_rng: default_rng(rng.getrandbits(64)).
+            return rng.getrandbits(64)
+        if isinstance(rng, np.random.Generator):
+            return int(rng.integers(0, 1 << 63))
+        raise TypeError(f"unsupported walk rng source {type(rng)!r}")
+
+    def _begin(self, mode: str, run_seed: int, params: dict) -> None:
+        self._run_counter += 1
+        for inbox in self._inboxes:
+            inbox.put(("begin", run_seed, mode, params))
+
+    def _dispatch(
+        self,
+        walkers: np.ndarray,
+        vertices: np.ndarray,
+        extras: Optional[Dict[int, dict]] = None,
+        stats: Optional[ParallelRunStats] = None,
+    ) -> List[tuple]:
+        """Route the frontier slice of every shard through its hand-off queue.
+
+        ``walkers`` arrive in ascending order; the stable owner sort keeps
+        each shard's slice ascending too, which is what the serial drivers'
+        generator call order expects in the single-shard case.
+        """
+        limit = len(self._owner)
+        if limit == 0:
+            owners = np.zeros(len(vertices), dtype=np.int64)
+        else:
+            owners = self._owner[np.clip(vertices, 0, limit - 1)]
+            outside = (vertices < 0) | (vertices >= limit)
+            if outside.any():
+                # Walkers parked on vertices outside the exported snapshot
+                # retire wherever they are routed (-1 draw); send them
+                # round-robin so no shard becomes a dumping ground.
+                owners = np.where(
+                    outside, np.abs(vertices) % self.num_workers, owners
+                )
+        order = np.argsort(owners, kind="stable")
+        sorted_owners = owners[order]
+        boundaries = np.flatnonzero(sorted_owners[1:] != sorted_owners[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [len(order)]))
+        groups = 0
+        for start, stop in zip(starts.tolist(), stops.tolist()):
+            shard = int(sorted_owners[start])
+            members = order[start:stop]
+            ids = walkers[members]
+            payload = None
+            if extras is not None:
+                payload = {
+                    key: (value[members] if isinstance(value, np.ndarray) else value)
+                    for key, value in extras.items()
+                }
+            self._inboxes[shard].put(("step", ids, vertices[members], payload))
+            groups += 1
+        replies = []
+        for _ in range(groups):
+            reply = self._collect()
+            if reply[0] != "step":  # pragma: no cover - protocol error
+                raise ParallelExecutionError(f"unexpected worker reply {reply[0]!r}")
+            _, shard, stepped, draws, killed, busy = reply
+            if stats is not None:
+                stats.busy_seconds[shard] += float(busy)
+                stats.samples[shard] += int(len(stepped) + len(killed))
+            replies.append((shard, stepped, draws, killed))
+        return replies
+
+    def _new_stats(self) -> ParallelRunStats:
+        return ParallelRunStats(
+            num_workers=self.num_workers,
+            busy_seconds=[0.0] * self.num_workers,
+            samples=[0] * self.num_workers,
+        )
+
+    def _finish(
+        self, frontier: WalkFrontier, stats: ParallelRunStats, wall_start: float
+    ) -> BatchedWalks:
+        result = frontier.finish()
+        stats.wall_seconds = time.perf_counter() - wall_start
+        stats.total_steps = result.total_steps
+        self.last_stats = stats
+        return result
+
+    # ------------------------------------------------------------------ #
+    # application drivers (shard-parallel twins of walks.frontier)
+    # ------------------------------------------------------------------ #
+    def run_deepwalk(
+        self,
+        starts: Sequence[int],
+        walk_length: int,
+        *,
+        rng: AnyRngSource = None,
+    ) -> BatchedWalks:
+        """DeepWalk for every start vertex, executed shard-parallel."""
+        self._require_open()
+        run_seed = self._run_seed(rng)
+        self._begin("deepwalk", run_seed, {})
+        stats = self._new_stats()
+        wall_start = time.perf_counter()
+        frontier = WalkFrontier(None, starts, walk_length, rng=0)
+        for _ in range(walk_length):
+            walkers = frontier.alive_walkers()
+            if len(walkers) == 0:
+                break
+            replies = self._dispatch(
+                walkers, frontier.current[walkers], stats=stats
+            )
+            stepped = np.concatenate([reply[1] for reply in replies])
+            draws = np.concatenate([reply[2] for reply in replies])
+            stats.transfers += self.tracker.record_frontier(
+                frontier.current[stepped], draws
+            )
+            frontier.advance(stepped, draws)
+        return self._finish(frontier, stats, wall_start)
+
+    def run_ppr(
+        self,
+        starts: Sequence[int],
+        *,
+        termination_probability: float,
+        max_steps: int,
+        rng: AnyRngSource = None,
+    ) -> BatchedWalks:
+        """Terminating (PPR) walks executed shard-parallel."""
+        self._require_open()
+        if not 0.0 < termination_probability <= 1.0:
+            raise ValueError("termination_probability must lie in (0, 1]")
+        run_seed = self._run_seed(rng)
+        self._begin(
+            "ppr", run_seed, {"termination_probability": float(termination_probability)}
+        )
+        stats = self._new_stats()
+        wall_start = time.perf_counter()
+        frontier = WalkFrontier(None, starts, max_steps, rng=0)
+        for _ in range(max_steps):
+            walkers = frontier.alive_walkers()
+            if len(walkers) == 0:
+                break
+            replies = self._dispatch(
+                walkers, frontier.current[walkers], stats=stats
+            )
+            killed = np.concatenate([reply[3] for reply in replies])
+            if len(killed):
+                frontier.kill(killed)
+            stepped = np.concatenate([reply[1] for reply in replies])
+            if len(stepped) == 0:
+                break
+            draws = np.concatenate([reply[2] for reply in replies])
+            stats.transfers += self.tracker.record_frontier(
+                frontier.current[stepped], draws
+            )
+            frontier.advance(stepped, draws)
+        return self._finish(frontier, stats, wall_start)
+
+    def run_node2vec(
+        self,
+        starts: Sequence[int],
+        walk_length: int,
+        *,
+        p: float,
+        q: float,
+        rng: AnyRngSource = None,
+    ) -> BatchedWalks:
+        """node2vec (static draw + shard-local rejection) executed shard-parallel."""
+        self._require_open()
+        if p <= 0 or q <= 0:
+            raise ValueError("node2vec hyper-parameters p and q must be positive")
+        run_seed = self._run_seed(rng)
+        self._begin("node2vec", run_seed, {"p": float(p), "q": float(q)})
+        stats = self._new_stats()
+        wall_start = time.perf_counter()
+        frontier = WalkFrontier(None, starts, walk_length, rng=0)
+        previous = np.full(len(frontier.current), -1, dtype=np.int64)
+        for step in range(walk_length):
+            walkers = frontier.alive_walkers()
+            if len(walkers) == 0:
+                break
+            replies = self._dispatch(
+                walkers,
+                frontier.current[walkers],
+                extras={"previous": previous[walkers], "first_step": step == 0},
+                stats=stats,
+            )
+            ids = np.concatenate([reply[1] for reply in replies])
+            draws = np.concatenate([reply[2] for reply in replies])
+            stepped = ids[draws >= 0]
+            previous[stepped] = frontier.current[stepped]
+            stats.transfers += self.tracker.record_frontier(
+                frontier.current[ids], draws
+            )
+            frontier.advance(ids, draws)
+        return self._finish(frontier, stats, wall_start)

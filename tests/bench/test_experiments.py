@@ -198,3 +198,68 @@ class TestFigure16:
         assert entry["flowwalker_sampling_seconds"] > 0
         # Bingo's per-sample cost beats FlowWalker's O(d) scan.
         assert entry["bingo_sampling_seconds"] < entry["flowwalker_sampling_seconds"] * 5
+
+
+class TestScaleWorkers:
+    def test_scaling_curve_structure(self):
+        report = experiments.scale_workers(
+            dataset="AM",
+            engines=("bingo", "flowwalker"),
+            worker_counts=(1, 2),
+            walk_length=3,
+            num_walkers=64,
+            rounds=1,
+        )
+        assert report["worker_counts"] == [1, 2]
+        assert report["num_walkers"] == 64
+        for engine in ("bingo", "flowwalker"):
+            rows = report["engines"][engine]
+            assert set(rows) == {1, 2}
+            for row in rows.values():
+                assert row["steps"] > 0
+                assert row["steps_per_second"] > 0
+                assert row["critical_path_seconds"] > 0
+                assert row["balance"] >= 1.0
+            assert rows[1]["speedup_vs_1"] == pytest.approx(1.0)
+            assert rows[2]["edge_cut"] > 0
+
+    def test_rejects_bad_configuration(self):
+        from repro.errors import BenchmarkError
+
+        with pytest.raises(BenchmarkError):
+            experiments.scale_workers(worker_counts=())
+        with pytest.raises(BenchmarkError):
+            experiments.scale_workers(worker_counts=(0, 2))
+        with pytest.raises(BenchmarkError):
+            experiments.scale_workers(rounds=0)
+
+
+class TestHarnessWorkers:
+    def test_run_evaluation_with_shard_parallel_walks(self):
+        from repro.bench.harness import run_evaluation
+
+        settings = EvaluationSettings(
+            batch_size=40,
+            num_batches=2,
+            walk_length=4,
+            num_walkers=16,
+            frontier_walks=True,
+            workers=2,
+        )
+        result = run_evaluation("bingo", "AM", "deepwalk", settings=settings, rng=3)
+        assert result.total_walk_steps > 0
+        assert result.total_updates == 80
+
+    def test_run_evaluation_rejects_zero_workers(self):
+        from repro.bench.harness import run_evaluation
+
+        settings = EvaluationSettings(workers=0)
+        with pytest.raises(ValueError):
+            run_evaluation("bingo", "AM", "deepwalk", settings=settings, rng=3)
+
+    def test_run_evaluation_rejects_workers_without_frontier(self):
+        from repro.bench.harness import run_evaluation
+
+        settings = EvaluationSettings(workers=2, frontier_walks=False)
+        with pytest.raises(ValueError):
+            run_evaluation("bingo", "AM", "deepwalk", settings=settings, rng=3)

@@ -47,3 +47,80 @@ class TestRecordStep:
         _, rt = runtime
         assert rt.stats.transfer_rate() == 0.0
         assert rt.stats.load_imbalance() == 1.0 or rt.stats.load_imbalance() >= 0
+
+
+class TestMultiDeviceTracker:
+    def test_frontier_matches_scalar_accounting(self):
+        import numpy as np
+
+        from repro.gpu.multi_device import MultiDeviceTracker
+
+        graph = power_law_graph(80, 3, rng=41)
+        partition = partition_graph(graph, 4)
+        vectorized = MultiDeviceTracker.for_partition(partition)
+        scalar = MultiDeviceTracker.for_partition(partition)
+
+        edges = list(graph.edges())[:60]
+        current = np.array([e.src for e in edges], dtype=np.int64)
+        nxt = np.array([e.dst for e in edges], dtype=np.int64)
+        # Retiring walkers (-1 draws) must contribute nothing.
+        current = np.concatenate([current, [0, 1]])
+        nxt = np.concatenate([nxt, [-1, -1]])
+
+        transfers = vectorized.record_frontier(current, nxt)
+        for e in edges:
+            scalar.record_step(e.src, e.dst)
+        assert vectorized.stats.steps == scalar.stats.steps == len(edges)
+        assert vectorized.stats.transfers == scalar.stats.transfers == transfers
+        assert vectorized.stats.per_device_steps == scalar.stats.per_device_steps
+
+    def test_empty_frontier(self):
+        import numpy as np
+
+        from repro.gpu.multi_device import MultiDeviceTracker
+
+        tracker = MultiDeviceTracker([0, 0, 1, 1], 2)
+        assert tracker.record_frontier(
+            np.array([0, 1]), np.array([-1, -1])
+        ) == 0
+        assert tracker.stats.steps == 0
+
+    def test_update_owner_keeps_stats(self):
+        from repro.gpu.multi_device import MultiDeviceTracker
+
+        tracker = MultiDeviceTracker([0, 1], 2)
+        tracker.record_step(0, 1)
+        tracker.update_owner([0, 0])
+        tracker.record_step(0, 1)
+        assert tracker.stats.steps == 2
+        assert tracker.stats.transfers == 1
+
+    def test_device_of_round_robin_tail(self):
+        from repro.gpu.multi_device import MultiDeviceTracker
+
+        tracker = MultiDeviceTracker([0, 1, 0], 2)
+        assert tracker.device_of(7) == 7 % 2
+
+    def test_record_frontier_matches_scalar_beyond_owner_column(self):
+        # Vertices created after partitioning must not crash the vectorized
+        # path; both paths use the same round-robin fallback.
+        import numpy as np
+
+        from repro.gpu.multi_device import MultiDeviceTracker
+
+        vectorized = MultiDeviceTracker([0, 1], 2)
+        scalar = MultiDeviceTracker([0, 1], 2)
+        current = np.array([0, 5, 4])
+        nxt = np.array([5, 0, 1])
+        transfers = vectorized.record_frontier(current, nxt)
+        for c, n in zip(current.tolist(), nxt.tolist()):
+            scalar.record_step(c, n)
+        assert vectorized.stats.steps == scalar.stats.steps == 3
+        assert vectorized.stats.transfers == scalar.stats.transfers == transfers
+        assert vectorized.stats.per_device_steps == scalar.stats.per_device_steps
+
+    def test_rejects_zero_devices(self):
+        from repro.gpu.multi_device import MultiDeviceTracker
+
+        with pytest.raises(ValueError):
+            MultiDeviceTracker([0], 0)

@@ -49,3 +49,89 @@ class TestPartitionGraph:
     def test_invalid_part_count(self, graph):
         with pytest.raises(ValueError):
             partition_graph(graph, 0)
+
+
+class TestDegreeBalancedStrategy:
+    def test_every_vertex_assigned(self, graph):
+        partition = partition_graph(graph, 4, strategy="degree_balanced")
+        assert len(partition.owner) == graph.num_vertices
+        assert sum(len(group) for group in partition.vertices) == graph.num_vertices
+
+    def test_arc_balance_is_tight(self, graph):
+        partition = partition_graph(graph, 4, strategy="degree_balanced")
+        # LPT assignment should sit very close to a perfect arc split.
+        assert partition.balance(graph) < 1.2
+
+    def test_deterministic(self, graph):
+        first = partition_graph(graph, 3, strategy="degree_balanced")
+        second = partition_graph(graph, 3, strategy="degree_balanced")
+        assert first.owner == second.owner
+
+
+class TestEdgeCaseFixes:
+    def test_empty_graph(self):
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        empty = DynamicGraph(0)
+        for strategy in ("contiguous", "round_robin", "degree_balanced"):
+            partition = partition_graph(empty, 3, strategy=strategy)
+            assert partition.edge_cut(empty) == 0
+            assert partition.balance(empty) == pytest.approx(1.0)
+
+    def test_edgeless_graph_splits_evenly(self):
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        edgeless = DynamicGraph(8)
+        partition = partition_graph(edgeless, 3, strategy="contiguous")
+        sizes = [len(group) for group in partition.vertices]
+        assert max(sizes) - min(sizes) <= 1
+        assert partition.balance(edgeless) == pytest.approx(1.0)
+
+    def test_trailing_isolated_vertices(self):
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        graph = DynamicGraph(6)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        partition = partition_graph(graph, 3, strategy="contiguous")
+        assert partition.edge_cut(graph) >= 0
+        assert partition.balance(graph) >= 1.0
+        assert all(0 <= part < 3 for part in partition.owner)
+
+    def test_more_parts_than_vertices(self):
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        graph = DynamicGraph.from_edges([(0, 1, 1.0)])
+        partition = partition_graph(graph, 5)
+        assert partition.edge_cut(graph) >= 0
+        assert partition.balance(graph) >= 1.0
+
+    def test_graph_grown_after_partitioning(self):
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        graph = DynamicGraph.from_edges([(0, 1, 1.0), (1, 0, 1.0)])
+        partition = partition_graph(graph, 2)
+        graph.ensure_vertices(5)
+        graph.add_edge(4, 0)
+        # Used to raise IndexError; new vertices fall back to round-robin.
+        assert partition.edge_cut(graph) >= 1
+        assert partition.balance(graph) > 0
+        assert partition.part_of(4) == 4 % 2
+
+    def test_zero_parts_rejected(self):
+        from repro.graph.dynamic_graph import DynamicGraph
+        from repro.graph.partition import OneDimPartition
+
+        graph = DynamicGraph.from_edges([(0, 1, 1.0)])
+        broken = OneDimPartition(num_parts=0, owner=[], vertices=[])
+        with pytest.raises(ValueError):
+            broken.balance(graph)
+        with pytest.raises(ValueError):
+            broken.edge_cut(graph)
+        with pytest.raises(ValueError):
+            broken.part_of(0)
+
+    def test_negative_vertex_rejected(self, graph):
+        partition = partition_graph(graph, 2)
+        with pytest.raises(ValueError):
+            partition.part_of(-1)

@@ -33,13 +33,19 @@ def test_batched_frontier_beats_scalar_loop_by_2x():
     # Warm the fused frontier tables (one-off build, amortized in steady state).
     run_deepwalk(engine, config, starts=starts, frontier=True, rng=0)
 
-    scalar_start = time.perf_counter()
-    scalar = run_deepwalk(engine, config, starts=starts)
-    scalar_seconds = time.perf_counter() - scalar_start
+    # Best-of-3 timings: a single measurement is at the mercy of the host
+    # scheduler on small shared CI machines and flakes spuriously.
+    scalar_seconds = float("inf")
+    for _ in range(3):
+        scalar_start = time.perf_counter()
+        scalar = run_deepwalk(engine, config, starts=starts)
+        scalar_seconds = min(scalar_seconds, time.perf_counter() - scalar_start)
 
-    frontier_start = time.perf_counter()
-    batched = run_deepwalk(engine, config, starts=starts, frontier=True, rng=1)
-    frontier_seconds = time.perf_counter() - frontier_start
+    frontier_seconds = float("inf")
+    for _ in range(3):
+        frontier_start = time.perf_counter()
+        batched = run_deepwalk(engine, config, starts=starts, frontier=True, rng=1)
+        frontier_seconds = min(frontier_seconds, time.perf_counter() - frontier_start)
 
     # Identical workload, both paths completed it.
     assert batched.num_walks == scalar.num_walks == len(starts)

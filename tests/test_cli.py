@@ -26,9 +26,21 @@ class TestRun:
         payload = json.loads(capsys.readouterr().out)
         assert len(payload) == 5
 
-    def test_unknown_experiment_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["run", "bogus"])
+    def test_unknown_experiment_returns_nonzero_with_message(self, capsys):
+        # Used to escape as a bare SystemExit from argparse choices; now a
+        # clean non-zero return with the available experiments listed.
+        assert main(["run", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "scale" in err
+
+    def test_workers_flag_rejected_outside_scale(self, capsys):
+        assert main(["run", "ingest", "--workers", "2"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_scale_rejects_nonpositive_workers(self, capsys):
+        assert main(["run", "scale", "--workers", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
 
     def test_run_ingest_writes_perf_trajectory(self, capsys, tmp_path):
         output = tmp_path / "BENCH_PR2.json"
@@ -86,3 +98,62 @@ class TestCompare:
         output = capsys.readouterr().out
         for engine in ("bingo", "knightking", "gsampler", "flowwalker"):
             assert engine in output
+
+    def test_compare_rejects_zero_workers(self, capsys):
+        assert main(["compare", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_compare_rejects_workers_without_frontier(self, capsys):
+        assert main(["compare", "--workers", "2"]) == 2
+        assert "--frontier" in capsys.readouterr().err
+
+    def test_compare_shard_parallel(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset", "AM",
+                "--application", "deepwalk",
+                "--batch-size", "30",
+                "--num-batches", "1",
+                "--walk-length", "3",
+                "--num-walkers", "8",
+                "--frontier",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        for engine in ("bingo", "knightking", "gsampler", "flowwalker"):
+            assert engine in output
+
+
+class TestScale:
+    def test_run_scale_writes_bench_pr3(self, capsys, tmp_path):
+        output = tmp_path / "BENCH_PR3.json"
+        code = main(
+            [
+                "run", "scale",
+                "--datasets", "AM",
+                "--workers", "1", "2",
+                "--rounds", "1",
+                "--walk-length", "3",
+                "--num-walkers", "48",
+                "--output", str(output),
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        on_disk = json.loads(output.read_text())
+        assert payload == on_disk
+        assert payload["worker_counts"] == [1, 2]
+        engines = payload["engines"]
+        assert set(engines) == {"bingo", "knightking", "gsampler", "flowwalker"}
+        for rows in engines.values():
+            for row in rows.values():
+                assert row["steps"] > 0
+                assert row["steps_per_second"] > 0
+                assert row["wall_steps_per_second"] > 0
+            assert rows["1"]["speedup_vs_1"] == pytest.approx(1.0)
+            assert rows["1"]["transfer_rate"] == 0.0
+            assert rows["2"]["transfer_rate"] > 0.0

@@ -2,6 +2,8 @@
 
 import time
 
+import pytest
+
 from repro.utils.timing import Stopwatch, TimeBreakdown
 
 
@@ -64,3 +66,51 @@ class TestTimeBreakdown:
             pass
         assert breakdown.get("phase") >= 0.0
         assert "phase" in breakdown.phases
+
+
+class TestPhaseTimer:
+    def test_round_summaries_do_not_double_count(self):
+        from repro.utils.timing import PhaseTimer
+
+        timer = PhaseTimer()
+        timer.add("walk", 1.0)
+        first = timer.finish_round()
+        timer.add("walk", 0.25)
+        second = timer.finish_round()
+        # Reusing the same instance across rounds used to accumulate: the
+        # second summary would have reported 1.25 instead of 0.25.
+        assert first["walk"] == pytest.approx(1.0)
+        assert second["walk"] == pytest.approx(0.25)
+        assert timer.totals()["walk"] == pytest.approx(1.25)
+        assert timer.rounds_finished == 2
+
+    def test_measure_accumulates_into_current_round(self):
+        from repro.utils.timing import PhaseTimer
+
+        timer = PhaseTimer()
+        with timer.measure("sampling"):
+            pass
+        with timer.measure("sampling"):
+            pass
+        summary = timer.round_so_far()
+        assert summary["sampling"] >= 0.0
+        finished = timer.finish_round()
+        assert finished["sampling"] == pytest.approx(summary["sampling"])
+        assert timer.round_so_far() == {}
+
+    def test_totals_include_open_round(self):
+        from repro.utils.timing import PhaseTimer
+
+        timer = PhaseTimer()
+        timer.add("a", 1.0)
+        timer.finish_round()
+        timer.add("a", 2.0)  # open round, not finished
+        assert timer.totals()["a"] == pytest.approx(3.0)
+        assert timer.total_seconds() == pytest.approx(3.0)
+
+    def test_empty_round(self):
+        from repro.utils.timing import PhaseTimer
+
+        timer = PhaseTimer()
+        assert timer.finish_round() == {}
+        assert timer.total_seconds() == 0.0

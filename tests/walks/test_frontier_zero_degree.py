@@ -1,0 +1,119 @@
+"""Regression tests: walkers on vertices that lose all edges mid-walk.
+
+A walker whose current vertex loses its last out-edge between frontier steps
+(via a delete batch or streaming deletes) must retire into the ``-1``-padded
+matrix — never crash, and never sample from a stale or out-of-range view.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engines.registry import create_engine
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.update_batch import UpdateBatch
+from repro.graph.update_stream import GraphUpdate, UpdateKind
+from repro.walks.frontier import WalkFrontier
+
+ENGINES = ("bingo", "knightking", "gsampler", "flowwalker")
+
+
+def _ring_graph():
+    # 0 -> 1 -> 2 -> {0, 1}; vertex 1 has a single out-edge.
+    return DynamicGraph.from_edges(
+        [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 1, 2.0)]
+    )
+
+
+def _drain(frontier, steps):
+    for _ in range(steps):
+        walkers = frontier.alive_walkers()
+        if len(walkers) == 0:
+            break
+        frontier.advance(walkers, frontier.propose(walkers))
+    return frontier.finish()
+
+
+class TestLastEdgeDeletedBetweenSteps:
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_delete_batch_retires_walkers(self, engine_name):
+        engine = create_engine(engine_name, rng=7)
+        engine.build(_ring_graph())
+        frontier = WalkFrontier(engine, [0, 0, 1], 6, rng=3)
+        walkers = frontier.alive_walkers()
+        frontier.advance(walkers, frontier.propose(walkers))
+        # Everyone who stepped from 0 now sits on 1; delete 1's only edge.
+        engine.apply_batch(
+            UpdateBatch.from_updates([GraphUpdate(UpdateKind.DELETE, 1, 2)])
+        )
+        result = _drain(frontier, 5)
+        for row in result.matrix:
+            # Once a walker reaches vertex 1 after the delete, it retires.
+            positions = np.nonzero(row == 1)[0]
+            if len(positions) and positions[0] == 1:
+                assert (row[positions[0] + 1 :] == -1).all()
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_streaming_deletes_retire_walkers(self, engine_name):
+        engine = create_engine(engine_name, rng=7)
+        engine.build(_ring_graph())
+        frontier = WalkFrontier(engine, [1, 1], 6, rng=3)
+        walkers = frontier.alive_walkers()
+        frontier.advance(walkers, frontier.propose(walkers))  # both now on 2
+        engine.apply_streaming_update(GraphUpdate(UpdateKind.DELETE, 2, 0))
+        engine.apply_streaming_update(GraphUpdate(UpdateKind.DELETE, 2, 1))
+        result = _drain(frontier, 5)
+        assert result.matrix.shape[1] == 3
+        assert (result.matrix[:, 2] == -1).all()
+        assert frontier.alive_count() == 0
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_cancelled_insert_delete_leaves_vertex_empty(self, engine_name):
+        engine = create_engine(engine_name, rng=7)
+        engine.build(_ring_graph())
+        frontier = WalkFrontier(engine, [0], 6, rng=3)
+        walkers = frontier.alive_walkers()
+        frontier.advance(walkers, frontier.propose(walkers))  # on vertex 1
+        # The batch nets out to deleting 1's only edge: the inserted edge is
+        # deleted within the same batch (duplicate insert+delete pair).
+        engine.apply_batch(
+            UpdateBatch.from_updates(
+                [
+                    GraphUpdate(UpdateKind.INSERT, 1, 0, 3.0),
+                    GraphUpdate(UpdateKind.DELETE, 1, 0),
+                    GraphUpdate(UpdateKind.DELETE, 1, 2),
+                ]
+            )
+        )
+        result = _drain(frontier, 5)
+        assert result.matrix[0, 1] == 1
+        assert (result.matrix[0, 2:] == -1).all()
+
+
+class TestOutOfRangeQueries:
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_out_of_range_start_retires(self, engine_name):
+        engine = create_engine(engine_name, rng=7)
+        engine.build(_ring_graph())
+        frontier = WalkFrontier(engine, [0, 99], 4, rng=3)
+        walkers = frontier.alive_walkers()
+        frontier.advance(walkers, frontier.propose(walkers))
+        assert frontier.matrix[1, 1] == -1
+        assert not frontier.alive[1]
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_negative_vertex_draws_minus_one(self, engine_name):
+        # Negative ids are the walk matrix's retired-walker padding; they
+        # must never wrap around and sample another vertex's view.
+        engine = create_engine(engine_name, rng=7)
+        engine.build(_ring_graph())
+        draws = engine.sample_frontier(np.array([-1, 0, -3]), rng=5)
+        assert draws[0] == -1 and draws[2] == -1
+        assert draws[1] == 1
+
+    def test_scalar_sampler_out_of_range(self):
+        # FlowWalker's scalar draw used to raise VertexNotFoundError where
+        # every other engine retired the walker.
+        engine = create_engine("flowwalker", rng=7)
+        engine.build(_ring_graph())
+        assert engine.sample_neighbor(99) is None
+        assert (engine.sample_neighbors(99, 3) == -1).all()

@@ -1,0 +1,171 @@
+"""Tests for shard-parallel walk execution (repro.walks.parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.engines.registry import create_engine
+from repro.errors import ParallelExecutionError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import power_law_graph
+from repro.graph.update_stream import GraphUpdate, UpdateKind
+from repro.walks.frontier import (
+    run_frontier_deepwalk,
+    run_frontier_node2vec,
+    run_frontier_ppr,
+)
+from repro.walks.parallel import ParallelWalkRunner
+
+ENGINES = ("bingo", "knightking", "gsampler", "flowwalker")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_graph(80, 3, rng=13)
+
+
+@pytest.fixture(scope="module")
+def starts(graph):
+    return [v for v in range(graph.num_vertices) if graph.degree(v) > 0][:48]
+
+
+def _walks_are_valid(graph, matrix):
+    """Every consecutive pair in every walk must be a live edge."""
+    for row in matrix:
+        for current, nxt in zip(row, row[1:]):
+            if nxt < 0:
+                break
+            assert graph.has_edge(int(current), int(nxt))
+
+
+class TestSingleWorkerIdentity:
+    """One worker must reproduce the serial frontier bitwise (acceptance)."""
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_deepwalk_bitwise_identical(self, graph, starts, engine_name):
+        engine = create_engine(engine_name, rng=99)
+        engine.build(graph.copy())
+        serial = run_frontier_deepwalk(engine, starts, 8, rng=555)
+        with ParallelWalkRunner(engine_name, graph, 1, engine_seed=99) as runner:
+            parallel = runner.run_deepwalk(starts, 8, rng=555)
+        assert np.array_equal(serial.matrix, parallel.matrix)
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_ppr_and_node2vec_bitwise_identical(self, graph, starts, engine_name):
+        # One engine / one pool serving consecutive runs, mirroring how the
+        # persistent worker reuses its engine (FlowWalker's scalar fallback
+        # consumes engine-internal RNG, so run history must match too).
+        engine = create_engine(engine_name, rng=99)
+        engine.build(graph.copy())
+        serial_ppr = run_frontier_ppr(
+            engine, starts, termination_probability=0.15, max_steps=20, rng=556
+        )
+        serial_n2v = run_frontier_node2vec(
+            engine, starts, 8, p=0.5, q=2.0, rng=557
+        )
+        with ParallelWalkRunner(engine_name, graph, 1, engine_seed=99) as runner:
+            parallel_ppr = runner.run_ppr(
+                starts, termination_probability=0.15, max_steps=20, rng=556
+            )
+            parallel_n2v = runner.run_node2vec(starts, 8, p=0.5, q=2.0, rng=557)
+        assert np.array_equal(serial_ppr.matrix, parallel_ppr.matrix)
+        assert np.array_equal(serial_n2v.matrix, parallel_n2v.matrix)
+
+
+class TestMultiWorker:
+    def test_walks_valid_and_transfers_recorded(self, graph, starts):
+        with ParallelWalkRunner("bingo", graph, 2, engine_seed=99) as runner:
+            result = runner.run_deepwalk(starts, 8, rng=555)
+            _walks_are_valid(graph, result.matrix)
+            assert result.num_walks == len(starts)
+            stats = runner.last_stats
+            assert stats.total_steps == result.total_steps > 0
+            assert len(stats.busy_seconds) == 2
+            # A connected power-law graph split in two must hand off walkers.
+            assert runner.tracker.stats.transfers > 0
+            assert stats.samples[0] > 0 and stats.samples[1] > 0
+
+    def test_shard_engines_only_build_owned_state(self, graph):
+        with ParallelWalkRunner("bingo", graph, 2, engine_seed=99) as runner:
+            # Rebuild the same shard engine in-process and check the split.
+            view0 = runner.store.shard_view(0)
+            engine = create_engine("bingo", rng=99)
+            engine.build_shard(view0, view0.owned_vertices())
+            owned = set(view0.owned_vertices().tolist())
+            assert set(engine._samplers).issubset(owned)
+            total_with_edges = sum(
+                1 for v in range(graph.num_vertices) if graph.degree(v) > 0
+            )
+            assert 0 < len(engine._samplers) < total_with_edges
+
+    def test_ppr_and_node2vec_multi_worker_valid(self, graph, starts):
+        with ParallelWalkRunner("gsampler", graph, 3, engine_seed=99) as runner:
+            ppr = runner.run_ppr(
+                starts, termination_probability=0.2, max_steps=15, rng=558
+            )
+            n2v = runner.run_node2vec(starts, 6, p=0.5, q=2.0, rng=559)
+        _walks_are_valid(graph, ppr.matrix)
+        _walks_are_valid(graph, n2v.matrix)
+
+    def test_isolated_and_out_of_range_starts_retire(self, graph):
+        isolated = [v for v in range(graph.num_vertices) if graph.degree(v) == 0]
+        queries = (isolated[:1] or [0]) + [graph.num_vertices + 7]
+        with ParallelWalkRunner("knightking", graph, 2, engine_seed=99) as runner:
+            result = runner.run_deepwalk(queries, 5, rng=560)
+        assert result.matrix[-1, 0] == graph.num_vertices + 7
+        assert (result.matrix[-1, 1:] == -1).all()
+
+
+class TestRefresh:
+    def test_refresh_rebuilds_after_updates(self, graph):
+        mutable = graph.copy()
+        engine = create_engine("bingo", rng=99)
+        engine.build(mutable)
+        with ParallelWalkRunner("bingo", mutable, 2, engine_seed=99) as runner:
+            before = runner.run_deepwalk([0, 1, 2], 5, rng=561)
+            _walks_are_valid(mutable, before.matrix)
+            # Delete vertex 0's whole out-neighbourhood through the engine.
+            for dst in list(mutable.neighbors(0)):
+                engine.apply_streaming_update(
+                    GraphUpdate(UpdateKind.DELETE, 0, dst)
+                )
+            runner.refresh(mutable)
+            after = runner.run_deepwalk([0, 1, 2], 5, rng=562)
+            _walks_are_valid(mutable, after.matrix)
+            # The walker starting on the now-isolated vertex retires at once.
+            assert after.matrix[0, 0] == 0
+            assert (after.matrix[0, 1:] == -1).all()
+
+    def test_closed_runner_rejects_runs(self, graph):
+        runner = ParallelWalkRunner("flowwalker", graph, 1, engine_seed=99)
+        runner.close()
+        with pytest.raises(ParallelExecutionError):
+            runner.run_deepwalk([0], 3, rng=1)
+
+
+class TestEdgeCases:
+    def test_empty_start_set(self, graph):
+        with ParallelWalkRunner("flowwalker", graph, 2, engine_seed=99) as runner:
+            result = runner.run_deepwalk([], 5, rng=563)
+        assert result.num_walks == 0
+        assert result.total_steps == 0
+
+    def test_more_workers_than_busy_shards(self):
+        tiny = DynamicGraph.from_edges([(0, 1, 1.0), (1, 0, 1.0)])
+        with ParallelWalkRunner("bingo", tiny, 3, engine_seed=99) as runner:
+            result = runner.run_deepwalk([0, 1], 6, rng=564)
+        assert result.total_steps == 12
+        _walks_are_valid(tiny, result.matrix)
+
+    def test_invalid_parameters(self, graph):
+        with pytest.raises(ValueError):
+            ParallelWalkRunner("bingo", graph, 0)
+        from repro.graph.partition import partition_graph
+
+        mismatched = partition_graph(graph, 3)
+        with pytest.raises(ValueError):
+            ParallelWalkRunner("bingo", graph, 2, partition=mismatched)
+        with ParallelWalkRunner("bingo", graph, 1, engine_seed=99) as runner:
+            with pytest.raises(ValueError):
+                runner.run_ppr([0], termination_probability=0.0, max_steps=5)
+            with pytest.raises(ValueError):
+                runner.run_node2vec([0], 5, p=0.0, q=1.0)
