@@ -11,9 +11,31 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, is_dataclass
+from pathlib import Path
 from typing import Any, Callable
 
 import pytest
+
+_BENCHMARK_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Mark every paper-figure sweep in this directory as ``slow``.
+
+    The full-suite invocation still runs them; ``-m "not slow"`` (the CI
+    tier-1 job) skips the multi-second sweeps, and the nightly perf job
+    selects them with ``-m slow`` — the same convention the perf smokes in
+    ``tests/integration`` follow.
+    """
+    for item in items:
+        try:
+            in_benchmarks = Path(str(item.fspath)).resolve().is_relative_to(
+                _BENCHMARK_DIR
+            )
+        except (OSError, ValueError):  # pragma: no cover - defensive
+            in_benchmarks = False
+        if in_benchmarks:
+            item.add_marker(pytest.mark.slow)
 
 
 def run_once(benchmark, fn: Callable[[], Any]) -> Any:

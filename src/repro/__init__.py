@@ -82,6 +82,11 @@ from repro.walks import (
     run_ppr,
     run_simple_sampling,
 )
+from repro.serve import (
+    GraphService,
+    ServeResult,
+    WalkQuery,
+)
 
 __version__ = "1.0.0"
 
@@ -136,4 +141,8 @@ __all__ = [
     "run_node2vec",
     "run_ppr",
     "run_simple_sampling",
+    # serve
+    "GraphService",
+    "ServeResult",
+    "WalkQuery",
 ]

@@ -904,6 +904,187 @@ def fig16_piecewise(
 
 
 # --------------------------------------------------------------------------- #
+# Streaming serve — concurrent ingest + snapshot-isolated walk queries
+# --------------------------------------------------------------------------- #
+def streaming_serve(
+    *,
+    dataset: str = "LJ",
+    engines: Sequence[str] = SOTA_ENGINES,
+    application: str = "deepwalk",
+    workload: str = "mixed",
+    batch_size: int = 1000,
+    num_batches: int = 4,
+    walk_length: int = 12,
+    queries_per_round: int = 12,
+    walkers_per_query: int = 320,
+    workers: int = 1,
+    fuse_limit: Optional[int] = None,
+    fuse_window_seconds: float = 0.004,
+    seed: int = 79,
+) -> Dict[str, object]:
+    """Strict-alternation vs concurrent serve throughput per engine.
+
+    The identical mixed read/write workload — ``num_batches`` update batches,
+    each followed by a wave of ``queries_per_round`` walk queries of
+    ``walkers_per_query`` walkers — is executed twice per engine through the
+    same :class:`~repro.serve.GraphService` code path:
+
+    * ``alternation`` — sync mode: ingest a batch, then serve the wave one
+      query at a time (the strict update-then-walk loop every prior layer
+      runs).  Its duration is the serial sum of update and walk busy time.
+    * ``concurrent`` — async mode: the writer thread ingests and publishes
+      epochs while the dispatcher fuses each wave into one batched frontier
+      against the published snapshot.
+
+    Busy times are per-thread CPU seconds, so the concurrent cell reports
+    both the wall clock (which cannot overlap threads on a starved host)
+    and the two-device overlap model ``max(update_busy, query_busy)`` — the
+    same critical-path convention the fig12 and scale experiments use.
+    Fused queries are a *measured* win, not a modelled one: the dispatcher
+    really runs one frontier of ``queries * walkers`` walkers.
+    """
+    import os
+
+    from repro.serve import GraphService, WalkQuery
+
+    if queries_per_round < 1 or walkers_per_query < 1:
+        raise BenchmarkError("streaming serve needs at least one query and walker")
+    rng = ensure_rng(seed)
+    graph = build_dataset(dataset, rng=rng)
+    max_batch = max(1, graph.num_edges // (num_batches + 1))
+    batch_size = min(batch_size, max_batch)
+    stream = generate_update_stream(
+        graph,
+        batch_size=batch_size,
+        num_batches=num_batches,
+        workload=UpdateWorkload(workload),
+        rng=rng,
+    )
+    fuse = int(fuse_limit) if fuse_limit is not None else int(queries_per_round)
+
+    # Identical query workload for every engine and both modes: per-wave
+    # start sets and per-query seeds drawn once up front.
+    placement_rng = ensure_rng(seed + 1)
+    waves: List[List[WalkQuery]] = []
+    for _ in range(num_batches):
+        wave = []
+        for _ in range(queries_per_round):
+            starts = sample_start_vertices(
+                stream.initial_graph,
+                walkers_per_query,
+                rng=placement_rng.randrange(1 << 30),
+            )
+            wave.append(
+                WalkQuery(
+                    application=application,
+                    starts=starts,
+                    walk_length=walk_length,
+                    rng=placement_rng.randrange(1 << 30),
+                )
+            )
+        waves.append(wave)
+    total_queries = num_batches * queries_per_round
+
+    def run_mode(engine_name: str, concurrent: bool):
+        service = GraphService(
+            engine_name,
+            stream.initial_graph,
+            rng=seed + 2,
+            workers=workers if concurrent else 1,
+            sync=not concurrent,
+            max_pending_queries=max(total_queries, 2),
+            fuse_limit=fuse,
+            fuse_window_seconds=fuse_window_seconds,
+            service_seed=seed + 3,
+        )
+        tickets = []
+        wall_start = time.perf_counter()
+        try:
+            for batch, wave in zip(stream.batches, waves):
+                service.ingest(batch)
+                if concurrent:
+                    tickets.extend(service.submit_many(wave))
+                else:
+                    for query in wave:
+                        tickets.extend(service.submit_many([query]))
+            service.flush()
+            results = [ticket.result(timeout=600.0) for ticket in tickets]
+            wall_seconds = time.perf_counter() - wall_start
+            stats = service.stats
+        finally:
+            service.close()
+        return stats, results, wall_seconds
+
+    per_engine: Dict[str, Dict[str, object]] = {}
+    for engine_name in engines:
+        alt_stats, alt_results, alt_wall = run_mode(engine_name, concurrent=False)
+        alt_seconds = alt_stats.update_busy_seconds + alt_stats.query_busy_seconds
+        alt_steps = alt_stats.total_walk_steps
+
+        con_stats, con_results, con_wall = run_mode(engine_name, concurrent=True)
+        con_steps = con_stats.total_walk_steps
+        modelled = max(
+            con_stats.update_busy_seconds, con_stats.query_busy_seconds
+        )
+        percentiles = con_stats.latency_percentiles()
+
+        per_engine[engine_name] = {
+            "alternation_update_seconds": alt_stats.update_busy_seconds,
+            "alternation_walk_seconds": alt_stats.query_busy_seconds,
+            "alternation_seconds": alt_seconds,
+            "alternation_updates_per_second": (
+                stream.num_updates / alt_seconds if alt_seconds > 0 else float("inf")
+            ),
+            "alternation_steps_per_second": (
+                alt_steps / alt_seconds if alt_seconds > 0 else float("inf")
+            ),
+            "concurrent_update_busy_seconds": con_stats.update_busy_seconds,
+            "concurrent_query_busy_seconds": con_stats.query_busy_seconds,
+            "concurrent_modelled_seconds": modelled,
+            "concurrent_wall_seconds": con_wall,
+            "updates_per_second": (
+                stream.num_updates / modelled if modelled > 0 else float("inf")
+            ),
+            "steps_per_second": (
+                con_steps / modelled if modelled > 0 else float("inf")
+            ),
+            "concurrent_vs_alternation": (
+                alt_seconds / modelled if modelled > 0 else float("inf")
+            ),
+            "query_latency_p50_seconds": percentiles["p50"],
+            "query_latency_p99_seconds": percentiles["p99"],
+            "queries_served": con_stats.queries_served,
+            "mean_fused_queries": con_stats.mean_fused_queries(),
+            "epochs_published": con_stats.epochs_published,
+            "catchup_updates": con_stats.catchup_updates,
+            "total_walk_steps": con_steps,
+        }
+
+    return {
+        "dataset": dataset,
+        "application": application,
+        "workload": str(UpdateWorkload(workload)),
+        "batch_size": batch_size,
+        "num_batches": num_batches,
+        "total_updates": stream.num_updates,
+        "walk_length": walk_length,
+        "queries_per_round": queries_per_round,
+        "walkers_per_query": walkers_per_query,
+        "total_queries": total_queries,
+        "workers": workers,
+        "fuse_limit": fuse,
+        "host_cpus": os.cpu_count(),
+        "note": (
+            "busy seconds are per-thread CPU time; concurrent_modelled_seconds "
+            "= max(update_busy, query_busy) is the two-device overlap model "
+            "(same convention as fig12/scale), wall seconds are also reported; "
+            "query fusion is measured, not modelled"
+        ),
+        "engines": per_engine,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # Scaling curve — shard-parallel walk execution (Section 9.1)
 # --------------------------------------------------------------------------- #
 def scale_workers(

@@ -8,7 +8,7 @@ comparison.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Iterable, List, Mapping, Sequence
 
 from repro.bench.harness import EvaluationResult
 

@@ -21,12 +21,17 @@ import argparse
 import json
 import sys
 from dataclasses import asdict, is_dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.bench import experiments
 from repro.bench.harness import EvaluationSettings, compare_engines
 from repro.bench.reporting import format_table, summarize_results
-from repro.errors import BenchmarkError, EngineError, ParallelExecutionError
+from repro.errors import (
+    BenchmarkError,
+    EngineError,
+    ParallelExecutionError,
+    ServeError,
+)
 
 #: Experiment name -> callable returning a JSON-serialisable structure.
 EXPERIMENT_RUNNERS: Dict[str, Callable[..., Any]] = {
@@ -47,10 +52,15 @@ EXPERIMENT_RUNNERS: Dict[str, Callable[..., Any]] = {
     "frontier": experiments.frontier_throughput,
     "ingest": experiments.ingest_throughput,
     "scale": experiments.scale_workers,
+    "streaming": experiments.streaming_serve,
 }
 
 #: Experiments whose JSON output lands in a file by default (perf trajectory).
-DEFAULT_OUTPUT_FILES = {"ingest": "BENCH_PR2.json", "scale": "BENCH_PR3.json"}
+DEFAULT_OUTPUT_FILES = {
+    "ingest": "BENCH_PR2.json",
+    "scale": "BENCH_PR3.json",
+    "streaming": "BENCH_PR4.json",
+}
 
 
 def _to_jsonable(value: Any) -> Any:
@@ -94,26 +104,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workloads", nargs="+", default=None, help="update workloads (table3/fig12)"
     )
     run_parser.add_argument(
-        "--batch-size", type=int, default=None, help="updates per batch (ingest only)"
+        "--batch-size",
+        type=int,
+        default=None,
+        help="updates per batch (ingest/streaming)",
     )
     run_parser.add_argument(
-        "--num-batches", type=int, default=None, help="number of batches (ingest only)"
+        "--num-batches",
+        type=int,
+        default=None,
+        help="number of batches (ingest/streaming)",
     )
     run_parser.add_argument(
         "--workers",
         nargs="+",
         type=int,
         default=None,
-        help="worker counts to sweep (scale only)",
+        help="worker counts to sweep (scale), or one count (streaming)",
     )
     run_parser.add_argument(
-        "--walk-length", type=int, default=None, help="walk length (scale only)"
+        "--walk-length", type=int, default=None, help="walk length (scale/streaming)"
     )
     run_parser.add_argument(
         "--rounds", type=int, default=None, help="walk rounds per cell (scale only)"
     )
     run_parser.add_argument(
-        "--num-walkers", type=int, default=None, help="walkers per round (scale only)"
+        "--num-walkers",
+        type=int,
+        default=None,
+        help="walkers per round (scale) or per query (streaming)",
+    )
+    run_parser.add_argument(
+        "--queries-per-round",
+        type=int,
+        default=None,
+        help="walk queries submitted after each batch (streaming only)",
+    )
+    run_parser.add_argument(
+        "--engines",
+        nargs="+",
+        default=None,
+        help="engine subset to benchmark (streaming only)",
     )
     run_parser.add_argument(
         "--output",
@@ -165,18 +196,26 @@ def _run_experiment(args: argparse.Namespace) -> int:
             + ", ".join(sorted(EXPERIMENT_RUNNERS))
         )
     if args.workers is not None:
-        if args.experiment != "scale":
-            return _fail("--workers only applies to `run scale`")
+        if args.experiment not in {"scale", "streaming"}:
+            return _fail("--workers only applies to `run scale` / `run streaming`")
         if any(count < 1 for count in args.workers):
             return _fail("--workers counts must be positive integers")
-    for flag, value in (
-        ("--walk-length", args.walk_length),
-        ("--rounds", args.rounds),
-        ("--num-walkers", args.num_walkers),
+        if args.experiment == "streaming" and len(args.workers) != 1:
+            return _fail(
+                "`run streaming` serves with one worker pool; pass a single "
+                "--workers count"
+            )
+    for flag, value, experiments_allowed in (
+        ("--walk-length", args.walk_length, {"scale", "streaming"}),
+        ("--rounds", args.rounds, {"scale"}),
+        ("--num-walkers", args.num_walkers, {"scale", "streaming"}),
+        ("--queries-per-round", args.queries_per_round, {"streaming"}),
+        ("--engines", args.engines, {"streaming"}),
     ):
-        if value is not None and args.experiment != "scale":
+        if value is not None and args.experiment not in experiments_allowed:
             # Fail fast instead of silently benchmarking the defaults.
-            return _fail(f"{flag} only applies to `run scale`")
+            allowed = " / ".join(f"`run {name}`" for name in sorted(experiments_allowed))
+            return _fail(f"{flag} only applies to {allowed}")
     kwargs: Dict[str, Any] = {}
     if args.datasets is not None and args.experiment in {
         "table3", "fig11", "fig12", "fig13", "fig14", "fig16",
@@ -193,6 +232,28 @@ def _run_experiment(args: argparse.Namespace) -> int:
             kwargs["batch_size"] = args.batch_size
         if args.num_batches is not None:
             kwargs["num_batches"] = args.num_batches
+    if args.experiment == "streaming":
+        if args.datasets is not None:
+            if len(args.datasets) > 1:
+                return _fail(
+                    "`run streaming` serves a single dataset; "
+                    f"got {len(args.datasets)} datasets"
+                )
+            kwargs["dataset"] = args.datasets[0]
+        if args.engines is not None:
+            kwargs["engines"] = args.engines
+        if args.batch_size is not None:
+            kwargs["batch_size"] = args.batch_size
+        if args.num_batches is not None:
+            kwargs["num_batches"] = args.num_batches
+        if args.walk_length is not None:
+            kwargs["walk_length"] = args.walk_length
+        if args.num_walkers is not None:
+            kwargs["walkers_per_query"] = args.num_walkers
+        if args.queries_per_round is not None:
+            kwargs["queries_per_round"] = args.queries_per_round
+        if args.workers is not None:
+            kwargs["workers"] = args.workers[0]
     if args.experiment == "scale":
         if args.datasets is not None:
             if len(args.datasets) > 1:
@@ -271,7 +332,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_experiment(args)
         if args.command == "compare":
             return _run_compare(args)
-    except (BenchmarkError, EngineError, ParallelExecutionError) as exc:
+    except (BenchmarkError, EngineError, ParallelExecutionError, ServeError) as exc:
         return _fail(str(exc))
     parser.error(f"unknown command {args.command!r}")
     return 2

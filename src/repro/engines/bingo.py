@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from functools import partial
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -40,7 +40,7 @@ from repro.gpu.kernels import (
     normalize_vertex_updates,
 )
 from repro.graph.update_batch import UpdateBatch
-from repro.graph.update_stream import GraphUpdate, UpdateKind
+from repro.graph.update_stream import GraphUpdate
 from repro.utils.rng import RandomSource, spawn_rng
 
 

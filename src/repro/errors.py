@@ -101,3 +101,12 @@ class BenchmarkError(ReproError):
 
 class ParallelExecutionError(ReproError):
     """Raised when the shard-parallel walk runner or one of its workers fails."""
+
+
+class ServeError(ReproError):
+    """Raised when the streaming serve layer is misused or has failed.
+
+    Covers submissions to a closed :class:`~repro.serve.GraphService`,
+    writer-thread failures surfaced on :meth:`~repro.serve.GraphService.flush`,
+    and query tickets that were cancelled or timed out.
+    """

@@ -10,7 +10,7 @@ from *recycled* ones (served from the free list).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.errors import OutOfDeviceMemoryError

@@ -10,8 +10,7 @@ This module provides all of those generators behind one enum-driven factory.
 from __future__ import annotations
 
 import enum
-import math
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Sequence
 
 from repro.utils.rng import RandomSource, ensure_rng
 

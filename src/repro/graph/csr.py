@@ -9,7 +9,7 @@ updates").  The CSR form gives them a compact, cache-friendly substrate.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Sequence
 
 import numpy as np
 

@@ -17,7 +17,7 @@ match the originals in shape:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.graph.bias import BiasDistribution, degree_biases, make_bias_generator
 from repro.graph.dynamic_graph import DynamicGraph

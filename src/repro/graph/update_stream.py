@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.errors import DuplicateEdgeError, EdgeNotFoundError, UpdateError
 from repro.graph.dynamic_graph import DynamicGraph, Edge

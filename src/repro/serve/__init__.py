@@ -1,0 +1,23 @@
+"""Streaming serve layer: concurrent ingest + snapshot-isolated walk queries.
+
+:class:`GraphService` owns a dynamic graph plus per-engine sampler state
+behind an epoch-based snapshot: a writer thread applies update batches and
+atomically publishes the next epoch while walk queries — fused into batched
+frontiers — run against the previously published snapshot.
+"""
+
+from repro.serve.queries import (
+    QueryTicket,
+    ServeResult,
+    ServeStats,
+    WalkQuery,
+)
+from repro.serve.service import GraphService
+
+__all__ = [
+    "GraphService",
+    "QueryTicket",
+    "ServeResult",
+    "ServeStats",
+    "WalkQuery",
+]

@@ -1,0 +1,198 @@
+"""Query and result types for the streaming serve layer.
+
+A :class:`WalkQuery` describes one walk request (application, start
+vertices, length and hyper-parameters); :class:`GraphService.submit`
+wraps it in a :class:`QueryTicket` — a tiny future the caller waits on —
+and the dispatcher fuses compatible queries into one frontier run.  The
+resolved :class:`ServeResult` carries the dense walk matrix plus the
+epoch of the snapshot that served it, which is what the consistency
+tests check snapshot isolation against.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError, ServeError
+from repro.utils.rng import AnyRngSource
+from repro.walks.frontier import BatchedWalks
+
+#: Applications the serve layer understands (the paper's Table 3 set).
+SERVE_APPLICATIONS = ("deepwalk", "ppr", "node2vec")
+
+
+@dataclass
+class WalkQuery:
+    """One walk request against the currently published snapshot.
+
+    ``params`` carries the application hyper-parameters; missing entries
+    are resolved to the paper defaults the benchmark harness uses
+    (node2vec ``p=0.5, q=2``; PPR termination ``1/walk_length`` with a
+    ``4 * walk_length`` step cap) so service queries and harness walks
+    stay comparable.
+    """
+
+    application: str
+    starts: Sequence[int]
+    walk_length: int
+    #: Walk randomness.  Live generators are only honoured when the query
+    #: runs alone (sync mode / unfused); fused groups draw from a stream
+    #: derived from the service seed.
+    rng: AnyRngSource = None
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.application not in SERVE_APPLICATIONS:
+            raise ServeError(
+                f"unknown application {self.application!r}; available: "
+                + ", ".join(SERVE_APPLICATIONS)
+            )
+        if self.walk_length < 1:
+            raise ServeError("walk_length must be positive")
+
+    def resolved_params(self) -> Dict[str, float]:
+        """Hyper-parameters with the paper defaults filled in."""
+        params = dict(self.params)
+        if self.application == "node2vec":
+            params.setdefault("p", 0.5)
+            params.setdefault("q", 2.0)
+        elif self.application == "ppr":
+            params.setdefault("termination_probability", 1.0 / self.walk_length)
+            params.setdefault("max_steps", 4 * self.walk_length)
+        return params
+
+    def fuse_key(self) -> Tuple:
+        """Queries with equal keys may share one fused frontier run."""
+        return (
+            self.application,
+            self.walk_length,
+            tuple(sorted(self.resolved_params().items())),
+        )
+
+
+@dataclass
+class ServeResult:
+    """The resolved output of one walk query."""
+
+    walks: BatchedWalks
+    #: Epoch of the snapshot the query ran against.
+    epoch: int
+    #: Wall-clock seconds from submission to completion (includes queueing).
+    latency_seconds: float
+    #: How many queries shared the fused frontier run (1 = ran alone).
+    fused_with: int = 1
+
+
+class QueryTicket:
+    """A waitable handle for one submitted :class:`WalkQuery`."""
+
+    def __init__(self, query: WalkQuery) -> None:
+        self.query = query
+        self.submitted_at = time.perf_counter()
+        self._event = threading.Event()
+        self._result: Optional[ServeResult] = None
+        self._error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ #
+    # dispatcher side
+    # ------------------------------------------------------------------ #
+    def resolve(self, walks: BatchedWalks, epoch: int, fused_with: int) -> float:
+        """Complete the ticket; returns the measured latency.
+
+        First completion wins — a ticket failed by a racing ``close()``
+        stays failed.
+        """
+        latency = time.perf_counter() - self.submitted_at
+        if self._event.is_set():
+            return latency
+        self._result = ServeResult(
+            walks=walks, epoch=epoch, latency_seconds=latency, fused_with=fused_with
+        )
+        self._event.set()
+        return latency
+
+    def fail(self, error: BaseException) -> None:
+        if self._event.is_set():
+            return
+        self._error = error
+        self._event.set()
+
+    # ------------------------------------------------------------------ #
+    # caller side
+    # ------------------------------------------------------------------ #
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ServeResult:
+        """Block until the query resolves and return its result."""
+        if not self._event.wait(timeout):
+            raise ServeError("timed out waiting for a walk query result")
+        if self._error is not None:
+            if isinstance(self._error, ReproError):
+                raise self._error
+            raise ServeError(f"walk query failed: {self._error!r}") from self._error
+        assert self._result is not None
+        return self._result
+
+
+#: Most recent per-query samples kept for the latency/fusion windows.  A
+#: long-lived service serves unbounded queries; the percentile windows stay
+#: bounded (~0.5 MB) while the scalar counters remain exact and cumulative.
+STATS_WINDOW = 65_536
+
+
+@dataclass
+class ServeStats:
+    """Cumulative execution statistics of one :class:`GraphService`.
+
+    Busy times are per-thread CPU seconds (``time.thread_time``), so the
+    writer and query figures can be compared as if each ran on its own
+    device — the same critical-path convention the shard-parallel runner
+    and the fig12 batched-update model use.  ``latencies`` and
+    ``fused_sizes`` are sliding windows of the most recent
+    :data:`STATS_WINDOW` samples; every other field is exact.
+    """
+
+    epochs_published: int = 0
+    batches_ingested: int = 0
+    #: Logical updates applied (each batch counted once).
+    updates_applied: int = 0
+    #: Updates replayed onto the trailing buffer by double-buffer catch-up.
+    catchup_updates: int = 0
+    queries_served: int = 0
+    fused_groups: int = 0
+    fused_sizes: Deque[int] = field(
+        default_factory=lambda: deque(maxlen=STATS_WINDOW)
+    )
+    total_walk_steps: int = 0
+    #: Writer-thread CPU seconds inside apply/catch-up/publish.
+    update_busy_seconds: float = 0.0
+    #: Of which: shard-runner refresh folded into epoch publication.
+    refresh_seconds: float = 0.0
+    #: Dispatcher-thread CPU seconds inside fused walk execution.
+    query_busy_seconds: float = 0.0
+    latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=STATS_WINDOW)
+    )
+
+    def mean_fused_queries(self) -> float:
+        if not self.fused_sizes:
+            return 0.0
+        return float(np.mean(self.fused_sizes))
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50 / p99 query latency in seconds (zeros when nothing ran)."""
+        if not self.latencies:
+            return {"p50": 0.0, "p99": 0.0}
+        samples = np.asarray(self.latencies, dtype=np.float64)
+        return {
+            "p50": float(np.percentile(samples, 50)),
+            "p99": float(np.percentile(samples, 99)),
+        }

@@ -1,0 +1,605 @@
+"""The streaming serve layer: concurrent ingest + snapshot-isolated walks.
+
+Prior layers run updates and walks in strict alternation — ingest a batch,
+then walk, then ingest again.  :class:`GraphService` overlaps the two the
+way the paper's serving scenario demands:
+
+* **Epoch-based snapshots.**  With one walk worker the service keeps *two*
+  engines built from the same seed over copies of the same graph.  Queries
+  always run against the published *front* engine, which is never mutated
+  while it is published; the writer thread applies each
+  :class:`~repro.graph.update_batch.UpdateBatch` to the *back* engine
+  (replaying any batches it missed first — the double-buffer catch-up) and
+  then atomically swaps the buffers, bumping the epoch.  A per-buffer
+  reader count keeps the writer from touching a buffer that still serves
+  in-flight queries, so every query sees one consistent snapshot even
+  while an epoch flips underneath it.
+
+* **Fused query batching.**  Queries land on a bounded queue; the
+  dispatcher thread drains a small window of them, groups compatible
+  requests (same application / length / hyper-parameters) and runs each
+  group as **one** fused walk frontier — the PR 1 kernels get frontiers of
+  ``sum(len(starts))`` walkers instead of one small frontier per caller.
+
+* **Shard-parallel dispatch.**  With ``workers > 1`` queries run through a
+  :class:`~repro.walks.parallel.ParallelWalkRunner`; its ``refresh()`` is
+  folded into epoch publication (under the same lock that serializes
+  fused runs), so the runner's shard engines always correspond to exactly
+  one published epoch.
+
+* **Sync mode.**  ``sync=True`` runs everything inline on the calling
+  thread with a single engine: ``ingest`` applies immediately and every
+  query executes unfused with its own rng.  This mode is **bitwise
+  identical** to the serial frontier drivers for all four engines — the
+  equivalence tests pin that down — which makes the async mode's results
+  auditable: same code path, minus the overlap.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engines.registry import create_engine
+from repro.errors import ServeError
+from repro.graph.update_batch import UpdateBatch
+from repro.serve.queries import (
+    QueryTicket,
+    ServeResult,
+    ServeStats,
+    WalkQuery,
+)
+from repro.utils.rng import AnyRngSource, RandomSource, ensure_rng
+from repro.utils.validation import check_positive_int
+from repro.walks.frontier import (
+    BatchedWalks,
+    run_frontier_deepwalk,
+    run_frontier_node2vec,
+    run_frontier_ppr,
+)
+
+#: Sentinel objects for the writer / dispatcher queues.
+_STOP = object()
+
+#: How long blocking queue reads wait before re-checking shutdown flags.
+_POLL_SECONDS = 0.05
+
+
+@dataclass
+class _EngineBuffer:
+    """One snapshot buffer: an engine, its epoch, and reader bookkeeping."""
+
+    engine: object
+    epoch: int = 0
+    #: In-flight fused runs currently reading this buffer.
+    readers: int = 0
+    #: Batches published on the other buffer that this one has not seen yet.
+    pending: List[UpdateBatch] = field(default_factory=list)
+
+
+class GraphService:
+    """A streaming walk service over one dynamic graph.
+
+    Parameters
+    ----------
+    engine_name:
+        Registered engine (``bingo`` / ``knightking`` / ``gsampler`` /
+        ``flowwalker``).
+    graph:
+        The initial :class:`~repro.graph.dynamic_graph.DynamicGraph`.  The
+        service copies it per buffer; the caller's object is not adopted.
+    rng:
+        Engine-construction randomness.  The async double-buffered mode
+        needs a deterministic seed (``int``) so both buffers build
+        identical sampler state; sync mode also accepts a live
+        ``random.Random`` (the benchmark harness hands its shared
+        generator through).
+    workers:
+        ``1`` serves queries from the snapshot engines; ``> 1`` builds a
+        shard-parallel runner and folds its refresh into publication.
+    sync:
+        Run single-threaded: ingest applies immediately, queries execute
+        inline and unfused.  Bitwise-identical to the serial frontier.
+    max_pending_queries:
+        Bound of the query queue; :meth:`submit` blocks when it is full
+        (back-pressure instead of unbounded memory growth).
+    fuse_limit:
+        Maximum queries fused into one frontier run.
+    fuse_window_seconds:
+        How long the dispatcher lingers after the first query of a wave to
+        let concurrent submitters join the fused batch.
+    """
+
+    def __init__(
+        self,
+        engine_name: str,
+        graph,
+        *,
+        rng: RandomSource = 2025,
+        engine_kwargs: Optional[dict] = None,
+        workers: int = 1,
+        partition_strategy: str = "degree_balanced",
+        sync: bool = False,
+        max_pending_queries: int = 64,
+        fuse_limit: int = 8,
+        fuse_window_seconds: float = 0.002,
+        service_seed: int = 0,
+    ) -> None:
+        check_positive_int(workers, "workers")
+        check_positive_int(max_pending_queries, "max_pending_queries")
+        check_positive_int(fuse_limit, "fuse_limit")
+        self.engine_name = engine_name
+        self.workers = int(workers)
+        self.sync = bool(sync)
+        self.fuse_limit = int(fuse_limit)
+        self.fuse_window_seconds = float(fuse_window_seconds)
+        self.service_seed = int(service_seed)
+        self._engine_kwargs = dict(engine_kwargs or {})
+        self.stats = ServeStats()
+
+        self._cond = threading.Condition()
+        self._accepting = True
+        self._closed = False
+        self._cancel_pending = False
+        self._failure: Optional[BaseException] = None
+        self._epoch = 0
+        self._group_counter = 0
+
+        if not self.sync and not isinstance(rng, (int, np.integer)):
+            raise ServeError(
+                "the concurrent service double-buffers engine state and needs "
+                "an integer engine seed; pass rng=<int> (or sync=True)"
+            )
+
+        def build_engine():
+            source = rng if isinstance(rng, (int, np.integer)) else ensure_rng(rng)
+            engine = create_engine(engine_name, rng=source, **self._engine_kwargs)
+            engine.build(graph.copy())
+            return engine
+
+        # Sync mode and shard-parallel mode keep a single engine (the runner
+        # holds its own exported snapshot); the concurrent single-worker
+        # mode double-buffers two identically seeded engines.
+        double_buffered = not self.sync and self.workers == 1
+        buffers = [_EngineBuffer(engine=build_engine())]
+        if double_buffered:
+            buffers.append(_EngineBuffer(engine=build_engine()))
+        self._buffers = buffers
+        self._front = 0
+
+        self._runner = None
+        self._runner_lock = threading.Lock()
+        if self.workers > 1:
+            from repro.walks.parallel import ParallelWalkRunner
+
+            runner_seed = (
+                int(rng)
+                if isinstance(rng, (int, np.integer))
+                else ensure_rng(rng).randrange(1 << 48)
+            )
+            self._runner = ParallelWalkRunner(
+                engine_name,
+                self._buffers[0].engine.graph,
+                self.workers,
+                engine_seed=runner_seed,
+                engine_kwargs=self._engine_kwargs,
+                strategy=partition_strategy,
+            )
+
+        self._update_queue: "queue.Queue" = queue.Queue()
+        self._query_queue: "queue.Queue" = queue.Queue(maxsize=max_pending_queries)
+        self._writer: Optional[threading.Thread] = None
+        self._dispatcher: Optional[threading.Thread] = None
+        if not self.sync:
+            self._writer = threading.Thread(
+                target=self._writer_loop, name="graph-service-writer", daemon=True
+            )
+            self._dispatcher = threading.Thread(
+                target=self._dispatcher_loop, name="graph-service-query", daemon=True
+            )
+            self._writer.start()
+            self._dispatcher.start()
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    @property
+    def epoch(self) -> int:
+        """Epoch of the currently published snapshot."""
+        with self._cond:
+            return self._epoch
+
+    @property
+    def engine(self):
+        """The currently published snapshot engine (reporting / inspection)."""
+        with self._cond:
+            return self._buffers[self._front].engine
+
+    def ingest(self, updates) -> None:
+        """Queue one update batch for ingestion (applies inline in sync mode)."""
+        batch = UpdateBatch.coerce(updates)
+        self._require_accepting()
+        if self.sync:
+            self._apply_sync(batch)
+            return
+        self._raise_failure()
+        self._update_queue.put(batch)
+
+    def flush(self) -> None:
+        """Block until every queued update batch has been published."""
+        if not self.sync:
+            self._update_queue.join()
+        self._raise_failure()
+
+    def submit(
+        self,
+        application: str,
+        starts: Sequence[int],
+        walk_length: int,
+        *,
+        rng: AnyRngSource = None,
+        **params,
+    ) -> QueryTicket:
+        """Submit one walk query; returns a waitable :class:`QueryTicket`."""
+        query = WalkQuery(
+            application=application,
+            starts=list(starts),
+            walk_length=walk_length,
+            rng=rng,
+            params=params,
+        )
+        return self._submit_tickets([QueryTicket(query)])[0]
+
+    def submit_many(self, queries: Sequence[WalkQuery]) -> List[QueryTicket]:
+        """Submit a wave of queries as one queue item (fused together).
+
+        In sync mode the wave executes sequentially instead — each query
+        alone with its own rng — preserving the bitwise sync guarantee.
+        """
+        if not queries:
+            return []
+        tickets = [QueryTicket(query) for query in queries]
+        return self._submit_tickets(tickets)
+
+    def query(
+        self,
+        application: str,
+        starts: Sequence[int],
+        walk_length: int,
+        *,
+        rng: AnyRngSource = None,
+        timeout: Optional[float] = None,
+        **params,
+    ) -> ServeResult:
+        """Submit one query and wait for its result."""
+        ticket = self.submit(
+            application, starts, walk_length, rng=rng, **params
+        )
+        return ticket.result(timeout)
+
+    def close(self, *, drain: bool = True, timeout: float = 60.0) -> None:
+        """Stop the service.
+
+        ``drain=True`` (the default) finishes every queued update batch and
+        resolves every pending query before shutting down; ``drain=False``
+        cancels pending queries with a :class:`ServeError`.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._accepting = False
+            cancel = not drain
+        if not self.sync:
+            self._cancel_pending = cancel
+            self._update_queue.put(_STOP)
+            if self._writer is not None:
+                self._writer.join(timeout)
+            self._query_queue.put(_STOP)
+            if self._dispatcher is not None:
+                self._dispatcher.join(timeout)
+            self._drain_raced_items()
+        if self._runner is not None:
+            self._runner.close()
+
+    def _drain_raced_items(self) -> None:
+        """Settle queue items that raced past the shutdown sentinels.
+
+        A ``submit``/``ingest`` that passed the accepting-check just before
+        ``close()`` can land *behind* the ``_STOP`` sentinel, after the
+        worker threads exited.  Fail those tickets (instead of leaving a
+        caller blocked forever) and account the batches so a later
+        ``flush()`` can never hang on ``Queue.join``.
+        """
+        while True:
+            try:
+                item = self._query_queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                continue
+            for ticket in item:
+                ticket.fail(ServeError("the graph service is closed"))
+        dropped = 0
+        while True:
+            try:
+                item = self._update_queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _STOP:
+                dropped += 1
+            self._update_queue.task_done()
+        if dropped and self._failure is None:
+            self._failure = ServeError(
+                f"{dropped} update batch(es) submitted during shutdown were "
+                "not applied"
+            )
+
+    def __enter__(self) -> "GraphService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # submission plumbing
+    # ------------------------------------------------------------------ #
+    def _require_accepting(self) -> None:
+        with self._cond:
+            if not self._accepting:
+                raise ServeError("the graph service is closed")
+
+    def _raise_failure(self) -> None:
+        if self._failure is not None:
+            raise ServeError(
+                f"the service writer failed: {self._failure}"
+            ) from self._failure
+
+    def _submit_tickets(self, tickets: List[QueryTicket]) -> List[QueryTicket]:
+        self._require_accepting()
+        if self.sync:
+            # Sync contract: every query executes alone with its own rng
+            # (bitwise-identical to the serial frontier), so a sync wave is
+            # sequential, never fused.
+            for ticket in tickets:
+                self._execute_wave([ticket])
+            return tickets
+        self._query_queue.put(tickets)
+        # submit and close() can race: if the sentinel beat this put, the
+        # dispatcher is gone and nobody would ever resolve these tickets —
+        # close() drains leftovers, but only after its join, so re-check.
+        with self._cond:
+            abandoned = self._closed
+        if abandoned:
+            for ticket in tickets:
+                if not ticket.done:
+                    ticket.fail(ServeError("the graph service is closed"))
+        return tickets
+
+    # ------------------------------------------------------------------ #
+    # writer side (ingest + epoch publication)
+    # ------------------------------------------------------------------ #
+    def _writer_loop(self) -> None:
+        while True:
+            item = self._update_queue.get()
+            if item is _STOP:
+                self._update_queue.task_done()
+                return
+            try:
+                if self._failure is None:
+                    self._apply_and_publish(item)
+            except BaseException as exc:  # surface on flush()/ingest()
+                self._failure = exc
+            finally:
+                self._update_queue.task_done()
+
+    def _apply_sync(self, batch: UpdateBatch) -> None:
+        buffer = self._buffers[0]
+        started = time.thread_time()
+        buffer.engine.apply_batch(batch)
+        self._publish(buffer, batch, started)
+
+    def _apply_and_publish(self, batch: UpdateBatch) -> None:
+        if self.workers > 1:
+            buffer = self._buffers[0]
+            started = time.thread_time()
+            buffer.engine.apply_batch(batch)
+            self._publish(buffer, batch, started)
+            return
+        back = self._buffers[1 - self._front]
+        # Never mutate a buffer that still serves in-flight queries: the
+        # buffer published two epochs ago is usually idle by now, but a
+        # long fused run can still hold it.
+        with self._cond:
+            while back.readers > 0:
+                self._cond.wait(_POLL_SECONDS)
+        started = time.thread_time()
+        for lagged in back.pending:
+            back.engine.apply_batch(lagged)
+            self.stats.catchup_updates += len(lagged)
+        back.pending.clear()
+        back.engine.apply_batch(batch)
+        self._publish(back, batch, started)
+
+    def _publish(self, buffer: _EngineBuffer, batch: UpdateBatch, started: float) -> None:
+        """Atomically make ``buffer`` the published snapshot (epoch + 1)."""
+        if self._runner is not None:
+            # Fold the shard refresh into publication: the runner lock also
+            # serializes fused runs, so queries never observe a half-refreshed
+            # shard pool — and the epoch bump happens *inside* the lock, so a
+            # fused run dispatched right after the refresh reports the new
+            # epoch, never the stale one.
+            with self._runner_lock:
+                refresh_start = time.thread_time()
+                self._runner.refresh(buffer.engine.graph)
+                refresh_seconds = time.thread_time() - refresh_start
+                self._commit_publish(
+                    buffer, batch, time.thread_time() - started, refresh_seconds
+                )
+            return
+        self._commit_publish(buffer, batch, time.thread_time() - started, 0.0)
+
+    def _commit_publish(
+        self,
+        buffer: _EngineBuffer,
+        batch: UpdateBatch,
+        busy: float,
+        refresh_seconds: float,
+    ) -> None:
+        with self._cond:
+            front = self._buffers[self._front]
+            if front is not buffer:
+                front.pending.append(batch)
+                self._front = 1 - self._front
+            self._epoch += 1
+            buffer.epoch = self._epoch
+            self.stats.epochs_published += 1
+            self.stats.batches_ingested += 1
+            self.stats.updates_applied += len(batch)
+            self.stats.update_busy_seconds += busy
+            self.stats.refresh_seconds += refresh_seconds
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # dispatcher side (fused query execution)
+    # ------------------------------------------------------------------ #
+    def _dispatcher_loop(self) -> None:
+        while True:
+            item = self._query_queue.get()
+            if item is _STOP:
+                return
+            wave: List[QueryTicket] = list(item)
+            if self.fuse_window_seconds > 0.0 and len(wave) < self.fuse_limit:
+                # Linger briefly so a concurrent wave of submitters lands in
+                # the same fused frontier instead of N singleton runs.
+                time.sleep(self.fuse_window_seconds)
+            while len(wave) < self.fuse_limit:
+                try:
+                    extra = self._query_queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    self._query_queue.put(_STOP)
+                    break
+                wave.extend(extra)
+            if self._cancel_pending:
+                for ticket in wave:
+                    ticket.fail(ServeError("the graph service was closed"))
+                continue
+            self._execute_wave(wave)
+
+    def _execute_wave(self, wave: List[QueryTicket]) -> None:
+        """Group a wave by fuse key and run each group as one frontier."""
+        groups: Dict[tuple, List[QueryTicket]] = {}
+        for ticket in wave:
+            groups.setdefault(ticket.query.fuse_key(), []).append(ticket)
+        for tickets in groups.values():
+            self._execute_group(tickets)
+
+    def _group_rng(self, tickets: List[QueryTicket]):
+        """The generator driving one fused run.
+
+        A query running alone keeps its caller-provided rng (this is what
+        makes sync mode bitwise-identical to the serial frontier); fused
+        groups draw from a deterministic service stream instead, because
+        no single caller owns the shared frontier.
+        """
+        if len(tickets) == 1 and tickets[0].query.rng is not None:
+            return tickets[0].query.rng
+        with self._cond:
+            stream = self._group_counter
+            self._group_counter += 1
+        return np.random.default_rng([self.service_seed, stream])
+
+    def _execute_group(self, tickets: List[QueryTicket]) -> None:
+        try:
+            rng = self._group_rng(tickets)
+            query = tickets[0].query
+            params = query.resolved_params()
+            starts: List[int] = []
+            offsets = [0]
+            for ticket in tickets:
+                starts.extend(ticket.query.starts)
+                offsets.append(len(starts))
+            if self._runner is not None:
+                with self._runner_lock:
+                    epoch = self._epoch
+                    busy_start = time.thread_time()
+                    walks = self._drive_runner(query, params, starts, rng)
+                    busy = time.thread_time() - busy_start
+            else:
+                buffer = self._acquire_front()
+                try:
+                    epoch = buffer.epoch
+                    busy_start = time.thread_time()
+                    walks = self._drive_engine(
+                        buffer.engine, query, params, starts, rng
+                    )
+                    busy = time.thread_time() - busy_start
+                finally:
+                    self._release(buffer)
+            matrix = walks.matrix
+            with self._cond:
+                self.stats.fused_groups += 1
+                self.stats.fused_sizes.append(len(tickets))
+                self.stats.queries_served += len(tickets)
+                self.stats.total_walk_steps += walks.total_steps
+                self.stats.query_busy_seconds += busy
+            for position, ticket in enumerate(tickets):
+                rows = matrix[offsets[position] : offsets[position + 1]]
+                latency = ticket.resolve(
+                    BatchedWalks(matrix=rows), epoch, fused_with=len(tickets)
+                )
+                with self._cond:
+                    self.stats.latencies.append(latency)
+        except BaseException as exc:
+            for ticket in tickets:
+                if not ticket.done:
+                    ticket.fail(exc)
+
+    def _drive_engine(self, engine_or_none, query, params, starts, rng) -> BatchedWalks:
+        engine = engine_or_none
+        if query.application == "deepwalk":
+            return run_frontier_deepwalk(engine, starts, query.walk_length, rng=rng)
+        if query.application == "ppr":
+            return run_frontier_ppr(
+                engine,
+                starts,
+                termination_probability=params["termination_probability"],
+                max_steps=int(params["max_steps"]),
+                rng=rng,
+            )
+        return run_frontier_node2vec(
+            engine, starts, query.walk_length, p=params["p"], q=params["q"], rng=rng
+        )
+
+    def _drive_runner(self, query, params, starts, rng) -> BatchedWalks:
+        runner = self._runner
+        if query.application == "deepwalk":
+            return runner.run_deepwalk(starts, query.walk_length, rng=rng)
+        if query.application == "ppr":
+            return runner.run_ppr(
+                starts,
+                termination_probability=params["termination_probability"],
+                max_steps=int(params["max_steps"]),
+                rng=rng,
+            )
+        return runner.run_node2vec(
+            starts, query.walk_length, p=params["p"], q=params["q"], rng=rng
+        )
+
+    def _acquire_front(self) -> _EngineBuffer:
+        with self._cond:
+            buffer = self._buffers[self._front]
+            buffer.readers += 1
+            return buffer
+
+    def _release(self, buffer: _EngineBuffer) -> None:
+        with self._cond:
+            buffer.readers -= 1
+            self._cond.notify_all()

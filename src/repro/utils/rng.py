@@ -13,7 +13,7 @@ instead; :func:`ensure_np_rng` provides the same coercion for
 from __future__ import annotations
 
 import random
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -9,7 +9,7 @@ engine-facing cost is purely the repeated biased sampling the paper measures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.utils.rng import AnyRngSource
 from repro.utils.validation import check_positive_int

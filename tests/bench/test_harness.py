@@ -1,6 +1,5 @@
 """Tests for the evaluation harness."""
 
-import pytest
 
 from repro.bench.harness import (
     EvaluationSettings,

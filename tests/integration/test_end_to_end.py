@@ -5,7 +5,6 @@ construction, the Bingo engine's batched ingestion, every walk application,
 and the reporting layer — the way the examples and benchmarks do.
 """
 
-import pytest
 
 from repro.bench.harness import EvaluationSettings, compare_engines
 from repro.engines.bingo import BingoEngine

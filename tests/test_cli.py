@@ -66,6 +66,48 @@ class TestRun:
             assert entry["streaming_updates_per_second"] > 0
             assert entry["walk_steps_per_second"] > 0
 
+    def test_run_streaming_writes_bench_pr4(self, capsys, tmp_path):
+        output = tmp_path / "BENCH_PR4.json"
+        code = main(
+            [
+                "run", "streaming",
+                "--datasets", "AM",
+                "--engines", "bingo",
+                "--batch-size", "100",
+                "--num-batches", "2",
+                "--walk-length", "5",
+                "--num-walkers", "24",
+                "--queries-per-round", "2",
+                "--output", str(output),
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert json.loads(output.read_text()) == payload
+        assert payload["dataset"] == "AM"
+        assert set(payload["engines"]) == {"bingo"}
+        row = payload["engines"]["bingo"]
+        assert row["updates_per_second"] > 0
+        assert row["steps_per_second"] > 0
+        assert row["query_latency_p50_seconds"] <= row["query_latency_p99_seconds"]
+
+    def test_streaming_rejects_multiple_datasets(self, capsys):
+        assert main(["run", "streaming", "--datasets", "AM", "GO"]) == 2
+        assert "single dataset" in capsys.readouterr().err
+
+    def test_streaming_rejects_multiple_worker_counts(self, capsys):
+        assert main(["run", "streaming", "--workers", "1", "2"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_queries_per_round_rejected_outside_streaming(self, capsys):
+        assert main(["run", "scale", "--queries-per-round", "2"]) == 2
+        assert "--queries-per-round" in capsys.readouterr().err
+
+    def test_engines_flag_rejected_outside_streaming(self, capsys):
+        assert main(["run", "ingest", "--engines", "bingo"]) == 2
+        assert "--engines" in capsys.readouterr().err
+
     def test_run_ingest_output_disabled_with_empty_flag(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)
         assert main(

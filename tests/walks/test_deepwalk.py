@@ -3,7 +3,7 @@
 import pytest
 
 from repro.engines.bingo import BingoEngine
-from repro.graph.generators import path_graph, running_example_graph
+from repro.graph.generators import path_graph
 from repro.walks.deepwalk import DeepWalkConfig, deepwalk_walk, run_deepwalk
 from repro.walks.walker import default_start_vertices
 
