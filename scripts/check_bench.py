@@ -2,7 +2,8 @@
 """Schema gate for the committed BENCH_PR*.json perf-trajectory artifacts.
 
 Each PR that lands a measured win commits its numbers (BENCH_PR2: columnar
-ingest, BENCH_PR3: shard-parallel walks, BENCH_PR4: streaming serve).  CI
+ingest, BENCH_PR3: shard-parallel walks, BENCH_PR4: streaming serve,
+BENCH_PR5: multi-tenant fairness + back-buffer warming).  CI
 runs this script so a refactor cannot silently drop an engine, rename a
 field, or regress the streaming-serve headline below its acceptance bar —
 the JSON in the repo must keep telling the same story the CHANGES.md entry
@@ -30,6 +31,10 @@ ENGINES = ("bingo", "knightking", "gsampler", "flowwalker")
 #: The PR 4 acceptance bar: concurrent serve throughput vs strict
 #: alternation for the bingo engine on the LJ stand-in.
 PR4_MIN_BINGO_SPEEDUP = 1.5
+
+#: The PR 5 fairness bar: under a flooding co-tenant the light tenant's
+#: p99 must stay within this factor of its solo-run p99.
+PR5_MAX_FAIR_P99_RATIO = 3.0
 
 
 def _require_positive(row: dict, fields: List[str], where: str, errors: List[str]) -> None:
@@ -126,10 +131,55 @@ def check_bench_pr4(report: dict) -> List[str]:
     return errors
 
 
+def check_bench_pr5(report: dict) -> List[str]:
+    """BENCH_PR5.json — multi-tenant fairness + back-buffer warming."""
+    errors: List[str] = []
+    fairness = report.get("fairness")
+    if not isinstance(fairness, dict):
+        errors.append("BENCH_PR5: fairness section missing")
+    else:
+        for mode in ("solo", "fair_share", "shared_queue"):
+            row = fairness.get(mode)
+            if not isinstance(row, dict):
+                errors.append(f"BENCH_PR5.fairness: mode {mode!r} missing")
+                continue
+            _require_positive(row, ["p50", "p99"], f"BENCH_PR5.fairness.{mode}", errors)
+        ratio = fairness.get("fair_vs_solo_p99")
+        if not isinstance(ratio, (int, float)) or ratio <= 0:
+            errors.append(
+                f"BENCH_PR5: fair_vs_solo_p99 missing or not positive ({ratio!r})"
+            )
+        elif ratio > PR5_MAX_FAIR_P99_RATIO:
+            errors.append(
+                f"BENCH_PR5: light tenant's fair-share p99 is {ratio}x its solo "
+                f"p99, above the {PR5_MAX_FAIR_P99_RATIO}x fairness bar"
+            )
+    warming = report.get("warming")
+    if not isinstance(warming, dict):
+        errors.append("BENCH_PR5: warming section missing")
+    else:
+        for mode in ("cold", "warm"):
+            row = warming.get(mode)
+            if not isinstance(row, dict):
+                errors.append(f"BENCH_PR5.warming: mode {mode!r} missing")
+                continue
+            _require_positive(row, ["p50", "p99"], f"BENCH_PR5.warming.{mode}", errors)
+        cold = (warming.get("cold") or {}).get("p99")
+        warm = (warming.get("warm") or {}).get("p99")
+        if isinstance(cold, (int, float)) and isinstance(warm, (int, float)):
+            if warm >= cold:
+                errors.append(
+                    f"BENCH_PR5: warm-flip p99 ({warm}) does not beat the "
+                    f"cold-flip p99 ({cold}) — back-buffer warming regressed"
+                )
+    return errors
+
+
 CHECKS: Dict[str, Callable[[dict], List[str]]] = {
     "BENCH_PR2.json": check_bench_pr2,
     "BENCH_PR3.json": check_bench_pr3,
     "BENCH_PR4.json": check_bench_pr4,
+    "BENCH_PR5.json": check_bench_pr5,
 }
 
 

@@ -1085,6 +1085,221 @@ def streaming_serve(
 
 
 # --------------------------------------------------------------------------- #
+# Multi-tenant serving — fair-share fusing + back-buffer warming (PR 5)
+# --------------------------------------------------------------------------- #
+def multi_tenant_serve(
+    *,
+    dataset: str = "LJ",
+    engine: str = "bingo",
+    application: str = "deepwalk",
+    walk_length: int = 10,
+    light_walkers: int = 256,
+    light_queries: int = 40,
+    flood_walkers: int = 32,
+    flood_queries: int = 400,
+    fuse_limit: int = 4,
+    fuse_window_seconds: float = 0.002,
+    batch_size: int = 1000,
+    num_batches: int = 6,
+    workload: str = "mixed",
+    probe_walkers: int = 64,
+    seed: int = 97,
+) -> Dict[str, object]:
+    """Fairness under a flooding co-tenant, and warm vs cold epoch flips.
+
+    **Fairness.**  A *light* tenant runs a closed loop — submit one
+    ``light_walkers``-walker query, wait for the result, repeat
+    ``light_queries`` times — under three service configurations:
+
+    * ``solo`` — the light tenant is alone (its baseline p50/p99);
+    * ``fair_share`` — a *flood* tenant dumps ``flood_queries`` queries up
+      front into its own lane; the deficit-round-robin fuser mixes both
+      lanes into every fused wave, so the light tenant's latency tracks
+      the wave time, not the flood's queue depth;
+    * ``shared_queue`` — the same flood, but the light tenant submits into
+      the *flood's* lane (the PR 4 single-queue world): every light query
+      waits behind the whole backlog.
+
+    The acceptance bar is ``fair_share.p99 <= 3 * solo.p99`` while
+    ``shared_queue.p99`` blows up by orders of magnitude.
+
+    **Warming.**  The identical update stream is ingested twice through
+    the double-buffered service, once with ``warm_on_publish`` off and
+    once on; after every epoch flip one probe query measures the
+    cold-start spike.  Warm flips must beat cold flips at p99 — the probe
+    pays a table gather instead of the full fused-table build.
+    """
+    import numpy as np
+
+    from repro.serve import GraphService, TenantQuota, WalkQuery
+
+    if light_queries < 1 or flood_queries < 1:
+        raise BenchmarkError("multi-tenant serve needs light and flood queries")
+    rng = ensure_rng(seed)
+    graph = build_dataset(dataset, rng=rng)
+    placement_rng = ensure_rng(seed + 1)
+    light_starts = sample_start_vertices(
+        graph, light_walkers, rng=placement_rng.randrange(1 << 30)
+    )
+    flood_starts = sample_start_vertices(
+        graph, flood_walkers, rng=placement_rng.randrange(1 << 30)
+    )
+    probe_starts = sample_start_vertices(
+        graph, probe_walkers, rng=placement_rng.randrange(1 << 30)
+    )
+
+    def percentiles(samples: List[float]) -> Dict[str, float]:
+        array = np.asarray(samples, dtype=np.float64)
+        return {
+            "p50": float(np.percentile(array, 50)),
+            "p99": float(np.percentile(array, 99)),
+        }
+
+    def run_light(*, flood: bool, fair: bool) -> Dict[str, object]:
+        service = GraphService(
+            engine,
+            graph,
+            rng=seed + 2,
+            fuse_limit=fuse_limit,
+            fuse_window_seconds=fuse_window_seconds,
+            service_seed=seed + 3,
+            # Serve warm so every mode measures queueing + wave time, not
+            # the one-off construction-time fused-table build.
+            warm_on_publish=True,
+            tenants={
+                "light": TenantQuota(max_pending=light_queries + 2),
+                "flood": TenantQuota(max_pending=flood_queries + light_queries + 2),
+            },
+        )
+        light_tenant = "light" if fair else "flood"
+        latencies: List[float] = []
+        try:
+            if flood:
+                service.submit_many(
+                    [
+                        WalkQuery(
+                            application=application,
+                            starts=flood_starts,
+                            walk_length=walk_length,
+                        )
+                        for _ in range(flood_queries)
+                    ],
+                    tenant="flood",
+                )
+            for _ in range(light_queries):
+                result = service.query(
+                    application,
+                    light_starts,
+                    walk_length,
+                    tenant=light_tenant,
+                    timeout=600.0,
+                )
+                latencies.append(result.latency_seconds)
+            tenant_stats = {
+                name: {
+                    "admitted": stats.admitted,
+                    "served": stats.served,
+                    "rejected": stats.rejected,
+                }
+                for name, stats in service.tenant_stats().items()
+            }
+        finally:
+            service.close()
+        return {**percentiles(latencies), "tenants": tenant_stats}
+
+    solo = run_light(flood=False, fair=True)
+    fair_share = run_light(flood=True, fair=True)
+    shared_queue = run_light(flood=True, fair=False)
+
+    # ---------------------------------------------------------------- #
+    # warm vs cold epoch flips
+    # ---------------------------------------------------------------- #
+    stream = generate_update_stream(
+        graph,
+        batch_size=min(batch_size, max(1, graph.num_edges // (num_batches + 1))),
+        num_batches=num_batches,
+        workload=UpdateWorkload(workload),
+        rng=ensure_rng(seed + 4),
+    )
+
+    def run_flips(warm: bool) -> Dict[str, object]:
+        service = GraphService(
+            engine,
+            stream.initial_graph,
+            rng=seed + 5,
+            fuse_limit=1,
+            fuse_window_seconds=0.0,
+            service_seed=seed + 6,
+            warm_on_publish=warm,
+        )
+        probe_latencies: List[float] = []
+        try:
+            for batch in stream.batches:
+                service.ingest(batch)
+                service.flush()
+                result = service.query(
+                    application, probe_starts, walk_length, timeout=600.0
+                )
+                probe_latencies.append(result.latency_seconds)
+            stats = service.stats
+            warm_seconds = stats.warm_seconds
+            epochs_warmed = stats.epochs_warmed
+        finally:
+            service.close()
+        return {
+            **percentiles(probe_latencies),
+            "probe_latencies_seconds": probe_latencies,
+            "warm_seconds": warm_seconds,
+            "epochs_warmed": epochs_warmed,
+        }
+
+    cold = run_flips(warm=False)
+    warm = run_flips(warm=True)
+
+    return {
+        "dataset": dataset,
+        "engine": engine,
+        "application": application,
+        "walk_length": walk_length,
+        "fuse_limit": fuse_limit,
+        "fairness": {
+            "light_walkers": light_walkers,
+            "light_queries": light_queries,
+            "flood_walkers": flood_walkers,
+            "flood_queries": flood_queries,
+            "solo": solo,
+            "fair_share": fair_share,
+            "shared_queue": shared_queue,
+            "fair_vs_solo_p99": (
+                fair_share["p99"] / solo["p99"] if solo["p99"] > 0 else float("inf")
+            ),
+            "shared_vs_solo_p99": (
+                shared_queue["p99"] / solo["p99"] if solo["p99"] > 0 else float("inf")
+            ),
+        },
+        "warming": {
+            "flips": stream.num_batches,
+            "updates_per_flip": (
+                stream.num_updates // stream.num_batches if stream.num_batches else 0
+            ),
+            "probe_walkers": probe_walkers,
+            "cold": cold,
+            "warm": warm,
+            "warm_vs_cold_p99": (
+                warm["p99"] / cold["p99"] if cold["p99"] > 0 else float("inf")
+            ),
+        },
+        "note": (
+            "latencies are wall-clock submit-to-resolve seconds; fairness runs "
+            "a closed-loop light tenant against a queued flood (fair_share = "
+            "per-tenant DRR lanes, shared_queue = both tenants in one FIFO "
+            "lane); warming probes the first query after every epoch flip "
+            "with warm_on_publish off/on"
+        ),
+    }
+
+
+# --------------------------------------------------------------------------- #
 # Scaling curve — shard-parallel walk execution (Section 9.1)
 # --------------------------------------------------------------------------- #
 def scale_workers(

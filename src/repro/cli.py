@@ -52,6 +52,7 @@ EXPERIMENT_RUNNERS: Dict[str, Callable[..., Any]] = {
     "frontier": experiments.frontier_throughput,
     "ingest": experiments.ingest_throughput,
     "scale": experiments.scale_workers,
+    "serve": experiments.multi_tenant_serve,
     "streaming": experiments.streaming_serve,
 }
 
@@ -60,6 +61,7 @@ DEFAULT_OUTPUT_FILES = {
     "ingest": "BENCH_PR2.json",
     "scale": "BENCH_PR3.json",
     "streaming": "BENCH_PR4.json",
+    "serve": "BENCH_PR5.json",
 }
 
 
@@ -144,7 +146,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engines",
         nargs="+",
         default=None,
-        help="engine subset to benchmark (streaming only)",
+        help="engine subset to benchmark (streaming), or one engine (serve)",
+    )
+    run_parser.add_argument(
+        "--flood-queries",
+        type=int,
+        default=None,
+        help="queries the flooding co-tenant dumps up front (serve only)",
+    )
+    run_parser.add_argument(
+        "--light-queries",
+        type=int,
+        default=None,
+        help="closed-loop queries the light tenant runs (serve only)",
     )
     run_parser.add_argument(
         "--output",
@@ -154,6 +168,48 @@ def _build_parser() -> argparse.ArgumentParser:
             "`run ingest` defaults to BENCH_PR2.json in the working directory "
             "(pass --output '' to disable)"
         ),
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve walk queries over HTTP (stdlib JSON API)"
+    )
+    serve_parser.add_argument("--dataset", default="AM")
+    serve_parser.add_argument("--engine", default="bingo")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8355, help="0 lets the OS pick a free port"
+    )
+    serve_parser.add_argument("--seed", type=int, default=2025)
+    serve_parser.add_argument(
+        "--workers", type=int, default=1, help="shard-parallel walk workers"
+    )
+    serve_parser.add_argument("--fuse-limit", type=int, default=8)
+    serve_parser.add_argument("--fuse-window", type=float, default=0.002)
+    serve_parser.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="skip pre-building the back buffer's fused tables at each epoch flip",
+    )
+    serve_parser.add_argument(
+        "--tenant",
+        action="append",
+        default=None,
+        metavar="NAME[:WEIGHT[:MAX_PENDING]]",
+        help=(
+            "declare a tenant lane (repeatable), e.g. --tenant alice:2:128; "
+            "unknown tenants get a default rejecting lane"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=0.0,
+        help="stop serving after this many seconds (0 = run until interrupted)",
+    )
+    serve_parser.add_argument(
+        "--log-requests",
+        action="store_true",
+        help="print one access-log line per request to stderr",
     )
 
     compare_parser = subparsers.add_parser(
@@ -206,11 +262,13 @@ def _run_experiment(args: argparse.Namespace) -> int:
                 "--workers count"
             )
     for flag, value, experiments_allowed in (
-        ("--walk-length", args.walk_length, {"scale", "streaming"}),
+        ("--walk-length", args.walk_length, {"scale", "streaming", "serve"}),
         ("--rounds", args.rounds, {"scale"}),
-        ("--num-walkers", args.num_walkers, {"scale", "streaming"}),
+        ("--num-walkers", args.num_walkers, {"scale", "streaming", "serve"}),
         ("--queries-per-round", args.queries_per_round, {"streaming"}),
-        ("--engines", args.engines, {"streaming"}),
+        ("--engines", args.engines, {"streaming", "serve"}),
+        ("--flood-queries", args.flood_queries, {"serve"}),
+        ("--light-queries", args.light_queries, {"serve"}),
     ):
         if value is not None and args.experiment not in experiments_allowed:
             # Fail fast instead of silently benchmarking the defaults.
@@ -254,6 +312,33 @@ def _run_experiment(args: argparse.Namespace) -> int:
             kwargs["queries_per_round"] = args.queries_per_round
         if args.workers is not None:
             kwargs["workers"] = args.workers[0]
+    if args.experiment == "serve":
+        if args.datasets is not None:
+            if len(args.datasets) > 1:
+                return _fail(
+                    "`run serve` benchmarks a single dataset; "
+                    f"got {len(args.datasets)} datasets"
+                )
+            kwargs["dataset"] = args.datasets[0]
+        if args.engines is not None:
+            if len(args.engines) > 1:
+                return _fail(
+                    "`run serve` benchmarks a single engine; "
+                    f"got {len(args.engines)} engines"
+                )
+            kwargs["engine"] = args.engines[0]
+        if args.batch_size is not None:
+            kwargs["batch_size"] = args.batch_size
+        if args.num_batches is not None:
+            kwargs["num_batches"] = args.num_batches
+        if args.walk_length is not None:
+            kwargs["walk_length"] = args.walk_length
+        if args.num_walkers is not None:
+            kwargs["light_walkers"] = args.num_walkers
+        if args.flood_queries is not None:
+            kwargs["flood_queries"] = args.flood_queries
+        if args.light_queries is not None:
+            kwargs["light_queries"] = args.light_queries
     if args.experiment == "scale":
         if args.datasets is not None:
             if len(args.datasets) > 1:
@@ -286,6 +371,73 @@ def _run_experiment(args: argparse.Namespace) -> int:
     else:
         sys.stdout.write(json.dumps(payload, indent=2, default=str))
         sys.stdout.write("\n")
+    return 0
+
+
+def _parse_tenant_specs(specs) -> Dict[str, Any]:
+    """``NAME[:WEIGHT[:MAX_PENDING]]`` strings -> TenantQuota mapping."""
+    from repro.serve import TenantQuota
+
+    quotas: Dict[str, Any] = {}
+    for spec in specs or ():
+        parts = spec.split(":")
+        if not parts[0] or len(parts) > 3:
+            raise ValueError(
+                f"bad --tenant spec {spec!r}; expected NAME[:WEIGHT[:MAX_PENDING]]"
+            )
+        weight = float(parts[1]) if len(parts) > 1 and parts[1] else 1.0
+        max_pending = int(parts[2]) if len(parts) > 2 and parts[2] else 64
+        quotas[parts[0]] = TenantQuota(max_pending=max_pending, weight=weight)
+    return quotas
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Start the HTTP serving front-end and block until stopped."""
+    import threading
+
+    from repro.bench.datasets import build_dataset
+    from repro.serve import GraphService, serve_http
+
+    if args.workers < 1:
+        return _fail("--workers must be at least 1")
+    try:
+        tenants = _parse_tenant_specs(args.tenant)
+    except ValueError as exc:
+        return _fail(str(exc))
+    graph = build_dataset(args.dataset, rng=args.seed)
+    service = GraphService(
+        args.engine,
+        graph,
+        rng=args.seed,
+        workers=args.workers,
+        fuse_limit=args.fuse_limit,
+        fuse_window_seconds=args.fuse_window,
+        tenants=tenants or None,
+        warm_on_publish=not args.no_warm,
+    )
+    server, _thread = serve_http(
+        service,
+        args.host,
+        args.port,
+        log_requests=args.log_requests,
+    )
+    sys.stderr.write(
+        f"serving {args.engine} walks on {server.url} "
+        f"(dataset={args.dataset}, vertices={graph.num_vertices}, "
+        f"warm={'off' if args.no_warm else 'on'}); Ctrl-C to stop\n"
+    )
+    stop = threading.Event()
+    if args.max_seconds > 0:
+        timer = threading.Timer(args.max_seconds, stop.set)
+        timer.daemon = True
+        timer.start()
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        sys.stderr.write("shutting down\n")
+    finally:
+        server.shutdown()
+        service.close()
     return 0
 
 
@@ -330,6 +482,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "run":
             return _run_experiment(args)
+        if args.command == "serve":
+            return _run_serve(args)
         if args.command == "compare":
             return _run_compare(args)
     except (BenchmarkError, EngineError, ParallelExecutionError, ServeError) as exc:

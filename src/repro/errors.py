@@ -108,5 +108,27 @@ class ServeError(ReproError):
 
     Covers submissions to a closed :class:`~repro.serve.GraphService`,
     writer-thread failures surfaced on :meth:`~repro.serve.GraphService.flush`,
-    and query tickets that were cancelled or timed out.
+    and query tickets that were cancelled or timed out.  The subclasses
+    below let the HTTP front-end map failures onto status codes without
+    string matching; ``except ServeError`` still catches everything.
     """
+
+
+class QueryValidationError(ServeError):
+    """Raised when a walk query is rejected at the serve boundary.
+
+    Covers start vertices outside the serving snapshot, negative ids,
+    non-integral start arrays, and malformed query parameters.
+    """
+
+
+class QuotaExceededError(ServeError):
+    """Raised when a tenant's bounded query queue is full."""
+
+
+class ServiceClosedError(ServeError):
+    """Raised when work is submitted to (or cancelled by) a closed service."""
+
+
+class QueryTimeoutError(ServeError):
+    """Raised when waiting on a query ticket exceeds the caller's timeout."""

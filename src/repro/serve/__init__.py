@@ -2,22 +2,57 @@
 
 :class:`GraphService` owns a dynamic graph plus per-engine sampler state
 behind an epoch-based snapshot: a writer thread applies update batches and
-atomically publishes the next epoch while walk queries — fused into batched
-frontiers — run against the previously published snapshot.
+atomically publishes the next epoch (optionally pre-warming the back
+buffer's fused frontier tables first) while walk queries — fused into
+batched frontiers — run against the previously published snapshot.
+
+Modules
+-------
+``queries``
+    :class:`WalkQuery` / :class:`QueryTicket` / :class:`ServeResult` /
+    :class:`ServeStats` plus :func:`~repro.serve.queries.validate_starts`,
+    the serve-boundary input validation.
+``tenancy``
+    Multi-tenant admission: per-tenant bounded lanes (:class:`TenantQuota`,
+    :class:`TenantStats`) drained by the deficit-round-robin fair-share
+    fuser (:class:`FairShareQueue`).
+``service``
+    :class:`GraphService` — the double-buffered engine snapshots, the
+    writer and fair-share dispatcher threads, and back-buffer warming.
+``http``
+    Stdlib ``ThreadingHTTPServer`` JSON front-end (``POST /query``,
+    ``POST /ingest``, ``GET /stats``, ``GET /healthz``); tenant id comes
+    from the ``X-Tenant`` header.
 """
 
+from repro.serve.http import (
+    TENANT_HEADER,
+    GraphServiceHTTPServer,
+    serve_http,
+)
 from repro.serve.queries import (
+    DEFAULT_TENANT,
     QueryTicket,
     ServeResult,
     ServeStats,
     WalkQuery,
+    validate_starts,
 )
 from repro.serve.service import GraphService
+from repro.serve.tenancy import FairShareQueue, TenantQuota, TenantStats
 
 __all__ = [
+    "DEFAULT_TENANT",
+    "FairShareQueue",
     "GraphService",
+    "GraphServiceHTTPServer",
     "QueryTicket",
     "ServeResult",
     "ServeStats",
+    "TENANT_HEADER",
+    "TenantQuota",
+    "TenantStats",
     "WalkQuery",
+    "serve_http",
+    "validate_starts",
 ]

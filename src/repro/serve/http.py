@@ -1,0 +1,310 @@
+"""Stdlib HTTP/JSON front-end over :class:`~repro.serve.GraphService`.
+
+The ticket API maps 1:1 onto request handlers: ``POST /query`` submits a
+:class:`~repro.serve.WalkQuery` with the tenant id taken from the
+``X-Tenant`` header and blocks on ``ticket.result(timeout)``; ``POST
+/ingest`` queues an update batch; ``GET /stats`` reports service plus
+per-tenant statistics and ``GET /healthz`` is the liveness probe.  Built
+entirely on :class:`http.server.ThreadingHTTPServer` — no dependencies
+beyond the standard library.
+
+Error mapping (everything is JSON, ``{"error": ..., "type": ...}``):
+
+========================================  ======
+:class:`~repro.errors.QueryValidationError`  400
+:class:`~repro.errors.QuotaExceededError`    429
+:class:`~repro.errors.ServiceClosedError`    503
+:class:`~repro.errors.QueryTimeoutError`     504
+other :class:`~repro.errors.ReproError`      400
+unexpected exception                         500
+========================================  ======
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.errors import (
+    QueryTimeoutError,
+    QuotaExceededError,
+    ReproError,
+    ServiceClosedError,
+)
+from repro.graph.update_batch import GraphUpdate, UpdateBatch, UpdateKind
+from repro.serve.queries import DEFAULT_TENANT
+from repro.serve.service import GraphService
+
+#: Request header naming the submitting tenant.
+TENANT_HEADER = "X-Tenant"
+
+#: Default seconds a /query handler blocks on the ticket before 504.
+DEFAULT_QUERY_TIMEOUT = 30.0
+
+#: Largest accepted request body (1 MiB of JSON is ~50k updates).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def status_for_error(error: BaseException) -> int:
+    """The HTTP status code a serve-layer failure maps onto."""
+    if isinstance(error, QuotaExceededError):
+        return 429
+    if isinstance(error, ServiceClosedError):
+        return 503
+    if isinstance(error, QueryTimeoutError):
+        return 504
+    if isinstance(error, ReproError):
+        return 400
+    return 500
+
+
+class _BadRequest(Exception):
+    """Malformed request body or parameters (always a 400)."""
+
+
+def _parse_updates(payload: dict) -> UpdateBatch:
+    """Build an :class:`UpdateBatch` from the /ingest JSON body."""
+    raw = payload.get("updates")
+    if not isinstance(raw, list) or not raw:
+        raise _BadRequest('body must carry a non-empty "updates" list')
+    updates = []
+    for position, entry in enumerate(raw):
+        if not isinstance(entry, dict):
+            raise _BadRequest(f"updates[{position}] must be an object")
+        try:
+            kind_name = str(entry.get("kind", "insert")).lower()
+            kind = UpdateKind(kind_name)
+            src = int(entry["src"])
+            dst = int(entry["dst"])
+            bias = float(entry.get("bias", 1.0))
+        except (KeyError, ValueError, TypeError) as exc:
+            raise _BadRequest(
+                f"updates[{position}] is malformed: {exc}"
+            ) from exc
+        updates.append(GraphUpdate(kind, src, dst, bias, timestamp=position))
+    return UpdateBatch.from_updates(updates)
+
+
+class GraphServiceHandler(BaseHTTPRequestHandler):
+    """One HTTP request against the shared :class:`GraphService`."""
+
+    server: "GraphServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        try:
+            if self.path == "/healthz":
+                self._handle_healthz()
+            elif self.path == "/stats":
+                self._handle_stats()
+            else:
+                self._send(
+                    404, {"error": f"unknown path {self.path}", "type": "NotFound"}
+                )
+        except Exception as exc:  # noqa: BLE001 - the trust boundary
+            self._send(
+                status_for_error(exc),
+                {"error": str(exc), "type": type(exc).__name__},
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        try:
+            if self.path == "/query":
+                self._handle_query()
+            elif self.path == "/ingest":
+                self._handle_ingest()
+            else:
+                self._send(
+                    404, {"error": f"unknown path {self.path}", "type": "NotFound"}
+                )
+        except _BadRequest as exc:
+            self._send(400, {"error": str(exc), "type": "BadRequest"})
+        except Exception as exc:  # noqa: BLE001 - the trust boundary
+            self._send(
+                status_for_error(exc),
+                {"error": str(exc), "type": type(exc).__name__},
+            )
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def _handle_healthz(self) -> None:
+        service = self.server.service
+        self._send(200, {"status": "ok", "epoch": service.epoch})
+
+    def _handle_stats(self) -> None:
+        # Snapshots are computed under the service / fair-share locks —
+        # reading the live latency deques here would race the dispatcher.
+        service = self.server.service
+        payload = service.stats_snapshot()
+        payload["tenants"] = service.tenant_summaries()
+        self._send(200, payload)
+
+    def _handle_query(self) -> None:
+        payload = self._read_json()
+        tenant = self.headers.get(TENANT_HEADER, DEFAULT_TENANT).strip()
+        if not tenant:
+            tenant = DEFAULT_TENANT
+        try:
+            application = str(payload["application"])
+            starts = payload["starts"]
+            walk_length = int(payload["walk_length"])
+        except (KeyError, ValueError, TypeError) as exc:
+            raise _BadRequest(
+                'body must carry "application", "starts" and "walk_length": '
+                f"{exc}"
+            ) from exc
+        if not isinstance(starts, list):
+            raise _BadRequest('"starts" must be a JSON array of vertex ids')
+        params = payload.get("params", {})
+        if not isinstance(params, dict):
+            raise _BadRequest('"params" must be an object')
+        # A missing or null timeout falls back to the server default — a
+        # client cannot pin a handler thread forever.
+        timeout = payload.get("timeout")
+        if timeout is None:
+            timeout = self.server.query_timeout
+        else:
+            try:
+                timeout = float(timeout)
+            except (ValueError, TypeError) as exc:
+                raise _BadRequest(f'"timeout" must be a number: {exc}') from exc
+            if timeout <= 0:
+                raise _BadRequest('"timeout" must be positive')
+        service = self.server.service
+        ticket = service.submit(
+            application,
+            starts,
+            walk_length,
+            tenant=tenant,
+            **{str(key): value for key, value in params.items()},
+        )
+        result = ticket.result(timeout)
+        self._send(
+            200,
+            {
+                "tenant": tenant,
+                "epoch": result.epoch,
+                "fused_with": result.fused_with,
+                "latency_seconds": result.latency_seconds,
+                "num_walks": result.walks.num_walks,
+                "total_steps": result.walks.total_steps,
+                "walks": result.walks.matrix.tolist(),
+            },
+        )
+
+    def _handle_ingest(self) -> None:
+        payload = self._read_json()
+        batch = _parse_updates(payload)
+        service = self.server.service
+        service.ingest(batch)
+        if bool(payload.get("flush", False)):
+            service.flush()
+        self._send(
+            202,
+            {"queued_updates": len(batch), "epoch": service.epoch},
+        )
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise _BadRequest("request body required")
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = self.rfile.read(length)
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return payload
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Route access logs through the server's optional hook (quiet by default)."""
+        if self.server.log_requests:
+            super().log_message(format, *args)
+
+
+class GraphServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`GraphService`.
+
+    Handler threads are daemonic and each blocks only on its own query
+    ticket, so a slow fused wave never wedges the accept loop.  Use
+    :func:`serve_http` to run the accept loop on a background thread.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        service: GraphService,
+        address: Tuple[str, int] = ("127.0.0.1", 0),
+        *,
+        query_timeout: Optional[float] = DEFAULT_QUERY_TIMEOUT,
+        log_requests: bool = False,
+    ) -> None:
+        self.service = service
+        self.query_timeout = query_timeout
+        self.log_requests = bool(log_requests)
+        super().__init__(address, GraphServiceHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve_http(
+    service: GraphService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    query_timeout: Optional[float] = DEFAULT_QUERY_TIMEOUT,
+    log_requests: bool = False,
+) -> Tuple[GraphServiceHTTPServer, threading.Thread]:
+    """Start the HTTP front-end on a daemon thread.
+
+    Returns the bound server (``server.url`` carries the resolved port —
+    pass ``port=0`` to let the OS pick) and the accept-loop thread.  Call
+    ``server.shutdown()`` to stop; the underlying service is *not* closed,
+    that remains the caller's to drain.
+    """
+    server = GraphServiceHTTPServer(
+        service,
+        (host, port),
+        query_timeout=query_timeout,
+        log_requests=log_requests,
+    )
+    thread = threading.Thread(
+        target=server.serve_forever, name="graph-service-http", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+__all__ = [
+    "DEFAULT_QUERY_TIMEOUT",
+    "GraphServiceHTTPServer",
+    "GraphServiceHandler",
+    "TENANT_HEADER",
+    "serve_http",
+    "status_for_error",
+]

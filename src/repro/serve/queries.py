@@ -15,16 +15,69 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ReproError, ServeError
+from repro.errors import (
+    QueryTimeoutError,
+    QueryValidationError,
+    ReproError,
+    ServeError,
+)
 from repro.utils.rng import AnyRngSource
 from repro.walks.frontier import BatchedWalks
 
 #: Applications the serve layer understands (the paper's Table 3 set).
 SERVE_APPLICATIONS = ("deepwalk", "ppr", "node2vec")
+
+#: Tenant id used when the caller does not name one.
+DEFAULT_TENANT = "default"
+
+
+def validate_starts(starts, num_vertices: int) -> List[int]:
+    """Check query start vertices against the serving snapshot.
+
+    The serve boundary is the trust boundary: the walk kernels downstream
+    assume in-range int64 vertex ids, and violations do not crash — they
+    produce garbage (an out-of-range id is served as ``[[9999, -1]]``, a
+    negative id wraps onto some other vertex's tables, a float is silently
+    truncated).  Reject all three shapes with a clean
+    :class:`~repro.errors.QueryValidationError` naming the offending value.
+
+    Returns the starts as a plain list of Python ints (possibly empty).
+    """
+    items = list(starts)
+    array = np.asarray(items)
+    if array.ndim != 1:
+        raise QueryValidationError(
+            "start vertices must be a flat sequence of vertex ids, got an "
+            f"array of shape {array.shape}"
+        )
+    if array.size == 0:
+        return []
+    if not np.issubdtype(array.dtype, np.integer):
+        if not np.issubdtype(array.dtype, np.floating):
+            raise QueryValidationError(
+                "start vertices must be integers, got "
+                f"{array.dtype} ({items[0]!r}, ...)"
+            )
+        integral = np.isfinite(array) & (array == np.floor(array))
+        if not integral.all():
+            offender = float(array[~integral][0])
+            raise QueryValidationError(
+                f"non-integral start vertex {offender!r}: start vertices "
+                "must be whole numbers, not truncated floats"
+            )
+        array = array.astype(np.int64)
+    in_range = (array >= 0) & (array < num_vertices)
+    if not in_range.all():
+        offender = int(array[~in_range][0])
+        raise QueryValidationError(
+            f"start vertex {offender} does not exist in the serving snapshot "
+            f"(valid ids: 0 .. {num_vertices - 1})"
+        )
+    return [int(v) for v in array]
 
 
 @dataclass
@@ -49,12 +102,12 @@ class WalkQuery:
 
     def __post_init__(self) -> None:
         if self.application not in SERVE_APPLICATIONS:
-            raise ServeError(
+            raise QueryValidationError(
                 f"unknown application {self.application!r}; available: "
                 + ", ".join(SERVE_APPLICATIONS)
             )
         if self.walk_length < 1:
-            raise ServeError("walk_length must be positive")
+            raise QueryValidationError("walk_length must be positive")
 
     def resolved_params(self) -> Dict[str, float]:
         """Hyper-parameters with the paper defaults filled in."""
@@ -90,10 +143,15 @@ class ServeResult:
 
 
 class QueryTicket:
-    """A waitable handle for one submitted :class:`WalkQuery`."""
+    """A waitable handle for one submitted :class:`WalkQuery`.
 
-    def __init__(self, query: WalkQuery) -> None:
+    ``tenant`` names the submitting tenant — admission, fair-share
+    scheduling and the per-tenant latency windows key off it.
+    """
+
+    def __init__(self, query: WalkQuery, tenant: str = DEFAULT_TENANT) -> None:
         self.query = query
+        self.tenant = tenant
         self.submitted_at = time.perf_counter()
         self._event = threading.Event()
         self._result: Optional[ServeResult] = None
@@ -133,7 +191,7 @@ class QueryTicket:
     def result(self, timeout: Optional[float] = None) -> ServeResult:
         """Block until the query resolves and return its result."""
         if not self._event.wait(timeout):
-            raise ServeError("timed out waiting for a walk query result")
+            raise QueryTimeoutError("timed out waiting for a walk query result")
         if self._error is not None:
             if isinstance(self._error, ReproError):
                 raise self._error
@@ -174,6 +232,10 @@ class ServeStats:
     total_walk_steps: int = 0
     #: Writer-thread CPU seconds inside apply/catch-up/publish.
     update_busy_seconds: float = 0.0
+    #: Writer-thread CPU seconds pre-building fused frontier tables.
+    warm_seconds: float = 0.0
+    #: Epochs whose back buffer was warmed before publication.
+    epochs_warmed: int = 0
     #: Of which: shard-runner refresh folded into epoch publication.
     refresh_seconds: float = 0.0
     #: Dispatcher-thread CPU seconds inside fused walk execution.

@@ -15,11 +15,19 @@ way the paper's serving scenario demands:
   in-flight queries, so every query sees one consistent snapshot even
   while an epoch flips underneath it.
 
-* **Fused query batching.**  Queries land on a bounded queue; the
-  dispatcher thread drains a small window of them, groups compatible
-  requests (same application / length / hyper-parameters) and runs each
-  group as **one** fused walk frontier — the PR 1 kernels get frontiers of
-  ``sum(len(starts))`` walkers instead of one small frontier per caller.
+* **Fair-share fused query batching.**  Queries land on per-tenant
+  bounded lanes (:mod:`repro.serve.tenancy`); the dispatcher drains the
+  next wave in deficit-round-robin weighted turns across the pending
+  tenants, groups compatible requests (same application / length /
+  hyper-parameters) and runs each group as **one** fused walk frontier —
+  the PR 1 kernels get frontiers of ``sum(len(starts))`` walkers instead
+  of one small frontier per caller, and no tenant's flood can exclude
+  another tenant from the wave.
+
+* **Back-buffer warming.**  With ``warm_on_publish`` the writer
+  pre-builds the back buffer's fused concatenated tables before each
+  epoch flips, flattening the post-flip p99 spike the first fused query
+  otherwise pays.
 
 * **Shard-parallel dispatch.**  With ``workers > 1`` queries run through a
   :class:`~repro.walks.parallel.ParallelWalkRunner`; its ``refresh()`` is
@@ -41,19 +49,22 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.engines.registry import create_engine
-from repro.errors import ServeError
+from repro.errors import ServeError, ServiceClosedError
 from repro.graph.update_batch import UpdateBatch
 from repro.serve.queries import (
+    DEFAULT_TENANT,
     QueryTicket,
     ServeResult,
     ServeStats,
     WalkQuery,
+    validate_starts,
 )
+from repro.serve.tenancy import FairShareQueue, TenantQuota, TenantStats
 from repro.utils.rng import AnyRngSource, RandomSource, ensure_rng
 from repro.utils.validation import check_positive_int
 from repro.walks.frontier import (
@@ -106,13 +117,35 @@ class GraphService:
         Run single-threaded: ingest applies immediately, queries execute
         inline and unfused.  Bitwise-identical to the serial frontier.
     max_pending_queries:
-        Bound of the query queue; :meth:`submit` blocks when it is full
-        (back-pressure instead of unbounded memory growth).
+        Bound of the implicit default tenant's query lane; :meth:`submit`
+        blocks when it is full (back-pressure instead of unbounded memory
+        growth).  Tenants configured through ``tenants`` /
+        ``default_quota`` get *rejection* semantics instead — a full lane
+        raises :class:`~repro.errors.QuotaExceededError`.
     fuse_limit:
         Maximum queries fused into one frontier run.
     fuse_window_seconds:
         How long the dispatcher lingers after the first query of a wave to
         let concurrent submitters join the fused batch.
+    tenants:
+        Optional mapping of tenant id to :class:`~repro.serve.tenancy.TenantQuota`.
+        Queries are drained across tenant lanes in deficit-round-robin
+        weighted turns, so one tenant's flood cannot monopolise the fused
+        waves.
+    default_quota:
+        Quota for tenants not named in ``tenants`` (lanes are created on
+        first submission).  Defaults to the legacy blocking lane when no
+        tenancy is configured, and to a rejecting 64-query lane otherwise.
+    strict_tenants:
+        Reject submissions from tenants not named in ``tenants`` instead
+        of creating a lane with ``default_quota``.
+    warm_on_publish:
+        Pre-build the back buffer's fused frontier tables (the
+        concatenated sampling structures the first fused query otherwise
+        pays for) on the writer thread *before* each epoch flips, so a
+        query landing right after publication starts warm.  Applies to the
+        double-buffered single-worker mode; sync mode and the
+        shard-parallel runner build their state elsewhere.
     """
 
     def __init__(
@@ -129,6 +162,10 @@ class GraphService:
         fuse_limit: int = 8,
         fuse_window_seconds: float = 0.002,
         service_seed: int = 0,
+        tenants: Optional[Mapping[str, TenantQuota]] = None,
+        default_quota: Optional[TenantQuota] = None,
+        strict_tenants: bool = False,
+        warm_on_publish: bool = False,
     ) -> None:
         check_positive_int(workers, "workers")
         check_positive_int(max_pending_queries, "max_pending_queries")
@@ -139,8 +176,20 @@ class GraphService:
         self.fuse_limit = int(fuse_limit)
         self.fuse_window_seconds = float(fuse_window_seconds)
         self.service_seed = int(service_seed)
+        self.warm_on_publish = bool(warm_on_publish)
         self._engine_kwargs = dict(engine_kwargs or {})
         self.stats = ServeStats()
+        if default_quota is None:
+            # No tenancy configured: the implicit default lane keeps the
+            # legacy single-queue back-pressure contract.  Configured
+            # services get quota *rejection* for unknown tenants instead.
+            default_quota = TenantQuota(
+                max_pending=max_pending_queries,
+                block_when_full=not tenants,
+            )
+        self._tenancy = FairShareQueue(
+            tenants, default_quota=default_quota, strict=strict_tenants
+        )
 
         self._cond = threading.Condition()
         self._accepting = True
@@ -191,8 +240,14 @@ class GraphService:
                 strategy=partition_strategy,
             )
 
+        if self.warm_on_publish and double_buffered:
+            # Serve the very first query warm too, not just post-flip ones.
+            # Only the double-buffered mode queries the snapshot engines'
+            # fused tables; sync mode builds lazily inline and the
+            # shard-parallel runner owns its workers' state.
+            for buffer in self._buffers:
+                self._warm_engine(buffer.engine)
         self._update_queue: "queue.Queue" = queue.Queue()
-        self._query_queue: "queue.Queue" = queue.Queue(maxsize=max_pending_queries)
         self._writer: Optional[threading.Thread] = None
         self._dispatcher: Optional[threading.Thread] = None
         if not self.sync:
@@ -243,6 +298,7 @@ class GraphService:
         walk_length: int,
         *,
         rng: AnyRngSource = None,
+        tenant: str = DEFAULT_TENANT,
         **params,
     ) -> QueryTicket:
         """Submit one walk query; returns a waitable :class:`QueryTicket`."""
@@ -253,9 +309,11 @@ class GraphService:
             rng=rng,
             params=params,
         )
-        return self._submit_tickets([QueryTicket(query)])[0]
+        return self._submit_tickets([QueryTicket(query, tenant)])[0]
 
-    def submit_many(self, queries: Sequence[WalkQuery]) -> List[QueryTicket]:
+    def submit_many(
+        self, queries: Sequence[WalkQuery], *, tenant: str = DEFAULT_TENANT
+    ) -> List[QueryTicket]:
         """Submit a wave of queries as one queue item (fused together).
 
         In sync mode the wave executes sequentially instead — each query
@@ -263,7 +321,7 @@ class GraphService:
         """
         if not queries:
             return []
-        tickets = [QueryTicket(query) for query in queries]
+        tickets = [QueryTicket(query, tenant) for query in queries]
         return self._submit_tickets(tickets)
 
     def query(
@@ -274,20 +332,64 @@ class GraphService:
         *,
         rng: AnyRngSource = None,
         timeout: Optional[float] = None,
+        tenant: str = DEFAULT_TENANT,
         **params,
     ) -> ServeResult:
         """Submit one query and wait for its result."""
         ticket = self.submit(
-            application, starts, walk_length, rng=rng, **params
+            application, starts, walk_length, rng=rng, tenant=tenant, **params
         )
         return ticket.result(timeout)
+
+    def tenant_stats(self) -> Dict[str, TenantStats]:
+        """Per-tenant admission / latency statistics, keyed by tenant id."""
+        return self._tenancy.tenant_stats()
+
+    def tenant_summaries(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant counters + percentiles, computed under the lane lock."""
+        return self._tenancy.tenant_summaries()
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Service counters + latency percentiles as one consistent dict.
+
+        Taken under the service lock, so it is safe to call while the
+        dispatcher resolves queries (reading :attr:`stats`'s latency
+        windows unlocked is not — a concurrent append can fault the
+        percentile iteration).  This is what ``GET /stats`` serves.
+        """
+        with self._cond:
+            stats = self.stats
+            percentiles = stats.latency_percentiles()
+            return {
+                "epoch": self._epoch,
+                "engine": self.engine_name,
+                "queries_served": stats.queries_served,
+                "fused_groups": stats.fused_groups,
+                "mean_fused_queries": stats.mean_fused_queries(),
+                "epochs_published": stats.epochs_published,
+                "epochs_warmed": stats.epochs_warmed,
+                "batches_ingested": stats.batches_ingested,
+                "updates_applied": stats.updates_applied,
+                "catchup_updates": stats.catchup_updates,
+                "total_walk_steps": stats.total_walk_steps,
+                "update_busy_seconds": stats.update_busy_seconds,
+                "query_busy_seconds": stats.query_busy_seconds,
+                "warm_seconds": stats.warm_seconds,
+                "latency_p50_seconds": percentiles["p50"],
+                "latency_p99_seconds": percentiles["p99"],
+            }
 
     def close(self, *, drain: bool = True, timeout: float = 60.0) -> None:
         """Stop the service.
 
         ``drain=True`` (the default) finishes every queued update batch and
         resolves every pending query before shutting down; ``drain=False``
-        cancels pending queries with a :class:`ServeError`.
+        cancels pending queries with a :class:`ServiceClosedError`.
+
+        Raises :class:`ServeError` when a worker thread is still alive
+        after ``timeout`` seconds — a straggling writer or dispatcher means
+        the service did *not* shut down, and silently returning would leave
+        callers believing it did.
         """
         with self._cond:
             if self._closed:
@@ -295,36 +397,42 @@ class GraphService:
             self._closed = True
             self._accepting = False
             cancel = not drain
+        stragglers: List[str] = []
         if not self.sync:
             self._cancel_pending = cancel
             self._update_queue.put(_STOP)
             if self._writer is not None:
                 self._writer.join(timeout)
-            self._query_queue.put(_STOP)
+            # Closing the fair-share queue wakes the dispatcher, which
+            # drains (or cancels) the remaining waves before exiting.
+            self._tenancy.close()
             if self._dispatcher is not None:
                 self._dispatcher.join(timeout)
             self._drain_raced_items()
+            stragglers = [
+                thread.name
+                for thread in (self._writer, self._dispatcher)
+                if thread is not None and thread.is_alive()
+            ]
         if self._runner is not None:
             self._runner.close()
+        if stragglers:
+            raise ServeError(
+                "service worker thread(s) still running after the "
+                f"{timeout}s close timeout: {', '.join(stragglers)}"
+            )
 
     def _drain_raced_items(self) -> None:
-        """Settle queue items that raced past the shutdown sentinels.
+        """Settle work that raced past the shutdown signals.
 
         A ``submit``/``ingest`` that passed the accepting-check just before
-        ``close()`` can land *behind* the ``_STOP`` sentinel, after the
-        worker threads exited.  Fail those tickets (instead of leaving a
-        caller blocked forever) and account the batches so a later
-        ``flush()`` can never hang on ``Queue.join``.
+        ``close()`` can land after the worker threads exited.  Fail those
+        tickets (instead of leaving a caller blocked forever) and account
+        the batches so a later ``flush()`` can never hang on
+        ``Queue.join``.
         """
-        while True:
-            try:
-                item = self._query_queue.get_nowait()
-            except queue.Empty:
-                break
-            if item is _STOP:
-                continue
-            for ticket in item:
-                ticket.fail(ServeError("the graph service is closed"))
+        for ticket in self._tenancy.drain_pending():
+            ticket.fail(ServiceClosedError("the graph service is closed"))
         dropped = 0
         while True:
             try:
@@ -352,7 +460,7 @@ class GraphService:
     def _require_accepting(self) -> None:
         with self._cond:
             if not self._accepting:
-                raise ServeError("the graph service is closed")
+                raise ServiceClosedError("the graph service is closed")
 
     def _raise_failure(self) -> None:
         if self._failure is not None:
@@ -362,23 +470,37 @@ class GraphService:
 
     def _submit_tickets(self, tickets: List[QueryTicket]) -> List[QueryTicket]:
         self._require_accepting()
+        # The serve boundary is the trust boundary: check every start
+        # vertex against the serving snapshot before anything is queued,
+        # so garbage ids fail the submitter instead of producing garbage
+        # walks (or wrapping onto another vertex's tables downstream).
+        snapshot_vertices = self.engine.num_vertices()
+        for ticket in tickets:
+            ticket.query.starts = validate_starts(
+                ticket.query.starts, snapshot_vertices
+            )
         if self.sync:
             # Sync contract: every query executes alone with its own rng
             # (bitwise-identical to the serial frontier), so a sync wave is
             # sequential, never fused.
             for ticket in tickets:
+                self._tenancy.note_admitted(ticket.tenant, 1)
                 self._execute_wave([ticket])
             return tickets
-        self._query_queue.put(tickets)
-        # submit and close() can race: if the sentinel beat this put, the
-        # dispatcher is gone and nobody would ever resolve these tickets —
-        # close() drains leftovers, but only after its join, so re-check.
+        by_tenant: Dict[str, List[QueryTicket]] = {}
+        for ticket in tickets:
+            by_tenant.setdefault(ticket.tenant, []).append(ticket)
+        for tenant, lane_tickets in by_tenant.items():
+            self._tenancy.put(tenant, lane_tickets)
+        # submit and close() can race: if close() finished settling before
+        # this put landed, the dispatcher is gone and nobody would ever
+        # resolve these tickets — re-check and fail them ourselves.
         with self._cond:
             abandoned = self._closed
         if abandoned:
             for ticket in tickets:
                 if not ticket.done:
-                    ticket.fail(ServeError("the graph service is closed"))
+                    ticket.fail(ServiceClosedError("the graph service is closed"))
         return tickets
 
     # ------------------------------------------------------------------ #
@@ -424,7 +546,28 @@ class GraphService:
             self.stats.catchup_updates += len(lagged)
         back.pending.clear()
         back.engine.apply_batch(batch)
+        if self.warm_on_publish:
+            # Cold-start warming: pre-build the fused concatenated tables
+            # on the writer thread while the buffer is still the *back*
+            # one, so the first fused query after the flip pays a gather,
+            # not a full table build (the post-flip p99 spike).
+            warm_start = time.thread_time()
+            self._warm_engine(back.engine)
+            with self._cond:
+                self.stats.warm_seconds += time.thread_time() - warm_start
+                self.stats.epochs_warmed += 1
         self._publish(back, batch, started)
+
+    @staticmethod
+    def _warm_engine(engine) -> None:
+        """Build the engine's lazily cached fused frontier tables now.
+
+        Engines without a fused-table cache (FlowWalker samples straight
+        off the adjacency views) have nothing to warm.
+        """
+        build_tables = getattr(engine, "_frontier_tables", None)
+        if build_tables is not None:
+            build_tables()
 
     def _publish(self, buffer: _EngineBuffer, batch: UpdateBatch, started: float) -> None:
         """Atomically make ``buffer`` the published snapshot (epoch + 1)."""
@@ -470,26 +613,18 @@ class GraphService:
     # ------------------------------------------------------------------ #
     def _dispatcher_loop(self) -> None:
         while True:
-            item = self._query_queue.get()
-            if item is _STOP:
+            wave = self._tenancy.get_wave(self.fuse_limit)
+            if wave is None:
+                # Closed and drained: nothing will ever arrive again.
                 return
-            wave: List[QueryTicket] = list(item)
             if self.fuse_window_seconds > 0.0 and len(wave) < self.fuse_limit:
                 # Linger briefly so a concurrent wave of submitters lands in
                 # the same fused frontier instead of N singleton runs.
                 time.sleep(self.fuse_window_seconds)
-            while len(wave) < self.fuse_limit:
-                try:
-                    extra = self._query_queue.get_nowait()
-                except queue.Empty:
-                    break
-                if extra is _STOP:
-                    self._query_queue.put(_STOP)
-                    break
-                wave.extend(extra)
+                wave.extend(self._tenancy.drain_now(self.fuse_limit - len(wave)))
             if self._cancel_pending:
                 for ticket in wave:
-                    ticket.fail(ServeError("the graph service was closed"))
+                    ticket.fail(ServiceClosedError("the graph service was closed"))
                 continue
             self._execute_wave(wave)
 
@@ -555,12 +690,14 @@ class GraphService:
                 latency = ticket.resolve(
                     BatchedWalks(matrix=rows), epoch, fused_with=len(tickets)
                 )
+                self._tenancy.record_served(ticket.tenant, latency)
                 with self._cond:
                     self.stats.latencies.append(latency)
         except BaseException as exc:
             for ticket in tickets:
                 if not ticket.done:
                     ticket.fail(exc)
+                    self._tenancy.record_failed(ticket.tenant)
 
     def _drive_engine(self, engine_or_none, query, params, starts, rng) -> BatchedWalks:
         engine = engine_or_none

@@ -170,7 +170,16 @@ class WalkFrontier:
         self.matrix = np.hstack([self.matrix, extension])
 
     def finish(self) -> BatchedWalks:
-        """Package the (trimmed) walk matrix."""
+        """Package the (trimmed) walk matrix.
+
+        An empty frontier takes no steps, so trimming would collapse the
+        matrix to ``(0, 1)``; downstream consumers stacking ticket results
+        rely on the declared ``(0, walk_length + 1)`` width instead.
+        """
+        if self.matrix.shape[0] == 0:
+            return BatchedWalks(
+                matrix=np.full((0, self.walk_length + 1), -1, dtype=np.int64)
+            )
         return BatchedWalks(matrix=self.matrix[:, : self.steps_taken + 1])
 
 

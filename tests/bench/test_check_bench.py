@@ -69,3 +69,31 @@ def test_pr2_gate_catches_nonpositive_throughput():
     broken["engines"]["bingo"]["columnar_updates_per_second"] = 0
     errors = check_bench.check_bench_pr2(broken)
     assert any("columnar_updates_per_second" in error for error in errors)
+
+
+@pytest.fixture()
+def pr5_report():
+    return json.loads((REPO_ROOT / "BENCH_PR5.json").read_text())
+
+
+def test_pr5_gate_catches_fairness_regression(pr5_report):
+    broken = copy.deepcopy(pr5_report)
+    broken["fairness"]["fair_vs_solo_p99"] = 4.2
+    errors = check_bench.check_bench_pr5(broken)
+    assert any("fairness bar" in error for error in errors)
+
+
+def test_pr5_gate_catches_warming_regression(pr5_report):
+    broken = copy.deepcopy(pr5_report)
+    broken["warming"]["warm"]["p99"] = broken["warming"]["cold"]["p99"] * 2
+    errors = check_bench.check_bench_pr5(broken)
+    assert any("warming regressed" in error for error in errors)
+
+
+def test_pr5_gate_catches_missing_sections(pr5_report):
+    broken = copy.deepcopy(pr5_report)
+    del broken["warming"]
+    del broken["fairness"]["shared_queue"]
+    errors = check_bench.check_bench_pr5(broken)
+    assert any("warming section missing" in error for error in errors)
+    assert any("shared_queue" in error for error in errors)

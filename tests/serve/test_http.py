@@ -1,0 +1,274 @@
+"""The stdlib HTTP/JSON front-end: endpoints, tenant header, error codes."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.bench.datasets import build_dataset
+from repro.errors import (
+    QueryTimeoutError,
+    QuotaExceededError,
+    QueryValidationError,
+    ServiceClosedError,
+    UpdateError,
+)
+from repro.serve import GraphService, TenantQuota, serve_http
+from repro.serve.http import status_for_error
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_dataset("AM", rng=23)
+
+
+@pytest.fixture(scope="module")
+def server(graph):
+    service = GraphService(
+        "bingo",
+        graph,
+        rng=31,
+        warm_on_publish=True,
+        tenants={"alice": TenantQuota(max_pending=32, weight=2.0)},
+    )
+    server, _thread = serve_http(service)
+    yield server
+    server.shutdown()
+    service.close()
+
+
+def _call(server, path, payload=None, headers=None, timeout=30):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(payload).encode() if payload is not None else None,
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, body = _call(server, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["epoch"] >= 0
+
+    def test_query_returns_walks_and_epoch(self, server, graph):
+        status, body = _call(
+            server,
+            "/query",
+            {"application": "deepwalk", "starts": [0, 1, 2], "walk_length": 5},
+        )
+        assert status == 200
+        assert body["num_walks"] == 3
+        assert len(body["walks"]) == 3
+        assert len(body["walks"][0]) == 6
+        assert body["walks"][0][0] == 0
+        for row in body["walks"]:
+            for vertex in row:
+                assert -1 <= vertex < graph.num_vertices
+        assert body["fused_with"] >= 1
+        assert body["latency_seconds"] > 0
+
+    def test_query_params_reach_the_application(self, server):
+        status, body = _call(
+            server,
+            "/query",
+            {
+                "application": "ppr",
+                "starts": [4],
+                "walk_length": 6,
+                "params": {"termination_probability": 1.0},
+            },
+        )
+        assert status == 200
+        # Termination probability 1 kills the walker before its first step.
+        assert body["total_steps"] == 0
+
+    def test_tenant_header_routes_to_lane(self, server):
+        _call(
+            server,
+            "/query",
+            {"application": "deepwalk", "starts": [5], "walk_length": 3},
+            headers={"X-Tenant": "alice"},
+        )
+        status, stats = _call(server, "/stats")
+        assert status == 200
+        assert stats["tenants"]["alice"]["served"] >= 1
+        assert stats["tenants"]["alice"]["latency_p99_seconds"] > 0
+
+    def test_ingest_applies_updates(self, server, graph):
+        new_vertex = graph.num_vertices + 1
+        status, body = _call(
+            server,
+            "/ingest",
+            {
+                "updates": [
+                    {"src": new_vertex, "dst": 0, "kind": "insert", "bias": 2.0}
+                ],
+                "flush": True,
+            },
+        )
+        assert status == 202
+        assert body["queued_updates"] == 1
+        status, body = _call(
+            server,
+            "/query",
+            {"application": "deepwalk", "starts": [new_vertex], "walk_length": 2},
+        )
+        assert status == 200
+        assert body["walks"][0][:2] == [new_vertex, 0]
+
+    def test_stats_reports_service_counters(self, server):
+        status, body = _call(server, "/stats")
+        assert status == 200
+        assert body["engine"] == "bingo"
+        assert body["queries_served"] >= 1
+        assert body["epochs_warmed"] >= 0
+        assert "default" in body["tenants"] or body["tenants"]
+
+
+class TestErrorMapping:
+    def test_unknown_path_is_404(self, server):
+        assert _call(server, "/nope", {})[0] == 404
+        assert _call(server, "/nope")[0] == 404
+
+    def test_bad_json_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/query",
+            data=b"not json {",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_missing_fields_are_400(self, server):
+        status, body = _call(server, "/query", {"application": "deepwalk"})
+        assert status == 400
+        assert body["type"] == "BadRequest"
+
+    def test_scalar_starts_are_400_not_500(self, server):
+        status, body = _call(
+            server,
+            "/query",
+            {"application": "deepwalk", "starts": 5, "walk_length": 3},
+        )
+        assert status == 400
+        assert body["type"] == "BadRequest"
+
+    def test_bad_timeout_values_are_400(self, server):
+        for timeout in ("abc", -1, 0):
+            status, body = _call(
+                server,
+                "/query",
+                {
+                    "application": "deepwalk",
+                    "starts": [0],
+                    "walk_length": 3,
+                    "timeout": timeout,
+                },
+            )
+            assert status == 400, timeout
+
+    def test_null_timeout_uses_server_default(self, server):
+        status, body = _call(
+            server,
+            "/query",
+            {
+                "application": "deepwalk",
+                "starts": [0],
+                "walk_length": 3,
+                "timeout": None,
+            },
+        )
+        assert status == 200
+        assert body["num_walks"] == 1
+
+    def test_invalid_start_vertex_is_400_with_message(self, server):
+        status, body = _call(
+            server,
+            "/query",
+            {"application": "deepwalk", "starts": [999999], "walk_length": 3},
+        )
+        assert status == 400
+        assert body["type"] == "QueryValidationError"
+        assert "999999" in body["error"]
+
+    def test_unknown_application_is_400(self, server):
+        status, body = _call(
+            server,
+            "/query",
+            {"application": "pagerank", "starts": [0], "walk_length": 3},
+        )
+        assert status == 400
+        assert "pagerank" in body["error"]
+
+    def test_malformed_ingest_is_400(self, server):
+        for payload in (
+            {"updates": []},
+            {"updates": [{"src": 1}]},
+            {"updates": [{"src": 1, "dst": 2, "kind": "upsert"}]},
+            {},
+        ):
+            status, body = _call(server, "/ingest", payload)
+            assert status == 400, payload
+
+    def test_status_mapping_table(self):
+        assert status_for_error(QueryValidationError("x")) == 400
+        assert status_for_error(QuotaExceededError("x")) == 429
+        assert status_for_error(ServiceClosedError("x")) == 503
+        assert status_for_error(QueryTimeoutError("x")) == 504
+        assert status_for_error(UpdateError("x")) == 400
+        assert status_for_error(RuntimeError("x")) == 500
+
+    def test_quota_exhaustion_is_429(self, graph):
+        import time
+
+        service = GraphService(
+            "bingo",
+            graph,
+            rng=37,
+            fuse_limit=1,
+            fuse_window_seconds=0.0,
+            tenants={"tiny": TenantQuota(max_pending=1)},
+        )
+        original = service._execute_wave
+
+        def slowed(wave):
+            time.sleep(0.3)
+            original(wave)
+
+        service._execute_wave = slowed
+        server, _ = serve_http(service)
+        try:
+            import threading
+
+            codes = []
+            lock = threading.Lock()
+
+            def client():
+                status, _body = _call(
+                    server,
+                    "/query",
+                    {"application": "deepwalk", "starts": [0], "walk_length": 2},
+                    headers={"X-Tenant": "tiny"},
+                )
+                with lock:
+                    codes.append(status)
+
+            threads = [threading.Thread(target=client) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert 429 in codes
+            assert all(code in (200, 429) for code in codes)
+        finally:
+            server.shutdown()
+            service.close()

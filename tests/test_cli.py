@@ -169,6 +169,74 @@ class TestCompare:
             assert engine in output
 
 
+class TestServeExperiment:
+    def test_run_serve_writes_bench_pr5(self, capsys, tmp_path):
+        output = tmp_path / "BENCH_PR5.json"
+        code = main(
+            [
+                "run", "serve",
+                "--datasets", "AM",
+                "--engines", "bingo",
+                "--batch-size", "60",
+                "--num-batches", "2",
+                "--walk-length", "4",
+                "--num-walkers", "32",
+                "--flood-queries", "24",
+                "--light-queries", "6",
+                "--output", str(output),
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert json.loads(output.read_text()) == payload
+        fairness = payload["fairness"]
+        for mode in ("solo", "fair_share", "shared_queue"):
+            assert fairness[mode]["p50"] > 0
+            assert fairness[mode]["p50"] <= fairness[mode]["p99"]
+        assert fairness["fair_share"]["tenants"]["flood"]["served"] == 24
+        warming = payload["warming"]
+        assert warming["flips"] == 2
+        assert len(warming["cold"]["probe_latencies_seconds"]) == 2
+        assert warming["warm"]["epochs_warmed"] == 2
+        assert warming["cold"]["epochs_warmed"] == 0
+
+    def test_serve_experiment_rejects_multiple_engines(self, capsys):
+        assert main(["run", "serve", "--engines", "bingo", "gsampler"]) == 2
+        assert "single engine" in capsys.readouterr().err
+
+    def test_serve_experiment_rejects_multiple_datasets(self, capsys):
+        assert main(["run", "serve", "--datasets", "AM", "GO"]) == 2
+        assert "single dataset" in capsys.readouterr().err
+
+    def test_flood_queries_rejected_outside_serve(self, capsys):
+        assert main(["run", "streaming", "--flood-queries", "5"]) == 2
+        assert "--flood-queries" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_runs_for_a_bounded_interval(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--dataset", "AM",
+                "--port", "0",
+                "--max-seconds", "0.2",
+                "--tenant", "alice:2:16",
+            ]
+        )
+        assert code == 0
+        assert "serving bingo walks on http://" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_tenant_spec(self, capsys):
+        assert main(["serve", "--tenant", "a:b:c:d", "--max-seconds", "0.1"]) == 2
+        assert "--tenant" in capsys.readouterr().err
+
+    def test_serve_rejects_zero_workers(self, capsys):
+        assert main(["serve", "--workers", "0", "--max-seconds", "0.1"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+
 class TestScale:
     def test_run_scale_writes_bench_pr3(self, capsys, tmp_path):
         output = tmp_path / "BENCH_PR3.json"
