@@ -3,7 +3,8 @@
 
 Each PR that lands a measured win commits its numbers (BENCH_PR2: columnar
 ingest, BENCH_PR3: shard-parallel walks, BENCH_PR4: streaming serve,
-BENCH_PR5: multi-tenant fairness + back-buffer warming).  CI
+BENCH_PR5: multi-tenant fairness + back-buffer warming, BENCH_PR6:
+epoch-delta publication flatness).  CI
 runs this script so a refactor cannot silently drop an engine, rename a
 field, or regress the streaming-serve headline below its acceptance bar —
 the JSON in the repo must keep telling the same story the CHANGES.md entry
@@ -35,6 +36,19 @@ PR4_MIN_BINGO_SPEEDUP = 1.5
 #: The PR 5 fairness bar: under a flooding co-tenant the light tenant's
 #: p99 must stay within this factor of its solo-run p99.
 PR5_MAX_FAIR_P99_RATIO = 3.0
+
+#: The PR 6 flatness bar: at a fixed batch size the per-flip delta warm
+#: median at the largest vertex count must stay within this factor of the
+#: smallest one (O(touched) publication, not O(V)).
+PR6_MAX_FLAT_RATIO = 1.3
+
+#: The PR 6 speedup bar: at the largest vertex count the delta warm must
+#: beat the wholesale table re-concatenation by at least this factor.
+PR6_MIN_DELTA_VS_FULL = 5.0
+
+#: The flip sweep must grow the vertex set by at least this factor for
+#: the flatness assertion to mean anything.
+PR6_MIN_VERTEX_GROWTH = 4.0
 
 
 def _require_positive(row: dict, fields: List[str], where: str, errors: List[str]) -> None:
@@ -175,11 +189,69 @@ def check_bench_pr5(report: dict) -> List[str]:
     return errors
 
 
+def check_bench_pr6(report: dict) -> List[str]:
+    """BENCH_PR6.json — epoch-delta publication cost vs graph size."""
+    errors: List[str] = []
+    rows = report.get("scales")
+    if not isinstance(rows, list) or len(rows) < 2:
+        errors.append("BENCH_PR6: scales sweep missing or shorter than 2 points")
+        return errors
+    for row in rows:
+        if not isinstance(row, dict):
+            errors.append("BENCH_PR6: scales entry is not an object")
+            continue
+        where = f"BENCH_PR6.scales[{row.get('scale')!r}]"
+        _require_positive(
+            row,
+            [
+                "num_vertices",
+                "delta_warm_seconds_per_flip",
+                "full_rebuild_seconds_per_flip",
+                "full_vs_delta",
+            ],
+            where,
+            errors,
+        )
+    if errors:
+        return errors
+    growth = report.get("vertex_growth")
+    if not isinstance(growth, (int, float)) or growth < PR6_MIN_VERTEX_GROWTH:
+        errors.append(
+            f"BENCH_PR6: vertex_growth ({growth!r}) is below the "
+            f"{PR6_MIN_VERTEX_GROWTH}x sweep the flatness bar assumes"
+        )
+    flatness = report.get("delta_flatness")
+    if not isinstance(flatness, (int, float)) or flatness <= 0:
+        errors.append(
+            f"BENCH_PR6: delta_flatness missing or not positive ({flatness!r})"
+        )
+    elif flatness > PR6_MAX_FLAT_RATIO:
+        errors.append(
+            f"BENCH_PR6: delta warm per flip grew {flatness}x across the "
+            f"vertex sweep, above the {PR6_MAX_FLAT_RATIO}x flatness bar — "
+            "publication is no longer O(touched)"
+        )
+    speedup = report.get("full_vs_delta_at_largest")
+    if not isinstance(speedup, (int, float)) or speedup <= 0:
+        errors.append(
+            "BENCH_PR6: full_vs_delta_at_largest missing or not positive "
+            f"({speedup!r})"
+        )
+    elif speedup < PR6_MIN_DELTA_VS_FULL:
+        errors.append(
+            f"BENCH_PR6: delta warm is only {speedup}x faster than the full "
+            f"rebuild at the largest graph, below the {PR6_MIN_DELTA_VS_FULL}x "
+            "acceptance bar"
+        )
+    return errors
+
+
 CHECKS: Dict[str, Callable[[dict], List[str]]] = {
     "BENCH_PR2.json": check_bench_pr2,
     "BENCH_PR3.json": check_bench_pr3,
     "BENCH_PR4.json": check_bench_pr4,
     "BENCH_PR5.json": check_bench_pr5,
+    "BENCH_PR6.json": check_bench_pr6,
 }
 
 

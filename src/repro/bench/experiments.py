@@ -1300,6 +1300,185 @@ def multi_tenant_serve(
 
 
 # --------------------------------------------------------------------------- #
+# Scaling curve — epoch-delta publication cost vs graph size
+# --------------------------------------------------------------------------- #
+def scale_flip(
+    *,
+    engine: str = "bingo",
+    scales: Sequence[int] = (9, 10, 11),
+    edge_factor: int = 8,
+    batch_size: int = 64,
+    num_batches: int = 6,
+    repeats: int = 3,
+    seed: int = 83,
+) -> Dict[str, object]:
+    """Warm-cost-per-flip vs graph size: dirty-set delta vs full rebuild.
+
+    For every R-MAT ``scale`` (``2**scale`` vertices, ``edge_factor *
+    2**scale`` edges) update batches touching exactly ``batch_size``
+    distinct, uniformly drawn source vertices are applied to one fused
+    engine (each source inserts one edge to a fresh sink vertex, so no
+    batch ever collides with an existing edge and the touched set is the
+    same size at every scale), and the cost of re-publishing the fused
+    frontier tables is measured twice per flip:
+
+    * ``delta`` — :meth:`warm_frontier_tables` re-derives only the batch's
+      dirty vertex slices inside the sliced stores (the epoch-delta path
+      the serving writer ships);
+    * ``full`` — the frontier cache is invalidated wholesale and the
+      tables re-concatenated end to end, the pre-delta publication cost.
+
+    The per-vertex sampler tables are primed *before* either timing: those
+    are maintained by the update path in both worlds, so the timed regions
+    isolate pure publication cost — O(touched) slice repair vs O(V)
+    re-concatenation.  At a fixed batch size the delta median must stay
+    flat while vertices grow 4x and the full-rebuild median grows roughly
+    linearly with the vertex count — the gap ``scripts/check_bench.py``
+    gates on through the committed ``BENCH_PR6.json``.
+    """
+    import statistics
+
+    from repro.graph.generators import rmat_graph
+    from repro.graph.update_batch import GraphUpdate, UpdateBatch, UpdateKind
+
+    if num_batches < 1:
+        raise BenchmarkError("scale_flip needs at least one batch per scale")
+    if batch_size < 1:
+        raise BenchmarkError("scale_flip batch size must be positive")
+    if repeats < 1:
+        raise BenchmarkError("scale_flip needs at least one timing repeat")
+    sweep = sorted({int(scale) for scale in scales})
+    if not sweep or sweep[0] < 1:
+        raise BenchmarkError("scale_flip scales must be positive integers")
+    if batch_size > (1 << sweep[0]):
+        raise BenchmarkError(
+            "scale_flip batch size exceeds the smallest scale's vertex count"
+        )
+
+    rows: List[Dict[str, object]] = []
+    for scale in sweep:
+        graph = rmat_graph(scale, edge_factor, rng=ensure_rng(seed + scale))
+        generator = ensure_rng(seed + 100 + scale)
+        base_vertices = graph.num_vertices
+        instance = create_engine(engine, rng=seed + 1)
+        instance.build(graph)
+        warm = getattr(instance, "warm_frontier_tables", None)
+        if warm is None:
+            raise BenchmarkError(
+                f"engine {engine!r} does not publish fused frontier tables; "
+                "scale_flip measures the fused-table warm path"
+            )
+        samplers = getattr(instance, "_tables", None)
+        if samplers is None:
+            samplers = instance._samplers
+
+        def prime(vertices) -> None:
+            # Re-derive the touched vertices' sampler tables outside the
+            # timed regions: sampler maintenance happens on the update path
+            # in both the delta and the pre-delta world.
+            for vertex in vertices:
+                sampler = samplers.get(vertex)
+                if sampler is None or len(sampler) == 0:
+                    continue
+                if hasattr(instance, "_vertex_parts"):
+                    instance._vertex_parts(vertex, sampler)
+                else:
+                    sampler.numpy_tables()
+
+        warm()  # the one cold build; every flip below is a delta against it
+        delta_seconds: List[float] = []
+        full_seconds: List[float] = []
+        delta_vertices = 0
+        delta_full_rebuilds = 0
+        for flip in range(num_batches):
+            touched = generator.sample(range(base_vertices), batch_size)
+            sink = base_vertices + flip  # fresh vertex: never a duplicate edge
+            batch = UpdateBatch.from_updates(
+                [
+                    GraphUpdate(UpdateKind.INSERT, src, sink, 1.0, position)
+                    for position, src in enumerate(touched)
+                ]
+            )
+            instance.apply_batch(batch)
+            prime(sorted(instance._frontier_dirty))
+            # Slice repair is idempotent (same widths patch in place), so
+            # re-dirtying the same touched set and repairing again measures
+            # the same work; min-of-repeats strips scheduler noise from the
+            # sub-millisecond samples.
+            samples = []
+            for attempt in range(repeats):
+                if attempt:
+                    instance._frontier_dirty.update(touched)
+                started = time.perf_counter()
+                delta = warm()
+                samples.append(time.perf_counter() - started)
+                if attempt == 0:
+                    delta_vertices += delta.vertices
+                    delta_full_rebuilds += int(delta.full_rebuild)
+            delta_seconds.append(min(samples))
+            # The monolithic pre-delta behaviour: any update invalidated
+            # the whole cache, so publication re-concatenated every slice.
+            samples = []
+            for attempt in range(repeats):
+                instance._frontier_cache = None
+                instance._frontier_dirty.clear()
+                if attempt == 0:
+                    prime(samplers)
+                started = time.perf_counter()
+                instance._frontier_tables()
+                samples.append(time.perf_counter() - started)
+            full_seconds.append(min(samples))
+        flips = num_batches
+        delta_median = statistics.median(delta_seconds)
+        full_median = statistics.median(full_seconds)
+        rows.append(
+            {
+                "scale": scale,
+                # The pre-flip count: the sweep's independent variable
+                # (each flip adds one sink vertex on top).
+                "num_vertices": base_vertices,
+                "num_edges": graph.num_edges,
+                "flips": flips,
+                "delta_vertices_per_flip": delta_vertices / flips,
+                "delta_full_rebuilds": delta_full_rebuilds,
+                "delta_warm_seconds_per_flip": delta_median,
+                "full_rebuild_seconds_per_flip": full_median,
+                "full_vs_delta": (
+                    full_median / delta_median if delta_median > 0 else float("inf")
+                ),
+                "delta_warm_seconds": delta_seconds,
+                "full_rebuild_seconds": full_seconds,
+            }
+        )
+
+    smallest, largest = rows[0], rows[-1]
+    return {
+        "engine": engine,
+        "edge_factor": edge_factor,
+        "batch_size": batch_size,
+        "num_batches": num_batches,
+        "repeats": repeats,
+        "scales": rows,
+        "vertex_growth": largest["num_vertices"] / smallest["num_vertices"],
+        "delta_flatness": (
+            largest["delta_warm_seconds_per_flip"]
+            / smallest["delta_warm_seconds_per_flip"]
+            if smallest["delta_warm_seconds_per_flip"] > 0
+            else float("inf")
+        ),
+        "full_vs_delta_at_largest": largest["full_vs_delta"],
+        "note": (
+            "per-flip medians of min-of-repeats wall-clock seconds with "
+            "per-vertex sampler tables primed outside the timed regions; "
+            "delta = dirty-set slice repair (warm_frontier_tables), full = "
+            "wholesale cache invalidation + end-to-end re-concatenation at "
+            "the same point in the update stream; batch size is fixed so "
+            "delta cost tracks touched vertices, not graph size"
+        ),
+    }
+
+
+# --------------------------------------------------------------------------- #
 # Scaling curve — shard-parallel walk execution (Section 9.1)
 # --------------------------------------------------------------------------- #
 def scale_workers(

@@ -49,6 +49,7 @@ EXPERIMENT_RUNNERS: Dict[str, Callable[..., Any]] = {
     "fig15b": experiments.fig15_walk_length_sweep,
     "fig15c": experiments.fig15_bias_distribution,
     "fig16": experiments.fig16_piecewise,
+    "flip": experiments.scale_flip,
     "frontier": experiments.frontier_throughput,
     "ingest": experiments.ingest_throughput,
     "scale": experiments.scale_workers,
@@ -62,6 +63,7 @@ DEFAULT_OUTPUT_FILES = {
     "scale": "BENCH_PR3.json",
     "streaming": "BENCH_PR4.json",
     "serve": "BENCH_PR5.json",
+    "flip": "BENCH_PR6.json",
 }
 
 
@@ -109,13 +111,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--batch-size",
         type=int,
         default=None,
-        help="updates per batch (ingest/streaming)",
+        help="updates per batch (ingest/streaming/serve/flip)",
     )
     run_parser.add_argument(
         "--num-batches",
         type=int,
         default=None,
-        help="number of batches (ingest/streaming)",
+        help="number of batches (ingest/streaming/serve/flip)",
     )
     run_parser.add_argument(
         "--workers",
@@ -146,7 +148,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engines",
         nargs="+",
         default=None,
-        help="engine subset to benchmark (streaming), or one engine (serve)",
+        help="engine subset to benchmark (streaming), or one engine (serve/flip)",
+    )
+    run_parser.add_argument(
+        "--scales",
+        nargs="+",
+        type=int,
+        default=None,
+        help="R-MAT scales (2**scale vertices) to sweep (flip only)",
     )
     run_parser.add_argument(
         "--flood-queries",
@@ -266,9 +275,10 @@ def _run_experiment(args: argparse.Namespace) -> int:
         ("--rounds", args.rounds, {"scale"}),
         ("--num-walkers", args.num_walkers, {"scale", "streaming", "serve"}),
         ("--queries-per-round", args.queries_per_round, {"streaming"}),
-        ("--engines", args.engines, {"streaming", "serve"}),
+        ("--engines", args.engines, {"streaming", "serve", "flip"}),
         ("--flood-queries", args.flood_queries, {"serve"}),
         ("--light-queries", args.light_queries, {"serve"}),
+        ("--scales", args.scales, {"flip"}),
     ):
         if value is not None and args.experiment not in experiments_allowed:
             # Fail fast instead of silently benchmarking the defaults.
@@ -339,6 +349,20 @@ def _run_experiment(args: argparse.Namespace) -> int:
             kwargs["flood_queries"] = args.flood_queries
         if args.light_queries is not None:
             kwargs["light_queries"] = args.light_queries
+    if args.experiment == "flip":
+        if args.engines is not None:
+            if len(args.engines) > 1:
+                return _fail(
+                    "`run flip` benchmarks a single engine; "
+                    f"got {len(args.engines)} engines"
+                )
+            kwargs["engine"] = args.engines[0]
+        if args.scales is not None:
+            kwargs["scales"] = args.scales
+        if args.batch_size is not None:
+            kwargs["batch_size"] = args.batch_size
+        if args.num_batches is not None:
+            kwargs["num_batches"] = args.num_batches
     if args.experiment == "scale":
         if args.datasets is not None:
             if len(args.datasets) > 1:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from functools import partial
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -31,6 +31,12 @@ from repro.engines.base import (
     PHASE_INSERT,
     PHASE_REBUILD,
     RandomWalkEngine,
+)
+from repro.engines.sliced_tables import (
+    FrontierDelta,
+    SlicedTableStore,
+    mark_frontier_dirty,
+    warm_frontier_delta,
 )
 from repro.errors import UpdateError
 from repro.gpu.device import SimulatedDevice
@@ -89,10 +95,26 @@ class BingoEngine(RandomWalkEngine):
         self.batch_stats = BatchStatistics()
         self._samplers: Dict[int, BingoVertexSampler] = {}
         # Concatenated per-vertex sampling tables for the fused frontier
-        # kernel; rebuilt lazily after any update.  The per-vertex parts are
-        # cached separately so a batch only re-derives its touched vertices.
+        # kernel, kept as sliced segments in two coupled stores: the
+        # inter-group alias slices and the flat member table they point
+        # into.  An update batch marks its touched vertices dirty and the
+        # next table build repairs exactly those slices; the per-vertex
+        # parts (with local offsets) are cached in ``_vertex_tables``.
         self._frontier_cache: Optional[Dict[str, np.ndarray]] = None
         self._vertex_tables: Dict[int, tuple] = {}
+        self._frontier_dirty: Set[int] = set()
+        self._inter_store = SlicedTableStore(
+            {
+                "prob": np.float64,
+                "alias": np.int64,
+                "entry_offset": np.int64,
+                "entry_size": np.int64,
+                "entry_decimal": np.bool_,
+            }
+        )
+        self._flat_store = SlicedTableStore({"flat": np.int64})
+        #: Cold/compaction full concatenations performed (delta accounting).
+        self.frontier_full_builds = 0
 
     # ------------------------------------------------------------------ #
     # construction
@@ -112,6 +134,7 @@ class BingoEngine(RandomWalkEngine):
         self._samplers = {}
         self._frontier_cache = None
         self._vertex_tables = {}
+        self._frontier_dirty.clear()
         for vertex in self._build_vertex_ids():
             if graph.degree(vertex) == 0:
                 continue
@@ -139,7 +162,7 @@ class BingoEngine(RandomWalkEngine):
     # streaming updates: O(K) per event plus one inter-group rebuild
     # ------------------------------------------------------------------ #
     def _on_insert(self, src: int, dst: int, bias: float) -> None:
-        self._frontier_cache = None
+        mark_frontier_dirty(self, (src,))
         self._vertex_tables.pop(src, None)
         sampler = self._samplers.get(src)
         if sampler is None:
@@ -151,7 +174,7 @@ class BingoEngine(RandomWalkEngine):
         self.breakdown.add(PHASE_REBUILD, time.perf_counter() - start)
 
     def _on_delete(self, src: int, dst: int) -> None:
-        self._frontier_cache = None
+        mark_frontier_dirty(self, (src,))
         self._vertex_tables.pop(src, None)
         sampler = self._samplers.get(src)
         if sampler is None or not sampler.contains(dst):
@@ -186,9 +209,9 @@ class BingoEngine(RandomWalkEngine):
         """
         graph = self._require_graph()
         batch = UpdateBatch.coerce(updates)
-        self._frontier_cache = None
         stats = BatchStatistics()
         groups = batch.group_by_source()
+        mark_frontier_dirty(self, (group.vertex for group in groups))
         stats.touched_vertices = len(groups)
         highest = batch.max_vertex()
         if highest >= 0:
@@ -288,9 +311,9 @@ class BingoEngine(RandomWalkEngine):
         kept as the ground truth the columnar pipeline is measured against.
         """
         graph = self._require_graph()
-        self._frontier_cache = None
         stats = BatchStatistics()
         grouped = group_updates_by_vertex(updates)
+        mark_frontier_dirty(self, grouped)
         stats.touched_vertices = len(grouped)
 
         def process_vertex(item) -> None:
@@ -368,8 +391,58 @@ class BingoEngine(RandomWalkEngine):
     # ------------------------------------------------------------------ #
     # fused frontier kernel
     # ------------------------------------------------------------------ #
+    def _vertex_parts(self, vertex: int, sampler: BingoVertexSampler) -> tuple:
+        parts = self._vertex_tables.get(vertex)
+        if parts is None:
+            parts = self._build_vertex_table(sampler)
+            self._vertex_tables[vertex] = parts
+        return parts
+
+    def _set_vertex_slices(self, vertex: int, parts: tuple) -> None:
+        """Write one vertex's segments into both stores (flat first).
+
+        The inter store's ``entry_offset`` entries are *global* positions
+        in the flat member table, so the flat segment must land before its
+        offset is known.
+        """
+        prob, alias, entry_offset, entry_size, entry_decimal, flat = parts
+        flat_offset = self._flat_store.set_slice(vertex, {"flat": flat})
+        self._inter_store.set_slice(
+            vertex,
+            {
+                "prob": prob,
+                "alias": alias,
+                "entry_offset": flat_offset + entry_offset,
+                "entry_size": entry_size,
+                "entry_decimal": entry_decimal,
+            },
+        )
+
+    def _rebuild_frontier_stores(self) -> None:
+        """Cold full concatenation of both stores from the parts cache.
+
+        Also the compaction fallback: flat-store compaction moves segments
+        the inter store's global ``entry_offset`` values point into, so
+        instead of rewriting offsets piecemeal both stores are re-packed
+        from the (hot) per-vertex parts cache in one pass.  Stale parts of
+        vertices whose samplers dropped to zero edges are evicted here.
+        """
+        graph = self._require_graph()
+        self.frontier_full_builds += 1
+        self._frontier_dirty.clear()
+        self._inter_store.reset(graph.num_vertices)
+        self._flat_store.reset(graph.num_vertices)
+        live: Set[int] = set()
+        for vertex, sampler in self._samplers.items():
+            if len(sampler) == 0:
+                continue
+            live.add(vertex)
+            self._set_vertex_slices(vertex, self._vertex_parts(vertex, sampler))
+        for vertex in [v for v in self._vertex_tables if v not in live]:
+            del self._vertex_tables[vertex]
+
     def _frontier_tables(self) -> Dict[str, np.ndarray]:
-        """Concatenate every vertex's sampling tables into global arrays.
+        """Per-vertex sampling tables concatenated into global arrays.
 
         One flattened structure serves the whole graph: per-vertex slices of
         the inter-group alias arrays (``group_offset`` / ``group_count``)
@@ -379,55 +452,49 @@ class BingoEngine(RandomWalkEngine):
         arbitrary vertices advances with a fixed number of NumPy operations.
         Entries landing in a decimal group are flagged and re-resolved by
         the per-vertex rejection kernel (they are rare by the choice of λ).
-        Built lazily; any update invalidates it.
+        Built cold once; afterwards an update batch marks its touched
+        vertices in ``_frontier_dirty`` and this repairs exactly those
+        slices in the sliced stores, so a flip costs O(touched), not O(V)
+        (compaction of either store falls back to the full re-pack).
         """
-        if self._frontier_cache is not None:
+        if self._frontier_cache is not None and not self._frontier_dirty:
             return self._frontier_cache
         graph = self._require_graph()
-        num_vertices = graph.num_vertices
-        group_offset = np.zeros(num_vertices, dtype=np.int64)
-        group_count = np.zeros(num_vertices, dtype=np.int64)
-        prob_parts: List[np.ndarray] = []
-        alias_parts: List[np.ndarray] = []
-        entry_offset_parts: List[np.ndarray] = []
-        entry_size_parts: List[np.ndarray] = []
-        entry_decimal_parts: List[np.ndarray] = []
-        flat_parts: List[np.ndarray] = []
-        inter_cursor = 0
-        flat_cursor = 0
-        for vertex, sampler in self._samplers.items():
-            if len(sampler) == 0:
-                continue
-            parts = self._vertex_tables.get(vertex)
-            if parts is None:
-                parts = self._build_vertex_table(sampler)
-                self._vertex_tables[vertex] = parts
-            prob, alias, entry_offset, entry_size, entry_decimal, flat = parts
-            group_offset[vertex] = inter_cursor
-            group_count[vertex] = len(prob)
-            prob_parts.append(prob)
-            alias_parts.append(alias)
-            entry_offset_parts.append(flat_cursor + entry_offset)
-            entry_size_parts.append(entry_size)
-            entry_decimal_parts.append(entry_decimal)
-            flat_parts.append(flat)
-            inter_cursor += len(prob)
-            flat_cursor += len(flat)
-
-        def _concat(parts, dtype):
-            return np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
-
+        if self._frontier_cache is None:
+            self._rebuild_frontier_stores()
+        else:
+            self._inter_store.ensure_vertices(graph.num_vertices)
+            self._flat_store.ensure_vertices(graph.num_vertices)
+            for vertex in sorted(self._frontier_dirty):
+                sampler = self._samplers.get(vertex)
+                if sampler is None or len(sampler) == 0:
+                    # Evict, don't skip: a vertex churned down to zero edges
+                    # must release both its slices and its parts cache.
+                    self._vertex_tables.pop(vertex, None)
+                    self._inter_store.clear_slice(vertex)
+                    self._flat_store.clear_slice(vertex)
+                    continue
+                self._set_vertex_slices(vertex, self._vertex_parts(vertex, sampler))
+            self._frontier_dirty.clear()
+            if self._inter_store.needs_compaction() or self._flat_store.needs_compaction():
+                self._rebuild_frontier_stores()
+        # Re-derive the view dict every repair: capacity growth and
+        # compaction replace the backing arrays.
         self._frontier_cache = {
-            "group_offset": group_offset,
-            "group_count": group_count,
-            "prob": _concat(prob_parts, np.float64),
-            "alias": _concat(alias_parts, np.int64),
-            "entry_offset": _concat(entry_offset_parts, np.int64),
-            "entry_size": _concat(entry_size_parts, np.int64),
-            "entry_decimal": _concat(entry_decimal_parts, np.bool_),
-            "flat": _concat(flat_parts, np.int64),
+            "group_offset": self._inter_store.seg_offset,
+            "group_count": self._inter_store.seg_length,
+            "prob": self._inter_store.column("prob"),
+            "alias": self._inter_store.column("alias"),
+            "entry_offset": self._inter_store.column("entry_offset"),
+            "entry_size": self._inter_store.column("entry_size"),
+            "entry_decimal": self._inter_store.column("entry_decimal"),
+            "flat": self._flat_store.column("flat"),
         }
         return self._frontier_cache
+
+    def warm_frontier_tables(self) -> FrontierDelta:
+        """Repair the fused tables now; reports the slices it re-derived."""
+        return warm_frontier_delta(self)
 
     @staticmethod
     def _build_vertex_table(sampler: BingoVertexSampler) -> tuple:

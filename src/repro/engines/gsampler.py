@@ -11,12 +11,18 @@ reconstruction of the sampling state.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Set
 
 import numpy as np
 
 from repro.core.memory_model import MemoryReport
 from repro.engines.base import PHASE_REBUILD, RandomWalkEngine
+from repro.engines.sliced_tables import (
+    FrontierDelta,
+    SlicedTableStore,
+    mark_frontier_dirty,
+    warm_frontier_delta,
+)
 from repro.graph.update_batch import UpdateBatch
 from repro.graph.update_stream import GraphUpdate, UpdateKind
 from repro.sampling.its import InverseTransformSampler
@@ -37,14 +43,34 @@ class GSamplerEngine(RandomWalkEngine):
         super().__init__(rng=rng)
         self.full_rebuild_on_batch = full_rebuild_on_batch
         self._samplers: Dict[int, InverseTransformSampler] = {}
-        # Global CDF concatenation for the fused frontier kernel.
+        # Global CDF concatenation for the fused frontier kernel, kept as
+        # per-vertex sliced segments repaired through a dirty-set.  The
+        # stored cumulative sums are *local* (per segment, no running
+        # global prefix), so patching one vertex never shifts another's.
         self._frontier_cache: Optional[Dict[str, np.ndarray]] = None
+        self._frontier_dirty: Set[int] = set()
+        self._frontier_store = SlicedTableStore(
+            {"ids": np.int64, "cumulative": np.float64}
+        )
+        #: Cold/compaction full concatenations performed (delta accounting).
+        self.frontier_full_builds = 0
 
     # ------------------------------------------------------------------ #
     def _build_state(self) -> None:
+        self._rebuild_samplers()
+        self._frontier_cache = None
+        self._frontier_dirty.clear()
+
+    def _rebuild_samplers(self) -> None:
+        """Recreate every per-vertex CDF from the adjacency.
+
+        CDF *content* is a deterministic function of the adjacency (the
+        per-sampler rng only drives scalar draws), so a whole-graph reload
+        leaves untouched vertices' frontier slices valid — the batch paths
+        call this and mark only their touched vertices dirty.
+        """
         graph = self._require_graph()
         self._samplers = {}
-        self._frontier_cache = None
         for vertex in self._build_vertex_ids():
             if graph.degree(vertex) == 0:
                 continue
@@ -59,7 +85,7 @@ class GSamplerEngine(RandomWalkEngine):
 
     def _rebuild_vertex(self, vertex: int) -> None:
         graph = self._require_graph()
-        self._frontier_cache = None
+        mark_frontier_dirty(self, (vertex,))
         start = time.perf_counter()
         if graph.degree(vertex) == 0:
             self._samplers.pop(vertex, None)
@@ -69,12 +95,12 @@ class GSamplerEngine(RandomWalkEngine):
 
     # ------------------------------------------------------------------ #
     def _on_insert(self, src: int, dst: int, bias: float) -> None:
-        self._frontier_cache = None
         sampler = self._samplers.get(src)
         if sampler is None:
             self._rebuild_vertex(src)
             return
         # ITS supports O(1) append-only insertion (extend the prefix sums).
+        mark_frontier_dirty(self, (src,))
         sampler.insert(dst, bias)
 
     def _on_delete(self, src: int, dst: int) -> None:
@@ -85,11 +111,11 @@ class GSamplerEngine(RandomWalkEngine):
         """Apply the edits columnar (bulk per-vertex kind-runs), then rebuild."""
         graph = self._require_graph()
         batch = UpdateBatch.coerce(updates)
-        self._frontier_cache = None
         touched = self._apply_batch_to_graph(batch)
+        mark_frontier_dirty(self, touched)
         start = time.perf_counter()
         if self.full_rebuild_on_batch:
-            self._build_state()
+            self._rebuild_samplers()
         else:
             # Sorted order keeps the per-vertex RNG-stream assignment (one
             # spawn_rng per rebuild) identical across ingestion paths.
@@ -104,7 +130,6 @@ class GSamplerEngine(RandomWalkEngine):
     def apply_batch_scalar(self, updates: Sequence[GraphUpdate]) -> None:
         """The legacy per-edge batch path (reference for equivalence tests)."""
         graph = self._require_graph()
-        self._frontier_cache = None
         touched = set()
         for update in updates:
             graph.ensure_vertex(update.src)
@@ -114,9 +139,10 @@ class GSamplerEngine(RandomWalkEngine):
             else:
                 graph.remove_edge(update.src, update.dst)
             touched.add(update.src)
+        mark_frontier_dirty(self, touched)
         start = time.perf_counter()
         if self.full_rebuild_on_batch:
-            self._build_state()
+            self._rebuild_samplers()
         else:
             for vertex in sorted(touched):
                 if graph.degree(vertex) == 0:
@@ -141,52 +167,61 @@ class GSamplerEngine(RandomWalkEngine):
             return np.full(count, -1, dtype=np.int64)
         return sampler.sample_batch(count, rng)
 
-    def _frontier_tables(self) -> Dict[str, np.ndarray]:
-        """Concatenate every vertex's CDF into one global running prefix sum.
+    def _vertex_slice_parts(
+        self, sampler: InverseTransformSampler
+    ) -> Dict[str, np.ndarray]:
+        ids, cumulative = sampler.numpy_tables()
+        return {"ids": ids, "cumulative": cumulative}
 
-        Because each vertex's local prefix sums are shifted by the running
-        total of all earlier segments, the concatenation stays globally
-        nondecreasing — so a single :func:`numpy.searchsorted` resolves the
-        whole frontier's binary searches at once.  Built lazily; any update
-        invalidates it.
+    def _frontier_tables(self) -> Dict[str, np.ndarray]:
+        """Per-vertex *local* CDF slices concatenated into global arrays.
+
+        Each segment keeps its own prefix sums (no running global shift),
+        so repairing one vertex's slice never perturbs another segment's
+        values — the property that lets an update batch patch only its
+        touched vertices.  The kernel resolves each walker with a bounded
+        binary search inside its own segment, bitwise-identical to the
+        scalar ``sample_batch`` search.  Built cold once; afterwards the
+        dirty-set repairs exactly the touched slices (compacting the store
+        when accumulated waste outweighs the live payload), so a flip
+        costs O(touched), not O(V).
         """
-        if self._frontier_cache is not None:
+        if self._frontier_cache is not None and not self._frontier_dirty:
             return self._frontier_cache
         graph = self._require_graph()
-        num_vertices = graph.num_vertices
-        seg_offset = np.zeros(num_vertices, dtype=np.int64)
-        seg_length = np.zeros(num_vertices, dtype=np.int64)
-        base = np.zeros(num_vertices, dtype=np.float64)
-        totals = np.zeros(num_vertices, dtype=np.float64)
-        cum_parts = []
-        id_parts = []
-        cursor = 0
-        running = 0.0
-        for vertex, sampler in self._samplers.items():
-            if len(sampler) == 0:
-                continue
-            ids, cumulative = sampler.numpy_tables()
-            seg_offset[vertex] = cursor
-            seg_length[vertex] = len(ids)
-            base[vertex] = running
-            totals[vertex] = cumulative[-1]
-            cum_parts.append(cumulative + running)
-            id_parts.append(ids)
-            cursor += len(ids)
-            running += float(cumulative[-1])
+        store = self._frontier_store
+        if self._frontier_cache is None:
+            self.frontier_full_builds += 1
+            self._frontier_dirty.clear()
+            store.reset(graph.num_vertices)
+            for vertex, sampler in self._samplers.items():
+                if len(sampler) == 0:
+                    continue
+                store.set_slice(vertex, self._vertex_slice_parts(sampler))
+        else:
+            store.ensure_vertices(graph.num_vertices)
+            for vertex in sorted(self._frontier_dirty):
+                sampler = self._samplers.get(vertex)
+                if sampler is None or len(sampler) == 0:
+                    store.clear_slice(vertex)
+                else:
+                    store.set_slice(vertex, self._vertex_slice_parts(sampler))
+            self._frontier_dirty.clear()
+            if store.needs_compaction():
+                store.compact()
+        # Re-derive the view dict every repair: capacity growth and
+        # compaction replace the backing arrays.
         self._frontier_cache = {
-            "seg_offset": seg_offset,
-            "seg_length": seg_length,
-            "base": base,
-            "totals": totals,
-            "cumulative": (
-                np.concatenate(cum_parts) if cum_parts else np.empty(0, dtype=np.float64)
-            ),
-            "ids": (
-                np.concatenate(id_parts) if id_parts else np.empty(0, dtype=np.int64)
-            ),
+            "seg_offset": store.seg_offset,
+            "seg_length": store.seg_length,
+            "cumulative": store.column("cumulative"),
+            "ids": store.column("ids"),
         }
         return self._frontier_cache
+
+    def warm_frontier_tables(self) -> FrontierDelta:
+        """Repair the fused tables now; reports the slices it re-derived."""
+        return warm_frontier_delta(self)
 
     def _sample_frontier(
         self, vertices: np.ndarray, rng: np.random.Generator
@@ -205,13 +240,25 @@ class GSamplerEngine(RandomWalkEngine):
         if len(live) == 0:
             return out
         query = vertices[live]
-        draws = tables["base"][query] + rng.random(len(live)) * tables["totals"][query]
-        positions = np.searchsorted(tables["cumulative"], draws, side="right")
-        # Clamp into the query's own segment against float boundary drift.
+        cumulative = tables["cumulative"]
         low = tables["seg_offset"][query]
-        high = low + tables["seg_length"][query] - 1
-        np.clip(positions, low, high, out=positions)
-        out[live] = tables["ids"][positions]
+        last = low + lengths[live] - 1
+        # Segment totals live at each segment's last cumulative entry.
+        draws = rng.random(len(live)) * cumulative[last]
+        # Bounded per-segment binary search: the first position in
+        # [low, last] whose cumulative exceeds the draw, clamping to the
+        # segment end against float boundary drift — the vectorized form
+        # of the scalar path's right-bisect over the local prefix sums.
+        lo = low.copy()
+        hi = last.copy()
+        active = lo < hi
+        while active.any():
+            mid = (lo + hi) >> 1
+            go_right = active & (cumulative[mid] <= draws)
+            lo = np.where(go_right, mid + 1, lo)
+            hi = np.where(active & ~go_right, mid, hi)
+            active = lo < hi
+        out[live] = tables["ids"][lo]
         return out
 
     # ------------------------------------------------------------------ #

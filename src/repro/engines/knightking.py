@@ -17,12 +17,18 @@ This engine reproduces those costs:
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Set
 
 import numpy as np
 
 from repro.core.memory_model import MemoryReport
 from repro.engines.base import PHASE_REBUILD, RandomWalkEngine
+from repro.engines.sliced_tables import (
+    FrontierDelta,
+    SlicedTableStore,
+    mark_frontier_dirty,
+    warm_frontier_delta,
+)
 from repro.graph.update_batch import UpdateBatch
 from repro.graph.update_stream import GraphUpdate, UpdateKind
 from repro.sampling.alias import AliasTable
@@ -42,14 +48,33 @@ class KnightKingEngine(RandomWalkEngine):
         #: measure the hypothetical per-vertex-rebuild variant.
         self.full_rebuild_on_batch = full_rebuild_on_batch
         self._tables: Dict[int, AliasTable] = {}
-        # Concatenated per-vertex alias arrays for the fused frontier kernel.
+        # Concatenated per-vertex alias arrays for the fused frontier kernel,
+        # kept as sliced segments so an update batch only re-derives its
+        # touched vertices (the dirty-set) instead of the whole graph.
         self._frontier_cache: Optional[Dict[str, np.ndarray]] = None
+        self._frontier_dirty: Set[int] = set()
+        self._frontier_store = SlicedTableStore(
+            {"ids": np.int64, "prob": np.float64, "alias": np.int64}
+        )
+        #: Cold/compaction full concatenations performed (delta accounting).
+        self.frontier_full_builds = 0
 
     # ------------------------------------------------------------------ #
     def _build_state(self) -> None:
+        self._rebuild_samplers()
+        self._frontier_cache = None
+        self._frontier_dirty.clear()
+
+    def _rebuild_samplers(self) -> None:
+        """Recreate every per-vertex alias table from the adjacency.
+
+        Table *content* is a deterministic function of the adjacency (the
+        per-table rng only drives scalar draws), so a whole-graph sampler
+        reload leaves untouched vertices' frontier slices valid — the
+        batch paths call this and mark only their touched vertices dirty.
+        """
         graph = self._require_graph()
         self._tables = {}
-        self._frontier_cache = None
         for vertex in self._build_vertex_ids():
             if graph.degree(vertex) == 0:
                 continue
@@ -65,7 +90,7 @@ class KnightKingEngine(RandomWalkEngine):
 
     def _rebuild_vertex(self, vertex: int) -> None:
         graph = self._require_graph()
-        self._frontier_cache = None
+        mark_frontier_dirty(self, (vertex,))
         start = time.perf_counter()
         if graph.degree(vertex) == 0:
             self._tables.pop(vertex, None)
@@ -85,11 +110,11 @@ class KnightKingEngine(RandomWalkEngine):
         """Apply the edits columnar (bulk per-vertex kind-runs), then rebuild."""
         graph = self._require_graph()
         batch = UpdateBatch.coerce(updates)
-        self._frontier_cache = None
         touched = self._apply_batch_to_graph(batch)
+        mark_frontier_dirty(self, touched)
         start = time.perf_counter()
         if self.full_rebuild_on_batch:
-            self._build_state()
+            self._rebuild_samplers()
         else:
             # Sorted order keeps the per-vertex RNG-stream assignment (one
             # spawn_rng per rebuild) identical across ingestion paths.
@@ -104,7 +129,6 @@ class KnightKingEngine(RandomWalkEngine):
     def apply_batch_scalar(self, updates: Sequence[GraphUpdate]) -> None:
         """The legacy per-edge batch path (reference for equivalence tests)."""
         graph = self._require_graph()
-        self._frontier_cache = None
         touched = set()
         for update in updates:
             graph.ensure_vertex(update.src)
@@ -114,9 +138,10 @@ class KnightKingEngine(RandomWalkEngine):
             else:
                 graph.remove_edge(update.src, update.dst)
             touched.add(update.src)
+        mark_frontier_dirty(self, touched)
         start = time.perf_counter()
         if self.full_rebuild_on_batch:
-            self._build_state()
+            self._rebuild_samplers()
         else:
             for vertex in sorted(touched):
                 if graph.degree(vertex) == 0:
@@ -141,47 +166,59 @@ class KnightKingEngine(RandomWalkEngine):
             return np.full(count, -1, dtype=np.int64)
         return table.sample_batch(count, rng)
 
+    def _vertex_slice_parts(self, table: AliasTable) -> Dict[str, np.ndarray]:
+        ids, prob, alias = table.numpy_tables()
+        return {"ids": ids, "prob": prob, "alias": alias}
+
     def _frontier_tables(self) -> Dict[str, np.ndarray]:
-        """Concatenate every vertex's alias arrays into one global table.
+        """Per-vertex alias slices concatenated into one global table.
 
         A walker on vertex ``v`` draws a bucket inside the slice
         ``[seg_offset[v], seg_offset[v] + seg_length[v])`` and resolves the
         alias toss against the global prob/alias arrays, so the whole
         frontier advances with a fixed number of NumPy operations.  Built
-        lazily; any update invalidates it.
+        cold once; afterwards an update batch marks its touched vertices in
+        ``_frontier_dirty`` and this repairs exactly those slices in the
+        sliced store (compacting when the accumulated waste outweighs the
+        live payload), so a flip costs O(touched), not O(V).
         """
-        if self._frontier_cache is not None:
+        if self._frontier_cache is not None and not self._frontier_dirty:
             return self._frontier_cache
         graph = self._require_graph()
-        num_vertices = graph.num_vertices
-        seg_offset = np.zeros(num_vertices, dtype=np.int64)
-        seg_length = np.zeros(num_vertices, dtype=np.int64)
-        id_parts = []
-        prob_parts = []
-        alias_parts = []
-        cursor = 0
-        for vertex, table in self._tables.items():
-            if len(table) == 0:
-                continue
-            ids, prob, alias = table.numpy_tables()
-            seg_offset[vertex] = cursor
-            seg_length[vertex] = len(ids)
-            id_parts.append(ids)
-            prob_parts.append(prob)
-            alias_parts.append(alias)
-            cursor += len(ids)
+        store = self._frontier_store
+        if self._frontier_cache is None:
+            self.frontier_full_builds += 1
+            self._frontier_dirty.clear()
+            store.reset(graph.num_vertices)
+            for vertex, table in self._tables.items():
+                if len(table) == 0:
+                    continue
+                store.set_slice(vertex, self._vertex_slice_parts(table))
+        else:
+            store.ensure_vertices(graph.num_vertices)
+            for vertex in sorted(self._frontier_dirty):
+                table = self._tables.get(vertex)
+                if table is None or len(table) == 0:
+                    store.clear_slice(vertex)
+                else:
+                    store.set_slice(vertex, self._vertex_slice_parts(table))
+            self._frontier_dirty.clear()
+            if store.needs_compaction():
+                store.compact()
+        # Re-derive the view dict every repair: capacity growth and
+        # compaction replace the backing arrays.
         self._frontier_cache = {
-            "seg_offset": seg_offset,
-            "seg_length": seg_length,
-            "ids": np.concatenate(id_parts) if id_parts else np.empty(0, dtype=np.int64),
-            "prob": (
-                np.concatenate(prob_parts) if prob_parts else np.empty(0, dtype=np.float64)
-            ),
-            "alias": (
-                np.concatenate(alias_parts) if alias_parts else np.empty(0, dtype=np.int64)
-            ),
+            "seg_offset": store.seg_offset,
+            "seg_length": store.seg_length,
+            "ids": store.column("ids"),
+            "prob": store.column("prob"),
+            "alias": store.column("alias"),
         }
         return self._frontier_cache
+
+    def warm_frontier_tables(self) -> FrontierDelta:
+        """Repair the fused tables now; reports the slices it re-derived."""
+        return warm_frontier_delta(self)
 
     def _sample_frontier(
         self, vertices: np.ndarray, rng: np.random.Generator

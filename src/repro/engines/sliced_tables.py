@@ -1,0 +1,267 @@
+"""Per-vertex sliced storage for the fused frontier tables.
+
+The fused frontier kernels (PR 1) gather from *global* concatenated
+arrays — one slice per vertex — so a frontier of N walkers advances in a
+fixed number of NumPy operations.  Until this PR the concatenation was a
+monolith: any update invalidated the whole cache and the next query (or
+the serve writer's warming pass) re-concatenated every vertex, an O(V)
+cost per epoch that made the writer thread the scale ceiling.
+
+:class:`SlicedTableStore` turns the monolith into a segment heap with a
+per-vertex directory, the same amortized-doubling discipline
+``DynamicGraph`` uses for its adjacency columns:
+
+* Each vertex owns one segment ``[seg_offset[v], seg_offset[v] +
+  seg_length[v])`` shared by every column in the store's schema.
+* Re-deriving a vertex whose slice did not grow patches the segment in
+  place; a grown slice is appended at the tail (capacity-doubled) and
+  the old segment becomes waste.
+* When waste exceeds the live payload the store compacts — one
+  vectorized gather that re-packs every live segment — so the amortized
+  cost of a flip stays proportional to the vertices the batch touched,
+  never to the graph.
+
+Engines keep a ``_frontier_dirty`` set instead of dropping their cache:
+an update marks its touched vertices, and the next
+:meth:`~repro.engines.base.RandomWalkEngine` table build repairs exactly
+those slices.  :func:`warm_frontier_delta` wraps that repair for the
+serve writer and reports what it cost as a :class:`FrontierDelta` — the
+unit the epoch-delta publication path ships instead of a rebuilt world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Waste below this many segment entries never triggers compaction (tiny
+#: stores churn freely without paying repacks that save nothing).
+_COMPACTION_SLACK = 1024
+
+#: Smallest data-column capacity allocated once a store holds anything.
+_MIN_CAPACITY = 16
+
+
+@dataclass(frozen=True)
+class FrontierDelta:
+    """What one frontier-table repair touched.
+
+    This is the publication unit of the epoch-delta serve path: after a
+    batch is applied, warming re-derives ``vertices`` slices (the union
+    of the dirty-sets of the applied and caught-up batches) instead of
+    re-concatenating the world.  ``full_rebuild`` marks the repairs that
+    did cost O(V) — the cold first build and the amortized compaction
+    fallback — so the serve stats can account them separately.
+    """
+
+    #: Number of vertex slices re-derived by this repair.
+    vertices: int
+    #: True when the repair rebuilt the whole concatenation.
+    full_rebuild: bool
+
+
+class SlicedTableStore:
+    """Capacity-doubled global arrays with one segment per vertex.
+
+    Parameters
+    ----------
+    schema:
+        Mapping of column name to NumPy dtype.  All columns share the
+        per-vertex segment layout, so one ``set_slice`` call replaces a
+        vertex's entries across every column at once.
+    """
+
+    def __init__(self, schema: Mapping[str, np.dtype]) -> None:
+        if not schema:
+            raise ReproError("a sliced table store needs at least one column")
+        self._schema = {name: np.dtype(dtype) for name, dtype in schema.items()}
+        self._columns: Dict[str, np.ndarray] = {
+            name: np.empty(0, dtype=dtype) for name, dtype in self._schema.items()
+        }
+        self.seg_offset = np.zeros(0, dtype=np.int64)
+        self.seg_length = np.zeros(0, dtype=np.int64)
+        #: Tail high-water mark of the data columns (entries ever placed).
+        self.used = 0
+        #: Entries currently reachable through the directory.
+        self.live = 0
+
+    # ------------------------------------------------------------------ #
+    # geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return len(self.seg_offset)
+
+    @property
+    def waste(self) -> int:
+        """Dead entries below the high-water mark (orphaned / shrunk slices)."""
+        return self.used - self.live
+
+    @property
+    def capacity(self) -> int:
+        return len(next(iter(self._columns.values())))
+
+    def column(self, name: str) -> np.ndarray:
+        """The full backing array of ``name`` (valid below ``used``)."""
+        return self._columns[name]
+
+    def reset(self, num_vertices: int) -> None:
+        """Drop every segment and size the directory for ``num_vertices``."""
+        self.seg_offset = np.zeros(num_vertices, dtype=np.int64)
+        self.seg_length = np.zeros(num_vertices, dtype=np.int64)
+        self.used = 0
+        self.live = 0
+
+    def ensure_vertices(self, num_vertices: int) -> None:
+        """Grow the directory so ids below ``num_vertices`` are addressable.
+
+        New vertices start with empty segments (length 0), which the
+        frontier kernels already treat as "no out-edges".
+        """
+        current = len(self.seg_offset)
+        if num_vertices <= current:
+            return
+        grown_offset = np.zeros(num_vertices, dtype=np.int64)
+        grown_length = np.zeros(num_vertices, dtype=np.int64)
+        grown_offset[:current] = self.seg_offset
+        grown_length[:current] = self.seg_length
+        self.seg_offset = grown_offset
+        self.seg_length = grown_length
+
+    # ------------------------------------------------------------------ #
+    # slice mutation
+    # ------------------------------------------------------------------ #
+    def set_slice(self, vertex: int, parts: Mapping[str, np.ndarray]) -> int:
+        """Replace ``vertex``'s segment across every column; returns its offset.
+
+        Slices that did not grow are patched in place (the shrink gap
+        becomes waste); grown slices are appended at the capacity-doubled
+        tail and the old segment is orphaned.  Either way the directory
+        points at consistent data when this returns.
+        """
+        if set(parts) != set(self._schema):
+            raise ReproError(
+                "slice parts must cover exactly the store schema: expected "
+                f"{sorted(self._schema)}, got {sorted(parts)}"
+            )
+        length = len(next(iter(parts.values())))
+        for name, values in parts.items():
+            if len(values) != length:
+                raise ReproError(
+                    f"slice column {name!r} has {len(values)} entries, "
+                    f"expected {length}"
+                )
+        if length == 0:
+            self.clear_slice(vertex)
+            return 0
+        old_length = int(self.seg_length[vertex])
+        if 0 < length <= old_length:
+            offset = int(self.seg_offset[vertex])
+        else:
+            # Orphan the old segment (if any) and append at the tail.
+            offset = self.used
+            self._ensure_capacity(offset + length)
+            self.used = offset + length
+        for name, values in parts.items():
+            self._columns[name][offset : offset + length] = values
+        self.seg_offset[vertex] = offset
+        self.seg_length[vertex] = length
+        self.live += length - old_length
+        return offset
+
+    def clear_slice(self, vertex: int) -> None:
+        """Drop ``vertex``'s segment (its entries become waste)."""
+        self.live -= int(self.seg_length[vertex])
+        self.seg_offset[vertex] = 0
+        self.seg_length[vertex] = 0
+
+    def _ensure_capacity(self, needed: int) -> None:
+        capacity = self.capacity
+        if needed <= capacity:
+            return
+        grown = max(2 * capacity, needed, _MIN_CAPACITY)
+        for name, column in self._columns.items():
+            replacement = np.empty(grown, dtype=column.dtype)
+            replacement[: self.used] = column[: self.used]
+            self._columns[name] = replacement
+
+    # ------------------------------------------------------------------ #
+    # compaction
+    # ------------------------------------------------------------------ #
+    def needs_compaction(self) -> bool:
+        """Whether dead entries outweigh the live payload.
+
+        The threshold keeps total work amortized: a compaction pass costs
+        O(live), and reaching the threshold again requires at least
+        O(live) further slice churn.
+        """
+        return self.waste > max(self.live, _COMPACTION_SLACK)
+
+    def compact(self) -> None:
+        """Re-pack every live segment contiguously (one vectorized gather)."""
+        live_vertices = np.nonzero(self.seg_length > 0)[0]
+        if len(live_vertices) == 0:
+            self.used = 0
+            self.live = 0
+            return
+        # Stable layout: keep the segments in their current storage order.
+        live_vertices = live_vertices[np.argsort(self.seg_offset[live_vertices], kind="stable")]
+        lengths = self.seg_length[live_vertices]
+        ends = np.cumsum(lengths)
+        total = int(ends[-1])
+        out_starts = ends - lengths
+        # For each packed position, the source position it pulls from:
+        # segment v's packed entries [start, start+len) copy from
+        # [old_offset, old_offset+len).  Fancy indexing gathers into a
+        # fresh array first, so overlapping moves are safe.
+        gather = np.repeat(self.seg_offset[live_vertices] - out_starts, lengths) + np.arange(
+            total, dtype=np.int64
+        )
+        for name, column in self._columns.items():
+            column[:total] = column[gather]
+        self.seg_offset[live_vertices] = out_starts
+        self.used = total
+        self.live = total
+
+
+def mark_frontier_dirty(engine, vertices: Iterable[int]) -> None:
+    """Record ``vertices`` as needing slice repair on the next table build.
+
+    Before the first build there is nothing to repair incrementally —
+    the cache is still ``None`` and the next :meth:`_frontier_tables`
+    call performs the cold full concatenation anyway.
+    """
+    if engine._frontier_cache is None:
+        return
+    engine._frontier_dirty.update(int(vertex) for vertex in vertices)
+
+
+def warm_frontier_delta(engine) -> "FrontierDelta":
+    """Repair the engine's fused tables and report what the repair cost.
+
+    This is the serve writer's warming entry point: after applying a
+    batch (and any catch-up replays, whose dirty vertices union into the
+    same set) it re-derives only the dirty slices.  Cold first builds
+    and compaction fallbacks surface as ``full_rebuild`` deltas.
+    """
+    dirty = len(engine._frontier_dirty)
+    cold = engine._frontier_cache is None
+    builds_before = engine.frontier_full_builds
+    engine._frontier_tables()
+    if cold or engine.frontier_full_builds > builds_before:
+        return FrontierDelta(
+            vertices=int(engine._require_graph().num_vertices), full_rebuild=True
+        )
+    return FrontierDelta(vertices=dirty, full_rebuild=False)
+
+
+__all__ = [
+    "FrontierDelta",
+    "SlicedTableStore",
+    "mark_frontier_dirty",
+    "warm_frontier_delta",
+]

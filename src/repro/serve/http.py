@@ -12,6 +12,8 @@ Error mapping (everything is JSON, ``{"error": ..., "type": ...}``):
 
 ========================================  ======
 :class:`~repro.errors.QueryValidationError`  400
+malformed body / headers / short reads       400
+oversized request body                       413
 :class:`~repro.errors.QuotaExceededError`    429
 :class:`~repro.errors.ServiceClosedError`    503
 :class:`~repro.errors.QueryTimeoutError`     504
@@ -46,6 +48,11 @@ DEFAULT_QUERY_TIMEOUT = 30.0
 #: Largest accepted request body (1 MiB of JSON is ~50k updates).
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
+#: Default socket timeout while reading a request (seconds).  Bounds
+#: ``rfile.read`` so a client that declares a Content-Length and then
+#: under-delivers cannot wedge a handler thread until it disconnects.
+DEFAULT_BODY_TIMEOUT = 10.0
+
 
 def status_for_error(error: BaseException) -> int:
     """The HTTP status code a serve-layer failure maps onto."""
@@ -62,6 +69,10 @@ def status_for_error(error: BaseException) -> int:
 
 class _BadRequest(Exception):
     """Malformed request body or parameters (always a 400)."""
+
+
+class _PayloadTooLarge(Exception):
+    """Request body above :data:`MAX_BODY_BYTES` (always a 413)."""
 
 
 def _parse_updates(payload: dict) -> UpdateBatch:
@@ -124,6 +135,8 @@ class GraphServiceHandler(BaseHTTPRequestHandler):
                 )
         except _BadRequest as exc:
             self._send(400, {"error": str(exc), "type": "BadRequest"})
+        except _PayloadTooLarge as exc:
+            self._send(413, {"error": str(exc), "type": "PayloadTooLarge"})
         except Exception as exc:  # noqa: BLE001 - the trust boundary
             self._send(
                 status_for_error(exc),
@@ -213,13 +226,49 @@ class GraphServiceHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     # plumbing
     # ------------------------------------------------------------------ #
+    def setup(self) -> None:
+        # socketserver applies ``self.timeout`` to the connection socket,
+        # which bounds every ``rfile`` read below — the per-server knob
+        # that keeps under-delivering clients from pinning handler threads.
+        self.timeout = self.server.body_timeout
+        super().setup()
+
     def _read_json(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            raise _BadRequest("request body required")
+        try:
+            length = int(raw_length)
+        except ValueError as exc:
+            # The serve boundary again: a garbage header is the client's
+            # bug (400), not an unhandled server traceback (500).
+            raise _BadRequest(
+                f"Content-Length is not an integer: {raw_length.strip()!r}"
+            ) from exc
         if length <= 0:
             raise _BadRequest("request body required")
         if length > MAX_BODY_BYTES:
-            raise _BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
-        body = self.rfile.read(length)
+            raise _PayloadTooLarge(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        try:
+            body = self.rfile.read(length)
+        except TimeoutError as exc:
+            # The client declared more bytes than it sent and the socket
+            # timeout expired mid-read.  The stream is desynchronized, so
+            # the connection cannot be reused.
+            self.close_connection = True
+            raise _BadRequest(
+                "timed out reading the request body (fewer bytes sent than "
+                "Content-Length declared)"
+            ) from exc
+        if len(body) < length:
+            self.close_connection = True
+            raise _BadRequest(
+                f"request body ended after {len(body)} of the declared "
+                f"{length} bytes"
+            )
         try:
             payload = json.loads(body)
         except json.JSONDecodeError as exc:
@@ -259,10 +308,12 @@ class GraphServiceHTTPServer(ThreadingHTTPServer):
         address: Tuple[str, int] = ("127.0.0.1", 0),
         *,
         query_timeout: Optional[float] = DEFAULT_QUERY_TIMEOUT,
+        body_timeout: Optional[float] = DEFAULT_BODY_TIMEOUT,
         log_requests: bool = False,
     ) -> None:
         self.service = service
         self.query_timeout = query_timeout
+        self.body_timeout = body_timeout
         self.log_requests = bool(log_requests)
         super().__init__(address, GraphServiceHandler)
 
@@ -278,6 +329,7 @@ def serve_http(
     port: int = 0,
     *,
     query_timeout: Optional[float] = DEFAULT_QUERY_TIMEOUT,
+    body_timeout: Optional[float] = DEFAULT_BODY_TIMEOUT,
     log_requests: bool = False,
 ) -> Tuple[GraphServiceHTTPServer, threading.Thread]:
     """Start the HTTP front-end on a daemon thread.
@@ -291,6 +343,7 @@ def serve_http(
         service,
         (host, port),
         query_timeout=query_timeout,
+        body_timeout=body_timeout,
         log_requests=log_requests,
     )
     thread = threading.Thread(
@@ -301,6 +354,7 @@ def serve_http(
 
 
 __all__ = [
+    "DEFAULT_BODY_TIMEOUT",
     "DEFAULT_QUERY_TIMEOUT",
     "GraphServiceHTTPServer",
     "GraphServiceHandler",

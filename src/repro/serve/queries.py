@@ -236,6 +236,11 @@ class ServeStats:
     warm_seconds: float = 0.0
     #: Epochs whose back buffer was warmed before publication.
     epochs_warmed: int = 0
+    #: Vertex slices re-derived by warming (the published epoch deltas).
+    warm_vertices: int = 0
+    #: Of the warmed epochs: how many fell back to a full table rebuild
+    #: (cold first build or amortized compaction) instead of a delta.
+    warm_full_rebuilds: int = 0
     #: Of which: shard-runner refresh folded into epoch publication.
     refresh_seconds: float = 0.0
     #: Dispatcher-thread CPU seconds inside fused walk execution.

@@ -24,10 +24,14 @@ way the paper's serving scenario demands:
   of one small frontier per caller, and no tenant's flood can exclude
   another tenant from the wave.
 
-* **Back-buffer warming.**  With ``warm_on_publish`` the writer
-  pre-builds the back buffer's fused concatenated tables before each
+* **Back-buffer warming (epoch deltas).**  With ``warm_on_publish`` the
+  writer brings the back buffer's fused tables up to date before each
   epoch flips, flattening the post-flip p99 spike the first fused query
-  otherwise pays.
+  otherwise pays.  Warming ships a *delta*: the engines track the
+  vertices each batch touched in a dirty-set, catch-up replays union
+  their dirty-sets into it, and the repair re-derives only those
+  per-vertex slices — O(touched) per flip instead of the O(V)
+  re-concatenation the first serve layer performed.
 
 * **Shard-parallel dispatch.**  With ``workers > 1`` queries run through a
   :class:`~repro.walks.parallel.ParallelWalkRunner`; its ``refresh()`` is
@@ -375,6 +379,8 @@ class GraphService:
                 "update_busy_seconds": stats.update_busy_seconds,
                 "query_busy_seconds": stats.query_busy_seconds,
                 "warm_seconds": stats.warm_seconds,
+                "warm_vertices": stats.warm_vertices,
+                "warm_full_rebuilds": stats.warm_full_rebuilds,
                 "latency_p50_seconds": percentiles["p50"],
                 "latency_p99_seconds": percentiles["p99"],
             }
@@ -547,27 +553,41 @@ class GraphService:
         back.pending.clear()
         back.engine.apply_batch(batch)
         if self.warm_on_publish:
-            # Cold-start warming: pre-build the fused concatenated tables
-            # on the writer thread while the buffer is still the *back*
-            # one, so the first fused query after the flip pays a gather,
-            # not a full table build (the post-flip p99 spike).
+            # Delta warming: repair the fused tables on the writer thread
+            # while the buffer is still the *back* one, so the first fused
+            # query after the flip pays a gather, not a table build.  The
+            # repair covers exactly the dirty-set — the union of this
+            # batch's touched vertices and those of the catch-up replays
+            # above — so the published delta costs O(touched), not O(V).
             warm_start = time.thread_time()
-            self._warm_engine(back.engine)
+            delta = self._warm_engine(back.engine)
             with self._cond:
                 self.stats.warm_seconds += time.thread_time() - warm_start
                 self.stats.epochs_warmed += 1
+                if delta is not None:
+                    self.stats.warm_vertices += delta.vertices
+                    if delta.full_rebuild:
+                        self.stats.warm_full_rebuilds += 1
         self._publish(back, batch, started)
 
     @staticmethod
-    def _warm_engine(engine) -> None:
-        """Build the engine's lazily cached fused frontier tables now.
+    def _warm_engine(engine):
+        """Bring the engine's fused frontier tables up to date now.
 
-        Engines without a fused-table cache (FlowWalker samples straight
-        off the adjacency views) have nothing to warm.
+        Engines with the sliced-table cache expose
+        ``warm_frontier_tables`` and return the
+        :class:`~repro.engines.sliced_tables.FrontierDelta` the repair
+        shipped (dirty vertex count + whether it fell back to a full
+        rebuild).  Engines without a fused-table cache (FlowWalker
+        samples straight off the adjacency views) have nothing to warm.
         """
+        warm = getattr(engine, "warm_frontier_tables", None)
+        if warm is not None:
+            return warm()
         build_tables = getattr(engine, "_frontier_tables", None)
         if build_tables is not None:
             build_tables()
+        return None
 
     def _publish(self, buffer: _EngineBuffer, batch: UpdateBatch, started: float) -> None:
         """Atomically make ``buffer`` the published snapshot (epoch + 1)."""

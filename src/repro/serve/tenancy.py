@@ -148,9 +148,26 @@ class FairShareQueue:
         return lane
 
     def tenant_stats(self) -> Dict[str, TenantStats]:
-        """The live per-tenant stats objects, keyed by tenant id."""
+        """Consistent per-tenant stats snapshots, keyed by tenant id.
+
+        Returns *copies* taken under the queue lock: handing out the live
+        :class:`TenantStats` objects lets callers iterate a latency deque
+        the dispatcher is concurrently appending to, and a deque mutated
+        mid-iteration raises ``RuntimeError`` (or silently skews the
+        percentiles).  The copies are stable — percentile math on them
+        needs no further locking.
+        """
         with self._cond:
-            return {name: lane.stats for name, lane in self._lanes.items()}
+            return {
+                name: TenantStats(
+                    admitted=lane.stats.admitted,
+                    rejected=lane.stats.rejected,
+                    served=lane.stats.served,
+                    failed=lane.stats.failed,
+                    latencies=deque(lane.stats.latencies, maxlen=STATS_WINDOW),
+                )
+                for name, lane in self._lanes.items()
+            }
 
     def tenant_summaries(self) -> Dict[str, Dict[str, float]]:
         """Per-tenant counters + latency percentiles as plain dicts.
@@ -231,9 +248,20 @@ class FairShareQueue:
             self._lane(tenant).stats.admitted += count
 
     def record_served(self, tenant: str, latency_seconds: float) -> None:
+        """Account one completed query against the tenant's lane.
+
+        Completions can race ``close()``: a fused run that was already
+        executing keeps resolving tickets after admissions stopped.  A
+        missing lane at that point must neither create one (resurrecting
+        a closed tenant in ``tenant_stats()``) nor raise out of the
+        dispatcher (strict mode's ``_lane`` rejects unknown tenants) —
+        the completion is simply dropped from the per-tenant counters.
+        """
         with self._cond:
             lane = self._lanes.get(tenant)
-            if lane is None:  # pragma: no cover - served implies admitted
+            if lane is None:
+                if self._closed or self._strict:
+                    return
                 lane = self._lane(tenant)
             lane.stats.served += 1
             lane.stats.latencies.append(latency_seconds)

@@ -97,3 +97,41 @@ def test_pr5_gate_catches_missing_sections(pr5_report):
     errors = check_bench.check_bench_pr5(broken)
     assert any("warming section missing" in error for error in errors)
     assert any("shared_queue" in error for error in errors)
+
+
+@pytest.fixture()
+def pr6_report():
+    return json.loads((REPO_ROOT / "BENCH_PR6.json").read_text())
+
+
+def test_pr6_gate_catches_flatness_regression(pr6_report):
+    broken = copy.deepcopy(pr6_report)
+    broken["delta_flatness"] = check_bench.PR6_MAX_FLAT_RATIO * 2
+    errors = check_bench.check_bench_pr6(broken)
+    assert any("flatness bar" in error for error in errors)
+
+
+def test_pr6_gate_catches_speedup_regression(pr6_report):
+    broken = copy.deepcopy(pr6_report)
+    broken["full_vs_delta_at_largest"] = check_bench.PR6_MIN_DELTA_VS_FULL / 2
+    errors = check_bench.check_bench_pr6(broken)
+    assert any("acceptance bar" in error for error in errors)
+
+
+def test_pr6_gate_catches_short_sweep(pr6_report):
+    broken = copy.deepcopy(pr6_report)
+    broken["scales"] = broken["scales"][:1]
+    errors = check_bench.check_bench_pr6(broken)
+    assert any("shorter than 2" in error for error in errors)
+
+    shallow = copy.deepcopy(pr6_report)
+    shallow["vertex_growth"] = 2.0
+    errors = check_bench.check_bench_pr6(shallow)
+    assert any("vertex_growth" in error for error in errors)
+
+
+def test_pr6_gate_catches_nonpositive_timings(pr6_report):
+    broken = copy.deepcopy(pr6_report)
+    broken["scales"][0]["delta_warm_seconds_per_flip"] = 0
+    errors = check_bench.check_bench_pr6(broken)
+    assert any("delta_warm_seconds_per_flip" in error for error in errors)
