@@ -4,7 +4,7 @@
 Each PR that lands a measured win commits its numbers (BENCH_PR2: columnar
 ingest, BENCH_PR3: shard-parallel walks, BENCH_PR4: streaming serve,
 BENCH_PR5: multi-tenant fairness + back-buffer warming, BENCH_PR6:
-epoch-delta publication flatness).  CI
+epoch-delta publication flatness, BENCH_PR7: chaos suite resilience).  CI
 runs this script so a refactor cannot silently drop an engine, rename a
 field, or regress the streaming-serve headline below its acceptance bar —
 the JSON in the repo must keep telling the same story the CHANGES.md entry
@@ -49,6 +49,10 @@ PR6_MIN_DELTA_VS_FULL = 5.0
 #: The flip sweep must grow the vertex set by at least this factor for
 #: the flatness assertion to mean anything.
 PR6_MIN_VERTEX_GROWTH = 4.0
+
+#: The PR 7 resilience bar: fraction of chaos-run queries that must
+#: resolve successfully despite injected faults.
+PR7_MIN_SUCCESS_RATE = 0.99
 
 
 def _require_positive(row: dict, fields: List[str], where: str, errors: List[str]) -> None:
@@ -246,12 +250,81 @@ def check_bench_pr6(report: dict) -> List[str]:
     return errors
 
 
+def check_bench_pr7(report: dict) -> List[str]:
+    """BENCH_PR7.json — chaos suite: self-healing under injected faults."""
+    errors: List[str] = []
+    tickets = report.get("tickets")
+    if not isinstance(tickets, dict):
+        errors.append("BENCH_PR7: tickets section missing")
+    else:
+        _require_positive(
+            tickets, ["submitted", "resolved"], "BENCH_PR7.tickets", errors
+        )
+        rate = tickets.get("success_rate")
+        if not isinstance(rate, (int, float)) or rate <= 0:
+            errors.append(
+                f"BENCH_PR7: tickets.success_rate missing or not positive ({rate!r})"
+            )
+        elif rate < PR7_MIN_SUCCESS_RATE:
+            errors.append(
+                f"BENCH_PR7: chaos-run success rate {rate} is below the "
+                f"{PR7_MIN_SUCCESS_RATE} resilience bar"
+            )
+        hung = tickets.get("hung")
+        if not isinstance(hung, int) or hung != 0:
+            errors.append(
+                f"BENCH_PR7: tickets.hung is {hung!r} — every ticket must "
+                "resolve (walks or clean error), never hang"
+            )
+    writer = report.get("writer")
+    if not isinstance(writer, dict):
+        errors.append("BENCH_PR7: writer section missing")
+    else:
+        _require_positive(
+            writer,
+            ["recoveries", "batches_quarantined", "mttr_seconds"],
+            "BENCH_PR7.writer",
+            errors,
+        )
+        published = writer.get("epochs_published")
+        if not isinstance(published, (int, float)) or published <= 0:
+            errors.append(
+                "BENCH_PR7: writer.epochs_published missing or not positive "
+                f"({published!r}) — quarantine must not stop healthy batches "
+                "from publishing"
+            )
+    worker = report.get("worker")
+    if not isinstance(worker, dict):
+        errors.append("BENCH_PR7: worker section missing")
+    else:
+        _require_positive(
+            worker, ["respawns", "wave_retries"], "BENCH_PR7.worker", errors
+        )
+    http = report.get("http")
+    if not isinstance(http, dict):
+        errors.append("BENCH_PR7: http section missing")
+    else:
+        _require_positive(
+            http,
+            ["queries", "resolved", "client_retries", "injected_faults"],
+            "BENCH_PR7.http",
+            errors,
+        )
+    if report.get("replay_identical") is not True:
+        errors.append(
+            "BENCH_PR7: replay_identical is not true — the same seed must "
+            "reproduce the identical fault sequence"
+        )
+    return errors
+
+
 CHECKS: Dict[str, Callable[[dict], List[str]]] = {
     "BENCH_PR2.json": check_bench_pr2,
     "BENCH_PR3.json": check_bench_pr3,
     "BENCH_PR4.json": check_bench_pr4,
     "BENCH_PR5.json": check_bench_pr5,
     "BENCH_PR6.json": check_bench_pr6,
+    "BENCH_PR7.json": check_bench_pr7,
 }
 
 

@@ -1616,3 +1616,268 @@ def scale_workers(
         ),
         "engines": per_engine,
     }
+
+
+def chaos_serve(
+    *,
+    dataset: str = "AM",
+    engine: str = "bingo",
+    application: str = "deepwalk",
+    walk_length: int = 8,
+    num_walkers: int = 48,
+    queries_per_batch: int = 3,
+    batch_size: int = 150,
+    num_batches: int = 6,
+    workload: str = "mixed",
+    http_queries: int = 8,
+    seed: int = 41,
+) -> Dict[str, object]:
+    """The chaos suite: seeded faults against the self-healing serve layer.
+
+    Three scenarios, one seeded :class:`~repro.serve.FaultPlan` each, all
+    feeding one ticket ledger:
+
+    * **writer** — a double-buffered service ingests ``num_batches``
+      *insertion* batches (insert-only batches are mutually independent,
+      so quarantining one cannot poison its successors the way a mixed
+      stream's delete-what-you-inserted ordering does) with sampled
+      ``writer.apply`` failures (plus one guaranteed at the first batch)
+      and short ``dispatcher.wave`` delays.  Poisoned batches must land
+      in the dead-letter list while the healthy remainder still publish
+      and every interleaved query resolves; the scenario runs **twice**
+      with the same seed and the two injector histories must be identical
+      (the replayability gate).  MTTR is
+      ``recovery_seconds / writer_recoveries``.
+    * **worker** — a ``workers=2`` service takes a scheduled
+      ``kill_worker`` mid-wave; the dispatcher must respawn the dead
+      shard from the existing shared-memory export and retry the wave, so
+      every ticket still resolves.
+    * **http** — the stdlib front-end drops injected 503s on a
+      :class:`~repro.serve.ServiceClient`, whose capped-backoff retries
+      (honouring ``Retry-After``) must hide them from the caller.
+
+    The headline numbers — ``tickets.success_rate`` (must be ≥ 0.99),
+    ``tickets.hung`` (must be 0, the no-hung-tickets contract) and
+    ``replay_identical`` — are what the PR 7 gate in
+    ``scripts/check_bench.py`` pins.
+    """
+    from repro.serve import (
+        FaultInjector,
+        FaultPlan,
+        GraphService,
+        ServiceClient,
+        WalkQuery,
+        serve_http,
+    )
+    from repro.serve.faults import chaos_points
+
+    if queries_per_batch < 1 or http_queries < 1:
+        raise BenchmarkError("chaos_serve needs at least one query per scenario")
+    graph = build_dataset(dataset, rng=ensure_rng(seed))
+    starts = sample_start_vertices(graph, num_walkers, rng=seed + 1)
+    effective_batch = min(
+        batch_size, max(1, graph.num_edges // (num_batches + 1))
+    )
+    stream = generate_update_stream(
+        graph,
+        batch_size=effective_batch,
+        num_batches=num_batches,
+        workload=UpdateWorkload(workload),
+        rng=seed + 2,
+    )
+    writer_stream = generate_update_stream(
+        graph,
+        batch_size=effective_batch,
+        num_batches=num_batches,
+        workload=UpdateWorkload.INSERTION,
+        rng=seed + 2,
+    )
+    ledger = {"submitted": 0, "resolved": 0, "failed": 0, "hung": 0}
+
+    def settle(tickets) -> None:
+        for ticket in tickets:
+            ledger["submitted"] += 1
+            try:
+                ticket.result(timeout=120.0)
+                ledger["resolved"] += 1
+            except Exception:
+                # A clean error still honours the never-hang contract;
+                # only an unresolved ticket is a chaos failure.
+                ledger["failed" if ticket.done else "hung"] += 1
+
+    # ---------------------------------------------------------------- #
+    # scenario 1: writer self-healing (run twice for replay identity)
+    # ---------------------------------------------------------------- #
+    def writer_plan() -> FaultPlan:
+        plan = FaultPlan.sample(
+            seed, {"writer.apply": 0.25}, horizon=num_batches
+        )
+        plan.fail("writer.apply", 0, message="guaranteed chaos fault")
+        plan.delay("dispatcher.wave", 1, 0.01)
+        return plan
+
+    def run_writer(count_tickets: bool) -> Dict[str, object]:
+        injector = FaultInjector(writer_plan())
+        service = GraphService(
+            engine,
+            writer_stream.initial_graph,
+            rng=seed + 3,
+            service_seed=seed + 4,
+            warm_on_publish=True,
+            fault_injector=injector,
+            writer_recovery_limit=num_batches + 1,
+        )
+        tickets = []
+        try:
+            for batch in writer_stream.batches:
+                service.ingest(batch)
+                tickets.extend(
+                    service.submit_many(
+                        [
+                            WalkQuery(application, starts, walk_length)
+                            for _ in range(queries_per_batch)
+                        ]
+                    )
+                )
+                service.flush()
+            if count_tickets:
+                settle(tickets)
+            else:
+                for ticket in tickets:
+                    ticket.result(timeout=120.0)
+            stats = service.stats_snapshot()
+        finally:
+            service.close(drain=True)
+        recoveries = int(stats["writer_recoveries"])
+        return {
+            "history": chaos_points(injector.history()),
+            "recoveries": recoveries,
+            "batches_quarantined": int(stats["batches_quarantined"]),
+            "dead_letter_depth": len(stats["dead_letter"]),
+            "epochs_published": int(stats["epochs_published"]),
+            "recovery_seconds": float(stats["recovery_seconds"]),
+            "mttr_seconds": (
+                float(stats["recovery_seconds"]) / recoveries
+                if recoveries
+                else 0.0
+            ),
+        }
+
+    writer_first = run_writer(count_tickets=True)
+    writer_second = run_writer(count_tickets=False)
+    replay_identical = writer_first["history"] == writer_second["history"]
+
+    # ---------------------------------------------------------------- #
+    # scenario 2: worker crash + respawn mid-wave
+    # ---------------------------------------------------------------- #
+    kill_plan = FaultPlan().kill_worker(
+        "worker.step", min(2, walk_length - 1), shard=1
+    )
+    kill_injector = FaultInjector(kill_plan)
+    service = GraphService(
+        engine,
+        stream.initial_graph,
+        rng=seed + 5,
+        service_seed=seed + 6,
+        workers=2,
+        fault_injector=kill_injector,
+    )
+    try:
+        tickets = service.submit_many(
+            [
+                WalkQuery(application, starts, walk_length)
+                for _ in range(queries_per_batch)
+            ]
+        )
+        settle(tickets)
+        # A post-crash ingest proves the respawned pool also refreshes.
+        service.ingest(stream.batches[0])
+        service.flush()
+        settle(
+            service.submit_many([WalkQuery(application, starts, walk_length)])
+        )
+        worker_stats = service.stats_snapshot()
+    finally:
+        service.close(drain=True)
+    worker_summary = {
+        "respawns": int(worker_stats["worker_respawns"]),
+        "wave_retries": int(worker_stats["wave_retries"]),
+        "history": chaos_points(kill_injector.history()),
+    }
+
+    # ---------------------------------------------------------------- #
+    # scenario 3: HTTP 503s hidden by client backoff
+    # ---------------------------------------------------------------- #
+    http_plan = FaultPlan()
+    for index in range(0, http_queries, 3):
+        http_plan.fail("http.handler", index, message="chaos front-end fault")
+    http_injector = FaultInjector(http_plan)
+    service = GraphService(
+        engine, stream.initial_graph, rng=seed + 7, service_seed=seed + 8
+    )
+    server = None
+    client_retries = 0
+    http_resolved = 0
+    expired = 0
+    try:
+        server, _ = serve_http(
+            service,
+            port=0,
+            fault_injector=http_injector,
+            retry_after_seconds=0.05,
+        )
+        client = ServiceClient(
+            server.url, max_retries=4, backoff_seconds=0.05, timeout=120.0
+        )
+        for _ in range(http_queries):
+            ledger["submitted"] += 1
+            try:
+                client.query(
+                    application,
+                    starts,
+                    walk_length,
+                    timeout=120.0,
+                    deadline_seconds=120.0,
+                )
+                ledger["resolved"] += 1
+                http_resolved += 1
+            except Exception:
+                ledger["failed"] += 1
+        client_retries = client.retries_performed
+        expired = int(service.stats_snapshot()["queries_expired"])
+    finally:
+        if server is not None:
+            server.shutdown()
+        service.close()
+    http_summary = {
+        "queries": http_queries,
+        "resolved": http_resolved,
+        "client_retries": int(client_retries),
+        "injected_faults": len(http_plan),
+        "queries_expired": expired,
+        "history": chaos_points(http_injector.history()),
+    }
+
+    submitted = ledger["submitted"]
+    success_rate = ledger["resolved"] / submitted if submitted else 0.0
+    return {
+        "experiment": "chaos_serve",
+        "dataset": dataset,
+        "engine": engine,
+        "application": application,
+        "seed": seed,
+        "walk_length": walk_length,
+        "num_batches": num_batches,
+        "tickets": {**ledger, "success_rate": success_rate},
+        "writer": {
+            key: value for key, value in writer_first.items() if key != "history"
+        },
+        "worker": worker_summary,
+        "http": http_summary,
+        "replay_identical": replay_identical,
+        "fault_history": writer_first["history"],
+        "note": (
+            "success_rate counts every chaos-scenario query; hung is the "
+            "count of tickets that never resolved (the gate pins it to 0)"
+        ),
+    }

@@ -55,6 +55,7 @@ EXPERIMENT_RUNNERS: Dict[str, Callable[..., Any]] = {
     "scale": experiments.scale_workers,
     "serve": experiments.multi_tenant_serve,
     "streaming": experiments.streaming_serve,
+    "chaos": experiments.chaos_serve,
 }
 
 #: Experiments whose JSON output lands in a file by default (perf trajectory).
@@ -64,6 +65,7 @@ DEFAULT_OUTPUT_FILES = {
     "streaming": "BENCH_PR4.json",
     "serve": "BENCH_PR5.json",
     "flip": "BENCH_PR6.json",
+    "chaos": "BENCH_PR7.json",
 }
 
 
@@ -271,11 +273,11 @@ def _run_experiment(args: argparse.Namespace) -> int:
                 "--workers count"
             )
     for flag, value, experiments_allowed in (
-        ("--walk-length", args.walk_length, {"scale", "streaming", "serve"}),
+        ("--walk-length", args.walk_length, {"scale", "streaming", "serve", "chaos"}),
         ("--rounds", args.rounds, {"scale"}),
-        ("--num-walkers", args.num_walkers, {"scale", "streaming", "serve"}),
+        ("--num-walkers", args.num_walkers, {"scale", "streaming", "serve", "chaos"}),
         ("--queries-per-round", args.queries_per_round, {"streaming"}),
-        ("--engines", args.engines, {"streaming", "serve", "flip"}),
+        ("--engines", args.engines, {"streaming", "serve", "flip", "chaos"}),
         ("--flood-queries", args.flood_queries, {"serve"}),
         ("--light-queries", args.light_queries, {"serve"}),
         ("--scales", args.scales, {"flip"}),
@@ -349,6 +351,29 @@ def _run_experiment(args: argparse.Namespace) -> int:
             kwargs["flood_queries"] = args.flood_queries
         if args.light_queries is not None:
             kwargs["light_queries"] = args.light_queries
+    if args.experiment == "chaos":
+        if args.datasets is not None:
+            if len(args.datasets) > 1:
+                return _fail(
+                    "`run chaos` drives a single dataset; "
+                    f"got {len(args.datasets)} datasets"
+                )
+            kwargs["dataset"] = args.datasets[0]
+        if args.engines is not None:
+            if len(args.engines) > 1:
+                return _fail(
+                    "`run chaos` drives a single engine; "
+                    f"got {len(args.engines)} engines"
+                )
+            kwargs["engine"] = args.engines[0]
+        if args.batch_size is not None:
+            kwargs["batch_size"] = args.batch_size
+        if args.num_batches is not None:
+            kwargs["num_batches"] = args.num_batches
+        if args.walk_length is not None:
+            kwargs["walk_length"] = args.walk_length
+        if args.num_walkers is not None:
+            kwargs["num_walkers"] = args.num_walkers
     if args.experiment == "flip":
         if args.engines is not None:
             if len(args.engines) > 1:

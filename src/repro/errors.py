@@ -103,6 +103,22 @@ class ParallelExecutionError(ReproError):
     """Raised when the shard-parallel walk runner or one of its workers fails."""
 
 
+class WorkerCrashError(ParallelExecutionError):
+    """Raised when a shard worker process died while a walk run needed it.
+
+    The runner detects the dead process on the hand-off wait instead of
+    blocking forever; the pool itself stays up, so callers can
+    :meth:`~repro.walks.parallel.ParallelWalkRunner.respawn_dead_workers`
+    and retry the run against the fresh pool.
+    """
+
+    def __init__(self, shard: int) -> None:
+        super().__init__(
+            f"shard worker {shard} died mid-run; respawn the pool and retry"
+        )
+        self.shard = shard
+
+
 class ServeError(ReproError):
     """Raised when the streaming serve layer is misused or has failed.
 
@@ -132,3 +148,30 @@ class ServiceClosedError(ServeError):
 
 class QueryTimeoutError(ServeError):
     """Raised when waiting on a query ticket exceeds the caller's timeout."""
+
+
+class QueryExpiredError(ServeError):
+    """Raised when a query's deadline passed before the dispatcher fused it.
+
+    Drop-on-expiry: a stale query is failed *before* it joins a fused wave
+    instead of burning walk-kernel time on an answer nobody is waiting
+    for.  The HTTP front-end maps this onto ``504`` with a ``Retry-After``
+    header.
+    """
+
+
+class InjectedFault(ServeError):
+    """An exception deliberately raised by the chaos fault-injection layer.
+
+    Carries the injection point and the occurrence index that fired, so a
+    chaos run's failure log can be matched 1:1 against its
+    :class:`~repro.serve.faults.FaultPlan`.
+    """
+
+    def __init__(self, point: str, index: int, message: str = "") -> None:
+        detail = f" ({message})" if message else ""
+        super().__init__(
+            f"injected fault at {point!r} occurrence {index}{detail}"
+        )
+        self.point = point
+        self.index = index

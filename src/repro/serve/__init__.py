@@ -22,9 +22,23 @@ Modules
 ``http``
     Stdlib ``ThreadingHTTPServer`` JSON front-end (``POST /query``,
     ``POST /ingest``, ``GET /stats``, ``GET /healthz``); tenant id comes
-    from the ``X-Tenant`` header.
+    from the ``X-Tenant`` header.  429 / 503 / 504 carry ``Retry-After``.
+``client``
+    :class:`ServiceClient` — stdlib HTTP client with capped exponential
+    backoff that honours ``Retry-After`` and retries only idempotent
+    requests.
+``faults``
+    The chaos harness: :class:`FaultPlan` schedules deterministic faults
+    by (injection point, occurrence index); :class:`FaultInjector` fires
+    them from the writer, dispatcher, shard coordinator and HTTP handlers.
 """
 
+from repro.serve.client import (
+    ServiceClient,
+    ServiceHTTPError,
+    ServiceUnreachableError,
+)
+from repro.serve.faults import FAULT_POINTS, FaultAction, FaultInjector, FaultPlan
 from repro.serve.http import (
     TENANT_HEADER,
     GraphServiceHTTPServer,
@@ -36,6 +50,7 @@ from repro.serve.queries import (
     ServeResult,
     ServeStats,
     WalkQuery,
+    deadline_in,
     validate_starts,
 )
 from repro.serve.service import GraphService
@@ -43,16 +58,24 @@ from repro.serve.tenancy import FairShareQueue, TenantQuota, TenantStats
 
 __all__ = [
     "DEFAULT_TENANT",
+    "FAULT_POINTS",
     "FairShareQueue",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
     "GraphService",
     "GraphServiceHTTPServer",
     "QueryTicket",
     "ServeResult",
     "ServeStats",
+    "ServiceClient",
+    "ServiceHTTPError",
+    "ServiceUnreachableError",
     "TENANT_HEADER",
     "TenantQuota",
     "TenantStats",
     "WalkQuery",
+    "deadline_in",
     "serve_http",
     "validate_starts",
 ]

@@ -1,0 +1,259 @@
+"""Stdlib HTTP client for the serve front-end, with capped backoff retries.
+
+The server side (:mod:`repro.serve.http`) marks transient failures with
+429 / 503 / 504 and a ``Retry-After`` header; this client closes the loop:
+idempotent requests (``/query``, ``/stats``, ``/healthz``) are retried
+with capped exponential backoff, sleeping at least the server's
+``Retry-After`` hint when one is present.  ``/ingest`` is **never**
+retried — replaying an update batch whose first attempt may have been
+applied is exactly the duplicate-batch bug the writer's dead-letter
+quarantine exists to catch, and the client must not manufacture it.
+
+Walk queries are safe to retry because they are reads: a query resolves
+against whatever snapshot is published when it fuses and mutates nothing,
+so two attempts are two independent reads, not a double-apply.
+
+Built on :mod:`urllib.request` only — like the server, no dependencies
+beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ServeError
+from repro.serve.http import RETRYABLE_STATUSES, TENANT_HEADER
+
+#: Default attempt budget: 1 initial try + this many retries.
+DEFAULT_MAX_RETRIES = 4
+
+#: First backoff sleep (seconds); doubles per retry up to the cap.
+DEFAULT_BACKOFF_SECONDS = 0.25
+
+#: Ceiling on any single backoff sleep (seconds).
+DEFAULT_BACKOFF_CAP_SECONDS = 8.0
+
+
+class ServiceHTTPError(ServeError):
+    """A non-2xx response from the serve front-end.
+
+    Carries the HTTP ``status``, the decoded JSON ``payload`` (or ``{}``
+    when the body was not JSON) and the parsed ``retry_after`` hint in
+    seconds (``None`` when the server sent no header).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        retry_after: Optional[float] = None,
+    ) -> None:
+        detail = payload.get("error") or payload.get("status") or ""
+        super().__init__(f"serve front-end returned {status}: {detail}")
+        self.status = int(status)
+        self.payload = payload
+        self.retry_after = retry_after
+
+
+class ServiceUnreachableError(ServeError):
+    """The front-end could not be reached (connection or socket failure)."""
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """The ``Retry-After`` header in seconds (delta-seconds form only)."""
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None
+    return seconds if seconds >= 0 else None
+
+
+class ServiceClient:
+    """A retrying JSON client bound to one serve front-end URL.
+
+    Parameters
+    ----------
+    base_url:
+        The server root, e.g. ``server.url`` from :func:`serve_http`.
+    tenant:
+        Optional tenant id sent in the ``X-Tenant`` header of every
+        request (individual calls may override it).
+    max_retries:
+        Retries after the first attempt for *idempotent* requests that
+        fail transiently (retryable status or unreachable server).
+        Non-idempotent requests (``/ingest``) always get exactly one
+        attempt regardless.
+    backoff_seconds / backoff_cap_seconds:
+        Capped exponential schedule: retry *n* sleeps
+        ``min(backoff_seconds * 2**n, backoff_cap_seconds)``, raised to
+        the server's ``Retry-After`` hint when that is larger.
+    timeout:
+        Socket timeout per attempt (seconds).
+    sleep:
+        Injection point for tests (defaults to :func:`time.sleep`).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        tenant: Optional[str] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+        backoff_cap_seconds: float = DEFAULT_BACKOFF_CAP_SECONDS,
+        timeout: float = 30.0,
+        sleep=time.sleep,
+    ) -> None:
+        if max_retries < 0:
+            raise ServeError("max_retries must be non-negative")
+        if not backoff_seconds > 0 or not backoff_cap_seconds > 0:
+            raise ServeError("backoff seconds must be positive")
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.max_retries = int(max_retries)
+        self.backoff_seconds = float(backoff_seconds)
+        self.backoff_cap_seconds = float(backoff_cap_seconds)
+        self.timeout = float(timeout)
+        self._sleep = sleep
+        #: Transient-failure retries performed over this client's lifetime.
+        self.retries_performed = 0
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        application: str,
+        starts: Sequence[int],
+        walk_length: int,
+        *,
+        params: Optional[Dict[str, float]] = None,
+        timeout: Optional[float] = None,
+        deadline_seconds: Optional[float] = None,
+        tenant: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Run one walk query; retried on transient failures (a read)."""
+        body: Dict[str, object] = {
+            "application": application,
+            "starts": list(starts),
+            "walk_length": int(walk_length),
+        }
+        if params:
+            body["params"] = dict(params)
+        if timeout is not None:
+            body["timeout"] = float(timeout)
+        if deadline_seconds is not None:
+            body["deadline_seconds"] = float(deadline_seconds)
+        return self._request("POST", "/query", body, idempotent=True, tenant=tenant)
+
+    def ingest(
+        self,
+        updates: List[Dict[str, object]],
+        *,
+        flush: bool = False,
+        tenant: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Queue an update batch — **never retried** (not idempotent)."""
+        body: Dict[str, object] = {"updates": list(updates)}
+        if flush:
+            body["flush"] = True
+        return self._request("POST", "/ingest", body, idempotent=False, tenant=tenant)
+
+    def stats(self) -> Dict[str, object]:
+        return self._request("GET", "/stats", None, idempotent=True)
+
+    def health(self) -> Dict[str, object]:
+        """The ``/healthz`` payload; unhealthy (503) is returned, not raised."""
+        try:
+            return self._request("GET", "/healthz", None, idempotent=False)
+        except ServiceHTTPError as exc:
+            if exc.status == 503 and exc.payload:
+                return exc.payload
+            raise
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _backoff(self, attempt: int, hint: Optional[float]) -> float:
+        planned = min(
+            self.backoff_seconds * (2.0**attempt), self.backoff_cap_seconds
+        )
+        if hint is not None:
+            planned = max(planned, hint)
+        return planned
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]],
+        *,
+        idempotent: bool,
+        tenant: Optional[str] = None,
+    ) -> Dict[str, object]:
+        retries = self.max_retries if idempotent else 0
+        attempt = 0
+        while True:
+            try:
+                return self._attempt(method, path, body, tenant)
+            except ServiceHTTPError as exc:
+                if exc.status not in RETRYABLE_STATUSES or attempt >= retries:
+                    raise
+                hint = exc.retry_after
+            except ServiceUnreachableError:
+                if attempt >= retries:
+                    raise
+                hint = None
+            self._sleep(self._backoff(attempt, hint))
+            self.retries_performed += 1
+            attempt += 1
+
+    def _attempt(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]],
+        tenant: Optional[str],
+    ) -> Dict[str, object]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        tenant = tenant if tenant is not None else self.tenant
+        if tenant:
+            headers[TENANT_HEADER] = tenant
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                payload = {}
+            retry_after = _parse_retry_after(exc.headers.get("Retry-After"))
+            raise ServiceHTTPError(exc.code, payload, retry_after) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceUnreachableError(
+                f"could not reach {self.base_url}: {exc}"
+            ) from exc
+
+
+__all__ = [
+    "DEFAULT_BACKOFF_CAP_SECONDS",
+    "DEFAULT_BACKOFF_SECONDS",
+    "DEFAULT_MAX_RETRIES",
+    "ServiceClient",
+    "ServiceHTTPError",
+    "ServiceUnreachableError",
+]

@@ -16,10 +16,16 @@ malformed body / headers / short reads       400
 oversized request body                       413
 :class:`~repro.errors.QuotaExceededError`    429
 :class:`~repro.errors.ServiceClosedError`    503
+:class:`~repro.errors.InjectedFault`         503
 :class:`~repro.errors.QueryTimeoutError`     504
+:class:`~repro.errors.QueryExpiredError`     504
 other :class:`~repro.errors.ReproError`      400
 unexpected exception                         500
 ========================================  ======
+
+Transient statuses (429 / 503 / 504) carry a ``Retry-After`` header so
+the backoff client in :mod:`repro.serve.client` can honour the server's
+pacing hint instead of hammering a loaded service.
 """
 
 from __future__ import annotations
@@ -30,13 +36,16 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 from repro.errors import (
+    InjectedFault,
+    QueryExpiredError,
     QueryTimeoutError,
     QuotaExceededError,
     ReproError,
     ServiceClosedError,
 )
 from repro.graph.update_batch import GraphUpdate, UpdateBatch, UpdateKind
-from repro.serve.queries import DEFAULT_TENANT
+from repro.serve.faults import FaultInjector
+from repro.serve.queries import DEFAULT_TENANT, deadline_in
 from repro.serve.service import GraphService
 
 #: Request header naming the submitting tenant.
@@ -53,14 +62,20 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 #: under-delivers cannot wedge a handler thread until it disconnects.
 DEFAULT_BODY_TIMEOUT = 10.0
 
+#: Default ``Retry-After`` hint (seconds) sent with 429 / 503 / 504.
+DEFAULT_RETRY_AFTER_SECONDS = 1.0
+
+#: Statuses that mean "try again later" rather than "fix your request".
+RETRYABLE_STATUSES = (429, 503, 504)
+
 
 def status_for_error(error: BaseException) -> int:
     """The HTTP status code a serve-layer failure maps onto."""
     if isinstance(error, QuotaExceededError):
         return 429
-    if isinstance(error, ServiceClosedError):
+    if isinstance(error, (ServiceClosedError, InjectedFault)):
         return 503
-    if isinstance(error, QueryTimeoutError):
+    if isinstance(error, (QueryTimeoutError, QueryExpiredError)):
         return 504
     if isinstance(error, ReproError):
         return 400
@@ -109,6 +124,7 @@ class GraphServiceHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         try:
+            self._fire_fault_point()
             if self.path == "/healthz":
                 self._handle_healthz()
             elif self.path == "/stats":
@@ -125,6 +141,7 @@ class GraphServiceHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         try:
+            self._fire_fault_point()
             if self.path == "/query":
                 self._handle_query()
             elif self.path == "/ingest":
@@ -143,12 +160,34 @@ class GraphServiceHandler(BaseHTTPRequestHandler):
                 {"error": str(exc), "type": type(exc).__name__},
             )
 
+    def _fire_fault_point(self) -> None:
+        """The chaos harness's ``http.handler`` injection point.
+
+        An :class:`~repro.errors.InjectedFault` raised here propagates to
+        the routing handler's trust boundary and maps onto a 503 with
+        ``Retry-After`` — exactly what a transient front-end failure looks
+        like to the backoff client.
+        """
+        injector = self.server.fault_injector
+        if injector is not None:
+            injector.fire("http.handler")
+
     # ------------------------------------------------------------------ #
     # endpoints
     # ------------------------------------------------------------------ #
     def _handle_healthz(self) -> None:
-        service = self.server.service
-        self._send(200, {"status": "ok", "epoch": service.epoch})
+        health = self.server.service.health()
+        if health["healthy"]:
+            self._send(200, {"status": "ok", "epoch": health["epoch"]})
+        else:
+            self._send(
+                503,
+                {
+                    "status": "unhealthy",
+                    "epoch": health["epoch"],
+                    "reasons": health["reasons"],
+                },
+            )
 
     def _handle_stats(self) -> None:
         # Snapshots are computed under the service / fair-share locks —
@@ -189,12 +228,28 @@ class GraphServiceHandler(BaseHTTPRequestHandler):
                 raise _BadRequest(f'"timeout" must be a number: {exc}') from exc
             if timeout <= 0:
                 raise _BadRequest('"timeout" must be positive')
+        # "deadline_seconds" is relative: the server stamps the absolute
+        # monotonic deadline on arrival, so queueing time counts against
+        # it but network transit does not.
+        deadline = None
+        deadline_seconds = payload.get("deadline_seconds")
+        if deadline_seconds is not None:
+            try:
+                deadline_seconds = float(deadline_seconds)
+            except (ValueError, TypeError) as exc:
+                raise _BadRequest(
+                    f'"deadline_seconds" must be a number: {exc}'
+                ) from exc
+            if deadline_seconds <= 0:
+                raise _BadRequest('"deadline_seconds" must be positive')
+            deadline = deadline_in(deadline_seconds)
         service = self.server.service
         ticket = service.submit(
             application,
             starts,
             walk_length,
             tenant=tenant,
+            deadline=deadline,
             **{str(key): value for key, value in params.items()},
         )
         result = ticket.result(timeout)
@@ -282,6 +337,10 @@ class GraphServiceHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if status in RETRYABLE_STATUSES:
+            self.send_header(
+                "Retry-After", f"{self.server.retry_after_seconds:g}"
+            )
         self.end_headers()
         self.wfile.write(body)
 
@@ -310,11 +369,17 @@ class GraphServiceHTTPServer(ThreadingHTTPServer):
         query_timeout: Optional[float] = DEFAULT_QUERY_TIMEOUT,
         body_timeout: Optional[float] = DEFAULT_BODY_TIMEOUT,
         log_requests: bool = False,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_after_seconds: float = DEFAULT_RETRY_AFTER_SECONDS,
     ) -> None:
+        if not retry_after_seconds > 0:
+            raise ValueError("retry_after_seconds must be positive")
         self.service = service
         self.query_timeout = query_timeout
         self.body_timeout = body_timeout
         self.log_requests = bool(log_requests)
+        self.fault_injector = fault_injector
+        self.retry_after_seconds = float(retry_after_seconds)
         super().__init__(address, GraphServiceHandler)
 
     @property
@@ -331,6 +396,8 @@ def serve_http(
     query_timeout: Optional[float] = DEFAULT_QUERY_TIMEOUT,
     body_timeout: Optional[float] = DEFAULT_BODY_TIMEOUT,
     log_requests: bool = False,
+    fault_injector: Optional[FaultInjector] = None,
+    retry_after_seconds: float = DEFAULT_RETRY_AFTER_SECONDS,
 ) -> Tuple[GraphServiceHTTPServer, threading.Thread]:
     """Start the HTTP front-end on a daemon thread.
 
@@ -345,6 +412,8 @@ def serve_http(
         query_timeout=query_timeout,
         body_timeout=body_timeout,
         log_requests=log_requests,
+        fault_injector=fault_injector,
+        retry_after_seconds=retry_after_seconds,
     )
     thread = threading.Thread(
         target=server.serve_forever, name="graph-service-http", daemon=True
@@ -356,8 +425,10 @@ def serve_http(
 __all__ = [
     "DEFAULT_BODY_TIMEOUT",
     "DEFAULT_QUERY_TIMEOUT",
+    "DEFAULT_RETRY_AFTER_SECONDS",
     "GraphServiceHTTPServer",
     "GraphServiceHandler",
+    "RETRYABLE_STATUSES",
     "TENANT_HEADER",
     "serve_http",
     "status_for_error",

@@ -35,6 +35,19 @@ SERVE_APPLICATIONS = ("deepwalk", "ppr", "node2vec")
 DEFAULT_TENANT = "default"
 
 
+def deadline_in(seconds: float) -> float:
+    """An absolute :class:`WalkQuery` deadline ``seconds`` from now.
+
+    Deadlines are absolute ``time.monotonic()`` timestamps so they keep
+    meaning while a query sits in a tenant lane — the dispatcher drops
+    expired queries *before* fusing them (see
+    :class:`~repro.errors.QueryExpiredError`).
+    """
+    if not seconds > 0:
+        raise QueryValidationError("deadline seconds must be positive")
+    return time.monotonic() + float(seconds)
+
+
 def validate_starts(starts, num_vertices: int) -> List[int]:
     """Check query start vertices against the serving snapshot.
 
@@ -99,6 +112,10 @@ class WalkQuery:
     #: derived from the service seed.
     rng: AnyRngSource = None
     params: Dict[str, float] = field(default_factory=dict)
+    #: Absolute ``time.monotonic()`` deadline (see :func:`deadline_in`).
+    #: The dispatcher fails queries whose deadline passed while queued with
+    #: :class:`~repro.errors.QueryExpiredError` instead of fusing them.
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.application not in SERVE_APPLICATIONS:
@@ -108,6 +125,17 @@ class WalkQuery:
             )
         if self.walk_length < 1:
             raise QueryValidationError("walk_length must be positive")
+        if self.deadline is not None and not float(self.deadline) > 0:
+            raise QueryValidationError(
+                "deadline must be a positive time.monotonic() timestamp; "
+                "use repro.serve.deadline_in(seconds)"
+            )
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the deadline passed (always ``False`` without one)."""
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
 
     def resolved_params(self) -> Dict[str, float]:
         """Hyper-parameters with the paper defaults filled in."""
@@ -245,6 +273,18 @@ class ServeStats:
     refresh_seconds: float = 0.0
     #: Dispatcher-thread CPU seconds inside fused walk execution.
     query_busy_seconds: float = 0.0
+    #: Writer failures survived by quarantine + back-buffer rebuild.
+    writer_recoveries: int = 0
+    #: Update batches quarantined into the dead-letter list (dropped).
+    batches_quarantined: int = 0
+    #: Wall seconds the writer spent rebuilding after failures (MTTR sum).
+    recovery_seconds: float = 0.0
+    #: Dead shard workers replaced from the existing shared-memory shards.
+    worker_respawns: int = 0
+    #: Fused waves retried once after a worker crash.
+    wave_retries: int = 0
+    #: Queries dropped because their deadline passed before fusing.
+    queries_expired: int = 0
     latencies: Deque[float] = field(
         default_factory=lambda: deque(maxlen=STATS_WINDOW)
     )

@@ -52,13 +52,20 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Deque, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.engines.registry import create_engine
-from repro.errors import ServeError, ServiceClosedError
+from repro.errors import (
+    QueryExpiredError,
+    ServeError,
+    ServiceClosedError,
+    WorkerCrashError,
+)
+from repro.serve.faults import FaultInjector
 from repro.graph.update_batch import UpdateBatch
 from repro.serve.queries import (
     DEFAULT_TENANT,
@@ -150,6 +157,23 @@ class GraphService:
         query landing right after publication starts warm.  Applies to the
         double-buffered single-worker mode; sync mode and the
         shard-parallel runner build their state elsewhere.
+    fault_injector:
+        Optional :class:`~repro.serve.faults.FaultInjector` threading the
+        chaos harness's named injection points through the writer
+        (``writer.apply`` / ``writer.warm``), the dispatcher
+        (``dispatcher.wave``) and — via the shard runner — ``worker.step``.
+        ``None`` (the default) costs nothing on the production path.
+    dead_letter_limit:
+        Bound of the dead-letter list holding quarantined update batches
+        (oldest entries fall off).  Surfaced by :meth:`dead_letter` and in
+        :meth:`stats_snapshot`.
+    writer_recovery_limit:
+        How many *consecutive* writer failures the self-healing path
+        absorbs by quarantine + back-buffer rebuild before latching the
+        fatal failure (a healthy apply resets the streak).  Recovery only
+        exists in the double-buffered mode: sync mode raises inline and
+        the shard-parallel writer has no pristine snapshot to rebuild
+        from.
     """
 
     def __init__(
@@ -170,10 +194,14 @@ class GraphService:
         default_quota: Optional[TenantQuota] = None,
         strict_tenants: bool = False,
         warm_on_publish: bool = False,
+        fault_injector: Optional[FaultInjector] = None,
+        dead_letter_limit: int = 16,
+        writer_recovery_limit: int = 3,
     ) -> None:
         check_positive_int(workers, "workers")
         check_positive_int(max_pending_queries, "max_pending_queries")
         check_positive_int(fuse_limit, "fuse_limit")
+        check_positive_int(dead_letter_limit, "dead_letter_limit")
         self.engine_name = engine_name
         self.workers = int(workers)
         self.sync = bool(sync)
@@ -182,6 +210,12 @@ class GraphService:
         self.service_seed = int(service_seed)
         self.warm_on_publish = bool(warm_on_publish)
         self._engine_kwargs = dict(engine_kwargs or {})
+        self._faults = fault_injector
+        self.writer_recovery_limit = int(writer_recovery_limit)
+        self._dead_letter: Deque[Dict[str, object]] = deque(
+            maxlen=dead_letter_limit
+        )
+        self._writer_failures = 0
         self.stats = ServeStats()
         if default_quota is None:
             # No tenancy configured: the implicit default lane keeps the
@@ -208,6 +242,9 @@ class GraphService:
                 "the concurrent service double-buffers engine state and needs "
                 "an integer engine seed; pass rng=<int> (or sync=True)"
             )
+        # Writer self-healing rebuilds the back engine from this seed over
+        # the front snapshot's graph (async mode guarantees an int above).
+        self._engine_rng = rng
 
         def build_engine():
             source = rng if isinstance(rng, (int, np.integer)) else ensure_rng(rng)
@@ -242,6 +279,7 @@ class GraphService:
                 engine_seed=runner_seed,
                 engine_kwargs=self._engine_kwargs,
                 strategy=partition_strategy,
+                fault_injector=fault_injector,
             )
 
         if self.warm_on_publish and double_buffered:
@@ -303,15 +341,23 @@ class GraphService:
         *,
         rng: AnyRngSource = None,
         tenant: str = DEFAULT_TENANT,
+        deadline: Optional[float] = None,
         **params,
     ) -> QueryTicket:
-        """Submit one walk query; returns a waitable :class:`QueryTicket`."""
+        """Submit one walk query; returns a waitable :class:`QueryTicket`.
+
+        ``deadline`` is an absolute ``time.monotonic()`` timestamp (use
+        :func:`~repro.serve.queries.deadline_in`); a query whose deadline
+        passes while it waits in its tenant lane is failed with
+        :class:`~repro.errors.QueryExpiredError` instead of being fused.
+        """
         query = WalkQuery(
             application=application,
             starts=list(starts),
             walk_length=walk_length,
             rng=rng,
             params=params,
+            deadline=deadline,
         )
         return self._submit_tickets([QueryTicket(query, tenant)])[0]
 
@@ -337,11 +383,18 @@ class GraphService:
         rng: AnyRngSource = None,
         timeout: Optional[float] = None,
         tenant: str = DEFAULT_TENANT,
+        deadline: Optional[float] = None,
         **params,
     ) -> ServeResult:
         """Submit one query and wait for its result."""
         ticket = self.submit(
-            application, starts, walk_length, rng=rng, tenant=tenant, **params
+            application,
+            starts,
+            walk_length,
+            rng=rng,
+            tenant=tenant,
+            deadline=deadline,
+            **params,
         )
         return ticket.result(timeout)
 
@@ -381,9 +434,52 @@ class GraphService:
                 "warm_seconds": stats.warm_seconds,
                 "warm_vertices": stats.warm_vertices,
                 "warm_full_rebuilds": stats.warm_full_rebuilds,
+                "writer_recoveries": stats.writer_recoveries,
+                "batches_quarantined": stats.batches_quarantined,
+                "recovery_seconds": stats.recovery_seconds,
+                "worker_respawns": stats.worker_respawns,
+                "wave_retries": stats.wave_retries,
+                "queries_expired": stats.queries_expired,
+                "dead_letter": [dict(entry) for entry in self._dead_letter],
                 "latency_p50_seconds": percentiles["p50"],
                 "latency_p99_seconds": percentiles["p99"],
             }
+
+    def dead_letter(self) -> List[Dict[str, object]]:
+        """Quarantined update batches (most recent last, bounded list).
+
+        Each entry names the batch size, the stringified failure, and the
+        epoch that was serving when the writer quarantined it.  The batch
+        itself is *dropped* — the service keeps serving the un-poisoned
+        stream — so callers that must not lose updates should re-submit a
+        corrected batch.
+        """
+        with self._cond:
+            return [dict(entry) for entry in self._dead_letter]
+
+    def health(self) -> Dict[str, object]:
+        """Liveness truth for ``GET /healthz``: healthy only when serving.
+
+        Unhealthy when the fatal writer failure is latched, the service is
+        closed, or a worker thread died without latching anything (an
+        escaped ``KeyboardInterrupt``/``SystemExit`` kills the loop
+        without setting ``_failure``).
+        """
+        with self._cond:
+            closed = self._closed
+            epoch = self._epoch
+        failure = self._failure
+        reasons: List[str] = []
+        if closed:
+            reasons.append("service is closed")
+        if failure is not None:
+            reasons.append(f"writer failure latched: {failure!r}")
+        if not closed and not self.sync:
+            if self._writer is not None and not self._writer.is_alive():
+                reasons.append("writer thread is dead")
+            if self._dispatcher is not None and not self._dispatcher.is_alive():
+                reasons.append("dispatcher thread is dead")
+        return {"healthy": not reasons, "reasons": reasons, "epoch": epoch}
 
     def close(self, *, drain: bool = True, timeout: float = 60.0) -> None:
         """Stop the service.
@@ -515,16 +611,96 @@ class GraphService:
     def _writer_loop(self) -> None:
         while True:
             item = self._update_queue.get()
-            if item is _STOP:
-                self._update_queue.task_done()
-                return
             try:
+                if item is _STOP:
+                    return
                 if self._failure is None:
                     self._apply_and_publish(item)
-            except BaseException as exc:  # surface on flush()/ingest()
-                self._failure = exc
+                    self._writer_failures = 0
+            except (KeyboardInterrupt, SystemExit):
+                # Interpreter-level signals are not graph faults: never
+                # swallow them into _failure.  The loop dies (task_done
+                # runs below) and /healthz reports the dead writer.
+                raise
+            except BaseException as exc:
+                self._handle_writer_failure(item, exc)
             finally:
                 self._update_queue.task_done()
+
+    def _handle_writer_failure(self, batch: UpdateBatch, exc: BaseException) -> None:
+        """Quarantine + rebuild if the failure is survivable, else latch.
+
+        Self-healing exists only in the double-buffered mode, where the
+        published front buffer is a pristine snapshot to rebuild from.
+        Sync mode raises inline and never reaches here; the shard-parallel
+        writer mutates its only engine in place, so its failures stay
+        fatal.  Repeated back-to-back failures (more than
+        ``writer_recovery_limit`` without a healthy apply in between)
+        latch too — a poisoned *service* should fail loudly, not thrash.
+        """
+        self._writer_failures += 1
+        recoverable = (
+            self.workers == 1
+            and not self.sync
+            and self._writer_failures <= self.writer_recovery_limit
+        )
+        if not recoverable:
+            self._failure = exc  # surface on flush()/ingest()
+            return
+        started = time.perf_counter()
+        try:
+            self._recover_back_buffer(batch, exc)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as rebuild_exc:
+            # Recovery itself failed: latch the rebuild error (chained to
+            # the original) — the service cannot promise a consistent
+            # back buffer any more.
+            rebuild_exc.__cause__ = exc
+            self._failure = rebuild_exc
+            return
+        with self._cond:
+            self.stats.writer_recoveries += 1
+            self.stats.recovery_seconds += time.perf_counter() - started
+
+    def _recover_back_buffer(self, batch: UpdateBatch, exc: BaseException) -> None:
+        """Drop the poisoned batch and rebuild the back engine from front.
+
+        The failed apply (or warm) may have left the back engine
+        half-applied; the front buffer is untouched — it is published and
+        only the writer mutates engines.  Re-seeding a fresh engine over a
+        copy of the front graph therefore restores the exact double-buffer
+        invariant (back == front state, nothing pending), regardless of
+        whether the failure hit the new batch or a catch-up replay.  The
+        follow-up warm ships a full-rebuild FrontierDelta — the PR 6 delta
+        machinery has no incremental dirty-set for a from-scratch engine.
+        """
+        back = self._buffers[1 - self._front]
+        with self._cond:
+            self._dead_letter.append(
+                {
+                    "updates": len(batch),
+                    "error": repr(exc),
+                    "epoch": self._epoch,
+                }
+            )
+            self.stats.batches_quarantined += 1
+            # The apply path waited for readers before mutating, but wait
+            # again: recovery must never rebuild under an in-flight read.
+            while back.readers > 0:
+                self._cond.wait(_POLL_SECONDS)
+            front_engine = self._buffers[self._front].engine
+        fresh = create_engine(
+            self.engine_name, rng=self._engine_rng, **self._engine_kwargs
+        )
+        fresh.build(front_engine.graph.copy())
+        if self.warm_on_publish:
+            if self._faults is not None:
+                self._faults.fire("writer.warm")
+            self._warm_engine(fresh)
+        with self._cond:
+            back.engine = fresh
+            back.pending.clear()
 
     def _apply_sync(self, batch: UpdateBatch) -> None:
         buffer = self._buffers[0]
@@ -536,6 +712,8 @@ class GraphService:
         if self.workers > 1:
             buffer = self._buffers[0]
             started = time.thread_time()
+            if self._faults is not None:
+                self._faults.fire("writer.apply")
             buffer.engine.apply_batch(batch)
             self._publish(buffer, batch, started)
             return
@@ -551,6 +729,10 @@ class GraphService:
             back.engine.apply_batch(lagged)
             self.stats.catchup_updates += len(lagged)
         back.pending.clear()
+        if self._faults is not None:
+            # One occurrence per queued batch (catch-up replays above are
+            # the same logical updates again, not new occurrences).
+            self._faults.fire("writer.apply")
         back.engine.apply_batch(batch)
         if self.warm_on_publish:
             # Delta warming: repair the fused tables on the writer thread
@@ -559,6 +741,8 @@ class GraphService:
             # repair covers exactly the dirty-set — the union of this
             # batch's touched vertices and those of the catch-up replays
             # above — so the published delta costs O(touched), not O(V).
+            if self._faults is not None:
+                self._faults.fire("writer.warm")
             warm_start = time.thread_time()
             delta = self._warm_engine(back.engine)
             with self._cond:
@@ -599,7 +783,16 @@ class GraphService:
             # epoch, never the stale one.
             with self._runner_lock:
                 refresh_start = time.thread_time()
-                self._runner.refresh(buffer.engine.graph)
+                try:
+                    self._runner.refresh(buffer.engine.graph)
+                except WorkerCrashError:
+                    # A shard worker died before (or while) the refresh was
+                    # delivered.  Respawn from the shared-memory shards and
+                    # re-drive the refresh once on the fresh pool.
+                    respawned = self._runner.respawn_dead_workers()
+                    with self._cond:
+                        self.stats.worker_respawns += respawned
+                    self._runner.refresh(buffer.engine.graph)
                 refresh_seconds = time.thread_time() - refresh_start
                 self._commit_publish(
                     buffer, batch, time.thread_time() - started, refresh_seconds
@@ -648,8 +841,49 @@ class GraphService:
                 continue
             self._execute_wave(wave)
 
+    def _drop_expired(self, wave: List[QueryTicket]) -> List[QueryTicket]:
+        """Drop-on-expiry: fail stale tickets before any fusing happens.
+
+        A query whose deadline passed while it sat in its tenant lane is
+        answered with :class:`~repro.errors.QueryExpiredError` — walking
+        it anyway would burn fused-kernel time on a result the caller has
+        already abandoned.
+        """
+        now = time.monotonic()
+        live: List[QueryTicket] = []
+        expired = 0
+        for ticket in wave:
+            if ticket.query.expired(now):
+                ticket.fail(
+                    QueryExpiredError(
+                        "query deadline passed before the dispatcher fused "
+                        "it; retry with a later deadline"
+                    )
+                )
+                self._tenancy.record_failed(ticket.tenant)
+                expired += 1
+            else:
+                live.append(ticket)
+        if expired:
+            with self._cond:
+                self.stats.queries_expired += expired
+        return live
+
     def _execute_wave(self, wave: List[QueryTicket]) -> None:
         """Group a wave by fuse key and run each group as one frontier."""
+        wave = self._drop_expired(wave)
+        if not wave:
+            return
+        if self._faults is not None:
+            try:
+                self._faults.fire("dispatcher.wave")
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                for ticket in wave:
+                    ticket.fail(exc)
+                    self._tenancy.record_failed(ticket.tenant)
+                return
         groups: Dict[tuple, List[QueryTicket]] = {}
         for ticket in wave:
             groups.setdefault(ticket.query.fuse_key(), []).append(ticket)
@@ -685,7 +919,19 @@ class GraphService:
                 with self._runner_lock:
                     epoch = self._epoch
                     busy_start = time.thread_time()
-                    walks = self._drive_runner(query, params, starts, rng)
+                    try:
+                        walks = self._drive_runner(query, params, starts, rng)
+                    except WorkerCrashError:
+                        # A shard worker died under the fused run.  Respawn
+                        # it from the existing shared-memory shards and
+                        # retry the wave ONCE on the fresh pool; a second
+                        # crash fails the tickets with the typed error —
+                        # resolved either way, never hung.
+                        respawned = self._runner.respawn_dead_workers()
+                        with self._cond:
+                            self.stats.worker_respawns += respawned
+                            self.stats.wave_retries += 1
+                        walks = self._drive_runner(query, params, starts, rng)
                     busy = time.thread_time() - busy_start
             else:
                 buffer = self._acquire_front()
@@ -718,6 +964,11 @@ class GraphService:
                 if not ticket.done:
                     ticket.fail(exc)
                     self._tenancy.record_failed(ticket.tenant)
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                # Resolve the tickets first (no caller may hang), then let
+                # the interpreter-level signal keep propagating instead of
+                # swallowing it into a failed wave.
+                raise
 
     def _drive_engine(self, engine_or_none, query, params, starts, rng) -> BatchedWalks:
         engine = engine_or_none

@@ -19,8 +19,11 @@ policy of *moving walkers, not sampling structures*:
   the next step, with the traffic accounted by a
   :class:`~repro.gpu.multi_device.MultiDeviceTracker`;
 * workers reply with draws (plus their sampling CPU-busy time, which yields
-  the critical-path throughput model), and the coordinator commits the step
-  into the same dense ``-1``-padded walk matrix the serial frontier builds.
+  the critical-path throughput model) over a dedicated pipe per worker —
+  never a shared queue, whose cross-process write lock a SIGKILLed worker
+  could die holding and so deadlock every survivor — and the coordinator
+  commits the step into the same dense ``-1``-padded walk matrix the serial
+  frontier builds.
 
 Determinism: each walk run carries one seed.  With a single worker the
 worker's generator and call sequence are exactly those of the serial
@@ -40,11 +43,12 @@ import multiprocessing as mp
 import time
 import traceback
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ParallelExecutionError, SamplerStateError
+from repro.errors import ParallelExecutionError, SamplerStateError, WorkerCrashError
 from repro.gpu.multi_device import MultiDeviceTracker
 from repro.graph.partition import (
     OneDimPartition,
@@ -56,8 +60,16 @@ from repro.utils.rng import AnyRngSource
 from repro.utils.validation import check_positive_int
 from repro.walks.frontier import _MAX_REJECTION_ROUNDS, BatchedWalks, WalkFrontier
 
-#: Seconds the coordinator waits for a worker reply before declaring it dead.
+#: Seconds the coordinator waits for a worker reply before giving up
+#: entirely (a *live* worker this slow is treated as a protocol failure).
 _REPLY_TIMEOUT = 300.0
+
+#: Seconds between liveness polls while waiting on the per-worker reply
+#: pipes: every poll checks ``Process.is_alive()`` for all workers, so a
+#: crashed worker surfaces as :class:`~repro.errors.WorkerCrashError`
+#: within one poll interval instead of hanging the run.  (A dead worker's
+#: pipe usually reports EOF even sooner.)
+_LIVENESS_POLL_SECONDS = 0.1
 
 
 # --------------------------------------------------------------------------- #
@@ -152,10 +164,20 @@ def _shard_worker_main(
     engine_kwargs: dict,
     engine_seed: int,
     handle: SharedShardHandle,
+    generation: int,
     inbox,
-    outbox,
+    replies,
 ) -> None:
-    """Worker loop: attach the shared columns, build the shard engine, serve steps."""
+    """Worker loop: attach the shared columns, build the shard engine, serve steps.
+
+    ``replies`` is this worker's private end of the reply pipe — each
+    worker writes only to its own connection, so a crash can corrupt at
+    most its own channel (which the coordinator discards on respawn).
+    ``generation`` is the coordinator's refresh counter at spawn time;
+    ``ready`` replies echo it (startup and refresh alike) so the
+    coordinator can discard stale readies left over from a refresh a
+    worker crash aborted.
+    """
     # Imported here so "spawn" children resolve the registry cleanly.
     from repro.engines.registry import ENGINE_REGISTRY
 
@@ -167,11 +189,12 @@ def _shard_worker_main(
         engine = ENGINE_REGISTRY[engine_name].for_shard(
             view, view.owned_vertices(), rng=engine_seed, **engine_kwargs
         )
-        outbox.put(("ready", shard, time.process_time() - build_start))
+        replies.send(("ready", shard, generation, time.process_time() - build_start))
 
         rng: Optional[np.random.Generator] = None
         mode = ""
         params: dict = {}
+        run_id = -1
         while True:
             message = inbox.get()
             command = message[0]
@@ -179,7 +202,7 @@ def _shard_worker_main(
                 if command == "stop":
                     break
                 if command == "refresh":
-                    _, new_handle = message
+                    _, generation, new_handle = message
                     old_store = store
                     store = SharedGraphShards.attach(new_handle)
                     view = store.shard_view(shard)
@@ -188,9 +211,11 @@ def _shard_worker_main(
                         view, view.owned_vertices(), rng=engine_seed, **engine_kwargs
                     )
                     old_store.close()
-                    outbox.put(("ready", shard, time.process_time() - build_start))
+                    replies.send(
+                        ("ready", shard, generation, time.process_time() - build_start)
+                    )
                 elif command == "begin":
-                    _, run_seed, mode, params = message
+                    _, run_id, run_seed, mode, params = message
                     rng = _make_run_rng(run_seed, shard, num_shards)
                 elif command == "step":
                     _, walker_ids, vertices, extra = message
@@ -220,13 +245,15 @@ def _shard_worker_main(
                     else:  # pragma: no cover - protocol error
                         raise ParallelExecutionError(f"unknown walk mode {mode!r}")
                     busy = time.process_time() - busy_start
-                    outbox.put(("step", shard, stepped, draws, killed, busy))
+                    # Replies carry the run id so the coordinator can
+                    # discard stragglers from a run a crash aborted.
+                    replies.send(("step", shard, run_id, stepped, draws, killed, busy))
                 else:  # pragma: no cover - protocol error
                     raise ParallelExecutionError(f"unknown command {command!r}")
             except Exception:  # propagate worker failures to the coordinator
-                outbox.put(("error", shard, traceback.format_exc()))
+                replies.send(("error", shard, traceback.format_exc()))
     except Exception:  # pragma: no cover - startup failure
-        outbox.put(("error", shard, traceback.format_exc()))
+        replies.send(("error", shard, traceback.format_exc()))
     finally:
         if store is not None:
             store.close()
@@ -286,6 +313,12 @@ class ParallelWalkRunner:
         streams derive from it exactly as in a serially built engine).
     strategy:
         Partitioning strategy (default ``degree_balanced``).
+    fault_injector:
+        Optional :class:`~repro.serve.faults.FaultInjector`.  The
+        coordinator fires the ``worker.step`` point before routing each
+        step's hand-off messages; a scheduled ``kill_worker`` action
+        SIGKILLs the named shard's process there — the deterministic
+        "worker dies mid-query" chaos primitive.
     """
 
     def __init__(
@@ -299,6 +332,7 @@ class ParallelWalkRunner:
         strategy: str = "degree_balanced",
         partition: Optional[OneDimPartition] = None,
         start_method: Optional[str] = None,
+        fault_injector=None,
     ) -> None:
         check_positive_int(num_workers, "num_workers")
         self.engine_name = engine_name
@@ -323,61 +357,162 @@ class ParallelWalkRunner:
         self.build_seconds: List[float] = [0.0] * self.num_workers
         self._closed = False
         self._run_counter = 0
+        self._refresh_counter = 0
+        self._faults = fault_injector
+        #: Dead workers replaced by :meth:`respawn_dead_workers` so far.
+        self.respawns = 0
 
         if start_method is None:
             start_method = (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
             )
         context = mp.get_context(start_method)
+        self._context = context
         self._inboxes = [context.Queue() for _ in range(self.num_workers)]
-        self._outbox = context.Queue()
-        self._workers = []
+        self._reply_readers: List = [None] * self.num_workers
+        self._workers: List = [None] * self.num_workers
         handle = self.store.handle()
         for shard in range(self.num_workers):
-            process = context.Process(
-                target=_shard_worker_main,
-                args=(
-                    shard,
-                    self.num_workers,
-                    engine_name,
-                    self.engine_kwargs,
-                    self.engine_seed,
-                    handle,
-                    self._inboxes[shard],
-                    self._outbox,
-                ),
-                daemon=True,
-            )
-            process.start()
-            self._workers.append(process)
+            self._spawn_worker(shard, handle)
         self._await_ready()
 
     # ------------------------------------------------------------------ #
     # pool management
     # ------------------------------------------------------------------ #
-    def _collect(self) -> tuple:
-        try:
-            reply = self._outbox.get(timeout=_REPLY_TIMEOUT)
-        except Exception as exc:
-            self.close()
-            raise ParallelExecutionError(
-                f"timed out waiting for shard workers ({exc!r})"
-            ) from exc
-        if reply[0] == "error":
-            _, shard, text = reply
-            self.close()
-            raise ParallelExecutionError(
-                f"shard worker {shard} failed:\n{text}"
-            )
-        return reply
+    def _spawn_worker(self, shard: int, handle: SharedShardHandle) -> None:
+        """Start (or restart) one shard worker with a fresh reply pipe."""
+        reader, writer = self._context.Pipe(duplex=False)
+        self._reply_readers[shard] = reader
+        process = self._context.Process(
+            target=_shard_worker_main,
+            args=(
+                shard,
+                self.num_workers,
+                self.engine_name,
+                self.engine_kwargs,
+                self.engine_seed,
+                handle,
+                self._refresh_counter,
+                self._inboxes[shard],
+                writer,
+            ),
+            daemon=True,
+        )
+        process.start()
+        # The child now holds the only write end: its death — however
+        # abrupt — surfaces as EOF on our reader.
+        writer.close()
+        self._workers[shard] = process
 
-    def _await_ready(self) -> None:
-        for _ in range(self.num_workers):
+    def _collect(self) -> tuple:
+        """Wait for one worker reply, detecting dead workers while waiting.
+
+        Each worker replies over its own pipe (a shared queue's write lock
+        would deadlock every survivor if a worker were killed holding it).
+        A crashed worker surfaces as EOF on its pipe — or via the
+        ``Process.is_alive()`` sweep between short waits — and raises
+        :class:`~repro.errors.WorkerCrashError` *without* tearing the pool
+        down, so the caller can respawn the dead shard and retry.  A
+        live-but-silent pool past :data:`_REPLY_TIMEOUT` (and any
+        ``error`` reply) is still fatal and closes the pool.  Replies
+        tagged with a stale run id or refresh generation — stragglers from
+        a run or refresh a crash aborted — are discarded.
+        """
+        deadline = time.monotonic() + _REPLY_TIMEOUT
+        while True:
+            ready = mp_connection.wait(
+                self._reply_readers, timeout=_LIVENESS_POLL_SECONDS
+            )
+            if not ready:
+                dead = [
+                    shard
+                    for shard, process in enumerate(self._workers)
+                    if not process.is_alive()
+                ]
+                if dead:
+                    # Leave the pool up: the surviving workers and the
+                    # shared store are what respawn_dead_workers rebuilds
+                    # the dead shard from.
+                    raise WorkerCrashError(dead[0])
+                if time.monotonic() >= deadline:
+                    self.close()
+                    raise ParallelExecutionError(
+                        "timed out waiting for shard workers "
+                        f"(no reply within {_REPLY_TIMEOUT:.0f}s)"
+                    )
+                continue
+            reader = ready[0]
+            shard = self._reply_readers.index(reader)
+            try:
+                reply = reader.recv()
+            except (EOFError, OSError):
+                # EOF (or a truncated message) on a worker's private pipe:
+                # the worker died, possibly mid-send.  Only its own channel
+                # is corrupted; respawn replaces both.
+                process = self._workers[shard]
+                if process.is_alive():  # pragma: no cover - broken pipe only
+                    process.terminate()
+                    process.join(timeout=5)
+                raise WorkerCrashError(shard)
+            if reply[0] == "error":
+                _, shard, text = reply
+                self.close()
+                raise ParallelExecutionError(
+                    f"shard worker {shard} failed:\n{text}"
+                )
+            if reply[0] == "step" and reply[2] != self._run_counter:
+                continue
+            if reply[0] == "ready" and reply[2] != self._refresh_counter:
+                # A ready from a refresh that a worker crash aborted —
+                # the retried refresh supersedes it.
+                continue
+            return reply
+
+    def _await_ready(self, count: Optional[int] = None) -> None:
+        remaining = self.num_workers if count is None else count
+        while remaining > 0:
             reply = self._collect()
             if reply[0] != "ready":  # pragma: no cover - protocol error
                 raise ParallelExecutionError(f"unexpected worker reply {reply[0]!r}")
-            _, shard, build_seconds = reply
+            _, shard, _generation, build_seconds = reply
             self.build_seconds[shard] = float(build_seconds)
+            remaining -= 1
+
+    def respawn_dead_workers(self) -> int:
+        """Replace crashed workers from the existing shared-memory shards.
+
+        Each dead shard gets a fresh inbox and reply pipe (the old queue
+        may hold the message whose processing died with it; the old pipe
+        may hold a truncated reply) and a new process attached to the
+        *current* :class:`SharedGraphShards` export, rebuilt with the same
+        engine seed — so a respawned pool samples exactly like the
+        original.  Bumps the run counter first so any straggler step
+        replies the crashed run already enqueued are discarded as stale.
+        Returns the number of workers replaced (0 if all are alive).
+        """
+        self._require_open()
+        dead = [
+            shard
+            for shard, process in enumerate(self._workers)
+            if not process.is_alive()
+        ]
+        if not dead:
+            return 0
+        self._run_counter += 1
+        handle = self.store.handle()
+        for shard in dead:
+            old_inbox = self._inboxes[shard]
+            old_reader = self._reply_readers[shard]
+            self._inboxes[shard] = self._context.Queue()
+            self._spawn_worker(shard, handle)
+            for stale in (old_inbox, old_reader):
+                try:
+                    stale.close()
+                except Exception:  # pragma: no cover - channel already broken
+                    pass
+        self._await_ready(len(dead))
+        self.respawns += len(dead)
+        return len(dead)
 
     def refresh(self, graph) -> None:
         """Re-export a mutated graph and rebuild every shard engine.
@@ -390,32 +525,47 @@ class ParallelWalkRunner:
         new_partition = partition_graph(graph, self.num_workers, strategy=self.strategy)
         new_store = SharedGraphShards.create(graph, new_partition)
         handle = new_store.handle()
+        self._refresh_counter += 1
         for inbox in self._inboxes:
-            inbox.put(("refresh", handle))
+            inbox.put(("refresh", self._refresh_counter, handle))
         old_store = self.store
         self.partition = new_partition
         self.store = new_store
         self._owner = new_partition.owner_for(new_store.num_vertices)
         self.tracker.update_owner(self._owner)
-        self._await_ready()
-        old_store.close()
+        try:
+            self._await_ready()
+        finally:
+            # A worker crash mid-refresh must not leak the superseded
+            # shared-memory segments; the new store is already installed.
+            old_store.close()
 
     def close(self) -> None:
         """Shut the pool down and release the shared memory."""
         if self._closed:
             return
         self._closed = True
-        for inbox in self._inboxes:
-            try:
-                inbox.put(("stop",))
-            except Exception:  # pragma: no cover - queue already broken
-                pass
-        for process in self._workers:
-            process.join(timeout=10)
-            if process.is_alive():  # pragma: no cover - hung worker
-                process.terminate()
-                process.join(timeout=5)
-        self.store.close()
+        try:
+            for inbox in self._inboxes:
+                try:
+                    inbox.put(("stop",))
+                except Exception:  # pragma: no cover - queue already broken
+                    pass
+            for process in self._workers:
+                process.join(timeout=10)
+                if process.is_alive():  # pragma: no cover - hung worker
+                    process.terminate()
+                    process.join(timeout=5)
+        finally:
+            # Even if worker shutdown raises (hung terminate, broken
+            # queue), the creator-owned shared memory must be unlinked —
+            # leaked /dev/shm segments outlive the process.
+            for reader in self._reply_readers:
+                try:
+                    reader.close()
+                except Exception:  # pragma: no cover - already closed
+                    pass
+            self.store.close()
 
     def _require_open(self) -> None:
         if self._closed:
@@ -466,7 +616,7 @@ class ParallelWalkRunner:
     def _begin(self, mode: str, run_seed: int, params: dict) -> None:
         self._run_counter += 1
         for inbox in self._inboxes:
-            inbox.put(("begin", run_seed, mode, params))
+            inbox.put(("begin", self._run_counter, run_seed, mode, params))
 
     def _dispatch(
         self,
@@ -481,6 +631,12 @@ class ParallelWalkRunner:
         each shard's slice ascending too, which is what the serial drivers'
         generator call order expects in the single-shard case.
         """
+        if self._faults is not None:
+            action = self._faults.fire("worker.step")
+            if action is not None and action.kind == "kill_worker":
+                victim = self._workers[action.worker % self.num_workers]
+                victim.kill()
+                victim.join(timeout=5)
         limit = len(self._owner)
         if limit == 0:
             owners = np.zeros(len(vertices), dtype=np.int64)
@@ -517,7 +673,7 @@ class ParallelWalkRunner:
             reply = self._collect()
             if reply[0] != "step":  # pragma: no cover - protocol error
                 raise ParallelExecutionError(f"unexpected worker reply {reply[0]!r}")
-            _, shard, stepped, draws, killed, busy = reply
+            _, shard, _run, stepped, draws, killed, busy = reply
             if stats is not None:
                 stats.busy_seconds[shard] += float(busy)
                 stats.samples[shard] += int(len(stepped) + len(killed))

@@ -135,3 +135,59 @@ def test_pr6_gate_catches_nonpositive_timings(pr6_report):
     broken["scales"][0]["delta_warm_seconds_per_flip"] = 0
     errors = check_bench.check_bench_pr6(broken)
     assert any("delta_warm_seconds_per_flip" in error for error in errors)
+
+
+@pytest.fixture()
+def pr7_report():
+    return json.loads((REPO_ROOT / "BENCH_PR7.json").read_text())
+
+
+def test_pr7_gate_catches_low_success_rate(pr7_report):
+    broken = copy.deepcopy(pr7_report)
+    broken["tickets"]["success_rate"] = check_bench.PR7_MIN_SUCCESS_RATE - 0.01
+    errors = check_bench.check_bench_pr7(broken)
+    assert any("resilience bar" in error for error in errors)
+
+
+def test_pr7_gate_catches_hung_tickets(pr7_report):
+    broken = copy.deepcopy(pr7_report)
+    broken["tickets"]["hung"] = 1
+    errors = check_bench.check_bench_pr7(broken)
+    assert any("never hang" in error for error in errors)
+
+    missing = copy.deepcopy(pr7_report)
+    del missing["tickets"]["hung"]
+    errors = check_bench.check_bench_pr7(missing)
+    assert any("hung" in error for error in errors)
+
+
+def test_pr7_gate_catches_missing_recovery_evidence(pr7_report):
+    broken = copy.deepcopy(pr7_report)
+    broken["writer"]["recoveries"] = 0
+    broken["worker"]["respawns"] = 0
+    errors = check_bench.check_bench_pr7(broken)
+    assert any("recoveries" in error for error in errors)
+    assert any("respawns" in error for error in errors)
+
+
+def test_pr7_gate_catches_publication_stall(pr7_report):
+    broken = copy.deepcopy(pr7_report)
+    broken["writer"]["epochs_published"] = 0
+    errors = check_bench.check_bench_pr7(broken)
+    assert any("healthy batches" in error for error in errors)
+
+
+def test_pr7_gate_catches_replay_divergence(pr7_report):
+    broken = copy.deepcopy(pr7_report)
+    broken["replay_identical"] = False
+    errors = check_bench.check_bench_pr7(broken)
+    assert any("identical fault sequence" in error for error in errors)
+
+
+def test_pr7_gate_catches_missing_sections(pr7_report):
+    broken = copy.deepcopy(pr7_report)
+    del broken["http"]
+    del broken["worker"]
+    errors = check_bench.check_bench_pr7(broken)
+    assert any("http section missing" in error for error in errors)
+    assert any("worker section missing" in error for error in errors)

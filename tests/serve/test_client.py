@@ -1,0 +1,179 @@
+"""The retrying HTTP client: backoff schedule, Retry-After, idempotency."""
+
+import pytest
+
+from repro.bench.datasets import build_dataset
+from repro.errors import ServeError
+from repro.serve import (
+    FaultInjector,
+    FaultPlan,
+    GraphService,
+    ServiceClient,
+    ServiceHTTPError,
+    ServiceUnreachableError,
+    serve_http,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_dataset("AM", rng=47)
+
+
+@pytest.fixture()
+def faulty_server(graph, request):
+    """A front-end whose handler fails at the occurrences the test picks."""
+
+    def start(plan, retry_after_seconds=0.05):
+        service = GraphService("bingo", graph, rng=53)
+        server, _thread = serve_http(
+            service,
+            fault_injector=FaultInjector(plan),
+            retry_after_seconds=retry_after_seconds,
+        )
+        request.addfinalizer(service.close)
+        request.addfinalizer(server.shutdown)
+        return server
+
+    return start
+
+
+def make_client(server, **kwargs):
+    sleeps = []
+    kwargs.setdefault("backoff_seconds", 0.001)
+    kwargs.setdefault("backoff_cap_seconds", 0.01)
+    client = ServiceClient(server.url, sleep=sleeps.append, **kwargs)
+    return client, sleeps
+
+
+class TestConstruction:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ServeError, match="non-negative"):
+            ServiceClient("http://localhost:1", max_retries=-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"backoff_seconds": 0.0}, {"backoff_cap_seconds": -1.0}],
+    )
+    def test_non_positive_backoff_rejected(self, kwargs):
+        with pytest.raises(ServeError, match="positive"):
+            ServiceClient("http://localhost:1", **kwargs)
+
+
+class TestRetries:
+    def test_clean_query_needs_no_retry(self, faulty_server):
+        client, sleeps = make_client(faulty_server(FaultPlan()))
+        body = client.query("deepwalk", [0, 1, 2], 5)
+        assert body["num_walks"] == 3
+        assert client.retries_performed == 0
+        assert sleeps == []
+
+    def test_transient_503_is_retried_until_success(self, faulty_server):
+        server = faulty_server(
+            FaultPlan().fail("http.handler", 0).fail("http.handler", 1)
+        )
+        client, sleeps = make_client(server, max_retries=3)
+        body = client.query("deepwalk", [0, 1], 5)
+        assert body["num_walks"] == 2
+        assert client.retries_performed == 2
+        assert len(sleeps) == 2
+
+    def test_retry_after_hint_raises_the_backoff(self, faulty_server):
+        server = faulty_server(
+            FaultPlan().fail("http.handler", 0), retry_after_seconds=0.5
+        )
+        client, sleeps = make_client(server)  # planned backoff is 1ms
+        client.query("deepwalk", [0], 4)
+        assert sleeps == [0.5]
+
+    def test_backoff_doubles_and_caps_without_a_hint(self, faulty_server):
+        server = faulty_server(
+            FaultPlan()
+            .fail("http.handler", 0)
+            .fail("http.handler", 1)
+            .fail("http.handler", 2),
+            retry_after_seconds=0.001,
+        )
+        client, sleeps = make_client(
+            server, max_retries=3, backoff_seconds=0.002, backoff_cap_seconds=0.004
+        )
+        client.query("deepwalk", [0], 4)
+        assert sleeps == [0.002, 0.004, 0.004]  # 2ms, 4ms, capped at 4ms
+
+    def test_exhausted_retries_raise_with_status(self, faulty_server):
+        plan = FaultPlan()
+        for occurrence in range(4):
+            plan.fail("http.handler", occurrence)
+        client, sleeps = make_client(faulty_server(plan), max_retries=1)
+        with pytest.raises(ServiceHTTPError) as info:
+            client.query("deepwalk", [0], 4)
+        assert info.value.status == 503
+        assert info.value.retry_after == 0.05
+        assert client.retries_performed == 1
+        assert len(sleeps) == 1
+
+    def test_client_errors_are_not_retried(self, faulty_server):
+        client, sleeps = make_client(faulty_server(FaultPlan()), max_retries=3)
+        with pytest.raises(ServiceHTTPError) as info:
+            client.query("not-an-app", [0], 4)
+        assert info.value.status == 400
+        assert sleeps == []
+
+
+class TestIdempotency:
+    def test_ingest_is_never_retried(self, faulty_server):
+        # A replayed /ingest could double-apply a batch whose first
+        # attempt landed; the client must surface the failure instead.
+        server = faulty_server(FaultPlan().fail("http.handler", 0))
+        client, sleeps = make_client(server, max_retries=5)
+        with pytest.raises(ServiceHTTPError) as info:
+            client.ingest([{"src": 0, "dst": 1, "kind": "insert"}])
+        assert info.value.status == 503
+        assert client.retries_performed == 0
+        assert sleeps == []
+
+    def test_ingest_succeeds_on_a_healthy_server(self, graph, request):
+        service = GraphService("bingo", graph, rng=53)
+        server, _thread = serve_http(service)
+        request.addfinalizer(service.close)
+        request.addfinalizer(server.shutdown)
+        client, _sleeps = make_client(server)
+        free = graph.num_vertices - 1
+        body = client.ingest(
+            [{"src": free, "dst": 0, "kind": "insert"}], flush=True
+        )
+        assert body["queued_updates"] == 1
+
+
+class TestUnreachable:
+    def test_unreachable_server_retries_then_raises(self):
+        sleeps = []
+        client = ServiceClient(
+            "http://127.0.0.1:9",  # discard port: connection refused
+            max_retries=2,
+            backoff_seconds=0.001,
+            timeout=2.0,
+            sleep=sleeps.append,
+        )
+        with pytest.raises(ServiceUnreachableError):
+            client.stats()
+        assert client.retries_performed == 2
+        assert len(sleeps) == 2
+
+
+class TestHealth:
+    def test_health_returns_ok_payload(self, faulty_server):
+        client, _sleeps = make_client(faulty_server(FaultPlan()))
+        assert client.health()["status"] == "ok"
+
+    def test_health_returns_unhealthy_payload_instead_of_raising(
+        self, graph, request
+    ):
+        service = GraphService("bingo", graph, rng=53)
+        server, _thread = serve_http(service)
+        request.addfinalizer(server.shutdown)
+        service.close()
+        client, _sleeps = make_client(server)
+        body = client.health()
+        assert body["status"] == "unhealthy"
+        assert any("closed" in reason for reason in body["reasons"])

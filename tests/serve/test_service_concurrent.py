@@ -175,15 +175,42 @@ class TestMutationEdgeCases:
         finally:
             service.close()
 
-    def test_duplicate_batch_surfaces_writer_failure_cleanly(self, stream):
+    def test_duplicate_batch_is_quarantined_and_service_keeps_serving(self, stream):
         """Re-ingesting the same insert batch is a real workload bug: the
-        writer records it and flush()/ingest() raise instead of hanging."""
+        writer quarantines the poisoned batch into the dead-letter list,
+        rebuilds the back buffer and keeps serving — flush() stays clean."""
         graph = build_dataset("AM", rng=5)
         assert not graph.has_edge(0, graph.num_vertices - 1)
         inserts = UpdateBatch.from_updates(
             [GraphUpdate(UpdateKind.INSERT, 0, graph.num_vertices - 1, 1.0, 0)]
         )
         service = GraphService("bingo", graph, rng=7)
+        try:
+            service.ingest(inserts)
+            service.ingest(inserts)  # duplicate: inserts an existing edge
+            service.flush()  # quarantined, not latched
+            dead = service.dead_letter()
+            assert len(dead) == 1
+            assert dead[0]["updates"] == 1
+            assert "Duplicate" in dead[0]["error"] or "exists" in dead[0]["error"]
+            stats = service.stats_snapshot()
+            assert stats["writer_recoveries"] == 1
+            assert stats["batches_quarantined"] == 1
+            # The healthy batch published; the poisoned one was dropped.
+            assert service.epoch == 1
+            result = service.query("deepwalk", [1, 2, 3], 6, timeout=120.0)
+            assert result.walks.num_walks == 3
+        finally:
+            service.close()
+
+    def test_writer_failure_latches_when_recovery_is_disabled(self, stream):
+        """writer_recovery_limit=0 restores the fail-fast contract: the
+        first poisoned batch latches and flush()/ingest() raise."""
+        graph = build_dataset("AM", rng=5)
+        inserts = UpdateBatch.from_updates(
+            [GraphUpdate(UpdateKind.INSERT, 0, graph.num_vertices - 1, 1.0, 0)]
+        )
+        service = GraphService("bingo", graph, rng=7, writer_recovery_limit=0)
         try:
             service.ingest(inserts)
             service.ingest(inserts)  # duplicate: inserts an existing edge
