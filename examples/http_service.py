@@ -1,11 +1,13 @@
 """Quickstart for the multi-tenant HTTP serving front-end.
 
-Stands up a `GraphService` with two tenant lanes behind the stdlib
-HTTP/JSON API, then plays both tenants from plain `urllib`: a flood
-tenant dumps a burst of queries while a light tenant runs a closed loop —
-the deficit-round-robin fuser keeps the light tenant's latency at the
-wave time instead of the flood's queue depth.  Also demonstrates `/ingest`
-with back-buffer warming and the `/stats` tenant breakdown.
+Stands up a `GraphService` with two tenant lanes behind the event-loop
+HTTP front-end (one thread, every keep-alive connection), then plays both
+tenants from plain `urllib`: a flood tenant dumps a burst of queries
+while a light tenant runs a closed loop — the deficit-round-robin fuser
+keeps the light tenant's latency at the wave time instead of the flood's
+queue depth.  Also demonstrates `/ingest` with back-buffer warming, the
+`/stats` tenant breakdown, and the zero-copy binary walks format via
+`ServiceClient(..., binary=True)`.
 
 Run with:
 
@@ -20,7 +22,12 @@ import urllib.request
 
 from repro.graph.generators import power_law_graph
 from repro.graph.update_stream import UpdateWorkload, generate_update_stream
-from repro.serve import GraphService, TenantQuota, serve_http
+from repro.serve import (
+    GraphService,
+    ServiceClient,
+    TenantQuota,
+    serve_event_loop,
+)
 
 
 def call(url: str, path: str, payload=None, tenant: str | None = None):
@@ -44,6 +51,9 @@ def main() -> None:
     starts = [v for v in range(stream.initial_graph.num_vertices)
               if stream.initial_graph.degree(v) > 0]
 
+    # With tenants configured the default admission lane *rejects* when
+    # full (429 + Retry-After) — exactly what the event loop requires: a
+    # blocking lane would park the loop's only thread.
     service = GraphService(
         "bingo",
         stream.initial_graph,
@@ -55,9 +65,9 @@ def main() -> None:
             "light": TenantQuota(max_pending=8, weight=1.0),
         },
     )
-    server, _thread = serve_http(service)
+    server, _thread = serve_event_loop(service)
     url = server.url
-    print(f"serving on {url}")
+    print(f"serving on {url} (event-loop front-end, one thread)")
     print("healthz:", call(url, "/healthz"))
 
     # --- two tenants contend for the fused waves ---------------------------
@@ -102,6 +112,20 @@ def main() -> None:
     })
     print(f"post-flip probe: epoch {probe['epoch']}, "
           f"{probe['latency_seconds'] * 1e3:.1f} ms (served warm)")
+
+    # --- the binary wire format via the retrying client --------------------
+    # `Accept: application/x-walks-bin` returns the int64 walk matrix as
+    # a fixed 64-byte header + the raw buffer; the client decodes it with
+    # np.frombuffer — no per-cell JSON on either side of the wire.
+    with ServiceClient(url) as client:
+        decoded = client.query(
+            "deepwalk", starts[:256], 10, binary=True, tenant="light"
+        )
+        print(f"binary query: matrix {decoded.matrix.shape} "
+              f"({decoded.matrix.nbytes} payload bytes, zero-copy), "
+              f"epoch {decoded.epoch}, fused_with {decoded.fused_with}")
+        print(f"client reused 1 keep-alive connection: "
+              f"connections_opened={client.connections_opened}")
 
     # --- per-tenant accounting --------------------------------------------
     stats = call(url, "/stats")

@@ -4,7 +4,8 @@
 Each PR that lands a measured win commits its numbers (BENCH_PR2: columnar
 ingest, BENCH_PR3: shard-parallel walks, BENCH_PR4: streaming serve,
 BENCH_PR5: multi-tenant fairness + back-buffer warming, BENCH_PR6:
-epoch-delta publication flatness, BENCH_PR7: chaos suite resilience).  CI
+epoch-delta publication flatness, BENCH_PR7: chaos suite resilience,
+BENCH_PR8: event-loop connection scaling + binary wire format).  CI
 runs this script so a refactor cannot silently drop an engine, rename a
 field, or regress the streaming-serve headline below its acceptance bar —
 the JSON in the repo must keep telling the same story the CHANGES.md entry
@@ -53,6 +54,18 @@ PR6_MIN_VERTEX_GROWTH = 4.0
 #: The PR 7 resilience bar: fraction of chaos-run queries that must
 #: resolve successfully despite injected faults.
 PR7_MIN_SUCCESS_RATE = 0.99
+
+#: The PR 8 scaling bar: keep-alive clients the event loop must hold per
+#: server OS thread at the high-concurrency point.
+PR8_MIN_CLIENTS_PER_THREAD = 10.0
+
+#: The PR 8 latency bar: the event loop's high-concurrency p99 must stay
+#: within this factor of its 64-client p99 (same query load).
+PR8_MAX_HIGH_VS_LOW_P99 = 2.0
+
+#: The sweep must grow the client count by at least this factor for the
+#: flatness assertion to mean anything.
+PR8_MIN_CLIENT_GROWTH = 10.0
 
 
 def _require_positive(row: dict, fields: List[str], where: str, errors: List[str]) -> None:
@@ -318,6 +331,89 @@ def check_bench_pr7(report: dict) -> List[str]:
     return errors
 
 
+def check_bench_pr8(report: dict) -> List[str]:
+    """BENCH_PR8.json — event-loop connection scaling + binary wire format."""
+    errors: List[str] = []
+    low = report.get("low_clients")
+    high = report.get("high_clients")
+    _require_positive(report, ["low_clients", "high_clients"], "BENCH_PR8", errors)
+    if isinstance(low, (int, float)) and isinstance(high, (int, float)) and low > 0:
+        if high / low < PR8_MIN_CLIENT_GROWTH:
+            errors.append(
+                f"BENCH_PR8: high_clients ({high}) is less than "
+                f"{PR8_MIN_CLIENT_GROWTH}x low_clients ({low}) — the sweep "
+                "no longer exercises a 10x connection-count growth"
+            )
+    servers = report.get("servers")
+    if not isinstance(servers, dict):
+        errors.append("BENCH_PR8: servers section missing")
+        return errors
+    for kind in ("threaded", "eventloop"):
+        row = servers.get(kind)
+        if not isinstance(row, dict):
+            errors.append(f"BENCH_PR8.servers: front-end {kind!r} missing")
+            continue
+        where = f"BENCH_PR8.servers.{kind}"
+        for phase in ("low", "high"):
+            phase_row = row.get(phase)
+            if not isinstance(phase_row, dict):
+                errors.append(f"{where}: phase {phase!r} missing")
+                continue
+            _require_positive(
+                phase_row,
+                ["clients", "queries", "p50", "p99", "server_threads"],
+                f"{where}.{phase}",
+                errors,
+            )
+        wire = row.get("wire")
+        if not isinstance(wire, dict):
+            errors.append(f"{where}: wire section missing")
+        else:
+            _require_positive(
+                wire,
+                [
+                    "json_seconds_per_query",
+                    "binary_seconds_per_query",
+                    "json_bytes",
+                    "binary_bytes",
+                ],
+                f"{where}.wire",
+                errors,
+            )
+            if wire.get("shapes_match") is not True:
+                errors.append(
+                    f"{where}.wire: shapes_match is not true — the binary "
+                    "format no longer decodes to the JSON path's matrix shape"
+                )
+    eventloop = servers.get("eventloop")
+    if isinstance(eventloop, dict):
+        per_thread = eventloop.get("clients_per_server_thread")
+        if not isinstance(per_thread, (int, float)) or per_thread <= 0:
+            errors.append(
+                "BENCH_PR8: eventloop.clients_per_server_thread missing or "
+                f"not positive ({per_thread!r})"
+            )
+        elif per_thread < PR8_MIN_CLIENTS_PER_THREAD:
+            errors.append(
+                f"BENCH_PR8: the event loop holds only {per_thread} keep-alive "
+                f"clients per server thread, below the "
+                f"{PR8_MIN_CLIENTS_PER_THREAD}x scaling bar"
+            )
+        ratio = eventloop.get("high_vs_low_p99")
+        if not isinstance(ratio, (int, float)) or ratio <= 0:
+            errors.append(
+                "BENCH_PR8: eventloop.high_vs_low_p99 missing or not positive "
+                f"({ratio!r})"
+            )
+        elif ratio > PR8_MAX_HIGH_VS_LOW_P99:
+            errors.append(
+                f"BENCH_PR8: the event loop's high-concurrency p99 is {ratio}x "
+                f"its low-concurrency p99, above the "
+                f"{PR8_MAX_HIGH_VS_LOW_P99}x flatness bar"
+            )
+    return errors
+
+
 CHECKS: Dict[str, Callable[[dict], List[str]]] = {
     "BENCH_PR2.json": check_bench_pr2,
     "BENCH_PR3.json": check_bench_pr3,
@@ -325,6 +421,7 @@ CHECKS: Dict[str, Callable[[dict], List[str]]] = {
     "BENCH_PR5.json": check_bench_pr5,
     "BENCH_PR6.json": check_bench_pr6,
     "BENCH_PR7.json": check_bench_pr7,
+    "BENCH_PR8.json": check_bench_pr8,
 }
 
 

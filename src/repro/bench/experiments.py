@@ -1881,3 +1881,223 @@ def chaos_serve(
             "count of tickets that never resolved (the gate pins it to 0)"
         ),
     }
+
+
+def concurrency_sweep(
+    *,
+    dataset: str = "AM",
+    engine: str = "bingo",
+    application: str = "deepwalk",
+    walk_length: int = 8,
+    num_walkers: int = 32,
+    low_clients: int = 64,
+    high_clients: int = 640,
+    queries_per_phase: int = 384,
+    wire_walkers: int = 256,
+    wire_walk_length: int = 40,
+    wire_queries: int = 6,
+    seed: int = 67,
+) -> Dict[str, object]:
+    """PR 8 headline: keep-alive connection scaling + binary wire format.
+
+    For each front-end (the threaded debug server and the production
+    event loop) the sweep opens ``low_clients`` and then ``high_clients``
+    persistent keep-alive :class:`~repro.serve.ServiceClient` connections,
+    issues the *same* number of walk queries round-robin across them in
+    both phases (so the p50/p99 comparison is load-for-load), and records
+    how many OS threads the server grew to hold the connections:
+
+    * the threaded server pins one handler thread per open keep-alive
+      connection — at ``high_clients`` its thread count tracks the client
+      count, so ``clients_per_server_thread`` stays ~1;
+    * the event loop holds every connection in one ``selectors`` thread,
+      so ``clients_per_server_thread`` equals the client count.
+
+    The ``check_bench.py`` PR 8 gate pins the event loop to
+    ``clients_per_server_thread >= 10`` at the high client count with
+    ``high_vs_low_p99 <= 2`` (latency must not degrade with connection
+    count — the ROADMAP's 10k-client target in miniature).
+
+    Each server also gets a JSON-vs-binary transfer comparison: the same
+    large query (``wire_walkers`` × ``wire_walk_length``) repeated
+    ``wire_queries`` times per format, binary negotiated via
+    ``Accept: application/x-walks-bin`` and decoded zero-copy
+    (:mod:`repro.serve.wire`).
+    """
+    import threading as _threading
+
+    import numpy as np
+
+    from repro.serve import GraphService, ServiceClient, TenantQuota
+
+    if low_clients < 1 or high_clients <= low_clients:
+        raise BenchmarkError(
+            "concurrency_sweep needs 1 <= low_clients < high_clients"
+        )
+    if queries_per_phase < 1 or wire_queries < 1:
+        raise BenchmarkError("concurrency_sweep needs at least one query")
+    graph = build_dataset(dataset, rng=ensure_rng(seed))
+    starts = sample_start_vertices(graph, num_walkers, rng=seed + 1)
+    wire_starts = sample_start_vertices(graph, wire_walkers, rng=seed + 2)
+
+    def percentiles(samples: List[float]) -> Dict[str, float]:
+        array = np.asarray(samples, dtype=np.float64)
+        return {
+            "p50": float(np.percentile(array, 50)),
+            "p99": float(np.percentile(array, 99)),
+        }
+
+    def run_phase(url: str, clients_count: int, baseline_threads: int):
+        clients = [
+            ServiceClient(url, max_retries=2, backoff_seconds=0.05, timeout=120.0)
+            for _ in range(clients_count)
+        ]
+        try:
+            # Open every keep-alive connection up front (a cheap GET per
+            # client), then measure the server's thread growth while all
+            # of them are held open.
+            for client in clients:
+                client.health()
+            peak_threads = _threading.active_count()
+            latencies: List[float] = []
+            begin = time.perf_counter()
+            for index in range(queries_per_phase):
+                client = clients[index % clients_count]
+                t0 = time.perf_counter()
+                client.query(
+                    application, starts, walk_length, timeout=120.0
+                )
+                latencies.append(time.perf_counter() - t0)
+            elapsed = time.perf_counter() - begin
+        finally:
+            for client in clients:
+                client.close()
+        stats = percentiles(latencies)
+        return {
+            "clients": int(clients_count),
+            "queries": int(queries_per_phase),
+            "p50": stats["p50"],
+            "p99": stats["p99"],
+            "queries_per_second": (
+                queries_per_phase / elapsed if elapsed > 0 else float("inf")
+            ),
+            "server_threads": max(1, peak_threads - baseline_threads),
+        }
+
+    def run_wire(url: str) -> Dict[str, object]:
+        client = ServiceClient(
+            url, max_retries=2, backoff_seconds=0.05, timeout=120.0
+        )
+        try:
+            expected_shape = (wire_walkers, wire_walk_length + 1)
+            json_body = None
+            t0 = time.perf_counter()
+            for _ in range(wire_queries):
+                json_body = client.query(
+                    application, wire_starts, wire_walk_length, timeout=120.0
+                )
+            json_seconds = (time.perf_counter() - t0) / wire_queries
+            decoded = None
+            t0 = time.perf_counter()
+            for _ in range(wire_queries):
+                decoded = client.query(
+                    application,
+                    wire_starts,
+                    wire_walk_length,
+                    timeout=120.0,
+                    binary=True,
+                )
+            binary_seconds = (time.perf_counter() - t0) / wire_queries
+        finally:
+            client.close()
+        json_matrix = np.asarray(json_body["walks"], dtype=np.int64)
+        shapes_match = (
+            json_matrix.shape == expected_shape
+            and decoded.matrix.shape == expected_shape
+            and decoded.matrix.dtype == np.int64
+        )
+        import json as _json
+
+        return {
+            "walkers": int(wire_walkers),
+            "walk_length": int(wire_walk_length),
+            "queries_per_format": int(wire_queries),
+            "json_seconds_per_query": json_seconds,
+            "binary_seconds_per_query": binary_seconds,
+            "binary_speedup": (
+                json_seconds / binary_seconds
+                if binary_seconds > 0
+                else float("inf")
+            ),
+            "json_bytes": len(_json.dumps(json_body).encode("utf-8")),
+            "binary_bytes": 64 + decoded.matrix.nbytes,
+            "shapes_match": bool(shapes_match),
+        }
+
+    def run_server(kind: str) -> Dict[str, object]:
+        from repro.serve import serve_event_loop, serve_http
+
+        service = GraphService(
+            engine,
+            graph,
+            rng=seed + 3,
+            service_seed=seed + 4,
+            warm_on_publish=True,
+            # The event loop submits from its only thread, so admission
+            # must reject (429 + Retry-After, absorbed by the client's
+            # backoff), never block; the threaded server gets the same
+            # policy so the comparison is apples-to-apples.
+            default_quota=TenantQuota(max_pending=4096),
+        )
+        server = None
+        try:
+            baseline_threads = _threading.active_count()
+            if kind == "eventloop":
+                server, _ = serve_event_loop(service, port=0)
+            else:
+                server, _ = serve_http(service, port=0)
+            low = run_phase(server.url, low_clients, baseline_threads)
+            high = run_phase(server.url, high_clients, baseline_threads)
+            wire_report = run_wire(server.url)
+        finally:
+            if server is not None:
+                server.shutdown()
+            service.close()
+        return {
+            "low": low,
+            "high": high,
+            "wire": wire_report,
+            "clients_per_server_thread": high["clients"] / high["server_threads"],
+            "high_vs_low_p99": (
+                high["p99"] / low["p99"] if low["p99"] > 0 else float("inf")
+            ),
+        }
+
+    servers = {
+        "threaded": run_server("threaded"),
+        "eventloop": run_server("eventloop"),
+    }
+    eventloop = servers["eventloop"]
+    threaded = servers["threaded"]
+    return {
+        "dataset": dataset,
+        "engine": engine,
+        "application": application,
+        "walk_length": int(walk_length),
+        "num_walkers": int(num_walkers),
+        "low_clients": int(low_clients),
+        "high_clients": int(high_clients),
+        "queries_per_phase": int(queries_per_phase),
+        "servers": servers,
+        "thread_advantage": (
+            eventloop["clients_per_server_thread"]
+            / threaded["clients_per_server_thread"]
+            if threaded["clients_per_server_thread"] > 0
+            else float("inf")
+        ),
+        "note": (
+            "both phases issue queries_per_phase queries round-robin over "
+            "the open keep-alive connections, so p99 compares the same "
+            "query load while the connection count grows 10x"
+        ),
+    }

@@ -56,6 +56,7 @@ EXPERIMENT_RUNNERS: Dict[str, Callable[..., Any]] = {
     "serve": experiments.multi_tenant_serve,
     "streaming": experiments.streaming_serve,
     "chaos": experiments.chaos_serve,
+    "http": experiments.concurrency_sweep,
 }
 
 #: Experiments whose JSON output lands in a file by default (perf trajectory).
@@ -66,6 +67,7 @@ DEFAULT_OUTPUT_FILES = {
     "serve": "BENCH_PR5.json",
     "flip": "BENCH_PR6.json",
     "chaos": "BENCH_PR7.json",
+    "http": "BENCH_PR8.json",
 }
 
 
@@ -172,6 +174,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="closed-loop queries the light tenant runs (serve only)",
     )
     run_parser.add_argument(
+        "--low-clients",
+        type=int,
+        default=None,
+        help="baseline keep-alive client count (http only)",
+    )
+    run_parser.add_argument(
+        "--high-clients",
+        type=int,
+        default=None,
+        help="high-concurrency keep-alive client count (http only)",
+    )
+    run_parser.add_argument(
+        "--queries-per-phase",
+        type=int,
+        default=None,
+        help="walk queries issued per concurrency phase (http only)",
+    )
+    run_parser.add_argument(
         "--output",
         default=None,
         help=(
@@ -221,6 +241,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--log-requests",
         action="store_true",
         help="print one access-log line per request to stderr",
+    )
+    serve_parser.add_argument(
+        "--event-loop",
+        action="store_true",
+        help=(
+            "serve with the single-threaded selectors event loop (binary "
+            "wire format + 10k keep-alive clients) instead of the "
+            "thread-per-connection debug server"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="default tenant lane bound; full lanes answer 429 + Retry-After",
     )
 
     compare_parser = subparsers.add_parser(
@@ -273,14 +308,25 @@ def _run_experiment(args: argparse.Namespace) -> int:
                 "--workers count"
             )
     for flag, value, experiments_allowed in (
-        ("--walk-length", args.walk_length, {"scale", "streaming", "serve", "chaos"}),
+        (
+            "--walk-length",
+            args.walk_length,
+            {"scale", "streaming", "serve", "chaos", "http"},
+        ),
         ("--rounds", args.rounds, {"scale"}),
-        ("--num-walkers", args.num_walkers, {"scale", "streaming", "serve", "chaos"}),
+        (
+            "--num-walkers",
+            args.num_walkers,
+            {"scale", "streaming", "serve", "chaos", "http"},
+        ),
         ("--queries-per-round", args.queries_per_round, {"streaming"}),
-        ("--engines", args.engines, {"streaming", "serve", "flip", "chaos"}),
+        ("--engines", args.engines, {"streaming", "serve", "flip", "chaos", "http"}),
         ("--flood-queries", args.flood_queries, {"serve"}),
         ("--light-queries", args.light_queries, {"serve"}),
         ("--scales", args.scales, {"flip"}),
+        ("--low-clients", args.low_clients, {"http"}),
+        ("--high-clients", args.high_clients, {"http"}),
+        ("--queries-per-phase", args.queries_per_phase, {"http"}),
     ):
         if value is not None and args.experiment not in experiments_allowed:
             # Fail fast instead of silently benchmarking the defaults.
@@ -351,6 +397,31 @@ def _run_experiment(args: argparse.Namespace) -> int:
             kwargs["flood_queries"] = args.flood_queries
         if args.light_queries is not None:
             kwargs["light_queries"] = args.light_queries
+    if args.experiment == "http":
+        if args.datasets is not None:
+            if len(args.datasets) > 1:
+                return _fail(
+                    "`run http` benchmarks a single dataset; "
+                    f"got {len(args.datasets)} datasets"
+                )
+            kwargs["dataset"] = args.datasets[0]
+        if args.engines is not None:
+            if len(args.engines) > 1:
+                return _fail(
+                    "`run http` benchmarks a single engine; "
+                    f"got {len(args.engines)} engines"
+                )
+            kwargs["engine"] = args.engines[0]
+        if args.walk_length is not None:
+            kwargs["walk_length"] = args.walk_length
+        if args.num_walkers is not None:
+            kwargs["num_walkers"] = args.num_walkers
+        if args.low_clients is not None:
+            kwargs["low_clients"] = args.low_clients
+        if args.high_clients is not None:
+            kwargs["high_clients"] = args.high_clients
+        if args.queries_per_phase is not None:
+            kwargs["queries_per_phase"] = args.queries_per_phase
     if args.experiment == "chaos":
         if args.datasets is not None:
             if len(args.datasets) > 1:
@@ -445,15 +516,23 @@ def _run_serve(args: argparse.Namespace) -> int:
     import threading
 
     from repro.bench.datasets import build_dataset
-    from repro.serve import GraphService, serve_http
+    from repro.serve import GraphService, TenantQuota, serve_event_loop, serve_http
 
     if args.workers < 1:
         return _fail("--workers must be at least 1")
+    if args.max_pending < 1:
+        return _fail("--max-pending must be at least 1")
     try:
         tenants = _parse_tenant_specs(args.tenant)
     except ValueError as exc:
         return _fail(str(exc))
     graph = build_dataset(args.dataset, rng=args.seed)
+    default_quota = None
+    if args.event_loop:
+        # The event loop submits queries from its only thread, so the
+        # default admission lane must reject (429 + Retry-After), never
+        # block the submitter.
+        default_quota = TenantQuota(max_pending=args.max_pending)
     service = GraphService(
         args.engine,
         graph,
@@ -463,16 +542,19 @@ def _run_serve(args: argparse.Namespace) -> int:
         fuse_window_seconds=args.fuse_window,
         tenants=tenants or None,
         warm_on_publish=not args.no_warm,
+        default_quota=default_quota,
     )
-    server, _thread = serve_http(
+    start_server = serve_event_loop if args.event_loop else serve_http
+    server, _thread = start_server(
         service,
         args.host,
         args.port,
         log_requests=args.log_requests,
     )
+    front_end = "event-loop" if args.event_loop else "threaded"
     sys.stderr.write(
-        f"serving {args.engine} walks on {server.url} "
-        f"(dataset={args.dataset}, vertices={graph.num_vertices}, "
+        f"serving {args.engine} walks on {server.url} ({front_end} front-end, "
+        f"dataset={args.dataset}, vertices={graph.num_vertices}, "
         f"warm={'off' if args.no_warm else 'on'}); Ctrl-C to stop\n"
     )
     stop = threading.Event()

@@ -19,14 +19,28 @@ Modules
 ``service``
     :class:`GraphService` — the double-buffered engine snapshots, the
     writer and fair-share dispatcher threads, and back-buffer warming.
+``protocol``
+    The transport-agnostic HTTP layer both front-ends share: routing,
+    validation, error mapping (429 / 503 / 504 carry ``Retry-After``),
+    content negotiation and the incremental pipelining-safe request
+    parser.
 ``http``
-    Stdlib ``ThreadingHTTPServer`` JSON front-end (``POST /query``,
-    ``POST /ingest``, ``GET /stats``, ``GET /healthz``); tenant id comes
-    from the ``X-Tenant`` header.  429 / 503 / 504 carry ``Retry-After``.
+    Stdlib ``ThreadingHTTPServer`` front-end (``POST /query``, ``POST
+    /ingest``, ``GET /stats``, ``GET /healthz``); tenant id comes from
+    the ``X-Tenant`` header.  One thread per connection — the debug
+    fallback.
+``eventloop``
+    The production front-end: a single-threaded ``selectors`` event loop
+    holding every keep-alive connection at once, resumed from query-
+    ticket done-callbacks via a self-pipe.
+``wire``
+    The ``application/x-walks-bin`` zero-copy binary walks format (fixed
+    64-byte header + raw int64 matrix buffer).
 ``client``
-    :class:`ServiceClient` — stdlib HTTP client with capped exponential
-    backoff that honours ``Retry-After`` and retries only idempotent
-    requests.
+    :class:`ServiceClient` — stdlib HTTP client on one persistent
+    keep-alive connection, with capped exponential backoff that honours
+    ``Retry-After``, retries only idempotent requests, and decodes
+    binary walk responses zero-copy.
 ``faults``
     The chaos harness: :class:`FaultPlan` schedules deterministic faults
     by (injection point, occurrence index); :class:`FaultInjector` fires
@@ -38,6 +52,7 @@ from repro.serve.client import (
     ServiceHTTPError,
     ServiceUnreachableError,
 )
+from repro.serve.eventloop import EventLoopHTTPServer, serve_event_loop
 from repro.serve.faults import FAULT_POINTS, FaultAction, FaultInjector, FaultPlan
 from repro.serve.http import (
     TENANT_HEADER,
@@ -55,9 +70,18 @@ from repro.serve.queries import (
 )
 from repro.serve.service import GraphService
 from repro.serve.tenancy import FairShareQueue, TenantQuota, TenantStats
+from repro.serve.wire import (
+    WIRE_CONTENT_TYPE,
+    DecodedWalks,
+    WireFormatError,
+    decode_walks,
+    encode_walks,
+)
 
 __all__ = [
     "DEFAULT_TENANT",
+    "DecodedWalks",
+    "EventLoopHTTPServer",
     "FAULT_POINTS",
     "FairShareQueue",
     "FaultAction",
@@ -74,8 +98,13 @@ __all__ = [
     "TENANT_HEADER",
     "TenantQuota",
     "TenantStats",
+    "WIRE_CONTENT_TYPE",
     "WalkQuery",
+    "WireFormatError",
     "deadline_in",
+    "decode_walks",
+    "encode_walks",
+    "serve_event_loop",
     "serve_http",
     "validate_starts",
 ]

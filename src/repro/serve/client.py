@@ -1,32 +1,51 @@
 """Stdlib HTTP client for the serve front-end, with capped backoff retries.
 
-The server side (:mod:`repro.serve.http`) marks transient failures with
-429 / 503 / 504 and a ``Retry-After`` header; this client closes the loop:
-idempotent requests (``/query``, ``/stats``, ``/healthz``) are retried
-with capped exponential backoff, sleeping at least the server's
-``Retry-After`` hint when one is present.  ``/ingest`` is **never**
-retried — replaying an update batch whose first attempt may have been
-applied is exactly the duplicate-batch bug the writer's dead-letter
-quarantine exists to catch, and the client must not manufacture it.
+The server side (:mod:`repro.serve.http` / :mod:`repro.serve.eventloop`)
+marks transient failures with 429 / 503 / 504 and a ``Retry-After``
+header; this client closes the loop: idempotent requests (``/query``,
+``/stats``, ``/healthz``) are retried with capped exponential backoff,
+sleeping at least the server's ``Retry-After`` hint when one is present.
+``/ingest`` is **never** retried on an HTTP error — replaying an update
+batch whose first attempt may have been applied is exactly the
+duplicate-batch bug the writer's dead-letter quarantine exists to catch,
+and the client must not manufacture it.
 
 Walk queries are safe to retry because they are reads: a query resolves
 against whatever snapshot is published when it fuses and mutates nothing,
 so two attempts are two independent reads, not a double-apply.
 
-Built on :mod:`urllib.request` only — like the server, no dependencies
-beyond the standard library.
+Transport: one persistent keep-alive ``http.client.HTTPConnection`` per
+client, reused across requests instead of a fresh TCP handshake each
+time (the old ``urllib.request`` transport's per-request connection cost
+dominated small queries).  A stale keep-alive socket — the server timed
+the idle connection out between requests and ``getresponse`` raises
+``RemoteDisconnected`` — is reconnected transparently, once, for *any*
+request including ``/ingest``: a server that closed an idle connection
+never processed the request riding it, so the resend cannot double-apply.
+
+``query(..., binary=True)`` negotiates the zero-copy
+``application/x-walks-bin`` response (:mod:`repro.serve.wire`) and
+returns the decoded :class:`~repro.serve.wire.DecodedWalks`, whose
+matrix is an ``np.frombuffer`` view over the response bytes — no
+per-cell JSON decode on either side of the wire.
+
+Built on the standard library only, like the servers.  A client instance
+serializes its requests with an internal lock (one connection, one
+in-flight request); use one client per thread for parallel load.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import threading
 import time
-import urllib.error
-import urllib.request
-from typing import Dict, List, Optional, Sequence
+import urllib.parse
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ServeError
-from repro.serve.http import RETRYABLE_STATUSES, TENANT_HEADER
+from repro.serve import wire
+from repro.serve.protocol import RETRYABLE_STATUSES, TENANT_HEADER
 
 #: Default attempt budget: 1 initial try + this many retries.
 DEFAULT_MAX_RETRIES = 4
@@ -36,6 +55,18 @@ DEFAULT_BACKOFF_SECONDS = 0.25
 
 #: Ceiling on any single backoff sleep (seconds).
 DEFAULT_BACKOFF_CAP_SECONDS = 8.0
+
+#: Exceptions that mean "the reused keep-alive socket went stale":
+#: the server closed the idle connection before (or instead of)
+#: answering, so a fresh connection gets one transparent resend.
+_STALE_CONNECTION_ERRORS = (
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    BrokenPipeError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+)
 
 
 class ServiceHTTPError(ServeError):
@@ -75,12 +106,13 @@ def _parse_retry_after(value: Optional[str]) -> Optional[float]:
 
 
 class ServiceClient:
-    """A retrying JSON client bound to one serve front-end URL.
+    """A retrying JSON/binary client bound to one serve front-end URL.
 
     Parameters
     ----------
     base_url:
-        The server root, e.g. ``server.url`` from :func:`serve_http`.
+        The server root, e.g. ``server.url`` from :func:`serve_http` or
+        :func:`~repro.serve.eventloop.serve_event_loop`.
     tenant:
         Optional tenant id sent in the ``X-Tenant`` header of every
         request (individual calls may override it).
@@ -115,14 +147,38 @@ class ServiceClient:
         if not backoff_seconds > 0 or not backoff_cap_seconds > 0:
             raise ServeError("backoff seconds must be positive")
         self.base_url = base_url.rstrip("/")
+        split = urllib.parse.urlsplit(self.base_url)
+        if split.scheme not in ("http", ""):
+            raise ServeError(f"unsupported URL scheme {split.scheme!r}")
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port or 80
         self.tenant = tenant
         self.max_retries = int(max_retries)
         self.backoff_seconds = float(backoff_seconds)
         self.backoff_cap_seconds = float(backoff_cap_seconds)
         self.timeout = float(timeout)
         self._sleep = sleep
+        self._lock = threading.Lock()
+        self._connection: Optional[http.client.HTTPConnection] = None
         #: Transient-failure retries performed over this client's lifetime.
         self.retries_performed = 0
+        #: TCP connections opened (1 after any number of keep-alive
+        #: requests; +1 per transparent stale-connection reconnect).
+        self.connections_opened = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Drop the persistent connection (reopened on the next request)."""
+        with self._lock:
+            self._drop_connection()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # endpoints
@@ -137,8 +193,15 @@ class ServiceClient:
         timeout: Optional[float] = None,
         deadline_seconds: Optional[float] = None,
         tenant: Optional[str] = None,
-    ) -> Dict[str, object]:
-        """Run one walk query; retried on transient failures (a read)."""
+        binary: bool = False,
+    ) -> Union[Dict[str, object], wire.DecodedWalks]:
+        """Run one walk query; retried on transient failures (a read).
+
+        With ``binary=True`` the request negotiates
+        ``Accept: application/x-walks-bin`` and the return value is a
+        :class:`~repro.serve.wire.DecodedWalks` (zero-copy matrix view)
+        instead of the JSON dict.
+        """
         body: Dict[str, object] = {
             "application": application,
             "starts": list(starts),
@@ -150,7 +213,9 @@ class ServiceClient:
             body["timeout"] = float(timeout)
         if deadline_seconds is not None:
             body["deadline_seconds"] = float(deadline_seconds)
-        return self._request("POST", "/query", body, idempotent=True, tenant=tenant)
+        return self._request(
+            "POST", "/query", body, idempotent=True, tenant=tenant, binary=binary
+        )
 
     def ingest(
         self,
@@ -196,12 +261,13 @@ class ServiceClient:
         *,
         idempotent: bool,
         tenant: Optional[str] = None,
-    ) -> Dict[str, object]:
+        binary: bool = False,
+    ):
         retries = self.max_retries if idempotent else 0
         attempt = 0
         while True:
             try:
-                return self._attempt(method, path, body, tenant)
+                return self._attempt(method, path, body, tenant, binary)
             except ServiceHTTPError as exc:
                 if exc.status not in RETRYABLE_STATUSES or attempt >= retries:
                     raise
@@ -220,33 +286,106 @@ class ServiceClient:
         path: str,
         body: Optional[Dict[str, object]],
         tenant: Optional[str],
-    ) -> Dict[str, object]:
-        data = None
-        headers = {"Accept": "application/json"}
+        binary: bool,
+    ):
+        data: Optional[bytes] = None
+        headers = {
+            "Accept": wire.WIRE_CONTENT_TYPE if binary else "application/json"
+        }
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
         tenant = tenant if tenant is not None else self.tenant
         if tenant:
             headers[TENANT_HEADER] = tenant
-        request = urllib.request.Request(
-            self.base_url + path, data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            raw = exc.read()
+        with self._lock:
+            status, response_headers, raw = self._exchange(
+                method, path, data, headers
+            )
+        if status >= 300:
             try:
                 payload = json.loads(raw.decode("utf-8")) if raw else {}
             except (json.JSONDecodeError, UnicodeDecodeError):
                 payload = {}
-            retry_after = _parse_retry_after(exc.headers.get("Retry-After"))
-            raise ServiceHTTPError(exc.code, payload, retry_after) from exc
-        except (urllib.error.URLError, OSError) as exc:
+            retry_after = _parse_retry_after(
+                response_headers.get("Retry-After")
+            )
+            raise ServiceHTTPError(status, payload, retry_after)
+        content_type = response_headers.get("Content-Type", "")
+        if binary and content_type.startswith(wire.WIRE_CONTENT_TYPE):
+            return wire.decode_walks(raw)
+        return json.loads(raw.decode("utf-8"))
+
+    def _exchange(
+        self,
+        method: str,
+        path: str,
+        data: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One request/response over the persistent connection.
+
+        A stale reused connection (server closed it while idle) gets one
+        transparent reconnect + resend; everything else socket-fatal
+        maps onto :class:`ServiceUnreachableError`.
+        """
+        reused = self._connection is not None
+        try:
+            return self._roundtrip(method, path, data, headers)
+        except _STALE_CONNECTION_ERRORS as exc:
+            self._drop_connection()
+            if not reused:
+                raise ServiceUnreachableError(
+                    f"could not reach {self.base_url}: {exc}"
+                ) from exc
+        except (http.client.HTTPException, OSError) as exc:
+            self._drop_connection()
             raise ServiceUnreachableError(
                 f"could not reach {self.base_url}: {exc}"
             ) from exc
+        # The stale-keep-alive resend: fresh socket, same request.
+        try:
+            return self._roundtrip(method, path, data, headers)
+        except (http.client.HTTPException, OSError) as exc:
+            self._drop_connection()
+            raise ServiceUnreachableError(
+                f"could not reach {self.base_url}: {exc}"
+            ) from exc
+
+    def _roundtrip(
+        self,
+        method: str,
+        path: str,
+        data: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        connection = self._connection
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout
+            )
+            connection.connect()
+            self._connection = connection
+            self.connections_opened += 1
+        connection.request(method, path, body=data, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+        response_headers = {
+            name: value for name, value in response.getheaders()
+        }
+        if response.will_close:
+            # The server asked for Connection: close; do not reuse.
+            self._drop_connection()
+        return response.status, response_headers, raw
+
+    def _drop_connection(self) -> None:
+        connection = self._connection
+        self._connection = None
+        if connection is not None:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
 
 
 __all__ = [

@@ -1,12 +1,15 @@
-"""Stdlib HTTP/JSON front-end over :class:`~repro.serve.GraphService`.
+"""Threaded stdlib HTTP front-end over :class:`~repro.serve.GraphService`.
 
-The ticket API maps 1:1 onto request handlers: ``POST /query`` submits a
-:class:`~repro.serve.WalkQuery` with the tenant id taken from the
-``X-Tenant`` header and blocks on ``ticket.result(timeout)``; ``POST
-/ingest`` queues an update batch; ``GET /stats`` reports service plus
-per-tenant statistics and ``GET /healthz`` is the liveness probe.  Built
-entirely on :class:`http.server.ThreadingHTTPServer` — no dependencies
-beyond the standard library.
+One OS thread per connection (``http.server.ThreadingHTTPServer``), kept
+as the debug-friendly fallback to the production event loop
+(:mod:`repro.serve.eventloop`).  All routing, validation and error
+mapping live in the shared transport-agnostic
+:mod:`repro.serve.protocol` module — this file only owns the parts a
+blocking transport must do itself: socket-level body reads (bounded by
+``body_timeout`` so an under-delivering client cannot wedge a handler
+thread), blocking on the query ticket via
+:meth:`~repro.serve.protocol.PendingQuery.wait`, and writing buffered or
+chunked responses.
 
 Error mapping (everything is JSON, ``{"error": ..., "type": ...}``):
 
@@ -30,87 +33,29 @@ pacing hint instead of hammering a loaded service.
 
 from __future__ import annotations
 
-import json
+import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
-from repro.errors import (
-    InjectedFault,
-    QueryExpiredError,
-    QueryTimeoutError,
-    QuotaExceededError,
-    ReproError,
-    ServiceClosedError,
-)
-from repro.graph.update_batch import GraphUpdate, UpdateBatch, UpdateKind
+from repro.serve import protocol
 from repro.serve.faults import FaultInjector
-from repro.serve.queries import DEFAULT_TENANT, deadline_in
+from repro.serve.protocol import (  # noqa: F401 - long-standing re-exports
+    DEFAULT_QUERY_TIMEOUT,
+    DEFAULT_RETRY_AFTER_SECONDS,
+    MAX_BODY_BYTES,
+    RETRYABLE_STATUSES,
+    TENANT_HEADER,
+    BadRequest as _BadRequest,
+    PayloadTooLarge as _PayloadTooLarge,
+    status_for_error,
+)
 from repro.serve.service import GraphService
-
-#: Request header naming the submitting tenant.
-TENANT_HEADER = "X-Tenant"
-
-#: Default seconds a /query handler blocks on the ticket before 504.
-DEFAULT_QUERY_TIMEOUT = 30.0
-
-#: Largest accepted request body (1 MiB of JSON is ~50k updates).
-MAX_BODY_BYTES = 8 * 1024 * 1024
 
 #: Default socket timeout while reading a request (seconds).  Bounds
 #: ``rfile.read`` so a client that declares a Content-Length and then
 #: under-delivers cannot wedge a handler thread until it disconnects.
 DEFAULT_BODY_TIMEOUT = 10.0
-
-#: Default ``Retry-After`` hint (seconds) sent with 429 / 503 / 504.
-DEFAULT_RETRY_AFTER_SECONDS = 1.0
-
-#: Statuses that mean "try again later" rather than "fix your request".
-RETRYABLE_STATUSES = (429, 503, 504)
-
-
-def status_for_error(error: BaseException) -> int:
-    """The HTTP status code a serve-layer failure maps onto."""
-    if isinstance(error, QuotaExceededError):
-        return 429
-    if isinstance(error, (ServiceClosedError, InjectedFault)):
-        return 503
-    if isinstance(error, (QueryTimeoutError, QueryExpiredError)):
-        return 504
-    if isinstance(error, ReproError):
-        return 400
-    return 500
-
-
-class _BadRequest(Exception):
-    """Malformed request body or parameters (always a 400)."""
-
-
-class _PayloadTooLarge(Exception):
-    """Request body above :data:`MAX_BODY_BYTES` (always a 413)."""
-
-
-def _parse_updates(payload: dict) -> UpdateBatch:
-    """Build an :class:`UpdateBatch` from the /ingest JSON body."""
-    raw = payload.get("updates")
-    if not isinstance(raw, list) or not raw:
-        raise _BadRequest('body must carry a non-empty "updates" list')
-    updates = []
-    for position, entry in enumerate(raw):
-        if not isinstance(entry, dict):
-            raise _BadRequest(f"updates[{position}] must be an object")
-        try:
-            kind_name = str(entry.get("kind", "insert")).lower()
-            kind = UpdateKind(kind_name)
-            src = int(entry["src"])
-            dst = int(entry["dst"])
-            bias = float(entry.get("bias", 1.0))
-        except (KeyError, ValueError, TypeError) as exc:
-            raise _BadRequest(
-                f"updates[{position}] is malformed: {exc}"
-            ) from exc
-        updates.append(GraphUpdate(kind, src, dst, bias, timestamp=position))
-    return UpdateBatch.from_updates(updates)
 
 
 class GraphServiceHandler(BaseHTTPRequestHandler):
@@ -123,160 +68,37 @@ class GraphServiceHandler(BaseHTTPRequestHandler):
     # routing
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        try:
-            self._fire_fault_point()
-            if self.path == "/healthz":
-                self._handle_healthz()
-            elif self.path == "/stats":
-                self._handle_stats()
-            else:
-                self._send(
-                    404, {"error": f"unknown path {self.path}", "type": "NotFound"}
-                )
-        except Exception as exc:  # noqa: BLE001 - the trust boundary
-            self._send(
-                status_for_error(exc),
-                {"error": str(exc), "type": type(exc).__name__},
-            )
+        self._dispatch("GET", read_body=False)
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        try:
-            self._fire_fault_point()
-            if self.path == "/query":
-                self._handle_query()
-            elif self.path == "/ingest":
-                self._handle_ingest()
-            else:
-                self._send(
-                    404, {"error": f"unknown path {self.path}", "type": "NotFound"}
+        self._dispatch("POST", read_body=True)
+
+    def _dispatch(self, method: str, *, read_body: bool) -> None:
+        server = self.server
+        body: Optional[bytes] = None
+        if read_body:
+            try:
+                body = self._read_body()
+            except (_BadRequest, _PayloadTooLarge) as exc:
+                self._send_response(
+                    protocol.error_response(exc, server.retry_after_seconds)
                 )
-        except _BadRequest as exc:
-            self._send(400, {"error": str(exc), "type": "BadRequest"})
-        except _PayloadTooLarge as exc:
-            self._send(413, {"error": str(exc), "type": "PayloadTooLarge"})
-        except Exception as exc:  # noqa: BLE001 - the trust boundary
-            self._send(
-                status_for_error(exc),
-                {"error": str(exc), "type": type(exc).__name__},
-            )
-
-    def _fire_fault_point(self) -> None:
-        """The chaos harness's ``http.handler`` injection point.
-
-        An :class:`~repro.errors.InjectedFault` raised here propagates to
-        the routing handler's trust boundary and maps onto a 503 with
-        ``Retry-After`` — exactly what a transient front-end failure looks
-        like to the backoff client.
-        """
-        injector = self.server.fault_injector
-        if injector is not None:
-            injector.fire("http.handler")
-
-    # ------------------------------------------------------------------ #
-    # endpoints
-    # ------------------------------------------------------------------ #
-    def _handle_healthz(self) -> None:
-        health = self.server.service.health()
-        if health["healthy"]:
-            self._send(200, {"status": "ok", "epoch": health["epoch"]})
-        else:
-            self._send(
-                503,
-                {
-                    "status": "unhealthy",
-                    "epoch": health["epoch"],
-                    "reasons": health["reasons"],
-                },
-            )
-
-    def _handle_stats(self) -> None:
-        # Snapshots are computed under the service / fair-share locks —
-        # reading the live latency deques here would race the dispatcher.
-        service = self.server.service
-        payload = service.stats_snapshot()
-        payload["tenants"] = service.tenant_summaries()
-        self._send(200, payload)
-
-    def _handle_query(self) -> None:
-        payload = self._read_json()
-        tenant = self.headers.get(TENANT_HEADER, DEFAULT_TENANT).strip()
-        if not tenant:
-            tenant = DEFAULT_TENANT
-        try:
-            application = str(payload["application"])
-            starts = payload["starts"]
-            walk_length = int(payload["walk_length"])
-        except (KeyError, ValueError, TypeError) as exc:
-            raise _BadRequest(
-                'body must carry "application", "starts" and "walk_length": '
-                f"{exc}"
-            ) from exc
-        if not isinstance(starts, list):
-            raise _BadRequest('"starts" must be a JSON array of vertex ids')
-        params = payload.get("params", {})
-        if not isinstance(params, dict):
-            raise _BadRequest('"params" must be an object')
-        # A missing or null timeout falls back to the server default — a
-        # client cannot pin a handler thread forever.
-        timeout = payload.get("timeout")
-        if timeout is None:
-            timeout = self.server.query_timeout
-        else:
-            try:
-                timeout = float(timeout)
-            except (ValueError, TypeError) as exc:
-                raise _BadRequest(f'"timeout" must be a number: {exc}') from exc
-            if timeout <= 0:
-                raise _BadRequest('"timeout" must be positive')
-        # "deadline_seconds" is relative: the server stamps the absolute
-        # monotonic deadline on arrival, so queueing time counts against
-        # it but network transit does not.
-        deadline = None
-        deadline_seconds = payload.get("deadline_seconds")
-        if deadline_seconds is not None:
-            try:
-                deadline_seconds = float(deadline_seconds)
-            except (ValueError, TypeError) as exc:
-                raise _BadRequest(
-                    f'"deadline_seconds" must be a number: {exc}'
-                ) from exc
-            if deadline_seconds <= 0:
-                raise _BadRequest('"deadline_seconds" must be positive')
-            deadline = deadline_in(deadline_seconds)
-        service = self.server.service
-        ticket = service.submit(
-            application,
-            starts,
-            walk_length,
-            tenant=tenant,
-            deadline=deadline,
-            **{str(key): value for key, value in params.items()},
+                return
+        outcome = protocol.handle_request(
+            server.service,
+            method,
+            self.path,
+            {name.lower(): value for name, value in self.headers.items()},
+            body,
+            default_query_timeout=server.query_timeout,
+            retry_after_seconds=server.retry_after_seconds,
+            fault_injector=server.fault_injector,
         )
-        result = ticket.result(timeout)
-        self._send(
-            200,
-            {
-                "tenant": tenant,
-                "epoch": result.epoch,
-                "fused_with": result.fused_with,
-                "latency_seconds": result.latency_seconds,
-                "num_walks": result.walks.num_walks,
-                "total_steps": result.walks.total_steps,
-                "walks": result.walks.matrix.tolist(),
-            },
-        )
-
-    def _handle_ingest(self) -> None:
-        payload = self._read_json()
-        batch = _parse_updates(payload)
-        service = self.server.service
-        service.ingest(batch)
-        if bool(payload.get("flush", False)):
-            service.flush()
-        self._send(
-            202,
-            {"queued_updates": len(batch), "epoch": service.epoch},
-        )
+        if isinstance(outcome, protocol.PendingQuery):
+            # The blocking transport: park this handler thread on the
+            # ticket for up to the query timeout.
+            outcome = outcome.wait()
+        self._send_response(outcome)
 
     # ------------------------------------------------------------------ #
     # plumbing
@@ -288,15 +110,15 @@ class GraphServiceHandler(BaseHTTPRequestHandler):
         self.timeout = self.server.body_timeout
         super().setup()
 
-    def _read_json(self) -> dict:
+    def _read_body(self) -> bytes:
         raw_length = self.headers.get("Content-Length")
         if raw_length is None:
             raise _BadRequest("request body required")
         try:
             length = int(raw_length)
         except ValueError as exc:
-            # The serve boundary again: a garbage header is the client's
-            # bug (400), not an unhandled server traceback (500).
+            # The serve boundary: a garbage header is the client's bug
+            # (400), not an unhandled server traceback (500).
             raise _BadRequest(
                 f"Content-Length is not an integer: {raw_length.strip()!r}"
             ) from exc
@@ -324,25 +146,45 @@ class GraphServiceHandler(BaseHTTPRequestHandler):
                 f"request body ended after {len(body)} of the declared "
                 f"{length} bytes"
             )
-        try:
-            payload = json.loads(body)
-        except json.JSONDecodeError as exc:
-            raise _BadRequest(f"request body is not valid JSON: {exc}") from exc
-        if not isinstance(payload, dict):
-            raise _BadRequest("request body must be a JSON object")
-        return payload
+        return body
 
-    def _send(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        if status in RETRYABLE_STATUSES:
-            self.send_header(
-                "Retry-After", f"{self.server.retry_after_seconds:g}"
-            )
-        self.end_headers()
-        self.wfile.write(body)
+    def _send_response(self, response: protocol.Response) -> None:
+        parts = response.parts()
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            headers = dict(response.headers)
+            if (
+                response.status in RETRYABLE_STATUSES
+                and "Retry-After" not in headers
+            ):
+                headers["Retry-After"] = f"{self.server.retry_after_seconds:g}"
+            for name, value in headers.items():
+                self.send_header(name, value)
+            if response.chunked:
+                self.send_header("Transfer-Encoding", "chunked")
+                self.end_headers()
+                for part in parts:
+                    view = memoryview(part)
+                    if view.nbytes:
+                        self.wfile.write(b"%x\r\n" % view.nbytes)
+                        self.wfile.write(view)
+                        self.wfile.write(b"\r\n")
+                self.wfile.write(b"0\r\n\r\n")
+            else:
+                self.send_header(
+                    "Content-Length", str(response.content_length(parts))
+                )
+                self.end_headers()
+                for part in parts:
+                    self.wfile.write(part)
+            if response.close:
+                self.close_connection = True
+        except (BrokenPipeError, ConnectionResetError):
+            # The peer hung up mid-response: an operational statistic,
+            # not a handler traceback.
+            self.server.service.note_client_disconnect()
+            self.close_connection = True
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         """Route access logs through the server's optional hook (quiet by default)."""
@@ -381,6 +223,20 @@ class GraphServiceHTTPServer(ThreadingHTTPServer):
         self.fault_injector = fault_injector
         self.retry_after_seconds = float(retry_after_seconds)
         super().__init__(address, GraphServiceHandler)
+
+    def handle_error(self, request, client_address) -> None:
+        """Count peer hang-ups instead of printing their tracebacks.
+
+        A ``BrokenPipeError`` can surface outside the handler's own
+        writes — e.g. from the buffered ``wfile.flush()`` in
+        ``handle_one_request`` — and lands here via socketserver.  Any
+        other exception keeps the stock traceback: those are real bugs.
+        """
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            self.service.note_client_disconnect()
+            return
+        super().handle_error(request, client_address)
 
     @property
     def url(self) -> str:

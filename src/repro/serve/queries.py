@@ -175,6 +175,11 @@ class QueryTicket:
 
     ``tenant`` names the submitting tenant — admission, fair-share
     scheduling and the per-tenant latency windows key off it.
+
+    Completion is observable two ways: pull (:meth:`result` blocks on an
+    event — what the threaded HTTP front-end does) and push
+    (:meth:`add_done_callback` — what the event-loop front-end uses to
+    resume a connection without parking a thread per request).
     """
 
     def __init__(self, query: WalkQuery, tenant: str = DEFAULT_TENANT) -> None:
@@ -184,6 +189,8 @@ class QueryTicket:
         self._event = threading.Event()
         self._result: Optional[ServeResult] = None
         self._error: Optional[BaseException] = None
+        self._callback_lock = threading.Lock()
+        self._callbacks: List = []
 
     # ------------------------------------------------------------------ #
     # dispatcher side
@@ -195,19 +202,39 @@ class QueryTicket:
         stays failed.
         """
         latency = time.perf_counter() - self.submitted_at
-        if self._event.is_set():
-            return latency
-        self._result = ServeResult(
-            walks=walks, epoch=epoch, latency_seconds=latency, fused_with=fused_with
-        )
-        self._event.set()
+        with self._callback_lock:
+            if self._event.is_set():
+                return latency
+            self._result = ServeResult(
+                walks=walks,
+                epoch=epoch,
+                latency_seconds=latency,
+                fused_with=fused_with,
+            )
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._invoke_callback(callback)
         return latency
 
     def fail(self, error: BaseException) -> None:
-        if self._event.is_set():
-            return
-        self._error = error
-        self._event.set()
+        with self._callback_lock:
+            if self._event.is_set():
+                return
+            self._error = error
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._invoke_callback(callback)
+
+    def _invoke_callback(self, callback) -> None:
+        # A broken completion callback must never wedge the thread that
+        # completed the ticket (the dispatcher or the writer) — the
+        # ticket is already resolved, the callback is best-effort.
+        try:
+            callback(self)
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------ #
     # caller side
@@ -215,6 +242,24 @@ class QueryTicket:
     @property
     def done(self) -> bool:
         return self._event.is_set()
+
+    def add_done_callback(self, callback) -> None:
+        """Call ``callback(ticket)`` exactly once when the ticket completes.
+
+        Fires immediately (on the registering thread) when the ticket is
+        already complete; otherwise fires on whichever thread completes
+        it — the dispatcher for resolved walks, the dispatcher/writer/
+        closer for failures.  Registration and completion are serialized
+        under one lock, so a callback registered concurrently with
+        :meth:`resolve`/:meth:`fail` fires exactly once, never zero or
+        two times.  Exceptions raised by the callback are swallowed: a
+        broken consumer cannot wedge the dispatcher.
+        """
+        with self._callback_lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        self._invoke_callback(callback)
 
     def result(self, timeout: Optional[float] = None) -> ServeResult:
         """Block until the query resolves and return its result."""
@@ -285,6 +330,10 @@ class ServeStats:
     wave_retries: int = 0
     #: Queries dropped because their deadline passed before fusing.
     queries_expired: int = 0
+    #: Peers that closed mid-response (``BrokenPipeError`` /
+    #: ``ConnectionResetError`` while a front-end wrote to them).  A
+    #: client hanging up is its prerogative, not a server traceback.
+    client_disconnects: int = 0
     latencies: Deque[float] = field(
         default_factory=lambda: deque(maxlen=STATS_WINDOW)
     )

@@ -333,6 +333,23 @@ class GraphService:
             self._update_queue.join()
         self._raise_failure()
 
+    def pending_updates(self) -> int:
+        """Queued update batches not yet published (0 in sync mode).
+
+        A non-blocking progress probe: the event-loop front-end polls it
+        to answer ``/ingest`` ``flush=True`` requests without parking its
+        only thread in :meth:`flush`.
+        """
+        if self.sync:
+            return 0
+        with self._update_queue.all_tasks_done:
+            return int(self._update_queue.unfinished_tasks)
+
+    def note_client_disconnect(self) -> None:
+        """Record a peer that hung up mid-response (front-end bookkeeping)."""
+        with self._cond:
+            self.stats.client_disconnects += 1
+
     def submit(
         self,
         application: str,
@@ -440,6 +457,7 @@ class GraphService:
                 "worker_respawns": stats.worker_respawns,
                 "wave_retries": stats.wave_retries,
                 "queries_expired": stats.queries_expired,
+                "client_disconnects": stats.client_disconnects,
                 "dead_letter": [dict(entry) for entry in self._dead_letter],
                 "latency_p50_seconds": percentiles["p50"],
                 "latency_p99_seconds": percentiles["p99"],

@@ -1,0 +1,237 @@
+"""The ``application/x-walks-bin`` zero-copy binary wire format.
+
+JSON is the serve layer's default (and debug) response format, but a
+walk matrix round-tripped through ``matrix.tolist()`` costs a Python
+object per cell on both sides of the wire.  This module defines the
+binary alternative both HTTP front-ends speak when the client sends
+``Accept: application/x-walks-bin``:
+
+* a fixed 64-byte little-endian header (magic, format version, dtype
+  code, epoch, shape, total steps, latency, fusion width), then
+* the raw row-major ``int64`` walk matrix buffer, exactly
+  ``rows * cols * 8`` bytes, ``-1``-padded like every
+  :class:`~repro.walks.frontier.BatchedWalks` matrix.
+
+Both directions are zero-copy for the matrix payload: the encoder hands
+the socket a ``memoryview`` of the (C-contiguous) matrix instead of
+serializing it, and the decoder returns an ``np.frombuffer`` view over
+the received bytes instead of parsing them.  The header is ``struct``-
+packed — 64 bytes regardless of matrix size — so the encode/decode cost
+is O(1) in the number of walk steps.
+
+Header layout (all little-endian)::
+
+    offset  size  field
+    0       8     magic           b"BINGOWLK"
+    8       4     version         uint32, currently 1
+    12      4     dtype_code      uint32, 1 = int64 (the only defined code)
+    16      8     epoch           int64, snapshot epoch that served the walks
+    24      8     rows            int64, number of walks
+    32      8     cols            int64, matrix width (walk_length + 1 slots)
+    40      8     total_steps     int64, non-padding steps in the matrix
+    48      8     latency_seconds float64, submit-to-resolve latency
+    56      4     fused_with      uint32, queries sharing the fused frontier
+    60      4     reserved        uint32, must be 0
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Union
+
+import numpy as np
+
+from repro.errors import ServeError
+
+#: Content type negotiated via the ``Accept`` request header.
+WIRE_CONTENT_TYPE = "application/x-walks-bin"
+
+#: First eight bytes of every binary walks response.
+WIRE_MAGIC = b"BINGOWLK"
+
+#: Current format version (bumped on any layout change).
+WIRE_VERSION = 1
+
+#: ``dtype_code`` for little-endian int64 — the only defined payload dtype.
+DTYPE_INT64 = 1
+
+#: ``struct`` layout of the fixed header (see module docstring).
+_HEADER_STRUCT = struct.Struct("<8sIIqqqqdII")
+
+#: Size of the fixed header in bytes.
+WIRE_HEADER_BYTES = _HEADER_STRUCT.size
+
+assert WIRE_HEADER_BYTES == 64
+
+
+class WireFormatError(ServeError):
+    """A binary walks payload that does not follow the header contract."""
+
+
+@dataclass
+class DecodedWalks:
+    """One decoded binary walks response.
+
+    ``matrix`` is a read-only ``np.frombuffer`` **view** over the bytes
+    it was decoded from (zero-copy); copy it if the backing buffer is
+    about to be reused.
+    """
+
+    matrix: np.ndarray
+    epoch: int
+    total_steps: int
+    latency_seconds: float
+    fused_with: int
+
+    @property
+    def num_walks(self) -> int:
+        return int(self.matrix.shape[0])
+
+
+def matrix_payload(matrix: np.ndarray) -> memoryview:
+    """The matrix's raw bytes as a ``memoryview`` (zero-copy when possible).
+
+    Walk matrices come out of the fused frontier C-contiguous in little-
+    endian ``int64`` (row slices of a fused run stay contiguous), so the
+    common path is a plain ``memoryview`` of the array's buffer.  A
+    non-contiguous or byte-swapped matrix — possible only for exotic
+    callers — is converted first.
+    """
+    array = np.ascontiguousarray(matrix, dtype=np.int64)
+    if array.dtype.byteorder == ">":  # pragma: no cover - big-endian hosts
+        array = array.astype("<i8")
+    if array.size == 0:
+        # memoryview cannot cast a zero-length shape; an empty-start
+        # query's (0, walk_length + 1) matrix has no payload bytes.
+        return memoryview(b"")
+    # memoryview keeps the array alive for as long as the transport
+    # holds the chunk, so handing out the view is safe.
+    return memoryview(array).cast("B")
+
+
+def encode_walks_header(
+    matrix: np.ndarray,
+    *,
+    epoch: int,
+    total_steps: int,
+    latency_seconds: float,
+    fused_with: int,
+) -> bytes:
+    """Pack the fixed 64-byte header for ``matrix``."""
+    if matrix.ndim != 2:
+        raise WireFormatError(
+            f"walk matrices are 2-D; got shape {matrix.shape}"
+        )
+    rows, cols = matrix.shape
+    return _HEADER_STRUCT.pack(
+        WIRE_MAGIC,
+        WIRE_VERSION,
+        DTYPE_INT64,
+        int(epoch),
+        int(rows),
+        int(cols),
+        int(total_steps),
+        float(latency_seconds),
+        int(fused_with),
+        0,
+    )
+
+
+def encode_walks(
+    matrix: np.ndarray,
+    *,
+    epoch: int,
+    total_steps: int,
+    latency_seconds: float,
+    fused_with: int,
+) -> List[Union[bytes, memoryview]]:
+    """Encode one walks response as ``[header, matrix_bytes]``.
+
+    Returned as parts instead of one concatenated buffer so transports
+    can write the matrix straight from the array's memory — the list is
+    what both the buffered (``Content-Length``) and the chunked
+    (``Transfer-Encoding: chunked``) response paths consume.
+    """
+    header = encode_walks_header(
+        matrix,
+        epoch=epoch,
+        total_steps=total_steps,
+        latency_seconds=latency_seconds,
+        fused_with=fused_with,
+    )
+    payload = matrix_payload(matrix)
+    if not payload.nbytes:
+        # An empty-start query legally yields a (0, walk_length + 1)
+        # matrix; the header alone carries the shape.
+        return [header]
+    return [header, payload]
+
+
+def decode_walks(buffer: Union[bytes, bytearray, memoryview]) -> DecodedWalks:
+    """Decode one binary walks response (header + raw matrix bytes).
+
+    The matrix in the result is a zero-copy view over ``buffer``.
+    """
+    view = memoryview(buffer)
+    if view.nbytes < WIRE_HEADER_BYTES:
+        raise WireFormatError(
+            f"binary walks payload of {view.nbytes} bytes is shorter than "
+            f"the {WIRE_HEADER_BYTES}-byte header"
+        )
+    (
+        magic,
+        version,
+        dtype_code,
+        epoch,
+        rows,
+        cols,
+        total_steps,
+        latency_seconds,
+        fused_with,
+        _reserved,
+    ) = _HEADER_STRUCT.unpack_from(view, 0)
+    if magic != WIRE_MAGIC:
+        raise WireFormatError(
+            f"bad magic {magic!r}; expected {WIRE_MAGIC!r} — is this an "
+            "application/x-walks-bin payload?"
+        )
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire version {version} (this build speaks "
+            f"{WIRE_VERSION})"
+        )
+    if dtype_code != DTYPE_INT64:
+        raise WireFormatError(f"unknown dtype code {dtype_code}")
+    if rows < 0 or cols < 0:
+        raise WireFormatError(f"negative matrix shape ({rows}, {cols})")
+    expected = rows * cols * 8
+    body = view[WIRE_HEADER_BYTES:]
+    if body.nbytes != expected:
+        raise WireFormatError(
+            f"matrix of shape ({rows}, {cols}) needs {expected} payload "
+            f"bytes, got {body.nbytes}"
+        )
+    matrix = np.frombuffer(body, dtype="<i8").reshape(rows, cols)
+    return DecodedWalks(
+        matrix=matrix,
+        epoch=int(epoch),
+        total_steps=int(total_steps),
+        latency_seconds=float(latency_seconds),
+        fused_with=int(fused_with),
+    )
+
+
+__all__ = [
+    "DTYPE_INT64",
+    "DecodedWalks",
+    "WIRE_CONTENT_TYPE",
+    "WIRE_HEADER_BYTES",
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "WireFormatError",
+    "decode_walks",
+    "encode_walks",
+    "encode_walks_header",
+    "matrix_payload",
+]

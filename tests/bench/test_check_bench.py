@@ -191,3 +191,65 @@ def test_pr7_gate_catches_missing_sections(pr7_report):
     errors = check_bench.check_bench_pr7(broken)
     assert any("http section missing" in error for error in errors)
     assert any("worker section missing" in error for error in errors)
+
+
+@pytest.fixture()
+def pr8_report():
+    return json.loads((REPO_ROOT / "BENCH_PR8.json").read_text())
+
+
+def test_pr8_committed_report_passes(pr8_report):
+    assert check_bench.check_bench_pr8(pr8_report) == []
+
+
+def test_pr8_gate_catches_connection_scaling_regression(pr8_report):
+    broken = copy.deepcopy(pr8_report)
+    broken["servers"]["eventloop"]["clients_per_server_thread"] = (
+        check_bench.PR8_MIN_CLIENTS_PER_THREAD - 1
+    )
+    errors = check_bench.check_bench_pr8(broken)
+    assert any("scaling bar" in error for error in errors)
+
+
+def test_pr8_gate_catches_latency_flatness_regression(pr8_report):
+    broken = copy.deepcopy(pr8_report)
+    broken["servers"]["eventloop"]["high_vs_low_p99"] = (
+        check_bench.PR8_MAX_HIGH_VS_LOW_P99 * 2
+    )
+    errors = check_bench.check_bench_pr8(broken)
+    assert any("flatness bar" in error for error in errors)
+
+
+def test_pr8_gate_catches_wire_shape_mismatch(pr8_report):
+    broken = copy.deepcopy(pr8_report)
+    broken["servers"]["eventloop"]["wire"]["shapes_match"] = False
+    errors = check_bench.check_bench_pr8(broken)
+    assert any("shapes_match" in error for error in errors)
+
+
+def test_pr8_gate_catches_a_shrunken_sweep(pr8_report):
+    broken = copy.deepcopy(pr8_report)
+    broken["high_clients"] = broken["low_clients"] * 2
+    errors = check_bench.check_bench_pr8(broken)
+    assert any("10" in error and "growth" in error for error in errors)
+
+
+def test_pr8_gate_catches_missing_front_end(pr8_report):
+    broken = copy.deepcopy(pr8_report)
+    del broken["servers"]["threaded"]
+    errors = check_bench.check_bench_pr8(broken)
+    assert any("'threaded' missing" in error for error in errors)
+
+    missing_phase = copy.deepcopy(pr8_report)
+    del missing_phase["servers"]["eventloop"]["high"]
+    errors = check_bench.check_bench_pr8(missing_phase)
+    assert any("'high' missing" in error for error in errors)
+
+
+def test_pr8_gate_catches_nonpositive_timings(pr8_report):
+    broken = copy.deepcopy(pr8_report)
+    broken["servers"]["eventloop"]["high"]["p99"] = 0
+    broken["servers"]["threaded"]["wire"]["binary_seconds_per_query"] = -1
+    errors = check_bench.check_bench_pr8(broken)
+    assert any("'p99'" in error for error in errors)
+    assert any("binary_seconds_per_query" in error for error in errors)

@@ -1,0 +1,160 @@
+"""Push-based ticket completion: ``QueryTicket.add_done_callback``."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.bench.datasets import build_dataset
+from repro.errors import ServiceClosedError
+from repro.serve import GraphService, QueryTicket, WalkQuery
+from repro.walks.frontier import BatchedWalks
+
+
+def make_ticket():
+    return QueryTicket(WalkQuery("deepwalk", [0, 1], 3))
+
+
+def resolve(ticket):
+    walks = BatchedWalks(matrix=np.array([[0, 1, -1, -1], [1, 0, 2, -1]]))
+    ticket.resolve(walks, epoch=7, fused_with=2)
+
+
+class TestRegistrationOrder:
+    def test_callback_registered_before_completion_fires_on_resolve(self):
+        ticket = make_ticket()
+        fired = []
+        ticket.add_done_callback(fired.append)
+        assert fired == []
+        resolve(ticket)
+        assert fired == [ticket]
+
+    def test_callback_registered_after_completion_fires_immediately(self):
+        ticket = make_ticket()
+        resolve(ticket)
+        fired = []
+        ticket.add_done_callback(fired.append)
+        assert fired == [ticket]
+
+    def test_callback_fires_on_failure_too(self):
+        ticket = make_ticket()
+        fired = []
+        ticket.add_done_callback(fired.append)
+        ticket.fail(ServiceClosedError("closing"))
+        assert fired == [ticket]
+        with pytest.raises(ServiceClosedError):
+            ticket.result(0.0)
+
+    def test_multiple_callbacks_each_fire_once(self):
+        ticket = make_ticket()
+        counts = [0, 0]
+
+        def first(_ticket):
+            counts[0] += 1
+
+        def second(_ticket):
+            counts[1] += 1
+
+        ticket.add_done_callback(first)
+        ticket.add_done_callback(second)
+        resolve(ticket)
+        assert counts == [1, 1]
+
+
+class TestExactlyOnce:
+    def test_double_completion_does_not_refire(self):
+        ticket = make_ticket()
+        fired = []
+        ticket.add_done_callback(fired.append)
+        resolve(ticket)
+        resolve(ticket)  # first completion wins
+        ticket.fail(RuntimeError("late"))
+        assert fired == [ticket]
+        # The late failure did not overwrite the resolved result.
+        assert ticket.result(0.0).epoch == 7
+
+    def test_exactly_once_under_a_registration_race(self):
+        # Hammer registration against completion: every callback must fire
+        # exactly once no matter which side of resolve() it lands on.
+        rounds = 200
+        for _ in range(rounds):
+            ticket = make_ticket()
+            fired = []
+            barrier = threading.Barrier(2)
+
+            def register():
+                barrier.wait()
+                ticket.add_done_callback(fired.append)
+
+            def complete():
+                barrier.wait()
+                resolve(ticket)
+
+            threads = [
+                threading.Thread(target=register),
+                threading.Thread(target=complete),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert fired == [ticket]
+
+
+class TestBrokenCallbacks:
+    def test_callback_exception_does_not_break_completion(self):
+        ticket = make_ticket()
+        fired = []
+
+        def broken(_ticket):
+            raise RuntimeError("consumer bug")
+
+        ticket.add_done_callback(broken)
+        ticket.add_done_callback(fired.append)
+        resolve(ticket)  # must not raise
+        assert fired == [ticket]
+        assert ticket.result(0.0).fused_with == 2
+
+    def test_broken_callback_cannot_wedge_the_dispatcher(self):
+        # End-to-end: a consumer callback that raises on the dispatcher
+        # thread must not stop the service from serving later queries.
+        graph = build_dataset("AM", rng=29)
+        service = GraphService("bingo", graph, rng=31)
+        try:
+            done = threading.Event()
+            ticket = service.submit("deepwalk", [0, 1], 3)
+
+            def broken(_ticket):
+                done.set()
+                raise RuntimeError("consumer bug on the dispatcher thread")
+
+            ticket.add_done_callback(broken)
+            assert done.wait(timeout=10.0)
+            ticket.result(10.0)
+            # The dispatcher survived: a second query still resolves.
+            follow_up = service.submit("deepwalk", [2], 3)
+            assert follow_up.result(10.0).walks.num_walks == 1
+        finally:
+            service.close()
+
+    def test_dispatcher_thread_fires_the_callback(self):
+        graph = build_dataset("AM", rng=29)
+        service = GraphService("bingo", graph, rng=37)
+        try:
+            seen = {}
+            done = threading.Event()
+
+            def capture(ticket):
+                seen["thread"] = threading.current_thread().name
+                seen["done"] = ticket.done
+                done.set()
+
+            ticket = service.submit("deepwalk", [0], 4)
+            ticket.add_done_callback(capture)
+            assert done.wait(timeout=10.0)
+            # Fired either on the dispatcher (pending at registration) or
+            # inline on this thread (already complete); either way the
+            # ticket was complete when the callback observed it.
+            assert seen["done"] is True
+        finally:
+            service.close()

@@ -1,5 +1,10 @@
 """The retrying HTTP client: backoff schedule, Retry-After, idempotency."""
 
+import json
+import socket
+import threading
+
+import numpy as np
 import pytest
 
 from repro.bench.datasets import build_dataset
@@ -159,6 +164,141 @@ class TestUnreachable:
             client.stats()
         assert client.retries_performed == 2
         assert len(sleeps) == 2
+
+
+class _OneRequestThenCloseServer(threading.Thread):
+    """A keep-alive server that silently closes after every response.
+
+    It answers one request per connection with ``Connection: keep-alive``
+    and then drops the socket without warning — exactly what a stale
+    keep-alive connection looks like from the client's side: the *next*
+    request riding the dead socket fails mid-exchange.
+    """
+
+    def __init__(self):
+        super().__init__(daemon=True)
+        self.listener = socket.create_server(("127.0.0.1", 0))
+        self.url = "http://127.0.0.1:%d" % self.listener.getsockname()[1]
+        self.requests_served = 0
+        self._stop = False
+
+    def run(self):
+        while not self._stop:
+            try:
+                sock, _addr = self.listener.accept()
+            except OSError:
+                return
+            with sock:
+                try:
+                    self._serve_one(sock)
+                except OSError:
+                    continue
+
+    def _serve_one(self, sock):
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = sock.recv(65536)
+            if not chunk:
+                return
+            data += chunk
+        head, _sep, body = data.partition(b"\r\n\r\n")
+        length = 0
+        for line in head.split(b"\r\n")[1:]:
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        while len(body) < length:
+            body += sock.recv(65536)
+        payload = json.dumps({"served": self.requests_served}).encode()
+        sock.sendall(
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+            b"Connection: keep-alive\r\nContent-Length: %d\r\n\r\n%s"
+            % (len(payload), payload)
+        )
+        self.requests_served += 1
+        # ...and hang up without telling the client (no Connection: close).
+
+    def shutdown(self):
+        self._stop = True
+        self.listener.close()
+
+
+@pytest.fixture()
+def stale_server(request):
+    server = _OneRequestThenCloseServer()
+    server.start()
+    request.addfinalizer(server.shutdown)
+    return server
+
+
+class TestPersistentConnection:
+    def test_many_requests_reuse_one_connection(self, graph, request):
+        service = GraphService("bingo", graph, rng=53)
+        server, _thread = serve_http(service)
+        request.addfinalizer(service.close)
+        request.addfinalizer(server.shutdown)
+        client, _sleeps = make_client(server)
+        for _ in range(3):
+            client.query("deepwalk", [0, 1], 4)
+        client.stats()
+        client.health()
+        assert client.connections_opened == 1
+        client.close()
+        client.stats()  # reopened on demand after an explicit close
+        assert client.connections_opened == 2
+
+    def test_stale_keep_alive_is_reconnected_transparently(self, stale_server):
+        client = ServiceClient(stale_server.url, max_retries=0)
+        # Request 1 opens the connection; the server then silently drops
+        # it.  Request 2 rides the stale socket, hits the disconnect, and
+        # must be resent on a fresh connection — without burning a retry.
+        assert client.stats()["served"] == 0
+        assert client.stats()["served"] == 1
+        assert client.connections_opened == 2
+        assert client.retries_performed == 0
+
+    def test_ingest_is_resent_on_a_stale_connection(self, stale_server):
+        # A server that closed an idle connection never processed the
+        # request riding it, so even /ingest gets the one resend.
+        client = ServiceClient(stale_server.url, max_retries=0)
+        client.stats()  # poison: the connection is now stale
+        body = client.ingest([{"src": 0, "dst": 1, "kind": "insert"}])
+        assert body["served"] == 1
+        assert client.connections_opened == 2
+        assert client.retries_performed == 0
+
+    def test_context_manager_closes_the_connection(self, stale_server):
+        with ServiceClient(stale_server.url) as client:
+            client.stats()
+            assert client.connections_opened == 1
+        assert client._connection is None
+
+
+class TestBinaryQueries:
+    def test_binary_query_returns_decoded_walks(self, graph, request):
+        service = GraphService("bingo", graph, rng=53)
+        server, _thread = serve_http(service)
+        request.addfinalizer(service.close)
+        request.addfinalizer(server.shutdown)
+        client, _sleeps = make_client(server)
+        decoded = client.query("deepwalk", [0, 1, 2], 5, binary=True)
+        assert decoded.matrix.shape == (3, 6)
+        assert decoded.matrix.dtype == np.int64
+        assert decoded.matrix[:, 0].tolist() == [0, 1, 2]
+        assert decoded.fused_with >= 1
+        # JSON endpoints still decode as dicts on the same client.
+        assert client.stats()["engine"] == "bingo"
+        assert client.connections_opened == 1
+
+    def test_binary_errors_still_raise_with_json_payload(self, graph, request):
+        service = GraphService("bingo", graph, rng=53)
+        server, _thread = serve_http(service)
+        request.addfinalizer(service.close)
+        request.addfinalizer(server.shutdown)
+        client, _sleeps = make_client(server)
+        with pytest.raises(ServiceHTTPError) as info:
+            client.query("deepwalk", [999999], 4, binary=True)
+        assert info.value.status == 400
+        assert "999999" in str(info.value.payload.get("error"))
 
 
 class TestHealth:

@@ -1,0 +1,208 @@
+"""The binary walks wire format: header layout, zero-copy, JSON parity."""
+
+import numpy as np
+import pytest
+
+from repro.serve.queries import ServeResult
+from repro.serve.protocol import render_walks
+from repro.serve.wire import (
+    WIRE_CONTENT_TYPE,
+    WIRE_HEADER_BYTES,
+    WIRE_MAGIC,
+    WireFormatError,
+    decode_walks,
+    encode_walks,
+    encode_walks_header,
+    matrix_payload,
+)
+from repro.walks.frontier import BatchedWalks
+
+
+def roundtrip(matrix, **kwargs):
+    parts = encode_walks(matrix, **kwargs)
+    return decode_walks(b"".join(bytes(part) for part in parts))
+
+
+class TestRoundTrip:
+    def test_matrix_and_metadata_survive_the_wire(self):
+        matrix = np.array([[0, 3, 1, -1], [2, 2, -1, -1]], dtype=np.int64)
+        decoded = roundtrip(
+            matrix, epoch=5, total_steps=3, latency_seconds=0.125, fused_with=2
+        )
+        np.testing.assert_array_equal(decoded.matrix, matrix)
+        assert decoded.matrix.dtype == np.int64
+        assert decoded.epoch == 5
+        assert decoded.total_steps == 3
+        assert decoded.latency_seconds == 0.125
+        assert decoded.fused_with == 2
+        assert decoded.num_walks == 2
+
+    def test_empty_start_matrix_is_header_only(self):
+        # An empty-start query legally yields a (0, walk_length + 1)
+        # matrix: the header alone carries the shape.
+        matrix = np.empty((0, 9), dtype=np.int64)
+        parts = encode_walks(
+            matrix, epoch=1, total_steps=0, latency_seconds=0.0, fused_with=1
+        )
+        assert len(parts) == 1
+        assert len(parts[0]) == WIRE_HEADER_BYTES
+        decoded = decode_walks(parts[0])
+        assert decoded.matrix.shape == (0, 9)
+        assert decoded.num_walks == 0
+
+    def test_single_cell_matrix(self):
+        decoded = roundtrip(
+            np.array([[4]], dtype=np.int64),
+            epoch=0,
+            total_steps=0,
+            latency_seconds=0.0,
+            fused_with=1,
+        )
+        assert decoded.matrix.shape == (1, 1)
+        assert decoded.matrix[0, 0] == 4
+
+    def test_header_is_exactly_64_bytes_and_starts_with_the_magic(self):
+        header = encode_walks_header(
+            np.zeros((2, 3), dtype=np.int64),
+            epoch=9,
+            total_steps=4,
+            latency_seconds=1.5,
+            fused_with=3,
+        )
+        assert len(header) == WIRE_HEADER_BYTES == 64
+        assert header[:8] == WIRE_MAGIC
+
+
+class TestZeroCopy:
+    def test_encoder_payload_views_the_matrix_memory(self):
+        matrix = np.array([[1, 2], [3, 4]], dtype=np.int64)
+        payload = matrix_payload(matrix)
+        assert payload.nbytes == matrix.nbytes
+        # Mutating the matrix shows through the view: no copy was made.
+        matrix[0, 0] = 99
+        assert np.frombuffer(payload, dtype="<i8")[0] == 99
+
+    def test_decoder_matrix_is_a_readonly_view_over_the_buffer(self):
+        matrix = np.arange(6, dtype=np.int64).reshape(2, 3)
+        decoded = roundtrip(
+            matrix, epoch=0, total_steps=4, latency_seconds=0.0, fused_with=1
+        )
+        assert decoded.matrix.flags.writeable is False
+
+    def test_non_contiguous_matrices_are_converted_not_rejected(self):
+        base = np.arange(24, dtype=np.int64).reshape(4, 6)
+        strided = base[:, ::2]  # non-contiguous view
+        decoded = roundtrip(
+            strided, epoch=0, total_steps=8, latency_seconds=0.0, fused_with=1
+        )
+        np.testing.assert_array_equal(decoded.matrix, strided)
+
+
+class TestDecodeErrors:
+    def good_parts(self):
+        return encode_walks(
+            np.array([[0, 1]], dtype=np.int64),
+            epoch=2,
+            total_steps=1,
+            latency_seconds=0.0,
+            fused_with=1,
+        )
+
+    def test_short_buffer_is_rejected(self):
+        with pytest.raises(WireFormatError, match="shorter than"):
+            decode_walks(b"BINGOWLK")
+
+    def test_bad_magic_is_rejected(self):
+        header, payload = self.good_parts()
+        with pytest.raises(WireFormatError, match="bad magic"):
+            decode_walks(b"NOTWALKS" + bytes(header[8:]) + bytes(payload))
+
+    def test_unknown_version_is_rejected(self):
+        header, payload = self.good_parts()
+        mangled = bytearray(header)
+        mangled[8] = 99  # version field (little-endian uint32 at offset 8)
+        with pytest.raises(WireFormatError, match="wire version"):
+            decode_walks(bytes(mangled) + bytes(payload))
+
+    def test_unknown_dtype_code_is_rejected(self):
+        header, payload = self.good_parts()
+        mangled = bytearray(header)
+        mangled[12] = 7  # dtype_code field at offset 12
+        with pytest.raises(WireFormatError, match="dtype code"):
+            decode_walks(bytes(mangled) + bytes(payload))
+
+    def test_truncated_payload_is_rejected(self):
+        header, payload = self.good_parts()
+        with pytest.raises(WireFormatError, match="payload"):
+            decode_walks(bytes(header) + bytes(payload)[:-1])
+
+    def test_trailing_garbage_is_rejected(self):
+        header, payload = self.good_parts()
+        with pytest.raises(WireFormatError, match="payload"):
+            decode_walks(bytes(header) + bytes(payload) + b"\x00")
+
+    def test_non_2d_matrix_is_rejected_at_encode_time(self):
+        with pytest.raises(WireFormatError, match="2-D"):
+            encode_walks_header(
+                np.zeros(3, dtype=np.int64),
+                epoch=0,
+                total_steps=0,
+                latency_seconds=0.0,
+                fused_with=1,
+            )
+
+
+class TestJSONParity:
+    """Binary responses must decode bitwise-identical to the JSON path."""
+
+    @pytest.mark.parametrize(
+        "matrix",
+        [
+            np.array([[0, 1, 2, -1]], dtype=np.int64),
+            np.array([[5, 4, -1], [3, -1, -1], [0, 0, 0]], dtype=np.int64),
+            np.empty((0, 6), dtype=np.int64),  # empty-start (0, L + 1)
+            np.arange(64, dtype=np.int64).reshape(8, 8),
+        ],
+        ids=["one-walk", "padded", "empty-start", "dense"],
+    )
+    def test_binary_matches_json_for_every_shape(self, matrix):
+        result = ServeResult(
+            walks=BatchedWalks(matrix=matrix),
+            epoch=3,
+            latency_seconds=0.25,
+            fused_with=2,
+        )
+        json_response = render_walks(
+            result, tenant="t", binary=False, stream=False
+        )
+        binary_response = render_walks(
+            result, tenant="t", binary=True, stream=False
+        )
+        assert binary_response.content_type == WIRE_CONTENT_TYPE
+        decoded = decode_walks(
+            b"".join(bytes(part) for part in binary_response.parts())
+        )
+        from_json = np.asarray(
+            json_response.payload["walks"], dtype=np.int64
+        ).reshape(matrix.shape)
+        np.testing.assert_array_equal(decoded.matrix, from_json)
+        assert decoded.matrix.tobytes() == from_json.tobytes()
+        assert decoded.epoch == json_response.payload["epoch"]
+        assert decoded.total_steps == json_response.payload["total_steps"]
+        assert decoded.fused_with == json_response.payload["fused_with"]
+        assert decoded.num_walks == json_response.payload["num_walks"]
+
+    def test_streamed_binary_carries_the_same_bytes_chunked(self):
+        matrix = np.array([[1, 2, 3], [4, 5, 6]], dtype=np.int64)
+        result = ServeResult(
+            walks=BatchedWalks(matrix=matrix),
+            epoch=1,
+            latency_seconds=0.1,
+            fused_with=1,
+        )
+        buffered = render_walks(result, tenant="t", binary=True, stream=False)
+        streamed = render_walks(result, tenant="t", binary=True, stream=True)
+        assert streamed.chunked is True
+        assert b"".join(bytes(p) for p in streamed.parts()) == b"".join(
+            bytes(p) for p in buffered.parts()
+        )
