@@ -5,7 +5,8 @@ Each PR that lands a measured win commits its numbers (BENCH_PR2: columnar
 ingest, BENCH_PR3: shard-parallel walks, BENCH_PR4: streaming serve,
 BENCH_PR5: multi-tenant fairness + back-buffer warming, BENCH_PR6:
 epoch-delta publication flatness, BENCH_PR7: chaos suite resilience,
-BENCH_PR8: event-loop connection scaling + binary wire format).  CI
+BENCH_PR8: event-loop connection scaling + binary wire format,
+BENCH_PR9: sharded multi-process serve scale-out).  CI
 runs this script so a refactor cannot silently drop an engine, rename a
 field, or regress the streaming-serve headline below its acceptance bar —
 the JSON in the repo must keep telling the same story the CHANGES.md entry
@@ -66,6 +67,18 @@ PR8_MAX_HIGH_VS_LOW_P99 = 2.0
 #: The sweep must grow the client count by at least this factor for the
 #: flatness assertion to mean anything.
 PR8_MIN_CLIENT_GROWTH = 10.0
+
+#: The PR 9 scale-out bar: accumulated slowest-shard CPU busy seconds of
+#: the 1-shard arm divided by the widest arm's.  Deliberately not
+#: wall-clock — CI runners may expose one core, where time-sliced shard
+#: processes can never win on the wall; ``cpu_cores`` is recorded in the
+#: artifact so the measurement is honest about its hardware.
+PR9_MIN_SHARD_SPEEDUP = 2.0
+
+#: The PR 9 O(touched) bar: a healthy epoch flip must ship a sliced-table
+#: patch whose mean payload stays below this fraction of one full
+#: ``export_frontier_state`` serialization.
+PR9_MAX_PATCH_TO_FULL_RATIO = 0.5
 
 
 def _require_positive(row: dict, fields: List[str], where: str, errors: List[str]) -> None:
@@ -414,6 +427,106 @@ def check_bench_pr8(report: dict) -> List[str]:
     return errors
 
 
+def check_bench_pr9(report: dict) -> List[str]:
+    """BENCH_PR9.json — sharded multi-process serve scale-out."""
+    errors: List[str] = []
+    arms = report.get("arms")
+    counts = report.get("shard_counts")
+    if not isinstance(arms, dict) or not isinstance(counts, list) or len(counts) < 2:
+        errors.append("BENCH_PR9: arms/shard_counts missing or fewer than 2 arms")
+        return errors
+    for count in counts:
+        arm = arms.get(str(count))
+        if not isinstance(arm, dict):
+            errors.append(f"BENCH_PR9.arms: shard count {count} missing")
+            continue
+        where = f"BENCH_PR9.arms[{count}]"
+        _require_positive(
+            arm,
+            [
+                "queries",
+                "wall_seconds",
+                "walk_critical_path_seconds",
+                "shard_busy_seconds_total",
+                "epochs_published",
+                "shard_flips",
+                "full_state_bytes",
+            ],
+            where,
+            errors,
+        )
+        if arm.get("deterministic") is not True:
+            errors.append(
+                f"{where}: deterministic is not true — the same stream key "
+                "must reproduce the identical walk matrix"
+            )
+    if errors:
+        return errors
+    cores = report.get("cpu_cores")
+    if not isinstance(cores, int) or cores < 1:
+        errors.append(f"BENCH_PR9: cpu_cores missing or not positive ({cores!r})")
+    speedup = report.get("critical_path_speedup")
+    if not isinstance(speedup, (int, float)) or speedup <= 0:
+        errors.append(
+            f"BENCH_PR9: critical_path_speedup missing or not positive ({speedup!r})"
+        )
+    elif speedup < PR9_MIN_SHARD_SPEEDUP:
+        errors.append(
+            f"BENCH_PR9: the widest arm's critical path is only {speedup}x "
+            f"faster than the 1-shard arm's, below the "
+            f"{PR9_MIN_SHARD_SPEEDUP}x scale-out bar"
+        )
+    flip = report.get("flip")
+    if not isinstance(flip, dict):
+        errors.append("BENCH_PR9: flip section missing")
+    else:
+        _require_positive(
+            flip,
+            ["flips", "payload_bytes_total", "patch_bytes_per_flip", "full_state_bytes"],
+            "BENCH_PR9.flip",
+            errors,
+        )
+        snapshots = flip.get("full_snapshots")
+        if not isinstance(snapshots, int) or snapshots != 0:
+            errors.append(
+                f"BENCH_PR9: flip.full_snapshots is {snapshots!r} — healthy "
+                "flips must ship O(touched) patches, never whole snapshots"
+            )
+        ratio = flip.get("patch_to_full_ratio")
+        if not isinstance(ratio, (int, float)) or ratio <= 0:
+            errors.append(
+                f"BENCH_PR9: flip.patch_to_full_ratio missing or not positive ({ratio!r})"
+            )
+        elif ratio > PR9_MAX_PATCH_TO_FULL_RATIO:
+            errors.append(
+                f"BENCH_PR9: mean flip payload is {ratio}x the full-state "
+                f"serialization, above the {PR9_MAX_PATCH_TO_FULL_RATIO} "
+                "O(touched) bar"
+            )
+    chaos = report.get("chaos")
+    if not isinstance(chaos, dict):
+        errors.append("BENCH_PR9: chaos section missing")
+    else:
+        _require_positive(
+            chaos,
+            ["queries", "respawns", "wave_retries", "shards_alive_after"],
+            "BENCH_PR9.chaos",
+            errors,
+        )
+        hung = chaos.get("hung")
+        if not isinstance(hung, int) or hung != 0:
+            errors.append(
+                f"BENCH_PR9: chaos.hung is {hung!r} — a SIGKILLed shard must "
+                "cost a retry, never a hung ticket"
+            )
+        if chaos.get("bitwise_identical_to_clean_run") is not True:
+            errors.append(
+                "BENCH_PR9: chaos.bitwise_identical_to_clean_run is not true "
+                "— the respawn + retry must reproduce the unfaulted bytes"
+            )
+    return errors
+
+
 CHECKS: Dict[str, Callable[[dict], List[str]]] = {
     "BENCH_PR2.json": check_bench_pr2,
     "BENCH_PR3.json": check_bench_pr3,
@@ -422,6 +535,7 @@ CHECKS: Dict[str, Callable[[dict], List[str]]] = {
     "BENCH_PR6.json": check_bench_pr6,
     "BENCH_PR7.json": check_bench_pr7,
     "BENCH_PR8.json": check_bench_pr8,
+    "BENCH_PR9.json": check_bench_pr9,
 }
 
 

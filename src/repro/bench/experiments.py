@@ -1674,7 +1674,18 @@ def chaos_serve(
     if queries_per_batch < 1 or http_queries < 1:
         raise BenchmarkError("chaos_serve needs at least one query per scenario")
     graph = build_dataset(dataset, rng=ensure_rng(seed))
+    # Serving workloads repeat popular start vertices, so the walker count
+    # is not capped by the synthetic dataset's vertex count: top the
+    # distinct sample up with replacement.  Without this the per-query
+    # numpy step constants swamp the partitioned per-walker work and the
+    # scale-out measurement would be meaningless on the small datasets.
     starts = sample_start_vertices(graph, num_walkers, rng=seed + 1)
+    if starts and len(starts) < num_walkers:
+        filler = ensure_rng(seed + 1)
+        starts = starts + [
+            starts[filler.randrange(len(starts))]
+            for _ in range(num_walkers - len(starts))
+        ]
     effective_batch = min(
         batch_size, max(1, graph.num_edges // (num_batches + 1))
     )
@@ -2099,5 +2110,273 @@ def concurrency_sweep(
             "both phases issue queries_per_phase queries round-robin over "
             "the open keep-alive connections, so p99 compares the same "
             "query load while the connection count grows 10x"
+        ),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# PR 9 — sharded multi-process serve scale-out
+# --------------------------------------------------------------------------- #
+def shard_scaleout(
+    *,
+    dataset: str = "AM",
+    engine: str = "bingo",
+    application: str = "deepwalk",
+    shard_counts: Sequence[int] = (1, 4),
+    walk_length: int = 16,
+    num_walkers: int = 16384,
+    queries_per_round: int = 3,
+    batch_size: int = 150,
+    num_batches: int = 3,
+    workload: str = "mixed",
+    seed: int = 43,
+) -> Dict[str, object]:
+    """Scale-out gate for the multi-process shard router (PR 9).
+
+    Three measurements, all against :class:`~repro.serve.RouterService`
+    fronts serving the same ingest-interleaved query stream:
+
+    * **critical path** — every shard count in ``shard_counts`` runs the
+      identical workload; per query the router records each shard's CPU
+      busy seconds (``time.process_time`` inside the worker) and the
+      query's critical path (the slowest shard).  The headline
+      ``critical_path_speedup`` divides the 1-shard arm's accumulated
+      critical path by the widest arm's.  This is deliberately *not*
+      wall-clock: CI boxes (and this container) may expose a single
+      core, where four time-sliced processes can never beat one on the
+      wall.  ``cpu_cores`` is recorded alongside so the number is honest
+      about the hardware it came from.
+    * **O(touched) flips** — the widest arm's epoch flips must ship
+      slice *patches*, not snapshots: ``patch_to_full_ratio`` compares
+      the mean flip payload against one full
+      ``export_frontier_state()`` serialization, and
+      ``full_snapshots`` must stay 0 on the healthy path.
+    * **chaos** — the PR 7 contract inherited by the router: a scheduled
+      SIGKILL of one shard mid-dispatch must respawn + retry to a
+      bitwise-identical response versus an unfaulted same-seed run,
+      with zero hung tickets.
+    """
+    import os
+
+    import numpy as np
+
+    from repro.engines.sliced_tables import pack_arrays
+    from repro.serve import FaultInjector, FaultPlan, WalkQuery
+    from repro.serve.faults import chaos_points
+    from repro.serve.router import RouterService
+
+    counts = sorted({int(count) for count in shard_counts})
+    if not counts or counts[0] < 1:
+        raise BenchmarkError("shard_counts must be positive integers")
+    if queries_per_round < 1:
+        raise BenchmarkError("shard_scaleout needs at least one query per round")
+    graph = build_dataset(dataset, rng=ensure_rng(seed))
+    # Serving workloads repeat popular start vertices, so the walker count
+    # is not capped by the synthetic dataset's vertex count: top the
+    # distinct sample up with replacement.  Without this the per-query
+    # numpy step constants swamp the partitioned per-walker work and the
+    # scale-out measurement would be meaningless on the small datasets.
+    starts = sample_start_vertices(graph, num_walkers, rng=seed + 1)
+    if starts and len(starts) < num_walkers:
+        filler = ensure_rng(seed + 1)
+        starts = starts + [
+            starts[filler.randrange(len(starts))]
+            for _ in range(num_walkers - len(starts))
+        ]
+    effective_batch = min(
+        batch_size, max(1, graph.num_edges // (num_batches + 1))
+    )
+    stream = generate_update_stream(
+        graph,
+        batch_size=effective_batch,
+        num_batches=num_batches,
+        workload=UpdateWorkload(workload),
+        rng=seed + 2,
+    )
+
+    def run_arm(shards: int) -> Dict[str, object]:
+        service = RouterService(
+            engine,
+            stream.initial_graph,
+            shards=shards,
+            rng=seed + 3,
+            service_seed=seed + 4,
+        )
+        try:
+            wall_start = time.perf_counter()
+            queries = 0
+            for batch in stream.batches:
+                service.ingest(batch)
+                service.flush()
+                tickets = service.submit_many(
+                    [
+                        WalkQuery(application, starts, walk_length)
+                        for _ in range(queries_per_round)
+                    ]
+                )
+                for ticket in tickets:
+                    ticket.result(timeout=120.0)
+                queries += len(tickets)
+            wall_seconds = time.perf_counter() - wall_start
+            # Same explicit stream key twice -> the response must be
+            # bitwise reproducible whatever the shard count.
+            probe = [
+                service.submit(
+                    application, starts, walk_length, rng=seed + 9
+                ).result(timeout=120.0)
+                for _ in range(2)
+            ]
+            deterministic = bool(
+                np.array_equal(probe[0].walks.matrix, probe[1].walks.matrix)
+            )
+            stats = service.stats_snapshot()
+            full_state_bytes = len(
+                pack_arrays(service.engine.export_frontier_state())
+            )
+        finally:
+            service.close(drain=True)
+        busy = [float(value) for value in stats["shard_walk_busy_seconds"]]
+        return {
+            "shards": int(shards),
+            "queries": queries,
+            "wall_seconds": wall_seconds,
+            "walk_critical_path_seconds": float(
+                stats["walk_critical_path_seconds"]
+            ),
+            "shard_busy_seconds_total": float(sum(busy)),
+            "per_shard_busy_seconds": busy,
+            "flip_critical_path_seconds": float(
+                stats["flip_critical_path_seconds"]
+            ),
+            "epochs_published": int(stats["epochs_published"]),
+            "shard_flips": int(stats["shard_flips"]),
+            "flip_full_snapshots": int(stats["flip_full_snapshots"]),
+            "flip_payload_bytes": int(stats["flip_payload_bytes"]),
+            "full_state_bytes": int(full_state_bytes),
+            "deterministic": deterministic,
+        }
+
+    arms = {str(count): run_arm(count) for count in counts}
+    baseline = arms[str(counts[0])]
+    widest = arms[str(counts[-1])]
+    scaled_critical = widest["walk_critical_path_seconds"]
+    speedup = (
+        baseline["walk_critical_path_seconds"] / scaled_critical
+        if scaled_critical > 0
+        else float("inf")
+    )
+    conservation = (
+        widest["shard_busy_seconds_total"] / baseline["shard_busy_seconds_total"]
+        if baseline["shard_busy_seconds_total"] > 0
+        else float("inf")
+    )
+    patch_per_flip = (
+        widest["flip_payload_bytes"] / widest["shard_flips"]
+        if widest["shard_flips"]
+        else 0.0
+    )
+    flip_summary = {
+        "flips": widest["shard_flips"],
+        "full_snapshots": widest["flip_full_snapshots"],
+        "payload_bytes_total": widest["flip_payload_bytes"],
+        "patch_bytes_per_flip": patch_per_flip,
+        "full_state_bytes": widest["full_state_bytes"],
+        "patch_to_full_ratio": (
+            patch_per_flip / widest["full_state_bytes"]
+            if widest["full_state_bytes"]
+            else float("inf")
+        ),
+    }
+
+    # ---------------------------------------------------------------- #
+    # chaos: SIGKILL one shard mid-dispatch, demand a bitwise retry
+    # ---------------------------------------------------------------- #
+    chaos_shards = counts[-1] if counts[-1] > 1 else 2
+    chaos_queries = max(3, queries_per_round)
+
+    def run_chaos(injector) -> Dict[str, object]:
+        service = RouterService(
+            engine,
+            stream.initial_graph,
+            shards=chaos_shards,
+            rng=seed + 5,
+            service_seed=seed + 6,
+            fault_injector=injector,
+        )
+        ledger = {"submitted": 0, "resolved": 0, "failed": 0, "hung": 0}
+        matrices = []
+        try:
+            # One query at a time so both runs fuse identically and the
+            # per-group stream keys line up for the bitwise comparison.
+            for _ in range(chaos_queries):
+                ticket = service.submit(application, starts, walk_length)
+                ledger["submitted"] += 1
+                try:
+                    result = ticket.result(timeout=120.0)
+                    matrices.append(result.walks.matrix)
+                    ledger["resolved"] += 1
+                except Exception:
+                    ledger["failed" if ticket.done else "hung"] += 1
+            service.ingest(stream.batches[0])
+            service.flush()
+            stats = service.stats_snapshot()
+        finally:
+            service.close(drain=True)
+        return {
+            "ledger": ledger,
+            "matrices": matrices,
+            "respawns": int(stats["shard_respawns"]),
+            "wave_retries": int(stats["wave_retries"]),
+            "shards_alive": sum(1 for alive in stats["shards_alive"] if alive),
+            "epochs_published": int(stats["epochs_published"]),
+        }
+
+    kill_plan = FaultPlan().kill_worker(
+        "router.dispatch", 1, shard=chaos_shards - 1
+    )
+    kill_injector = FaultInjector(kill_plan)
+    clean = run_chaos(None)
+    faulted = run_chaos(kill_injector)
+    bitwise_identical = len(clean["matrices"]) == len(faulted["matrices"]) and all(
+        np.array_equal(left, right)
+        for left, right in zip(clean["matrices"], faulted["matrices"])
+    )
+    chaos_summary = {
+        "shards": chaos_shards,
+        "queries": chaos_queries,
+        "tickets": faulted["ledger"],
+        "hung": faulted["ledger"]["hung"],
+        "respawns": faulted["respawns"],
+        "wave_retries": faulted["wave_retries"],
+        "shards_alive_after": faulted["shards_alive"],
+        "post_kill_epochs_published": faulted["epochs_published"],
+        "bitwise_identical_to_clean_run": bitwise_identical,
+        "history": chaos_points(kill_injector.history()),
+    }
+
+    return {
+        "experiment": "shard_scaleout",
+        "dataset": dataset,
+        "engine": engine,
+        "application": application,
+        "seed": seed,
+        "cpu_cores": int(os.cpu_count() or 1),
+        "walk_length": int(walk_length),
+        "num_walkers": int(num_walkers),
+        "queries_per_round": int(queries_per_round),
+        "batch_size": int(effective_batch),
+        "num_batches": int(num_batches),
+        "shard_counts": counts,
+        "arms": arms,
+        "critical_path_speedup": speedup,
+        "shard_work_conservation": conservation,
+        "flip": flip_summary,
+        "chaos": chaos_summary,
+        "deterministic": all(arm["deterministic"] for arm in arms.values()),
+        "note": (
+            "critical_path_speedup divides the accumulated slowest-shard "
+            "CPU busy seconds of the narrowest arm by the widest arm's; "
+            "wall_seconds is reported per arm but is NOT the gate metric "
+            "because a single-core runner time-slices the shard processes"
         ),
     }

@@ -57,6 +57,7 @@ EXPERIMENT_RUNNERS: Dict[str, Callable[..., Any]] = {
     "streaming": experiments.streaming_serve,
     "chaos": experiments.chaos_serve,
     "http": experiments.concurrency_sweep,
+    "shard": experiments.shard_scaleout,
 }
 
 #: Experiments whose JSON output lands in a file by default (perf trajectory).
@@ -68,6 +69,7 @@ DEFAULT_OUTPUT_FILES = {
     "flip": "BENCH_PR6.json",
     "chaos": "BENCH_PR7.json",
     "http": "BENCH_PR8.json",
+    "shard": "BENCH_PR9.json",
 }
 
 
@@ -146,7 +148,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--queries-per-round",
         type=int,
         default=None,
-        help="walk queries submitted after each batch (streaming only)",
+        help="walk queries submitted after each batch (streaming/shard)",
+    )
+    run_parser.add_argument(
+        "--shards",
+        nargs="+",
+        type=int,
+        default=None,
+        help="shard serve process counts to sweep (shard only)",
     )
     run_parser.add_argument(
         "--engines",
@@ -213,6 +222,15 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--seed", type=int, default=2025)
     serve_parser.add_argument(
         "--workers", type=int, default=1, help="shard-parallel walk workers"
+    )
+    serve_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "shard serve processes behind the router front (>1 is mutually "
+            "exclusive with --workers>1)"
+        ),
     )
     serve_parser.add_argument("--fuse-limit", type=int, default=8)
     serve_parser.add_argument("--fuse-window", type=float, default=0.002)
@@ -311,16 +329,21 @@ def _run_experiment(args: argparse.Namespace) -> int:
         (
             "--walk-length",
             args.walk_length,
-            {"scale", "streaming", "serve", "chaos", "http"},
+            {"scale", "streaming", "serve", "chaos", "http", "shard"},
         ),
         ("--rounds", args.rounds, {"scale"}),
         (
             "--num-walkers",
             args.num_walkers,
-            {"scale", "streaming", "serve", "chaos", "http"},
+            {"scale", "streaming", "serve", "chaos", "http", "shard"},
         ),
-        ("--queries-per-round", args.queries_per_round, {"streaming"}),
-        ("--engines", args.engines, {"streaming", "serve", "flip", "chaos", "http"}),
+        ("--queries-per-round", args.queries_per_round, {"streaming", "shard"}),
+        (
+            "--engines",
+            args.engines,
+            {"streaming", "serve", "flip", "chaos", "http", "shard"},
+        ),
+        ("--shards", args.shards, {"shard"}),
         ("--flood-queries", args.flood_queries, {"serve"}),
         ("--light-queries", args.light_queries, {"serve"}),
         ("--scales", args.scales, {"flip"}),
@@ -445,6 +468,35 @@ def _run_experiment(args: argparse.Namespace) -> int:
             kwargs["walk_length"] = args.walk_length
         if args.num_walkers is not None:
             kwargs["num_walkers"] = args.num_walkers
+    if args.experiment == "shard":
+        if args.datasets is not None:
+            if len(args.datasets) > 1:
+                return _fail(
+                    "`run shard` benchmarks a single dataset; "
+                    f"got {len(args.datasets)} datasets"
+                )
+            kwargs["dataset"] = args.datasets[0]
+        if args.engines is not None:
+            if len(args.engines) > 1:
+                return _fail(
+                    "`run shard` benchmarks a single engine; "
+                    f"got {len(args.engines)} engines"
+                )
+            kwargs["engine"] = args.engines[0]
+        if args.shards is not None:
+            if any(count < 1 for count in args.shards):
+                return _fail("--shards counts must be positive integers")
+            kwargs["shard_counts"] = args.shards
+        if args.batch_size is not None:
+            kwargs["batch_size"] = args.batch_size
+        if args.num_batches is not None:
+            kwargs["num_batches"] = args.num_batches
+        if args.walk_length is not None:
+            kwargs["walk_length"] = args.walk_length
+        if args.num_walkers is not None:
+            kwargs["num_walkers"] = args.num_walkers
+        if args.queries_per_round is not None:
+            kwargs["queries_per_round"] = args.queries_per_round
     if args.experiment == "flip":
         if args.engines is not None:
             if len(args.engines) > 1:
@@ -494,79 +546,66 @@ def _run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_tenant_specs(specs) -> Dict[str, Any]:
-    """``NAME[:WEIGHT[:MAX_PENDING]]`` strings -> TenantQuota mapping."""
-    from repro.serve import TenantQuota
-
-    quotas: Dict[str, Any] = {}
-    for spec in specs or ():
-        parts = spec.split(":")
-        if not parts[0] or len(parts) > 3:
-            raise ValueError(
-                f"bad --tenant spec {spec!r}; expected NAME[:WEIGHT[:MAX_PENDING]]"
-            )
-        weight = float(parts[1]) if len(parts) > 1 and parts[1] else 1.0
-        max_pending = int(parts[2]) if len(parts) > 2 and parts[2] else 64
-        quotas[parts[0]] = TenantQuota(max_pending=max_pending, weight=weight)
-    return quotas
-
-
 def _run_serve(args: argparse.Namespace) -> int:
-    """Start the HTTP serving front-end and block until stopped."""
+    """Start the HTTP serving front-end and block until stopped.
+
+    The whole deployment is described by one frozen
+    :class:`~repro.serve.config.ServiceConfig` built from the flags (with
+    ``BINGO_SERVE_*`` environment overrides); ``--shards > 1`` serves
+    through the multi-process shard router.  SIGTERM (and Ctrl-C) drain
+    cleanly: in-flight queries finish, the shard pool retires its worker
+    processes, and every ``/dev/shm`` segment is unlinked before exit.
+    """
+    import signal
     import threading
 
     from repro.bench.datasets import build_dataset
-    from repro.serve import GraphService, TenantQuota, serve_event_loop, serve_http
+    from repro.serve import (
+        ServiceConfig,
+        TenantQuota,
+        serve_event_loop,
+        serve_http,
+        service_from_config,
+    )
 
-    if args.workers < 1:
-        return _fail("--workers must be at least 1")
-    if args.max_pending < 1:
-        return _fail("--max-pending must be at least 1")
-    try:
-        tenants = _parse_tenant_specs(args.tenant)
-    except ValueError as exc:
-        return _fail(str(exc))
-    graph = build_dataset(args.dataset, rng=args.seed)
+    config = ServiceConfig.from_cli_args(args)
+    graph = build_dataset(args.dataset, rng=config.seed)
     default_quota = None
-    if args.event_loop:
+    if config.event_loop:
         # The event loop submits queries from its only thread, so the
         # default admission lane must reject (429 + Retry-After), never
         # block the submitter.
-        default_quota = TenantQuota(max_pending=args.max_pending)
-    service = GraphService(
-        args.engine,
-        graph,
-        rng=args.seed,
-        workers=args.workers,
-        fuse_limit=args.fuse_limit,
-        fuse_window_seconds=args.fuse_window,
-        tenants=tenants or None,
-        warm_on_publish=not args.no_warm,
-        default_quota=default_quota,
-    )
-    start_server = serve_event_loop if args.event_loop else serve_http
-    server, _thread = start_server(
-        service,
-        args.host,
-        args.port,
-        log_requests=args.log_requests,
-    )
-    front_end = "event-loop" if args.event_loop else "threaded"
-    sys.stderr.write(
-        f"serving {args.engine} walks on {server.url} ({front_end} front-end, "
-        f"dataset={args.dataset}, vertices={graph.num_vertices}, "
-        f"warm={'off' if args.no_warm else 'on'}); Ctrl-C to stop\n"
-    )
+        default_quota = TenantQuota(max_pending=config.max_pending_queries)
+    service = service_from_config(config, graph, default_quota=default_quota)
+    start_server = serve_event_loop if config.event_loop else serve_http
+    server, _thread = start_server(service, config=config)
     stop = threading.Event()
+
+    def _drain(signum, frame):  # noqa: ARG001 - signal handler signature
+        stop.set()
+
+    # Install the handler *before* announcing readiness: the banner is
+    # the supervisor's cue that SIGTERM now drains instead of killing.
+    previous_term = signal.signal(signal.SIGTERM, _drain)
+    front_end = "event-loop" if config.event_loop else "threaded"
+    sharding = f", shards={config.shards}" if config.shards > 1 else ""
+    sys.stderr.write(
+        f"serving {config.engine} walks on {server.url} ({front_end} "
+        f"front-end, dataset={args.dataset}, vertices={graph.num_vertices}, "
+        f"warm={'off' if args.no_warm else 'on'}{sharding}); "
+        "Ctrl-C or SIGTERM to stop\n"
+    )
     if args.max_seconds > 0:
         timer = threading.Timer(args.max_seconds, stop.set)
         timer.daemon = True
         timer.start()
     try:
         stop.wait()
+        sys.stderr.write("draining\n")
     except KeyboardInterrupt:
         sys.stderr.write("shutting down\n")
     finally:
+        signal.signal(signal.SIGTERM, previous_term)
         server.shutdown()
         service.close()
     return 0

@@ -35,6 +35,8 @@ from repro.engines.base import (
 from repro.engines.sliced_tables import (
     FrontierDelta,
     SlicedTableStore,
+    adopt_store_state,
+    export_store_state,
     mark_frontier_dirty,
     warm_frontier_delta,
 )
@@ -157,6 +159,25 @@ class BingoEngine(RandomWalkEngine):
     def sampler_for(self, vertex: int) -> Optional[BingoVertexSampler]:
         """The per-vertex sampler (None for vertices without out-edges)."""
         return self._samplers.get(vertex)
+
+    def _decimal_sampler(self, vertex: int) -> BingoVertexSampler:
+        """The vertex's sampler, rebuilt from the graph when missing.
+
+        Shard replicas adopt their fused tables over the wire and only
+        keep samplers for owned vertices (patches evict touched ones), so
+        a decimal-group hit on an unowned or patched vertex rebuilds the
+        sampler lazily from the local (kept-fresh) adjacency.
+        """
+        sampler = self._samplers.get(vertex)
+        if sampler is None:
+            graph = self._require_graph()
+            sampler = self._new_sampler(vertex)
+            sampler.insert_many(
+                graph.neighbor_array(vertex), graph.bias_array(vertex)
+            )
+            sampler.rebuild()
+            self._samplers[vertex] = sampler
+        return sampler
 
     # ------------------------------------------------------------------ #
     # streaming updates: O(K) per event plus one inter-group rebuild
@@ -480,6 +501,10 @@ class BingoEngine(RandomWalkEngine):
                 self._rebuild_frontier_stores()
         # Re-derive the view dict every repair: capacity growth and
         # compaction replace the backing arrays.
+        self._refresh_frontier_views()
+        return self._frontier_cache
+
+    def _refresh_frontier_views(self) -> None:
         self._frontier_cache = {
             "group_offset": self._inter_store.seg_offset,
             "group_count": self._inter_store.seg_length,
@@ -490,11 +515,176 @@ class BingoEngine(RandomWalkEngine):
             "entry_decimal": self._inter_store.column("entry_decimal"),
             "flat": self._flat_store.column("flat"),
         }
-        return self._frontier_cache
 
     def warm_frontier_tables(self) -> FrontierDelta:
         """Repair the fused tables now; reports the slices it re-derived."""
         return warm_frontier_delta(self)
+
+    # ------------------------------------------------------------------ #
+    # cross-process frontier state (the shard-router transport)
+    # ------------------------------------------------------------------ #
+    def export_frontier_state(self) -> Dict[str, np.ndarray]:
+        """Both stores' full state as plain arrays (the shard boot payload).
+
+        The inter store's global ``entry_offset`` values stay valid
+        verbatim because the flat heap ships whole — offsets reference
+        the same positions on the adopting side.
+        """
+        self._frontier_tables()
+        state = {
+            "num_vertices": np.array(
+                [self._require_graph().num_vertices], dtype=np.int64
+            )
+        }
+        state.update(export_store_state(self._inter_store, "inter_"))
+        state.update(export_store_state(self._flat_store, "flat_"))
+        return state
+
+    def adopt_frontier_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Replace the fused tables with a writer's exported snapshot.
+
+        A shard replica keeps its own (owned-only) samplers but walks the
+        *global* adopted tables; subsequent flips arrive as
+        :meth:`apply_frontier_patch` slices instead of fresh snapshots.
+        """
+        adopt_store_state(self._inter_store, state, "inter_")
+        adopt_store_state(self._flat_store, state, "flat_")
+        self._frontier_dirty.clear()
+        self._refresh_frontier_views()
+
+    def export_frontier_patch(self, vertices) -> Dict[str, np.ndarray]:
+        """The touched vertices' slices of both stores, offsets made local.
+
+        ``entry_offset`` entries are global positions in *this* engine's
+        flat heap; the replica's heap packs the same slices at different
+        positions, so the patch carries offsets relative to each vertex's
+        own flat segment and :meth:`apply_frontier_patch` re-bases them —
+        the exact discipline of :meth:`_set_vertex_slices`.
+        """
+        self._frontier_tables()
+        inter, flat = self._inter_store, self._flat_store
+        ids = np.asarray(sorted(int(v) for v in vertices), dtype=np.int64)
+        inter_lengths = np.zeros(len(ids), dtype=np.int64)
+        flat_lengths = np.zeros(len(ids), dtype=np.int64)
+        in_directory = ids < inter.num_vertices
+        inter_lengths[in_directory] = inter.seg_length[ids[in_directory]]
+        flat_lengths[in_directory] = flat.seg_length[ids[in_directory]]
+        payload: Dict[str, np.ndarray] = {
+            "vertices": ids,
+            "inter_lengths": inter_lengths,
+            "flat_lengths": flat_lengths,
+            "num_vertices": np.array(
+                [self._require_graph().num_vertices], dtype=np.int64
+            ),
+        }
+        for name in ("prob", "alias", "entry_offset", "entry_size", "entry_decimal"):
+            column = inter.column(name)
+            pieces = [
+                column[inter.seg_offset[v] : inter.seg_offset[v] + length]
+                for v, length in zip(ids, inter_lengths)
+                if length > 0
+            ]
+            payload[name] = (
+                np.concatenate(pieces)
+                if pieces
+                else np.empty(0, dtype=column.dtype)
+            )
+        flat_column = flat.column("flat")
+        flat_pieces = [
+            flat_column[flat.seg_offset[v] : flat.seg_offset[v] + length]
+            for v, length in zip(ids, flat_lengths)
+            if length > 0
+        ]
+        payload["flat"] = (
+            np.concatenate(flat_pieces)
+            if flat_pieces
+            else np.empty(0, dtype=np.int64)
+        )
+        # Globals -> locals: subtract each vertex's flat segment base.
+        bases = np.zeros(len(ids), dtype=np.int64)
+        bases[in_directory] = flat.seg_offset[ids[in_directory]]
+        payload["entry_offset"] = payload["entry_offset"] - np.repeat(
+            bases, inter_lengths
+        )
+        return payload
+
+    def apply_frontier_patch(self, payload: Dict[str, np.ndarray]) -> None:
+        """Apply a writer's :meth:`export_frontier_patch` to this replica.
+
+        Mirrors :meth:`_set_vertex_slices`: each vertex's flat slice lands
+        first and its fresh offset re-bases the local ``entry_offset``
+        entries.  Touched vertices' scalar samplers are evicted (stale);
+        the decimal fallback rebuilds them lazily from the (kept-fresh)
+        local graph.
+        """
+        inter, flat = self._inter_store, self._flat_store
+        num_vertices = int(payload["num_vertices"][0])
+        inter.ensure_vertices(num_vertices)
+        flat.ensure_vertices(num_vertices)
+        inter_cursor = 0
+        flat_cursor = 0
+        for position, v in enumerate(payload["vertices"]):
+            vertex = int(v)
+            inter_length = int(payload["inter_lengths"][position])
+            flat_length = int(payload["flat_lengths"][position])
+            self._samplers.pop(vertex, None)
+            self._vertex_tables.pop(vertex, None)
+            if vertex >= inter.num_vertices:
+                inter.ensure_vertices(vertex + 1)
+                flat.ensure_vertices(vertex + 1)
+            if inter_length == 0:
+                inter.clear_slice(vertex)
+                flat.clear_slice(vertex)
+                continue
+            flat_offset = flat.set_slice(
+                vertex,
+                {"flat": payload["flat"][flat_cursor : flat_cursor + flat_length]},
+            )
+            inter.set_slice(
+                vertex,
+                {
+                    "prob": payload["prob"][inter_cursor : inter_cursor + inter_length],
+                    "alias": payload["alias"][inter_cursor : inter_cursor + inter_length],
+                    "entry_offset": payload["entry_offset"][
+                        inter_cursor : inter_cursor + inter_length
+                    ]
+                    + flat_offset,
+                    "entry_size": payload["entry_size"][
+                        inter_cursor : inter_cursor + inter_length
+                    ],
+                    "entry_decimal": payload["entry_decimal"][
+                        inter_cursor : inter_cursor + inter_length
+                    ],
+                },
+            )
+            inter_cursor += inter_length
+            flat_cursor += flat_length
+        if inter.needs_compaction() or flat.needs_compaction():
+            self._compact_replica_stores()
+        self._frontier_dirty.clear()
+        self._refresh_frontier_views()
+
+    def _compact_replica_stores(self) -> None:
+        """Compact both stores without the writer's per-vertex parts cache.
+
+        The writer-side compaction fallback re-packs from
+        ``_vertex_tables``; a replica adopted its tables over the wire and
+        has no such cache, so it compacts the heaps directly and re-bases
+        the global ``entry_offset`` entries by each vertex's flat-segment
+        displacement.
+        """
+        flat = self._flat_store
+        inter = self._inter_store
+        old_flat_offset = flat.seg_offset.copy()
+        flat.compact()
+        shift = flat.seg_offset - old_flat_offset
+        entry_offset = inter.column("entry_offset")
+        for vertex in np.nonzero(inter.seg_length > 0)[0]:
+            if shift[vertex] == 0:
+                continue
+            start = inter.seg_offset[vertex]
+            entry_offset[start : start + inter.seg_length[vertex]] += shift[vertex]
+        inter.compact()
 
     @staticmethod
     def _build_vertex_table(sampler: BingoVertexSampler) -> tuple:
@@ -561,7 +751,7 @@ class BingoEngine(RandomWalkEngine):
             picks = np.nonzero(decimal_mask)[0]
             for vertex in np.unique(query[picks]):
                 members = picks[query[picks] == vertex]
-                sampler = self._samplers[int(vertex)]
+                sampler = self._decimal_sampler(int(vertex))
                 ids = sampler._batch_cache()[0]
                 indices = sampler._decimal.sample_batch(
                     len(members), rng, counter=sampler.counter

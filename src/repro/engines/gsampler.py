@@ -20,6 +20,10 @@ from repro.engines.base import PHASE_REBUILD, RandomWalkEngine
 from repro.engines.sliced_tables import (
     FrontierDelta,
     SlicedTableStore,
+    adopt_store_state,
+    apply_store_slices,
+    export_store_slices,
+    export_store_state,
     mark_frontier_dirty,
     warm_frontier_delta,
 )
@@ -211,17 +215,62 @@ class GSamplerEngine(RandomWalkEngine):
                 store.compact()
         # Re-derive the view dict every repair: capacity growth and
         # compaction replace the backing arrays.
+        self._refresh_frontier_views()
+        return self._frontier_cache
+
+    def _refresh_frontier_views(self) -> None:
+        store = self._frontier_store
         self._frontier_cache = {
             "seg_offset": store.seg_offset,
             "seg_length": store.seg_length,
             "cumulative": store.column("cumulative"),
             "ids": store.column("ids"),
         }
-        return self._frontier_cache
 
     def warm_frontier_tables(self) -> FrontierDelta:
         """Repair the fused tables now; reports the slices it re-derived."""
         return warm_frontier_delta(self)
+
+    # ------------------------------------------------------------------ #
+    # cross-process frontier state (the shard-router transport)
+    # ------------------------------------------------------------------ #
+    def export_frontier_state(self) -> Dict[str, np.ndarray]:
+        """The CDF store's full state as plain arrays (shard boot payload)."""
+        self._frontier_tables()
+        state = {
+            "num_vertices": np.array(
+                [self._require_graph().num_vertices], dtype=np.int64
+            )
+        }
+        state.update(export_store_state(self._frontier_store))
+        return state
+
+    def adopt_frontier_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Replace the fused tables with a writer's exported snapshot."""
+        adopt_store_state(self._frontier_store, state)
+        self._frontier_dirty.clear()
+        self._refresh_frontier_views()
+
+    def export_frontier_patch(self, vertices) -> Dict[str, np.ndarray]:
+        """The touched vertices' CDF slices (local prefix sums, patch-safe)."""
+        self._frontier_tables()
+        payload = export_store_slices(self._frontier_store, vertices)
+        payload["num_vertices"] = np.array(
+            [self._require_graph().num_vertices], dtype=np.int64
+        )
+        return payload
+
+    def apply_frontier_patch(self, payload: Dict[str, np.ndarray]) -> None:
+        """Apply a writer's patch; untouched slices stay untouched."""
+        for vertex in payload["vertices"]:
+            self._samplers.pop(int(vertex), None)
+        apply_store_slices(
+            self._frontier_store,
+            payload,
+            num_vertices=int(payload["num_vertices"][0]),
+        )
+        self._frontier_dirty.clear()
+        self._refresh_frontier_views()
 
     def _sample_frontier(
         self, vertices: np.ndarray, rng: np.random.Generator

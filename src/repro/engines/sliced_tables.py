@@ -31,8 +31,9 @@ unit the epoch-delta publication path ships instead of a rebuilt world.
 
 from __future__ import annotations
 
+import io
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -62,6 +63,10 @@ class FrontierDelta:
     vertices: int
     #: True when the repair rebuilt the whole concatenation.
     full_rebuild: bool
+    #: The ids of the repaired slices (``None`` for full rebuilds, whose
+    #: "touched set" is the world).  The shard router serializes exactly
+    #: these slices into the cross-process flip payload.
+    vertex_ids: Optional[Tuple[int, ...]] = None
 
 
 class SlicedTableStore:
@@ -248,7 +253,7 @@ def warm_frontier_delta(engine) -> "FrontierDelta":
     same set) it re-derives only the dirty slices.  Cold first builds
     and compaction fallbacks surface as ``full_rebuild`` deltas.
     """
-    dirty = len(engine._frontier_dirty)
+    dirty_ids = tuple(sorted(engine._frontier_dirty))
     cold = engine._frontier_cache is None
     builds_before = engine.frontier_full_builds
     engine._frontier_tables()
@@ -256,12 +261,141 @@ def warm_frontier_delta(engine) -> "FrontierDelta":
         return FrontierDelta(
             vertices=int(engine._require_graph().num_vertices), full_rebuild=True
         )
-    return FrontierDelta(vertices=dirty, full_rebuild=False)
+    return FrontierDelta(
+        vertices=len(dirty_ids), full_rebuild=False, vertex_ids=dirty_ids
+    )
+
+
+# --------------------------------------------------------------------- #
+# cross-process serialization (the shard-router flip payload)
+# --------------------------------------------------------------------- #
+def pack_arrays(arrays: Mapping[str, np.ndarray]) -> bytes:
+    """Serialize named arrays into one self-describing byte blob.
+
+    The NPZ container (``np.savez`` with pickling disabled) carries
+    dtypes and shapes, so the receiving process reconstructs the arrays
+    without any schema side-channel — this is what the router writes
+    into shared memory instead of re-pickling engines.
+    """
+    buffer = io.BytesIO()
+    np.savez(buffer, **{name: np.ascontiguousarray(a) for name, a in arrays.items()})
+    return buffer.getvalue()
+
+
+def unpack_arrays(blob) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`pack_arrays` (accepts bytes or a buffer view)."""
+    with np.load(io.BytesIO(bytes(blob)), allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def export_store_state(store: SlicedTableStore, prefix: str = "") -> Dict[str, np.ndarray]:
+    """One store's full state as plain arrays (directory + live columns).
+
+    Only the prefix below the high-water mark ships; segment offsets
+    reference positions within that prefix, so they stay valid verbatim
+    on the adopting side.
+    """
+    state = {
+        prefix + "seg_offset": store.seg_offset.copy(),
+        prefix + "seg_length": store.seg_length.copy(),
+        prefix + "counters": np.array([store.used, store.live], dtype=np.int64),
+    }
+    for name in store._schema:
+        state[prefix + name] = store.column(name)[: store.used].copy()
+    return state
+
+
+def adopt_store_state(
+    store: SlicedTableStore, state: Mapping[str, np.ndarray], prefix: str = ""
+) -> None:
+    """Replace ``store``'s contents with an :func:`export_store_state` snapshot."""
+    used, live = (int(value) for value in state[prefix + "counters"])
+    store.seg_offset = np.asarray(state[prefix + "seg_offset"], dtype=np.int64).copy()
+    store.seg_length = np.asarray(state[prefix + "seg_length"], dtype=np.int64).copy()
+    store.used = used
+    store.live = live
+    for name, dtype in store._schema.items():
+        column = np.empty(used, dtype=dtype)
+        column[:] = state[prefix + name][:used]
+        store._columns[name] = column
+
+
+def export_store_slices(
+    store: SlicedTableStore, vertices: Iterable[int], prefix: str = ""
+) -> Dict[str, np.ndarray]:
+    """The touched vertices' segments as concatenated per-column arrays.
+
+    This is the O(touched) patch payload: ``vertices`` + per-vertex
+    ``lengths`` + each column's slices back to back.  A length of zero
+    means "this vertex's slice was cleared" on the applying side.
+    """
+    ids = np.asarray(sorted(int(v) for v in vertices), dtype=np.int64)
+    lengths = np.zeros(len(ids), dtype=np.int64)
+    in_directory = ids < store.num_vertices
+    lengths[in_directory] = store.seg_length[ids[in_directory]]
+    payload = {prefix + "vertices": ids, prefix + "lengths": lengths}
+    for name in store._schema:
+        column = store.column(name)
+        pieces = [
+            column[store.seg_offset[v] : store.seg_offset[v] + length]
+            for v, length in zip(ids, lengths)
+            if length > 0
+        ]
+        payload[prefix + name] = (
+            np.concatenate(pieces)
+            if pieces
+            else np.empty(0, dtype=store._schema[name])
+        )
+    return payload
+
+
+def apply_store_slices(
+    store: SlicedTableStore,
+    payload: Mapping[str, np.ndarray],
+    prefix: str = "",
+    num_vertices: Optional[int] = None,
+) -> None:
+    """Apply an :func:`export_store_slices` patch to a replica store.
+
+    Untouched segments are untouched here too — the point of the delta
+    path — and the amortized compaction discipline carries over: churn on
+    the replica repacks only when waste outweighs the live payload.
+    """
+    if num_vertices is not None:
+        store.ensure_vertices(int(num_vertices))
+    ids = payload[prefix + "vertices"]
+    lengths = payload[prefix + "lengths"]
+    cursor = 0
+    columns = {name: payload[prefix + name] for name in store._schema}
+    for v, length in zip(ids, lengths):
+        vertex = int(v)
+        length = int(length)
+        if vertex >= store.num_vertices:
+            store.ensure_vertices(vertex + 1)
+        if length == 0:
+            store.clear_slice(vertex)
+            continue
+        store.set_slice(
+            vertex,
+            {
+                name: column[cursor : cursor + length]
+                for name, column in columns.items()
+            },
+        )
+        cursor += length
+    if store.needs_compaction():
+        store.compact()
 
 
 __all__ = [
     "FrontierDelta",
     "SlicedTableStore",
+    "adopt_store_state",
+    "apply_store_slices",
+    "export_store_slices",
+    "export_store_state",
     "mark_frontier_dirty",
+    "pack_arrays",
+    "unpack_arrays",
     "warm_frontier_delta",
 ]

@@ -45,6 +45,17 @@ Modules
     The chaos harness: :class:`FaultPlan` schedules deterministic faults
     by (injection point, occurrence index); :class:`FaultInjector` fires
     them from the writer, dispatcher, shard coordinator and HTTP handlers.
+``config``
+    :class:`ServiceConfig` — the one frozen, validated configuration
+    object the CLI, both HTTP front-ends and the services are built from
+    (``BINGO_SERVE_*`` environment overrides included).
+``router`` / ``shard_worker``
+    Sharded multi-process serving: :class:`RouterService` fans each fused
+    query group out to ``shards`` shard serve processes (booted from the
+    shared-memory CSR export, flipped epoch-by-epoch with O(touched)
+    slice patches) and reassembles bitwise-stable responses;
+    :func:`service_from_config` picks the sharded or single-process
+    service from one config.
 """
 
 from repro.serve.client import (
@@ -52,6 +63,7 @@ from repro.serve.client import (
     ServiceHTTPError,
     ServiceUnreachableError,
 )
+from repro.serve.config import ServiceConfig
 from repro.serve.eventloop import EventLoopHTTPServer, serve_event_loop
 from repro.serve.faults import FAULT_POINTS, FaultAction, FaultInjector, FaultPlan
 from repro.serve.http import (
@@ -67,6 +79,11 @@ from repro.serve.queries import (
     WalkQuery,
     deadline_in,
     validate_starts,
+)
+from repro.serve.router import (
+    RouterService,
+    ShardServePool,
+    service_from_config,
 )
 from repro.serve.service import GraphService
 from repro.serve.tenancy import FairShareQueue, TenantQuota, TenantStats
@@ -90,11 +107,14 @@ __all__ = [
     "GraphService",
     "GraphServiceHTTPServer",
     "QueryTicket",
+    "RouterService",
     "ServeResult",
     "ServeStats",
     "ServiceClient",
+    "ServiceConfig",
     "ServiceHTTPError",
     "ServiceUnreachableError",
+    "ShardServePool",
     "TENANT_HEADER",
     "TenantQuota",
     "TenantStats",
@@ -106,5 +126,6 @@ __all__ = [
     "encode_walks",
     "serve_event_loop",
     "serve_http",
+    "service_from_config",
     "validate_starts",
 ]

@@ -2,10 +2,11 @@
 
 The server side (:mod:`repro.serve.http` / :mod:`repro.serve.eventloop`)
 marks transient failures with 429 / 503 / 504 and a ``Retry-After``
-header; this client closes the loop: idempotent requests (``/query``,
-``/stats``, ``/healthz``) are retried with capped exponential backoff,
-sleeping at least the server's ``Retry-After`` hint when one is present.
-``/ingest`` is **never** retried on an HTTP error — replaying an update
+header; this client closes the loop: idempotent requests (``/v1/query``,
+``/v1/stats``, ``/v1/healthz``) are retried with capped exponential
+backoff, sleeping at least the server's ``Retry-After`` hint when one is
+present.  The client speaks the versioned ``/v1`` routes natively.
+``/v1/ingest`` is **never** retried on an HTTP error — replaying an update
 batch whose first attempt may have been applied is exactly the
 duplicate-batch bug the writer's dead-letter quarantine exists to catch,
 and the client must not manufacture it.
@@ -83,7 +84,17 @@ class ServiceHTTPError(ServeError):
         payload: Dict[str, object],
         retry_after: Optional[float] = None,
     ) -> None:
-        detail = payload.get("error") or payload.get("status") or ""
+        envelope = payload.get("error")
+        if isinstance(envelope, dict):
+            # The canonical /v1 envelope: {"error": {"code", "message", ...}}.
+            code = envelope.get("code") or ""
+            message = envelope.get("message") or ""
+            detail = f"{code}: {message}" if code else message
+            self.error_code: Optional[str] = str(code) or None
+        else:
+            # Pre-/v1 servers sent flat {"error": "...", "type": "..."}.
+            detail = envelope or payload.get("status") or ""
+            self.error_code = None
         super().__init__(f"serve front-end returned {status}: {detail}")
         self.status = int(status)
         self.payload = payload
@@ -214,7 +225,7 @@ class ServiceClient:
         if deadline_seconds is not None:
             body["deadline_seconds"] = float(deadline_seconds)
         return self._request(
-            "POST", "/query", body, idempotent=True, tenant=tenant, binary=binary
+            "POST", "/v1/query", body, idempotent=True, tenant=tenant, binary=binary
         )
 
     def ingest(
@@ -228,15 +239,17 @@ class ServiceClient:
         body: Dict[str, object] = {"updates": list(updates)}
         if flush:
             body["flush"] = True
-        return self._request("POST", "/ingest", body, idempotent=False, tenant=tenant)
+        return self._request(
+            "POST", "/v1/ingest", body, idempotent=False, tenant=tenant
+        )
 
     def stats(self) -> Dict[str, object]:
-        return self._request("GET", "/stats", None, idempotent=True)
+        return self._request("GET", "/v1/stats", None, idempotent=True)
 
     def health(self) -> Dict[str, object]:
         """The ``/healthz`` payload; unhealthy (503) is returned, not raised."""
         try:
-            return self._request("GET", "/healthz", None, idempotent=False)
+            return self._request("GET", "/v1/healthz", None, idempotent=False)
         except ServiceHTTPError as exc:
             if exc.status == 503 and exc.payload:
                 return exc.payload

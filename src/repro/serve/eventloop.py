@@ -49,6 +49,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Set, Tuple, Union
 
 from repro.serve import protocol
+from repro.serve.config import UNSET, ServiceConfig, resolve_transport_kwargs
 from repro.serve.faults import FaultInjector
 from repro.serve.protocol import (
     DEFAULT_QUERY_TIMEOUT,
@@ -619,31 +620,46 @@ class EventLoopHTTPServer:
 
 def serve_event_loop(
     service: GraphService,
-    host: str = "127.0.0.1",
-    port: int = 0,
+    host=UNSET,
+    port=UNSET,
     *,
-    query_timeout: Optional[float] = DEFAULT_QUERY_TIMEOUT,
-    body_timeout: Optional[float] = DEFAULT_BODY_TIMEOUT,
-    log_requests: bool = False,
+    config: Optional[ServiceConfig] = None,
+    query_timeout=UNSET,
+    body_timeout=UNSET,
+    log_requests=UNSET,
     fault_injector: Optional[FaultInjector] = None,
-    retry_after_seconds: float = DEFAULT_RETRY_AFTER_SECONDS,
-    max_body_bytes: int = MAX_BODY_BYTES,
+    retry_after_seconds=UNSET,
+    max_body_bytes=UNSET,
 ) -> Tuple[EventLoopHTTPServer, threading.Thread]:
     """Start the event-loop front-end on a daemon thread.
 
     Mirrors :func:`repro.serve.http.serve_http`: returns the bound
     server (``server.url`` has the resolved port) and the loop thread;
     ``server.shutdown()`` stops it without closing the service.
+    Transport knobs come from ``config``
+    (:class:`~repro.serve.config.ServiceConfig`); the individual kwargs
+    are deprecation shims that override it.
     """
+    knobs = resolve_transport_kwargs(
+        config,
+        "serve_event_loop",
+        host=(host, "127.0.0.1"),
+        port=(port, 0),
+        query_timeout=(query_timeout, DEFAULT_QUERY_TIMEOUT),
+        body_timeout=(body_timeout, DEFAULT_BODY_TIMEOUT),
+        log_requests=(log_requests, False),
+        retry_after_seconds=(retry_after_seconds, DEFAULT_RETRY_AFTER_SECONDS),
+        max_body_bytes=(max_body_bytes, MAX_BODY_BYTES),
+    )
     server = EventLoopHTTPServer(
         service,
-        (host, port),
-        query_timeout=query_timeout,
-        body_timeout=body_timeout,
-        log_requests=log_requests,
+        (knobs["host"], knobs["port"]),
+        query_timeout=knobs["query_timeout"],
+        body_timeout=knobs["body_timeout"],
+        log_requests=knobs["log_requests"],
         fault_injector=fault_injector,
-        retry_after_seconds=retry_after_seconds,
-        max_body_bytes=max_body_bytes,
+        retry_after_seconds=knobs["retry_after_seconds"],
+        max_body_bytes=knobs["max_body_bytes"],
     )
     thread = threading.Thread(
         target=server.serve_forever, name="graph-service-eventloop", daemon=True

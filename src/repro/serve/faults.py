@@ -47,6 +47,9 @@ from repro.errors import InjectedFault, ServeError
 #: ``dispatcher.wave`` dispatcher thread, before executing one fused wave
 #: ``worker.step``     shard-walk coordinator, before routing one step's
 #:                     hand-off messages (``kill_worker`` actions fire here)
+#: ``router.dispatch`` shard-serve router, before fanning one fused group
+#:                     out to the shard serve processes (``kill_worker``
+#:                     actions SIGKILL the named shard serve process here)
 #: ``http.handler``    HTTP front-end, at the top of every request handler
 #: ==================  =====================================================
 FAULT_POINTS = (
@@ -54,6 +57,7 @@ FAULT_POINTS = (
     "writer.warm",
     "dispatcher.wave",
     "worker.step",
+    "router.dispatch",
     "http.handler",
 )
 

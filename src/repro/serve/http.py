@@ -11,7 +11,8 @@ thread), blocking on the query ticket via
 :meth:`~repro.serve.protocol.PendingQuery.wait`, and writing buffered or
 chunked responses.
 
-Error mapping (everything is JSON, ``{"error": ..., "type": ...}``):
+Error mapping (everything is JSON, the canonical envelope
+``{"error": {"code", "message", "retry_after"}}``):
 
 ========================================  ======
 :class:`~repro.errors.QueryValidationError`  400
@@ -39,6 +40,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 from repro.serve import protocol
+from repro.serve.config import UNSET, ServiceConfig, resolve_transport_kwargs
 from repro.serve.faults import FaultInjector
 from repro.serve.protocol import (  # noqa: F401 - long-standing re-exports
     DEFAULT_QUERY_TIMEOUT,
@@ -72,6 +74,18 @@ class GraphServiceHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         self._dispatch("POST", read_body=True)
+
+    def _do_unsupported(self) -> None:
+        # Route every other method through the shared protocol layer so
+        # its 501 answers with the canonical error envelope instead of
+        # the stdlib's HTML error page (envelope parity across
+        # front-ends).  The body, if any, still has to be drained to
+        # keep the keep-alive stream in sync.
+        self._dispatch(
+            self.command, read_body="Content-Length" in self.headers
+        )
+
+    do_PUT = do_DELETE = do_PATCH = do_HEAD = do_OPTIONS = _do_unsupported
 
     def _dispatch(self, method: str, *, read_body: bool) -> None:
         server = self.server
@@ -246,14 +260,15 @@ class GraphServiceHTTPServer(ThreadingHTTPServer):
 
 def serve_http(
     service: GraphService,
-    host: str = "127.0.0.1",
-    port: int = 0,
+    host=UNSET,
+    port=UNSET,
     *,
-    query_timeout: Optional[float] = DEFAULT_QUERY_TIMEOUT,
-    body_timeout: Optional[float] = DEFAULT_BODY_TIMEOUT,
-    log_requests: bool = False,
+    config: Optional[ServiceConfig] = None,
+    query_timeout=UNSET,
+    body_timeout=UNSET,
+    log_requests=UNSET,
     fault_injector: Optional[FaultInjector] = None,
-    retry_after_seconds: float = DEFAULT_RETRY_AFTER_SECONDS,
+    retry_after_seconds=UNSET,
 ) -> Tuple[GraphServiceHTTPServer, threading.Thread]:
     """Start the HTTP front-end on a daemon thread.
 
@@ -261,15 +276,29 @@ def serve_http(
     pass ``port=0`` to let the OS pick) and the accept-loop thread.  Call
     ``server.shutdown()`` to stop; the underlying service is *not* closed,
     that remains the caller's to drain.
+
+    Transport knobs come from ``config``
+    (:class:`~repro.serve.config.ServiceConfig`); the individual kwargs
+    are deprecation shims that override it.
     """
+    knobs = resolve_transport_kwargs(
+        config,
+        "serve_http",
+        host=(host, "127.0.0.1"),
+        port=(port, 0),
+        query_timeout=(query_timeout, DEFAULT_QUERY_TIMEOUT),
+        body_timeout=(body_timeout, DEFAULT_BODY_TIMEOUT),
+        log_requests=(log_requests, False),
+        retry_after_seconds=(retry_after_seconds, DEFAULT_RETRY_AFTER_SECONDS),
+    )
     server = GraphServiceHTTPServer(
         service,
-        (host, port),
-        query_timeout=query_timeout,
-        body_timeout=body_timeout,
-        log_requests=log_requests,
+        (knobs["host"], knobs["port"]),
+        query_timeout=knobs["query_timeout"],
+        body_timeout=knobs["body_timeout"],
+        log_requests=knobs["log_requests"],
         fault_injector=fault_injector,
-        retry_after_seconds=retry_after_seconds,
+        retry_after_seconds=knobs["retry_after_seconds"],
     )
     thread = threading.Thread(
         target=server.serve_forever, name="graph-service-http", daemon=True

@@ -18,6 +18,14 @@ so the two cannot drift:
 * **Error mapping** — :func:`status_for_error` and
   :func:`error_response`: 400 validation / 413 oversized / 429 quota /
   503 closed / 504 deadline, with ``Retry-After`` on the transient ones.
+  Every failure renders as the one canonical envelope
+  ``{"error": {"code", "message", "retry_after"}}`` — the same shape on
+  the threaded server, the event loop, and the shard router.
+* **Versioned routes** — the stable API lives under ``/v1`` (``/v1/query``,
+  ``/v1/ingest``, ``/v1/stats``, ``/v1/healthz``).  The original
+  unversioned paths keep working through a shim that serves the same
+  handlers but stamps ``Deprecation: true`` plus a ``Link:
+  </v1/...>; rel="successor-version"`` pointer on every response.
 * **Content negotiation** — ``Accept: application/x-walks-bin`` selects
   the zero-copy binary walks format (:mod:`repro.serve.wire`); JSON
   stays the default.  A ``"stream": true`` query field asks for a
@@ -70,6 +78,10 @@ RETRYABLE_STATUSES = (429, 503, 504)
 
 JSON_CONTENT_TYPE = "application/json"
 
+#: Versioned API prefix.  ``/v1/query`` etc. are the stable routes;
+#: the bare paths are deprecated aliases served through the same handlers.
+API_PREFIX = "/v1"
+
 
 class BadRequest(Exception):
     """Malformed request body or parameters (always a 400)."""
@@ -94,6 +106,37 @@ def status_for_error(error: BaseException) -> int:
     if isinstance(error, ReproError):
         return 400
     return 500
+
+
+#: Exception type -> stable machine-readable error code.  Anything not
+#: listed falls back to a snake_case rendering of the class name, so new
+#: typed errors get a usable code without editing this table.
+_ERROR_CODES = {
+    "BadRequest": "bad_request",
+    "PayloadTooLarge": "payload_too_large",
+    "QueryValidationError": "query_validation",
+    "QuotaExceededError": "quota_exceeded",
+    "ServiceClosedError": "service_closed",
+    "InjectedFault": "injected_fault",
+    "QueryTimeoutError": "query_timeout",
+    "QueryExpiredError": "query_expired",
+    "WorkerCrashError": "worker_crash",
+}
+
+
+def error_code(error: BaseException) -> str:
+    """The stable ``error.code`` string a failure renders as."""
+    name = type(error).__name__
+    code = _ERROR_CODES.get(name)
+    if code is not None:
+        return code
+    out = []
+    for position, char in enumerate(name):
+        if char.isupper() and position and not name[position - 1].isupper():
+            out.append("_")
+        out.append(char.lower())
+    stripped = "".join(out)
+    return stripped[: -len("_error")] if stripped.endswith("_error") else stripped
 
 
 # --------------------------------------------------------------------- #
@@ -134,24 +177,39 @@ class Response:
         return sum(memoryview(part).nbytes for part in parts)
 
 
+def error_envelope(
+    code: str, message: str, retry_after: Optional[float] = None
+) -> dict:
+    """The one canonical error body every front-end answers with."""
+    return {
+        "error": {
+            "code": code,
+            "message": message,
+            "retry_after": retry_after,
+        }
+    }
+
+
 def error_response(
     error: BaseException,
     retry_after_seconds: float = DEFAULT_RETRY_AFTER_SECONDS,
 ) -> Response:
-    """Map a serve-layer failure onto its JSON error response."""
+    """Map a serve-layer failure onto its canonical JSON error response."""
     status = status_for_error(error)
     headers: Dict[str, str] = {}
+    retry_after: Optional[float] = None
     if status in RETRYABLE_STATUSES:
+        retry_after = retry_after_seconds
         headers["Retry-After"] = f"{retry_after_seconds:g}"
     return Response(
         status,
-        {"error": str(error), "type": type(error).__name__},
+        error_envelope(error_code(error), str(error), retry_after),
         headers=headers,
     )
 
 
 def not_found(path: str) -> Response:
-    return Response(404, {"error": f"unknown path {path}", "type": "NotFound"})
+    return Response(404, error_envelope("not_found", f"unknown path {path}"))
 
 
 class PendingQuery:
@@ -177,13 +235,19 @@ class PendingQuery:
         self.timeout = timeout
         self.render = render
         self.retry_after_seconds = retry_after_seconds
+        #: Headers the route shim wants on the eventual response (e.g. the
+        #: ``Deprecation`` pair on unversioned routes).
+        self.extra_headers: Dict[str, str] = {}
 
     def _respond(self, timeout: Optional[float]) -> Response:
         try:
             result = self.ticket.result(timeout)
         except Exception as exc:  # noqa: BLE001 - mapped onto HTTP statuses
-            return error_response(exc, self.retry_after_seconds)
-        return self.render(result)
+            response = error_response(exc, self.retry_after_seconds)
+        else:
+            response = self.render(result)
+        response.headers.update(self.extra_headers)
+        return response
 
     def wait(self) -> Response:
         """Block until the ticket resolves (threaded transport)."""
@@ -195,10 +259,12 @@ class PendingQuery:
 
     def timeout_response(self) -> Response:
         """The 504 the event loop sends when its query timer fires first."""
-        return error_response(
+        response = error_response(
             QueryTimeoutError("timed out waiting for a walk query result"),
             self.retry_after_seconds,
         )
+        response.headers.update(self.extra_headers)
+        return response
 
 
 RouteOutcome = Union[Response, PendingQuery]
@@ -422,13 +488,28 @@ def handle_request(
     """Route one request; never raises (errors become :class:`Response`).
 
     ``headers`` must map **lower-cased** header names to values.  Only
-    ``/query`` can return a :class:`PendingQuery`; every other outcome is
-    a finished :class:`Response`.  ``defer_flush`` makes a flushing
-    ``/ingest`` return immediately with ``flush_pending=True`` instead
-    of blocking in ``flush()`` (the event loop answers it by polling
+    ``/v1/query`` (and its deprecated alias) can return a
+    :class:`PendingQuery`; every other outcome is a finished
+    :class:`Response`.  ``defer_flush`` makes a flushing ``/v1/ingest``
+    return immediately with ``flush_pending=True`` instead of blocking
+    in ``flush()`` (the event loop answers it by polling
     :meth:`GraphService.pending_updates`); the caller then owns the
     flush wait.
+
+    Requests on unversioned paths are served by the same handlers but
+    every response carries ``Deprecation: true`` and a ``Link`` header
+    naming the ``/v1`` successor route.
     """
+    deprecated_headers: Optional[Dict[str, str]] = None
+    if path == API_PREFIX or path.startswith(API_PREFIX + "/"):
+        route = path[len(API_PREFIX):] or "/"
+    else:
+        route = path
+        if route in ("/query", "/ingest", "/stats", "/healthz"):
+            deprecated_headers = {
+                "Deprecation": "true",
+                "Link": f'<{API_PREFIX}{route}>; rel="successor-version"',
+            }
     try:
         if fault_injector is not None:
             # The chaos harness's ``http.handler`` injection point: an
@@ -437,31 +518,42 @@ def handle_request(
             # the backoff client.
             fault_injector.fire("http.handler")
         if method == "GET":
-            if path == "/healthz":
-                return _handle_healthz(service)
-            if path == "/stats":
-                return _handle_stats(service)
-            return not_found(path)
-        if method == "POST":
+            if route == "/healthz":
+                outcome: RouteOutcome = _handle_healthz(service)
+            elif route == "/stats":
+                outcome = _handle_stats(service)
+            else:
+                outcome = not_found(path)
+        elif method == "POST":
             payload = parse_json_body(body)
-            if path == "/query":
-                return _route_query(
+            if route == "/query":
+                outcome = _route_query(
                     service,
                     payload,
                     headers,
                     default_query_timeout,
                     retry_after_seconds,
                 )
-            if path == "/ingest":
-                return _handle_ingest(service, payload, defer_flush)
-            return not_found(path)
-        return Response(
-            501,
-            {"error": f"unsupported method {method}", "type": "NotImplemented"},
-            close=True,
-        )
+            elif route == "/ingest":
+                outcome = _handle_ingest(service, payload, defer_flush)
+            else:
+                outcome = not_found(path)
+        else:
+            outcome = Response(
+                501,
+                error_envelope(
+                    "method_not_allowed", f"unsupported method {method}"
+                ),
+                close=True,
+            )
     except Exception as exc:  # noqa: BLE001 - the trust boundary
-        return error_response(exc, retry_after_seconds)
+        outcome = error_response(exc, retry_after_seconds)
+    if deprecated_headers is not None:
+        if isinstance(outcome, PendingQuery):
+            outcome.extra_headers.update(deprecated_headers)
+        else:
+            outcome.headers.update(deprecated_headers)
+    return outcome
 
 
 # --------------------------------------------------------------------- #
@@ -632,6 +724,7 @@ class HTTPRequestParser:
 
 
 __all__ = [
+    "API_PREFIX",
     "BadRequest",
     "DEFAULT_QUERY_TIMEOUT",
     "DEFAULT_RETRY_AFTER_SECONDS",
@@ -646,6 +739,8 @@ __all__ = [
     "RETRYABLE_STATUSES",
     "Response",
     "TENANT_HEADER",
+    "error_code",
+    "error_envelope",
     "error_response",
     "handle_request",
     "not_found",

@@ -305,6 +305,41 @@ class GraphService:
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_config(
+        cls, config, graph, *, fault_injector=None, rng=None, default_quota=None
+    ):
+        """Build the service from one frozen :class:`ServiceConfig`.
+
+        This is the preferred constructor: the sprawling keyword surface
+        of ``__init__`` predates :class:`~repro.serve.config.ServiceConfig`
+        and is kept as a deprecation shim for existing callers.  ``rng``
+        overrides ``config.seed`` when a live generator must be threaded
+        through (sync-mode benchmarking); ``default_quota`` overrides the
+        implicit unknown-tenant lane (the event-loop front-end needs a
+        rejecting one).
+        """
+        return cls(
+            config.engine,
+            graph,
+            rng=config.seed if rng is None else rng,
+            engine_kwargs=config.engine_kwargs,
+            workers=config.workers,
+            partition_strategy=config.partition_strategy,
+            sync=config.sync,
+            max_pending_queries=config.max_pending_queries,
+            fuse_limit=config.fuse_limit,
+            fuse_window_seconds=config.fuse_window_seconds,
+            service_seed=config.service_seed,
+            tenants=config.tenant_quotas(),
+            default_quota=default_quota,
+            strict_tenants=config.strict_tenants,
+            warm_on_publish=config.warm_on_publish,
+            fault_injector=fault_injector,
+            dead_letter_limit=config.dead_letter_limit,
+            writer_recovery_limit=config.writer_recovery_limit,
+        )
+
     @property
     def epoch(self) -> int:
         """Epoch of the currently published snapshot."""
@@ -933,35 +968,7 @@ class GraphService:
             for ticket in tickets:
                 starts.extend(ticket.query.starts)
                 offsets.append(len(starts))
-            if self._runner is not None:
-                with self._runner_lock:
-                    epoch = self._epoch
-                    busy_start = time.thread_time()
-                    try:
-                        walks = self._drive_runner(query, params, starts, rng)
-                    except WorkerCrashError:
-                        # A shard worker died under the fused run.  Respawn
-                        # it from the existing shared-memory shards and
-                        # retry the wave ONCE on the fresh pool; a second
-                        # crash fails the tickets with the typed error —
-                        # resolved either way, never hung.
-                        respawned = self._runner.respawn_dead_workers()
-                        with self._cond:
-                            self.stats.worker_respawns += respawned
-                            self.stats.wave_retries += 1
-                        walks = self._drive_runner(query, params, starts, rng)
-                    busy = time.thread_time() - busy_start
-            else:
-                buffer = self._acquire_front()
-                try:
-                    epoch = buffer.epoch
-                    busy_start = time.thread_time()
-                    walks = self._drive_engine(
-                        buffer.engine, query, params, starts, rng
-                    )
-                    busy = time.thread_time() - busy_start
-                finally:
-                    self._release(buffer)
+            walks, epoch, busy = self._execute_walks(query, params, starts, rng)
             matrix = walks.matrix
             with self._cond:
                 self.stats.fused_groups += 1
@@ -987,6 +994,44 @@ class GraphService:
                 # the interpreter-level signal keep propagating instead of
                 # swallowing it into a failed wave.
                 raise
+
+    def _execute_walks(self, query, params, starts, rng):
+        """Run one fused group; returns ``(walks, epoch, busy_seconds)``.
+
+        This is the execution hook subclasses override:
+        :class:`~repro.serve.router.RouterService` replaces it with a
+        fan-out over shard serve processes.  The base implementation
+        drives either the in-process shard runner (``workers > 1``) or
+        the published snapshot engine.
+        """
+        if self._runner is not None:
+            with self._runner_lock:
+                epoch = self._epoch
+                busy_start = time.thread_time()
+                try:
+                    walks = self._drive_runner(query, params, starts, rng)
+                except WorkerCrashError:
+                    # A shard worker died under the fused run.  Respawn
+                    # it from the existing shared-memory shards and
+                    # retry the wave ONCE on the fresh pool; a second
+                    # crash fails the tickets with the typed error —
+                    # resolved either way, never hung.
+                    respawned = self._runner.respawn_dead_workers()
+                    with self._cond:
+                        self.stats.worker_respawns += respawned
+                        self.stats.wave_retries += 1
+                    walks = self._drive_runner(query, params, starts, rng)
+                busy = time.thread_time() - busy_start
+            return walks, epoch, busy
+        buffer = self._acquire_front()
+        try:
+            epoch = buffer.epoch
+            busy_start = time.thread_time()
+            walks = self._drive_engine(buffer.engine, query, params, starts, rng)
+            busy = time.thread_time() - busy_start
+        finally:
+            self._release(buffer)
+        return walks, epoch, busy
 
     def _drive_engine(self, engine_or_none, query, params, starts, rng) -> BatchedWalks:
         engine = engine_or_none

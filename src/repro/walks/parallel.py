@@ -262,6 +262,53 @@ def _shard_worker_main(
 # --------------------------------------------------------------------------- #
 # coordinator side
 # --------------------------------------------------------------------------- #
+def wait_worker_reply(
+    reply_readers: Sequence, workers: Sequence, *, timeout: float = _REPLY_TIMEOUT
+) -> Tuple[int, tuple]:
+    """Block until one worker reply arrives; surface dead workers fast.
+
+    The shared wait loop of every process pool in this repo (the
+    shard-walk coordinator here and the shard-serve router's pool): poll
+    the per-worker reply pipes, sweep ``Process.is_alive()`` between
+    polls, and return ``(shard, reply)`` for the first message.  A dead
+    worker — EOF on its private pipe, or caught by the liveness sweep —
+    raises :class:`~repro.errors.WorkerCrashError` *without* tearing the
+    pool down, so the caller can respawn the dead shard and retry.  A
+    live-but-silent pool past ``timeout`` raises
+    :class:`~repro.errors.ParallelExecutionError`.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        ready = mp_connection.wait(reply_readers, timeout=_LIVENESS_POLL_SECONDS)
+        if not ready:
+            dead = [
+                shard
+                for shard, process in enumerate(workers)
+                if not process.is_alive()
+            ]
+            if dead:
+                raise WorkerCrashError(dead[0])
+            if time.monotonic() >= deadline:
+                raise ParallelExecutionError(
+                    "timed out waiting for shard workers "
+                    f"(no reply within {timeout:.0f}s)"
+                )
+            continue
+        reader = ready[0]
+        shard = reply_readers.index(reader)
+        try:
+            return shard, reader.recv()
+        except (EOFError, OSError):
+            # EOF (or a truncated message) on a worker's private pipe: the
+            # worker died, possibly mid-send.  Only its own channel is
+            # corrupted; respawn replaces both.
+            process = workers[shard]
+            if process.is_alive():  # pragma: no cover - broken pipe only
+                process.terminate()
+                process.join(timeout=5)
+            raise WorkerCrashError(shard)
+
+
 @dataclass
 class ParallelRunStats:
     """Execution statistics of one parallel walk run."""
@@ -408,52 +455,25 @@ class ParallelWalkRunner:
         """Wait for one worker reply, detecting dead workers while waiting.
 
         Each worker replies over its own pipe (a shared queue's write lock
-        would deadlock every survivor if a worker were killed holding it).
-        A crashed worker surfaces as EOF on its pipe — or via the
-        ``Process.is_alive()`` sweep between short waits — and raises
-        :class:`~repro.errors.WorkerCrashError` *without* tearing the pool
-        down, so the caller can respawn the dead shard and retry.  A
-        live-but-silent pool past :data:`_REPLY_TIMEOUT` (and any
-        ``error`` reply) is still fatal and closes the pool.  Replies
-        tagged with a stale run id or refresh generation — stragglers from
-        a run or refresh a crash aborted — are discarded.
+        would deadlock every survivor if a worker were killed holding it);
+        :func:`wait_worker_reply` does the waiting and the crash
+        detection, leaving the pool up so the caller can respawn the dead
+        shard and retry.  A live-but-silent pool past
+        :data:`_REPLY_TIMEOUT` (and any ``error`` reply) is still fatal
+        and closes the pool.  Replies tagged with a stale run id or
+        refresh generation — stragglers from a run or refresh a crash
+        aborted — are discarded.
         """
-        deadline = time.monotonic() + _REPLY_TIMEOUT
         while True:
-            ready = mp_connection.wait(
-                self._reply_readers, timeout=_LIVENESS_POLL_SECONDS
-            )
-            if not ready:
-                dead = [
-                    shard
-                    for shard, process in enumerate(self._workers)
-                    if not process.is_alive()
-                ]
-                if dead:
-                    # Leave the pool up: the surviving workers and the
-                    # shared store are what respawn_dead_workers rebuilds
-                    # the dead shard from.
-                    raise WorkerCrashError(dead[0])
-                if time.monotonic() >= deadline:
-                    self.close()
-                    raise ParallelExecutionError(
-                        "timed out waiting for shard workers "
-                        f"(no reply within {_REPLY_TIMEOUT:.0f}s)"
-                    )
-                continue
-            reader = ready[0]
-            shard = self._reply_readers.index(reader)
             try:
-                reply = reader.recv()
-            except (EOFError, OSError):
-                # EOF (or a truncated message) on a worker's private pipe:
-                # the worker died, possibly mid-send.  Only its own channel
-                # is corrupted; respawn replaces both.
-                process = self._workers[shard]
-                if process.is_alive():  # pragma: no cover - broken pipe only
-                    process.terminate()
-                    process.join(timeout=5)
-                raise WorkerCrashError(shard)
+                _, reply = wait_worker_reply(self._reply_readers, self._workers)
+            except WorkerCrashError:
+                # Leave the pool up: the surviving workers and the shared
+                # store are what respawn_dead_workers rebuilds from.
+                raise
+            except ParallelExecutionError:
+                self.close()
+                raise
             if reply[0] == "error":
                 _, shard, text = reply
                 self.close()

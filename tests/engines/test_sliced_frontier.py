@@ -282,9 +282,13 @@ def test_warm_frontier_tables_reports_touched_delta(engine_cls):
     assert delta.vertices == graph.num_vertices
     free_dst = next(d for d in range(graph.num_vertices) if not graph.has_edge(1, d) and d != 1)
     engine.apply_batch([_insert(1, free_dst, 2.0)])
-    assert engine.warm_frontier_tables() == FrontierDelta(vertices=1, full_rebuild=False)
+    assert engine.warm_frontier_tables() == FrontierDelta(
+        vertices=1, full_rebuild=False, vertex_ids=(1,)
+    )
     # Nothing dirty: warming again is a free no-op delta.
-    assert engine.warm_frontier_tables() == FrontierDelta(vertices=0, full_rebuild=False)
+    assert engine.warm_frontier_tables() == FrontierDelta(
+        vertices=0, full_rebuild=False, vertex_ids=()
+    )
 
 
 @pytest.mark.parametrize("engine_cls", FUSED_ENGINE_CLASSES)

@@ -71,8 +71,8 @@ class TestHTTPBoundary:
         )
         status, body = _raw_request(server, request)
         assert status == 400
-        assert body["type"] == "BadRequest"
-        assert "banana" in body["error"]
+        assert body["error"]["code"] == "bad_request"
+        assert "banana" in body["error"]["message"]
 
     def test_oversized_body_is_413_without_reading_it(self, server):
         request = (
@@ -85,7 +85,7 @@ class TestHTTPBoundary:
         # alone instead of trying to swallow the declared payload.
         status, body = _raw_request(server, request)
         assert status == 413
-        assert body["type"] == "PayloadTooLarge"
+        assert body["error"]["code"] == "payload_too_large"
 
     def test_underdelivered_body_times_out_as_400(self, server):
         request = (
@@ -100,8 +100,11 @@ class TestHTTPBoundary:
         # into a 400 rather than pinning the thread.
         status, body = _raw_request(server, request)
         assert status == 400
-        assert body["type"] == "BadRequest"
-        assert "timed out" in body["error"] or "ended after" in body["error"]
+        assert body["error"]["code"] == "bad_request"
+        assert (
+            "timed out" in body["error"]["message"]
+            or "ended after" in body["error"]["message"]
+        )
 
     def test_server_still_serves_after_boundary_abuse(self, server):
         request = (

@@ -298,7 +298,7 @@ class TestBinaryQueries:
         with pytest.raises(ServiceHTTPError) as info:
             client.query("deepwalk", [999999], 4, binary=True)
         assert info.value.status == 400
-        assert "999999" in str(info.value.payload.get("error"))
+        assert "999999" in str(info.value.payload["error"]["message"])
 
 
 class TestHealth:

@@ -130,7 +130,7 @@ class TestHTTPDeadlines:
             },
         )
         assert status == 400
-        assert "deadline_seconds" in body["error"]
+        assert "deadline_seconds" in body["error"]["message"]
 
     def test_expired_query_is_a_504_with_retry_after(self, server):
         status, headers, body = self._call(
@@ -143,7 +143,7 @@ class TestHTTPDeadlines:
             },
         )
         assert status == 504
-        assert "deadline" in body["error"]
+        assert "deadline" in body["error"]["message"]
         assert float(headers["Retry-After"]) > 0
 
     def test_deadline_seconds_within_budget_succeeds(self, server):

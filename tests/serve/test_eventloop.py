@@ -163,14 +163,14 @@ class TestEndpointParity:
         assert _call(server, "/nope")[0] == 404
         status, body = _call(server, "/query", {"application": "deepwalk"})
         assert status == 400
-        assert body["type"] == "BadRequest"
+        assert body["error"]["code"] == "bad_request"
         status, body = _call(
             server,
             "/query",
             {"application": "deepwalk", "starts": [999999], "walk_length": 3},
         )
         assert status == 400
-        assert body["type"] == "QueryValidationError"
+        assert body["error"]["code"] == "query_validation"
         status, body = _call(
             server,
             "/query",
@@ -295,7 +295,7 @@ class TestConnectionHandling:
             )  # no body byte ever sent
             status, headers, body = _read_response(sock.makefile("rb"))
             assert status == 413
-            assert json.loads(body)["type"] == "PayloadTooLarge"
+            assert json.loads(body)["error"]["code"] == "payload_too_large"
             assert headers["connection"] == "close"
         finally:
             sock.close()
@@ -362,7 +362,7 @@ class TestQueryTimeouts:
                 },
             )
             assert status == 504
-            assert body["type"] == "QueryTimeoutError"
+            assert body["error"]["code"] == "query_timeout"
             # The late ticket completion is dropped, not double-sent, and
             # the loop keeps answering (generous timeout this time).
             status, body = _call(

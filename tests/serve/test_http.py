@@ -151,7 +151,7 @@ class TestErrorMapping:
     def test_missing_fields_are_400(self, server):
         status, body = _call(server, "/query", {"application": "deepwalk"})
         assert status == 400
-        assert body["type"] == "BadRequest"
+        assert body["error"]["code"] == "bad_request"
 
     def test_scalar_starts_are_400_not_500(self, server):
         status, body = _call(
@@ -160,7 +160,7 @@ class TestErrorMapping:
             {"application": "deepwalk", "starts": 5, "walk_length": 3},
         )
         assert status == 400
-        assert body["type"] == "BadRequest"
+        assert body["error"]["code"] == "bad_request"
 
     def test_bad_timeout_values_are_400(self, server):
         for timeout in ("abc", -1, 0):
@@ -197,8 +197,8 @@ class TestErrorMapping:
             {"application": "deepwalk", "starts": [999999], "walk_length": 3},
         )
         assert status == 400
-        assert body["type"] == "QueryValidationError"
-        assert "999999" in body["error"]
+        assert body["error"]["code"] == "query_validation"
+        assert "999999" in body["error"]["message"]
 
     def test_unknown_application_is_400(self, server):
         status, body = _call(
@@ -207,7 +207,7 @@ class TestErrorMapping:
             {"application": "pagerank", "starts": [0], "walk_length": 3},
         )
         assert status == 400
-        assert "pagerank" in body["error"]
+        assert "pagerank" in body["error"]["message"]
 
     def test_malformed_ingest_is_400(self, server):
         for payload in (

@@ -1,0 +1,319 @@
+"""Sharded multi-process router: reassembly, bitwise parity, chaos."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.engines.registry import create_engine
+from repro.errors import ServeError
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.update_stream import GraphUpdate, UpdateKind
+from repro.serve import (
+    FaultInjector,
+    FaultPlan,
+    GraphService,
+    RouterService,
+    ServiceConfig,
+    service_from_config,
+)
+from repro.serve.router import discard_stale, reassemble, reference_shard_walks
+
+#: Engines with the fused-frontier serialization the shard workers adopt.
+FRONTIER_ENGINES = ("bingo", "knightking", "gsampler")
+
+
+def make_graph(n=60, seed=3):
+    rng = np.random.default_rng(seed)
+    graph = DynamicGraph(n)
+    for vertex in range(n):
+        degree = int(rng.integers(2, 7))
+        dsts = rng.choice(n, size=degree, replace=False)
+        graph.add_edges_bulk(
+            vertex, np.asarray(dsts, dtype=np.int64), rng.random(degree) + 0.1
+        )
+    return graph
+
+
+def insert_updates(round_, rng, n=60, count=15):
+    # Always-new destination vertices: an accidental duplicate edge would
+    # quarantine the batch (self-healing) instead of flipping the epoch.
+    return [
+        GraphUpdate(
+            kind=UpdateKind.INSERT,
+            src=int(rng.integers(0, n)),
+            dst=n + round_ * count + index,
+            bias=float(rng.random() + 0.1),
+        )
+        for index in range(count)
+    ]
+
+
+def shm_count():
+    return len(glob.glob("/dev/shm/*"))
+
+
+# --------------------------------------------------------------------- #
+# pure reassembly
+# --------------------------------------------------------------------- #
+class TestReassemble:
+    def test_out_of_order_parts_land_on_their_positions(self):
+        first = np.array([[0, 1, 2]], dtype=np.int64)
+        second = np.array([[3, 4, 5], [6, 7, 8]], dtype=np.int64)
+        out_of_order = reassemble(
+            3,
+            [(np.array([1, 2]), second), (np.array([0]), first)],
+            fallback_width=3,
+        )
+        in_order = reassemble(
+            3,
+            [(np.array([0]), first), (np.array([1, 2]), second)],
+            fallback_width=3,
+        )
+        assert np.array_equal(out_of_order, in_order)
+        assert np.array_equal(
+            out_of_order, np.array([[0, 1, 2], [3, 4, 5], [6, 7, 8]])
+        )
+
+    def test_empty_shard_matrix_contributes_nothing(self):
+        walks = np.array([[9, 8, 7]], dtype=np.int64)
+        empty = np.empty((0, 6), dtype=np.int64)
+        matrix = reassemble(
+            1,
+            [(np.array([], dtype=np.int64), empty), (np.array([0]), walks)],
+            fallback_width=3,
+        )
+        # The empty (0, L+1) part must not stretch the populated rows.
+        assert matrix.shape == (1, 6)
+        assert np.array_equal(matrix[0, :3], walks[0])
+        assert np.array_equal(matrix[0, 3:], np.full(3, -1, dtype=np.int64))
+
+    def test_all_empty_parts_use_the_fallback_width(self):
+        matrix = reassemble(0, [], fallback_width=9)
+        assert matrix.shape == (0, 9)
+        assert matrix.dtype == np.int64
+
+    def test_short_shard_rows_are_minus_one_padded(self):
+        wide = np.array([[1, 2, 3, 4]], dtype=np.int64)
+        narrow = np.array([[5, 6]], dtype=np.int64)
+        matrix = reassemble(
+            2,
+            [(np.array([0]), wide), (np.array([1]), narrow)],
+            fallback_width=2,
+        )
+        assert matrix.shape == (2, 4)
+        assert np.array_equal(matrix[1], np.array([5, 6, -1, -1]))
+
+
+class TestDiscardStale:
+    def test_stale_epoch_tagged_reply_is_dropped(self):
+        fresh = np.array([[1]], dtype=np.int64)
+        stale = np.array([[2]], dtype=np.int64)
+        kept = discard_stale(
+            [
+                (np.array([0]), fresh, 7),
+                (np.array([1]), stale, 6),
+            ],
+            7,
+        )
+        assert len(kept) == 1
+        positions, matrix = kept[0]
+        assert np.array_equal(positions, np.array([0]))
+        assert np.array_equal(matrix, fresh)
+
+    def test_stale_reply_does_not_change_the_reassembled_bytes(self):
+        current = np.array([[1, 2], [3, 4]], dtype=np.int64)
+        stale = np.array([[9, 9]], dtype=np.int64)
+        parts = [
+            (np.array([0, 1]), current, 5),
+            (np.array([0]), stale, 4),
+        ]
+        matrix = reassemble(2, discard_stale(parts, 5), fallback_width=2)
+        assert np.array_equal(matrix, current)
+
+
+# --------------------------------------------------------------------- #
+# bitwise parity with the single-process service
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("engine", FRONTIER_ENGINES)
+def test_one_shard_router_is_bitwise_identical(engine):
+    reference = GraphService(engine, make_graph(), rng=11, warm_on_publish=True)
+    router = RouterService(engine, make_graph(), shards=1, rng=11)
+    try:
+        for round_ in range(2):
+            for application, starts, length, params in (
+                ("deepwalk", [1, 5, 9, 30], 8, {}),
+                ("node2vec", [2, 4], 6, {"p": 2.0, "q": 0.5}),
+                (
+                    "ppr",
+                    [3, 7, 11],
+                    64,
+                    {"termination_probability": 0.2, "max_steps": 40},
+                ),
+            ):
+                want = reference.query(application, starts, length, **params)
+                got = router.query(application, starts, length, **params)
+                assert np.array_equal(got.walks.matrix, want.walks.matrix), (
+                    engine,
+                    application,
+                    round_,
+                )
+            # Explicit integer rng: the solo-query seed contract.
+            want = reference.query("deepwalk", [8], 5, rng=7)
+            got = router.query("deepwalk", [8], 5, rng=7)
+            assert np.array_equal(got.walks.matrix, want.walks.matrix)
+            updates = insert_updates(round_, np.random.default_rng(1000 + round_))
+            reference.ingest(updates)
+            reference.flush()
+            router.ingest(updates)
+            router.flush()
+            assert reference.epoch == router.epoch == round_ + 1
+        snapshot = router.stats_snapshot()
+        assert snapshot["shard_flips"] == 2
+        assert snapshot["flip_full_snapshots"] == 0
+        assert snapshot["flip_payload_bytes"] > 0
+    finally:
+        reference.close()
+        router.close()
+
+
+@pytest.mark.parametrize("engine", FRONTIER_ENGINES)
+def test_two_shard_router_matches_in_process_reference(engine):
+    router = RouterService(
+        engine, make_graph(), shards=2, rng=13, service_seed=42
+    )
+    mirror = create_engine(engine, rng=13)
+    mirror.build(make_graph())
+    mirror._frontier_tables()
+    try:
+        for round_ in range(2):
+            starts = np.asarray([1, 5, 9, 30, 44, 2, 57, 18])
+            result = router.query("deepwalk", list(starts), 8)
+            expected = reference_shard_walks(
+                mirror,
+                "deepwalk",
+                starts,
+                router._pool.owners_of(starts),
+                8,
+                {},
+                (42, round_ * 2),
+                2,
+            )
+            assert np.array_equal(result.walks.matrix, expected), (engine, round_)
+            starts = np.asarray([2, 40, 16])
+            result = router.query("node2vec", list(starts), 6, p=2.0, q=0.5)
+            expected = reference_shard_walks(
+                mirror,
+                "node2vec",
+                starts,
+                router._pool.owners_of(starts),
+                6,
+                {"p": 2.0, "q": 0.5},
+                (42, round_ * 2 + 1),
+                2,
+            )
+            assert np.array_equal(result.walks.matrix, expected), (engine, round_)
+            updates = insert_updates(round_, np.random.default_rng(500 + round_))
+            router.ingest(updates)
+            router.flush()
+            mirror.apply_batch(updates)
+            mirror.warm_frontier_tables()
+        assert router.stats_snapshot()["flip_full_snapshots"] == 0
+    finally:
+        router.close()
+
+
+# --------------------------------------------------------------------- #
+# chaos: SIGKILL one shard mid-dispatch
+# --------------------------------------------------------------------- #
+def test_killed_shard_respawns_and_retries_bitwise():
+    plan = FaultPlan().kill_worker("router.dispatch", 1, shard=1)
+    injector = FaultInjector(plan)
+    faulted = RouterService(
+        "bingo",
+        make_graph(),
+        shards=2,
+        rng=13,
+        service_seed=42,
+        fault_injector=injector,
+    )
+    clean = RouterService(
+        "bingo", make_graph(), shards=2, rng=13, service_seed=42
+    )
+    try:
+        starts = [1, 5, 30, 57]
+        faulted_results = [faulted.query("deepwalk", starts, 8) for _ in range(3)]
+        clean_results = [clean.query("deepwalk", starts, 8) for _ in range(3)]
+        snapshot = faulted.stats_snapshot()
+        assert snapshot["shard_respawns"] == 1
+        assert snapshot["wave_retries"] == 1
+        assert all(snapshot["shards_alive"])
+        for got, want in zip(faulted_results, clean_results):
+            assert np.array_equal(got.walks.matrix, want.walks.matrix)
+        # The respawned pool still flips epochs.
+        faulted.ingest(insert_updates(9, np.random.default_rng(7)))
+        faulted.flush()
+        assert faulted.epoch == 1
+        assert injector.history() == [("router.dispatch", 1, "kill_worker")]
+    finally:
+        faulted.close()
+        clean.close()
+
+
+# --------------------------------------------------------------------- #
+# construction / lifecycle
+# --------------------------------------------------------------------- #
+def test_engine_without_frontier_serialization_is_rejected():
+    graph = make_graph(20)
+    with pytest.raises(ServeError, match="flowwalker"):
+        RouterService("flowwalker", graph, shards=2, rng=3)
+
+
+def test_service_from_config_picks_the_front():
+    graph = make_graph(30)
+    sharded = service_from_config(
+        ServiceConfig(engine="bingo", seed=5, shards=2), graph
+    )
+    try:
+        assert isinstance(sharded, RouterService)
+    finally:
+        sharded.close()
+    single = service_from_config(
+        ServiceConfig(engine="bingo", seed=5, shards=1), make_graph(30)
+    )
+    try:
+        assert isinstance(single, GraphService)
+        assert not isinstance(single, RouterService)
+    finally:
+        single.close()
+
+
+def test_router_stats_report_shard_telemetry():
+    router = RouterService("bingo", make_graph(), shards=2, rng=3)
+    try:
+        router.query("deepwalk", [0, 1, 2], 4)
+        router.ingest(insert_updates(0, np.random.default_rng(4)))
+        router.flush()
+        snapshot = router.stats_snapshot()
+        assert snapshot["shards"] == 2
+        assert len(snapshot["shard_pids"]) == 2
+        assert all(snapshot["shards_alive"])
+        assert len(snapshot["shard_walk_busy_seconds"]) == 2
+        assert snapshot["walk_critical_path_seconds"] > 0
+        assert snapshot["flip_critical_path_seconds"] > 0
+        assert snapshot["shard_flips"] == 1
+        assert snapshot["stale_shard_replies"] == 0
+    finally:
+        router.close()
+
+
+def test_close_unlinks_every_shared_memory_segment():
+    before = shm_count()
+    router = RouterService("bingo", make_graph(), shards=2, rng=3)
+    try:
+        router.query("deepwalk", [0, 1], 4)
+        router.ingest(insert_updates(0, np.random.default_rng(4)))
+        router.flush()
+    finally:
+        router.close()
+    assert shm_count() == before

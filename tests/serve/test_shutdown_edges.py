@@ -147,7 +147,10 @@ class TestHTTPClosedService:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 urllib.request.urlopen(request, timeout=10)
             assert excinfo.value.code == 503
-            assert json.loads(excinfo.value.read())["type"] == "ServiceClosedError"
+            assert (
+                json.loads(excinfo.value.read())["error"]["code"]
+                == "service_closed"
+            )
         finally:
             server.shutdown()
 

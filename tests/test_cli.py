@@ -230,11 +230,104 @@ class TestServeCommand:
 
     def test_serve_rejects_bad_tenant_spec(self, capsys):
         assert main(["serve", "--tenant", "a:b:c:d", "--max-seconds", "0.1"]) == 2
-        assert "--tenant" in capsys.readouterr().err
+        assert "tenant spec" in capsys.readouterr().err
 
     def test_serve_rejects_zero_workers(self, capsys):
         assert main(["serve", "--workers", "0", "--max-seconds", "0.1"]) == 2
-        assert "--workers" in capsys.readouterr().err
+        assert "workers" in capsys.readouterr().err
+
+    def test_serve_rejects_both_scale_out_axes(self, capsys):
+        code = main(
+            ["serve", "--workers", "2", "--shards", "2", "--max-seconds", "0.1"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_serve_sharded_runs_for_a_bounded_interval(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--dataset", "AM",
+                "--port", "0",
+                "--shards", "2",
+                "--max-seconds", "0.2",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "serving bingo walks on http://" in err
+        assert "shards=2" in err
+
+    def test_sigterm_drains_and_unlinks_shared_memory(self):
+        import glob
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        before = set(glob.glob("/dev/shm/*"))
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--dataset", "AM",
+                "--shards", "2",
+                "--port", "0",
+                "--max-seconds", "60",
+            ],
+            stderr=subprocess.PIPE,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        try:
+            banner = process.stderr.readline()
+            assert "serving bingo walks" in banner, banner
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=60) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+            process.stderr.close()
+        # Give the kernel a beat to reap the unlinked segments.
+        for _ in range(50):
+            leaked = set(glob.glob("/dev/shm/*")) - before
+            if not leaked:
+                break
+            time.sleep(0.1)
+        assert not leaked
+
+
+class TestShard:
+    def test_run_shard_writes_bench_pr9(self, capsys, tmp_path):
+        output = tmp_path / "BENCH_PR9.json"
+        code = main(
+            [
+                "run", "shard",
+                "--datasets", "AM",
+                "--shards", "1", "2",
+                "--num-walkers", "256",
+                "--walk-length", "4",
+                "--num-batches", "1",
+                "--batch-size", "20",
+                "--queries-per-round", "1",
+                "--output", str(output),
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == json.loads(output.read_text())
+        assert payload["shard_counts"] == [1, 2]
+        assert [arm["shards"] for arm in payload["arms"].values()] == [1, 2]
+        assert payload["chaos"]["hung"] == 0
+        assert payload["chaos"]["bitwise_identical_to_clean_run"] is True
+        assert payload["deterministic"] is True
+
+    def test_run_shard_rejects_nonpositive_counts(self, capsys):
+        assert main(["run", "shard", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
 
 
 class TestScale:
