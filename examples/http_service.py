@@ -72,14 +72,17 @@ def main() -> None:
 
     # --- two tenants contend for the fused waves ---------------------------
     def flood() -> None:
-        for wave in range(16):
+        for _wave in range(16):
             call(url, "/query", {
                 "application": "deepwalk",
                 "starts": starts[:64],
                 "walk_length": 10,
             }, tenant="flood")
 
-    flood_threads = [threading.Thread(target=flood) for _ in range(4)]
+    flood_threads = [
+        threading.Thread(target=flood, name=f"flood-{index}")
+        for index in range(4)
+    ]
     for thread in flood_threads:
         thread.start()
 

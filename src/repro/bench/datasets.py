@@ -11,7 +11,6 @@ statistics so Table 2 can print both side by side.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 from repro.errors import BenchmarkError
 from repro.graph.bias import BiasDistribution
@@ -47,7 +46,7 @@ class DatasetSpec:
 
 
 #: The five evaluation datasets, ordered as in Table 2.
-DATASETS: Dict[str, DatasetSpec] = {
+DATASETS: dict[str, DatasetSpec] = {
     "AM": DatasetSpec(
         name="Amazon",
         abbreviation="AM",
@@ -106,7 +105,7 @@ DATASETS: Dict[str, DatasetSpec] = {
 }
 
 
-def dataset_names() -> List[str]:
+def dataset_names() -> list[str]:
     """Dataset abbreviations in Table 2 order."""
     return list(DATASETS)
 
@@ -135,7 +134,7 @@ def build_dataset(abbreviation: str, *, rng: RandomSource = None) -> DynamicGrap
     raise BenchmarkError(f"unknown generator {spec.generator!r} for dataset {abbreviation}")
 
 
-def dataset_statistics(graph: DynamicGraph) -> Dict[str, float]:
+def dataset_statistics(graph: DynamicGraph) -> dict[str, float]:
     """Vertex/edge counts and degree statistics for a materialised stand-in."""
     return {
         "vertices": graph.num_vertices,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.bench.datasets import DATASETS, build_dataset, dataset_statistics
 from repro.bench.harness import (
@@ -67,7 +67,7 @@ def table1_complexity(
     *,
     samples_per_degree: int = 200,
     seed: int = 11,
-) -> List[ComplexityRow]:
+) -> list[ComplexityRow]:
     """Measure insert/delete/sample cost vs. degree for Bingo and the baselines.
 
     The paper's Table 1 is analytical; this experiment verifies it
@@ -76,7 +76,7 @@ def table1_complexity(
     ITS sampling logarithmically, and so on.
     """
     rng = ensure_rng(seed)
-    rows: List[ComplexityRow] = []
+    rows: list[ComplexityRow] = []
     factories = {
         "bingo": lambda: BingoVertexSampler(rng=ensure_rng(rng.randrange(1 << 30))),
         "alias": lambda: AliasTable(rng=ensure_rng(rng.randrange(1 << 30))),
@@ -136,9 +136,9 @@ def table1_complexity(
 # --------------------------------------------------------------------------- #
 # Table 2 — dataset statistics
 # --------------------------------------------------------------------------- #
-def table2_datasets(*, seed: int = 7) -> List[Dict[str, object]]:
+def table2_datasets(*, seed: int = 7) -> list[dict[str, object]]:
     """Paper statistics side by side with the synthetic stand-in statistics."""
-    rows: List[Dict[str, object]] = []
+    rows: list[dict[str, object]] = []
     for abbreviation, spec in DATASETS.items():
         graph = build_dataset(abbreviation, rng=seed)
         stats = dataset_statistics(graph)
@@ -168,15 +168,15 @@ def table3_sota(
     applications: Sequence[str] = ("deepwalk", "node2vec", "ppr"),
     workloads: Sequence[str] = ("insertion", "deletion", "mixed"),
     engines: Sequence[str] = SOTA_ENGINES,
-    settings: Optional[EvaluationSettings] = None,
+    settings: EvaluationSettings | None = None,
     seed: int = 2025,
-) -> List[EvaluationResult]:
+) -> list[EvaluationResult]:
     """Runtime + memory sweep over engines × datasets × applications × workloads."""
     if settings is None:
         settings = EvaluationSettings(
             batch_size=150, num_batches=2, walk_length=8, num_walkers=32
         )
-    results: List[EvaluationResult] = []
+    results: list[EvaluationResult] = []
     for application in applications:
         for workload in workloads:
             for dataset in datasets:
@@ -193,13 +193,13 @@ def table3_sota(
     return results
 
 
-def table3_speedups(results: Sequence[EvaluationResult]) -> Dict[str, float]:
+def table3_speedups(results: Sequence[EvaluationResult]) -> dict[str, float]:
     """Average speedup of Bingo over each baseline across matching cells."""
-    by_cell: Dict[tuple, Dict[str, EvaluationResult]] = {}
+    by_cell: dict[tuple, dict[str, EvaluationResult]] = {}
     for result in results:
         key = (result.dataset, result.application, result.workload)
         by_cell.setdefault(key, {})[result.engine] = result
-    sums: Dict[str, List[float]] = {}
+    sums: dict[str, list[float]] = {}
     for cell in by_cell.values():
         bingo = cell.get("bingo")
         if bingo is None or bingo.runtime_seconds <= 0:
@@ -224,7 +224,7 @@ def table4_conversion(
     batch_size: int = 400,
     num_batches: int = 4,
     seed: int = 17,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Group-type conversion ratios while ingesting a mixed update stream."""
     rng = ensure_rng(seed)
     graph = build_dataset(dataset, rng=rng)
@@ -266,7 +266,7 @@ def fig9_group_ratio(
     num_groups: int = 10,
     num_edges: int = 50_000,
     seed: int = 5,
-) -> Dict[str, List[float]]:
+) -> dict[str, list[float]]:
     """Share of edges contributing to each radix group, per bias distribution."""
     rng = ensure_rng(seed)
     max_bias = (1 << num_groups) - 1
@@ -288,9 +288,9 @@ def fig11_memory(
     *,
     datasets: Sequence[str] = tuple(DATASETS),
     seed: int = 23,
-) -> Dict[str, Dict[str, object]]:
+) -> dict[str, dict[str, object]]:
     """BS vs GA modelled memory, per-kind savings and group-kind ratios."""
-    output: Dict[str, Dict[str, object]] = {}
+    output: dict[str, dict[str, object]] = {}
     for dataset in datasets:
         graph = build_dataset(dataset, rng=seed)
 
@@ -305,7 +305,7 @@ def fig11_memory(
         # Per-kind comparison: what the GA representation costs for the groups
         # it stores in each simplified form, vs. what the same groups would
         # cost as regular groups.
-        per_kind: Dict[str, Dict[str, float]] = {}
+        per_kind: dict[str, dict[str, float]] = {}
         from repro.core.memory_model import group_memory_bytes
 
         for kind in (GroupKind.DENSE, GroupKind.ONE_ELEMENT, GroupKind.SPARSE):
@@ -351,7 +351,7 @@ def fig12_batched_updates(
     batch_size: int = 300,
     num_batches: int = 2,
     seed: int = 31,
-) -> Dict[str, Dict[str, Dict[str, float]]]:
+) -> dict[str, dict[str, dict[str, float]]]:
     """Streaming vs batched ingestion on the Bingo engine.
 
     The paper's ~1000x batched speedup comes from GPU parallelism (every
@@ -364,7 +364,7 @@ def fig12_batched_updates(
     """
     from repro.engines.bingo import BingoEngine as _Bingo
 
-    output: Dict[str, Dict[str, Dict[str, float]]] = {}
+    output: dict[str, dict[str, dict[str, float]]] = {}
     for workload in workloads:
         output[workload] = {}
         for dataset in datasets:
@@ -412,9 +412,9 @@ def fig13_breakdown(
     num_batches: int = 2,
     num_samples: int = 3000,
     seed: int = 37,
-) -> Dict[str, Dict[str, Dict[str, float]]]:
+) -> dict[str, dict[str, dict[str, float]]]:
     """Insert/delete, rebuild and sampling time with and without group adaption."""
-    output: Dict[str, Dict[str, Dict[str, float]]] = {}
+    output: dict[str, dict[str, dict[str, float]]] = {}
     for dataset in datasets:
         rng = ensure_rng(seed)
         graph = build_dataset(dataset, rng=rng)
@@ -455,9 +455,9 @@ def fig14_float_bias(
     num_batches: int = 2,
     num_samples: int = 2000,
     seed: int = 41,
-) -> Dict[str, Dict[str, Dict[str, float]]]:
+) -> dict[str, dict[str, dict[str, float]]]:
     """Runtime and memory with integer biases vs the same biases plus U(0,1) noise."""
-    output: Dict[str, Dict[str, Dict[str, float]]] = {}
+    output: dict[str, dict[str, dict[str, float]]] = {}
     for dataset in datasets:
         rng = ensure_rng(seed)
         int_graph = build_dataset(dataset, rng=rng)
@@ -506,9 +506,9 @@ def fig15_batch_size_sweep(
     batch_sizes: Sequence[int] = (50, 125, 250, 375, 500),
     total_updates: int = 1500,
     seed: int = 43,
-) -> Dict[int, Dict[str, float]]:
+) -> dict[int, dict[str, float]]:
     """gSampler vs Bingo runtime as the updating batch size grows (Figure 15a)."""
-    output: Dict[int, Dict[str, float]] = {}
+    output: dict[int, dict[str, float]] = {}
     for batch_size in batch_sizes:
         num_batches = max(1, total_updates // batch_size)
         rng = ensure_rng(seed)
@@ -520,7 +520,7 @@ def fig15_batch_size_sweep(
             workload=UpdateWorkload.MIXED,
             rng=rng,
         )
-        row: Dict[str, float] = {}
+        row: dict[str, float] = {}
         for engine_name in ("gsampler", "bingo"):
             result = run_update_only(engine_name, stream, streaming=False, rng=seed + 1)
             row[engine_name] = result.runtime_seconds
@@ -534,10 +534,10 @@ def fig15_frontier_sweep(
     batch_sizes: Sequence[int] = (50, 125, 250, 500),
     total_updates: int = 1500,
     walk_length: int = 10,
-    num_walkers: Optional[int] = None,
+    num_walkers: int | None = None,
     engines: Sequence[str] = ("gsampler", "bingo"),
     seed: int = 43,
-) -> Dict[int, Dict[str, float]]:
+) -> dict[int, dict[str, float]]:
     """Figure 15a executed through the batched walk frontier.
 
     Same sweep shape as :func:`fig15_batch_size_sweep`, but each ingested
@@ -547,7 +547,7 @@ def fig15_frontier_sweep(
     win of the vectorized sampling kernels on identical workloads.
     ``num_walkers=None`` uses the paper's placement: one walker per vertex.
     """
-    output: Dict[int, Dict[str, float]] = {}
+    output: dict[int, dict[str, float]] = {}
     for batch_size in batch_sizes:
         num_batches = max(1, total_updates // batch_size)
         rng = ensure_rng(seed)
@@ -564,7 +564,7 @@ def fig15_frontier_sweep(
             num_walkers if num_walkers is not None else stream.initial_graph.num_vertices,
             rng=seed + 2,
         )
-        row: Dict[str, float] = {}
+        row: dict[str, float] = {}
         for engine_name in engines:
             for mode, use_frontier in (("scalar", False), ("frontier", True)):
                 engine = create_engine(engine_name, rng=seed + 1)
@@ -592,11 +592,11 @@ def frontier_throughput(
     *,
     dataset: str = "LJ",
     engines: Sequence[str] = SOTA_ENGINES,
-    num_walkers: Optional[int] = None,
+    num_walkers: int | None = None,
     walk_length: int = 10,
     rounds: int = 3,
     seed: int = 61,
-) -> Dict[str, Dict[str, float]]:
+) -> dict[str, dict[str, float]]:
     """Scalar per-walker loop vs batched frontier walk throughput per engine.
 
     Runs ``rounds`` DeepWalk rounds per mode (the paper's workflow runs the
@@ -614,7 +614,7 @@ def frontier_throughput(
         rng=seed + 1,
     )
     config = DeepWalkConfig(walk_length=walk_length)
-    output: Dict[str, Dict[str, float]] = {}
+    output: dict[str, dict[str, float]] = {}
     for engine_name in engines:
         engine = create_engine(engine_name, rng=seed + 2)
         engine.build(graph.copy())
@@ -654,9 +654,9 @@ def fig15_walk_length_sweep(
     dataset: str = "LJ",
     walk_lengths: Sequence[int] = (5, 10, 20, 40),
     seed: int = 47,
-) -> Dict[int, Dict[str, float]]:
+) -> dict[int, dict[str, float]]:
     """gSampler vs Bingo runtime as walk length grows (Figure 15b)."""
-    output: Dict[int, Dict[str, float]] = {}
+    output: dict[int, dict[str, float]] = {}
     for walk_length in walk_lengths:
         settings = EvaluationSettings(
             batch_size=100, num_batches=2, walk_length=walk_length, num_walkers=32
@@ -681,13 +681,13 @@ def fig15_bias_distribution(
     num_batches: int = 2,
     num_samples: int = 2000,
     seed: int = 53,
-) -> Dict[str, Dict[str, float]]:
+) -> dict[str, dict[str, float]]:
     """Bingo time and memory across bias distributions (Figure 15c)."""
     from repro.bench.datasets import DATASETS as _SPECS
     from repro.graph.generators import power_law_graph, rmat_graph
 
     spec = _SPECS[dataset]
-    output: Dict[str, Dict[str, float]] = {}
+    output: dict[str, dict[str, float]] = {}
     for distribution in distributions:
         rng = ensure_rng(seed)
         if spec.generator == "rmat":
@@ -736,7 +736,7 @@ def ingest_throughput(
     repeats: int = 3,
     workload: str = "mixed",
     seed: int = 67,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Update-ingestion throughput of the three ingestion paths per engine.
 
     For every engine, the identical update stream is ingested three ways:
@@ -785,7 +785,7 @@ def ingest_throughput(
             best = min(best, time.perf_counter() - start)
         return total_updates / best if best > 0 else float("inf")
 
-    per_engine: Dict[str, Dict[str, float]] = {}
+    per_engine: dict[str, dict[str, float]] = {}
     for engine_name in engines:
         columnar = timed_ingest(engine_name, "apply_batch", stream.batches)
         legacy = timed_ingest(engine_name, "apply_batch_scalar", scalar_batches)
@@ -847,9 +847,9 @@ def fig16_piecewise(
     num_updates: int = 1000,
     num_samples: int = 1000,
     seed: int = 59,
-) -> Dict[str, Dict[str, float]]:
+) -> dict[str, dict[str, float]]:
     """Insertion vs deletion vs sampling time for Bingo, and FlowWalker's costs."""
-    output: Dict[str, Dict[str, float]] = {}
+    output: dict[str, dict[str, float]] = {}
     for dataset in datasets:
         rng = ensure_rng(seed)
         graph = build_dataset(dataset, rng=rng)
@@ -918,10 +918,10 @@ def streaming_serve(
     queries_per_round: int = 12,
     walkers_per_query: int = 320,
     workers: int = 1,
-    fuse_limit: Optional[int] = None,
+    fuse_limit: int | None = None,
     fuse_window_seconds: float = 0.004,
     seed: int = 79,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Strict-alternation vs concurrent serve throughput per engine.
 
     The identical mixed read/write workload — ``num_batches`` update batches,
@@ -965,7 +965,7 @@ def streaming_serve(
     # Identical query workload for every engine and both modes: per-wave
     # start sets and per-query seeds drawn once up front.
     placement_rng = ensure_rng(seed + 1)
-    waves: List[List[WalkQuery]] = []
+    waves: list[list[WalkQuery]] = []
     for _ in range(num_batches):
         wave = []
         for _ in range(queries_per_round):
@@ -1015,7 +1015,7 @@ def streaming_serve(
             service.close()
         return stats, results, wall_seconds
 
-    per_engine: Dict[str, Dict[str, object]] = {}
+    per_engine: dict[str, dict[str, object]] = {}
     for engine_name in engines:
         alt_stats, alt_results, alt_wall = run_mode(engine_name, concurrent=False)
         alt_seconds = alt_stats.update_busy_seconds + alt_stats.query_busy_seconds
@@ -1104,7 +1104,7 @@ def multi_tenant_serve(
     workload: str = "mixed",
     probe_walkers: int = 64,
     seed: int = 97,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Fairness under a flooding co-tenant, and warm vs cold epoch flips.
 
     **Fairness.**  A *light* tenant runs a closed loop — submit one
@@ -1148,14 +1148,14 @@ def multi_tenant_serve(
         graph, probe_walkers, rng=placement_rng.randrange(1 << 30)
     )
 
-    def percentiles(samples: List[float]) -> Dict[str, float]:
+    def percentiles(samples: list[float]) -> dict[str, float]:
         array = np.asarray(samples, dtype=np.float64)
         return {
             "p50": float(np.percentile(array, 50)),
             "p99": float(np.percentile(array, 99)),
         }
 
-    def run_light(*, flood: bool, fair: bool) -> Dict[str, object]:
+    def run_light(*, flood: bool, fair: bool) -> dict[str, object]:
         service = GraphService(
             engine,
             graph,
@@ -1172,7 +1172,7 @@ def multi_tenant_serve(
             },
         )
         light_tenant = "light" if fair else "flood"
-        latencies: List[float] = []
+        latencies: list[float] = []
         try:
             if flood:
                 service.submit_many(
@@ -1222,7 +1222,7 @@ def multi_tenant_serve(
         rng=ensure_rng(seed + 4),
     )
 
-    def run_flips(warm: bool) -> Dict[str, object]:
+    def run_flips(warm: bool) -> dict[str, object]:
         service = GraphService(
             engine,
             stream.initial_graph,
@@ -1232,7 +1232,7 @@ def multi_tenant_serve(
             service_seed=seed + 6,
             warm_on_publish=warm,
         )
-        probe_latencies: List[float] = []
+        probe_latencies: list[float] = []
         try:
             for batch in stream.batches:
                 service.ingest(batch)
@@ -1311,7 +1311,7 @@ def scale_flip(
     num_batches: int = 6,
     repeats: int = 3,
     seed: int = 83,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Warm-cost-per-flip vs graph size: dirty-set delta vs full rebuild.
 
     For every R-MAT ``scale`` (``2**scale`` vertices, ``edge_factor *
@@ -1355,7 +1355,7 @@ def scale_flip(
             "scale_flip batch size exceeds the smallest scale's vertex count"
         )
 
-    rows: List[Dict[str, object]] = []
+    rows: list[dict[str, object]] = []
     for scale in sweep:
         graph = rmat_graph(scale, edge_factor, rng=ensure_rng(seed + scale))
         generator = ensure_rng(seed + 100 + scale)
@@ -1386,8 +1386,8 @@ def scale_flip(
                     sampler.numpy_tables()
 
         warm()  # the one cold build; every flip below is a delta against it
-        delta_seconds: List[float] = []
-        full_seconds: List[float] = []
+        delta_seconds: list[float] = []
+        full_seconds: list[float] = []
         delta_vertices = 0
         delta_full_rebuilds = 0
         for flip in range(num_batches):
@@ -1487,11 +1487,11 @@ def scale_workers(
     engines: Sequence[str] = SOTA_ENGINES,
     worker_counts: Sequence[int] = (1, 2, 4),
     walk_length: int = 10,
-    num_walkers: Optional[int] = None,
+    num_walkers: int | None = None,
     rounds: int = 3,
     strategy: str = "degree_balanced",
     seed: int = 71,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Walk throughput vs worker count through the shard-parallel runner.
 
     For every engine and worker count, ``rounds`` DeepWalk rounds run through
@@ -1535,8 +1535,8 @@ def scale_workers(
 
     # Partitions (and their quality metrics) are engine-independent; compute
     # once per worker count and hand the layout to every runner.
-    partitions: Dict[int, object] = {}
-    layouts: Dict[int, Dict[str, float]] = {}
+    partitions: dict[int, object] = {}
+    layouts: dict[int, dict[str, float]] = {}
     for workers in counts:
         partition = partition_graph(graph, workers, strategy=strategy)
         partitions[workers] = partition
@@ -1545,9 +1545,9 @@ def scale_workers(
             "balance": partition.balance(graph),
         }
 
-    per_engine: Dict[str, Dict[int, Dict[str, object]]] = {}
+    per_engine: dict[str, dict[int, dict[str, object]]] = {}
     for engine_name in engines:
-        rows: Dict[int, Dict[str, object]] = {}
+        rows: dict[int, dict[str, object]] = {}
         for workers in counts:
             timer = PhaseTimer()
             total_steps = 0
@@ -1631,7 +1631,7 @@ def chaos_serve(
     workload: str = "mixed",
     http_queries: int = 8,
     seed: int = 41,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """The chaos suite: seeded faults against the self-healing serve layer.
 
     Three scenarios, one seeded :class:`~repro.serve.FaultPlan` each, all
@@ -1727,7 +1727,7 @@ def chaos_serve(
         plan.delay("dispatcher.wave", 1, 0.01)
         return plan
 
-    def run_writer(count_tickets: bool) -> Dict[str, object]:
+    def run_writer(count_tickets: bool) -> dict[str, object]:
         injector = FaultInjector(writer_plan())
         service = GraphService(
             engine,
@@ -1908,7 +1908,7 @@ def concurrency_sweep(
     wire_walk_length: int = 40,
     wire_queries: int = 6,
     seed: int = 67,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """PR 8 headline: keep-alive connection scaling + binary wire format.
 
     For each front-end (the threaded debug server and the production
@@ -1951,7 +1951,7 @@ def concurrency_sweep(
     starts = sample_start_vertices(graph, num_walkers, rng=seed + 1)
     wire_starts = sample_start_vertices(graph, wire_walkers, rng=seed + 2)
 
-    def percentiles(samples: List[float]) -> Dict[str, float]:
+    def percentiles(samples: list[float]) -> dict[str, float]:
         array = np.asarray(samples, dtype=np.float64)
         return {
             "p50": float(np.percentile(array, 50)),
@@ -1970,7 +1970,7 @@ def concurrency_sweep(
             for client in clients:
                 client.health()
             peak_threads = _threading.active_count()
-            latencies: List[float] = []
+            latencies: list[float] = []
             begin = time.perf_counter()
             for index in range(queries_per_phase):
                 client = clients[index % clients_count]
@@ -1995,7 +1995,7 @@ def concurrency_sweep(
             "server_threads": max(1, peak_threads - baseline_threads),
         }
 
-    def run_wire(url: str) -> Dict[str, object]:
+    def run_wire(url: str) -> dict[str, object]:
         client = ServiceClient(
             url, max_retries=2, backoff_seconds=0.05, timeout=120.0
         )
@@ -2040,12 +2040,12 @@ def concurrency_sweep(
                 if binary_seconds > 0
                 else float("inf")
             ),
-            "json_bytes": len(_json.dumps(json_body).encode("utf-8")),
+            "json_bytes": len(_json.dumps(json_body).encode()),
             "binary_bytes": 64 + decoded.matrix.nbytes,
             "shapes_match": bool(shapes_match),
         }
 
-    def run_server(kind: str) -> Dict[str, object]:
+    def run_server(kind: str) -> dict[str, object]:
         from repro.serve import serve_event_loop, serve_http
 
         service = GraphService(
@@ -2130,7 +2130,7 @@ def shard_scaleout(
     num_batches: int = 3,
     workload: str = "mixed",
     seed: int = 43,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Scale-out gate for the multi-process shard router (PR 9).
 
     Three measurements, all against :class:`~repro.serve.RouterService`
@@ -2194,7 +2194,7 @@ def shard_scaleout(
         rng=seed + 2,
     )
 
-    def run_arm(shards: int) -> Dict[str, object]:
+    def run_arm(shards: int) -> dict[str, object]:
         service = RouterService(
             engine,
             stream.initial_graph,
@@ -2294,7 +2294,7 @@ def shard_scaleout(
     chaos_shards = counts[-1] if counts[-1] > 1 else 2
     chaos_queries = max(3, queries_per_round)
 
-    def run_chaos(injector) -> Dict[str, object]:
+    def run_chaos(injector) -> dict[str, object]:
         service = RouterService(
             engine,
             stream.initial_graph,

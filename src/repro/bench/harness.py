@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.bench.datasets import build_dataset
 from repro.bench.workloads import run_application, sample_start_vertices
@@ -37,7 +37,7 @@ class EvaluationSettings:
     serve_queue_size: int = 64     # bounded query-queue capacity
     serve_fuse_limit: int = 8      # max walk queries fused into one frontier
     serve_fuse_window: float = 0.002  # dispatcher linger before fusing (s)
-    engine_kwargs: Dict[str, object] = field(default_factory=dict)
+    engine_kwargs: dict[str, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -53,7 +53,7 @@ class EvaluationResult:
     walk_seconds: float
     memory_gigabytes: float
     memory_bytes: int
-    phase_breakdown: Dict[str, float]
+    phase_breakdown: dict[str, float]
     total_updates: int
     total_walk_steps: int
 
@@ -70,8 +70,8 @@ def run_evaluation(
     application: str,
     *,
     workload: UpdateWorkload | str = UpdateWorkload.MIXED,
-    settings: EvaluationSettings = EvaluationSettings(),
-    update_stream: Optional[UpdateStream] = None,
+    settings: EvaluationSettings | None = None,
+    update_stream: UpdateStream | None = None,
     rng: RandomSource = None,
 ) -> EvaluationResult:
     """Run the paper's update-then-walk loop for one configuration.
@@ -89,6 +89,8 @@ def run_evaluation(
         A pre-generated stream; when omitted one is generated from the
         dataset with the settings' batch size and count.
     """
+    if settings is None:
+        settings = EvaluationSettings()
     generator = ensure_rng(rng)
     workload = UpdateWorkload(workload)
 
@@ -292,7 +294,7 @@ def run_update_only(
     update_stream: UpdateStream,
     *,
     streaming: bool,
-    engine_kwargs: Optional[Dict[str, object]] = None,
+    engine_kwargs: dict[str, object] | None = None,
     rng: RandomSource = None,
 ) -> EvaluationResult:
     """Ingest an update stream without running any application.
@@ -335,14 +337,16 @@ def compare_engines(
     application: str,
     *,
     workload: UpdateWorkload | str = UpdateWorkload.MIXED,
-    settings: EvaluationSettings = EvaluationSettings(),
+    settings: EvaluationSettings | None = None,
     seed: int = 2025,
-) -> List[EvaluationResult]:
+) -> list[EvaluationResult]:
     """Run several engines on the identical dataset + update stream.
 
     The dataset and stream are generated once with a fixed seed so every
     engine ingests the same edits and walks from the same start vertices.
     """
+    if settings is None:
+        settings = EvaluationSettings()
     stream_rng = ensure_rng(seed)
     base_graph = build_dataset(dataset, rng=stream_rng)
     stream = generate_update_stream(

@@ -8,7 +8,7 @@ comparison.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.bench.harness import EvaluationResult
 
@@ -31,7 +31,7 @@ def format_table(
         for index, cell in enumerate(row):
             widths[index] = max(widths[index], len(cell))
 
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     header_line = " | ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))

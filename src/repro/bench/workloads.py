@@ -17,7 +17,7 @@ finishes in seconds while preserving the relative comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.bench.datasets import build_dataset
 from repro.engines.base import RandomWalkEngine
@@ -47,7 +47,7 @@ class ApplicationSpec:
         engine: RandomWalkEngine,
         *,
         walk_length: int,
-        starts: Optional[Sequence[int]] = None,
+        starts: Sequence[int] | None = None,
         rng: RandomSource = None,
         frontier: bool = False,
         executor=None,
@@ -121,14 +121,14 @@ def _run_ppr(
 
 
 #: Applications evaluated in Table 3, keyed by the names used in the paper.
-APPLICATIONS: Dict[str, ApplicationSpec] = {
+APPLICATIONS: dict[str, ApplicationSpec] = {
     "deepwalk": ApplicationSpec("deepwalk", _run_deepwalk),
     "node2vec": ApplicationSpec("node2vec", _run_node2vec),
     "ppr": ApplicationSpec("ppr", _run_ppr),
 }
 
 
-def application_names() -> List[str]:
+def application_names() -> list[str]:
     """Application identifiers in Table 3 order."""
     return list(APPLICATIONS)
 
@@ -138,7 +138,7 @@ def run_application(
     engine: RandomWalkEngine,
     *,
     walk_length: int = 80,
-    starts: Optional[Sequence[int]] = None,
+    starts: Sequence[int] | None = None,
     rng: RandomSource = None,
     frontier: bool = False,
     executor=None,
@@ -194,7 +194,7 @@ def sample_start_vertices(
     count: int,
     *,
     rng: RandomSource = None,
-) -> List[int]:
+) -> list[int]:
     """Pick ``count`` start vertices with out-edges (scaled walker placement).
 
     The paper launches one walker per vertex; the scaled benchmarks launch

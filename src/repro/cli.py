@@ -21,7 +21,8 @@ import argparse
 import json
 import sys
 from dataclasses import asdict, is_dataclass
-from typing import Any, Callable, Dict, Optional, Sequence
+from typing import Any
+from collections.abc import Callable, Sequence
 
 from repro.bench import experiments
 from repro.bench.harness import EvaluationSettings, compare_engines
@@ -34,7 +35,7 @@ from repro.errors import (
 )
 
 #: Experiment name -> callable returning a JSON-serialisable structure.
-EXPERIMENT_RUNNERS: Dict[str, Callable[..., Any]] = {
+EXPERIMENT_RUNNERS: dict[str, Callable[..., Any]] = {
     "table1": experiments.table1_complexity,
     "table2": experiments.table2_datasets,
     "table3": experiments.table3_sota,
@@ -355,7 +356,7 @@ def _run_experiment(args: argparse.Namespace) -> int:
             # Fail fast instead of silently benchmarking the defaults.
             allowed = " / ".join(f"`run {name}`" for name in sorted(experiments_allowed))
             return _fail(f"{flag} only applies to {allowed}")
-    kwargs: Dict[str, Any] = {}
+    kwargs: dict[str, Any] = {}
     if args.datasets is not None and args.experiment in {
         "table3", "fig11", "fig12", "fig13", "fig14", "fig16",
     }:
@@ -640,7 +641,7 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point (also exposed as the ``bingo-repro`` console script)."""
     parser = _build_parser()
     args = parser.parse_args(argv)

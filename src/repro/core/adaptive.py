@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
 
 #: Paper defaults ("Based on our heuristic study, we set α = 40 and β = 10").
 DEFAULT_ALPHA_PERCENT = 40.0
@@ -101,7 +100,7 @@ class ConversionTracker:
     less than 0.47%").
     """
 
-    transitions: Dict[Tuple[GroupKind, GroupKind], int] = field(default_factory=dict)
+    transitions: dict[tuple[GroupKind, GroupKind], int] = field(default_factory=dict)
     observations: int = 0
 
     def observe(self, old: GroupKind, new: GroupKind) -> None:
@@ -121,9 +120,9 @@ class ConversionTracker:
             return 0.0
         return self.transitions.get((old, new), 0) / self.observations
 
-    def ratio_matrix(self) -> Dict[GroupKind, Dict[GroupKind, float]]:
+    def ratio_matrix(self) -> dict[GroupKind, dict[GroupKind, float]]:
         """Full old -> new conversion-ratio matrix (Table 4 layout)."""
-        matrix: Dict[GroupKind, Dict[GroupKind, float]] = {}
+        matrix: dict[GroupKind, dict[GroupKind, float]] = {}
         for old in GroupKind:
             matrix[old] = {}
             for new in GroupKind:
@@ -132,7 +131,7 @@ class ConversionTracker:
                 matrix[old][new] = self.conversion_ratio(old, new)
         return matrix
 
-    def merge(self, other: "ConversionTracker") -> None:
+    def merge(self, other: ConversionTracker) -> None:
         """Fold another tracker's counts into this one."""
         self.observations += other.observations
         for key, count in other.transitions.items():

@@ -17,7 +17,6 @@ benchmark can compare K and update cost across bases.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
 
 from repro.errors import EmptySamplerError, SamplerStateError
 from repro.sampling.alias import AliasTable
@@ -27,7 +26,7 @@ from repro.utils.rng import RandomSource
 from repro.utils.validation import check_bias
 
 
-def digits_in_base(value: int, base: int) -> List[Tuple[int, int]]:
+def digits_in_base(value: int, base: int) -> list[tuple[int, int]]:
     """Non-zero base-``base`` digits of ``value`` as ``(position, digit)`` pairs."""
     if value <= 0:
         raise ValueError("value must be positive")
@@ -51,8 +50,8 @@ class _Subgroup:
 
     def __init__(self, digit: int) -> None:
         self.digit = digit
-        self.members: List[int] = []
-        self.slots: Dict[int, int] = {}
+        self.members: list[int] = []
+        self.slots: dict[int, int] = {}
 
     def __len__(self) -> int:
         return len(self.members)
@@ -92,7 +91,7 @@ class _DigitGroup:
     def __init__(self, position: int, base: int) -> None:
         self.position = position
         self.base = base
-        self.subgroups: Dict[int, _Subgroup] = {}
+        self.subgroups: dict[int, _Subgroup] = {}
 
     def __len__(self) -> int:
         return sum(len(sub) for sub in self.subgroups.values())
@@ -139,17 +138,17 @@ class ArbitraryRadixSampler(DynamicSampler):
         *,
         radix_bits: int = 2,
         rng: RandomSource = None,
-        counter: Optional[OperationCounter] = None,
+        counter: OperationCounter | None = None,
     ) -> None:
         super().__init__(rng=rng, counter=counter)
         if radix_bits < 1:
             raise ValueError("radix_bits must be at least 1")
         self.radix_bits = int(radix_bits)
         self.base = 1 << self.radix_bits
-        self._ids: List[int] = []
-        self._biases: List[int] = []
-        self._index_of: Dict[int, int] = {}
-        self._groups: Dict[int, _DigitGroup] = {}
+        self._ids: list[int] = []
+        self._biases: list[int] = []
+        self._index_of: dict[int, int] = {}
+        self._groups: dict[int, _DigitGroup] = {}
         self._dirty = True
 
     # ------------------------------------------------------------------ #
@@ -204,7 +203,7 @@ class ArbitraryRadixSampler(DynamicSampler):
     # ------------------------------------------------------------------ #
     def _rebuild(self) -> None:
         self._group_alias = AliasTable(rng=self._rng, counter=self.counter)
-        self._subgroup_alias: Dict[int, AliasTable] = {}
+        self._subgroup_alias: dict[int, AliasTable] = {}
         for position, group in self._groups.items():
             weight = group.weight()
             if weight <= 0:
@@ -239,7 +238,7 @@ class ArbitraryRadixSampler(DynamicSampler):
     def __len__(self) -> int:
         return len(self._ids)
 
-    def candidates(self) -> List[Tuple[int, float]]:
+    def candidates(self) -> list[tuple[int, float]]:
         return [(cid, float(bias)) for cid, bias in zip(self._ids, self._biases)]
 
     def total_bias(self) -> float:

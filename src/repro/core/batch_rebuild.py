@@ -19,14 +19,14 @@ and seeded sampling draws through either are identical.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
 
 def batch_vose(
     weight_rows: Sequence[Sequence[float]],
-) -> List[Tuple[List[float], List[int]]]:
+) -> list[tuple[list[float], list[int]]]:
     """Build one alias table per weight row, all rows at once.
 
     Parameters
@@ -116,7 +116,7 @@ def batch_vose(
 
     # Entries still on either stack keep prob = 1.0 and their initial alias,
     # matching the scalar tail loop.
-    results: List[Tuple[List[float], List[int]]] = []
+    results: list[tuple[list[float], list[int]]] = []
     for row_index, row in enumerate(weight_rows):
         count = len(row)
         results.append(

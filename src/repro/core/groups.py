@@ -24,7 +24,7 @@ below ``1/d`` of the vertex weight by the choice of λ.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -42,13 +42,13 @@ class RadixGroup:
         self.position = int(position)
         self.kind = kind
         #: compact member list (neighbour indices); unused in dense mode
-        self.members: List[int] = []
+        self.members: list[int] = []
         #: inverted index: neighbour index -> slot in ``members``; unused in dense mode
-        self.slots: Dict[int, int] = {}
+        self.slots: dict[int, int] = {}
         #: member count (the only state kept in dense mode)
         self._count = 0
         #: NumPy mirror of ``members``, built lazily for sample_batch
-        self._np_members: Optional[np.ndarray] = None
+        self._np_members: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # size / weight
@@ -72,7 +72,7 @@ class RadixGroup:
     # ------------------------------------------------------------------ #
     # membership updates
     # ------------------------------------------------------------------ #
-    def add(self, neighbor_index: int, counter: Optional[OperationCounter] = None) -> None:
+    def add(self, neighbor_index: int, counter: OperationCounter | None = None) -> None:
         """Add a member (the neighbour's bias has bit ``position`` set)."""
         self._count += 1
         self._np_members = None
@@ -89,7 +89,7 @@ class RadixGroup:
         if counter is not None:
             counter.touch(2)
 
-    def remove(self, neighbor_index: int, counter: Optional[OperationCounter] = None) -> None:
+    def remove(self, neighbor_index: int, counter: OperationCounter | None = None) -> None:
         """Remove a member with the delete-and-swap of Figure 6 (O(1))."""
         if self._count <= 0:
             raise SamplerStateError(f"group 2^{self.position} is already empty")
@@ -113,7 +113,7 @@ class RadixGroup:
         if counter is not None:
             counter.touch(3)
 
-    def rename(self, old_index: int, new_index: int, counter: Optional[OperationCounter] = None) -> None:
+    def rename(self, old_index: int, new_index: int, counter: OperationCounter | None = None) -> None:
         """Re-point a member after the vertex neighbour list moved it.
 
         When the vertex sampler deletes a neighbour it relocates the tail of
@@ -149,8 +149,8 @@ class RadixGroup:
         self,
         new_kind: GroupKind,
         *,
-        integer_parts: Optional[Sequence[int]] = None,
-        counter: Optional[OperationCounter] = None,
+        integer_parts: Sequence[int] | None = None,
+        counter: OperationCounter | None = None,
     ) -> None:
         """Switch to ``new_kind``, rebuilding structures if required.
 
@@ -191,8 +191,8 @@ class RadixGroup:
         self,
         rng: random.Random,
         *,
-        integer_parts: Optional[Sequence[int]] = None,
-        counter: Optional[OperationCounter] = None,
+        integer_parts: Sequence[int] | None = None,
+        counter: OperationCounter | None = None,
         max_trials: int = 1_000_000,
     ) -> int:
         """Uniformly sample a member neighbour index.
@@ -232,8 +232,8 @@ class RadixGroup:
         count: int,
         rng: np.random.Generator,
         *,
-        integer_parts: Optional[np.ndarray] = None,
-        counter: Optional[OperationCounter] = None,
+        integer_parts: np.ndarray | None = None,
+        counter: OperationCounter | None = None,
         max_rounds: int = 10_000,
     ) -> np.ndarray:
         """Uniformly sample ``count`` member neighbour indices at once.
@@ -276,7 +276,7 @@ class RadixGroup:
             f"dense-group rejection sampling exceeded {max_rounds} rounds"
         )
 
-    def member_list(self, integer_parts: Optional[Sequence[int]] = None) -> List[int]:
+    def member_list(self, integer_parts: Sequence[int] | None = None) -> list[int]:
         """The member neighbour indices (scanning the bias array for dense groups)."""
         if self.kind is not GroupKind.DENSE:
             return list(self.members)
@@ -302,7 +302,7 @@ class DecimalGroup:
     __slots__ = ("fractions", "_total", "_np_arrays")
 
     def __init__(self) -> None:
-        self.fractions: Dict[int, float] = {}
+        self.fractions: dict[int, float] = {}
         self._total = 0.0
         #: NumPy mirrors of the (index, fraction) pairs for sample_batch
         self._np_arrays = None
@@ -375,7 +375,7 @@ class DecimalGroup:
         self,
         rng: random.Random,
         *,
-        counter: Optional[OperationCounter] = None,
+        counter: OperationCounter | None = None,
         max_trials: int = 1_000_000,
     ) -> int:
         """Draw a neighbour index with probability proportional to its fraction."""
@@ -401,7 +401,7 @@ class DecimalGroup:
         count: int,
         rng: np.random.Generator,
         *,
-        counter: Optional[OperationCounter] = None,
+        counter: OperationCounter | None = None,
         max_rounds: int = 10_000,
     ) -> np.ndarray:
         """Draw ``count`` neighbour indices ∝ fraction, rejection vectorized."""

@@ -19,7 +19,7 @@ is applied to every engine so the comparison stays apples-to-apples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.core.adaptive import GroupKind
 
@@ -64,7 +64,7 @@ def group_memory_bytes(kind: GroupKind, group_size: int, degree: int) -> int:
 class MemoryReport:
     """Per-component memory totals for one engine / one experiment."""
 
-    components: Dict[str, int] = field(default_factory=dict)
+    components: dict[str, int] = field(default_factory=dict)
 
     def add(self, component: str, num_bytes: int) -> None:
         """Accumulate ``num_bytes`` under ``component``."""
@@ -84,12 +84,12 @@ class MemoryReport:
         """Total in GB (the unit the paper reports)."""
         return self.total_bytes() / (1024.0 ** 3)
 
-    def merge(self, other: "MemoryReport") -> None:
+    def merge(self, other: MemoryReport) -> None:
         """Fold another report into this one."""
         for component, num_bytes in other.components.items():
             self.add(component, num_bytes)
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> dict[str, int]:
         """A copy of the component table."""
         return dict(self.components)
 

@@ -24,7 +24,7 @@ expected sampling time.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.errors import InvalidBiasError
 from repro.utils.validation import check_bias
@@ -43,7 +43,7 @@ def popcount(value: int) -> int:
     return bin(value).count("1")
 
 
-def decompose_bias(bias: int) -> List[int]:
+def decompose_bias(bias: int) -> list[int]:
     """Equation (3): the bit positions ``k`` with ``bias & 2^k != 0``.
 
     Returns the positions (not the powers), sorted ascending, e.g.
@@ -71,20 +71,20 @@ def num_groups_for_bias(max_bias: int) -> int:
     return max_bias.bit_length()
 
 
-def group_weights(biases: Sequence[int]) -> Dict[int, int]:
+def group_weights(biases: Sequence[int]) -> dict[int, int]:
     """Equation (4): total sub-bias per radix group for a bias multiset.
 
     Returns a mapping ``bit position -> W(p_k)``; positions whose group would
     be empty are omitted.
     """
-    counts: Dict[int, int] = {}
+    counts: dict[int, int] = {}
     for bias in biases:
         for position in decompose_bias(int(bias)):
             counts[position] = counts.get(position, 0) + 1
     return {position: count * (1 << position) for position, count in counts.items()}
 
 
-def split_scaled_bias(bias: float, lam: float) -> Tuple[int, float]:
+def split_scaled_bias(bias: float, lam: float) -> tuple[int, float]:
     """Split ``bias * lam`` into (integer part, fractional part).
 
     The integer part feeds the radix groups; the fractional part goes to the
@@ -191,7 +191,7 @@ def exact_selection_probability(biases: Sequence[int], index: int) -> float:
         return 0.0
     bias = int(biases[index])
     probability = 0.0
-    for position, group_weight in weights.items():
+    for position in weights:
         sub_bias = bias & (1 << position)
         if sub_bias:
             # P(p_k) * P(v_i | p_k) = (W_k / total) * (2^k / W_k) = 2^k / total

@@ -24,7 +24,7 @@ alias rebuild, giving the O(K) update cost of Table 1.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -71,10 +71,10 @@ class BingoVertexSampler(DynamicSampler):
         self,
         *,
         rng: RandomSource = None,
-        counter: Optional[OperationCounter] = None,
+        counter: OperationCounter | None = None,
         lam: float = 1.0,
-        classifier: Optional[GroupClassifier] = None,
-        conversion_tracker: Optional[ConversionTracker] = None,
+        classifier: GroupClassifier | None = None,
+        conversion_tracker: ConversionTracker | None = None,
         auto_rebuild: bool = True,
     ) -> None:
         super().__init__(rng=rng, counter=counter)
@@ -86,14 +86,14 @@ class BingoVertexSampler(DynamicSampler):
         self.auto_rebuild = bool(auto_rebuild)
 
         # Neighbour list (candidate IDs aligned with biases and scaled parts).
-        self._ids: List[int] = []
-        self._biases: List[float] = []
-        self._integer_parts: List[int] = []
-        self._fractions: List[float] = []
-        self._index_of: Dict[int, int] = {}
+        self._ids: list[int] = []
+        self._biases: list[float] = []
+        self._integer_parts: list[int] = []
+        self._fractions: list[float] = []
+        self._index_of: dict[int, int] = {}
 
         # Radix groups keyed by bit position, plus the decimal group.
-        self._groups: Dict[int, RadixGroup] = {}
+        self._groups: dict[int, RadixGroup] = {}
         self._decimal = DecimalGroup()
 
         # Inter-group alias table over group keys (bit positions; -1 = decimal).
@@ -102,7 +102,7 @@ class BingoVertexSampler(DynamicSampler):
         self.rebuild_count = 0
         # NumPy mirrors (ids, key lut, flat member table, offsets, sizes),
         # built lazily for sample_many.
-        self._np_cache: Optional[Tuple[np.ndarray, ...]] = None
+        self._np_cache: tuple[np.ndarray, ...] | None = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -110,9 +110,9 @@ class BingoVertexSampler(DynamicSampler):
     @classmethod
     def from_neighbors(
         cls,
-        pairs: Iterable[Tuple[int, float]],
+        pairs: Iterable[tuple[int, float]],
         **kwargs,
-    ) -> "BingoVertexSampler":
+    ) -> BingoVertexSampler:
         """Build a sampler from ``(neighbour id, bias)`` pairs."""
         sampler = cls(**kwargs)
         previous_mode = sampler.auto_rebuild
@@ -163,7 +163,7 @@ class BingoVertexSampler(DynamicSampler):
         candidates,
         biases,
         *,
-        split_parts: Optional[Tuple[Sequence[int], Sequence[float]]] = None,
+        split_parts: tuple[Sequence[int], Sequence[float]] | None = None,
     ) -> None:
         """Insert a whole slice of neighbours in one pass.
 
@@ -245,8 +245,8 @@ class BingoVertexSampler(DynamicSampler):
         # the scalar duplicate guard is vacuous here).
         groups = self._groups
         dense_kind = GroupKind.DENSE
-        decimal_indices: List[int] = []
-        decimal_fractions: List[float] = []
+        decimal_indices: list[int] = []
+        decimal_fractions: list[float] = []
         for offset, (integer_part, fraction) in enumerate(
             zip(integer_list, fraction_list)
         ):
@@ -540,7 +540,7 @@ class BingoVertexSampler(DynamicSampler):
             )
         return ids[indices]
 
-    def _batch_cache(self) -> Tuple[np.ndarray, ...]:
+    def _batch_cache(self) -> tuple[np.ndarray, ...]:
         """Lazily (re)build the NumPy mirrors used by :meth:`sample_many`.
 
         ``flat`` concatenates every weighted group's member indices (dense
@@ -555,7 +555,7 @@ class BingoVertexSampler(DynamicSampler):
             return self._np_cache
         keys = [key for key, _ in self._inter_group.candidates()]
         lut = np.full(max(keys, default=0) + 2, -1, dtype=np.int64)
-        flat_parts: List[np.ndarray] = []
+        flat_parts: list[np.ndarray] = []
         offsets = np.zeros(len(keys), dtype=np.int64)
         sizes = np.ones(len(keys), dtype=np.int64)
         cursor = 0
@@ -589,7 +589,7 @@ class BingoVertexSampler(DynamicSampler):
     def __len__(self) -> int:
         return len(self._ids)
 
-    def candidates(self) -> List[Tuple[int, float]]:
+    def candidates(self) -> list[tuple[int, float]]:
         return list(zip(self._ids, self._biases))
 
     def total_bias(self) -> float:
@@ -608,11 +608,11 @@ class BingoVertexSampler(DynamicSampler):
         """Number of non-empty radix groups (excluding the decimal group)."""
         return sum(1 for group in self._groups.values() if len(group) > 0)
 
-    def group_sizes(self) -> Dict[int, int]:
+    def group_sizes(self) -> dict[int, int]:
         """Bit position -> member count for every non-empty group."""
         return {pos: len(group) for pos, group in self._groups.items() if len(group) > 0}
 
-    def group_kinds(self) -> Dict[int, GroupKind]:
+    def group_kinds(self) -> dict[int, GroupKind]:
         """Bit position -> current representation for every non-empty group."""
         return {pos: group.kind for pos, group in self._groups.items() if len(group) > 0}
 
@@ -711,7 +711,7 @@ class BingoVertexSampler(DynamicSampler):
         )
 
 
-def rebuild_samplers_batch(samplers: Iterable["BingoVertexSampler"]) -> None:
+def rebuild_samplers_batch(samplers: Iterable[BingoVertexSampler]) -> None:
     """Rebuild many samplers at once (the batched form of :meth:`rebuild`).
 
     This is the rebuild phase of the Section 5.2 batched-update workflow run
@@ -738,8 +738,8 @@ def rebuild_samplers_batch(samplers: Iterable["BingoVertexSampler"]) -> None:
 
     # One pass per sampler: inline reclassification (same decision tree as
     # GroupClassifier.classify) + weight collection for the alias rows.
-    key_rows: List[List[int]] = []
-    weight_rows: List[List[float]] = []
+    key_rows: list[list[int]] = []
+    weight_rows: list[list[float]] = []
     regular = GroupKind.REGULAR
     one_element = GroupKind.ONE_ELEMENT
     dense = GroupKind.DENSE
@@ -752,8 +752,8 @@ def rebuild_samplers_batch(samplers: Iterable["BingoVertexSampler"]) -> None:
         beta = classifier.beta_percent
         tracker = sampler.conversion_tracker
         degree = len(sampler._ids)
-        keys: List[int] = []
-        weights: List[float] = []
+        keys: list[int] = []
+        weights: list[float] = []
         for position, group in sampler._groups.items():
             size = group._count
             if size == 0 or degree <= 0 or not adaptive:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 import time
-from typing import Iterable, List, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -53,13 +53,13 @@ class RandomWalkEngine(abc.ABC):
 
     def __init__(self, *, rng: RandomSource = None) -> None:
         self._rng = ensure_rng(rng)
-        self.graph: Optional[DynamicGraph] = None
+        self.graph: DynamicGraph | None = None
         self.breakdown = TimeBreakdown()
         self.updates_applied = 0
         self.samples_drawn = 0
         #: Vertices this engine builds sampling state for; ``None`` means all
         #: (the single-device default).  Set by :meth:`build_shard`.
-        self._shard_owned: Optional[np.ndarray] = None
+        self._shard_owned: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -72,7 +72,7 @@ class RandomWalkEngine(abc.ABC):
         self.breakdown.add(PHASE_REBUILD, time.perf_counter() - start)
 
     @classmethod
-    def for_shard(cls, graph, owned_vertices, **kwargs) -> "RandomWalkEngine":
+    def for_shard(cls, graph, owned_vertices, **kwargs) -> RandomWalkEngine:
         """Build an engine whose sampling state covers only ``owned_vertices``.
 
         The shard-parallel walk runner gives each worker the full (shared,
@@ -144,7 +144,7 @@ class RandomWalkEngine(abc.ABC):
         """
         self.apply_streaming(updates)
 
-    def _apply_batch_to_graph(self, batch: UpdateBatch) -> List[int]:
+    def _apply_batch_to_graph(self, batch: UpdateBatch) -> list[int]:
         """Mutate the adopted graph with a whole columnar batch.
 
         Groups the batch by source vertex (one stable argsort) and replays
@@ -156,7 +156,7 @@ class RandomWalkEngine(abc.ABC):
         """
         graph = self._require_graph()
         if graph.undirected:
-            touched: List[int] = []
+            touched: list[int] = []
             seen = set()
             for update in batch:
                 graph.ensure_vertex(update.src)
@@ -215,7 +215,7 @@ class RandomWalkEngine(abc.ABC):
     # ------------------------------------------------------------------ #
     # sampling (NeighborSampler protocol)
     # ------------------------------------------------------------------ #
-    def sample_neighbor(self, vertex: int) -> Optional[int]:
+    def sample_neighbor(self, vertex: int) -> int | None:
         """Draw a biased out-neighbour of ``vertex`` (None for sinks)."""
         start = time.perf_counter()
         try:
@@ -225,7 +225,7 @@ class RandomWalkEngine(abc.ABC):
             self.samples_drawn += 1
 
     @abc.abstractmethod
-    def _sample(self, vertex: int) -> Optional[int]:
+    def _sample(self, vertex: int) -> int | None:
         """Engine-specific biased neighbour draw."""
 
     def sample_neighbors(

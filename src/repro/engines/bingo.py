@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from functools import partial
-from typing import Dict, List, Optional, Sequence, Set
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -78,11 +78,11 @@ class BingoEngine(RandomWalkEngine):
         self,
         *,
         rng: RandomSource = None,
-        lam: Optional[float] = None,
+        lam: float | None = None,
         adaptive_groups: bool = True,
         alpha_percent: float = 40.0,
         beta_percent: float = 10.0,
-        device: Optional[SimulatedDevice] = None,
+        device: SimulatedDevice | None = None,
     ) -> None:
         super().__init__(rng=rng)
         self._requested_lam = lam
@@ -95,16 +95,16 @@ class BingoEngine(RandomWalkEngine):
         self.conversion_tracker = ConversionTracker()
         self.device = device if device is not None else SimulatedDevice()
         self.batch_stats = BatchStatistics()
-        self._samplers: Dict[int, BingoVertexSampler] = {}
+        self._samplers: dict[int, BingoVertexSampler] = {}
         # Concatenated per-vertex sampling tables for the fused frontier
         # kernel, kept as sliced segments in two coupled stores: the
         # inter-group alias slices and the flat member table they point
         # into.  An update batch marks its touched vertices dirty and the
         # next table build repairs exactly those slices; the per-vertex
         # parts (with local offsets) are cached in ``_vertex_tables``.
-        self._frontier_cache: Optional[Dict[str, np.ndarray]] = None
-        self._vertex_tables: Dict[int, tuple] = {}
-        self._frontier_dirty: Set[int] = set()
+        self._frontier_cache: dict[str, np.ndarray] | None = None
+        self._vertex_tables: dict[int, tuple] = {}
+        self._frontier_dirty: set[int] = set()
         self._inter_store = SlicedTableStore(
             {
                 "prob": np.float64,
@@ -156,7 +156,7 @@ class BingoEngine(RandomWalkEngine):
             auto_rebuild=False,
         )
 
-    def sampler_for(self, vertex: int) -> Optional[BingoVertexSampler]:
+    def sampler_for(self, vertex: int) -> BingoVertexSampler | None:
         """The per-vertex sampler (None for vertices without out-edges)."""
         return self._samplers.get(vertex)
 
@@ -270,8 +270,8 @@ class BingoEngine(RandomWalkEngine):
         # each vertex's sampler then absorbs its pre-split slice without
         # touching NumPy again.
         bias_parts = [plan[3] for plan in plans if len(plan[3])]
-        integer_list: List[int] = []
-        fraction_list: List[float] = []
+        integer_list: list[int] = []
+        fraction_list: list[float] = []
         if bias_parts:
             merged = (
                 np.concatenate(bias_parts) if len(bias_parts) > 1 else bias_parts[0]
@@ -393,7 +393,7 @@ class BingoEngine(RandomWalkEngine):
     # ------------------------------------------------------------------ #
     # sampling
     # ------------------------------------------------------------------ #
-    def _sample(self, vertex: int) -> Optional[int]:
+    def _sample(self, vertex: int) -> int | None:
         self._require_graph()
         sampler = self._samplers.get(vertex)
         if sampler is None or len(sampler) == 0:
@@ -453,7 +453,7 @@ class BingoEngine(RandomWalkEngine):
         self._frontier_dirty.clear()
         self._inter_store.reset(graph.num_vertices)
         self._flat_store.reset(graph.num_vertices)
-        live: Set[int] = set()
+        live: set[int] = set()
         for vertex, sampler in self._samplers.items():
             if len(sampler) == 0:
                 continue
@@ -462,7 +462,7 @@ class BingoEngine(RandomWalkEngine):
         for vertex in [v for v in self._vertex_tables if v not in live]:
             del self._vertex_tables[vertex]
 
-    def _frontier_tables(self) -> Dict[str, np.ndarray]:
+    def _frontier_tables(self) -> dict[str, np.ndarray]:
         """Per-vertex sampling tables concatenated into global arrays.
 
         One flattened structure serves the whole graph: per-vertex slices of
@@ -523,7 +523,7 @@ class BingoEngine(RandomWalkEngine):
     # ------------------------------------------------------------------ #
     # cross-process frontier state (the shard-router transport)
     # ------------------------------------------------------------------ #
-    def export_frontier_state(self) -> Dict[str, np.ndarray]:
+    def export_frontier_state(self) -> dict[str, np.ndarray]:
         """Both stores' full state as plain arrays (the shard boot payload).
 
         The inter store's global ``entry_offset`` values stay valid
@@ -540,7 +540,7 @@ class BingoEngine(RandomWalkEngine):
         state.update(export_store_state(self._flat_store, "flat_"))
         return state
 
-    def adopt_frontier_state(self, state: Dict[str, np.ndarray]) -> None:
+    def adopt_frontier_state(self, state: dict[str, np.ndarray]) -> None:
         """Replace the fused tables with a writer's exported snapshot.
 
         A shard replica keeps its own (owned-only) samplers but walks the
@@ -552,7 +552,7 @@ class BingoEngine(RandomWalkEngine):
         self._frontier_dirty.clear()
         self._refresh_frontier_views()
 
-    def export_frontier_patch(self, vertices) -> Dict[str, np.ndarray]:
+    def export_frontier_patch(self, vertices) -> dict[str, np.ndarray]:
         """The touched vertices' slices of both stores, offsets made local.
 
         ``entry_offset`` entries are global positions in *this* engine's
@@ -569,7 +569,7 @@ class BingoEngine(RandomWalkEngine):
         in_directory = ids < inter.num_vertices
         inter_lengths[in_directory] = inter.seg_length[ids[in_directory]]
         flat_lengths[in_directory] = flat.seg_length[ids[in_directory]]
-        payload: Dict[str, np.ndarray] = {
+        payload: dict[str, np.ndarray] = {
             "vertices": ids,
             "inter_lengths": inter_lengths,
             "flat_lengths": flat_lengths,
@@ -608,7 +608,7 @@ class BingoEngine(RandomWalkEngine):
         )
         return payload
 
-    def apply_frontier_patch(self, payload: Dict[str, np.ndarray]) -> None:
+    def apply_frontier_patch(self, payload: dict[str, np.ndarray]) -> None:
         """Apply a writer's :meth:`export_frontier_patch` to this replica.
 
         Mirrors :meth:`_set_vertex_slices`: each vertex's flat slice lands
@@ -772,9 +772,9 @@ class BingoEngine(RandomWalkEngine):
             report.merge(sampler.memory_report())
         return report
 
-    def group_kind_ratios(self) -> Dict[str, float]:
+    def group_kind_ratios(self) -> dict[str, float]:
         """Share of non-empty groups per representation (Figure 11e)."""
-        counts: Dict[str, int] = {}
+        counts: dict[str, int] = {}
         total = 0
         for sampler in self._samplers.values():
             for kind in sampler.group_kinds().values():

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -72,7 +72,7 @@ class FlowWalkerEngine(RandomWalkEngine):
         self.updates_applied += len(updates)
 
     # ------------------------------------------------------------------ #
-    def _sample(self, vertex: int) -> Optional[int]:
+    def _sample(self, vertex: int) -> int | None:
         graph = self._require_graph()
         if not (0 <= vertex < graph.num_vertices):
             # Out-of-range ids (retired-walker padding, vertices the walker
@@ -83,7 +83,7 @@ class FlowWalkerEngine(RandomWalkEngine):
         if degree == 0:
             return None
         best_key = -math.inf
-        best_dst: Optional[int] = None
+        best_dst: int | None = None
         # Efraimidis–Spirakis weighted reservoir over the live neighbour
         # columns (zero-copy views of the adjacency store).
         for dst, bias in zip(

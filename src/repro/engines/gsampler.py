@@ -11,7 +11,7 @@ reconstruction of the sampling state.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Sequence, Set
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -46,13 +46,13 @@ class GSamplerEngine(RandomWalkEngine):
     def __init__(self, *, rng: RandomSource = None, full_rebuild_on_batch: bool = True) -> None:
         super().__init__(rng=rng)
         self.full_rebuild_on_batch = full_rebuild_on_batch
-        self._samplers: Dict[int, InverseTransformSampler] = {}
+        self._samplers: dict[int, InverseTransformSampler] = {}
         # Global CDF concatenation for the fused frontier kernel, kept as
         # per-vertex sliced segments repaired through a dirty-set.  The
         # stored cumulative sums are *local* (per segment, no running
         # global prefix), so patching one vertex never shifts another's.
-        self._frontier_cache: Optional[Dict[str, np.ndarray]] = None
-        self._frontier_dirty: Set[int] = set()
+        self._frontier_cache: dict[str, np.ndarray] | None = None
+        self._frontier_dirty: set[int] = set()
         self._frontier_store = SlicedTableStore(
             {"ids": np.int64, "cumulative": np.float64}
         )
@@ -157,7 +157,7 @@ class GSamplerEngine(RandomWalkEngine):
         self.updates_applied += len(updates)
 
     # ------------------------------------------------------------------ #
-    def _sample(self, vertex: int) -> Optional[int]:
+    def _sample(self, vertex: int) -> int | None:
         sampler = self._samplers.get(vertex)
         if sampler is None or len(sampler) == 0:
             return None
@@ -173,11 +173,11 @@ class GSamplerEngine(RandomWalkEngine):
 
     def _vertex_slice_parts(
         self, sampler: InverseTransformSampler
-    ) -> Dict[str, np.ndarray]:
+    ) -> dict[str, np.ndarray]:
         ids, cumulative = sampler.numpy_tables()
         return {"ids": ids, "cumulative": cumulative}
 
-    def _frontier_tables(self) -> Dict[str, np.ndarray]:
+    def _frontier_tables(self) -> dict[str, np.ndarray]:
         """Per-vertex *local* CDF slices concatenated into global arrays.
 
         Each segment keeps its own prefix sums (no running global shift),
@@ -234,7 +234,7 @@ class GSamplerEngine(RandomWalkEngine):
     # ------------------------------------------------------------------ #
     # cross-process frontier state (the shard-router transport)
     # ------------------------------------------------------------------ #
-    def export_frontier_state(self) -> Dict[str, np.ndarray]:
+    def export_frontier_state(self) -> dict[str, np.ndarray]:
         """The CDF store's full state as plain arrays (shard boot payload)."""
         self._frontier_tables()
         state = {
@@ -245,13 +245,13 @@ class GSamplerEngine(RandomWalkEngine):
         state.update(export_store_state(self._frontier_store))
         return state
 
-    def adopt_frontier_state(self, state: Dict[str, np.ndarray]) -> None:
+    def adopt_frontier_state(self, state: dict[str, np.ndarray]) -> None:
         """Replace the fused tables with a writer's exported snapshot."""
         adopt_store_state(self._frontier_store, state)
         self._frontier_dirty.clear()
         self._refresh_frontier_views()
 
-    def export_frontier_patch(self, vertices) -> Dict[str, np.ndarray]:
+    def export_frontier_patch(self, vertices) -> dict[str, np.ndarray]:
         """The touched vertices' CDF slices (local prefix sums, patch-safe)."""
         self._frontier_tables()
         payload = export_store_slices(self._frontier_store, vertices)
@@ -260,7 +260,7 @@ class GSamplerEngine(RandomWalkEngine):
         )
         return payload
 
-    def apply_frontier_patch(self, payload: Dict[str, np.ndarray]) -> None:
+    def apply_frontier_patch(self, payload: dict[str, np.ndarray]) -> None:
         """Apply a writer's patch; untouched slices stay untouched."""
         for vertex in payload["vertices"]:
             self._samplers.pop(int(vertex), None)

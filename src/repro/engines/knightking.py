@@ -17,7 +17,7 @@ This engine reproduces those costs:
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Sequence, Set
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -51,12 +51,12 @@ class KnightKingEngine(RandomWalkEngine):
         #: behaviour the paper uses for the static baselines.  Set to False to
         #: measure the hypothetical per-vertex-rebuild variant.
         self.full_rebuild_on_batch = full_rebuild_on_batch
-        self._tables: Dict[int, AliasTable] = {}
+        self._tables: dict[int, AliasTable] = {}
         # Concatenated per-vertex alias arrays for the fused frontier kernel,
         # kept as sliced segments so an update batch only re-derives its
         # touched vertices (the dirty-set) instead of the whole graph.
-        self._frontier_cache: Optional[Dict[str, np.ndarray]] = None
-        self._frontier_dirty: Set[int] = set()
+        self._frontier_cache: dict[str, np.ndarray] | None = None
+        self._frontier_dirty: set[int] = set()
         self._frontier_store = SlicedTableStore(
             {"ids": np.int64, "prob": np.float64, "alias": np.int64}
         )
@@ -156,7 +156,7 @@ class KnightKingEngine(RandomWalkEngine):
         self.updates_applied += len(updates)
 
     # ------------------------------------------------------------------ #
-    def _sample(self, vertex: int) -> Optional[int]:
+    def _sample(self, vertex: int) -> int | None:
         table = self._tables.get(vertex)
         if table is None or len(table) == 0:
             return None
@@ -170,11 +170,11 @@ class KnightKingEngine(RandomWalkEngine):
             return np.full(count, -1, dtype=np.int64)
         return table.sample_batch(count, rng)
 
-    def _vertex_slice_parts(self, table: AliasTable) -> Dict[str, np.ndarray]:
+    def _vertex_slice_parts(self, table: AliasTable) -> dict[str, np.ndarray]:
         ids, prob, alias = table.numpy_tables()
         return {"ids": ids, "prob": prob, "alias": alias}
 
-    def _frontier_tables(self) -> Dict[str, np.ndarray]:
+    def _frontier_tables(self) -> dict[str, np.ndarray]:
         """Per-vertex alias slices concatenated into one global table.
 
         A walker on vertex ``v`` draws a bucket inside the slice
@@ -231,7 +231,7 @@ class KnightKingEngine(RandomWalkEngine):
     # ------------------------------------------------------------------ #
     # cross-process frontier state (the shard-router transport)
     # ------------------------------------------------------------------ #
-    def export_frontier_state(self) -> Dict[str, np.ndarray]:
+    def export_frontier_state(self) -> dict[str, np.ndarray]:
         """The alias store's full state as plain arrays (shard boot payload)."""
         self._frontier_tables()
         state = {
@@ -242,13 +242,13 @@ class KnightKingEngine(RandomWalkEngine):
         state.update(export_store_state(self._frontier_store))
         return state
 
-    def adopt_frontier_state(self, state: Dict[str, np.ndarray]) -> None:
+    def adopt_frontier_state(self, state: dict[str, np.ndarray]) -> None:
         """Replace the fused tables with a writer's exported snapshot."""
         adopt_store_state(self._frontier_store, state)
         self._frontier_dirty.clear()
         self._refresh_frontier_views()
 
-    def export_frontier_patch(self, vertices) -> Dict[str, np.ndarray]:
+    def export_frontier_patch(self, vertices) -> dict[str, np.ndarray]:
         """The touched vertices' alias slices (per-vertex, self-contained)."""
         self._frontier_tables()
         payload = export_store_slices(self._frontier_store, vertices)
@@ -257,7 +257,7 @@ class KnightKingEngine(RandomWalkEngine):
         )
         return payload
 
-    def apply_frontier_patch(self, payload: Dict[str, np.ndarray]) -> None:
+    def apply_frontier_patch(self, payload: dict[str, np.ndarray]) -> None:
         """Apply a writer's patch; untouched slices stay untouched."""
         for vertex in payload["vertices"]:
             self._tables.pop(int(vertex), None)

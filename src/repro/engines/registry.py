@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from collections.abc import Callable
 
 from repro.engines.base import RandomWalkEngine
 from repro.engines.bingo import BingoEngine
@@ -11,7 +11,7 @@ from repro.engines.gsampler import GSamplerEngine
 from repro.engines.knightking import KnightKingEngine
 from repro.errors import EngineError
 
-ENGINE_REGISTRY: Dict[str, Callable[..., RandomWalkEngine]] = {
+ENGINE_REGISTRY: dict[str, Callable[..., RandomWalkEngine]] = {
     BingoEngine.name: BingoEngine,
     KnightKingEngine.name: KnightKingEngine,
     GSamplerEngine.name: GSamplerEngine,
@@ -19,7 +19,7 @@ ENGINE_REGISTRY: Dict[str, Callable[..., RandomWalkEngine]] = {
 }
 
 
-def engine_names() -> List[str]:
+def engine_names() -> list[str]:
     """Registered engine names in registration order."""
     return list(ENGINE_REGISTRY)
 

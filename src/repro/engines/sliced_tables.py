@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from collections.abc import Iterable, Mapping
 
 import numpy as np
 
@@ -66,7 +66,7 @@ class FrontierDelta:
     #: The ids of the repaired slices (``None`` for full rebuilds, whose
     #: "touched set" is the world).  The shard router serializes exactly
     #: these slices into the cross-process flip payload.
-    vertex_ids: Optional[Tuple[int, ...]] = None
+    vertex_ids: tuple[int, ...] | None = None
 
 
 class SlicedTableStore:
@@ -84,7 +84,7 @@ class SlicedTableStore:
         if not schema:
             raise ReproError("a sliced table store needs at least one column")
         self._schema = {name: np.dtype(dtype) for name, dtype in schema.items()}
-        self._columns: Dict[str, np.ndarray] = {
+        self._columns: dict[str, np.ndarray] = {
             name: np.empty(0, dtype=dtype) for name, dtype in self._schema.items()
         }
         self.seg_offset = np.zeros(0, dtype=np.int64)
@@ -226,7 +226,7 @@ class SlicedTableStore:
         gather = np.repeat(self.seg_offset[live_vertices] - out_starts, lengths) + np.arange(
             total, dtype=np.int64
         )
-        for name, column in self._columns.items():
+        for column in self._columns.values():
             column[:total] = column[gather]
         self.seg_offset[live_vertices] = out_starts
         self.used = total
@@ -245,7 +245,7 @@ def mark_frontier_dirty(engine, vertices: Iterable[int]) -> None:
     engine._frontier_dirty.update(int(vertex) for vertex in vertices)
 
 
-def warm_frontier_delta(engine) -> "FrontierDelta":
+def warm_frontier_delta(engine) -> FrontierDelta:
     """Repair the engine's fused tables and report what the repair cost.
 
     This is the serve writer's warming entry point: after applying a
@@ -282,13 +282,13 @@ def pack_arrays(arrays: Mapping[str, np.ndarray]) -> bytes:
     return buffer.getvalue()
 
 
-def unpack_arrays(blob) -> Dict[str, np.ndarray]:
+def unpack_arrays(blob) -> dict[str, np.ndarray]:
     """Inverse of :func:`pack_arrays` (accepts bytes or a buffer view)."""
     with np.load(io.BytesIO(bytes(blob)), allow_pickle=False) as archive:
         return {name: archive[name] for name in archive.files}
 
 
-def export_store_state(store: SlicedTableStore, prefix: str = "") -> Dict[str, np.ndarray]:
+def export_store_state(store: SlicedTableStore, prefix: str = "") -> dict[str, np.ndarray]:
     """One store's full state as plain arrays (directory + live columns).
 
     Only the prefix below the high-water mark ships; segment offsets
@@ -322,7 +322,7 @@ def adopt_store_state(
 
 def export_store_slices(
     store: SlicedTableStore, vertices: Iterable[int], prefix: str = ""
-) -> Dict[str, np.ndarray]:
+) -> dict[str, np.ndarray]:
     """The touched vertices' segments as concatenated per-column arrays.
 
     This is the O(touched) patch payload: ``vertices`` + per-vertex
@@ -353,7 +353,7 @@ def apply_store_slices(
     store: SlicedTableStore,
     payload: Mapping[str, np.ndarray],
     prefix: str = "",
-    num_vertices: Optional[int] = None,
+    num_vertices: int | None = None,
 ) -> None:
     """Apply an :func:`export_store_slices` patch to a replica store.
 

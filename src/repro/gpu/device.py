@@ -14,7 +14,8 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import TypeVar
+from collections.abc import Callable, Iterable, Sequence
 
 from repro.gpu.memory_pool import MemoryPool
 
@@ -57,8 +58,8 @@ class SimulatedDevice:
     """Executes "kernels" (per-item callables) and accounts parallel cycles."""
 
     config: DeviceConfig = field(default_factory=DeviceConfig)
-    pool: Optional[MemoryPool] = None
-    launches: List[KernelLaunch] = field(default_factory=list)
+    pool: MemoryPool | None = None
+    launches: list[KernelLaunch] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.pool is None:
@@ -70,7 +71,7 @@ class SimulatedDevice:
         name: str,
         items: Sequence[T] | Iterable[T],
         body: Callable[[T], R],
-    ) -> List[R]:
+    ) -> list[R]:
         """Run ``body`` for every work item, recording the launch.
 
         Returns the per-item results in order.  The recorded
@@ -126,7 +127,7 @@ class SimulatedDevice:
         """Sum of host wall-clock seconds spent inside launches."""
         return sum(launch.wall_seconds for launch in self.launches)
 
-    def launches_named(self, name: str) -> List[KernelLaunch]:
+    def launches_named(self, name: str) -> list[KernelLaunch]:
         """Launches whose kernel name matches ``name``."""
         return [launch for launch in self.launches if launch.name == name]
 

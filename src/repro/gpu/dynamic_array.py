@@ -9,7 +9,8 @@ pool statistics used by the update-time analysis.
 
 from __future__ import annotations
 
-from typing import Generic, Iterator, List, Optional, TypeVar
+from typing import Generic, TypeVar
+from collections.abc import Iterator
 
 from repro.gpu.memory_pool import MemoryPool
 
@@ -23,7 +24,7 @@ class DynamicArray(Generic[T]):
 
     def __init__(
         self,
-        pool: Optional[MemoryPool] = None,
+        pool: MemoryPool | None = None,
         *,
         element_bytes: int = _DEFAULT_ELEMENT_BYTES,
         initial_capacity: int = 4,
@@ -35,8 +36,8 @@ class DynamicArray(Generic[T]):
         self._pool = pool
         self._element_bytes = element_bytes
         self._capacity = initial_capacity
-        self._items: List[T] = []
-        self._handle: Optional[int] = None
+        self._items: list[T] = []
+        self._handle: int | None = None
         if self._pool is not None:
             self._handle = self._pool.allocate(self._capacity * element_bytes)
         self.grow_count = 0
@@ -94,7 +95,7 @@ class DynamicArray(Generic[T]):
         """Drop every element (capacity is retained)."""
         self._items.clear()
 
-    def to_list(self) -> List[T]:
+    def to_list(self) -> list[T]:
         """A copy of the contents as a plain list."""
         return list(self._items)
 

@@ -21,7 +21,7 @@ so they can be unit-tested in isolation and reused by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from collections.abc import Iterable, Sequence
 
 from repro.graph.update_stream import GraphUpdate, UpdateKind
 
@@ -40,7 +40,7 @@ class BatchStatistics:
     global_memory_windows: int = 0
     parallel_steps: int = 0
 
-    def merge(self, other: "BatchStatistics") -> None:
+    def merge(self, other: BatchStatistics) -> None:
         """Fold another round's counters into this one."""
         self.insertions += other.insertions
         self.deletions += other.deletions
@@ -53,13 +53,13 @@ class BatchStatistics:
         self.parallel_steps += other.parallel_steps
 
 
-def group_updates_by_vertex(updates: Iterable[GraphUpdate]) -> Dict[int, List[GraphUpdate]]:
+def group_updates_by_vertex(updates: Iterable[GraphUpdate]) -> dict[int, list[GraphUpdate]]:
     """Reorder a batch so updates of the same source vertex sit together.
 
     The relative order of updates within one vertex is preserved (timestamps
     stay monotone), which is all the per-vertex kernels rely on.
     """
-    grouped: Dict[int, List[GraphUpdate]] = {}
+    grouped: dict[int, list[GraphUpdate]] = {}
     for update in updates:
         grouped.setdefault(update.src, []).append(update)
     return grouped
@@ -67,8 +67,8 @@ def group_updates_by_vertex(updates: Iterable[GraphUpdate]) -> Dict[int, List[Gr
 
 def normalize_vertex_updates(
     updates: Sequence[GraphUpdate],
-    existing_destinations: Set[int],
-) -> Tuple[List[Tuple[int, float]], List[int], int]:
+    existing_destinations: set[int],
+) -> tuple[list[tuple[int, float]], list[int], int]:
     """Collapse one vertex's update sequence into net insertions and deletions.
 
     The paper allows an edge to be deleted and re-inserted (or inserted and
@@ -83,7 +83,7 @@ def normalize_vertex_updates(
     ingestion is faster than streaming the same requests).
     """
     # destination -> ("insert", bias) | ("delete", None) | ("update", bias)
-    net: Dict[int, Tuple[str, float | None]] = {}
+    net: dict[int, tuple[str, float | None]] = {}
     cancelled = 0
     for update in updates:
         dst = update.dst
@@ -104,8 +104,8 @@ def normalize_vertex_updates(
             else:
                 net[dst] = ("delete", None)
 
-    insertions: List[Tuple[int, float]] = []
-    deletions: List[int] = []
+    insertions: list[tuple[int, float]] = []
+    deletions: list[int] = []
     for dst, (action, bias) in net.items():
         if action == "insert":
             insertions.append((dst, float(bias)))
@@ -122,7 +122,7 @@ def normalize_vertex_updates(
 class DeleteSwapResult:
     """Outcome of one 2-phase parallel delete-and-swap compaction."""
 
-    items: List[int] = field(default_factory=list)
+    items: list[int] = field(default_factory=list)
     tail_window: int = 0
     deleted_in_tail: int = 0
     front_fills: int = 0

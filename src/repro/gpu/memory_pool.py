@@ -11,7 +11,6 @@ from *recycled* ones (served from the free list).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 from repro.errors import OutOfDeviceMemoryError
 
@@ -56,9 +55,9 @@ class MemoryPool:
             raise ValueError("capacity_bytes must be positive or None")
         self.capacity_bytes = capacity_bytes
         self.min_block_bytes = min_block_bytes
-        self._free_lists: Dict[int, List[int]] = {}
+        self._free_lists: dict[int, list[int]] = {}
         self._next_handle = 1
-        self._handle_sizes: Dict[int, int] = {}
+        self._handle_sizes: dict[int, int] = {}
         self.stats = PoolStatistics()
 
     # ------------------------------------------------------------------ #

@@ -13,7 +13,7 @@ scalar per-step API on top of the tracker for the scalability ablation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -26,7 +26,7 @@ class WalkerTransferStats:
 
     steps: int = 0
     transfers: int = 0
-    per_device_steps: Dict[int, int] = field(default_factory=dict)
+    per_device_steps: dict[int, int] = field(default_factory=dict)
 
     def transfer_rate(self) -> float:
         """Fraction of steps that crossed a partition boundary."""
@@ -62,7 +62,7 @@ class MultiDeviceTracker:
         )
 
     @classmethod
-    def for_partition(cls, partition: OneDimPartition) -> "MultiDeviceTracker":
+    def for_partition(cls, partition: OneDimPartition) -> MultiDeviceTracker:
         """Build a tracker from a 1-D partition's owner column."""
         return cls(partition.owner_array(), partition.num_parts)
 

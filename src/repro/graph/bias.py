@@ -10,7 +10,7 @@ This module provides all of those generators behind one enum-driven factory.
 from __future__ import annotations
 
 import enum
-from typing import Callable, List, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.utils.rng import RandomSource, ensure_rng
 
@@ -33,7 +33,7 @@ def uniform_biases(
     low: int = 1,
     high: int = 64,
     rng: RandomSource = None,
-) -> List[int]:
+) -> list[int]:
     """Integer biases drawn uniformly from ``[low, high]``."""
     generator = ensure_rng(rng)
     if low < 1:
@@ -49,7 +49,7 @@ def gauss_biases(
     mean: float = 32.0,
     stddev: float = 12.0,
     rng: RandomSource = None,
-) -> List[int]:
+) -> list[int]:
     """Integer biases from a truncated Gaussian (values clamped to >= 1)."""
     generator = ensure_rng(rng)
     biases = []
@@ -65,7 +65,7 @@ def power_law_biases(
     alpha: float = 2.0,
     max_bias: int = 1 << 16,
     rng: RandomSource = None,
-) -> List[int]:
+) -> list[int]:
     """Integer biases from a bounded Pareto (power-law) distribution.
 
     Values are drawn from ``P(x) ∝ x^{-alpha}`` on ``[1, max_bias]`` via
@@ -77,7 +77,7 @@ def power_law_biases(
     if max_bias < 1:
         raise ValueError("max_bias must be at least 1")
     generator = ensure_rng(rng)
-    biases: List[int] = []
+    biases: list[int] = []
     exponent = 1.0 - alpha
     upper = float(max_bias) ** exponent
     for _ in range(count):
@@ -87,7 +87,7 @@ def power_law_biases(
     return biases
 
 
-def degree_biases(degrees: Sequence[int]) -> List[int]:
+def degree_biases(degrees: Sequence[int]) -> list[int]:
     """Biases equal to the (destination) vertex degree, clamped to >= 1.
 
     This is the paper's default: "we generate the bias for most of the tests
@@ -100,7 +100,7 @@ def add_fractional_noise(
     biases: Sequence[float],
     *,
     rng: RandomSource = None,
-) -> List[float]:
+) -> list[float]:
     """Turn integer biases into floating-point biases by adding U(0, 1) noise.
 
     Mirrors the Figure 14 methodology: "the floating-point bias is the integer
@@ -115,7 +115,7 @@ def make_bias_generator(
     *,
     rng: RandomSource = None,
     **params: float,
-) -> Callable[[int], List[int]]:
+) -> Callable[[int], list[int]]:
     """Return a function ``count -> biases`` for the requested distribution.
 
     ``DEGREE`` is excluded here because it needs the graph topology; use
@@ -150,7 +150,7 @@ def _reject_unknown(params: dict) -> None:
         raise TypeError(f"unknown bias-generator parameters: {sorted(params)}")
 
 
-def group_element_ratio(biases: Sequence[int], num_groups: int) -> List[float]:
+def group_element_ratio(biases: Sequence[int], num_groups: int) -> list[float]:
     """Fraction of biases whose radix group ``k`` bit is set, for each ``k``.
 
     Reproduces the quantity plotted in Figure 9 ("group element ratio"): for

@@ -9,7 +9,7 @@ updates").  The CSR form gives them a compact, cache-friendly substrate.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -51,11 +51,11 @@ class CSRGraph:
 
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_dynamic(cls, graph: DynamicGraph) -> "CSRGraph":
+    def from_dynamic(cls, graph: DynamicGraph) -> CSRGraph:
         """Snapshot a :class:`DynamicGraph` into CSR form."""
-        offsets: List[int] = [0]
-        targets: List[int] = []
-        biases: List[float] = []
+        offsets: list[int] = [0]
+        targets: list[int] = []
+        biases: list[float] = []
         for vertex in range(graph.num_vertices):
             for edge in graph.out_edges(vertex):
                 targets.append(edge.dst)

@@ -29,7 +29,7 @@ edge, which matches how the evaluation datasets are ingested.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -53,7 +53,7 @@ _EMPTY_DSTS = np.empty(0, dtype=np.int64)
 _EMPTY_BIASES = np.empty(0, dtype=np.float64)
 
 
-def _first_duplicate(values: List[int]) -> int:
+def _first_duplicate(values: list[int]) -> int:
     """The first value appearing twice in ``values`` (caller guarantees one)."""
     seen = set()
     for value in values:
@@ -71,7 +71,7 @@ class Edge:
     dst: int
     bias: Number
 
-    def reversed(self) -> "Edge":
+    def reversed(self) -> Edge:
         """The same edge pointing the opposite way (used for undirected input)."""
         return Edge(self.dst, self.src, self.bias)
 
@@ -90,7 +90,7 @@ class _VertexAdjacency:
         self.biases: np.ndarray = _EMPTY_BIASES
         self.size: int = 0
         # destination vertex -> index inside the live prefix of `dsts`/`biases`
-        self.position: Dict[int, int] = {}
+        self.position: dict[int, int] = {}
 
     def __len__(self) -> int:
         return self.size
@@ -141,7 +141,7 @@ class _VertexAdjacency:
         self.position.update(zip(dsts.tolist(), range(start, start + count)))
         self.size = start + count
 
-    def remove(self, dst: int) -> Tuple[int, Number, Optional[int]]:
+    def remove(self, dst: int) -> tuple[int, Number, int | None]:
         """Remove ``dst`` and return (removed_index, removed_bias, moved_dst).
 
         ``moved_dst`` is the destination that was relocated from the tail into
@@ -150,7 +150,7 @@ class _VertexAdjacency:
         index = self.position.pop(dst)
         bias = float(self.biases[index])
         last = self.size - 1
-        moved: Optional[int] = None
+        moved: int | None = None
         if index != last:
             moved = int(self.dsts[last])
             self.dsts[index] = moved
@@ -178,7 +178,7 @@ class _VertexAdjacency:
             )
         return np.isin(dsts, self.dst_view())
 
-    def copy(self) -> "_VertexAdjacency":
+    def copy(self) -> _VertexAdjacency:
         clone = _VertexAdjacency()
         if self.size:
             clone.dsts = self.dsts[: self.size].copy()
@@ -212,7 +212,7 @@ class DynamicGraph:
 
     def __init__(self, num_vertices: int = 0, *, undirected: bool = False) -> None:
         check_non_negative_int(num_vertices, "num_vertices")
-        self._adjacency: List[_VertexAdjacency] = [
+        self._adjacency: list[_VertexAdjacency] = [
             _VertexAdjacency() for _ in range(num_vertices)
         ]
         self._undirected = bool(undirected)
@@ -224,11 +224,11 @@ class DynamicGraph:
     @classmethod
     def from_edges(
         cls,
-        edges: Iterable[Tuple[int, int, Number]],
+        edges: Iterable[tuple[int, int, Number]],
         *,
-        num_vertices: Optional[int] = None,
+        num_vertices: int | None = None,
         undirected: bool = False,
-    ) -> "DynamicGraph":
+    ) -> DynamicGraph:
         """Build a graph from an iterable of ``(src, dst, bias)`` triples."""
         edge_list = [(int(s), int(d), b) for s, d, b in edges]
         if num_vertices is None:
@@ -279,7 +279,7 @@ class DynamicGraph:
         self._adjacency.append(_VertexAdjacency())
         return len(self._adjacency) - 1
 
-    def add_vertices(self, count: int) -> List[int]:
+    def add_vertices(self, count: int) -> list[int]:
         """Append ``count`` new isolated vertices and return their identifiers."""
         check_non_negative_int(count, "count")
         start = len(self._adjacency)
@@ -299,7 +299,7 @@ class DynamicGraph:
         if missing > 0:
             self._adjacency.extend(_VertexAdjacency() for _ in range(missing))
 
-    def isolate_vertex(self, vertex: int) -> List[Edge]:
+    def isolate_vertex(self, vertex: int) -> list[Edge]:
         """Remove every edge incident to ``vertex`` and return the removed edges.
 
         This implements *vertex deletion* in terms of edge deletions, as the
@@ -307,7 +307,7 @@ class DynamicGraph:
         but becomes isolated.
         """
         self._check_vertex(vertex)
-        removed: List[Edge] = []
+        removed: list[Edge] = []
         for dst in list(self._adjacency[vertex].position):
             bias = self.edge_bias(vertex, dst)
             self.remove_edge(vertex, dst)
@@ -557,7 +557,7 @@ class DynamicGraph:
         self._check_vertex(vertex)
         return self._adjacency[vertex].bias_view()
 
-    def neighbor_at(self, vertex: int, index: int) -> Tuple[int, Number]:
+    def neighbor_at(self, vertex: int, index: int) -> tuple[int, Number]:
         """The ``(destination, bias)`` stored at neighbour-array position ``index``."""
         self._check_vertex(vertex)
         adjacency = self._adjacency[vertex]
@@ -608,7 +608,7 @@ class DynamicGraph:
     # ------------------------------------------------------------------ #
     # snapshots and copies
     # ------------------------------------------------------------------ #
-    def copy(self) -> "DynamicGraph":
+    def copy(self) -> DynamicGraph:
         """A deep copy of the graph (column arrays are copied compactly)."""
         clone = DynamicGraph(0, undirected=False)
         clone._adjacency = [adj.copy() for adj in self._adjacency]

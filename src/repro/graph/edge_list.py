@@ -9,12 +9,12 @@ data locally.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, List, Optional, Tuple, Union
+from collections.abc import Iterable
 
 from repro.errors import GraphError
 from repro.graph.dynamic_graph import DynamicGraph
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 def load_edge_list(
@@ -22,7 +22,7 @@ def load_edge_list(
     *,
     undirected: bool = False,
     default_bias: float = 1.0,
-    comment_prefixes: Tuple[str, ...] = ("#", "%"),
+    comment_prefixes: tuple[str, ...] = ("#", "%"),
 ) -> DynamicGraph:
     """Load a whitespace-separated edge list into a :class:`DynamicGraph`.
 
@@ -31,9 +31,9 @@ def load_edge_list(
     graphs list both arc directions).
     """
     path = Path(path)
-    edges: List[Tuple[int, int, float]] = []
+    edges: list[tuple[int, int, float]] = []
     max_vertex = -1
-    with path.open("r", encoding="utf-8") as handle:
+    with path.open(encoding="utf-8") as handle:
         for line_number, raw in enumerate(handle, start=1):
             line = raw.strip()
             if not line or line.startswith(comment_prefixes):
@@ -66,7 +66,7 @@ def save_edge_list(
     path: PathLike,
     *,
     include_bias: bool = True,
-    header: Optional[str] = None,
+    header: str | None = None,
 ) -> None:
     """Write a graph as a whitespace-separated edge list."""
     path = Path(path)
@@ -88,9 +88,9 @@ def save_edge_list(
 
 
 def edges_from_pairs(
-    pairs: Iterable[Tuple[int, int]],
+    pairs: Iterable[tuple[int, int]],
     *,
     bias: float = 1.0,
-) -> List[Tuple[int, int, float]]:
+) -> list[tuple[int, int, float]]:
     """Attach a constant bias to bare ``(src, dst)`` pairs."""
     return [(src, dst, bias) for src, dst in pairs]

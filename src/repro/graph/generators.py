@@ -17,7 +17,7 @@ match the originals in shape:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.graph.bias import BiasDistribution, degree_biases, make_bias_generator
 from repro.graph.dynamic_graph import DynamicGraph
@@ -130,7 +130,7 @@ def power_law_graph(
     generator = ensure_rng(rng)
 
     # Repeated-vertex list implements preferential attachment in O(1) per draw.
-    attachment_pool: List[int] = list(range(edges_per_vertex + 1))
+    attachment_pool: list[int] = list(range(edges_per_vertex + 1))
     pairs = set()
     for new_vertex in range(edges_per_vertex + 1, num_vertices):
         chosen = set()
@@ -218,11 +218,11 @@ def rmat_graph(
 
 
 def _make_biases(
-    pairs: Sequence[Tuple[int, int]],
+    pairs: Sequence[tuple[int, int]],
     num_vertices: int,
     distribution: BiasDistribution | str,
     rng,
-) -> List[float]:
+) -> list[float]:
     """Produce one bias per edge according to the requested distribution."""
     distribution = BiasDistribution(distribution)
     if distribution is BiasDistribution.DEGREE:

@@ -26,7 +26,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
-from typing import Iterator, List, Optional, Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -51,9 +51,9 @@ class OneDimPartition:
     """
 
     num_parts: int
-    owner: List[int]
-    vertices: List[List[int]]
-    _owner_array: Optional[np.ndarray] = field(
+    owner: list[int]
+    vertices: list[list[int]]
+    _owner_array: np.ndarray | None = field(
         default=None, repr=False, compare=False
     )
 
@@ -193,7 +193,7 @@ def partition_graph(
     else:
         raise ValueError(f"unknown partitioning strategy {strategy!r}")
 
-    vertices: List[List[int]] = [[] for _ in range(num_parts)]
+    vertices: list[list[int]] = [[] for _ in range(num_parts)]
     for vertex, part in enumerate(owner.tolist()):
         vertices[part].append(vertex)
     return OneDimPartition(
@@ -249,7 +249,7 @@ class SharedGraphShards:
 
     def __init__(
         self,
-        blocks: List[shared_memory.SharedMemory],
+        blocks: list[shared_memory.SharedMemory],
         indptr: np.ndarray,
         targets: np.ndarray,
         biases: np.ndarray,
@@ -271,7 +271,7 @@ class SharedGraphShards:
     @classmethod
     def create(
         cls, graph: DynamicGraph, partition: OneDimPartition
-    ) -> "SharedGraphShards":
+    ) -> SharedGraphShards:
         """Export ``graph`` + ``partition`` into fresh shared-memory blocks."""
         n = graph.num_vertices
         degrees = np.fromiter(
@@ -318,7 +318,7 @@ class SharedGraphShards:
         )
 
     @classmethod
-    def attach(cls, handle: SharedShardHandle) -> "SharedGraphShards":
+    def attach(cls, handle: SharedShardHandle) -> SharedGraphShards:
         """Map an existing store into this process (zero-copy views)."""
         # Workers are spawned by multiprocessing and share the coordinator's
         # resource tracker (the fd travels in the spawn preparation data), so
@@ -349,7 +349,7 @@ class SharedGraphShards:
     def num_arcs(self) -> int:
         return int(len(self.targets))
 
-    def shard_view(self, shard: int) -> "ShardSubgraph":
+    def shard_view(self, shard: int) -> ShardSubgraph:
         """The read-only subgraph view for ``shard``."""
         if not (0 <= shard < self.num_parts):
             raise ValueError(f"shard {shard} out of range for {self.num_parts} parts")
@@ -405,7 +405,7 @@ class ShardSubgraph:
         self.biases = biases
         self.owner = owner
         self.shard = int(shard)
-        self._owned: Optional[np.ndarray] = None
+        self._owned: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     @property

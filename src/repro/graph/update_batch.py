@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -89,7 +89,7 @@ class VertexUpdateSlice:
     def __len__(self) -> int:
         return len(self.dsts)
 
-    def kind_runs(self) -> List[Tuple[bool, int, int]]:
+    def kind_runs(self) -> list[tuple[bool, int, int]]:
         """Maximal runs of equal update kind as ``(is_insert, start, stop)``.
 
         Replaying the slice run-by-run preserves the exact timestamp order
@@ -105,7 +105,7 @@ class VertexUpdateSlice:
         boundaries = np.flatnonzero(mask[1:] != mask[:-1])
         if len(boundaries) == 0:
             return [(first, 0, count)]
-        runs: List[Tuple[bool, int, int]] = []
+        runs: list[tuple[bool, int, int]] = []
         kind = first
         start = 0
         for stop in (boundaries + 1).tolist():
@@ -117,7 +117,7 @@ class VertexUpdateSlice:
 
     def normalize(
         self, membership: Callable[[np.ndarray], np.ndarray]
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
         """Collapse the slice into net deletions and insertions.
 
         Reproduces :func:`repro.gpu.kernels.normalize_vertex_updates`
@@ -172,9 +172,9 @@ class VertexUpdateSlice:
             existing = {
                 dst for dst, hit in zip(update_dsts, present.tolist()) if hit
             }
-        insert_dsts: List[int] = []
-        insert_biases: List[float] = []
-        deletions: List[int] = []
+        insert_dsts: list[int] = []
+        insert_biases: list[float] = []
+        deletions: list[int] = []
         for dst, (action, bias) in net.items():
             if action == "insert":
                 insert_dsts.append(dst)
@@ -218,7 +218,7 @@ class UpdateBatch(Sequence[GraphUpdate]):
         dst: np.ndarray,
         bias: np.ndarray,
         insert_mask: np.ndarray,
-        timestamp: Optional[np.ndarray] = None,
+        timestamp: np.ndarray | None = None,
     ) -> None:
         self.src = np.ascontiguousarray(src, dtype=np.int64)
         self.dst = np.ascontiguousarray(dst, dtype=np.int64)
@@ -236,14 +236,14 @@ class UpdateBatch(Sequence[GraphUpdate]):
         }
         if len(lengths) != 1:
             raise ValueError("update-batch columns must have matching lengths")
-        self._groups: Optional[List[VertexUpdateSlice]] = None
+        self._groups: list[VertexUpdateSlice] | None = None
         self._groups_have_dup_info = False
 
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_updates(cls, updates: Iterable[GraphUpdate]) -> "UpdateBatch":
+    def from_updates(cls, updates: Iterable[GraphUpdate]) -> UpdateBatch:
         """Build columns from scalar update records (one pass)."""
         materialized = updates if isinstance(updates, (list, tuple)) else list(updates)
         count = len(materialized)
@@ -261,7 +261,7 @@ class UpdateBatch(Sequence[GraphUpdate]):
         return cls(src, dst, bias, insert_mask, timestamp)
 
     @classmethod
-    def coerce(cls, updates) -> "UpdateBatch":
+    def coerce(cls, updates) -> UpdateBatch:
         """Return ``updates`` as an :class:`UpdateBatch` (no-op when it is one)."""
         if isinstance(updates, cls):
             return updates
@@ -317,7 +317,7 @@ class UpdateBatch(Sequence[GraphUpdate]):
     # ------------------------------------------------------------------ #
     # grouping (request reordering, Section 5.2 step 1)
     # ------------------------------------------------------------------ #
-    def group_by_source(self, *, detect_duplicates: bool = True) -> List[VertexUpdateSlice]:
+    def group_by_source(self, *, detect_duplicates: bool = True) -> list[VertexUpdateSlice]:
         """Per-vertex update slices in timestamp order.
 
         One stable ``argsort`` on the source column reorders the whole batch
@@ -372,7 +372,7 @@ class UpdateBatch(Sequence[GraphUpdate]):
                 unique_keys, key_counts = np.unique(keys, return_counts=True)
                 dup_sources = set((unique_keys[key_counts > 1] // width).tolist())
 
-        groups: List[VertexUpdateSlice] = []
+        groups: list[VertexUpdateSlice] = []
         for start, stop in zip(starts.tolist(), stops.tolist()):
             vertex = int(src_sorted[start])
             groups.append(

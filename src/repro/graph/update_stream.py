@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple
+from collections.abc import Iterator
 
 from repro.errors import DuplicateEdgeError, EdgeNotFoundError, UpdateError
 from repro.graph.dynamic_graph import DynamicGraph, Edge
@@ -59,7 +59,7 @@ class UpdateStream:
     """
 
     initial_graph: DynamicGraph
-    batches: List[UpdateBatch] = field(default_factory=list)
+    batches: list[UpdateBatch] = field(default_factory=list)
     workload: UpdateWorkload = UpdateWorkload.MIXED
 
     @property
@@ -158,7 +158,7 @@ def split_initial_and_updates(
     reserve_edges: int,
     *,
     rng: RandomSource = None,
-) -> Tuple[DynamicGraph, List[Edge]]:
+) -> tuple[DynamicGraph, list[Edge]]:
     """Split ``graph`` into an initial graph (set A) and a reserve edge pool (set B).
 
     ``reserve_edges`` edges are removed uniformly at random from the graph and
@@ -210,14 +210,14 @@ def generate_update_stream(
     total_updates = batch_size * num_batches
 
     if workload is UpdateWorkload.DELETION:
-        reserve: List[Edge] = []
+        reserve: list[Edge] = []
         initial = graph.copy()
     else:
         initial, reserve = split_initial_and_updates(graph, total_updates, rng=generator)
 
     # Track the live edge set of A so deletions always pick an existing edge
     # and insertions never duplicate one.
-    live_edges: List[Edge] = list(initial.edges())
+    live_edges: list[Edge] = list(initial.edges())
     live_keys = {(edge.src, edge.dst) for edge in live_edges}
 
     def pick_live_index() -> int:
@@ -230,11 +230,11 @@ def generate_update_stream(
             live_edges[index] = live_edges[-1]
             live_edges.pop()
 
-    batches: List[UpdateBatch] = []
+    batches: list[UpdateBatch] = []
     timestamp = 0
     reserve_cursor = 0
     for _ in range(num_batches):
-        batch: List[GraphUpdate] = []
+        batch: list[GraphUpdate] = []
         for _ in range(batch_size):
             if workload is UpdateWorkload.INSERTION:
                 do_insert = True

@@ -8,7 +8,6 @@ this structure per vertex and rebuilds it on every update.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,29 +31,29 @@ class AliasTable(DynamicSampler):
 
     kind = SamplerKind.ALIAS
 
-    def __init__(self, *, rng: RandomSource = None, counter: Optional[OperationCounter] = None) -> None:
+    def __init__(self, *, rng: RandomSource = None, counter: OperationCounter | None = None) -> None:
         super().__init__(rng=rng, counter=counter)
-        self._ids: List[int] = []
-        self._biases: List[float] = []
-        self._index: Dict[int, int] = {}
-        self._prob: List[float] = []
-        self._alias: List[int] = []
+        self._ids: list[int] = []
+        self._biases: list[float] = []
+        self._index: dict[int, int] = {}
+        self._prob: list[float] = []
+        self._alias: list[int] = []
         self._dirty = True
         self.rebuild_count = 0
         # NumPy mirrors of the alias arrays, built lazily for sample_batch.
-        self._np_arrays: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._np_arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     @classmethod
     def from_built(
         cls,
-        ids: List[int],
-        biases: List[float],
-        prob: List[float],
-        alias: List[int],
+        ids: list[int],
+        biases: list[float],
+        prob: list[float],
+        alias: list[int],
         *,
         rng: RandomSource = None,
-        counter: Optional[OperationCounter] = None,
-    ) -> "AliasTable":
+        counter: OperationCounter | None = None,
+    ) -> AliasTable:
         """Adopt prebuilt alias arrays (the batched-rebuild fast path).
 
         ``prob``/``alias`` must be exactly what :meth:`rebuild` would produce
@@ -165,8 +164,8 @@ class AliasTable(DynamicSampler):
 
         scaled = [bias * count / total for bias in self._biases]
         self.counter.arith(count)
-        small: List[int] = []
-        large: List[int] = []
+        small: list[int] = []
+        large: list[int] = []
         for position, value in enumerate(scaled):
             self.counter.compare(1)
             if value < 1.0:
@@ -237,7 +236,7 @@ class AliasTable(DynamicSampler):
         chosen = np.where(toss < prob[buckets], buckets, alias[buckets])
         return ids[chosen]
 
-    def numpy_tables(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def numpy_tables(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """The (ids, prob, alias) arrays as cached NumPy mirrors.
 
         Rebuilds first when dirty; used by :meth:`sample_batch` and by the
@@ -259,7 +258,7 @@ class AliasTable(DynamicSampler):
     def __len__(self) -> int:
         return len(self._ids)
 
-    def candidates(self) -> List[Tuple[int, float]]:
+    def candidates(self) -> list[tuple[int, float]]:
         return list(zip(self._ids, self._biases))
 
     def total_bias(self) -> float:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 import enum
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 from repro.sampling.cost_model import OperationCounter
 from repro.utils.rng import RandomSource, ensure_rng
@@ -40,7 +40,7 @@ class DynamicSampler(abc.ABC):
 
     kind: SamplerKind
 
-    def __init__(self, *, rng: RandomSource = None, counter: Optional[OperationCounter] = None) -> None:
+    def __init__(self, *, rng: RandomSource = None, counter: OperationCounter | None = None) -> None:
         self._rng = ensure_rng(rng)
         self.counter = counter if counter is not None else OperationCounter()
 
@@ -72,7 +72,7 @@ class DynamicSampler(abc.ABC):
         """Number of candidates currently held."""
 
     @abc.abstractmethod
-    def candidates(self) -> List[Tuple[int, float]]:
+    def candidates(self) -> list[tuple[int, float]]:
         """The current ``(candidate, bias)`` pairs (order unspecified)."""
 
     @abc.abstractmethod
@@ -87,7 +87,7 @@ class DynamicSampler(abc.ABC):
         """Whether ``candidate`` is currently held."""
         return any(existing == candidate for existing, _ in self.candidates())
 
-    def exact_probabilities(self) -> Dict[int, float]:
+    def exact_probabilities(self) -> dict[int, float]:
         """The exact selection probability of every candidate.
 
         Used by correctness tests to check Theorem 4.1-style invariants
@@ -98,9 +98,9 @@ class DynamicSampler(abc.ABC):
             return {}
         return {candidate: bias / total for candidate, bias in self.candidates()}
 
-    def empirical_distribution(self, draws: int) -> Dict[int, float]:
+    def empirical_distribution(self, draws: int) -> dict[int, float]:
         """Empirical selection frequencies over ``draws`` samples."""
-        counts: Dict[int, int] = {}
+        counts: dict[int, int] = {}
         for _ in range(draws):
             candidate = self.sample()
             counts[candidate] = counts.get(candidate, 0) + 1
@@ -112,12 +112,12 @@ class DynamicSampler(abc.ABC):
     @classmethod
     def from_candidates(
         cls,
-        pairs: Iterable[Tuple[int, float]],
+        pairs: Iterable[tuple[int, float]],
         *,
         rng: RandomSource = None,
-        counter: Optional[OperationCounter] = None,
+        counter: OperationCounter | None = None,
         **kwargs,
-    ) -> "DynamicSampler":
+    ) -> DynamicSampler:
         """Build a sampler pre-populated with ``pairs``."""
         sampler = cls(rng=rng, counter=counter, **kwargs)
         for candidate, bias in pairs:

@@ -11,7 +11,6 @@ published asymptotics (O(1), O(K), O(log d), O(d)).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
 
 
 @dataclass
@@ -55,7 +54,7 @@ class OperationCounter:
         self.random_draws = 0
         self.arithmetic_ops = 0
 
-    def snapshot(self) -> Dict[str, int]:
+    def snapshot(self) -> dict[str, int]:
         """A copy of the counters as a plain dict."""
         return {
             "memory_touches": self.memory_touches,
@@ -75,7 +74,7 @@ class OperationCosts:
     consumed per invocation.
     """
 
-    per_op: Dict[str, float] = field(default_factory=dict)
+    per_op: dict[str, float] = field(default_factory=dict)
 
     def record(self, operation: str, ops: int, invocations: int) -> None:
         """Record that ``invocations`` calls of ``operation`` cost ``ops`` total."""

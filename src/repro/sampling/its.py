@@ -11,7 +11,6 @@ baseline engine.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -30,15 +29,15 @@ class InverseTransformSampler(DynamicSampler):
 
     kind = SamplerKind.ITS
 
-    def __init__(self, *, rng: RandomSource = None, counter: Optional[OperationCounter] = None) -> None:
+    def __init__(self, *, rng: RandomSource = None, counter: OperationCounter | None = None) -> None:
         super().__init__(rng=rng, counter=counter)
-        self._ids: List[int] = []
-        self._biases: List[float] = []
-        self._index: Dict[int, int] = {}
-        self._cumulative: List[float] = []
+        self._ids: list[int] = []
+        self._biases: list[float] = []
+        self._index: dict[int, int] = {}
+        self._cumulative: list[float] = []
         self._dirty = False
         # NumPy mirrors of (ids, cumulative), built lazily for sample_batch.
-        self._np_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._np_arrays: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -118,7 +117,7 @@ class InverseTransformSampler(DynamicSampler):
     def rebuild(self) -> None:
         """Recompute the prefix sums in O(d)."""
         running = 0.0
-        cumulative: List[float] = []
+        cumulative: list[float] = []
         for bias in self._biases:
             running += bias
             cumulative.append(running)
@@ -169,7 +168,7 @@ class InverseTransformSampler(DynamicSampler):
         self.counter.touch(count)
         return ids[positions]
 
-    def numpy_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+    def numpy_tables(self) -> tuple[np.ndarray, np.ndarray]:
         """The (ids, cumulative) arrays as cached NumPy mirrors.
 
         Rebuilds first when dirty; used by :meth:`sample_batch` and by the
@@ -190,7 +189,7 @@ class InverseTransformSampler(DynamicSampler):
     def __len__(self) -> int:
         return len(self._ids)
 
-    def candidates(self) -> List[Tuple[int, float]]:
+    def candidates(self) -> list[tuple[int, float]]:
         return list(zip(self._ids, self._biases))
 
     def total_bias(self) -> float:

@@ -11,7 +11,6 @@ variant of it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -40,13 +39,13 @@ class RejectionSampler(DynamicSampler):
         self,
         *,
         rng: RandomSource = None,
-        counter: Optional[OperationCounter] = None,
+        counter: OperationCounter | None = None,
         max_trials: int = 1_000_000,
     ) -> None:
         super().__init__(rng=rng, counter=counter)
-        self._ids: List[int] = []
-        self._biases: List[float] = []
-        self._index: Dict[int, int] = {}
+        self._ids: list[int] = []
+        self._biases: list[float] = []
+        self._index: dict[int, int] = {}
         self._max_bias = 0.0
         self._max_trials = int(max_trials)
         self.trial_count = 0
@@ -173,7 +172,7 @@ class RejectionSampler(DynamicSampler):
     def __len__(self) -> int:
         return len(self._ids)
 
-    def candidates(self) -> List[Tuple[int, float]]:
+    def candidates(self) -> list[tuple[int, float]]:
         return list(zip(self._ids, self._biases))
 
     def total_bias(self) -> float:

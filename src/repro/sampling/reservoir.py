@@ -10,7 +10,6 @@ attributes to FlowWalker's slowdown on high-degree graphs.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
 
 from repro.errors import EmptySamplerError, SamplerStateError
 from repro.sampling.base import DynamicSampler, SamplerKind
@@ -27,11 +26,11 @@ class WeightedReservoirSampler(DynamicSampler):
 
     kind = SamplerKind.RESERVOIR
 
-    def __init__(self, *, rng: RandomSource = None, counter: Optional[OperationCounter] = None) -> None:
+    def __init__(self, *, rng: RandomSource = None, counter: OperationCounter | None = None) -> None:
         super().__init__(rng=rng, counter=counter)
-        self._ids: List[int] = []
-        self._biases: List[float] = []
-        self._index: Dict[int, int] = {}
+        self._ids: list[int] = []
+        self._biases: list[float] = []
+        self._index: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # mutation — O(1), there is nothing to maintain
@@ -93,7 +92,7 @@ class WeightedReservoirSampler(DynamicSampler):
     def __len__(self) -> int:
         return len(self._ids)
 
-    def candidates(self) -> List[Tuple[int, float]]:
+    def candidates(self) -> list[tuple[int, float]]:
         return list(zip(self._ids, self._biases))
 
     def total_bias(self) -> float:

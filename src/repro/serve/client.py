@@ -42,7 +42,7 @@ import json
 import threading
 import time
 import urllib.parse
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from collections.abc import Sequence
 
 from repro.errors import ServeError
 from repro.serve import wire
@@ -81,8 +81,8 @@ class ServiceHTTPError(ServeError):
     def __init__(
         self,
         status: int,
-        payload: Dict[str, object],
-        retry_after: Optional[float] = None,
+        payload: dict[str, object],
+        retry_after: float | None = None,
     ) -> None:
         envelope = payload.get("error")
         if isinstance(envelope, dict):
@@ -90,7 +90,7 @@ class ServiceHTTPError(ServeError):
             code = envelope.get("code") or ""
             message = envelope.get("message") or ""
             detail = f"{code}: {message}" if code else message
-            self.error_code: Optional[str] = str(code) or None
+            self.error_code: str | None = str(code) or None
         else:
             # Pre-/v1 servers sent flat {"error": "...", "type": "..."}.
             detail = envelope or payload.get("status") or ""
@@ -105,7 +105,7 @@ class ServiceUnreachableError(ServeError):
     """The front-end could not be reached (connection or socket failure)."""
 
 
-def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+def _parse_retry_after(value: str | None) -> float | None:
     """The ``Retry-After`` header in seconds (delta-seconds form only)."""
     if value is None:
         return None
@@ -146,7 +146,7 @@ class ServiceClient:
         self,
         base_url: str,
         *,
-        tenant: Optional[str] = None,
+        tenant: str | None = None,
         max_retries: int = DEFAULT_MAX_RETRIES,
         backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
         backoff_cap_seconds: float = DEFAULT_BACKOFF_CAP_SECONDS,
@@ -170,7 +170,7 @@ class ServiceClient:
         self.timeout = float(timeout)
         self._sleep = sleep
         self._lock = threading.Lock()
-        self._connection: Optional[http.client.HTTPConnection] = None
+        self._connection: http.client.HTTPConnection | None = None
         #: Transient-failure retries performed over this client's lifetime.
         self.retries_performed = 0
         #: TCP connections opened (1 after any number of keep-alive
@@ -185,7 +185,7 @@ class ServiceClient:
         with self._lock:
             self._drop_connection()
 
-    def __enter__(self) -> "ServiceClient":
+    def __enter__(self) -> ServiceClient:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -200,12 +200,12 @@ class ServiceClient:
         starts: Sequence[int],
         walk_length: int,
         *,
-        params: Optional[Dict[str, float]] = None,
-        timeout: Optional[float] = None,
-        deadline_seconds: Optional[float] = None,
-        tenant: Optional[str] = None,
+        params: dict[str, float] | None = None,
+        timeout: float | None = None,
+        deadline_seconds: float | None = None,
+        tenant: str | None = None,
         binary: bool = False,
-    ) -> Union[Dict[str, object], wire.DecodedWalks]:
+    ) -> dict[str, object] | wire.DecodedWalks:
         """Run one walk query; retried on transient failures (a read).
 
         With ``binary=True`` the request negotiates
@@ -213,7 +213,7 @@ class ServiceClient:
         :class:`~repro.serve.wire.DecodedWalks` (zero-copy matrix view)
         instead of the JSON dict.
         """
-        body: Dict[str, object] = {
+        body: dict[str, object] = {
             "application": application,
             "starts": list(starts),
             "walk_length": int(walk_length),
@@ -230,23 +230,23 @@ class ServiceClient:
 
     def ingest(
         self,
-        updates: List[Dict[str, object]],
+        updates: list[dict[str, object]],
         *,
         flush: bool = False,
-        tenant: Optional[str] = None,
-    ) -> Dict[str, object]:
+        tenant: str | None = None,
+    ) -> dict[str, object]:
         """Queue an update batch — **never retried** (not idempotent)."""
-        body: Dict[str, object] = {"updates": list(updates)}
+        body: dict[str, object] = {"updates": list(updates)}
         if flush:
             body["flush"] = True
         return self._request(
             "POST", "/v1/ingest", body, idempotent=False, tenant=tenant
         )
 
-    def stats(self) -> Dict[str, object]:
+    def stats(self) -> dict[str, object]:
         return self._request("GET", "/v1/stats", None, idempotent=True)
 
-    def health(self) -> Dict[str, object]:
+    def health(self) -> dict[str, object]:
         """The ``/healthz`` payload; unhealthy (503) is returned, not raised."""
         try:
             return self._request("GET", "/v1/healthz", None, idempotent=False)
@@ -258,7 +258,7 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
     # transport
     # ------------------------------------------------------------------ #
-    def _backoff(self, attempt: int, hint: Optional[float]) -> float:
+    def _backoff(self, attempt: int, hint: float | None) -> float:
         planned = min(
             self.backoff_seconds * (2.0**attempt), self.backoff_cap_seconds
         )
@@ -270,10 +270,10 @@ class ServiceClient:
         self,
         method: str,
         path: str,
-        body: Optional[Dict[str, object]],
+        body: dict[str, object] | None,
         *,
         idempotent: bool,
-        tenant: Optional[str] = None,
+        tenant: str | None = None,
         binary: bool = False,
     ):
         retries = self.max_retries if idempotent else 0
@@ -297,16 +297,16 @@ class ServiceClient:
         self,
         method: str,
         path: str,
-        body: Optional[Dict[str, object]],
-        tenant: Optional[str],
+        body: dict[str, object] | None,
+        tenant: str | None,
         binary: bool,
     ):
-        data: Optional[bytes] = None
+        data: bytes | None = None
         headers = {
             "Accept": wire.WIRE_CONTENT_TYPE if binary else "application/json"
         }
         if body is not None:
-            data = json.dumps(body).encode("utf-8")
+            data = json.dumps(body).encode()
             headers["Content-Type"] = "application/json"
         tenant = tenant if tenant is not None else self.tenant
         if tenant:
@@ -333,9 +333,9 @@ class ServiceClient:
         self,
         method: str,
         path: str,
-        data: Optional[bytes],
-        headers: Dict[str, str],
-    ) -> Tuple[int, Dict[str, str], bytes]:
+        data: bytes | None,
+        headers: dict[str, str],
+    ) -> tuple[int, dict[str, str], bytes]:
         """One request/response over the persistent connection.
 
         A stale reused connection (server closed it while idle) gets one
@@ -369,9 +369,9 @@ class ServiceClient:
         self,
         method: str,
         path: str,
-        data: Optional[bytes],
-        headers: Dict[str, str],
-    ) -> Tuple[int, Dict[str, str], bytes]:
+        data: bytes | None,
+        headers: dict[str, str],
+    ) -> tuple[int, dict[str, str], bytes]:
         connection = self._connection
         if connection is None:
             connection = http.client.HTTPConnection(

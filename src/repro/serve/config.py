@@ -17,10 +17,11 @@ so precedence is CLI flag > environment > default.
 
 from __future__ import annotations
 
+import argparse
 import dataclasses
 import os
 from dataclasses import dataclass
-from typing import Mapping, Optional, Tuple
+from collections.abc import Mapping
 
 from repro.errors import ServeError
 from repro.serve.tenancy import TenantQuota
@@ -61,7 +62,7 @@ class ServiceConfig:
     shards: int = 1
     partition_strategy: str = "degree_balanced"
     sync: bool = False
-    engine_kwargs: Optional[Mapping[str, object]] = None
+    engine_kwargs: Mapping[str, object] | None = None
 
     # -- dispatcher / admission --------------------------------------- #
     max_pending_queries: int = 64
@@ -75,14 +76,14 @@ class ServiceConfig:
     #: ``(name, weight, max_pending)`` triples; kept as a tuple so the
     #: config stays hashable/frozen.  ``tenant_quotas()`` materialises the
     #: mapping the service wants.
-    tenants: Tuple[Tuple[str, float, int], ...] = ()
+    tenants: tuple[tuple[str, float, int], ...] = ()
 
     # -- transport ----------------------------------------------------- #
     host: str = "127.0.0.1"
     port: int = 0
     event_loop: bool = False
-    query_timeout: Optional[float] = DEFAULT_QUERY_TIMEOUT
-    body_timeout: Optional[float] = DEFAULT_BODY_TIMEOUT
+    query_timeout: float | None = DEFAULT_QUERY_TIMEOUT
+    body_timeout: float | None = DEFAULT_BODY_TIMEOUT
     retry_after_seconds: float = DEFAULT_RETRY_AFTER_SECONDS
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
     log_requests: bool = False
@@ -123,7 +124,7 @@ class ServiceConfig:
     # ------------------------------------------------------------------ #
     # derived views
     # ------------------------------------------------------------------ #
-    def tenant_quotas(self) -> Optional[Mapping[str, TenantQuota]]:
+    def tenant_quotas(self) -> Mapping[str, TenantQuota] | None:
         """The ``tenants`` triples as the quota mapping the service wants."""
         if not self.tenants:
             return None
@@ -132,7 +133,7 @@ class ServiceConfig:
             for name, weight, max_pending in self.tenants
         }
 
-    def replace(self, **changes) -> "ServiceConfig":
+    def replace(self, **changes: object) -> ServiceConfig:
         """A copy with ``changes`` applied (re-validated)."""
         return dataclasses.replace(self, **changes)
 
@@ -141,8 +142,8 @@ class ServiceConfig:
     # ------------------------------------------------------------------ #
     @classmethod
     def from_env(
-        cls, base: Optional["ServiceConfig"] = None, environ: Optional[Mapping[str, str]] = None
-    ) -> "ServiceConfig":
+        cls, base: ServiceConfig | None = None, environ: Mapping[str, str] | None = None
+    ) -> ServiceConfig:
         """Overlay ``BINGO_SERVE_*`` environment variables on ``base``.
 
         Recognised names are the upper-cased field names
@@ -153,7 +154,7 @@ class ServiceConfig:
         base = base if base is not None else cls()
         environ = os.environ if environ is None else environ
         fields = {f.name: f for f in dataclasses.fields(cls)}
-        changes = {}
+        changes: dict[str, object] = {}
         for key, raw in environ.items():
             if not key.startswith(ENV_PREFIX):
                 continue
@@ -165,7 +166,7 @@ class ServiceConfig:
         return base.replace(**changes) if changes else base
 
     @classmethod
-    def from_cli_args(cls, args) -> "ServiceConfig":
+    def from_cli_args(cls, args: argparse.Namespace) -> ServiceConfig:
         """Build the config from the ``bingo-repro serve`` argparse namespace."""
         tenants = tuple(
             _parse_tenant_spec(spec) for spec in (getattr(args, "tenant", None) or ())
@@ -193,7 +194,11 @@ class ServiceConfig:
 UNSET = object()
 
 
-def resolve_transport_kwargs(config, caller: str, **overrides):
+def resolve_transport_kwargs(
+    config: ServiceConfig | None,
+    caller: str,
+    **overrides: tuple[object, object],
+) -> dict[str, object]:
     """Resolve the front-end deprecation shims against a config.
 
     Each keyword maps to ``(value, legacy_default)`` where ``value`` is the
@@ -205,8 +210,8 @@ def resolve_transport_kwargs(config, caller: str, **overrides):
     """
     import warnings
 
-    resolved = {}
-    legacy = []
+    resolved: dict[str, object] = {}
+    legacy: list[str] = []
     for name, (value, default) in overrides.items():
         if value is not UNSET:
             resolved[name] = value
@@ -225,7 +230,7 @@ def resolve_transport_kwargs(config, caller: str, **overrides):
     return resolved
 
 
-def _parse_tenant_spec(spec: str) -> Tuple[str, float, int]:
+def _parse_tenant_spec(spec: str) -> tuple[str, float, int]:
     """``NAME[:WEIGHT[:MAX_PENDING]]`` -> a config tenant triple."""
     parts = str(spec).split(":")
     if not parts[0] or len(parts) > 3:
@@ -238,7 +243,7 @@ def _parse_tenant_spec(spec: str) -> Tuple[str, float, int]:
     return (parts[0], weight, max_pending)
 
 
-def _parse_env_value(key: str, raw: str, current):
+def _parse_env_value(key: str, raw: str, current: object) -> object:
     """Coerce an environment string onto the field's current type."""
     if isinstance(current, bool):
         lowered = raw.strip().lower()

@@ -46,7 +46,6 @@ import socket
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple, Union
 
 from repro.serve import protocol
 from repro.serve.config import UNSET, ServiceConfig, resolve_transport_kwargs
@@ -96,14 +95,14 @@ class _Slot:
 
     def __init__(self) -> None:
         self.ready = False
-        self.parts: List[Union[bytes, memoryview]] = []
+        self.parts: list[bytes | memoryview] = []
         self.close = False
         #: The PendingQuery this slot waits on (None for immediate ones).
-        self.pending: Optional[PendingQuery] = None
+        self.pending: PendingQuery | None = None
         #: Monotonic deadline for the server-side query timeout sweep.
-        self.deadline: Optional[float] = None
+        self.deadline: float | None = None
         #: A finished but deferred response (flush_pending ingests).
-        self.response: Optional[Response] = None
+        self.response: Response | None = None
 
 
 class _Connection:
@@ -129,10 +128,10 @@ class _Connection:
         self.fd = sock.fileno()
         self.parser = parser
         #: Bytes-like chunks awaiting the socket, head partially written.
-        self.out: Deque[Union[bytes, memoryview]] = deque()
+        self.out: deque[bytes | memoryview] = deque()
         self.out_offset = 0
         #: Ordered response slots (head = oldest outstanding request).
-        self.slots: Deque[_Slot] = deque()
+        self.slots: deque[_Slot] = deque()
         self.eof = False
         self.closed = False
         #: Set after a parse error: later bytes are noise on a dead stream.
@@ -153,12 +152,12 @@ class EventLoopHTTPServer:
     def __init__(
         self,
         service: GraphService,
-        address: Tuple[str, int] = ("127.0.0.1", 0),
+        address: tuple[str, int] = ("127.0.0.1", 0),
         *,
-        query_timeout: Optional[float] = DEFAULT_QUERY_TIMEOUT,
-        body_timeout: Optional[float] = DEFAULT_BODY_TIMEOUT,
+        query_timeout: float | None = DEFAULT_QUERY_TIMEOUT,
+        body_timeout: float | None = DEFAULT_BODY_TIMEOUT,
         log_requests: bool = False,
-        fault_injector: Optional[FaultInjector] = None,
+        fault_injector: FaultInjector | None = None,
         retry_after_seconds: float = DEFAULT_RETRY_AFTER_SECONDS,
         max_body_bytes: int = MAX_BODY_BYTES,
     ) -> None:
@@ -187,15 +186,15 @@ class EventLoopHTTPServer:
         self._selector.register(self._listener, selectors.EVENT_READ, None)
         self._selector.register(self._wake_recv, selectors.EVENT_READ, None)
 
-        self._connections: Dict[int, _Connection] = {}
-        self._completions: Deque[Tuple[_Connection, _Slot]] = deque()
+        self._connections: dict[int, _Connection] = {}
+        self._completions: deque[tuple[_Connection, _Slot]] = deque()
         self._completion_lock = threading.Lock()
         #: Connections holding unresolved query slots (timeout sweep).
-        self._waiting: Set[_Connection] = set()
+        self._waiting: set[_Connection] = set()
         #: Connections holding deferred flush_pending responses.
-        self._flush_waiters: Set[_Connection] = set()
+        self._flush_waiters: set[_Connection] = set()
         #: Connections with a partially-read request (stall sweep).
-        self._partial: Set[_Connection] = set()
+        self._partial: set[_Connection] = set()
 
         self._stop = False
         self._done = threading.Event()
@@ -410,7 +409,7 @@ class EventLoopHTTPServer:
 
     def _encode(
         self, response: Response, keep_alive: bool
-    ) -> List[Union[bytes, memoryview]]:
+    ) -> list[bytes | memoryview]:
         parts = response.parts()
         reason = _REASONS.get(response.status, "Unknown")
         head = [f"HTTP/1.1 {response.status} {reason}\r\n"]
@@ -428,7 +427,7 @@ class EventLoopHTTPServer:
         )
         if response.chunked:
             head.append("Transfer-Encoding: chunked\r\n\r\n")
-            encoded: List[Union[bytes, memoryview]] = [
+            encoded: list[bytes | memoryview] = [
                 "".join(head).encode("latin-1")
             ]
             for part in parts:
@@ -623,14 +622,14 @@ def serve_event_loop(
     host=UNSET,
     port=UNSET,
     *,
-    config: Optional[ServiceConfig] = None,
+    config: ServiceConfig | None = None,
     query_timeout=UNSET,
     body_timeout=UNSET,
     log_requests=UNSET,
-    fault_injector: Optional[FaultInjector] = None,
+    fault_injector: FaultInjector | None = None,
     retry_after_seconds=UNSET,
     max_body_bytes=UNSET,
-) -> Tuple[EventLoopHTTPServer, threading.Thread]:
+) -> tuple[EventLoopHTTPServer, threading.Thread]:
     """Start the event-loop front-end on a daemon thread.
 
     Mirrors :func:`repro.serve.http.serve_http`: returns the bound

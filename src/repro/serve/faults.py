@@ -30,7 +30,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from collections.abc import Iterable, Mapping
 
 import numpy as np
 
@@ -107,12 +107,12 @@ class FaultPlan:
     """
 
     def __init__(self) -> None:
-        self._actions: Dict[Tuple[str, int], FaultAction] = {}
+        self._actions: dict[tuple[str, int], FaultAction] = {}
 
     # ------------------------------------------------------------------ #
     # builders
     # ------------------------------------------------------------------ #
-    def _put(self, point: str, index: int, action: FaultAction) -> "FaultPlan":
+    def _put(self, point: str, index: int, action: FaultAction) -> FaultPlan:
         if point not in FAULT_POINTS:
             raise ServeError(
                 f"unknown injection point {point!r}; one of: "
@@ -123,17 +123,17 @@ class FaultPlan:
         self._actions[(point, int(index))] = action
         return self
 
-    def fail(self, point: str, index: int, *, message: str = "") -> "FaultPlan":
+    def fail(self, point: str, index: int, *, message: str = "") -> FaultPlan:
         """Raise :class:`InjectedFault` the ``index``-th time ``point`` fires."""
         return self._put(point, index, FaultAction(kind="raise", message=message))
 
-    def delay(self, point: str, index: int, seconds: float) -> "FaultPlan":
+    def delay(self, point: str, index: int, seconds: float) -> FaultPlan:
         """Sleep ``seconds`` the ``index``-th time ``point`` fires."""
         return self._put(
             point, index, FaultAction(kind="delay", delay_seconds=float(seconds))
         )
 
-    def kill_worker(self, point: str, index: int, *, shard: int) -> "FaultPlan":
+    def kill_worker(self, point: str, index: int, *, shard: int) -> FaultPlan:
         """Hand a SIGKILL-shard-``shard`` action to the ``index``-th firing."""
         return self._put(
             point, index, FaultAction(kind="kill_worker", worker=int(shard))
@@ -148,7 +148,7 @@ class FaultPlan:
         horizon: int,
         *,
         delay_seconds: float = 0.0,
-    ) -> "FaultPlan":
+    ) -> FaultPlan:
         """Draw a random-but-reproducible plan from ``seed``.
 
         For every point in ``rates``, each occurrence index below
@@ -179,10 +179,10 @@ class FaultPlan:
         return plan
 
     # ------------------------------------------------------------------ #
-    def get(self, point: str, index: int) -> Optional[FaultAction]:
+    def get(self, point: str, index: int) -> FaultAction | None:
         return self._actions.get((point, index))
 
-    def entries(self) -> List[Tuple[str, int, FaultAction]]:
+    def entries(self) -> list[tuple[str, int, FaultAction]]:
         """The schedule in deterministic (point, index) order."""
         return [
             (point, index, action)
@@ -201,13 +201,13 @@ class FaultInjector:
     occurrence counters and the history log are guarded by one lock.
     """
 
-    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+    def __init__(self, plan: FaultPlan | None = None) -> None:
         self.plan = plan if plan is not None else FaultPlan()
         self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {point: 0 for point in FAULT_POINTS}
-        self._history: List[Tuple[str, int, str]] = []
+        self._counters: dict[str, int] = {point: 0 for point in FAULT_POINTS}
+        self._history: list[tuple[str, int, str]] = []
 
-    def fire(self, point: str) -> Optional[FaultAction]:
+    def fire(self, point: str) -> FaultAction | None:
         """Count one occurrence of ``point`` and act on any scheduled fault.
 
         Raises :class:`~repro.errors.InjectedFault` for ``raise`` actions,
@@ -241,11 +241,11 @@ class FaultInjector:
         with self._lock:
             return self._counters.get(point, 0)
 
-    def counters(self) -> Dict[str, int]:
+    def counters(self) -> dict[str, int]:
         with self._lock:
             return dict(self._counters)
 
-    def history(self) -> List[Tuple[str, int, str]]:
+    def history(self) -> list[tuple[str, int, str]]:
         """Every fault that actually fired, in firing order.
 
         Two same-seed chaos runs must produce equal histories — this is
@@ -261,7 +261,7 @@ class FaultInjector:
             self._history = []
 
 
-def chaos_points(entries: Iterable[Tuple[str, int, str]]) -> List[str]:
+def chaos_points(entries: Iterable[tuple[str, int, str]]) -> list[str]:
     """Compact ``point@index:kind`` labels for logs and JSON artifacts."""
     return [f"{point}@{index}:{kind}" for point, index, kind in entries]
 

@@ -37,7 +37,6 @@ from __future__ import annotations
 import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
 
 from repro.serve import protocol
 from repro.serve.config import UNSET, ServiceConfig, resolve_transport_kwargs
@@ -63,7 +62,7 @@ DEFAULT_BODY_TIMEOUT = 10.0
 class GraphServiceHandler(BaseHTTPRequestHandler):
     """One HTTP request against the shared :class:`GraphService`."""
 
-    server: "GraphServiceHTTPServer"
+    server: GraphServiceHTTPServer
     protocol_version = "HTTP/1.1"
 
     # ------------------------------------------------------------------ #
@@ -89,7 +88,7 @@ class GraphServiceHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str, *, read_body: bool) -> None:
         server = self.server
-        body: Optional[bytes] = None
+        body: bytes | None = None
         if read_body:
             try:
                 body = self._read_body()
@@ -220,12 +219,12 @@ class GraphServiceHTTPServer(ThreadingHTTPServer):
     def __init__(
         self,
         service: GraphService,
-        address: Tuple[str, int] = ("127.0.0.1", 0),
+        address: tuple[str, int] = ("127.0.0.1", 0),
         *,
-        query_timeout: Optional[float] = DEFAULT_QUERY_TIMEOUT,
-        body_timeout: Optional[float] = DEFAULT_BODY_TIMEOUT,
+        query_timeout: float | None = DEFAULT_QUERY_TIMEOUT,
+        body_timeout: float | None = DEFAULT_BODY_TIMEOUT,
         log_requests: bool = False,
-        fault_injector: Optional[FaultInjector] = None,
+        fault_injector: FaultInjector | None = None,
         retry_after_seconds: float = DEFAULT_RETRY_AFTER_SECONDS,
     ) -> None:
         if not retry_after_seconds > 0:
@@ -263,13 +262,13 @@ def serve_http(
     host=UNSET,
     port=UNSET,
     *,
-    config: Optional[ServiceConfig] = None,
+    config: ServiceConfig | None = None,
     query_timeout=UNSET,
     body_timeout=UNSET,
     log_requests=UNSET,
-    fault_injector: Optional[FaultInjector] = None,
+    fault_injector: FaultInjector | None = None,
     retry_after_seconds=UNSET,
-) -> Tuple[GraphServiceHTTPServer, threading.Thread]:
+) -> tuple[GraphServiceHTTPServer, threading.Thread]:
     """Start the HTTP front-end on a daemon thread.
 
     Returns the bound server (``server.url`` carries the resolved port —

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Union
+from collections.abc import Callable, Mapping
 
 from repro.errors import (
     InjectedFault,
@@ -156,10 +156,10 @@ class Response:
     """
 
     status: int
-    payload: Optional[dict] = None
-    body_parts: Optional[List[Union[bytes, memoryview]]] = None
+    payload: dict | None = None
+    body_parts: list[bytes | memoryview] | None = None
     content_type: str = JSON_CONTENT_TYPE
-    headers: Dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
     chunked: bool = False
     close: bool = False
     #: Set on a deferred-flush /ingest response (``defer_flush=True``):
@@ -167,18 +167,18 @@ class Response:
     #: :meth:`GraphService.pending_updates` reaches zero.
     flush_pending: bool = False
 
-    def parts(self) -> List[Union[bytes, memoryview]]:
+    def parts(self) -> list[bytes | memoryview]:
         """The body as a list of bytes-like parts (may be empty)."""
         if self.payload is not None:
-            return [json.dumps(self.payload).encode("utf-8")]
+            return [json.dumps(self.payload).encode()]
         return list(self.body_parts or [])
 
-    def content_length(self, parts: List[Union[bytes, memoryview]]) -> int:
+    def content_length(self, parts: list[bytes | memoryview]) -> int:
         return sum(memoryview(part).nbytes for part in parts)
 
 
 def error_envelope(
-    code: str, message: str, retry_after: Optional[float] = None
+    code: str, message: str, retry_after: float | None = None
 ) -> dict:
     """The one canonical error body every front-end answers with."""
     return {
@@ -196,8 +196,8 @@ def error_response(
 ) -> Response:
     """Map a serve-layer failure onto its canonical JSON error response."""
     status = status_for_error(error)
-    headers: Dict[str, str] = {}
-    retry_after: Optional[float] = None
+    headers: dict[str, str] = {}
+    retry_after: float | None = None
     if status in RETRYABLE_STATUSES:
         retry_after = retry_after_seconds
         headers["Retry-After"] = f"{retry_after_seconds:g}"
@@ -227,7 +227,7 @@ class PendingQuery:
     def __init__(
         self,
         ticket: QueryTicket,
-        timeout: Optional[float],
+        timeout: float | None,
         render: Callable[[ServeResult], Response],
         retry_after_seconds: float = DEFAULT_RETRY_AFTER_SECONDS,
     ) -> None:
@@ -237,9 +237,9 @@ class PendingQuery:
         self.retry_after_seconds = retry_after_seconds
         #: Headers the route shim wants on the eventual response (e.g. the
         #: ``Deprecation`` pair on unversioned routes).
-        self.extra_headers: Dict[str, str] = {}
+        self.extra_headers: dict[str, str] = {}
 
-    def _respond(self, timeout: Optional[float]) -> Response:
+    def _respond(self, timeout: float | None) -> Response:
         try:
             result = self.ticket.result(timeout)
         except Exception as exc:  # noqa: BLE001 - mapped onto HTTP statuses
@@ -267,7 +267,7 @@ class PendingQuery:
         return response
 
 
-RouteOutcome = Union[Response, PendingQuery]
+RouteOutcome = Response | PendingQuery
 
 
 # --------------------------------------------------------------------- #
@@ -279,7 +279,7 @@ def wants_binary(headers: Mapping[str, str]) -> bool:
     return wire.WIRE_CONTENT_TYPE in accept
 
 
-def parse_json_body(body: Optional[Union[bytes, bytearray, memoryview]]) -> dict:
+def parse_json_body(body: bytes | bytearray | memoryview | None) -> dict:
     """Decode a request body into a JSON object (or raise 400s)."""
     if body is None or not len(body):
         raise BadRequest("request body required")
@@ -361,7 +361,7 @@ def _route_query(
     service: GraphService,
     payload: dict,
     headers: Mapping[str, str],
-    default_query_timeout: Optional[float],
+    default_query_timeout: float | None,
     retry_after_seconds: float,
 ) -> PendingQuery:
     tenant = headers.get(TENANT_HEADER.lower(), DEFAULT_TENANT).strip()
@@ -478,11 +478,11 @@ def handle_request(
     method: str,
     path: str,
     headers: Mapping[str, str],
-    body: Optional[Union[bytes, bytearray, memoryview]],
+    body: bytes | bytearray | memoryview | None,
     *,
-    default_query_timeout: Optional[float] = DEFAULT_QUERY_TIMEOUT,
+    default_query_timeout: float | None = DEFAULT_QUERY_TIMEOUT,
     retry_after_seconds: float = DEFAULT_RETRY_AFTER_SECONDS,
-    fault_injector: Optional[FaultInjector] = None,
+    fault_injector: FaultInjector | None = None,
     defer_flush: bool = False,
 ) -> RouteOutcome:
     """Route one request; never raises (errors become :class:`Response`).
@@ -500,7 +500,7 @@ def handle_request(
     every response carries ``Deprecation: true`` and a ``Link`` header
     naming the ``/v1`` successor route.
     """
-    deprecated_headers: Optional[Dict[str, str]] = None
+    deprecated_headers: dict[str, str] | None = None
     if path == API_PREFIX or path.startswith(API_PREFIX + "/"):
         route = path[len(API_PREFIX):] or "/"
     else:
@@ -582,7 +582,7 @@ class ParsedRequest:
     target: str
     version: str
     #: Lower-cased header name -> value (last occurrence wins).
-    headers: Dict[str, str]
+    headers: dict[str, str]
     body: bytes
     #: Whether the client allows the connection to carry another request.
     keep_alive: bool
@@ -615,7 +615,7 @@ class HTTPRequestParser:
         self.max_body_bytes = int(max_body_bytes)
         self.max_header_bytes = int(max_header_bytes)
         self._buffer = bytearray()
-        self._head: Optional[ParsedRequest] = None
+        self._head: ParsedRequest | None = None
         self._body_length = 0
 
     @property
@@ -623,17 +623,17 @@ class HTTPRequestParser:
         """True when no partial request is buffered."""
         return self._head is None and not self._buffer
 
-    def feed(self, data: bytes) -> List[ParsedRequest]:
+    def feed(self, data: bytes) -> list[ParsedRequest]:
         """Consume ``data``, returning every request it completed."""
         self._buffer += data
-        requests: List[ParsedRequest] = []
+        requests: list[ParsedRequest] = []
         while True:
             request = self._next_request()
             if request is None:
                 return requests
             requests.append(request)
 
-    def _next_request(self) -> Optional[ParsedRequest]:
+    def _next_request(self) -> ParsedRequest | None:
         if self._head is None and not self._parse_head():
             return None
         if len(self._buffer) < self._body_length:
@@ -664,7 +664,7 @@ class HTTPRequestParser:
         method, target, version = parts
         if not version.startswith("HTTP/1."):
             raise HTTPParseError(400, f"unsupported protocol {version!r}")
-        headers: Dict[str, str] = {}
+        headers: dict[str, str] = {}
         for line in lines[1:]:
             if not line:
                 continue

@@ -15,7 +15,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -48,7 +48,7 @@ def deadline_in(seconds: float) -> float:
     return time.monotonic() + float(seconds)
 
 
-def validate_starts(starts, num_vertices: int) -> List[int]:
+def validate_starts(starts, num_vertices: int) -> list[int]:
     """Check query start vertices against the serving snapshot.
 
     The serve boundary is the trust boundary: the walk kernels downstream
@@ -111,11 +111,11 @@ class WalkQuery:
     #: runs alone (sync mode / unfused); fused groups draw from a stream
     #: derived from the service seed.
     rng: AnyRngSource = None
-    params: Dict[str, float] = field(default_factory=dict)
+    params: dict[str, float] = field(default_factory=dict)
     #: Absolute ``time.monotonic()`` deadline (see :func:`deadline_in`).
     #: The dispatcher fails queries whose deadline passed while queued with
     #: :class:`~repro.errors.QueryExpiredError` instead of fusing them.
-    deadline: Optional[float] = None
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.application not in SERVE_APPLICATIONS:
@@ -131,13 +131,13 @@ class WalkQuery:
                 "use repro.serve.deadline_in(seconds)"
             )
 
-    def expired(self, now: Optional[float] = None) -> bool:
+    def expired(self, now: float | None = None) -> bool:
         """Whether the deadline passed (always ``False`` without one)."""
         if self.deadline is None:
             return False
         return (time.monotonic() if now is None else now) >= self.deadline
 
-    def resolved_params(self) -> Dict[str, float]:
+    def resolved_params(self) -> dict[str, float]:
         """Hyper-parameters with the paper defaults filled in."""
         params = dict(self.params)
         if self.application == "node2vec":
@@ -148,7 +148,7 @@ class WalkQuery:
             params.setdefault("max_steps", 4 * self.walk_length)
         return params
 
-    def fuse_key(self) -> Tuple:
+    def fuse_key(self) -> tuple:
         """Queries with equal keys may share one fused frontier run."""
         return (
             self.application,
@@ -187,10 +187,10 @@ class QueryTicket:
         self.tenant = tenant
         self.submitted_at = time.perf_counter()
         self._event = threading.Event()
-        self._result: Optional[ServeResult] = None
-        self._error: Optional[BaseException] = None
+        self._result: ServeResult | None = None
+        self._error: BaseException | None = None
         self._callback_lock = threading.Lock()
-        self._callbacks: List = []
+        self._callbacks: list = []
 
     # ------------------------------------------------------------------ #
     # dispatcher side
@@ -261,7 +261,7 @@ class QueryTicket:
                 return
         self._invoke_callback(callback)
 
-    def result(self, timeout: Optional[float] = None) -> ServeResult:
+    def result(self, timeout: float | None = None) -> ServeResult:
         """Block until the query resolves and return its result."""
         if not self._event.wait(timeout):
             raise QueryTimeoutError("timed out waiting for a walk query result")
@@ -299,7 +299,7 @@ class ServeStats:
     catchup_updates: int = 0
     queries_served: int = 0
     fused_groups: int = 0
-    fused_sizes: Deque[int] = field(
+    fused_sizes: deque[int] = field(
         default_factory=lambda: deque(maxlen=STATS_WINDOW)
     )
     total_walk_steps: int = 0
@@ -334,7 +334,7 @@ class ServeStats:
     #: ``ConnectionResetError`` while a front-end wrote to them).  A
     #: client hanging up is its prerogative, not a server traceback.
     client_disconnects: int = 0
-    latencies: Deque[float] = field(
+    latencies: deque[float] = field(
         default_factory=lambda: deque(maxlen=STATS_WINDOW)
     )
 
@@ -343,7 +343,7 @@ class ServeStats:
             return 0.0
         return float(np.mean(self.fused_sizes))
 
-    def latency_percentiles(self) -> Dict[str, float]:
+    def latency_percentiles(self) -> dict[str, float]:
         """p50 / p99 query latency in seconds (zeros when nothing ran)."""
         if not self.latencies:
             return {"p50": 0.0, "p99": 0.0}

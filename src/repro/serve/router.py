@@ -44,7 +44,7 @@ import multiprocessing as mp
 import threading
 import time
 from multiprocessing import shared_memory
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -83,7 +83,7 @@ class ShardStreamKey(tuple):
 # --------------------------------------------------------------------------- #
 def reassemble(
     total_rows: int,
-    parts: Sequence[Tuple[np.ndarray, np.ndarray]],
+    parts: Sequence[tuple[np.ndarray, np.ndarray]],
     *,
     fallback_width: int,
 ) -> np.ndarray:
@@ -108,8 +108,8 @@ def reassemble(
 
 
 def discard_stale(
-    parts: Sequence[Tuple[np.ndarray, np.ndarray, int]], epoch: int
-) -> List[Tuple[np.ndarray, np.ndarray]]:
+    parts: Sequence[tuple[np.ndarray, np.ndarray, int]], epoch: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
     """Drop shard replies tagged with a different epoch than dispatched.
 
     ``parts`` is ``[(positions, matrix, reply_epoch), ...]``.  A stale
@@ -141,7 +141,7 @@ def reference_shard_walks(
     The distributed result must equal this byte for byte — the
     reassembly tests pin it for every engine.
     """
-    parts: List[Tuple[np.ndarray, np.ndarray]] = []
+    parts: list[tuple[np.ndarray, np.ndarray]] = []
     for shard in range(num_shards):
         positions = np.flatnonzero(owners == shard)
         if len(positions) == 0:
@@ -162,7 +162,7 @@ def _fallback_width(application: str, walk_length: int, params: dict) -> int:
     return int(walk_length) + 1
 
 
-def flip_payload(engine, batch, delta) -> Tuple[Dict[str, np.ndarray], bool]:
+def flip_payload(engine, batch, delta) -> tuple[dict[str, np.ndarray], bool]:
     """Serialize one epoch flip: batch columns + touched slices (or all).
 
     Returns ``(payload, full)``.  The normal path ships the
@@ -172,7 +172,7 @@ def flip_payload(engine, batch, delta) -> Tuple[Dict[str, np.ndarray], bool]:
     fell back to a full rebuild (writer recovery, engine reset), flagged
     so workers adopt instead of patch.
     """
-    payload: Dict[str, np.ndarray] = {
+    payload: dict[str, np.ndarray] = {
         "batch_src": np.ascontiguousarray(batch.src, dtype=np.int64),
         "batch_dst": np.ascontiguousarray(batch.dst, dtype=np.int64),
         "batch_bias": np.ascontiguousarray(batch.bias, dtype=np.float64),
@@ -188,7 +188,7 @@ def flip_payload(engine, batch, delta) -> Tuple[Dict[str, np.ndarray], bool]:
     return payload, full
 
 
-def _publish_blob(blob: bytes) -> Tuple[shared_memory.SharedMemory, int]:
+def _publish_blob(blob: bytes) -> tuple[shared_memory.SharedMemory, int]:
     """Write ``blob`` into a fresh shared-memory block (caller unlinks)."""
     block = shared_memory.SharedMemory(create=True, size=max(len(blob), 1))
     block.buf[: len(blob)] = blob
@@ -229,14 +229,14 @@ class ShardServePool:
         self,
         *,
         engine_name: str,
-        engine_kwargs: Optional[dict],
+        engine_kwargs: dict | None,
         engine_seed: int,
         graph,
         num_shards: int,
         strategy: str,
         source_engine,
         epoch: int,
-        start_method: Optional[str] = None,
+        start_method: str | None = None,
     ) -> None:
         check_positive_int(num_shards, "num_shards")
         self.engine_name = engine_name
@@ -260,8 +260,8 @@ class ShardServePool:
         context = mp.get_context(start_method)
         self._context = context
         self._inboxes = [context.Queue() for _ in range(self.num_shards)]
-        self._reply_readers: List = [None] * self.num_shards
-        self._workers: List = [None] * self.num_shards
+        self._reply_readers: list = [None] * self.num_shards
+        self._workers: list = [None] * self.num_shards
 
         store = SharedGraphShards.create(graph, partition)
         block, nbytes = _publish_blob(_boot_blob(source_engine, epoch))
@@ -323,7 +323,7 @@ class ShardServePool:
             self.build_seconds[reply[1]] = float(reply[3])
             remaining -= 1
 
-    def respawn(self, source_engine, epoch: int) -> List[int]:
+    def respawn(self, source_engine, epoch: int) -> list[int]:
         """Replace crashed workers, booted from the current snapshot.
 
         Unlike the walk runner's respawn (which re-attaches a still-live
@@ -375,10 +375,10 @@ class ShardServePool:
         victim.kill()
         victim.join(timeout=5)
 
-    def worker_pids(self) -> List[Optional[int]]:
+    def worker_pids(self) -> list[int | None]:
         return [process.pid for process in self._workers]
 
-    def alive(self) -> List[bool]:
+    def alive(self) -> list[bool]:
         return [
             process is not None and process.is_alive() for process in self._workers
         ]
@@ -435,7 +435,7 @@ class ShardServePool:
         params: dict,
         seed_key: Sequence[int],
         epoch: int,
-    ) -> Tuple[np.ndarray, List[float]]:
+    ) -> tuple[np.ndarray, list[float]]:
         """Fan one fused group out and reassemble the replies.
 
         Raises :class:`~repro.errors.WorkerCrashError` when a shard dies
@@ -448,7 +448,7 @@ class ShardServePool:
         self._run_counter += 1
         run_id = self._run_counter
         owners = self.owners_of(starts)
-        pending: Dict[int, Tuple[np.ndarray, tuple]] = {}
+        pending: dict[int, tuple[np.ndarray, tuple]] = {}
         for shard in range(self.num_shards):
             positions = np.flatnonzero(owners == shard)
             if len(positions) == 0:
@@ -469,7 +469,7 @@ class ShardServePool:
             )
             self._inboxes[shard].put(message)
             pending[shard] = (positions, message)
-        parts: List[Tuple[np.ndarray, np.ndarray]] = []
+        parts: list[tuple[np.ndarray, np.ndarray]] = []
         busy = [0.0] * self.num_shards
         retried: set = set()
         while pending:
@@ -506,7 +506,7 @@ class ShardServePool:
 
     def flip(
         self, epoch: int, blob: bytes, source_engine
-    ) -> Tuple[List[float], int]:
+    ) -> tuple[list[float], int]:
         """Broadcast one epoch flip and collect every shard's ack.
 
         The payload travels as one shared-memory block, unlinked as soon
@@ -592,7 +592,7 @@ class RouterService(GraphService):
         *,
         shards: int = 2,
         rng=2025,
-        engine_kwargs: Optional[dict] = None,
+        engine_kwargs: dict | None = None,
         partition_strategy: str = "degree_balanced",
         max_pending_queries: int = 64,
         fuse_limit: int = 8,
@@ -604,7 +604,7 @@ class RouterService(GraphService):
         fault_injector=None,
         dead_letter_limit: int = 16,
         writer_recovery_limit: int = 3,
-        start_method: Optional[str] = None,
+        start_method: str | None = None,
     ) -> None:
         check_positive_int(shards, "shards")
         engine_cls = ENGINE_REGISTRY.get(engine_name)
@@ -620,7 +620,7 @@ class RouterService(GraphService):
         # Attributes the overridden hooks touch must exist before the
         # base constructor runs (it warms both buffers through
         # _warm_engine and could in principle publish).
-        self._pool: Optional[ShardServePool] = None
+        self._pool: ShardServePool | None = None
         self._pool_lock = threading.Lock()
         self._pending_delta = None
         self._walk_busy = [0.0] * self.shards
@@ -799,7 +799,7 @@ class RouterService(GraphService):
     # ------------------------------------------------------------------ #
     # reporting / lifecycle
     # ------------------------------------------------------------------ #
-    def stats_snapshot(self) -> Dict[str, object]:
+    def stats_snapshot(self) -> dict[str, object]:
         snapshot = super().stats_snapshot()
         with self._pool_lock:
             pool = self._pool

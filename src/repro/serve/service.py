@@ -54,7 +54,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -101,7 +101,7 @@ class _EngineBuffer:
     #: In-flight fused runs currently reading this buffer.
     readers: int = 0
     #: Batches published on the other buffer that this one has not seen yet.
-    pending: List[UpdateBatch] = field(default_factory=list)
+    pending: list[UpdateBatch] = field(default_factory=list)
 
 
 class GraphService:
@@ -182,7 +182,7 @@ class GraphService:
         graph,
         *,
         rng: RandomSource = 2025,
-        engine_kwargs: Optional[dict] = None,
+        engine_kwargs: dict | None = None,
         workers: int = 1,
         partition_strategy: str = "degree_balanced",
         sync: bool = False,
@@ -190,11 +190,11 @@ class GraphService:
         fuse_limit: int = 8,
         fuse_window_seconds: float = 0.002,
         service_seed: int = 0,
-        tenants: Optional[Mapping[str, TenantQuota]] = None,
-        default_quota: Optional[TenantQuota] = None,
+        tenants: Mapping[str, TenantQuota] | None = None,
+        default_quota: TenantQuota | None = None,
         strict_tenants: bool = False,
         warm_on_publish: bool = False,
-        fault_injector: Optional[FaultInjector] = None,
+        fault_injector: FaultInjector | None = None,
         dead_letter_limit: int = 16,
         writer_recovery_limit: int = 3,
     ) -> None:
@@ -212,7 +212,7 @@ class GraphService:
         self._engine_kwargs = dict(engine_kwargs or {})
         self._faults = fault_injector
         self.writer_recovery_limit = int(writer_recovery_limit)
-        self._dead_letter: Deque[Dict[str, object]] = deque(
+        self._dead_letter: deque[dict[str, object]] = deque(
             maxlen=dead_letter_limit
         )
         self._writer_failures = 0
@@ -233,7 +233,7 @@ class GraphService:
         self._accepting = True
         self._closed = False
         self._cancel_pending = False
-        self._failure: Optional[BaseException] = None
+        self._failure: BaseException | None = None
         self._epoch = 0
         self._group_counter = 0
 
@@ -289,9 +289,9 @@ class GraphService:
             # shard-parallel runner owns its workers' state.
             for buffer in self._buffers:
                 self._warm_engine(buffer.engine)
-        self._update_queue: "queue.Queue" = queue.Queue()
-        self._writer: Optional[threading.Thread] = None
-        self._dispatcher: Optional[threading.Thread] = None
+        self._update_queue: queue.Queue = queue.Queue()
+        self._writer: threading.Thread | None = None
+        self._dispatcher: threading.Thread | None = None
         if not self.sync:
             self._writer = threading.Thread(
                 target=self._writer_loop, name="graph-service-writer", daemon=True
@@ -393,7 +393,7 @@ class GraphService:
         *,
         rng: AnyRngSource = None,
         tenant: str = DEFAULT_TENANT,
-        deadline: Optional[float] = None,
+        deadline: float | None = None,
         **params,
     ) -> QueryTicket:
         """Submit one walk query; returns a waitable :class:`QueryTicket`.
@@ -415,7 +415,7 @@ class GraphService:
 
     def submit_many(
         self, queries: Sequence[WalkQuery], *, tenant: str = DEFAULT_TENANT
-    ) -> List[QueryTicket]:
+    ) -> list[QueryTicket]:
         """Submit a wave of queries as one queue item (fused together).
 
         In sync mode the wave executes sequentially instead — each query
@@ -433,9 +433,9 @@ class GraphService:
         walk_length: int,
         *,
         rng: AnyRngSource = None,
-        timeout: Optional[float] = None,
+        timeout: float | None = None,
         tenant: str = DEFAULT_TENANT,
-        deadline: Optional[float] = None,
+        deadline: float | None = None,
         **params,
     ) -> ServeResult:
         """Submit one query and wait for its result."""
@@ -450,15 +450,15 @@ class GraphService:
         )
         return ticket.result(timeout)
 
-    def tenant_stats(self) -> Dict[str, TenantStats]:
+    def tenant_stats(self) -> dict[str, TenantStats]:
         """Per-tenant admission / latency statistics, keyed by tenant id."""
         return self._tenancy.tenant_stats()
 
-    def tenant_summaries(self) -> Dict[str, Dict[str, float]]:
+    def tenant_summaries(self) -> dict[str, dict[str, float]]:
         """Per-tenant counters + percentiles, computed under the lane lock."""
         return self._tenancy.tenant_summaries()
 
-    def stats_snapshot(self) -> Dict[str, object]:
+    def stats_snapshot(self) -> dict[str, object]:
         """Service counters + latency percentiles as one consistent dict.
 
         Taken under the service lock, so it is safe to call while the
@@ -498,7 +498,7 @@ class GraphService:
                 "latency_p99_seconds": percentiles["p99"],
             }
 
-    def dead_letter(self) -> List[Dict[str, object]]:
+    def dead_letter(self) -> list[dict[str, object]]:
         """Quarantined update batches (most recent last, bounded list).
 
         Each entry names the batch size, the stringified failure, and the
@@ -510,7 +510,7 @@ class GraphService:
         with self._cond:
             return [dict(entry) for entry in self._dead_letter]
 
-    def health(self) -> Dict[str, object]:
+    def health(self) -> dict[str, object]:
         """Liveness truth for ``GET /healthz``: healthy only when serving.
 
         Unhealthy when the fatal writer failure is latched, the service is
@@ -522,7 +522,7 @@ class GraphService:
             closed = self._closed
             epoch = self._epoch
         failure = self._failure
-        reasons: List[str] = []
+        reasons: list[str] = []
         if closed:
             reasons.append("service is closed")
         if failure is not None:
@@ -552,7 +552,7 @@ class GraphService:
             self._closed = True
             self._accepting = False
             cancel = not drain
-        stragglers: List[str] = []
+        stragglers: list[str] = []
         if not self.sync:
             self._cancel_pending = cancel
             self._update_queue.put(_STOP)
@@ -603,7 +603,7 @@ class GraphService:
                 "not applied"
             )
 
-    def __enter__(self) -> "GraphService":
+    def __enter__(self) -> GraphService:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -623,7 +623,7 @@ class GraphService:
                 f"the service writer failed: {self._failure}"
             ) from self._failure
 
-    def _submit_tickets(self, tickets: List[QueryTicket]) -> List[QueryTicket]:
+    def _submit_tickets(self, tickets: list[QueryTicket]) -> list[QueryTicket]:
         self._require_accepting()
         # The serve boundary is the trust boundary: check every start
         # vertex against the serving snapshot before anything is queued,
@@ -642,7 +642,7 @@ class GraphService:
                 self._tenancy.note_admitted(ticket.tenant, 1)
                 self._execute_wave([ticket])
             return tickets
-        by_tenant: Dict[str, List[QueryTicket]] = {}
+        by_tenant: dict[str, list[QueryTicket]] = {}
         for ticket in tickets:
             by_tenant.setdefault(ticket.tenant, []).append(ticket)
         for tenant, lane_tickets in by_tenant.items():
@@ -894,7 +894,7 @@ class GraphService:
                 continue
             self._execute_wave(wave)
 
-    def _drop_expired(self, wave: List[QueryTicket]) -> List[QueryTicket]:
+    def _drop_expired(self, wave: list[QueryTicket]) -> list[QueryTicket]:
         """Drop-on-expiry: fail stale tickets before any fusing happens.
 
         A query whose deadline passed while it sat in its tenant lane is
@@ -903,7 +903,7 @@ class GraphService:
         already abandoned.
         """
         now = time.monotonic()
-        live: List[QueryTicket] = []
+        live: list[QueryTicket] = []
         expired = 0
         for ticket in wave:
             if ticket.query.expired(now):
@@ -922,7 +922,7 @@ class GraphService:
                 self.stats.queries_expired += expired
         return live
 
-    def _execute_wave(self, wave: List[QueryTicket]) -> None:
+    def _execute_wave(self, wave: list[QueryTicket]) -> None:
         """Group a wave by fuse key and run each group as one frontier."""
         wave = self._drop_expired(wave)
         if not wave:
@@ -937,13 +937,13 @@ class GraphService:
                     ticket.fail(exc)
                     self._tenancy.record_failed(ticket.tenant)
                 return
-        groups: Dict[tuple, List[QueryTicket]] = {}
+        groups: dict[tuple, list[QueryTicket]] = {}
         for ticket in wave:
             groups.setdefault(ticket.query.fuse_key(), []).append(ticket)
         for tickets in groups.values():
             self._execute_group(tickets)
 
-    def _group_rng(self, tickets: List[QueryTicket]):
+    def _group_rng(self, tickets: list[QueryTicket]):
         """The generator driving one fused run.
 
         A query running alone keeps its caller-provided rng (this is what
@@ -958,12 +958,12 @@ class GraphService:
             self._group_counter += 1
         return np.random.default_rng([self.service_seed, stream])
 
-    def _execute_group(self, tickets: List[QueryTicket]) -> None:
+    def _execute_group(self, tickets: list[QueryTicket]) -> None:
         try:
             rng = self._group_rng(tickets)
             query = tickets[0].query
             params = query.resolved_params()
-            starts: List[int] = []
+            starts: list[int] = []
             offsets = [0]
             for ticket in tickets:
                 starts.extend(ticket.query.starts)

@@ -31,7 +31,6 @@ from __future__ import annotations
 import time
 import traceback
 from multiprocessing import shared_memory
-from typing import Optional
 
 import numpy as np
 
@@ -132,7 +131,7 @@ def shard_serve_main(
     # Imported here so "spawn" children resolve the registry cleanly.
     from repro.engines.registry import ENGINE_REGISTRY
 
-    store: Optional[SharedGraphShards] = None
+    store: SharedGraphShards | None = None
     try:
         build_start = time.process_time()
         store = SharedGraphShards.attach(handle)

@@ -27,7 +27,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Mapping, Optional
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -73,11 +73,11 @@ class TenantStats:
     rejected: int = 0
     served: int = 0
     failed: int = 0
-    latencies: Deque[float] = field(
+    latencies: deque[float] = field(
         default_factory=lambda: deque(maxlen=STATS_WINDOW)
     )
 
-    def latency_percentiles(self) -> Dict[str, float]:
+    def latency_percentiles(self) -> dict[str, float]:
         """p50 / p99 query latency in seconds (zeros when nothing ran)."""
         if not self.latencies:
             return {"p50": 0.0, "p99": 0.0}
@@ -96,7 +96,7 @@ class _TenantLane:
     def __init__(self, name: str, quota: TenantQuota) -> None:
         self.name = name
         self.quota = quota
-        self.queue: Deque[QueryTicket] = deque()
+        self.queue: deque[QueryTicket] = deque()
         self.deficit = 0.0
         self.stats = TenantStats()
 
@@ -117,18 +117,18 @@ class FairShareQueue:
 
     def __init__(
         self,
-        quotas: Optional[Mapping[str, TenantQuota]] = None,
+        quotas: Mapping[str, TenantQuota] | None = None,
         *,
-        default_quota: Optional[TenantQuota] = None,
+        default_quota: TenantQuota | None = None,
         strict: bool = False,
     ) -> None:
         self._cond = threading.Condition()
         self._default_quota = default_quota or TenantQuota()
         self._strict = bool(strict)
         self._closed = False
-        self._lanes: Dict[str, _TenantLane] = {}
+        self._lanes: dict[str, _TenantLane] = {}
         #: Round-robin order over lanes with pending work.
-        self._round: Deque[_TenantLane] = deque()
+        self._round: deque[_TenantLane] = deque()
         for name, quota in (quotas or {}).items():
             self._lanes[name] = _TenantLane(name, quota)
 
@@ -147,7 +147,7 @@ class FairShareQueue:
             self._lanes[tenant] = lane
         return lane
 
-    def tenant_stats(self) -> Dict[str, TenantStats]:
+    def tenant_stats(self) -> dict[str, TenantStats]:
         """Consistent per-tenant stats snapshots, keyed by tenant id.
 
         Returns *copies* taken under the queue lock: handing out the live
@@ -169,7 +169,7 @@ class FairShareQueue:
                 for name, lane in self._lanes.items()
             }
 
-    def tenant_summaries(self) -> Dict[str, Dict[str, float]]:
+    def tenant_summaries(self) -> dict[str, dict[str, float]]:
         """Per-tenant counters + latency percentiles as plain dicts.
 
         Computed under the queue lock, so it is safe to call while the
@@ -191,7 +191,7 @@ class FairShareQueue:
                 }
             return summaries
 
-    def pending_count(self, tenant: Optional[str] = None) -> int:
+    def pending_count(self, tenant: str | None = None) -> int:
         with self._cond:
             if tenant is not None:
                 lane = self._lanes.get(tenant)
@@ -201,7 +201,7 @@ class FairShareQueue:
     # ------------------------------------------------------------------ #
     # submission side
     # ------------------------------------------------------------------ #
-    def put(self, tenant: str, tickets: List[QueryTicket]) -> None:
+    def put(self, tenant: str, tickets: list[QueryTicket]) -> None:
         """Admit ``tickets`` into the tenant's lane (all-or-nothing).
 
         Rejecting lanes raise :class:`~repro.errors.QuotaExceededError`
@@ -276,8 +276,8 @@ class FairShareQueue:
     # dispatcher side
     # ------------------------------------------------------------------ #
     def get_wave(
-        self, limit: int, timeout: Optional[float] = None
-    ) -> Optional[List[QueryTicket]]:
+        self, limit: int, timeout: float | None = None
+    ) -> list[QueryTicket] | None:
         """Block until work is pending, then drain one fused wave.
 
         Returns ``None`` once the queue is closed *and* empty (the
@@ -293,17 +293,17 @@ class FairShareQueue:
                         return []
             return self._drain_locked(limit)
 
-    def drain_now(self, limit: int) -> List[QueryTicket]:
+    def drain_now(self, limit: int) -> list[QueryTicket]:
         """Non-blocking drain (tops up a lingering wave after the window)."""
         if limit <= 0:
             return []
         with self._cond:
             return self._drain_locked(limit)
 
-    def drain_pending(self) -> List[QueryTicket]:
+    def drain_pending(self) -> list[QueryTicket]:
         """Remove and return every queued ticket (shutdown settlement)."""
         with self._cond:
-            leftovers: List[QueryTicket] = []
+            leftovers: list[QueryTicket] = []
             for lane in self._lanes.values():
                 leftovers.extend(lane.queue)
                 lane.queue.clear()
@@ -312,7 +312,7 @@ class FairShareQueue:
             self._cond.notify_all()
             return leftovers
 
-    def _drain_locked(self, limit: int) -> List[QueryTicket]:
+    def _drain_locked(self, limit: int) -> list[QueryTicket]:
         """Deficit round robin over the pending lanes.
 
         Each turn refills the lane's deficit by its quota weight and moves
@@ -320,7 +320,7 @@ class FairShareQueue:
         contended stretch tenant ``t`` receives ``weight_t / sum(weights)``
         of the fused slots regardless of queue depths.
         """
-        wave: List[QueryTicket] = []
+        wave: list[QueryTicket] = []
         while self._round and len(wave) < limit:
             lane = self._round.popleft()
             lane.deficit += lane.quota.weight

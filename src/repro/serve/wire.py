@@ -38,7 +38,6 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import List, Union
 
 import numpy as np
 
@@ -145,7 +144,7 @@ def encode_walks(
     total_steps: int,
     latency_seconds: float,
     fused_with: int,
-) -> List[Union[bytes, memoryview]]:
+) -> list[bytes | memoryview]:
     """Encode one walks response as ``[header, matrix_bytes]``.
 
     Returned as parts instead of one concatenated buffer so transports
@@ -168,7 +167,7 @@ def encode_walks(
     return [header, payload]
 
 
-def decode_walks(buffer: Union[bytes, bytearray, memoryview]) -> DecodedWalks:
+def decode_walks(buffer: bytes | bytearray | memoryview) -> DecodedWalks:
     """Decode one binary walks response (header + raw matrix bytes).
 
     The matrix in the result is a zero-copy view over ``buffer``.

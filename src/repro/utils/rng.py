@@ -13,16 +13,15 @@ instead; :func:`ensure_np_rng` provides the same coercion for
 from __future__ import annotations
 
 import random
-from typing import Union
 
 import numpy as np
 
-RandomSource = Union[int, random.Random, None]
+RandomSource = int | random.Random | None
 
-NumpySource = Union[int, np.random.Generator, None]
+NumpySource = int | np.random.Generator | None
 
 #: Anything coerce_np_rng accepts: Python or NumPy generator, seed, or None.
-AnyRngSource = Union[int, random.Random, np.random.Generator, None]
+AnyRngSource = int | random.Random | np.random.Generator | None
 
 
 def ensure_rng(source: RandomSource = None) -> random.Random:
@@ -83,7 +82,7 @@ def spawn_np_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def coerce_np_rng(source: Union[RandomSource, NumpySource]) -> np.random.Generator:
+def coerce_np_rng(source: RandomSource | NumpySource) -> np.random.Generator:
     """Coerce *any* accepted rng source into a :class:`numpy.random.Generator`.
 
     Accepts everything :func:`ensure_np_rng` does, plus a

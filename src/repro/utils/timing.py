@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from collections.abc import Iterator
 from contextlib import contextmanager
 
 
@@ -31,7 +31,7 @@ class TimeBreakdown:
     (insert/delete vs. rebuild vs. sampling time).
     """
 
-    phases: Dict[str, float] = field(default_factory=dict)
+    phases: dict[str, float] = field(default_factory=dict)
 
     @contextmanager
     def measure(self, phase: str) -> Iterator[None]:
@@ -54,12 +54,12 @@ class TimeBreakdown:
         """Sum of all recorded phases."""
         return sum(self.phases.values())
 
-    def merge(self, other: "TimeBreakdown") -> None:
+    def merge(self, other: TimeBreakdown) -> None:
         """Fold another breakdown into this one."""
         for phase, seconds in other.phases.items():
             self.add(phase, seconds)
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         """Return a copy of the phase table."""
         return dict(self.phases)
 
@@ -94,11 +94,11 @@ class PhaseTimer:
         """Add ``seconds`` to ``phase`` in the current round directly."""
         self._round.add(phase, seconds)
 
-    def round_so_far(self) -> Dict[str, float]:
+    def round_so_far(self) -> dict[str, float]:
         """The current (unfinished) round's phase table."""
         return self._round.as_dict()
 
-    def finish_round(self) -> Dict[str, float]:
+    def finish_round(self) -> dict[str, float]:
         """Close the current round: return its summary, reset it, keep totals."""
         summary = self._round.as_dict()
         self._totals.merge(self._round)
@@ -106,7 +106,7 @@ class PhaseTimer:
         self.rounds_finished += 1
         return summary
 
-    def totals(self) -> Dict[str, float]:
+    def totals(self) -> dict[str, float]:
         """Cumulative phase table across finished rounds plus the open one."""
         combined = TimeBreakdown(phases=self._totals.as_dict())
         combined.merge(self._round)

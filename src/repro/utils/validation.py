@@ -3,11 +3,10 @@
 from __future__ import annotations
 
 import math
-from typing import Union
 
 from repro.errors import InvalidBiasError
 
-Number = Union[int, float]
+Number = int | float
 
 
 def check_bias(bias: Number) -> Number:

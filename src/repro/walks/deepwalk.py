@@ -9,7 +9,7 @@ engine-facing cost is purely the repeated biased sampling the paper measures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.utils.rng import AnyRngSource
 from repro.utils.validation import check_positive_int
@@ -33,7 +33,7 @@ def deepwalk_walk(
     engine: NeighborSampler,
     start: int,
     walk_length: int,
-) -> List[int]:
+) -> list[int]:
     """One DeepWalk path of at most ``walk_length`` steps from ``start``.
 
     The walk stops early if it reaches a vertex with no out-edges.
@@ -51,9 +51,9 @@ def deepwalk_walk(
 
 def run_deepwalk(
     engine: NeighborSampler,
-    config: DeepWalkConfig = DeepWalkConfig(),
+    config: DeepWalkConfig | None = None,
     *,
-    starts: Optional[Sequence[int]] = None,
+    starts: Sequence[int] | None = None,
     frontier: bool = False,
     rng: AnyRngSource = None,
 ) -> WalkResult:
@@ -65,6 +65,8 @@ def run_deepwalk(
     ``rng`` (an int seed, NumPy generator, or Python generator) seeds its
     stream deterministically.  The scalar loop is the default.
     """
+    if config is None:
+        config = DeepWalkConfig()
     if starts is None:
         starts = default_start_vertices(engine.num_vertices(), config.walkers_per_vertex)
     if frontier:

@@ -17,7 +17,7 @@ application wants paths.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -55,7 +55,7 @@ class BatchedWalks:
         """Total edges traversed across all walks."""
         return int((self.lengths() - 1).sum())
 
-    def paths(self) -> List[List[int]]:
+    def paths(self) -> list[list[int]]:
         """The walks as plain vertex lists (padding stripped)."""
         lengths = self.lengths()
         return [

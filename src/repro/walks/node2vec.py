@@ -18,7 +18,7 @@ every engine that can do first-order sampling can run node2vec.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.errors import SamplerStateError
 from repro.utils.rng import NumpySource, RandomSource, ensure_rng
@@ -63,9 +63,9 @@ def _second_order_step(
     engine: NeighborSampler,
     config: Node2VecConfig,
     current: int,
-    previous: Optional[int],
+    previous: int | None,
     rng,
-) -> Optional[int]:
+) -> int | None:
     """One node2vec transition using static-sample + rejection."""
     if previous is None:
         return engine.sample_neighbor(current)
@@ -88,11 +88,11 @@ def node2vec_walk(
     config: Node2VecConfig,
     *,
     rng: RandomSource = None,
-) -> List[int]:
+) -> list[int]:
     """One node2vec path of at most ``config.walk_length`` steps from ``start``."""
     generator = ensure_rng(rng)
     path = [start]
-    previous: Optional[int] = None
+    previous: int | None = None
     current = start
     for _ in range(config.walk_length):
         next_vertex = _second_order_step(engine, config, current, previous, generator)
@@ -106,9 +106,9 @@ def node2vec_walk(
 
 def run_node2vec(
     engine: NeighborSampler,
-    config: Node2VecConfig = Node2VecConfig(),
+    config: Node2VecConfig | None = None,
     *,
-    starts: Optional[Sequence[int]] = None,
+    starts: Sequence[int] | None = None,
     rng: RandomSource = None,
     frontier: bool = False,
     frontier_rng: NumpySource = None,
@@ -120,6 +120,8 @@ def run_node2vec(
     and otherwise from a stream derived deterministically from ``rng`` — so
     the same seed reproduces the same walks on either path's rng argument.
     """
+    if config is None:
+        config = Node2VecConfig()
     if starts is None:
         starts = default_start_vertices(engine.num_vertices(), config.walkers_per_vertex)
     if frontier:
@@ -144,7 +146,7 @@ def exact_second_order_distribution(
     biases: Sequence[float],
     previous: int,
     config: Node2VecConfig,
-) -> List[float]:
+) -> list[float]:
     """The exact normalized second-order transition probabilities.
 
     Used by tests to verify that the static-sample + rejection procedure

@@ -44,7 +44,7 @@ import time
 import traceback
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -94,7 +94,7 @@ def _step_deepwalk(engine, rng, vertices: np.ndarray) -> np.ndarray:
 
 def _step_ppr(
     engine, rng, vertices: np.ndarray, termination_probability: float
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray]:
     """Coin-flip then propose, with the serial driver's exact draw order.
 
     Returns ``(killed_mask, draws)`` where ``draws`` aligns with the
@@ -181,7 +181,7 @@ def _shard_worker_main(
     # Imported here so "spawn" children resolve the registry cleanly.
     from repro.engines.registry import ENGINE_REGISTRY
 
-    store: Optional[SharedGraphShards] = None
+    store: SharedGraphShards | None = None
     try:
         store = SharedGraphShards.attach(handle)
         view = store.shard_view(shard)
@@ -191,7 +191,7 @@ def _shard_worker_main(
         )
         replies.send(("ready", shard, generation, time.process_time() - build_start))
 
-        rng: Optional[np.random.Generator] = None
+        rng: np.random.Generator | None = None
         mode = ""
         params: dict = {}
         run_id = -1
@@ -264,7 +264,7 @@ def _shard_worker_main(
 # --------------------------------------------------------------------------- #
 def wait_worker_reply(
     reply_readers: Sequence, workers: Sequence, *, timeout: float = _REPLY_TIMEOUT
-) -> Tuple[int, tuple]:
+) -> tuple[int, tuple]:
     """Block until one worker reply arrives; surface dead workers fast.
 
     The shared wait loop of every process pool in this repo (the
@@ -298,7 +298,7 @@ def wait_worker_reply(
         shard = reply_readers.index(reader)
         try:
             return shard, reader.recv()
-        except (EOFError, OSError):
+        except (EOFError, OSError) as exc:
             # EOF (or a truncated message) on a worker's private pipe: the
             # worker died, possibly mid-send.  Only its own channel is
             # corrupted; respawn replaces both.
@@ -306,7 +306,7 @@ def wait_worker_reply(
             if process.is_alive():  # pragma: no cover - broken pipe only
                 process.terminate()
                 process.join(timeout=5)
-            raise WorkerCrashError(shard)
+            raise WorkerCrashError(shard) from exc
 
 
 @dataclass
@@ -316,9 +316,9 @@ class ParallelRunStats:
     num_workers: int
     wall_seconds: float = 0.0
     #: Per-shard CPU time spent inside the sampling step handlers.
-    busy_seconds: List[float] = field(default_factory=list)
+    busy_seconds: list[float] = field(default_factory=list)
     #: Samples served per shard (load accounting, includes retiring draws).
-    samples: List[int] = field(default_factory=list)
+    samples: list[int] = field(default_factory=list)
     total_steps: int = 0
     transfers: int = 0
 
@@ -375,10 +375,10 @@ class ParallelWalkRunner:
         num_workers: int,
         *,
         engine_seed: int = 2025,
-        engine_kwargs: Optional[dict] = None,
+        engine_kwargs: dict | None = None,
         strategy: str = "degree_balanced",
-        partition: Optional[OneDimPartition] = None,
-        start_method: Optional[str] = None,
+        partition: OneDimPartition | None = None,
+        start_method: str | None = None,
         fault_injector=None,
     ) -> None:
         check_positive_int(num_workers, "num_workers")
@@ -400,8 +400,8 @@ class ParallelWalkRunner:
         self.store = SharedGraphShards.create(graph, self.partition)
         self._owner = self.partition.owner_for(self.store.num_vertices)
         self.tracker = MultiDeviceTracker(self._owner, self.num_workers)
-        self.last_stats: Optional[ParallelRunStats] = None
-        self.build_seconds: List[float] = [0.0] * self.num_workers
+        self.last_stats: ParallelRunStats | None = None
+        self.build_seconds: list[float] = [0.0] * self.num_workers
         self._closed = False
         self._run_counter = 0
         self._refresh_counter = 0
@@ -416,8 +416,8 @@ class ParallelWalkRunner:
         context = mp.get_context(start_method)
         self._context = context
         self._inboxes = [context.Queue() for _ in range(self.num_workers)]
-        self._reply_readers: List = [None] * self.num_workers
-        self._workers: List = [None] * self.num_workers
+        self._reply_readers: list = [None] * self.num_workers
+        self._workers: list = [None] * self.num_workers
         handle = self.store.handle()
         for shard in range(self.num_workers):
             self._spawn_worker(shard, handle)
@@ -488,7 +488,7 @@ class ParallelWalkRunner:
                 continue
             return reply
 
-    def _await_ready(self, count: Optional[int] = None) -> None:
+    def _await_ready(self, count: int | None = None) -> None:
         remaining = self.num_workers if count is None else count
         while remaining > 0:
             reply = self._collect()
@@ -591,7 +591,7 @@ class ParallelWalkRunner:
         if self._closed:
             raise ParallelExecutionError("the parallel walk runner has been closed")
 
-    def __enter__(self) -> "ParallelWalkRunner":
+    def __enter__(self) -> ParallelWalkRunner:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -642,9 +642,9 @@ class ParallelWalkRunner:
         self,
         walkers: np.ndarray,
         vertices: np.ndarray,
-        extras: Optional[Dict[int, dict]] = None,
-        stats: Optional[ParallelRunStats] = None,
-    ) -> List[tuple]:
+        extras: dict[int, dict] | None = None,
+        stats: ParallelRunStats | None = None,
+    ) -> list[tuple]:
         """Route the frontier slice of every shard through its hand-off queue.
 
         ``walkers`` arrive in ascending order; the stable owner sort keeps

@@ -8,7 +8,7 @@ derives the PPR scores from visit frequencies (Section 1 / 6.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.utils.rng import NumpySource, RandomSource, ensure_rng
 from repro.utils.validation import check_positive_int, check_probability
@@ -48,7 +48,7 @@ def ppr_walk(
     config: PPRConfig,
     *,
     rng: RandomSource = None,
-) -> List[int]:
+) -> list[int]:
     """One terminating random walk from ``start``."""
     generator = ensure_rng(rng)
     path = [start]
@@ -66,9 +66,9 @@ def ppr_walk(
 
 def run_ppr(
     engine: NeighborSampler,
-    config: PPRConfig = PPRConfig(),
+    config: PPRConfig | None = None,
     *,
-    starts: Optional[Sequence[int]] = None,
+    starts: Sequence[int] | None = None,
     rng: RandomSource = None,
     frontier: bool = False,
     frontier_rng: NumpySource = None,
@@ -81,6 +81,8 @@ def run_ppr(
     ``rng`` — so the same seed reproduces the same walks on either path's
     rng argument.
     """
+    if config is None:
+        config = PPRConfig()
     if starts is None:
         starts = default_start_vertices(engine.num_vertices(), config.walkers_per_vertex)
     if frontier:
@@ -103,15 +105,17 @@ def ppr_scores(
     source: int,
     *,
     num_walks: int = 1000,
-    config: PPRConfig = PPRConfig(),
+    config: PPRConfig | None = None,
     rng: RandomSource = None,
-) -> Dict[int, float]:
+) -> dict[int, float]:
     """Monte Carlo PPR scores for a single source vertex.
 
     Launches ``num_walks`` terminating walks from ``source`` and returns the
     normalized visit frequencies, the estimator the paper's motivating
     applications (recommendation, fraud detection) consume.
     """
+    if config is None:
+        config = PPRConfig()
     generator = ensure_rng(rng)
     counter = VisitCounter()
     for _ in range(num_walks):

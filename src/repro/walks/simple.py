@@ -8,7 +8,7 @@ breakdown exercises.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.walks.walker import NeighborSampler
 
@@ -16,7 +16,7 @@ from repro.walks.walker import NeighborSampler
 def run_simple_sampling(
     engine: NeighborSampler,
     queries: Sequence[int],
-) -> List[Optional[int]]:
+) -> list[int | None]:
     """Draw one biased neighbour per query vertex (None for sink vertices)."""
     return [engine.sample_neighbor(vertex) for vertex in queries]
 
@@ -25,9 +25,9 @@ def sampling_histogram(
     engine: NeighborSampler,
     vertex: int,
     draws: int,
-) -> Dict[int, int]:
+) -> dict[int, int]:
     """Histogram of ``draws`` repeated samples at one vertex (test helper)."""
-    histogram: Dict[int, int] = {}
+    histogram: dict[int, int] = {}
     for _ in range(draws):
         neighbor = engine.sample_neighbor(vertex)
         if neighbor is None:

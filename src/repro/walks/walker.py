@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Protocol, Sequence, runtime_checkable
+from typing import Protocol, runtime_checkable
+from collections.abc import Iterable, Sequence
 
 
 @runtime_checkable
@@ -14,7 +15,7 @@ class NeighborSampler(Protocol):
     topology queries node2vec's second-order acceptance test requires.
     """
 
-    def sample_neighbor(self, vertex: int) -> Optional[int]:
+    def sample_neighbor(self, vertex: int) -> int | None:
         """Draw an out-neighbour of ``vertex`` with probability ∝ edge bias.
 
         Returns ``None`` when the vertex has no out-edges (the walk stops).
@@ -38,7 +39,7 @@ class NeighborSampler(Protocol):
 class WalkResult:
     """A batch of completed walks plus summary statistics."""
 
-    paths: List[List[int]] = field(default_factory=list)
+    paths: list[list[int]] = field(default_factory=list)
     total_steps: int = 0
 
     def add(self, path: Sequence[int]) -> None:
@@ -57,7 +58,7 @@ class WalkResult:
             return 0.0
         return sum(len(path) for path in self.paths) / len(self.paths)
 
-    def visit_counter(self) -> "VisitCounter":
+    def visit_counter(self) -> VisitCounter:
         """Aggregate visit frequencies across all recorded walks."""
         counter = VisitCounter()
         for path in self.paths:
@@ -74,7 +75,7 @@ class VisitCounter:
     output for the PPR workload.
     """
 
-    counts: Dict[int, int] = field(default_factory=dict)
+    counts: dict[int, int] = field(default_factory=dict)
     total: int = 0
 
     def add(self, vertex: int, count: int = 1) -> None:
@@ -93,7 +94,7 @@ class VisitCounter:
             return 0.0
         return self.counts.get(vertex, 0) / self.total
 
-    def top(self, k: int) -> List[tuple]:
+    def top(self, k: int) -> list[tuple]:
         """The ``k`` most visited vertices as ``(vertex, count)`` pairs."""
         ranked = sorted(self.counts.items(), key=lambda item: (-item[1], item[0]))
         return ranked[:k]
@@ -107,13 +108,13 @@ def collect_walks(paths: Iterable[Sequence[int]]) -> WalkResult:
     return result
 
 
-def default_start_vertices(num_vertices: int, walkers_per_vertex: int = 1) -> List[int]:
+def default_start_vertices(num_vertices: int, walkers_per_vertex: int = 1) -> list[int]:
     """The paper's default walker placement: one walker per vertex.
 
     ("For all of them, we initialize the vertex count number of random
     walkers.")  ``walkers_per_vertex`` scales that uniformly.
     """
-    starts: List[int] = []
+    starts: list[int] = []
     for _ in range(walkers_per_vertex):
         starts.extend(range(num_vertices))
     return starts

@@ -84,7 +84,7 @@ class TestFigure9:
 class TestFigure11:
     def test_ga_saves_memory_on_every_dataset(self):
         report = experiments.fig11_memory(datasets=("AM", "GO"), seed=5)
-        for dataset, entry in report.items():
+        for entry in report.values():
             assert entry["ga_total_bytes"] < entry["bs_total_bytes"]
             assert entry["overall_saving_factor"] > 1.0
             ratios = entry["group_kind_ratios"]

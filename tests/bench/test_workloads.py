@@ -3,7 +3,6 @@
 import pytest
 
 from repro.bench.workloads import (
-    APPLICATIONS,
     application_names,
     build_update_stream,
     run_application,

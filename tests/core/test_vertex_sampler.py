@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.adaptive import ConversionTracker, GroupClassifier, GroupKind
 from repro.core.vertex_sampler import BingoVertexSampler
-from repro.errors import EmptySamplerError, SamplerStateError
+from repro.errors import EmptySamplerError, InvalidBiasError, SamplerStateError
 from tests.conftest import total_variation
 
 
@@ -63,7 +63,7 @@ class TestInsertion:
 
     def test_invalid_bias_rejected(self):
         sampler = BingoVertexSampler(rng=1)
-        with pytest.raises(Exception):
+        with pytest.raises(InvalidBiasError):
             sampler.insert(0, 0)
 
     def test_vanishing_scaled_bias_rejected(self):

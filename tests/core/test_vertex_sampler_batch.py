@@ -13,6 +13,7 @@ import pytest
 
 from repro.core.adaptive import GroupClassifier
 from repro.core.vertex_sampler import BingoVertexSampler
+from repro.errors import EmptySamplerError
 from tests.sampling.test_batch_equivalence import (
     batch_histogram,
     chi_square_critical,
@@ -127,7 +128,7 @@ def test_sample_many_batched_update_mode():
 
 def test_sample_many_rejects_empty_and_zero_count():
     sampler = BingoVertexSampler(rng=17)
-    with pytest.raises(Exception):
+    with pytest.raises(EmptySamplerError):
         sampler.sample_many(10, np.random.default_rng(0))
     sampler.insert(1, 4.0)
     assert len(sampler.sample_many(0, np.random.default_rng(0))) == 0

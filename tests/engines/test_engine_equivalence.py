@@ -39,7 +39,7 @@ def test_all_engines_agree_on_final_adjacency(seed, workload):
         graph, batch_size=40, num_batches=2, workload=workload, rng=seed + 1
     )
     engines = _build_all_engines(stream.initial_graph)
-    for name, engine in engines.items():
+    for engine in engines.values():
         for batch in stream.batches:
             engine.apply_batch(batch)
 

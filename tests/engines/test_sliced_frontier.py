@@ -144,7 +144,7 @@ class TestSlicedTableStore:
         store = self._store()
         rng = np.random.default_rng(5)
         expected = {}
-        for round_number in range(6):
+        for _round in range(6):
             for vertex in range(8):
                 length = int(rng.integers(0, 12))
                 ids = rng.integers(0, 1000, size=length)

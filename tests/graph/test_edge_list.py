@@ -65,7 +65,10 @@ class TestSave:
         graph.add_edge(0, 1, 2.0)
         path = tmp_path / "undirected.txt"
         save_edge_list(graph, path)
-        lines = [l for l in path.read_text().splitlines() if l and not l.startswith("#")]
+        lines = [
+            line for line in path.read_text().splitlines()
+            if line and not line.startswith("#")
+        ]
         assert len(lines) == 1
 
 

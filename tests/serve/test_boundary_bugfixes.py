@@ -161,7 +161,7 @@ class TestRecordServedRaces:
             while not stop.is_set():
                 queue.record_served("hammered", 0.001)
 
-        thread = threading.Thread(target=hammer, daemon=True)
+        thread = threading.Thread(target=hammer, name="stats-hammer", daemon=True)
         thread.start()
         try:
             for _ in range(300):

@@ -91,8 +91,8 @@ class TestExactlyOnce:
                 resolve(ticket)
 
             threads = [
-                threading.Thread(target=register),
-                threading.Thread(target=complete),
+                threading.Thread(target=register, name="cb-register"),
+                threading.Thread(target=complete, name="cb-complete"),
             ]
             for thread in threads:
                 thread.start()

@@ -178,7 +178,7 @@ class _OneRequestThenCloseServer(threading.Thread):
     def __init__(self):
         super().__init__(daemon=True)
         self.listener = socket.create_server(("127.0.0.1", 0))
-        self.url = "http://127.0.0.1:%d" % self.listener.getsockname()[1]
+        self.url = f"http://127.0.0.1:{self.listener.getsockname()[1]}"
         self.requests_served = 0
         self._stop = False
 

@@ -142,9 +142,10 @@ class TestFaultInjector:
         injector = FaultInjector(FaultPlan())
         threads = [
             threading.Thread(
-                target=lambda: [injector.fire("http.handler") for _ in range(50)]
+                target=lambda: [injector.fire("http.handler") for _ in range(50)],
+                name=f"fault-firer-{index}",
             )
-            for _ in range(8)
+            for index in range(8)
         ]
         for thread in threads:
             thread.start()

@@ -262,7 +262,10 @@ class TestErrorMapping:
                 with lock:
                     codes.append(status)
 
-            threads = [threading.Thread(target=client) for _ in range(4)]
+            threads = [
+                threading.Thread(target=client, name=f"http-client-{index}")
+                for index in range(4)
+            ]
             for thread in threads:
                 thread.start()
             for thread in threads:

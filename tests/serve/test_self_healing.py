@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench.datasets import build_dataset
-from repro.errors import InjectedFault, ServeError
+from repro.errors import DuplicateEdgeError, InjectedFault, ServeError
 from repro.graph.update_stream import UpdateWorkload, generate_update_stream
 from repro.serve import (
     FaultInjector,
@@ -152,7 +152,7 @@ class TestQuarantine:
         service = GraphService("bingo", stream.initial_graph, sync=True)
         try:
             service.ingest(stream.batches[0])
-            with pytest.raises(Exception):
+            with pytest.raises(DuplicateEdgeError):
                 service.ingest(stream.batches[0])  # duplicate inserts
             assert service.dead_letter() == []
         finally:

@@ -93,7 +93,10 @@ class TestQuotaRacingClose:
                     with lock:
                         outcomes.append(type(exc).__name__)
 
-        threads = [threading.Thread(target=submitter) for _ in range(3)]
+        threads = [
+            threading.Thread(target=submitter, name=f"submitter-{index}")
+            for index in range(3)
+        ]
         for thread in threads:
             thread.start()
         time.sleep(0.03)
@@ -177,7 +180,10 @@ class TestHTTPClosedService:
             except urllib.error.HTTPError as error:
                 responses.append(error.code)
 
-        threads = [threading.Thread(target=client) for _ in range(3)]
+        threads = [
+            threading.Thread(target=client, name=f"client-{index}")
+            for index in range(3)
+        ]
         for thread in threads:
             thread.start()
         time.sleep(0.1)  # handlers submitted; first wave is in its sleep

@@ -189,11 +189,11 @@ class TestServiceTenancy:
                 for _ in range(200):
                     service.stats_snapshot()
                     service.tenant_summaries()
-            except BaseException as exc:  # pragma: no cover - the regression
+            except Exception as exc:  # pragma: no cover - the regression
                 failures.append(exc)
 
         try:
-            poller = threading.Thread(target=poll)
+            poller = threading.Thread(target=poll, name="stats-poller")
             poller.start()
             tickets = service.submit_many(
                 [

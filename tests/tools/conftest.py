@@ -1,0 +1,8 @@
+"""Make ``tools/bingolint`` importable for the linter's own tests."""
+
+import sys
+from pathlib import Path
+
+TOOLS_DIR = str(Path(__file__).resolve().parents[2] / "tools")
+if TOOLS_DIR not in sys.path:
+    sys.path.insert(0, TOOLS_DIR)

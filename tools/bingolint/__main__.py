@@ -1,0 +1,8 @@
+"""Entry point: ``python -m bingolint src tests benchmarks examples``."""
+
+import sys
+
+from bingolint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Small AST helpers shared by the rule visitors."""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> str | None:
+    """Dotted name of the callee, else None (subscripts, lambdas, ...)."""
+    return dotted_name(call.func)
+
+
+def call_attr(call: ast.Call) -> str | None:
+    """The final attribute of a method-style call (``x.y.z() -> "z"``)."""
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def keyword_names(call: ast.Call) -> set[str]:
+    return {kw.arg for kw in call.keywords if kw.arg is not None}
+
+
+def get_keyword(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def self_attribute_path(node: ast.AST) -> str | None:
+    """``self.a.b`` -> ``"a.b"``; the write-target path used by BGL001.
+
+    Subscripts are collapsed onto their base (``self.a[i]`` -> ``"a"``)
+    so an indexed write is tracked against the container attribute.
+    """
+    parts: list[str] = []
+    while True:
+        if isinstance(node, ast.Subscript):
+            node = node.value
+            parts = []  # index writes track the container path only
+            continue
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+            continue
+        break
+    if isinstance(node, ast.Name) and node.id == "self" and parts:
+        return ".".join(reversed(parts))
+    return None
+
+
+def assignment_targets(node: ast.stmt) -> list[ast.expr]:
+    """Target expressions of any assignment statement flavour."""
+    if isinstance(node, ast.Assign):
+        targets: list[ast.expr] = []
+        for target in node.targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                targets.extend(target.elts)
+            else:
+                targets.append(target)
+        return targets
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return []
+
+
+def functions_in(tree: ast.AST):
+    """Every function/method definition, depth-first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def contains_bare_raise(nodes: list[ast.stmt]) -> bool:
+    """True if a ``raise`` with no exception appears anywhere below."""
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise) and node.exc is None:
+                return True
+    return False
+
+
+def handler_catches(handler: ast.ExceptHandler, names: set[str]) -> bool:
+    """Does the handler's type mention any of ``names``?"""
+    if handler.type is None:
+        return False
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for type_node in types:
+        dotted = dotted_name(type_node)
+        if dotted is not None and dotted.split(".")[-1] in names:
+            return True
+    return False

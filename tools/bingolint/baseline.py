@@ -1,0 +1,92 @@
+"""The committed baseline of grandfathered findings.
+
+The baseline lets the linter land with existing violations acknowledged
+instead of blocking the tree — exactly the ratchet every production
+linter rollout uses.  A finding whose fingerprint appears in the
+baseline is reported (in the JSON report and with a ``[baselined]`` tag
+in text mode) but does not fail the run; any finding *not* in the
+baseline is new and fails it.  ``--write-baseline`` re-records the
+current findings; stale entries (fingerprints that no longer match
+anything) are surfaced so the baseline only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from bingolint.finding import Finding
+
+BASELINE_VERSION = 1
+
+#: Default committed baseline, next to this package.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+@dataclass
+class BaselineMatch:
+    """Findings split against a baseline."""
+
+    new: list[Finding]
+    baselined: list[Finding]
+    stale: list[dict]
+
+
+def load(path: Path) -> dict[str, dict]:
+    """Fingerprint -> entry for the baseline file (empty if missing)."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text())
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {data.get('version')!r}; "
+            f"this bingolint speaks version {BASELINE_VERSION}"
+        )
+    return {entry["fingerprint"]: entry for entry in data.get("findings", [])}
+
+
+def save(path: Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, deterministic)."""
+    entries = [
+        {
+            "fingerprint": finding.fingerprint,
+            "rule": finding.rule_id,
+            "path": finding.path,
+            "snippet": finding.snippet.strip(),
+        }
+        for finding in sorted(findings, key=Finding.sort_key)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def match(findings: list[Finding], baseline: dict[str, dict]) -> BaselineMatch:
+    """Split findings into new vs grandfathered; report stale entries."""
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    seen: set[str] = set()
+    for finding in findings:
+        fingerprint = finding.fingerprint
+        if fingerprint in baseline:
+            seen.add(fingerprint)
+            baselined.append(
+                Finding(
+                    rule_id=finding.rule_id,
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    message=finding.message,
+                    snippet=finding.snippet,
+                    occurrence=finding.occurrence,
+                    baselined=True,
+                )
+            )
+        else:
+            new.append(finding)
+    stale = [
+        entry
+        for fingerprint, entry in sorted(baseline.items())
+        if fingerprint not in seen
+    ]
+    return BaselineMatch(new=new, baselined=baselined, stale=stale)

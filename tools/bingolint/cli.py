@@ -1,0 +1,145 @@
+"""``python -m bingolint`` — argument parsing and exit codes.
+
+Exit codes are part of the tool's contract (CI keys off them):
+
+* ``0`` — no new findings (baselined/suppressed findings are fine);
+* ``1`` — at least one new finding, or a file failed to parse;
+* ``2`` — usage error (missing target, unknown rule, bad baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from bingolint import __version__
+from bingolint.baseline import DEFAULT_BASELINE, BaselineMatch, load, match, save
+from bingolint.registry import all_rules
+from bingolint.reporters import render_json, render_text
+from bingolint.runner import run
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bingolint",
+        description="Project-specific static analysis for the Bingo serve stack.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help="files or directories to lint (e.g. src tests benchmarks examples)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root paths are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="baseline file of grandfathered findings",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: every finding is new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="re-record current findings as the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"bingolint {__version__}"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    rules_by_id = all_rules()
+
+    if args.list_rules:
+        for rule_id, cls in rules_by_id.items():
+            print(f"{rule_id}  {cls.name}: {cls.rationale}")
+        return EXIT_CLEAN
+
+    if not args.targets:
+        print("bingolint: no lint targets given", file=sys.stderr)
+        return EXIT_USAGE
+
+    selected = list(rules_by_id)
+    if args.select:
+        selected = [part.strip() for part in args.select.split(",") if part.strip()]
+        unknown = [rule_id for rule_id in selected if rule_id not in rules_by_id]
+        if unknown:
+            print(
+                f"bingolint: unknown rule id(s): {', '.join(unknown)}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+    rules = [rules_by_id[rule_id]() for rule_id in selected]
+
+    root = Path(args.root)
+    try:
+        result = run(root, args.targets, rules)
+    except FileNotFoundError as exc:
+        print(f"bingolint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        save(baseline_path, result.findings)
+        print(
+            f"bingolint: wrote {len(result.findings)} finding(s) to "
+            f"{baseline_path}"
+        )
+        return EXIT_CLEAN
+
+    if args.no_baseline:
+        baseline: dict[str, dict] = {}
+    else:
+        try:
+            baseline = load(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"bingolint: bad baseline: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    matched: BaselineMatch = match(result.findings, baseline)
+
+    if args.format == "json":
+        report = render_json(result, matched)
+    else:
+        report = render_text(result, matched)
+    if args.output:
+        Path(args.output).write_text(report)
+    else:
+        sys.stdout.write(report)
+
+    if matched.new or result.parse_errors:
+        return EXIT_FINDINGS
+    return EXIT_CLEAN

@@ -1,0 +1,77 @@
+"""The finding record and its baseline fingerprint."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``fingerprint`` identifies the finding for baseline matching.  It
+    deliberately excludes the line number — inserting a docstring above
+    a grandfathered violation must not turn it into a "new" finding —
+    and instead hashes the rule, the file, the stripped source line, and
+    an occurrence index among identical (rule, file, line-text) triples.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    #: Disambiguates several identical violations in one file.
+    occurrence: int = 0
+    #: True when the committed baseline grandfathers this finding.
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        key = "\x1f".join(
+            [self.rule_id, self.path, self.snippet.strip(), str(self.occurrence)]
+        )
+        return hashlib.sha256(key.encode()).hexdigest()[:16]
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+            "baselined": self.baselined,
+        }
+
+
+def assign_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Stamp occurrence indexes so identical findings fingerprint apart.
+
+    Findings are processed in (path, line, col) order so the index is
+    deterministic for a given tree.
+    """
+    counts: dict[tuple, int] = {}
+    stamped = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = (finding.rule_id, finding.path, finding.snippet.strip())
+        index = counts.get(key, 0)
+        counts[key] = index + 1
+        stamped.append(
+            Finding(
+                rule_id=finding.rule_id,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                snippet=finding.snippet,
+                occurrence=index,
+            )
+        )
+    return stamped

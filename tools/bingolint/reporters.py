@@ -1,0 +1,66 @@
+"""Text and JSON reporters over one lint run."""
+
+from __future__ import annotations
+
+import json
+
+from bingolint.baseline import BaselineMatch
+from bingolint.finding import Finding
+from bingolint.runner import RunResult
+
+
+def _counts(findings: list[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_text(result: RunResult, matched: BaselineMatch) -> str:
+    """Human-oriented report: one line per finding plus a summary."""
+    lines: list[str] = []
+    everything = sorted(matched.new + matched.baselined, key=Finding.sort_key)
+    for finding in everything:
+        tag = " [baselined]" if finding.baselined else ""
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule_id}{tag} {finding.message}"
+        )
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    for error in result.parse_errors:
+        lines.append(f"error: could not parse {error}")
+    for entry in matched.stale:
+        lines.append(
+            f"stale baseline entry: {entry['rule']} in {entry['path']} "
+            f"({entry['fingerprint']}) no longer matches — remove it"
+        )
+    summary = (
+        f"bingolint: {result.files_checked} files, "
+        f"{len(matched.new)} new finding(s), "
+        f"{len(matched.baselined)} baselined, "
+        f"{result.suppressed} suppressed"
+    )
+    if matched.new:
+        summary += " — FAIL"
+    lines.append(summary)
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: RunResult, matched: BaselineMatch) -> str:
+    """Machine-oriented report (uploaded as the CI artifact)."""
+    everything = sorted(matched.new + matched.baselined, key=Finding.sort_key)
+    payload = {
+        "version": 1,
+        "files_checked": result.files_checked,
+        "findings": [finding.as_dict() for finding in everything],
+        "parse_errors": result.parse_errors,
+        "stale_baseline_entries": matched.stale,
+        "summary": {
+            "new": len(matched.new),
+            "baselined": len(matched.baselined),
+            "suppressed": result.suppressed,
+            "by_rule": _counts(everything),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,142 @@
+"""BGL001 — lock-guarded attributes must be written under their lock.
+
+The serve layer's shared mutable state (``ServeStats`` counters, lane
+maps, buffer flags) is guarded by ``with self._lock`` / ``with
+self._cond`` blocks.  A write that bypasses the lock is exactly the
+data race class PR 4-7 kept fixing by hand.  This rule infers the
+lockset per class: any ``self.<attr>`` path assigned at least once
+inside a ``with self.<lock>`` block is lock-guarded; every other
+assignment to the same path (outside ``__init__``/``__post_init__``,
+which run before the object is shared) is a finding.
+
+The inference is intentionally lightweight — it does not track locks
+acquired by callers.  A method that is documented to run with the lock
+already held should carry ``# bingolint: allow[BGL001]`` on the write.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from bingolint.astutil import assignment_targets, self_attribute_path
+from bingolint.finding import Finding
+from bingolint.registry import Rule, register
+
+#: Attribute names treated as locks when used as ``with self.<name>:``.
+_LOCK_NAME = re.compile(r"(lock|cond|mutex)", re.IGNORECASE)
+
+#: Methods that run before the instance is visible to other threads.
+_CONSTRUCTION_METHODS = {"__init__", "__post_init__", "__new__"}
+
+
+def _lock_context_name(item: ast.withitem) -> str | None:
+    """``with self.X:`` -> ``X`` when X smells like a lock."""
+    expr = item.context_expr
+    # ``with self._lock:`` or ``with self._cond:`` (Condition-as-lock).
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and _LOCK_NAME.search(expr.attr)
+    ):
+        return expr.attr
+    return None
+
+
+class _ClassLockAnalysis(ast.NodeVisitor):
+    """One pass over a class body, tracking with-lock nesting."""
+
+    def __init__(self) -> None:
+        self.lock_depth = 0
+        #: attribute path -> lock name it was first seen guarded by
+        self.guarded_writes: dict[str, str] = {}
+        #: (node, path) pairs written outside any lock
+        self.unguarded_writes: list[tuple[ast.stmt, str]] = []
+        self._method: str | None = None
+
+    # -- structure ----------------------------------------------------- #
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # Nested classes get their own analysis; do not descend.
+        return
+
+    def _visit_function(self, node: ast.FunctionDef) -> None:
+        outer = self._method
+        if outer is None:
+            self._method = node.name
+        self.generic_visit(node)
+        self._method = outer
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_With(self, node: ast.With) -> None:
+        holds_lock = any(_lock_context_name(item) for item in node.items)
+        if holds_lock:
+            self.lock_depth += 1
+        self.generic_visit(node)
+        if holds_lock:
+            self.lock_depth -= 1
+
+    # -- writes -------------------------------------------------------- #
+    def _note_assignment(self, node: ast.stmt) -> None:
+        for target in assignment_targets(node):
+            path = self_attribute_path(target)
+            if path is None:
+                continue
+            if self.lock_depth > 0:
+                self.guarded_writes.setdefault(path, "lock")
+            elif self._method not in _CONSTRUCTION_METHODS:
+                self.unguarded_writes.append((node, path))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._note_assignment(node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._note_assignment(node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._note_assignment(node)
+        self.generic_visit(node)
+
+
+@register
+class LockGuardedWritesRule(Rule):
+    rule_id = "BGL001"
+    name = "lock-guarded-write"
+    rationale = (
+        "serve-layer attributes written under `with self._lock` must never "
+        "also be written without it (snapshot/stats race class, PR 4-7)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/") and "/serve/" in path
+
+    def check(self, tree: ast.Module, source: str, path: str) -> list[Finding]:
+        lines = source.splitlines()
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            analysis = _ClassLockAnalysis()
+            for stmt in node.body:
+                analysis.visit(stmt)
+            if not analysis.guarded_writes:
+                continue
+            for write_node, write_path in analysis.unguarded_writes:
+                if write_path in analysis.guarded_writes:
+                    findings.append(
+                        self.finding(
+                            path,
+                            write_node,
+                            f"attribute `self.{write_path}` is written under a "
+                            f"lock elsewhere in `{node.name}` but this write "
+                            "holds no lock; wrap it in the `with self._lock` "
+                            "block (or annotate the caller-holds-lock "
+                            "contract with an allow comment)",
+                            lines,
+                        )
+                    )
+        return findings

@@ -1,0 +1,90 @@
+"""BGL002 — no blocking calls on the event-loop thread.
+
+``serve/eventloop.py`` holds every connection in one ``selectors``
+thread.  A single blocking call — ``time.sleep``, ``ticket.result()``
+with no timeout, a queue ``get()`` or pipe ``recv()`` with no timeout,
+an unbounded ``Event.wait()`` — parks the whole front-end, which is the
+PR 8 failure class the loop was built to avoid.  The rule treats the
+entire module as loop-reachable (the file exists to run on the loop
+thread) and flags the blocking idioms; a deliberately-blocking helper
+that only ever runs on a caller thread takes an allow comment.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from bingolint.astutil import call_name, get_keyword, keyword_names
+from bingolint.finding import Finding
+from bingolint.registry import Rule, register
+
+
+def _is_true_constant(node: ast.expr | None) -> bool:
+    return isinstance(node, ast.Constant) and node.value is True
+
+
+def _blocking_reason(call: ast.Call) -> str | None:
+    """Why this call blocks, or None when it is loop-safe."""
+    dotted = call_name(call)
+    if dotted == "time.sleep":
+        return "`time.sleep` parks the event-loop thread"
+    if dotted == "socket.create_connection":
+        return "`socket.create_connection` performs a blocking connect"
+    attr = call.func.attr if isinstance(call.func, ast.Attribute) else None
+    if attr is None:
+        return None
+    kwargs = keyword_names(call)
+    has_timeout = "timeout" in kwargs
+    if attr == "result" and not call.args and not has_timeout:
+        return (
+            "`ticket.result()` with no timeout blocks until the dispatcher "
+            "resolves; use `add_done_callback` and the completion queue"
+        )
+    if attr == "get" and not has_timeout:
+        if not call.args and "block" not in kwargs:
+            return "`.get()` with no timeout blocks on an empty queue"
+        if _is_true_constant(get_keyword(call, "block")) or (
+            len(call.args) == 1 and _is_true_constant(call.args[0])
+        ):
+            return "blocking `.get(block=True)` without a timeout"
+    if attr == "recv" and not call.args and not call.keywords:
+        return "`.recv()` with no arguments blocks on an empty pipe"
+    if attr == "wait" and not call.args and not has_timeout:
+        return "`.wait()` with no timeout blocks indefinitely"
+    if attr == "join" and not call.args and not has_timeout:
+        return "`.join()` with no timeout blocks on the joined thread"
+    if attr == "select" and not call.args and not has_timeout:
+        return "`.select()` with no timeout blocks until the next event"
+    if attr == "setblocking" and call.args and _is_true_constant(call.args[0]):
+        return "`setblocking(True)` makes later socket ops block the loop"
+    return None
+
+
+@register
+class EventLoopBlockingRule(Rule):
+    rule_id = "BGL002"
+    name = "event-loop-blocking-call"
+    rationale = (
+        "the single selectors thread must never block (PR 8: one blocking "
+        "call stalls every connection)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path.endswith("serve/eventloop.py")
+
+    def check(self, tree: ast.Module, source: str, path: str) -> list[Finding]:
+        lines = source.splitlines()
+        findings = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                reason = _blocking_reason(node)
+                if reason is not None:
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            f"blocking call on the event-loop thread: {reason}",
+                            lines,
+                        )
+                    )
+        return findings

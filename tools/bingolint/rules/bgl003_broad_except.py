@@ -1,0 +1,77 @@
+"""BGL003 — broad handlers must let KeyboardInterrupt/SystemExit escape.
+
+PR 7's postmortem: a ``_writer_loop`` ``except BaseException`` swallowed
+Ctrl-C into the service's failure latch, turning an interactive
+interrupt into a wedged process.  A bare ``except:`` or ``except
+BaseException`` is only acceptable when the interpreter-level signals
+still propagate — via a bare ``raise`` in the handler body, or a
+preceding ``except (KeyboardInterrupt, SystemExit): raise`` arm on the
+same ``try``.  ``except Exception`` never catches them and is always
+fine.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from bingolint.astutil import contains_bare_raise, dotted_name, handler_catches
+from bingolint.finding import Finding
+from bingolint.registry import Rule, register
+
+_SIGNALS = {"KeyboardInterrupt", "SystemExit"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    dotted = dotted_name(handler.type)
+    return dotted is not None and dotted.split(".")[-1] == "BaseException"
+
+
+@register
+class BroadExceptRule(Rule):
+    rule_id = "BGL003"
+    name = "broad-except-swallows-signals"
+    rationale = (
+        "bare except / except BaseException must re-raise "
+        "KeyboardInterrupt/SystemExit (PR 7: swallowed Ctrl-C wedged the "
+        "writer)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check(self, tree: ast.Module, source: str, path: str) -> list[Finding]:
+        lines = source.splitlines()
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+                continue
+            signals_rescued = False
+            for handler in node.handlers:
+                if handler_catches(handler, _SIGNALS) and contains_bare_raise(
+                    handler.body
+                ):
+                    signals_rescued = True
+                    continue
+                if not _is_broad(handler):
+                    continue
+                if signals_rescued or contains_bare_raise(handler.body):
+                    continue
+                label = (
+                    "bare `except:`"
+                    if handler.type is None
+                    else "`except BaseException`"
+                )
+                findings.append(
+                    self.finding(
+                        path,
+                        handler,
+                        f"{label} swallows KeyboardInterrupt/SystemExit; "
+                        "re-raise them (bare `raise`, or a preceding "
+                        "`except (KeyboardInterrupt, SystemExit): raise` arm) "
+                        "or narrow to `except Exception`",
+                        lines,
+                    )
+                )
+        return findings

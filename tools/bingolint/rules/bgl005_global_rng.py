@@ -1,0 +1,91 @@
+"""BGL005 — no global RNG: randomness flows through seeded Generators.
+
+The repo's bitwise-determinism contract (1-shard router == GraphService,
+replayable chaos plans, engine-equivalence suites) only holds because
+every random draw comes from an explicitly seeded ``np.random.Generator``
+or ``random.Random`` instance.  One ``np.random.shuffle`` or
+``random.random()`` anywhere in the pipeline makes results depend on
+interpreter-global state and breaks replay.  Constructor-style
+attributes (``default_rng``, ``Generator``, ``SeedSequence``, bit
+generators, ``random.Random``) are the sanctioned entry points.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from bingolint.astutil import call_name
+from bingolint.finding import Finding
+from bingolint.registry import Rule, register
+
+#: ``np.random.X`` attributes that construct seeded state (allowed).
+_NUMPY_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+#: ``random.X`` attributes that construct seeded instances (allowed).
+_STDLIB_ALLOWED = {"Random"}
+
+
+@register
+class GlobalRNGRule(Rule):
+    rule_id = "BGL005"
+    name = "global-rng-use"
+    rationale = (
+        "module-level np.random.* / random.* draws break the bitwise "
+        "determinism contract; seed a Generator / random.Random instead"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith(("src/repro/", "examples/"))
+
+    def check(self, tree: ast.Module, source: str, path: str) -> list[Finding]:
+        lines = source.splitlines()
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = call_name(node)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if (
+                len(parts) == 3
+                and parts[0] in ("np", "numpy")
+                and parts[1] == "random"
+                and parts[2] not in _NUMPY_ALLOWED
+            ):
+                findings.append(
+                    self.finding(
+                        path,
+                        node,
+                        f"global NumPy RNG call `{dotted}` bypasses the "
+                        "seeded-Generator contract; draw from "
+                        "`np.random.default_rng(seed)`",
+                        lines,
+                    )
+                )
+            elif (
+                len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] not in _STDLIB_ALLOWED
+            ):
+                findings.append(
+                    self.finding(
+                        path,
+                        node,
+                        f"global stdlib RNG call `{dotted}` bypasses the "
+                        "seeded-instance contract; draw from a "
+                        "`random.Random(seed)`",
+                        lines,
+                    )
+                )
+        return findings

@@ -1,0 +1,119 @@
+"""BGL006 — worker replies travel over per-worker Pipes, not a shared Queue.
+
+PR 7's hardest bug: a single shared ``mp.Queue`` collecting replies from
+every shard worker deadlocked all survivors when one worker was
+SIGKILLed while holding the queue's cross-process write lock (~1/3
+repro).  The mandated pattern is a private ``Pipe`` per worker — EOF on
+a dead worker's pipe surfaces instantly and harms nobody else.
+
+Heuristic: constructing a multiprocessing queue (``mp.Queue()``,
+``context.Queue()``, ``Queue()`` imported from multiprocessing, plus
+``JoinableQueue``/``SimpleQueue``) into a binding whose name says it
+carries replies/results/responses is flagged.  Inbox/work queues —
+router-to-worker, single writer — keep the shared-queue pattern and are
+not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from bingolint.finding import Finding
+from bingolint.registry import Rule, register
+
+_QUEUE_ATTRS = {"Queue", "JoinableQueue", "SimpleQueue"}
+
+#: Binding names that mark a queue as a reply channel.
+_REPLY_NAME = re.compile(
+    r"(reply|replies|result|results|outbox|response|completion)", re.IGNORECASE
+)
+
+
+def _mp_queue_call(node: ast.expr, mp_queue_names: set[str]) -> bool:
+    """Is this expression (or comprehension element) an mp queue ctor?"""
+    if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+        return _mp_queue_call(node.elt, mp_queue_names)
+    if isinstance(node, (ast.List, ast.Tuple)):
+        return any(_mp_queue_call(elt, mp_queue_names) for elt in node.elts)
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _QUEUE_ATTRS:
+        # ``queue.Queue()`` is the in-process stdlib queue: one process,
+        # no cross-process lock to die holding — out of scope.
+        base = func.value
+        if isinstance(base, ast.Name) and base.id == "queue":
+            return False
+        return True
+    if isinstance(func, ast.Name) and func.id in mp_queue_names:
+        return True
+    return False
+
+
+def _target_name(target: ast.expr) -> str | None:
+    """Innermost binding name of an assignment target."""
+    node = target
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _mp_imported_queue_names(tree: ast.Module) -> set[str]:
+    """Local names bound by ``from multiprocessing import Queue`` et al."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and (
+            node.module == "multiprocessing"
+            or node.module.startswith("multiprocessing.")
+        ):
+            for alias in node.names:
+                if alias.name in _QUEUE_ATTRS:
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+@register
+class SharedReplyQueueRule(Rule):
+    rule_id = "BGL006"
+    name = "shared-reply-queue"
+    rationale = (
+        "a shared mp.Queue reply channel deadlocks survivors when a worker "
+        "dies holding its write lock (PR 7); use a per-worker Pipe"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/")
+
+    def check(self, tree: ast.Module, source: str, path: str) -> list[Finding]:
+        lines = source.splitlines()
+        mp_queue_names = _mp_imported_queue_names(tree)
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if value is None or not _mp_queue_call(value, mp_queue_names):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                name = _target_name(target)
+                if name is not None and _REPLY_NAME.search(name):
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            f"`{name}` binds a multiprocessing queue as a "
+                            "reply channel; a worker dying mid-put deadlocks "
+                            "every survivor — use a per-worker "
+                            "`multiprocessing.Pipe` instead",
+                            lines,
+                        )
+                    )
+        return findings

@@ -1,0 +1,92 @@
+"""BGL007 — threads are named, and either daemonic or joined.
+
+Every postmortem in this repo that involved threads started with
+``Thread-7`` in a stack dump and no idea which subsystem owned it; the
+serve layer's own threads (``graph-service-writer``,
+``graph-service-query``, ``graph-service-eventloop``) are named for
+exactly that reason, and ``close(timeout=)`` reports stragglers *by
+name*.  The rule requires a ``name=`` on every ``threading.Thread``
+construction.  It also flags fire-and-forget threads: no ``daemon=``
+decision at construction and no ``.join(...)`` anywhere in the same
+scope means process shutdown behaviour is an accident.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from bingolint.astutil import functions_in, keyword_names
+from bingolint.finding import Finding
+from bingolint.registry import Rule, register
+
+
+def _is_thread_ctor(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr == "Thread"
+    if isinstance(func, ast.Name):
+        return func.id == "Thread"
+    return False
+
+
+def _scope_has_join(scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+        ):
+            return True
+    return False
+
+
+@register
+class ThreadDisciplineRule(Rule):
+    rule_id = "BGL007"
+    name = "thread-discipline"
+    rationale = (
+        "threads must carry a name= (straggler reports identify them by "
+        "name) and an explicit daemon=/join() shutdown decision"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check(self, tree: ast.Module, source: str, path: str) -> list[Finding]:
+        lines = source.splitlines()
+        findings: list[Finding] = []
+        # Map each Thread() call to its tightest enclosing scope so the
+        # join/daemon discipline check looks at the right body.
+        scopes: dict[int, ast.AST] = {}
+        for func in functions_in(tree):
+            for node in ast.walk(func):
+                if isinstance(node, ast.Call) and _is_thread_ctor(node):
+                    scopes[id(node)] = func  # tightest wins: later = inner
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and _is_thread_ctor(node)):
+                continue
+            kwargs = keyword_names(node)
+            if "name" not in kwargs:
+                findings.append(
+                    self.finding(
+                        path,
+                        node,
+                        "thread started without a name=; straggler and "
+                        "deadlock reports cannot identify anonymous threads",
+                        lines,
+                    )
+                )
+            if "daemon" not in kwargs:
+                scope = scopes.get(id(node), tree)
+                if not _scope_has_join(scope):
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            "fire-and-forget thread: no daemon= decision and "
+                            "no join() in this scope — shutdown behaviour is "
+                            "an accident; pass daemon= explicitly or join it",
+                            lines,
+                        )
+                    )
+        return findings

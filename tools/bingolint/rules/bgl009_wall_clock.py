@@ -1,0 +1,68 @@
+"""BGL009 — benchmarks time intervals with monotonic clocks, not time.time.
+
+Every committed BENCH_PR*.json number is a p50/p99 or a seconds-per-op
+measured across the repo's gates; ``time.time()`` is wall-clock and
+jumps with NTP slews, which turns a CI latency gate into a coin flip.
+The convention since PR 1 is ``time.perf_counter()`` for elapsed time
+and ``time.process_time()`` for CPU-busy accounting (the 1-core
+critical-path metrics).  Wall-clock timestamps for *labelling* a report
+belong outside the bench/timing paths this rule watches.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from bingolint.astutil import call_name
+from bingolint.finding import Finding
+from bingolint.registry import Rule, register
+
+
+def _from_time_import_time(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+@register
+class WallClockTimingRule(Rule):
+    rule_id = "BGL009"
+    name = "wall-clock-interval-timing"
+    rationale = (
+        "bench/timing paths measure intervals with perf_counter/"
+        "process_time; time.time() gates flap on clock slews"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return (
+            path.startswith(("src/repro/bench", "benchmarks/"))
+            or path.endswith("utils/timing.py")
+        )
+
+    def check(self, tree: ast.Module, source: str, path: str) -> list[Finding]:
+        lines = source.splitlines()
+        aliased = _from_time_import_time(tree)
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = call_name(node)
+            is_wall_clock = dotted == "time.time" or (
+                isinstance(node.func, ast.Name) and node.func.id in aliased
+            )
+            if is_wall_clock:
+                findings.append(
+                    self.finding(
+                        path,
+                        node,
+                        "time.time() is wall-clock and slews under NTP; "
+                        "use time.perf_counter() for intervals or "
+                        "time.process_time() for CPU-busy accounting",
+                        lines,
+                    )
+                )
+        return findings

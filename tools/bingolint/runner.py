@@ -1,0 +1,93 @@
+"""Collect files, parse once, run every applicable rule."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from bingolint.finding import Finding, assign_occurrences
+from bingolint.registry import Rule, all_rules
+from bingolint.suppress import is_suppressed, suppressed_lines
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache", ".mypy_cache"}
+
+
+@dataclass
+class RunResult:
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+    suppressed: int = 0
+
+
+def collect_files(root: Path, targets: list[str]) -> list[Path]:
+    """Expand targets (files or directories) into sorted .py paths."""
+    files: set[Path] = set()
+    for target in targets:
+        path = (root / target).resolve() if not Path(target).is_absolute() else Path(target)
+        if path.is_file() and path.suffix == ".py":
+            files.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.add(candidate)
+        else:
+            raise FileNotFoundError(f"lint target {target!r} does not exist")
+    return sorted(files)
+
+
+def relative_path(root: Path, path: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run(
+    root: Path,
+    targets: list[str],
+    rules: list[Rule] | None = None,
+) -> RunResult:
+    """Lint every target file with every applicable rule."""
+    if rules is None:
+        rules = [cls() for cls in all_rules().values()]
+    result = RunResult()
+    for file_path in collect_files(root, targets):
+        rel = relative_path(root, file_path)
+        applicable = [rule for rule in rules if rule.applies_to(rel)]
+        if not applicable:
+            continue
+        source = file_path.read_text(encoding="utf-8", errors="replace")
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            result.parse_errors.append(f"{rel}: {exc.msg} (line {exc.lineno})")
+            continue
+        result.files_checked += 1
+        suppressions = suppressed_lines(source)
+        for rule in applicable:
+            for finding in rule.check(tree, source, rel):
+                if is_suppressed(suppressions, finding.line, finding.rule_id):
+                    result.suppressed += 1
+                    continue
+                result.findings.append(finding)
+    result.findings = assign_occurrences(result.findings)
+    return result
+
+
+def check_source(
+    rule: Rule, source: str, path: str
+) -> list[Finding]:
+    """Run one rule over one source string (the fixture-test entry point)."""
+    if not rule.applies_to(path):
+        return []
+    tree = ast.parse(source, filename=path)
+    suppressions = suppressed_lines(source)
+    findings = [
+        finding
+        for finding in rule.check(tree, source, path)
+        if not is_suppressed(suppressions, finding.line, finding.rule_id)
+    ]
+    return assign_occurrences(findings)

@@ -1,0 +1,47 @@
+"""Inline suppression comments: ``# bingolint: allow[BGL001]``.
+
+A suppression on the finding's own line — or on the line directly above
+it, for lines that are already at the length limit — silences that rule
+there.  Several ids may share one comment:
+``# bingolint: allow[BGL003,BGL007]``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_ALLOW = re.compile(r"#\s*bingolint:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+def suppressed_lines(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids suppressed on that line.
+
+    Both the comment's own line and the line below it are covered, so a
+    comment can sit above a long statement.  Comments are found with
+    :mod:`tokenize`, so an ``allow[...]`` inside a string literal is
+    never treated as a suppression.
+    """
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW.search(token.string)
+            if not match:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            line = token.start[0]
+            suppressions.setdefault(line, set()).update(ids)
+            suppressions.setdefault(line + 1, set()).update(ids)
+    except tokenize.TokenError:  # pragma: no cover - unparsable files skip
+        pass
+    return suppressions
+
+
+def is_suppressed(
+    suppressions: dict[int, set[str]], line: int, rule_id: str
+) -> bool:
+    return rule_id in suppressions.get(line, ())
